@@ -1,0 +1,495 @@
+//! Block annotations and the color algebra (MONDRIAN, \[40, 41\]).
+//!
+//! §2.1: "\[40\] provides a system for attaching annotations to *sets of
+//! base values occurring in the same tuple*. … an annotation on a base
+//! value should be regarded as a curator's opinion of the validity of the
+//! value and … is better modeled as an annotation on the relationship
+//! between the base value and the key for the tuple containing that
+//! value."
+//!
+//! A [`Block`] colors a set of attribute positions within one tuple. The
+//! color algebra below queries both values and colors; the *explicit
+//! relational representation* (one row per tuple-block with an indicator
+//! column per attribute plus a color column) is provided, together with
+//! round-trips — the representation against which \[40, 41\] prove the
+//! color algebra expressively complete.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cdb_model::Atom;
+use cdb_relalg::{Pred, Relation, RelalgError, Schema, Tuple};
+
+/// A block: a color on a set of attributes of one tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Block {
+    /// The attributes covered by this block.
+    pub attrs: BTreeSet<String>,
+    /// The block's color.
+    pub color: String,
+}
+
+impl Block {
+    /// Builds a block.
+    pub fn new<S: Into<String>>(
+        attrs: impl IntoIterator<Item = S>,
+        color: impl Into<String>,
+    ) -> Self {
+        Block {
+            attrs: attrs.into_iter().map(Into::into).collect(),
+            color: color.into(),
+        }
+    }
+}
+
+/// A tuple with its blocks.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BlockTuple {
+    /// The tuple values.
+    pub values: Tuple,
+    /// The blocks on this tuple.
+    pub blocks: Vec<Block>,
+}
+
+/// A block-annotated relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockRelation {
+    schema: Schema,
+    tuples: Vec<BlockTuple>,
+}
+
+impl BlockRelation {
+    /// An empty block relation.
+    pub fn empty(schema: Schema) -> Self {
+        BlockRelation { schema, tuples: Vec::new() }
+    }
+
+    /// Builds from tuples, merging blocks of equal-valued tuples.
+    pub fn from_tuples(
+        schema: Schema,
+        tuples: impl IntoIterator<Item = BlockTuple>,
+    ) -> Result<Self, RelalgError> {
+        let mut rel = BlockRelation::empty(schema);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[BlockTuple] {
+        &self.tuples
+    }
+
+    /// Inserts a tuple, validating block attributes and merging into an
+    /// existing equal-valued tuple.
+    pub fn insert(&mut self, t: BlockTuple) -> Result<(), RelalgError> {
+        if t.values.len() != self.schema.arity() {
+            return Err(RelalgError::UpdateError(
+                "arity mismatch inserting block tuple".to_owned(),
+            ));
+        }
+        for b in &t.blocks {
+            for a in &b.attrs {
+                self.schema.resolve(a)?;
+            }
+        }
+        if let Some(existing) = self.tuples.iter_mut().find(|e| e.values == t.values) {
+            for b in t.blocks {
+                if !existing.blocks.contains(&b) {
+                    existing.blocks.push(b);
+                }
+            }
+            existing.blocks.sort();
+        } else {
+            let mut t = t;
+            t.blocks.sort();
+            self.tuples.push(t);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------- color algebra
+
+    /// σ on values: keeps tuples satisfying `pred`, with their blocks.
+    pub fn select_values(&self, pred: &Pred) -> Result<BlockRelation, RelalgError> {
+        let mut out = BlockRelation::empty(self.schema.clone());
+        for t in &self.tuples {
+            if pred.eval(&self.schema, &t.values)? {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// σ on colors: keeps tuples having at least one block that matches
+    /// `color` (if given) and covers `attr` (if given).
+    pub fn select_color(
+        &self,
+        color: Option<&str>,
+        attr: Option<&str>,
+    ) -> Result<BlockRelation, RelalgError> {
+        if let Some(a) = attr {
+            self.schema.resolve(a)?;
+        }
+        let mut out = BlockRelation::empty(self.schema.clone());
+        for t in &self.tuples {
+            let hit = t.blocks.iter().any(|b| {
+                color.is_none_or(|c| b.color == c)
+                    && attr.is_none_or(|a| b.attrs.contains(a))
+            });
+            if hit {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// π: projects onto `cols`; blocks are *clipped* to the surviving
+    /// attributes and dropped when nothing survives.
+    pub fn project(&self, cols: &[&str]) -> Result<BlockRelation, RelalgError> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|c| self.schema.resolve(c))
+            .collect::<Result<_, _>>()?;
+        let schema = Schema::new(cols.iter().map(|c| (*c).to_owned()))?;
+        let keep: BTreeSet<String> = cols.iter().map(|c| (*c).to_owned()).collect();
+        let mut out = BlockRelation::empty(schema);
+        for t in &self.tuples {
+            let values: Tuple = idx.iter().map(|&i| t.values[i].clone()).collect();
+            let blocks: Vec<Block> = t
+                .blocks
+                .iter()
+                .filter_map(|b| {
+                    let attrs: BTreeSet<String> =
+                        b.attrs.intersection(&keep).cloned().collect();
+                    if attrs.is_empty() {
+                        None
+                    } else {
+                        Some(Block { attrs, color: b.color.clone() })
+                    }
+                })
+                .collect();
+            out.insert(BlockTuple { values, blocks })?;
+        }
+        Ok(out)
+    }
+
+    /// ⋈: natural join; each joined tuple carries both sides' blocks
+    /// (shared attributes keep the left position's name; right blocks on
+    /// shared attributes are re-pointed at it, merging the curators'
+    /// opinions of the identified cells).
+    pub fn natural_join(&self, other: &BlockRelation) -> Result<BlockRelation, RelalgError> {
+        let shared = cdb_relalg::eval::shared_attrs(&self.schema, &other.schema);
+        let right_kept: Vec<usize> = (0..other.schema.arity())
+            .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
+            .collect();
+        let attrs: Vec<String> = self
+            .schema
+            .attrs()
+            .iter()
+            .cloned()
+            .chain(right_kept.iter().map(|&j| other.schema.attrs()[j].clone()))
+            .collect();
+        let mut out = BlockRelation::empty(Schema::new(attrs)?);
+        for lt in &self.tuples {
+            for rt in &other.tuples {
+                if shared.iter().all(|&(i, j)| lt.values[i] == rt.values[j]) {
+                    let mut values = lt.values.clone();
+                    values.extend(right_kept.iter().map(|&j| rt.values[j].clone()));
+                    let mut blocks = lt.blocks.clone();
+                    for b in &rt.blocks {
+                        // Re-point shared attributes at the left name.
+                        let attrs: BTreeSet<String> = b
+                            .attrs
+                            .iter()
+                            .map(|a| {
+                                let j = other.schema.resolve(a).expect("validated");
+                                match shared.iter().find(|&&(_, sj)| sj == j) {
+                                    Some(&(i, _)) => self.schema.attrs()[i].clone(),
+                                    None => a.clone(),
+                                }
+                            })
+                            .collect();
+                        blocks.push(Block { attrs, color: b.color.clone() });
+                    }
+                    out.insert(BlockTuple { values, blocks })?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// ∪: union, merging blocks of equal tuples.
+    pub fn union(&self, other: &BlockRelation) -> Result<BlockRelation, RelalgError> {
+        if !self.schema.union_compatible(&other.schema) {
+            return Err(RelalgError::SchemaMismatch {
+                left: self.schema.attrs().to_vec(),
+                right: other.schema.attrs().to_vec(),
+            });
+        }
+        let mut out = self.clone();
+        for t in &other.tuples {
+            out.insert(t.clone())?;
+        }
+        Ok(out)
+    }
+
+    // -------------------------------------- explicit representation
+
+    /// The explicit relational representation: one row per
+    /// `(tuple, block)` pair — the original attributes, then one Boolean
+    /// indicator per attribute (`in_A`, …) saying whether the block
+    /// covers it, then the block color. Tuples with no blocks produce one
+    /// row with all indicators false and a unit color.
+    pub fn to_explicit(&self) -> Result<Relation, RelalgError> {
+        let mut attrs: Vec<String> = self.schema.attrs().to_vec();
+        for a in self.schema.attrs() {
+            attrs.push(format!("in_{a}"));
+        }
+        attrs.push("color".to_owned());
+        let mut out = Relation::empty(Schema::new(attrs)?);
+        for t in &self.tuples {
+            if t.blocks.is_empty() {
+                let mut row = t.values.clone();
+                row.extend(self.schema.attrs().iter().map(|_| Atom::Bool(false)));
+                row.push(Atom::Unit);
+                out.insert(row)?;
+            }
+            for b in &t.blocks {
+                let mut row = t.values.clone();
+                row.extend(
+                    self.schema
+                        .attrs()
+                        .iter()
+                        .map(|a| Atom::Bool(b.attrs.contains(a))),
+                );
+                row.push(Atom::Str(b.color.clone()));
+                out.insert(row)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a block relation from its explicit representation.
+    pub fn from_explicit(explicit: &Relation, arity: usize) -> Result<Self, RelalgError> {
+        let schema = Schema::new(explicit.schema().attrs()[..arity].to_vec())?;
+        let mut out = BlockRelation::empty(schema.clone());
+        for row in explicit.tuples() {
+            let values = row[..arity].to_vec();
+            let color = &row[row.len() - 1];
+            let blocks = match color {
+                Atom::Unit => Vec::new(),
+                Atom::Str(c) => {
+                    let attrs: BTreeSet<String> = schema
+                        .attrs()
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| row[arity + i] == Atom::Bool(true))
+                        .map(|(_, a)| a.clone())
+                        .collect();
+                    vec![Block { attrs, color: c.clone() }]
+                }
+                other => {
+                    return Err(RelalgError::TypeError(format!(
+                        "color column must be string or unit, got {other}"
+                    )))
+                }
+            };
+            out.insert(BlockTuple { values, blocks })?;
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for BlockRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            let cells: Vec<String> = t.values.iter().map(|v| v.to_string()).collect();
+            write!(f, "  {}", cells.join(" | "))?;
+            for b in &t.blocks {
+                let attrs: Vec<&str> = b.attrs.iter().map(String::as_str).collect();
+                write!(f, "  [{} on {}]", b.color, attrs.join(","))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    /// A gene table where a curator has annotated the relationship
+    /// between the key (gene) and the function column.
+    fn genes() -> BlockRelation {
+        BlockRelation::from_tuples(
+            Schema::new(["gene", "organism", "function"]).unwrap(),
+            [
+                BlockTuple {
+                    values: vec![
+                        Atom::Str("ywhah".into()),
+                        Atom::Str("human".into()),
+                        Atom::Str("activator".into()),
+                    ],
+                    blocks: vec![
+                        Block::new(["gene", "function"], "dubious"),
+                        Block::new(["organism"], "verified"),
+                    ],
+                },
+                BlockTuple {
+                    values: vec![
+                        Atom::Str("ywha1".into()),
+                        Atom::Str("human".into()),
+                        Atom::Str("unknown".into()),
+                    ],
+                    blocks: vec![Block::new(["gene"], "verified")],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_color_filters_by_block() {
+        let g = genes();
+        let dubious = g.select_color(Some("dubious"), None).unwrap();
+        assert_eq!(dubious.tuples().len(), 1);
+        let verified_gene = g.select_color(Some("verified"), Some("gene")).unwrap();
+        assert_eq!(verified_gene.tuples().len(), 1);
+        assert_eq!(verified_gene.tuples()[0].values[0], Atom::Str("ywha1".into()));
+        let any_on_function = g.select_color(None, Some("function")).unwrap();
+        assert_eq!(any_on_function.tuples().len(), 1);
+    }
+
+    #[test]
+    fn projection_clips_blocks() {
+        let g = genes();
+        let p = g.project(&["gene", "organism"]).unwrap();
+        // The dubious block on {gene, function} clips to {gene}.
+        let t0 = &p.tuples()[0];
+        assert!(t0
+            .blocks
+            .iter()
+            .any(|b| b.color == "dubious" && b.attrs.len() == 1 && b.attrs.contains("gene")));
+        // Projecting away everything a block covers drops it.
+        let q = g.project(&["organism"]).unwrap();
+        // Equal-valued tuples merged; the only blocks left mention organism.
+        assert!(q
+            .tuples()
+            .iter()
+            .flat_map(|t| &t.blocks)
+            .all(|b| b.attrs.contains("organism")));
+    }
+
+    #[test]
+    fn join_carries_blocks_from_both_sides() {
+        let g = genes();
+        let ref_rel = BlockRelation::from_tuples(
+            Schema::new(["organism", "taxon"]).unwrap(),
+            [BlockTuple {
+                values: vec![Atom::Str("human".into()), int(9606)],
+                blocks: vec![Block::new(["organism", "taxon"], "ncbi")],
+            }],
+        )
+        .unwrap();
+        let j = g.natural_join(&ref_rel).unwrap();
+        assert_eq!(j.tuples().len(), 2);
+        for t in j.tuples() {
+            assert!(t.blocks.iter().any(|b| b.color == "ncbi"));
+        }
+    }
+
+    #[test]
+    fn union_merges_blocks_of_equal_tuples() {
+        let a = BlockRelation::from_tuples(
+            Schema::new(["x"]).unwrap(),
+            [BlockTuple {
+                values: vec![int(1)],
+                blocks: vec![Block::new(["x"], "c1")],
+            }],
+        )
+        .unwrap();
+        let b = BlockRelation::from_tuples(
+            Schema::new(["x"]).unwrap(),
+            [BlockTuple {
+                values: vec![int(1)],
+                blocks: vec![Block::new(["x"], "c2")],
+            }],
+        )
+        .unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.tuples().len(), 1);
+        assert_eq!(u.tuples()[0].blocks.len(), 2);
+    }
+
+    #[test]
+    fn explicit_representation_round_trips() {
+        let g = genes();
+        let e = g.to_explicit().unwrap();
+        assert_eq!(
+            e.schema().attrs(),
+            ["gene", "organism", "function", "in_gene", "in_organism", "in_function", "color"]
+        );
+        assert_eq!(e.len(), 3, "one row per (tuple, block)");
+        let back = BlockRelation::from_explicit(&e, 3).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn explicit_representation_supports_ra_queries() {
+        // The completeness result of [40, 41]: color-algebra queries can
+        // be answered as RA over the explicit representation. Check one:
+        // select_color("verified", Some("gene")) ≡
+        //   π_values(σ_{color='verified' ∧ in_gene}(explicit)).
+        use cdb_relalg::{Database, RaExpr};
+        let g = genes();
+        let e = g.to_explicit().unwrap();
+        let db = Database::new().with("E", e);
+        let q = RaExpr::scan("E")
+            .select(
+                Pred::col_eq_const("color", "verified")
+                    .and(Pred::col_eq_const("in_gene", true)),
+            )
+            .project_cols(["gene", "organism", "function"]);
+        let via_explicit = cdb_relalg::eval::eval(&db, &q).unwrap();
+        let direct = g.select_color(Some("verified"), Some("gene")).unwrap();
+        let direct_values: std::collections::BTreeSet<Tuple> =
+            direct.tuples().iter().map(|t| t.values.clone()).collect();
+        assert_eq!(via_explicit.tuple_set(), direct_values);
+    }
+
+    #[test]
+    fn tuples_without_blocks_survive_the_round_trip() {
+        let r = BlockRelation::from_tuples(
+            Schema::new(["x"]).unwrap(),
+            [BlockTuple { values: vec![int(1)], blocks: vec![] }],
+        )
+        .unwrap();
+        let e = r.to_explicit().unwrap();
+        assert_eq!(e.len(), 1);
+        let back = BlockRelation::from_explicit(&e, 1).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn invalid_block_attrs_rejected() {
+        let mut r = BlockRelation::empty(Schema::new(["x"]).unwrap());
+        let t = BlockTuple {
+            values: vec![int(1)],
+            blocks: vec![Block::new(["nope"], "c")],
+        };
+        assert!(r.insert(t).is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Dependency provenance (§4.2, after Cheney–Ahmed–Acar \[22, 24\]).
+//!
+//! Program-slicing-style provenance: annotate each part of the output
+//! with (a superset of) the input parts **on which it depends** — if an
+//! input part is not in the annotation, changing it cannot change the
+//! output part. This is *dependency-correctness*. It differs from
+//! where-provenance: a selected tuple's cells depend on the cells the
+//! selection predicate read, even though no value was copied from them —
+//! the contrast the tests below make concrete (the default
+//! where-provenance scheme is **not** dependency-correct).
+//!
+//! Minimal dependency annotations are uncomputable (\[24\]); this module
+//! computes the standard sound over-approximation: per-cell dependency
+//! sets, where tuple-existence dependencies (predicate and join-key
+//! cells) are distributed over the tuple's cells.
+
+use cdb_relalg::expr::{ProjSource, RaExpr};
+use cdb_relalg::{Operand, RelalgError, Schema, Tuple};
+
+use crate::colored::{ColoredDatabase, ColoredRelation, ColoredTuple, Colors};
+
+/// Evaluates a positive RA expression with dependency-provenance
+/// semantics: output cells carry the colors of every input cell they
+/// depend on (value sources, selection-predicate cells, join cells).
+pub fn eval_dependency(
+    db: &ColoredDatabase,
+    expr: &RaExpr,
+) -> Result<ColoredRelation, RelalgError> {
+    if !expr.is_positive() {
+        return Err(RelalgError::UpdateError(
+            "dependency provenance is defined for positive queries".to_owned(),
+        ));
+    }
+    eval_inner(db, expr)
+}
+
+fn eval_inner(db: &ColoredDatabase, expr: &RaExpr) -> Result<ColoredRelation, RelalgError> {
+    match expr {
+        RaExpr::Scan(name) => Ok(db.get(name)?.clone()),
+        RaExpr::ScanAs(name, alias) => {
+            let base = db.get(name)?;
+            let qualified = base.schema().qualified(alias);
+            let mut out = ColoredRelation::empty(qualified);
+            for t in base.tuples() {
+                out.insert(t.clone())?;
+            }
+            Ok(out)
+        }
+        RaExpr::Select(e, pred) => {
+            let input = eval_inner(db, e)?;
+            let pred_cols = predicate_columns(input.schema(), pred)?;
+            let mut out = ColoredRelation::empty(input.schema().clone());
+            for t in input.tuples() {
+                if pred.eval(input.schema(), &t.values)? {
+                    let mut t = t.clone();
+                    // The tuple's survival depends on the predicate
+                    // cells: distribute those deps over every cell.
+                    let mut pred_deps = Colors::new();
+                    for &i in &pred_cols {
+                        pred_deps.extend(t.colors[i].iter().cloned());
+                    }
+                    for cs in &mut t.colors {
+                        cs.extend(pred_deps.iter().cloned());
+                    }
+                    out.insert(t)?;
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Project(e, items) => {
+            let input = eval_inner(db, e)?;
+            let schema = Schema::new(items.iter().map(|i| i.name.clone()))?;
+            let mut out = ColoredRelation::empty(schema);
+            for t in input.tuples() {
+                let mut values: Tuple = Vec::with_capacity(items.len());
+                let mut colors: Vec<Colors> = Vec::with_capacity(items.len());
+                for item in items {
+                    match &item.source {
+                        ProjSource::Col(c) => {
+                            let i = input.schema().resolve(c)?;
+                            values.push(t.values[i].clone());
+                            colors.push(t.colors[i].clone());
+                        }
+                        ProjSource::Const(a) => {
+                            values.push(a.clone());
+                            colors.push(Colors::new());
+                        }
+                    }
+                }
+                out.insert(ColoredTuple { values, colors })?;
+            }
+            Ok(out)
+        }
+        RaExpr::Product(a, b) => {
+            let left = eval_inner(db, a)?;
+            let right = eval_inner(db, b)?;
+            let schema = Schema::new(
+                left.schema()
+                    .attrs()
+                    .iter()
+                    .chain(right.schema().attrs())
+                    .cloned(),
+            )?;
+            let mut out = ColoredRelation::empty(schema);
+            for lt in left.tuples() {
+                for rt in right.tuples() {
+                    let mut values = lt.values.clone();
+                    values.extend(rt.values.iter().cloned());
+                    let mut colors = lt.colors.clone();
+                    colors.extend(rt.colors.iter().cloned());
+                    out.insert(ColoredTuple { values, colors })?;
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::NaturalJoin(a, b) => {
+            let left = eval_inner(db, a)?;
+            let right = eval_inner(db, b)?;
+            let shared = cdb_relalg::eval::shared_attrs(left.schema(), right.schema());
+            let right_kept: Vec<usize> = (0..right.schema().arity())
+                .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
+                .collect();
+            let attrs: Vec<String> = left
+                .schema()
+                .attrs()
+                .iter()
+                .cloned()
+                .chain(right_kept.iter().map(|&j| right.schema().attrs()[j].clone()))
+                .collect();
+            let mut out = ColoredRelation::empty(Schema::new(attrs)?);
+            for lt in left.tuples() {
+                for rt in right.tuples() {
+                    if shared.iter().all(|&(i, j)| lt.values[i] == rt.values[j]) {
+                        // The joined tuple's existence depends on both
+                        // sides' join cells.
+                        let mut join_deps = Colors::new();
+                        for &(i, j) in &shared {
+                            join_deps.extend(lt.colors[i].iter().cloned());
+                            join_deps.extend(rt.colors[j].iter().cloned());
+                        }
+                        let mut values = lt.values.clone();
+                        values.extend(right_kept.iter().map(|&j| rt.values[j].clone()));
+                        let mut colors = lt.colors.clone();
+                        colors.extend(right_kept.iter().map(|&j| rt.colors[j].clone()));
+                        for cs in &mut colors {
+                            cs.extend(join_deps.iter().cloned());
+                        }
+                        out.insert(ColoredTuple { values, colors })?;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union(a, b) => {
+            let left = eval_inner(db, a)?;
+            let right = eval_inner(db, b)?;
+            if !left.schema().union_compatible(right.schema()) {
+                return Err(RelalgError::SchemaMismatch {
+                    left: left.schema().attrs().to_vec(),
+                    right: right.schema().attrs().to_vec(),
+                });
+            }
+            let mut out = left;
+            for t in right.tuples() {
+                out.insert(t.clone())?;
+            }
+            Ok(out)
+        }
+        RaExpr::Rename(e, pairs) => {
+            let input = eval_inner(db, e)?;
+            let mut attrs: Vec<String> = input.schema().attrs().to_vec();
+            for (old, new) in pairs {
+                let i = input.schema().resolve(old)?;
+                attrs[i] = new.clone();
+            }
+            let mut out = ColoredRelation::empty(Schema::new(attrs)?);
+            for t in input.tuples() {
+                out.insert(t.clone())?;
+            }
+            Ok(out)
+        }
+        RaExpr::Diff(_, _) => unreachable!("rejected by positivity check"),
+    }
+}
+
+/// The column indices a predicate reads.
+fn predicate_columns(
+    schema: &Schema,
+    pred: &cdb_relalg::Pred,
+) -> Result<Vec<usize>, RelalgError> {
+    fn walk(
+        schema: &Schema,
+        pred: &cdb_relalg::Pred,
+        out: &mut Vec<usize>,
+    ) -> Result<(), RelalgError> {
+        match pred {
+            cdb_relalg::Pred::True => Ok(()),
+            cdb_relalg::Pred::Cmp { left, right, .. } => {
+                for op in [left, right] {
+                    if let Operand::Col(c) = op {
+                        out.push(schema.resolve(c)?);
+                    }
+                }
+                Ok(())
+            }
+            cdb_relalg::Pred::And(a, b) | cdb_relalg::Pred::Or(a, b) => {
+                walk(schema, a, out)?;
+                walk(schema, b, out)
+            }
+            cdb_relalg::Pred::Not(p) => walk(schema, p, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk(schema, pred, &mut out)?;
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colored::{eval_colored, Scheme};
+    use cdb_model::Atom;
+    use cdb_relalg::eval::eval as plain_eval;
+    use cdb_relalg::{Database, Pred, RaExpr, Relation};
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    fn db() -> Database {
+        Database::new()
+            .with(
+                "R",
+                Relation::table(
+                    ["A", "B"],
+                    [vec![int(1), int(10)], vec![int(2), int(20)], vec![int(3), int(10)]],
+                )
+                .unwrap(),
+            )
+            .with(
+                "S",
+                Relation::table(["B", "C"], [vec![int(10), int(7)], vec![int(20), int(8)]])
+                    .unwrap(),
+            )
+    }
+
+    /// Dependency-correctness, checked dynamically: perturb each input
+    /// cell in turn; every output cell that changes (or whose tuple
+    /// appears/disappears) must carry the perturbed cell's color.
+    fn check_dependency_correct(base: &Database, q: &RaExpr) {
+        let cdb = ColoredDatabase::distinctly_colored(base);
+        let annotated = eval_dependency(&cdb, q).unwrap();
+        let base_out = plain_eval(base, q).unwrap();
+        // Enumerate input cells with their colors.
+        for (rel_name, rel) in base.iter() {
+            let colored_rel = cdb.get(rel_name).unwrap();
+            for (ti, t) in rel.tuples().iter().enumerate() {
+                for ai in 0..rel.schema().arity() {
+                    let color = colored_rel.tuples()[ti].colors[ai]
+                        .iter()
+                        .next()
+                        .unwrap()
+                        .clone();
+                    // Perturb this one cell to a fresh value.
+                    let mut db2 = base.clone();
+                    {
+                        let r = db2.get_mut(rel_name).unwrap();
+                        let schema = r.schema().clone();
+                        let mut rows: Vec<Tuple> = r.tuples().to_vec();
+                        rows[ti][ai] = int(999);
+                        *r = Relation::from_rows(schema, rows).unwrap();
+                    }
+                    let new_out = plain_eval(&db2, q).unwrap();
+                    // Output tuples that vanished or changed: each of
+                    // their cells' annotations must mention `color`.
+                    for t_out in base_out.tuples() {
+                        if new_out.contains(t_out) {
+                            continue; // unchanged tuple: no constraint
+                        }
+                        let ct = annotated
+                            .tuples()
+                            .iter()
+                            .find(|c| &c.values == t_out)
+                            .expect("annotated output covers base output");
+                        let mentioned =
+                            ct.colors.iter().any(|cs| cs.contains(&color));
+                        assert!(
+                            mentioned,
+                            "output tuple {t_out:?} changed when perturbing \
+                             {rel_name}[{ti}].{ai} ({color}), but no cell \
+                             depends on it"
+                        );
+                    }
+                    let _ = t;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_dependencies_include_predicate_cells() {
+        let base = db();
+        let q = RaExpr::scan("R")
+            .select(Pred::col_eq_const("B", 10))
+            .project_cols(["A"]);
+        let cdb = ColoredDatabase::distinctly_colored(&base);
+        let dep = eval_dependency(&cdb, &q).unwrap();
+        // Output (A=1) depends on R[0].A AND R[0].B (the predicate cell).
+        let cs = dep.cell_colors(&vec![int(1)], "A").unwrap();
+        assert!(cs.contains("R.b1"), "value source");
+        assert!(cs.contains("R.b2"), "predicate cell");
+        // Where-provenance (default scheme) carries only the copy.
+        let wp = eval_colored(&cdb, &q, &Scheme::Default).unwrap();
+        let wcs = wp.cell_colors(&vec![int(1)], "A").unwrap();
+        assert!(wcs.contains("R.b1"));
+        assert!(!wcs.contains("R.b2"), "where-provenance ≠ dependency");
+    }
+
+    #[test]
+    fn join_dependencies_include_both_join_cells() {
+        let base = db();
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S")).project_cols(["C"]);
+        let cdb = ColoredDatabase::distinctly_colored(&base);
+        let dep = eval_dependency(&cdb, &q).unwrap();
+        // C=7 joins via B=10 (R rows 1 and 3, S row 1): its deps include
+        // the B cells of both sides.
+        let cs = dep.cell_colors(&vec![int(7)], "C").unwrap();
+        assert!(cs.contains("S.b2"), "C's own source");
+        assert!(cs.contains("S.b1"), "S join cell");
+        assert!(cs.contains("R.b2"), "R join cell (row 1)");
+    }
+
+    #[test]
+    fn dependency_annotations_are_dependency_correct() {
+        let base = db();
+        for q in [
+            RaExpr::scan("R").select(Pred::col_eq_const("B", 10)),
+            RaExpr::scan("R")
+                .select(Pred::col_eq_const("B", 10))
+                .project_cols(["A"]),
+            RaExpr::scan("R").natural_join(RaExpr::scan("S")),
+            RaExpr::scan("R").natural_join(RaExpr::scan("S")).project_cols(["C"]),
+            RaExpr::scan("R").project_cols(["B"]).union(
+                RaExpr::scan("S").project_cols(["B"]),
+            ),
+        ] {
+            check_dependency_correct(&base, &q);
+        }
+    }
+
+    /// The §4.2 contrast: the *where-provenance* default scheme is NOT
+    /// dependency-correct — perturbing a predicate cell changes the
+    /// output, yet no output cell mentions it.
+    #[test]
+    fn where_provenance_is_not_dependency_correct() {
+        let base = db();
+        let q = RaExpr::scan("R")
+            .select(Pred::col_eq_const("B", 10))
+            .project_cols(["A"]);
+        let cdb = ColoredDatabase::distinctly_colored(&base);
+        let wp = eval_colored(&cdb, &q, &Scheme::Default).unwrap();
+        // Perturb R[0].B (color R.b2): tuple (A=1) vanishes from output.
+        let mut db2 = base.clone();
+        {
+            let r = db2.get_mut("R").unwrap();
+            let schema = r.schema().clone();
+            let mut rows: Vec<Tuple> = r.tuples().to_vec();
+            rows[0][1] = int(999);
+            *r = Relation::from_rows(schema, rows).unwrap();
+        }
+        let new_out = plain_eval(&db2, &q).unwrap();
+        assert!(!new_out.contains(&vec![int(1)]), "output changed");
+        let cs = wp.cell_colors(&vec![int(1)], "A").unwrap();
+        assert!(!cs.contains("R.b2"), "…but where-provenance never mentions R.b2");
+    }
+
+}

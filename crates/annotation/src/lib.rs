@@ -1,0 +1,42 @@
+//! # cdb-annotation
+//!
+//! Annotation propagation and where-provenance (§2 of *Curated
+//! Databases*):
+//!
+//! * [`colored`] — flat relations whose *cells* carry sets of colors,
+//!   with the three propagation schemes of the DBNotes line of work
+//!   \[8, 26\]: the **default** scheme (annotations follow where values
+//!   are copied from — under which the classically-equivalent queries Q1
+//!   and Q2 of §2.1 behave differently), the **DEFAULT-ALL** scheme
+//!   (annotations of values explicitly equated by the query are merged —
+//!   restoring agreement between equivalent queries), and **custom**
+//!   propagation (annotations steered explicitly).
+//! * [`nested`] — colored complex objects and the implicit
+//!   where-provenance of §2.3 \[14\]: every part of a value (base values,
+//!   tuples, tables) carries a color; queries propagate colors, construct
+//!   ⊥-colored values, and are characterized by the *copying*, *bounded
+//!   inventing* and *color propagating* conditions, all of which are
+//!   checkable here. Includes the explicit `(V:…, C:…)` representation
+//!   and the worked Figure 2 examples.
+//! * [`reverse`] — reverse propagation of annotations (§2.2 \[17, 27\]):
+//!   side-effect-free annotation placements, the key-preserving fast
+//!   path, and the related view-deletion problem solved through
+//!   why-provenance witnesses.
+//! * [`blocks`] — block annotations and the color algebra of MONDRIAN
+//!   \[40, 41\]: annotations on *sets* of cells within a tuple (modeling
+//!   "the curator's opinion of the relationship between the value and
+//!   the key"), with the explicit relational representation the
+//!   completeness results are stated against.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blocks;
+pub mod colored;
+pub mod dependency;
+pub mod nested;
+pub mod reverse;
+
+pub use colored::{ColoredDatabase, ColoredRelation, ColoredTuple, Scheme};
+pub use nested::{CNode, Colored};
+pub use reverse::{find_placements, view_deletions, Placement};

@@ -1,0 +1,623 @@
+//! Colored complex objects and implicit where-provenance (§2.3, \[14\]).
+//!
+//! Every part of a value — base values, tuples (records), tables (sets)
+//! — carries a color or ⊥ ("constructed by the query"). This module
+//! provides:
+//!
+//! * the colored value type [`Colored`],
+//! * the query operations of Figure 2 (selection preserving whole tuples
+//!   and their colors, projection constructing fresh ⊥ tuples around
+//!   copied cells),
+//! * the explicit `(V: value, C: color)` representation and its
+//!   round-trip,
+//! * checkers for the three semantic conditions of \[14\]: **copying**,
+//!   **bounded inventing**, and **color propagation**, plus the weaker
+//!   **kind preservation** used for update languages in §3.1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdb_model::{Atom, Value};
+use cdb_relalg::{Pred, RelalgError, Schema, Tuple};
+
+/// A color, or ⊥ when `None`.
+pub type ColorTag = Option<String>;
+
+/// A complex object in which *every* part carries a [`ColorTag`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Colored {
+    /// This part's color (`None` = ⊥, constructed by the query).
+    pub color: ColorTag,
+    /// The part's structure.
+    pub node: CNode,
+}
+
+/// The structure of a colored value. Sets are represented as sequences
+/// because two elements may differ only in color (Figure 2's π_B output);
+/// the paper notes this "is equivalent to one tuple annotated with a set
+/// of colors".
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CNode {
+    /// An atomic value.
+    Atom(Atom),
+    /// A record of colored fields.
+    Record(BTreeMap<String, Colored>),
+    /// An (annotated) set of colored values.
+    Set(Vec<Colored>),
+}
+
+impl Colored {
+    /// A colored atom.
+    pub fn atom(a: impl Into<Atom>, color: impl Into<String>) -> Self {
+        Colored { color: Some(color.into()), node: CNode::Atom(a.into()) }
+    }
+
+    /// An invented (⊥) atom.
+    pub fn invented_atom(a: impl Into<Atom>) -> Self {
+        Colored { color: None, node: CNode::Atom(a.into()) }
+    }
+
+    /// A colored record.
+    pub fn record<L: Into<String>>(
+        fields: impl IntoIterator<Item = (L, Colored)>,
+        color: ColorTag,
+    ) -> Self {
+        Colored {
+            color,
+            node: CNode::Record(fields.into_iter().map(|(l, v)| (l.into(), v)).collect()),
+        }
+    }
+
+    /// A colored set.
+    pub fn set(items: impl IntoIterator<Item = Colored>, color: ColorTag) -> Self {
+        Colored { color, node: CNode::Set(items.into_iter().collect()) }
+    }
+
+    /// Strips colors, recovering the plain value. Set elements that
+    /// collapse to equal plain values are merged (set semantics).
+    pub fn strip(&self) -> Value {
+        match &self.node {
+            CNode::Atom(a) => Value::Atom(a.clone()),
+            CNode::Record(m) => {
+                Value::Record(m.iter().map(|(l, v)| (l.clone(), v.strip())).collect())
+            }
+            CNode::Set(xs) => Value::Set(xs.iter().map(Colored::strip).collect()),
+        }
+    }
+
+    /// Colors every part of a plain value with distinct colors
+    /// `prefix1, prefix2, …` in depth-first order.
+    pub fn distinct(value: &Value, prefix: &str) -> Colored {
+        let mut n = 0;
+        Self::distinct_inner(value, prefix, &mut n)
+    }
+
+    fn distinct_inner(value: &Value, prefix: &str, n: &mut usize) -> Colored {
+        *n += 1;
+        let color = Some(format!("{prefix}{n}"));
+        let node = match value {
+            Value::Atom(a) => CNode::Atom(a.clone()),
+            Value::Record(m) => CNode::Record(
+                m.iter()
+                    .map(|(l, v)| (l.clone(), Self::distinct_inner(v, prefix, n)))
+                    .collect(),
+            ),
+            Value::Set(s) => {
+                CNode::Set(s.iter().map(|v| Self::distinct_inner(v, prefix, n)).collect())
+            }
+            Value::List(xs) => CNode::Set(
+                xs.iter().map(|v| Self::distinct_inner(v, prefix, n)).collect(),
+            ),
+        };
+        Colored { color, node }
+    }
+
+    /// All `(color, plain value)` pairs of colored (non-⊥) parts.
+    pub fn colored_parts(&self) -> Vec<(String, Value)> {
+        let mut out = Vec::new();
+        self.collect_colored(&mut out);
+        out
+    }
+
+    fn collect_colored(&self, out: &mut Vec<(String, Value)>) {
+        if let Some(c) = &self.color {
+            out.push((c.clone(), self.strip()));
+        }
+        match &self.node {
+            CNode::Atom(_) => {}
+            CNode::Record(m) => {
+                for v in m.values() {
+                    v.collect_colored(out);
+                }
+            }
+            CNode::Set(xs) => {
+                for v in xs {
+                    v.collect_colored(out);
+                }
+            }
+        }
+    }
+
+    /// The number of ⊥-colored parts (used by the bounded-inventing
+    /// check).
+    pub fn invented_count(&self) -> usize {
+        let here = usize::from(self.color.is_none());
+        here + match &self.node {
+            CNode::Atom(_) => 0,
+            CNode::Record(m) => m.values().map(Colored::invented_count).sum(),
+            CNode::Set(xs) => xs.iter().map(Colored::invented_count).sum(),
+        }
+    }
+
+    /// Renames every color through `f` (⊥ stays ⊥). Queries must commute
+    /// with this for any `f` — the *color propagation* condition.
+    pub fn recolor(&self, f: &impl Fn(&str) -> String) -> Colored {
+        Colored {
+            color: self.color.as_deref().map(f),
+            node: match &self.node {
+                CNode::Atom(a) => CNode::Atom(a.clone()),
+                CNode::Record(m) => CNode::Record(
+                    m.iter().map(|(l, v)| (l.clone(), v.recolor(f))).collect(),
+                ),
+                CNode::Set(xs) => CNode::Set(xs.iter().map(|v| v.recolor(f)).collect()),
+            },
+        }
+    }
+
+    /// The explicit representation of §2.3: each part becomes a record
+    /// `(V: structure, C: color)`, with ⊥ encoded as the unit atom. E.g.
+    /// `50♭2` becomes `(V: 50, C: "♭2")`.
+    pub fn to_explicit(&self) -> Value {
+        let c = match &self.color {
+            Some(c) => Value::str(c.clone()),
+            None => Value::unit(),
+        };
+        let v = match &self.node {
+            CNode::Atom(a) => Value::Atom(a.clone()),
+            CNode::Record(m) => Value::Record(
+                m.iter().map(|(l, x)| (l.clone(), x.to_explicit())).collect(),
+            ),
+            CNode::Set(xs) => Value::list(xs.iter().map(Colored::to_explicit)),
+        };
+        Value::record([("V", v), ("C", c)])
+    }
+
+    /// Parses the explicit representation back. Fails on malformed
+    /// encodings.
+    pub fn from_explicit(value: &Value) -> Result<Colored, RelalgError> {
+        let rec = value.as_record().ok_or_else(|| malformed("not a (V,C) record"))?;
+        let c = rec.get("C").ok_or_else(|| malformed("missing C"))?;
+        let v = rec.get("V").ok_or_else(|| malformed("missing V"))?;
+        let color = match c {
+            Value::Atom(Atom::Unit) => None,
+            Value::Atom(Atom::Str(s)) => Some(s.clone()),
+            _ => return Err(malformed("C must be a string or unit")),
+        };
+        let node = match v {
+            Value::Atom(a) => CNode::Atom(a.clone()),
+            Value::Record(m) => CNode::Record(
+                m.iter()
+                    .map(|(l, x)| Ok((l.clone(), Colored::from_explicit(x)?)))
+                    .collect::<Result<_, RelalgError>>()?,
+            ),
+            Value::List(xs) => CNode::Set(
+                xs.iter().map(Colored::from_explicit).collect::<Result<_, _>>()?,
+            ),
+            Value::Set(_) => return Err(malformed("explicit sets are encoded as lists")),
+        };
+        Ok(Colored { color, node })
+    }
+}
+
+fn malformed(msg: &str) -> RelalgError {
+    RelalgError::UpdateError(format!("malformed explicit colored value: {msg}"))
+}
+
+impl fmt::Display for Colored {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.node {
+            CNode::Atom(a) => write!(f, "{a}")?,
+            CNode::Record(m) => {
+                write!(f, "(")?;
+                for (i, (l, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}: {v}")?;
+                }
+                write!(f, ")")?;
+            }
+            CNode::Set(xs) => {
+                write!(f, "{{")?;
+                for (i, v) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")?;
+            }
+        }
+        match &self.color {
+            Some(c) => write!(f, "^{c}"),
+            None => write!(f, "^⊥"),
+        }
+    }
+}
+
+// ------------------------------------------------------- table queries
+
+/// A colored *table*: a colored set of colored records of colored atoms,
+/// with a relational schema for predicate evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoredTable {
+    /// The relational schema of the records.
+    pub schema: Schema,
+    /// The table value (must be a `CNode::Set` of records).
+    pub table: Colored,
+}
+
+impl ColoredTable {
+    /// Builds a fully-distinctly-colored table from rows: cells get
+    /// colors `b1, b2, …` row-major, tuples get `t1, t2, …`, the table
+    /// gets `tab` — the annotation convention of Figure 2.
+    pub fn figure2_style(schema: Schema, rows: &[Tuple]) -> Self {
+        let mut cell = 0;
+        let elems: Vec<Colored> = rows
+            .iter()
+            .enumerate()
+            .map(|(ti, row)| {
+                let fields: Vec<(String, Colored)> = schema
+                    .attrs()
+                    .iter()
+                    .zip(row)
+                    .map(|(a, v)| {
+                        cell += 1;
+                        (a.clone(), Colored::atom(v.clone(), format!("b{cell}")))
+                    })
+                    .collect();
+                Colored::record(fields, Some(format!("t{}", ti + 1)))
+            })
+            .collect();
+        ColoredTable {
+            schema,
+            table: Colored::set(elems, Some("tab".to_owned())),
+        }
+    }
+
+    fn rows(&self) -> &[Colored] {
+        match &self.table.node {
+            CNode::Set(xs) => xs,
+            _ => &[],
+        }
+    }
+
+    fn row_tuple(&self, row: &Colored) -> Result<Tuple, RelalgError> {
+        let CNode::Record(m) = &row.node else {
+            return Err(malformed("table rows must be records"));
+        };
+        self.schema
+            .attrs()
+            .iter()
+            .map(|a| {
+                let cell = m.get(a).ok_or_else(|| malformed("missing attribute"))?;
+                match &cell.node {
+                    CNode::Atom(atom) => Ok(atom.clone()),
+                    _ => Err(malformed("cells must be atomic")),
+                }
+            })
+            .collect()
+    }
+
+    /// Selection σ_pred: keeps satisfying rows *in their entirety* —
+    /// "a tuple that is preserved in its entirety (e.g. SQL's SELECT *)
+    /// retains its provenance" — while the output table itself is newly
+    /// constructed (⊥).
+    pub fn select(&self, pred: &Pred) -> Result<ColoredTable, RelalgError> {
+        let mut kept = Vec::new();
+        for row in self.rows() {
+            if pred.eval(&self.schema, &self.row_tuple(row)?)? {
+                kept.push(row.clone());
+            }
+        }
+        Ok(ColoredTable {
+            schema: self.schema.clone(),
+            table: Colored::set(kept, None),
+        })
+    }
+
+    /// Projection π_cols: copies the selected cells (keeping their
+    /// colors) into *newly constructed* (⊥) records inside a newly
+    /// constructed (⊥) table — Figure 2's right-hand example.
+    pub fn project(&self, cols: &[&str]) -> Result<ColoredTable, RelalgError> {
+        let schema = Schema::new(cols.iter().map(|c| (*c).to_owned()))?;
+        let mut out = Vec::new();
+        for row in self.rows() {
+            let CNode::Record(m) = &row.node else {
+                return Err(malformed("table rows must be records"));
+            };
+            let fields: Vec<(String, Colored)> = cols
+                .iter()
+                .map(|c| {
+                    let cell = m
+                        .get(*c)
+                        .cloned()
+                        .ok_or_else(|| malformed("missing attribute"))?;
+                    Ok(((*c).to_owned(), cell))
+                })
+                .collect::<Result<_, RelalgError>>()?;
+            out.push(Colored::record(fields, None));
+        }
+        Ok(ColoredTable { schema, table: Colored::set(out, None) })
+    }
+}
+
+// --------------------------------------------------- semantic conditions
+
+/// A violation of one of the provenance conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionViolation {
+    /// A color appears in the output on a different value than in the
+    /// input (or does not appear in the input at all).
+    Copying {
+        /// The offending color.
+        color: String,
+        /// What the color is attached to in the output.
+        output_value: Value,
+        /// What it was attached to in the input (`None` = nowhere).
+        input_value: Option<Value>,
+    },
+    /// Output and input parts share a color but differ in kind, or the
+    /// atoms differ (kind preservation, the update-language condition).
+    Kind {
+        /// The offending color.
+        color: String,
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+/// Checks the **copying** condition: every color in the output appears in
+/// the input *on the same value*. (Assumes input colors are distinct,
+/// which [`Colored::distinct`] and [`ColoredTable::figure2_style`]
+/// guarantee.)
+pub fn check_copying(input: &Colored, output: &Colored) -> Result<(), ConditionViolation> {
+    let input_map: BTreeMap<String, Value> = input.colored_parts().into_iter().collect();
+    for (color, value) in output.colored_parts() {
+        match input_map.get(&color) {
+            Some(v) if *v == value => {}
+            other => {
+                return Err(ConditionViolation::Copying {
+                    color,
+                    output_value: value,
+                    input_value: other.cloned(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks **kind preservation** (§3.1): parts sharing a color must have
+/// the same kind, and equal atoms if atomic — but records may gain/lose
+/// fields and sets may gain/lose elements.
+pub fn check_kind_preservation(
+    input: &Colored,
+    output: &Colored,
+) -> Result<(), ConditionViolation> {
+    let mut input_map: BTreeMap<String, (&CNode, Value)> = BTreeMap::new();
+    collect_nodes(input, &mut input_map);
+    let mut output_map: BTreeMap<String, (&CNode, Value)> = BTreeMap::new();
+    collect_nodes(output, &mut output_map);
+    for (color, (onode, _)) in &output_map {
+        if let Some((inode, _)) = input_map.get(color) {
+            let ok = match (inode, onode) {
+                (CNode::Atom(a), CNode::Atom(b)) => a == b,
+                (CNode::Record(_), CNode::Record(_)) => true,
+                (CNode::Set(_), CNode::Set(_)) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(ConditionViolation::Kind {
+                    color: color.clone(),
+                    detail: "kind or atom mismatch between input and output".to_owned(),
+                });
+            }
+        } else {
+            return Err(ConditionViolation::Kind {
+                color: color.clone(),
+                detail: "output color does not occur in input".to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn collect_nodes<'a>(c: &'a Colored, out: &mut BTreeMap<String, (&'a CNode, Value)>) {
+    if let Some(col) = &c.color {
+        out.insert(col.clone(), (&c.node, c.strip()));
+    }
+    match &c.node {
+        CNode::Atom(_) => {}
+        CNode::Record(m) => {
+            for v in m.values() {
+                collect_nodes(v, out);
+            }
+        }
+        CNode::Set(xs) => {
+            for v in xs {
+                collect_nodes(v, out);
+            }
+        }
+    }
+}
+
+/// Checks **color propagation** on a sample: the query commutes with the
+/// (not necessarily injective) recoloring `f`.
+pub fn check_color_propagation(
+    query: impl Fn(&Colored) -> Colored,
+    input: &Colored,
+    f: &impl Fn(&str) -> String,
+) -> bool {
+    query(&input.recolor(f)) == query(input).recolor(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    /// Figure 2's R: {(A:10^b1, B:50^b2)^t1, (A:12^b3, B:50^b4)^t2}^tab.
+    /// (The paper's ♭5, ♭6, ♭7 are our t1, t2, tab.)
+    fn figure2_r() -> ColoredTable {
+        ColoredTable::figure2_style(
+            Schema::new(["A", "B"]).unwrap(),
+            &[vec![int(10), int(50)], vec![int(12), int(50)]],
+        )
+    }
+
+    #[test]
+    fn figure2_selection_preserves_tuple_colors() {
+        let r = figure2_r();
+        let out = r.select(&Pred::col_eq_const("A", 10)).unwrap();
+        // Output table is freshly constructed: ⊥.
+        assert_eq!(out.table.color, None);
+        let CNode::Set(rows) = &out.table.node else { panic!() };
+        assert_eq!(rows.len(), 1);
+        // The kept tuple retains its color t1, and its cells b1, b2.
+        assert_eq!(rows[0].color.as_deref(), Some("t1"));
+        assert_eq!(
+            rows[0].to_string(),
+            "(A: 10^b1, B: 50^b2)^t1"
+        );
+    }
+
+    #[test]
+    fn figure2_projection_invents_tuples_but_copies_cells() {
+        let r = figure2_r();
+        let out = r.project(&["B"]).unwrap();
+        assert_eq!(out.table.color, None);
+        let CNode::Set(rows) = &out.table.node else { panic!() };
+        // Two tuples that differ only in their cell colors: 50^b2 and
+        // 50^b4, each inside a ⊥ record.
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].to_string(), "(B: 50^b2)^⊥");
+        assert_eq!(rows[1].to_string(), "(B: 50^b4)^⊥");
+    }
+
+    #[test]
+    fn figure2_queries_satisfy_copying() {
+        let r = figure2_r();
+        let sel = r.select(&Pred::col_eq_const("A", 10)).unwrap();
+        check_copying(&r.table, &sel.table).unwrap();
+        let proj = r.project(&["B"]).unwrap();
+        check_copying(&r.table, &proj.table).unwrap();
+    }
+
+    #[test]
+    fn copying_rejects_color_swaps() {
+        // An explicit query could attach b1 to a different value — e.g.
+        // "we cannot have 7^bi in the output and 6^bi in the input."
+        let input = Colored::set([Colored::atom(6, "bi")], Some("t".into()));
+        let output = Colored::set([Colored::atom(7, "bi")], None);
+        let err = check_copying(&input, &output).unwrap_err();
+        assert!(matches!(err, ConditionViolation::Copying { .. }));
+    }
+
+    #[test]
+    fn copying_rejects_preserved_tuple_with_changed_component() {
+        // The paper's (A: 7^⊥, B: 8^bi)^bj example: the tuple keeps its
+        // color bj but its A component changed — not a copy.
+        let input = Colored::record(
+            [
+                ("A", Colored::atom(6, "ba")),
+                ("B", Colored::atom(8, "bi")),
+            ],
+            Some("bj".into()),
+        );
+        let output = Colored::record(
+            [
+                ("A", Colored::invented_atom(7)),
+                ("B", Colored::atom(8, "bi")),
+            ],
+            Some("bj".into()),
+        );
+        assert!(check_copying(&input, &output).is_err());
+        // …but it IS kind-preserving: same record kind under bj.
+        check_kind_preservation(&input, &output).unwrap();
+    }
+
+    #[test]
+    fn bounded_inventing_counts() {
+        let r = figure2_r();
+        let proj = r.project(&["B"]).unwrap();
+        // 1 table + 2 records invented; cell copies keep colors.
+        assert_eq!(proj.table.invented_count(), 3);
+    }
+
+    #[test]
+    fn selection_commutes_with_recoloring() {
+        let r = figure2_r();
+        let f = |c: &str| format!("{c}{c}"); // non-injective-ish rename
+        let query = |t: &Colored| {
+            ColoredTable { schema: r.schema.clone(), table: t.clone() }
+                .select(&Pred::col_eq_const("A", 10))
+                .unwrap()
+                .table
+        };
+        assert!(check_color_propagation(query, &r.table, &f));
+    }
+
+    #[test]
+    fn color_comparing_query_violates_propagation() {
+        // A query that branches on the color value is not
+        // color-propagating.
+        let input = Colored::set([Colored::atom(1, "x")], Some("t".into()));
+        let query = |c: &Colored| {
+            let CNode::Set(xs) = &c.node else { panic!() };
+            let keep: Vec<Colored> = xs
+                .iter()
+                .filter(|e| e.color.as_deref() == Some("x")) // compares colors!
+                .cloned()
+                .collect();
+            Colored::set(keep, None)
+        };
+        let f = |_: &str| "y".to_owned();
+        assert!(!check_color_propagation(query, &input, &f));
+    }
+
+    #[test]
+    fn explicit_representation_round_trips() {
+        let r = figure2_r();
+        let explicit = r.table.to_explicit();
+        // Spot-check the encoding of 50^b2 as (V:50, C:"b2").
+        let s = explicit.to_string();
+        assert!(s.contains("(C: \"b2\", V: 50)"), "got {s}");
+        let back = Colored::from_explicit(&explicit).unwrap();
+        assert_eq!(back, r.table);
+    }
+
+    #[test]
+    fn from_explicit_rejects_malformed() {
+        assert!(Colored::from_explicit(&Value::int(3)).is_err());
+        assert!(Colored::from_explicit(&Value::record([("V", Value::int(3))])).is_err());
+        let bad_c = Value::record([("V", Value::int(3)), ("C", Value::int(9))]);
+        assert!(Colored::from_explicit(&bad_c).is_err());
+    }
+
+    #[test]
+    fn distinct_coloring_and_strip_round_trip() {
+        let v = Value::set([
+            Value::record([("A", Value::int(1))]),
+            Value::record([("A", Value::int(2))]),
+        ]);
+        let c = Colored::distinct(&v, "c");
+        assert_eq!(c.strip(), v);
+        assert_eq!(c.invented_count(), 0);
+        // Every part got a unique color: 1 set + 2 records + 2 atoms.
+        assert_eq!(c.colored_parts().len(), 5);
+    }
+}

@@ -1,0 +1,463 @@
+//! Reverse propagation of annotations (§2.2) and view deletion.
+//!
+//! "If an annotation is attached to some base value in the output of a
+//! query, to what base value in the input should it be attached?" A
+//! source placement is **side-effect free** when propagating it forward
+//! produces *precisely* the view annotation — on the target cell and
+//! nowhere else.
+//!
+//! Finding a side-effect-free placement is NP-hard (DP-hard) in the
+//! query for queries combining projection and join \[17, 69\], but
+//! polynomial for the other positive fragments and tractable for
+//! *key-preserving* views \[27\]. This module implements:
+//!
+//! * [`find_placements`] — the general search: test every candidate
+//!   source cell by forward propagation (sound and complete for the
+//!   default scheme, exponential only through the query's evaluation
+//!   cost, matching the data-complexity picture),
+//! * [`find_placement_key_preserving`] — the fast path for views that
+//!   retain a key of the target relation: the placement is computed
+//!   directly from the key values, with a single verification pass,
+//! * [`view_deletions`] — the related view-deletion problem \[1, 17,
+//!   28\]: minimal sets of source tuples whose removal deletes a chosen
+//!   view tuple, computed from why-provenance witnesses via minimal
+//!   hitting sets.
+
+use std::collections::BTreeSet;
+
+use cdb_model::Atom;
+use cdb_relalg::{Database, RaExpr, RelalgError, Tuple};
+use cdb_semiring::hom::why_to_minwhy;
+use cdb_semiring::{KDatabase, KRelation, Semiring, Why};
+
+use crate::colored::{eval_colored, ColoredDatabase, ColoredRelation, ColoredTuple, Scheme};
+
+/// A placement of an annotation on a source cell.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Placement {
+    /// The source relation.
+    pub relation: String,
+    /// The source tuple.
+    pub tuple: Tuple,
+    /// The source attribute.
+    pub attr: String,
+}
+
+/// The target of a reverse propagation: one output cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    /// The output tuple.
+    pub tuple: Tuple,
+    /// The output attribute.
+    pub attr: String,
+}
+
+/// Statistics from a placement search, for the complexity experiments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidate cells tested by forward propagation.
+    pub candidates_tested: usize,
+    /// Forward query evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Finds **all** side-effect-free placements for annotating `target` in
+/// the view `q(db)`, by testing each candidate source cell: color it
+/// with a probe color, propagate forward under the default scheme, and
+/// accept iff the probe lands exactly on the target cell and nowhere
+/// else.
+pub fn find_placements(
+    db: &Database,
+    q: &RaExpr,
+    target: &Target,
+) -> Result<(Vec<Placement>, SearchStats), RelalgError> {
+    let mut stats = SearchStats::default();
+    let mut found = Vec::new();
+    for rel_name in dedup(q.base_relations()) {
+        let rel = db.get(&rel_name)?;
+        for tuple in rel.tuple_set() {
+            for attr in rel.schema().attrs() {
+                stats.candidates_tested += 1;
+                let placement = Placement {
+                    relation: rel_name.clone(),
+                    tuple: tuple.clone(),
+                    attr: attr.clone(),
+                };
+                if probe(db, q, &placement, target, &mut stats)? {
+                    found.push(placement);
+                }
+            }
+        }
+    }
+    Ok((found, stats))
+}
+
+fn dedup(names: Vec<String>) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    names.into_iter().filter(|n| seen.insert(n.clone())).collect()
+}
+
+/// Forward-propagates a probe color placed on one source cell and checks
+/// side-effect freedom.
+fn probe(
+    db: &Database,
+    q: &RaExpr,
+    placement: &Placement,
+    target: &Target,
+    stats: &mut SearchStats,
+) -> Result<bool, RelalgError> {
+    const PROBE: &str = "\u{2605}probe"; // cannot collide with user colors
+    let mut cdb = ColoredDatabase::new();
+    for (name, rel) in db.iter() {
+        let mut crel = ColoredRelation::empty(rel.schema().clone());
+        for t in rel.tuples() {
+            let mut ct = ColoredTuple::plain(t.clone());
+            if name == placement.relation && *t == placement.tuple {
+                let i = rel.schema().resolve(&placement.attr)?;
+                ct.colors[i].insert(PROBE.to_owned());
+            }
+            crel.insert(ct)?;
+        }
+        cdb.insert(name.to_owned(), crel);
+    }
+    stats.evaluations += 1;
+    let out = eval_colored(&cdb, q, &Scheme::Default)?;
+    let occurrences = out.occurrences(PROBE);
+    Ok(occurrences.len() == 1
+        && occurrences[0].0 == target.tuple
+        && occurrences[0].1 == target.attr)
+}
+
+/// The key-preserving fast path of \[27\]: if the view's projection list
+/// retains attributes forming a key of the source relation `rel`, the
+/// source tuple is identified directly from the target's key values and
+/// only a single verification probe is needed.
+///
+/// `key` names the key attributes as they appear in *both* the source
+/// relation and the view output (key-preserving views keep the names).
+pub fn find_placement_key_preserving(
+    db: &Database,
+    q: &RaExpr,
+    rel_name: &str,
+    key: &[&str],
+    target: &Target,
+) -> Result<(Option<Placement>, SearchStats), RelalgError> {
+    let mut stats = SearchStats::default();
+    let rel = db.get(rel_name)?;
+    let out = cdb_relalg::eval::eval(db, q)?;
+    // Read the key values off the target view tuple.
+    let mut key_vals: Vec<(usize, Atom)> = Vec::new();
+    for k in key {
+        let oi = out.schema().resolve(k)?;
+        let si = rel.schema().resolve(k)?;
+        key_vals.push((si, target.tuple[oi].clone()));
+    }
+    // The unique source tuple with those key values.
+    let candidate = rel
+        .tuple_set()
+        .into_iter()
+        .find(|t| key_vals.iter().all(|(i, v)| &t[*i] == v));
+    let Some(tuple) = candidate else {
+        return Ok((None, stats));
+    };
+    let placement = Placement {
+        relation: rel_name.to_owned(),
+        tuple,
+        attr: target.attr.clone(),
+    };
+    stats.candidates_tested = 1;
+    if probe(db, q, &placement, target, &mut stats)? {
+        Ok((Some(placement), stats))
+    } else {
+        Ok((None, stats))
+    }
+}
+
+/// A minimal source-deletion set for a view tuple.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeletionSet {
+    /// The source tuples to delete, as `(relation, tuple)`.
+    pub tuples: Vec<(String, Tuple)>,
+    /// How many *other* view tuples this deletion also removes (0 means
+    /// side-effect free on the view).
+    pub side_effects: usize,
+}
+
+/// Computes the minimal deletion sets for removing `target_tuple` from
+/// the view `q(db)`, via why-provenance: every witness must be hit, so
+/// the minimal deletion sets are the minimal hitting sets of the minimal
+/// witnesses. Side effects are counted by re-evaluating the view.
+pub fn view_deletions(
+    db: &Database,
+    q: &RaExpr,
+    target_tuple: &Tuple,
+) -> Result<Vec<DeletionSet>, RelalgError> {
+    // Tag every source tuple with a Why variable "rel#idx".
+    let mut kdb: KDatabase<Why> = KDatabase::new();
+    let mut ids: Vec<(String, Tuple)> = Vec::new();
+    for (name, rel) in db.iter() {
+        let kr = KRelation::tagged(rel, |_, t| {
+            let id = format!("{name}#{}", ids.len());
+            ids.push((name.to_owned(), t.clone()));
+            Why::var(id)
+        })?;
+        kdb.insert(name.to_owned(), kr);
+    }
+    let out = cdb_semiring::eval::eval_k(&kdb, q)?;
+    let why = out.annotation(target_tuple);
+    if why.is_zero() {
+        return Ok(Vec::new());
+    }
+    let witnesses: Vec<BTreeSet<String>> = why_to_minwhy(&why)
+        .witnesses()
+        .iter()
+        .cloned()
+        .collect();
+    // Minimal hitting sets by breadth-first search over set sizes.
+    let universe: BTreeSet<String> =
+        witnesses.iter().flat_map(|w| w.iter().cloned()).collect();
+    let universe: Vec<String> = universe.into_iter().collect();
+    let mut minimal: Vec<BTreeSet<String>> = Vec::new();
+    for size in 1..=universe.len() {
+        for combo in combinations(&universe, size) {
+            if minimal.iter().any(|m| m.is_subset(&combo)) {
+                continue;
+            }
+            if witnesses.iter().all(|w| w.iter().any(|x| combo.contains(x))) {
+                minimal.push(combo);
+            }
+        }
+        // Minimal hitting sets can have different sizes (e.g. witnesses
+        // {a,b}, {a,c}, {d} have minimal hitting sets {a,d} and
+        // {b,c,d}), so all sizes must be scanned; supersets of found
+        // minima are pruned above.
+    }
+    // Materialize and count side effects.
+    let base_out = cdb_relalg::eval::eval(db, q)?.tuple_set();
+    let mut result = Vec::new();
+    for m in minimal {
+        let tuples: Vec<(String, Tuple)> = m
+            .iter()
+            .map(|id| {
+                let idx: usize = id.split('#').nth(1).unwrap().parse().unwrap();
+                ids[idx].clone()
+            })
+            .collect();
+        // Apply the deletion and re-evaluate.
+        let mut db2 = db.clone();
+        for (rel, t) in &tuples {
+            let r = db2.get_mut(rel)?;
+            let schema = r.schema().clone();
+            let remaining: Vec<Tuple> =
+                r.tuples().iter().filter(|x| *x != t).cloned().collect();
+            *r = cdb_relalg::Relation::from_rows(schema, remaining)?;
+        }
+        let new_out = cdb_relalg::eval::eval(&db2, q)?.tuple_set();
+        debug_assert!(!new_out.contains(target_tuple));
+        let side_effects = base_out
+            .iter()
+            .filter(|t| *t != target_tuple && !new_out.contains(*t))
+            .count();
+        result.push(DeletionSet { tuples, side_effects });
+    }
+    result.sort();
+    Ok(result)
+}
+
+fn combinations(items: &[String], size: usize) -> Vec<BTreeSet<String>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..size).collect();
+    if size > items.len() {
+        return out;
+    }
+    loop {
+        out.push(idx.iter().map(|&i| items[i].clone()).collect());
+        // Advance the combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] + (size - i) < items.len() {
+                idx[i] += 1;
+                for j in i + 1..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_relalg::{Pred, ProjItem, Relation};
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    fn db() -> Database {
+        Database::new()
+            .with(
+                "R",
+                Relation::table(
+                    ["A", "B"],
+                    [vec![int(1), int(10)], vec![int(2), int(20)]],
+                )
+                .unwrap(),
+            )
+            .with(
+                "S",
+                Relation::table(
+                    ["B", "C"],
+                    [vec![int(10), int(100)], vec![int(20), int(100)]],
+                )
+                .unwrap(),
+            )
+    }
+
+    #[test]
+    fn selection_views_have_unique_placements() {
+        let q = RaExpr::scan("R").select(Pred::col_eq_const("A", 1));
+        let target = Target { tuple: vec![int(1), int(10)], attr: "B".into() };
+        let (ps, stats) = find_placements(&db(), &q, &target).unwrap();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].relation, "R");
+        assert_eq!(ps[0].attr, "B");
+        assert_eq!(ps[0].tuple, vec![int(1), int(10)]);
+        assert!(stats.evaluations >= 4);
+    }
+
+    #[test]
+    fn projection_can_spread_a_color_no_placement() {
+        // π_C(R ⋈ S): C=100 in the output merges the two S tuples' C
+        // cells; annotating either source C cell annotates the single
+        // merged output cell — actually side-effect-free. But annotating
+        // via a *join* column that spreads is not. Construct the spread
+        // case: π over a product duplicates a source cell.
+        let d = Database::new().with(
+            "R",
+            Relation::table(["A"], [vec![int(1)]]).unwrap(),
+        ).with(
+            "S",
+            Relation::table(["B"], [vec![int(5)], vec![int(6)]]).unwrap(),
+        );
+        // Q = π_{A,B}(R × S): the single R cell copies into TWO output
+        // tuples — any annotation on it has a side effect.
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .project(vec![ProjItem::col("r.A", "A"), ProjItem::col("s.B", "B")]);
+        let target = Target { tuple: vec![int(1), int(5)], attr: "A".into() };
+        let (ps, _) = find_placements(&d, &q, &target).unwrap();
+        assert!(ps.is_empty(), "the R.A color spreads to both output rows");
+        // The B cell, by contrast, has a clean placement.
+        let target_b = Target { tuple: vec![int(1), int(5)], attr: "B".into() };
+        let (ps, _) = find_placements(&d, &q, &target_b).unwrap();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].relation, "S");
+    }
+
+    #[test]
+    fn union_views_can_have_multiple_placements() {
+        let d = Database::new()
+            .with("R", Relation::table(["A"], [vec![int(7)]]).unwrap())
+            .with("S", Relation::table(["A"], [vec![int(7)]]).unwrap());
+        let q = RaExpr::scan("R").union(RaExpr::scan("S"));
+        let target = Target { tuple: vec![int(7)], attr: "A".into() };
+        let (ps, _) = find_placements(&d, &q, &target).unwrap();
+        // Either source cell propagates exactly to the merged output cell.
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn key_preserving_fast_path_agrees_with_search() {
+        // View keeps R's key A: placement is found directly.
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .project(vec![ProjItem::col("A", "A"), ProjItem::col("C", "C")]);
+        let target = Target { tuple: vec![int(1), int(100)], attr: "A".into() };
+        let (fast, stats) =
+            find_placement_key_preserving(&db(), &q, "R", &["A"], &target).unwrap();
+        let (slow, slow_stats) = find_placements(&db(), &q, &target).unwrap();
+        let fast = fast.unwrap();
+        assert!(slow.contains(&fast));
+        assert!(stats.evaluations < slow_stats.evaluations);
+    }
+
+    #[test]
+    fn key_preserving_returns_none_when_attr_spreads() {
+        // Annotating C through the view spreads to both S rows' join
+        // results? C=100 appears in two output tuples (1,100), (2,100),
+        // each copied from a different S tuple — each placement is clean.
+        // But a *missing* key value returns None.
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .project(vec![ProjItem::col("A", "A"), ProjItem::col("C", "C")]);
+        let target = Target { tuple: vec![int(9), int(100)], attr: "A".into() };
+        let (fast, _) =
+            find_placement_key_preserving(&db(), &q, "R", &["A"], &target).unwrap();
+        assert!(fast.is_none());
+    }
+
+    #[test]
+    fn view_deletion_via_witnesses() {
+        // V = π_C(R ⋈ S): tuple (100) has two witnesses — {R1,S1} and
+        // {R2,S2}. Minimal hitting sets have size 2 (e.g. {S1,S2}) or
+        // pairs across witnesses.
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .project(vec![ProjItem::col("C", "C")]);
+        let dels = view_deletions(&db(), &q, &vec![int(100)]).unwrap();
+        assert!(!dels.is_empty());
+        for d in &dels {
+            assert_eq!(d.tuples.len(), 2, "hit both witnesses: {d:?}");
+            assert_eq!(d.side_effects, 0, "only view tuple (100) exists");
+        }
+        // 2 choices from witness 1 × 2 from witness 2 = 4 minimal sets.
+        assert_eq!(dels.len(), 4);
+    }
+
+    #[test]
+    fn view_deletion_single_witness() {
+        let q = RaExpr::scan("R").select(Pred::col_eq_const("A", 1));
+        let dels = view_deletions(&db(), &q, &vec![int(1), int(10)]).unwrap();
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].tuples, vec![("R".to_string(), vec![int(1), int(10)])]);
+        assert_eq!(dels[0].side_effects, 0);
+    }
+
+    #[test]
+    fn view_deletion_of_absent_tuple_is_empty() {
+        let q = RaExpr::scan("R");
+        let dels = view_deletions(&db(), &q, &vec![int(9), int(9)]).unwrap();
+        assert!(dels.is_empty());
+    }
+
+    #[test]
+    fn deletion_side_effects_are_counted() {
+        // V = π_B(R): deleting R's (1,10) removes view tuple (10) only;
+        // but deleting source of a shared B would have side effects.
+        let d = Database::new().with(
+            "T",
+            Relation::table(["A", "B"], [vec![int(1), int(5)], vec![int(2), int(5)]])
+                .unwrap(),
+        );
+        let q = RaExpr::scan("T").project_cols(["A"]);
+        // Deleting (1,5) removes view tuple (1) with no side effect.
+        let dels = view_deletions(&d, &q, &vec![int(1)]).unwrap();
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].side_effects, 0);
+    }
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let items: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(combinations(&items, 2).len(), 3);
+        assert_eq!(combinations(&items, 3).len(), 1);
+        assert_eq!(combinations(&items, 4).len(), 0);
+        assert_eq!(combinations(&items, 1).len(), 3);
+    }
+}

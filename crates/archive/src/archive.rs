@@ -1,0 +1,730 @@
+//! The fat-node archive.
+//!
+//! All versions of a keyed hierarchical database live in a single merged
+//! tree. Every archive node carries the set of version intervals during
+//! which it was present; atomic leaves carry a *timeline* of values.
+//! Merging a new version identifies nodes by their hierarchical key
+//! paths (update-invariant, per \[15\]), so a node that persists across
+//! versions — the common case in curated databases, which "do not grow
+//! or change rapidly" — costs nothing beyond its single stored copy.
+//!
+//! Space accounting honors the fat-node paper's optimization: a child
+//! whose interval set equals its parent's stores nothing for it (the
+//! hereditary trick; see [`Archive::encoded_size`]).
+
+use std::collections::BTreeMap;
+
+use cdb_model::keys::{KeySpec, KeyStep};
+use cdb_model::{Atom, KeyPath, ModelError, Value};
+
+use crate::codec;
+
+/// A version number: dense, starting at 0.
+pub type VersionId = u32;
+
+/// Metadata about a published version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionInfo {
+    /// The version number.
+    pub id: VersionId,
+    /// A human-readable label (a date, a release name).
+    pub label: String,
+}
+
+/// Archive errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// A key violation in the incoming version.
+    Model(ModelError),
+    /// The requested version does not exist.
+    NoSuchVersion(VersionId),
+    /// The requested key path does not exist in any version.
+    NoSuchKeyPath(String),
+}
+
+impl From<ModelError> for ArchiveError {
+    fn from(e: ModelError) -> Self {
+        ArchiveError::Model(e)
+    }
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Model(e) => write!(f, "{e}"),
+            ArchiveError::NoSuchVersion(v) => write!(f, "no such version {v}"),
+            ArchiveError::NoSuchKeyPath(p) => write!(f, "no such key path {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// A half-open presence interval `[start, end)`; `end = None` means
+/// still present.
+pub type Interval = (VersionId, Option<VersionId>);
+
+fn contains(iv: &Interval, v: VersionId) -> bool {
+    iv.0 <= v && iv.1.is_none_or(|e| v < e)
+}
+
+/// The shape of a node during an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Atom,
+    Record,
+    Set,
+    List,
+}
+
+fn shape_of(v: &Value) -> Shape {
+    match v {
+        Value::Atom(_) => Shape::Atom,
+        Value::Record(_) => Shape::Record,
+        Value::Set(_) => Shape::Set,
+        Value::List(_) => Shape::List,
+    }
+}
+
+/// One node of the archive.
+#[derive(Debug, Clone, Default)]
+struct ANode {
+    /// Presence intervals, in order, non-overlapping.
+    intervals: Vec<Interval>,
+    /// Shape timeline (only transitions are stored).
+    shapes: Vec<(Interval, Shape)>,
+    /// Atomic-value timeline (when the shape is `Atom`).
+    atoms: Vec<(Interval, Atom)>,
+    /// Children, identified by key step.
+    children: BTreeMap<KeyStep, ANode>,
+}
+
+impl ANode {
+    fn present_at(&self, v: VersionId) -> bool {
+        self.intervals.iter().any(|iv| contains(iv, v))
+    }
+
+    fn open(&self) -> bool {
+        self.intervals.last().is_some_and(|iv| iv.1.is_none())
+    }
+
+    fn ensure_open(&mut self, v: VersionId) {
+        if !self.open() {
+            self.intervals.push((v, None));
+        }
+    }
+
+    fn close_all(&mut self, v: VersionId) {
+        if let Some(last) = self.intervals.last_mut() {
+            if last.1.is_none() {
+                last.1 = Some(v);
+            }
+        }
+        if let Some((iv, _)) = self.shapes.last_mut() {
+            if iv.1.is_none() {
+                iv.1 = Some(v);
+            }
+        }
+        if let Some((iv, _)) = self.atoms.last_mut() {
+            if iv.1.is_none() {
+                iv.1 = Some(v);
+            }
+        }
+        for c in self.children.values_mut() {
+            c.close_all(v);
+        }
+    }
+
+    fn set_shape(&mut self, v: VersionId, s: Shape) {
+        match self.shapes.last_mut() {
+            Some((iv, last)) if iv.1.is_none() && *last == s => {}
+            Some((iv, _)) if iv.1.is_none() => {
+                iv.1 = Some(v);
+                self.shapes.push(((v, None), s));
+            }
+            _ => self.shapes.push(((v, None), s)),
+        }
+    }
+
+    fn set_atom(&mut self, v: VersionId, a: &Atom) {
+        match self.atoms.last_mut() {
+            Some((iv, last)) if iv.1.is_none() && last == a => {}
+            Some((iv, _)) if iv.1.is_none() => {
+                iv.1 = Some(v);
+                self.atoms.push(((v, None), a.clone()));
+            }
+            _ => self.atoms.push(((v, None), a.clone())),
+        }
+    }
+
+    fn shape_at(&self, v: VersionId) -> Option<Shape> {
+        self.shapes
+            .iter()
+            .find(|(iv, _)| contains(iv, v))
+            .map(|(_, s)| *s)
+    }
+
+    fn atom_at(&self, v: VersionId) -> Option<&Atom> {
+        self.atoms
+            .iter()
+            .find(|(iv, _)| contains(iv, v))
+            .map(|(_, a)| a)
+    }
+
+    fn node_count(&self) -> usize {
+        1 + self.children.values().map(ANode::node_count).sum::<usize>()
+    }
+}
+
+/// The fat-node archive of a keyed hierarchical database.
+#[derive(Debug, Clone)]
+pub struct Archive {
+    name: String,
+    spec: KeySpec,
+    versions: Vec<VersionInfo>,
+    root: ANode,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new(name: impl Into<String>, spec: KeySpec) -> Self {
+        Archive {
+            name: name.into(),
+            spec,
+            versions: Vec::new(),
+            root: ANode::default(),
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The key specification.
+    pub fn spec(&self) -> &KeySpec {
+        &self.spec
+    }
+
+    /// The published versions, in order.
+    pub fn versions(&self) -> &[VersionInfo] {
+        &self.versions
+    }
+
+    /// Number of versions.
+    pub fn version_count(&self) -> u32 {
+        self.versions.len() as u32
+    }
+
+    /// Merges a new version of the database into the archive, returning
+    /// its version id. The incoming value must satisfy the key spec.
+    pub fn add_version(
+        &mut self,
+        value: &Value,
+        label: impl Into<String>,
+    ) -> Result<VersionId, ArchiveError> {
+        // Validate keys up front (duplicate keys would corrupt merging).
+        self.spec.keyed_nodes(value)?;
+        let vid = self.versions.len() as VersionId;
+        let spec = self.spec.clone();
+        merge(&mut self.root, value, &mut Vec::new(), vid, &spec)?;
+        self.versions.push(VersionInfo { id: vid, label: label.into() });
+        Ok(vid)
+    }
+
+    /// Reconstructs the database as of version `v`.
+    pub fn retrieve(&self, v: VersionId) -> Result<Value, ArchiveError> {
+        if v as usize >= self.versions.len() {
+            return Err(ArchiveError::NoSuchVersion(v));
+        }
+        reconstruct(&self.root, v)
+            .ok_or(ArchiveError::NoSuchVersion(v))
+    }
+
+    /// Looks up the archive node at a key path (any version).
+    fn node(&self, path: &KeyPath) -> Option<&ANode> {
+        let mut cur = &self.root;
+        for step in path.steps() {
+            cur = cur.children.get(step)?;
+        }
+        Some(cur)
+    }
+
+    /// The presence intervals of the node at `path`.
+    pub fn lifespan(&self, path: &KeyPath) -> Result<Vec<Interval>, ArchiveError> {
+        self.node(path)
+            .map(|n| n.intervals.clone())
+            .ok_or_else(|| ArchiveError::NoSuchKeyPath(path.to_string()))
+    }
+
+    /// The atomic-value timeline of the node at `path`.
+    pub fn value_history(
+        &self,
+        path: &KeyPath,
+    ) -> Result<Vec<(Interval, Atom)>, ArchiveError> {
+        self.node(path)
+            .map(|n| n.atoms.clone())
+            .ok_or_else(|| ArchiveError::NoSuchKeyPath(path.to_string()))
+    }
+
+    /// Whether the node at `path` was present at version `v`.
+    pub fn present_at(&self, path: &KeyPath, v: VersionId) -> bool {
+        self.node(path).is_some_and(|n| n.present_at(v))
+    }
+
+    /// The value of an atomic node at `path` as of version `v`.
+    pub fn value_at(&self, path: &KeyPath, v: VersionId) -> Option<Atom> {
+        self.node(path).and_then(|n| n.atom_at(v)).cloned()
+    }
+
+    /// All key paths that ever existed under the root (depth-first).
+    pub fn all_key_paths(&self) -> Vec<KeyPath> {
+        let mut out = Vec::new();
+        collect_paths(&self.root, KeyPath::root(), &mut out);
+        out
+    }
+
+    /// Total number of archive nodes (the E7 "merged tree" size).
+    pub fn node_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// The encoded size of the archive in bytes, using the hereditary
+    /// optimization: a child whose interval set equals its parent's
+    /// writes a one-byte marker instead of its intervals.
+    pub fn encoded_size(&self) -> usize {
+        let mut out = Vec::new();
+        encode_node(&self.root, None, true, &mut out);
+        // Version metadata.
+        for v in &self.versions {
+            out.extend_from_slice(v.label.as_bytes());
+            out.extend_from_slice(&v.id.to_le_bytes());
+        }
+        out.len()
+    }
+
+    /// The encoded size *without* the hereditary-interval optimization
+    /// (every node writes its full interval set) — the ablation of the
+    /// paper's "if it is different from the time interval of its parent
+    /// node" rule, measured in the E7 bench.
+    pub fn encoded_size_flat(&self) -> usize {
+        let mut out = Vec::new();
+        encode_node(&self.root, None, false, &mut out);
+        for v in &self.versions {
+            out.extend_from_slice(v.label.as_bytes());
+            out.extend_from_slice(&v.id.to_le_bytes());
+        }
+        out.len()
+    }
+}
+
+fn merge(
+    node: &mut ANode,
+    value: &Value,
+    context: &mut Vec<String>,
+    vid: VersionId,
+    spec: &KeySpec,
+) -> Result<(), ArchiveError> {
+    node.ensure_open(vid);
+    node.set_shape(vid, shape_of(value));
+    match value {
+        Value::Atom(a) => {
+            node.set_atom(vid, a);
+            // A node that was previously structured and is now atomic:
+            // close its children.
+            for c in node.children.values_mut() {
+                if c.open() {
+                    c.close_all(vid);
+                }
+            }
+        }
+        Value::Record(m) => {
+            // Close the atom timeline if previously atomic.
+            if let Some((iv, _)) = node.atoms.last_mut() {
+                if iv.1.is_none() {
+                    iv.1 = Some(vid);
+                }
+            }
+            let mut seen: Vec<KeyStep> = Vec::new();
+            for (label, child) in m {
+                let step = KeyStep::Field(label.clone());
+                seen.push(step.clone());
+                context.push(label.clone());
+                merge(node.children.entry(step).or_default(), child, context, vid, spec)?;
+                context.pop();
+            }
+            close_absent(node, &seen, vid, |s| matches!(s, KeyStep::Field(_)));
+        }
+        Value::Set(s) => {
+            if let Some((iv, _)) = node.atoms.last_mut() {
+                if iv.1.is_none() {
+                    iv.1 = Some(vid);
+                }
+            }
+            let mut seen: Vec<KeyStep> = Vec::new();
+            for child in s {
+                let step = spec
+                    .entry_step(context, child, &cdb_model::Path::root())
+                    .map_err(ArchiveError::Model)?;
+                seen.push(step.clone());
+                merge(node.children.entry(step).or_default(), child, context, vid, spec)?;
+            }
+            close_absent(node, &seen, vid, |s| matches!(s, KeyStep::Entry(_)));
+        }
+        Value::List(xs) => {
+            if let Some((iv, _)) = node.atoms.last_mut() {
+                if iv.1.is_none() {
+                    iv.1 = Some(vid);
+                }
+            }
+            let mut seen: Vec<KeyStep> = Vec::new();
+            for (i, child) in xs.iter().enumerate() {
+                let step = KeyStep::Index(i);
+                seen.push(step.clone());
+                merge(node.children.entry(step).or_default(), child, context, vid, spec)?;
+            }
+            close_absent(node, &seen, vid, |s| matches!(s, KeyStep::Index(_)));
+        }
+    }
+    Ok(())
+}
+
+fn close_absent(
+    node: &mut ANode,
+    seen: &[KeyStep],
+    vid: VersionId,
+    kind: impl Fn(&KeyStep) -> bool,
+) {
+    for (step, child) in node.children.iter_mut() {
+        if kind(step) && !seen.contains(step) && child.open() {
+            child.close_all(vid);
+        }
+    }
+}
+
+fn reconstruct(node: &ANode, v: VersionId) -> Option<Value> {
+    if !node.present_at(v) {
+        return None;
+    }
+    match node.shape_at(v)? {
+        Shape::Atom => node.atom_at(v).cloned().map(Value::Atom),
+        Shape::Record => {
+            let mut m = std::collections::BTreeMap::new();
+            for (step, child) in &node.children {
+                if let KeyStep::Field(l) = step {
+                    if let Some(cv) = reconstruct(child, v) {
+                        m.insert(l.clone(), cv);
+                    }
+                }
+            }
+            Some(Value::Record(m))
+        }
+        Shape::Set => {
+            let mut s = std::collections::BTreeSet::new();
+            for (step, child) in &node.children {
+                if matches!(step, KeyStep::Entry(_)) {
+                    if let Some(cv) = reconstruct(child, v) {
+                        s.insert(cv);
+                    }
+                }
+            }
+            Some(Value::Set(s))
+        }
+        Shape::List => {
+            let mut xs: Vec<(usize, Value)> = Vec::new();
+            for (step, child) in &node.children {
+                if let KeyStep::Index(i) = step {
+                    if let Some(cv) = reconstruct(child, v) {
+                        xs.push((*i, cv));
+                    }
+                }
+            }
+            xs.sort_by_key(|(i, _)| *i);
+            Some(Value::List(xs.into_iter().map(|(_, v)| v).collect()))
+        }
+    }
+}
+
+fn collect_paths(node: &ANode, here: KeyPath, out: &mut Vec<KeyPath>) {
+    out.push(here.clone());
+    for (step, child) in &node.children {
+        collect_paths(child, here.child(step.clone()), out);
+    }
+}
+
+fn encode_node(
+    node: &ANode,
+    parent_intervals: Option<&[Interval]>,
+    hereditary: bool,
+    out: &mut Vec<u8>,
+) {
+    // Hereditary intervals: write a marker when equal to the parent's.
+    if hereditary && parent_intervals == Some(node.intervals.as_slice()) {
+        out.push(0xfe);
+    } else {
+        codec::put_uvarint(out, node.intervals.len() as u64);
+        for (s, e) in &node.intervals {
+            codec::put_uvarint(out, u64::from(*s));
+            codec::put_uvarint(out, e.map(|x| u64::from(x) + 1).unwrap_or(0));
+        }
+    }
+    codec::put_uvarint(out, node.shapes.len() as u64);
+    for ((s, e), shape) in &node.shapes {
+        codec::put_uvarint(out, u64::from(*s));
+        codec::put_uvarint(out, e.map(|x| u64::from(x) + 1).unwrap_or(0));
+        out.push(*shape as u8);
+    }
+    codec::put_uvarint(out, node.atoms.len() as u64);
+    for ((s, e), a) in &node.atoms {
+        codec::put_uvarint(out, u64::from(*s));
+        codec::put_uvarint(out, e.map(|x| u64::from(x) + 1).unwrap_or(0));
+        codec::put_atom(out, a);
+    }
+    codec::put_uvarint(out, node.children.len() as u64);
+    for (step, child) in &node.children {
+        match step {
+            KeyStep::Field(l) => {
+                out.push(1);
+                codec::put_str(out, l);
+            }
+            KeyStep::Entry(atoms) => {
+                out.push(2);
+                codec::put_uvarint(out, atoms.len() as u64);
+                for a in atoms {
+                    codec::put_atom(out, a);
+                }
+            }
+            KeyStep::Index(i) => {
+                out.push(3);
+                codec::put_uvarint(out, *i as u64);
+            }
+        }
+        encode_node(child, Some(&node.intervals), hereditary, out);
+    }
+}
+
+/// A difference between two archived versions at one key path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Change {
+    /// Present in `v2` but not `v1`.
+    Added,
+    /// Present in `v1` but not `v2`.
+    Removed,
+    /// Atomic value changed.
+    Changed {
+        /// The value at `v1`.
+        from: Atom,
+        /// The value at `v2`.
+        to: Atom,
+    },
+}
+
+impl Archive {
+    /// The differences between two versions, by key path. Reported at
+    /// the highest path where the change is visible (an added subtree
+    /// reports only its root), directly off the archive structure —
+    /// "it is difficult to compare between versions of the database
+    /// using the transaction log"; it is easy here.
+    pub fn diff(
+        &self,
+        v1: VersionId,
+        v2: VersionId,
+    ) -> Result<Vec<(KeyPath, Change)>, ArchiveError> {
+        for v in [v1, v2] {
+            if v as usize >= self.versions.len() {
+                return Err(ArchiveError::NoSuchVersion(v));
+            }
+        }
+        let mut out = Vec::new();
+        diff_node(&self.root, KeyPath::root(), v1, v2, &mut out);
+        Ok(out)
+    }
+}
+
+fn diff_node(
+    node: &ANode,
+    here: KeyPath,
+    v1: VersionId,
+    v2: VersionId,
+    out: &mut Vec<(KeyPath, Change)>,
+) {
+    let p1 = node.present_at(v1);
+    let p2 = node.present_at(v2);
+    match (p1, p2) {
+        (false, false) => {}
+        (false, true) => out.push((here, Change::Added)),
+        (true, false) => out.push((here, Change::Removed)),
+        (true, true) => {
+            if let (Some(a1), Some(a2)) = (node.atom_at(v1), node.atom_at(v2)) {
+                if a1 != a2 {
+                    out.push((
+                        here.clone(),
+                        Change::Changed { from: a1.clone(), to: a2.clone() },
+                    ));
+                }
+            }
+            for (step, child) in &node.children {
+                diff_node(child, here.child(step.clone()), v1, v2, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_model::keys::KeySpec;
+
+    fn factbook_spec() -> KeySpec {
+        KeySpec::new().rule(Vec::<String>::new(), ["name"])
+    }
+
+    fn country(name: &str, pop: i64) -> Value {
+        Value::record([
+            ("name", Value::str(name)),
+            ("population", Value::int(pop)),
+        ])
+    }
+
+    #[test]
+    fn versions_round_trip() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        let v0 = Value::set([country("Iceland", 300_000)]);
+        let v1 = Value::set([country("Iceland", 310_000), country("Latvia", 2_000_000)]);
+        let v2 = Value::set([country("Latvia", 1_900_000)]);
+        arch.add_version(&v0, "2000").unwrap();
+        arch.add_version(&v1, "2001").unwrap();
+        arch.add_version(&v2, "2002").unwrap();
+        assert_eq!(arch.retrieve(0).unwrap(), v0);
+        assert_eq!(arch.retrieve(1).unwrap(), v1);
+        assert_eq!(arch.retrieve(2).unwrap(), v2);
+        assert!(arch.retrieve(3).is_err());
+        assert_eq!(arch.version_count(), 3);
+    }
+
+    #[test]
+    fn persistent_nodes_are_stored_once() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        let v = Value::set([country("Iceland", 300_000)]);
+        for i in 0..10 {
+            arch.add_version(&v, format!("y{i}")).unwrap();
+        }
+        // set + record + 2 fields = 4 nodes, regardless of 10 versions.
+        assert_eq!(arch.node_count(), 4);
+        let kp = KeyPath::root()
+            .child(KeyStep::Entry(vec![Atom::Str("Iceland".into())]));
+        assert_eq!(arch.lifespan(&kp).unwrap(), vec![(0, None)]);
+    }
+
+    #[test]
+    fn value_history_tracks_changes() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        for (i, pop) in [300_000i64, 300_000, 310_000, 320_000].iter().enumerate() {
+            arch.add_version(&Value::set([country("Iceland", *pop)]), format!("y{i}"))
+                .unwrap();
+        }
+        let kp = KeyPath::root()
+            .child(KeyStep::Entry(vec![Atom::Str("Iceland".into())]))
+            .child(KeyStep::Field("population".into()));
+        let hist = arch.value_history(&kp).unwrap();
+        assert_eq!(
+            hist,
+            vec![
+                ((0, Some(2)), Atom::Int(300_000)),
+                ((2, Some(3)), Atom::Int(310_000)),
+                ((3, None), Atom::Int(320_000)),
+            ]
+        );
+        assert_eq!(arch.value_at(&kp, 1), Some(Atom::Int(300_000)));
+        assert_eq!(arch.value_at(&kp, 3), Some(Atom::Int(320_000)));
+    }
+
+    #[test]
+    fn deletion_and_reappearance_create_two_intervals() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        let with = Value::set([country("Iceland", 1), country("USSR", 2)]);
+        let without = Value::set([country("Iceland", 1)]);
+        arch.add_version(&with, "a").unwrap();
+        arch.add_version(&without, "b").unwrap();
+        arch.add_version(&with, "c").unwrap();
+        let kp = KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("USSR".into())]));
+        assert_eq!(arch.lifespan(&kp).unwrap(), vec![(0, Some(1)), (2, None)]);
+        assert!(!arch.present_at(&kp, 1));
+        assert!(arch.present_at(&kp, 2));
+    }
+
+    #[test]
+    fn diff_reports_minimal_changes() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        arch.add_version(&Value::set([country("Iceland", 1)]), "a").unwrap();
+        arch.add_version(
+            &Value::set([country("Iceland", 2), country("Latvia", 3)]),
+            "b",
+        )
+        .unwrap();
+        let diff = arch.diff(0, 1).unwrap();
+        assert_eq!(diff.len(), 2);
+        assert!(diff.iter().any(|(p, c)| {
+            matches!(c, Change::Changed { from: Atom::Int(1), to: Atom::Int(2) })
+                && p.to_string().contains("population")
+        }));
+        assert!(diff
+            .iter()
+            .any(|(p, c)| *c == Change::Added && p.to_string().contains("Latvia")));
+        assert!(arch.diff(0, 9).is_err());
+    }
+
+    #[test]
+    fn shape_changes_are_versioned() {
+        // A leaf that later becomes structured (Factbook-style schema
+        // evolution within the data).
+        let spec = KeySpec::new();
+        let mut arch = Archive::new("db", spec);
+        let v0 = Value::record([("gov", Value::str("monarchy"))]);
+        let v1 = Value::record([(
+            "gov",
+            Value::record([("type", Value::str("republic"))]),
+        )]);
+        arch.add_version(&v0, "a").unwrap();
+        arch.add_version(&v1, "b").unwrap();
+        assert_eq!(arch.retrieve(0).unwrap(), v0);
+        assert_eq!(arch.retrieve(1).unwrap(), v1);
+    }
+
+    #[test]
+    fn key_violations_are_rejected_before_merging() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        let bad = Value::set([
+            Value::record([("nokey", Value::int(1))]),
+        ]);
+        assert!(arch.add_version(&bad, "x").is_err());
+        assert_eq!(arch.version_count(), 0);
+    }
+
+    #[test]
+    fn encoded_size_grows_sublinearly_for_stable_data() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        let v = Value::set((0..50).map(|i| country(&format!("c{i}"), i)));
+        arch.add_version(&v, "0").unwrap();
+        let after_one = arch.encoded_size();
+        for i in 1..20 {
+            arch.add_version(&v, format!("{i}")).unwrap();
+        }
+        let after_twenty = arch.encoded_size();
+        // 20 identical versions cost barely more than one (just labels).
+        assert!(
+            after_twenty < after_one + 500,
+            "archive should not replicate unchanged data: {after_one} → {after_twenty}"
+        );
+    }
+
+    #[test]
+    fn all_key_paths_enumerates_history() {
+        let mut arch = Archive::new("factbook", factbook_spec());
+        arch.add_version(&Value::set([country("A", 1)]), "a").unwrap();
+        arch.add_version(&Value::set([country("B", 2)]), "b").unwrap();
+        let paths = arch.all_key_paths();
+        // root, A, A.name, A.population, B, B.name, B.population
+        assert_eq!(paths.len(), 7);
+    }
+}

@@ -1,0 +1,392 @@
+//! The delta-log baseline: "logging all updates made to a database or
+//! keeping differences between versions" (§5).
+//!
+//! Stores the first version in full and, for each later version, the
+//! keyed differences from its predecessor. Space-efficient like the
+//! archive, but version retrieval replays O(v) deltas and temporal
+//! queries must reconstruct or scan — the weakness the archive fixes:
+//! "It would be difficult to answer such queries over the archives
+//! constructed with these methods without at least an attempt to
+//! evaluate the query on each version."
+
+use std::collections::BTreeMap;
+
+use cdb_model::keys::{KeySpec, KeyStep};
+use cdb_model::{KeyPath, Value};
+
+use crate::archive::{ArchiveError, VersionId, VersionInfo};
+use crate::codec;
+
+/// One difference entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delta {
+    /// A subtree appeared (or was wholly replaced) at this key path.
+    Put(KeyPath, Value),
+    /// The subtree at this key path disappeared.
+    Remove(KeyPath),
+}
+
+/// A store of version 0 plus per-version delta lists.
+#[derive(Debug, Clone)]
+pub struct DeltaStore {
+    spec: KeySpec,
+    base: Option<Vec<u8>>,
+    versions: Vec<VersionInfo>,
+    deltas: Vec<Vec<Delta>>, // deltas[i] transforms version i-1 into i
+    last: Option<Value>,     // cached latest version (not counted as storage)
+}
+
+impl DeltaStore {
+    /// An empty store.
+    pub fn new(spec: KeySpec) -> Self {
+        DeltaStore { spec, base: None, versions: Vec::new(), deltas: Vec::new(), last: None }
+    }
+
+    /// Stores a version, returning its id.
+    pub fn add_version(
+        &mut self,
+        value: &Value,
+        label: impl Into<String>,
+    ) -> Result<VersionId, ArchiveError> {
+        self.spec.keyed_nodes(value)?;
+        let id = self.versions.len() as VersionId;
+        match &self.last {
+            None => {
+                self.base = Some(codec::encode_value(value));
+                self.deltas.push(Vec::new());
+            }
+            Some(prev) => {
+                let d = diff_values(&self.spec, prev, value)?;
+                self.deltas.push(d);
+            }
+        }
+        self.versions.push(VersionInfo { id, label: label.into() });
+        self.last = Some(value.clone());
+        Ok(id)
+    }
+
+    /// Retrieves a version by replaying deltas from the base.
+    pub fn retrieve(&self, v: VersionId) -> Result<Value, ArchiveError> {
+        if v as usize >= self.versions.len() {
+            return Err(ArchiveError::NoSuchVersion(v));
+        }
+        let base = self.base.as_ref().ok_or(ArchiveError::NoSuchVersion(v))?;
+        let mut cur =
+            codec::decode_value(base).map_err(|_| ArchiveError::NoSuchVersion(v))?;
+        for i in 1..=v as usize {
+            for d in &self.deltas[i] {
+                cur = apply_delta(&self.spec, &cur, d)?;
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Number of versions.
+    pub fn version_count(&self) -> u32 {
+        self.versions.len() as u32
+    }
+
+    /// Total stored bytes: base + encoded deltas + labels.
+    pub fn encoded_size(&self) -> usize {
+        let mut total = self.base.as_ref().map(Vec::len).unwrap_or(0);
+        for (info, ds) in self.versions.iter().zip(&self.deltas) {
+            total += info.label.len() + 4;
+            for d in ds {
+                let mut buf = Vec::new();
+                match d {
+                    Delta::Put(p, v) => {
+                        buf.push(1);
+                        codec::put_str(&mut buf, &p.to_string());
+                        codec::put_value(&mut buf, v);
+                    }
+                    Delta::Remove(p) => {
+                        buf.push(2);
+                        codec::put_str(&mut buf, &p.to_string());
+                    }
+                }
+                total += buf.len();
+            }
+        }
+        total
+    }
+}
+
+/// Computes keyed differences between two versions: for each key path
+/// present in either, emit `Put` for added/changed subtrees (at the
+/// highest changed path) and `Remove` for dropped ones.
+pub fn diff_values(
+    spec: &KeySpec,
+    old: &Value,
+    new: &Value,
+) -> Result<Vec<Delta>, ArchiveError> {
+    let old_nodes: BTreeMap<KeyPath, &Value> =
+        spec.keyed_nodes(old)?.into_iter().collect();
+    let new_nodes: BTreeMap<KeyPath, &Value> =
+        spec.keyed_nodes(new)?.into_iter().collect();
+    let mut out = Vec::new();
+    // Added or changed: walk new paths shallow-first; skip paths under an
+    // already-emitted Put.
+    let mut covered: Vec<KeyPath> = Vec::new();
+    for (path, nv) in &new_nodes {
+        if covered.iter().any(|c| c.is_prefix_of(path) && c != path) {
+            continue;
+        }
+        match old_nodes.get(path) {
+            Some(ov) if ov == nv => {}
+            Some(ov) => {
+                // Changed below? If the node is atomic or the whole
+                // subtree differs structurally, put the subtree; to keep
+                // deltas small, only descend when both are non-atomic.
+                let both_structured =
+                    !matches!(ov, Value::Atom(_)) && !matches!(nv, Value::Atom(_));
+                if !both_structured {
+                    out.push(Delta::Put(path.clone(), (*nv).clone()));
+                    covered.push(path.clone());
+                }
+                // Otherwise children will be visited individually.
+            }
+            None => {
+                out.push(Delta::Put(path.clone(), (*nv).clone()));
+                covered.push(path.clone());
+            }
+        }
+    }
+    // Removed paths (only the highest, and not under an emitted Put —
+    // a Put already replaced that whole subtree).
+    let mut removed: Vec<KeyPath> = Vec::new();
+    for path in old_nodes.keys() {
+        if !new_nodes.contains_key(path)
+            && !removed.iter().any(|r| r.is_prefix_of(path) && r != path)
+            && !covered.iter().any(|c| c.is_prefix_of(path))
+        {
+            removed.push(path.clone());
+            out.push(Delta::Remove(path.clone()));
+        }
+    }
+    Ok(out)
+}
+
+fn apply_delta(spec: &KeySpec, value: &Value, delta: &Delta) -> Result<Value, ArchiveError> {
+    match delta {
+        Delta::Put(path, new) => Ok(put_at(spec, value, path.steps(), new)?),
+        Delta::Remove(path) => Ok(remove_at(spec, value, path.steps())?),
+    }
+}
+
+fn put_at(
+    spec: &KeySpec,
+    value: &Value,
+    steps: &[KeyStep],
+    new: &Value,
+) -> Result<Value, ArchiveError> {
+    put_at_ctx(spec, value, steps, new, &mut Vec::new())
+}
+
+fn put_at_ctx(
+    spec: &KeySpec,
+    value: &Value,
+    steps: &[KeyStep],
+    new: &Value,
+    context: &mut Vec<String>,
+) -> Result<Value, ArchiveError> {
+    let Some((step, rest)) = steps.split_first() else {
+        return Ok(new.clone());
+    };
+    match (step, value) {
+        (KeyStep::Field(l), Value::Record(m)) => {
+            let mut m2 = m.clone();
+            let child = m.get(l).cloned().unwrap_or(Value::unit());
+            context.push(l.clone());
+            let updated = put_at_ctx(spec, &child, rest, new, context)?;
+            context.pop();
+            m2.insert(l.clone(), updated);
+            Ok(Value::Record(m2))
+        }
+        (KeyStep::Entry(_), Value::Set(s)) => {
+            let mut out = std::collections::BTreeSet::new();
+            let mut found = false;
+            for el in s {
+                let es = spec.entry_step(context, el, &cdb_model::Path::root())?;
+                if es == *step {
+                    found = true;
+                    out.insert(put_at_ctx(spec, el, rest, new, context)?);
+                } else {
+                    out.insert(el.clone());
+                }
+            }
+            if !found {
+                if rest.is_empty() {
+                    out.insert(new.clone());
+                } else {
+                    return Err(ArchiveError::NoSuchKeyPath(format!("{step:?}")));
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        (KeyStep::Index(i), Value::List(xs)) => {
+            let mut xs2 = xs.clone();
+            if *i < xs2.len() {
+                xs2[*i] = put_at_ctx(spec, &xs2[*i], rest, new, context)?;
+            } else if rest.is_empty() && *i == xs2.len() {
+                xs2.push(new.clone());
+            } else {
+                return Err(ArchiveError::NoSuchKeyPath(format!("#{i}")));
+            }
+            Ok(Value::List(xs2))
+        }
+        _ => Err(ArchiveError::NoSuchKeyPath(format!("{step:?}"))),
+    }
+}
+
+fn remove_at(
+    spec: &KeySpec,
+    value: &Value,
+    steps: &[KeyStep],
+) -> Result<Value, ArchiveError> {
+    remove_at_ctx(spec, value, steps, &mut Vec::new())
+}
+
+fn remove_at_ctx(
+    spec: &KeySpec,
+    value: &Value,
+    steps: &[KeyStep],
+    context: &mut Vec<String>,
+) -> Result<Value, ArchiveError> {
+    let Some((step, rest)) = steps.split_first() else {
+        return Ok(Value::unit());
+    };
+    match (step, value) {
+        (KeyStep::Field(l), Value::Record(m)) => {
+            let mut m2 = m.clone();
+            if rest.is_empty() {
+                m2.remove(l);
+            } else if let Some(child) = m.get(l) {
+                context.push(l.clone());
+                let updated = remove_at_ctx(spec, child, rest, context)?;
+                context.pop();
+                m2.insert(l.clone(), updated);
+            }
+            Ok(Value::Record(m2))
+        }
+        (KeyStep::Entry(_), Value::Set(s)) => {
+            let mut out = std::collections::BTreeSet::new();
+            for el in s {
+                let es = spec.entry_step(context, el, &cdb_model::Path::root())?;
+                if es == *step {
+                    if !rest.is_empty() {
+                        out.insert(remove_at_ctx(spec, el, rest, context)?);
+                    }
+                    // else: drop the element
+                } else {
+                    out.insert(el.clone());
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        (KeyStep::Index(i), Value::List(xs)) => {
+            let mut xs2 = xs.clone();
+            if rest.is_empty() {
+                if *i < xs2.len() {
+                    xs2.remove(*i);
+                }
+            } else if *i < xs2.len() {
+                xs2[*i] = remove_at_ctx(spec, &xs2[*i], rest, context)?;
+            }
+            Ok(Value::List(xs2))
+        }
+        _ => Err(ArchiveError::NoSuchKeyPath(format!("{step:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> KeySpec {
+        KeySpec::new().rule(Vec::<String>::new(), ["name"])
+    }
+
+    fn country(name: &str, pop: i64) -> Value {
+        Value::record([
+            ("name", Value::str(name)),
+            ("population", Value::int(pop)),
+        ])
+    }
+
+    #[test]
+    fn versions_round_trip_through_replay() {
+        let mut s = DeltaStore::new(spec());
+        let v0 = Value::set([country("Iceland", 1)]);
+        let v1 = Value::set([country("Iceland", 2), country("Latvia", 3)]);
+        let v2 = Value::set([country("Latvia", 3)]);
+        s.add_version(&v0, "a").unwrap();
+        s.add_version(&v1, "b").unwrap();
+        s.add_version(&v2, "c").unwrap();
+        assert_eq!(s.retrieve(0).unwrap(), v0);
+        assert_eq!(s.retrieve(1).unwrap(), v1);
+        assert_eq!(s.retrieve(2).unwrap(), v2);
+        assert!(s.retrieve(3).is_err());
+    }
+
+    #[test]
+    fn unchanged_versions_cost_almost_nothing() {
+        let mut s = DeltaStore::new(spec());
+        let v = Value::set((0..50).map(|i| country(&format!("c{i}"), i)));
+        s.add_version(&v, "0").unwrap();
+        let one = s.encoded_size();
+        for i in 1..10 {
+            s.add_version(&v, i.to_string()).unwrap();
+        }
+        assert!(s.encoded_size() < one + 200);
+    }
+
+    #[test]
+    fn deltas_are_minimal_for_leaf_changes() {
+        let old = Value::set([country("Iceland", 1), country("Latvia", 2)]);
+        let new = Value::set([country("Iceland", 9), country("Latvia", 2)]);
+        let d = diff_values(&spec(), &old, &new).unwrap();
+        assert_eq!(d.len(), 1);
+        match &d[0] {
+            Delta::Put(p, v) => {
+                assert!(p.to_string().contains("population"));
+                assert_eq!(v, &Value::int(9));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removals_report_highest_path_only() {
+        let old = Value::set([country("Iceland", 1), country("USSR", 2)]);
+        let new = Value::set([country("Iceland", 1)]);
+        let d = diff_values(&spec(), &old, &new).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(&d[0], Delta::Remove(p) if p.to_string().contains("USSR")));
+    }
+
+    #[test]
+    fn nested_structure_changes_apply() {
+        let s2 = KeySpec::new()
+            .rule(Vec::<String>::new(), ["name"])
+            .rule(["cities"], ["city"]);
+        let old = Value::set([Value::record([
+            ("name", Value::str("Iceland")),
+            ("cities", Value::set([Value::record([
+                ("city", Value::str("Reykjavik")),
+                ("pop", Value::int(1)),
+            ])])),
+        ])]);
+        let new = Value::set([Value::record([
+            ("name", Value::str("Iceland")),
+            ("cities", Value::set([
+                Value::record([("city", Value::str("Reykjavik")), ("pop", Value::int(2))]),
+                Value::record([("city", Value::str("Akureyri")), ("pop", Value::int(3))]),
+            ])),
+        ])]);
+        let mut store = DeltaStore::new(s2);
+        store.add_version(&old, "a").unwrap();
+        store.add_version(&new, "b").unwrap();
+        assert_eq!(store.retrieve(0).unwrap(), old);
+        assert_eq!(store.retrieve(1).unwrap(), new);
+    }
+}

@@ -1,0 +1,44 @@
+//! # cdb-archive
+//!
+//! Archiving and citation for curated databases (§5 of *Curated
+//! Databases*, after Buneman–Khanna–Tajima–Tan, *Archiving scientific
+//! data* \[16\]):
+//!
+//! * [`archive`] — the **fat-node archive**: all versions of a keyed
+//!   hierarchical database merged into one compact tree, where "each
+//!   node is associated with a time interval that captures the time
+//!   during which the node exists in the database … if it is different
+//!   from the time interval of its parent node" — a generalization of
+//!   the fat-node method for persistent data structures \[32\]. Merging
+//!   relies on hierarchical keys (`cdb-model::keys`) to identify nodes
+//!   invariantly under updates.
+//! * [`snapshots`] / [`deltas`] — the two baseline strategies §5 lists
+//!   ("keeping all older versions … optionally compressing them" and
+//!   "keeping differences between versions"), against which the archive
+//!   is measured in the E7 benchmarks.
+//! * [`temporal`] — temporal (longitudinal) queries answered *directly
+//!   on the archive*: value histories, lifespans, cross-version
+//!   comparisons — the World Factbook's "internet penetration of
+//!   Liechtenstein over the past five years".
+//! * [`citation`] — versioned citations (§5.2, \[12\]): a citation pins
+//!   a database name, version and key path, resolves against the
+//!   archive, and stays stable as the database moves on.
+//! * [`codec`] — a compact hand-rolled binary codec used to measure
+//!   storage footprints honestly (and as the serialization for
+//!   publishing versions).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod archive;
+pub mod citation;
+pub mod codec;
+pub mod deltas;
+pub mod lockss;
+pub mod snapshots;
+pub mod temporal;
+
+pub use archive::{Archive, ArchiveError, VersionId, VersionInfo};
+pub use citation::Citation;
+pub use deltas::DeltaStore;
+pub use snapshots::SnapshotStore;

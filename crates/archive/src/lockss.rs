@@ -1,0 +1,302 @@
+//! LOCKSS-style replicated preservation (§1.1).
+//!
+//! > "A move towards massive systematic distribution of electronic
+//! > publications is the LOCKSS project in which a large number of
+//! > university libraries each keep a repository of a set of
+//! > publications, and a peer-to-peer synchronization process ensures
+//! > that the repositories are consistent and cannot be corrupted either
+//! > by bit-rot or deliberate interference. … could one build a LOCKSS
+//! > system for databases? In addition to the requirements for files,
+//! > such a system would have to work on incremental updates and would
+//! > also have to work well with archiving."
+//!
+//! This module is that system, at simulation scale: a [`Replica`] holds
+//! the encoded versions of a database; a [`PreservationNetwork`] runs
+//! opinion polls over content digests (per version — the *incremental*
+//! requirement: a new version is one new poll unit, not a re-shipment of
+//! the whole database) and repairs minority replicas from the majority.
+//! Bit-rot and deliberate tampering are first-class events in the tests.
+
+use std::collections::BTreeMap;
+
+use cdb_model::Value;
+
+use crate::archive::{ArchiveError, VersionId};
+use crate::codec;
+
+/// A simple 64-bit FNV-1a digest of a byte string — the poll currency.
+/// (Not cryptographic; the threat model of the simulation is bit-rot and
+/// crude tampering, as in the paper's framing.)
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One library's repository: the encoded bytes of every version it
+/// holds.
+#[derive(Debug, Clone, Default)]
+pub struct Replica {
+    /// Library name.
+    pub name: String,
+    versions: BTreeMap<VersionId, Vec<u8>>,
+}
+
+impl Replica {
+    /// An empty replica.
+    pub fn new(name: impl Into<String>) -> Self {
+        Replica { name: name.into(), versions: BTreeMap::new() }
+    }
+
+    /// Stores a published version (incremental: only the new version
+    /// ships).
+    pub fn store(&mut self, v: VersionId, value: &Value) {
+        self.versions.insert(v, codec::encode_value(value));
+    }
+
+    /// Retrieves a version, if held and decodable.
+    pub fn retrieve(&self, v: VersionId) -> Result<Value, ArchiveError> {
+        let bytes = self.versions.get(&v).ok_or(ArchiveError::NoSuchVersion(v))?;
+        codec::decode_value(bytes).map_err(|_| ArchiveError::NoSuchVersion(v))
+    }
+
+    /// The digest of a held version.
+    pub fn digest_of(&self, v: VersionId) -> Option<u64> {
+        self.versions.get(&v).map(|b| digest(b))
+    }
+
+    /// The versions held.
+    pub fn held_versions(&self) -> Vec<VersionId> {
+        self.versions.keys().copied().collect()
+    }
+
+    /// Simulated bit-rot: flips a byte of the stored encoding of `v`.
+    pub fn rot(&mut self, v: VersionId, at: usize) {
+        if let Some(bytes) = self.versions.get_mut(&v) {
+            if !bytes.is_empty() {
+                let i = at % bytes.len();
+                bytes[i] ^= 0x55;
+            }
+        }
+    }
+
+    /// Simulated deliberate interference: replaces a version's content.
+    pub fn tamper(&mut self, v: VersionId, forged: &Value) {
+        if self.versions.contains_key(&v) {
+            self.versions.insert(v, codec::encode_value(forged));
+        }
+    }
+
+    /// Total stored bytes.
+    pub fn size(&self) -> usize {
+        self.versions.values().map(Vec::len).sum()
+    }
+}
+
+/// The outcome of one poll over one version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollResult {
+    /// The version polled.
+    pub version: VersionId,
+    /// The winning digest, if any majority existed.
+    pub winner: Option<u64>,
+    /// Replicas that disagreed with the majority (repaired if repair was
+    /// requested).
+    pub dissenters: Vec<String>,
+}
+
+/// A network of replicas preserving the published versions of one
+/// curated database.
+#[derive(Debug, Default)]
+pub struct PreservationNetwork {
+    replicas: Vec<Replica>,
+}
+
+impl PreservationNetwork {
+    /// A network of `n` named replicas.
+    pub fn new(n: usize) -> Self {
+        PreservationNetwork {
+            replicas: (0..n).map(|i| Replica::new(format!("library{i}"))).collect(),
+        }
+    }
+
+    /// The replicas.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Mutable access to one replica (for injecting faults in tests).
+    pub fn replica_mut(&mut self, i: usize) -> &mut Replica {
+        &mut self.replicas[i]
+    }
+
+    /// Publishes a version to every replica (the incremental update).
+    pub fn publish(&mut self, v: VersionId, value: &Value) {
+        for r in &mut self.replicas {
+            r.store(v, value);
+        }
+    }
+
+    /// Runs an opinion poll over one version: replicas vote with their
+    /// digests; the majority digest wins; with `repair`, dissenting
+    /// replicas re-fetch the winning bytes from a majority member.
+    /// Returns `None` winner when no strict majority exists (the network
+    /// is lost — which the tests show requires ⌈n/2⌉ simultaneous
+    /// corruptions).
+    pub fn poll(&mut self, v: VersionId, repair: bool) -> PollResult {
+        let mut votes: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if let Some(d) = r.digest_of(v) {
+                votes.entry(d).or_default().push(i);
+            }
+        }
+        let winner = votes
+            .iter()
+            .max_by_key(|(_, voters)| voters.len())
+            .filter(|(_, voters)| voters.len() * 2 > self.replicas.len())
+            .map(|(d, _)| *d);
+        let mut dissenters = Vec::new();
+        if let Some(wd) = winner {
+            let source = votes[&wd][0];
+            let good_bytes = self.replicas[source]
+                .versions
+                .get(&v)
+                .cloned()
+                .expect("winner holds the version");
+            for (i, r) in self.replicas.iter_mut().enumerate() {
+                if r.digest_of(v) != Some(wd) {
+                    dissenters.push(r.name.clone());
+                    if repair {
+                        r.versions.insert(v, good_bytes.clone());
+                    }
+                }
+                let _ = i;
+            }
+        }
+        PollResult { version: v, winner, dissenters }
+    }
+
+    /// Audits and repairs every version held anywhere.
+    pub fn audit_all(&mut self) -> Vec<PollResult> {
+        let mut versions: Vec<VersionId> = self
+            .replicas
+            .iter()
+            .flat_map(Replica::held_versions)
+            .collect();
+        versions.sort_unstable();
+        versions.dedup();
+        versions.into_iter().map(|v| self.poll(v, true)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edition(i: i64) -> Value {
+        Value::set([Value::record([
+            ("name", Value::str("Iceland")),
+            ("population", Value::int(300_000 + i)),
+        ])])
+    }
+
+    fn network_with_versions(n: usize, versions: usize) -> PreservationNetwork {
+        let mut net = PreservationNetwork::new(n);
+        for v in 0..versions {
+            net.publish(v as VersionId, &edition(v as i64));
+        }
+        net
+    }
+
+    #[test]
+    fn healthy_network_polls_unanimously() {
+        let mut net = network_with_versions(7, 3);
+        for r in net.audit_all() {
+            assert!(r.winner.is_some());
+            assert!(r.dissenters.is_empty());
+        }
+    }
+
+    #[test]
+    fn bit_rot_is_detected_and_repaired() {
+        let mut net = network_with_versions(5, 2);
+        net.replica_mut(2).rot(1, 7);
+        assert!(net.replicas()[2].retrieve(1).is_err() ||
+                net.replicas()[2].retrieve(1).unwrap() != edition(1),
+                "rot corrupted the copy");
+        let r = net.poll(1, true);
+        assert_eq!(r.dissenters, vec!["library2".to_string()]);
+        // Repaired: the replica now agrees and decodes correctly.
+        assert_eq!(net.replicas()[2].retrieve(1).unwrap(), edition(1));
+        let r2 = net.poll(1, false);
+        assert!(r2.dissenters.is_empty());
+    }
+
+    #[test]
+    fn deliberate_tampering_is_outvoted() {
+        let mut net = network_with_versions(5, 1);
+        let forged = Value::set([Value::record([
+            ("name", Value::str("Iceland")),
+            ("population", Value::int(1)),
+        ])]);
+        // Two colluding libraries forge the same bytes.
+        net.replica_mut(0).tamper(0, &forged);
+        net.replica_mut(1).tamper(0, &forged);
+        let r = net.poll(0, true);
+        assert!(r.winner.is_some(), "honest majority wins");
+        assert_eq!(r.dissenters.len(), 2);
+        for rep in net.replicas() {
+            assert_eq!(rep.retrieve(0).unwrap(), edition(0));
+        }
+    }
+
+    #[test]
+    fn majority_corruption_loses_the_version() {
+        let mut net = network_with_versions(4, 1);
+        let forged = edition(-999);
+        // Tampering reaches half the network with identical forgeries:
+        // no strict majority either way (2 vs 2).
+        net.replica_mut(0).tamper(0, &forged);
+        net.replica_mut(1).tamper(0, &forged);
+        let r = net.poll(0, true);
+        assert_eq!(r.winner, None, "2-of-4 is not a strict majority");
+    }
+
+    #[test]
+    fn incremental_updates_only_ship_new_versions() {
+        let mut net = network_with_versions(3, 1);
+        let before = net.replicas()[0].size();
+        net.publish(1, &edition(1));
+        let after = net.replicas()[0].size();
+        assert!(after > before);
+        // Version 0's bytes are untouched (same digest).
+        let d0_before = net.replicas()[0].digest_of(0);
+        net.publish(2, &edition(2));
+        assert_eq!(net.replicas()[0].digest_of(0), d0_before);
+        assert_eq!(net.replicas()[0].held_versions(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn digest_detects_single_byte_changes() {
+        let a = codec::encode_value(&edition(0));
+        let mut b = a.clone();
+        b[3] ^= 1;
+        assert_ne!(digest(&a), digest(&b));
+        assert_eq!(digest(&a), digest(&a.clone()));
+    }
+
+    #[test]
+    fn missing_versions_do_not_vote() {
+        let mut net = PreservationNetwork::new(3);
+        net.publish(0, &edition(0));
+        // One replica loses the version entirely.
+        net.replica_mut(1).versions.remove(&0);
+        let r = net.poll(0, true);
+        assert!(r.winner.is_some());
+        assert_eq!(r.dissenters, vec!["library1".to_string()]);
+        assert_eq!(net.replicas()[1].retrieve(0).unwrap(), edition(0), "restored");
+    }
+}

@@ -1,0 +1,79 @@
+//! The full-snapshot baseline: "simply keeping all older versions of the
+//! database" (§5), each encoded with the compact codec.
+
+use cdb_model::Value;
+
+use crate::archive::{ArchiveError, VersionId, VersionInfo};
+use crate::codec;
+
+/// A store that keeps every published version in full.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotStore {
+    snapshots: Vec<(VersionInfo, Vec<u8>)>,
+}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SnapshotStore::default()
+    }
+
+    /// Stores a version, returning its id.
+    pub fn add_version(&mut self, value: &Value, label: impl Into<String>) -> VersionId {
+        let id = self.snapshots.len() as VersionId;
+        self.snapshots
+            .push((VersionInfo { id, label: label.into() }, codec::encode_value(value)));
+        id
+    }
+
+    /// Retrieves a version.
+    pub fn retrieve(&self, v: VersionId) -> Result<Value, ArchiveError> {
+        let (_, bytes) = self
+            .snapshots
+            .get(v as usize)
+            .ok_or(ArchiveError::NoSuchVersion(v))?;
+        codec::decode_value(bytes).map_err(|_| ArchiveError::NoSuchVersion(v))
+    }
+
+    /// Number of versions stored.
+    pub fn version_count(&self) -> u32 {
+        self.snapshots.len() as u32
+    }
+
+    /// Total stored bytes (the E7 space metric).
+    pub fn encoded_size(&self) -> usize {
+        self.snapshots
+            .iter()
+            .map(|(info, bytes)| info.label.len() + 4 + bytes.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_round_trip() {
+        let mut s = SnapshotStore::new();
+        let v0 = Value::record([("a", Value::int(1))]);
+        let v1 = Value::record([("a", Value::int(2))]);
+        s.add_version(&v0, "r0");
+        s.add_version(&v1, "r1");
+        assert_eq!(s.retrieve(0).unwrap(), v0);
+        assert_eq!(s.retrieve(1).unwrap(), v1);
+        assert!(s.retrieve(2).is_err());
+    }
+
+    #[test]
+    fn size_grows_linearly_even_without_changes() {
+        let mut s = SnapshotStore::new();
+        let v = Value::set((0..50).map(Value::int));
+        s.add_version(&v, "0");
+        let one = s.encoded_size();
+        for i in 1..10 {
+            s.add_version(&v, i.to_string());
+        }
+        assert!(s.encoded_size() >= 9 * one, "full copies every time");
+    }
+}

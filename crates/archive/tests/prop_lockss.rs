@@ -1,0 +1,77 @@
+//! Property-based tests for the LOCKSS-style preservation network:
+//! any minority of corrupted replicas is always detected and repaired by
+//! one audit round, and honest content always wins the poll.
+
+use cdb_archive::lockss::PreservationNetwork;
+use cdb_model::Value;
+use proptest::prelude::*;
+
+fn edition(i: i64) -> Value {
+    Value::set([
+        Value::record([("name", Value::str("A")), ("x", Value::int(i))]),
+        Value::record([("name", Value::str("B")), ("x", Value::int(-i))]),
+    ])
+}
+
+proptest! {
+    /// Up to ⌈n/2⌉−1 replicas corrupted arbitrarily (bit-rot at random
+    /// offsets or tampering) are all repaired by a single audit.
+    #[test]
+    fn minority_corruption_always_heals(
+        n in 3usize..9,
+        versions in 1usize..4,
+        faults in proptest::collection::vec((0usize..8, 0usize..3, 0usize..64, any::<bool>()), 0..6),
+    ) {
+        let mut net = PreservationNetwork::new(n);
+        for v in 0..versions {
+            net.publish(v as u32, &edition(v as i64));
+        }
+        // Inject faults into strictly fewer than half the replicas.
+        let minority = (n - 1) / 2;
+        let mut touched: Vec<usize> = Vec::new();
+        for (ri, v, off, tamper) in faults {
+            let ri = ri % n;
+            let v = (v % versions) as u32;
+            if !touched.contains(&ri) {
+                if touched.len() >= minority {
+                    continue;
+                }
+                touched.push(ri);
+            }
+            if tamper {
+                net.replica_mut(ri).tamper(v, &edition(-12345));
+            } else {
+                net.replica_mut(ri).rot(v, off);
+            }
+        }
+        // One audit round heals everything.
+        for r in net.audit_all() {
+            prop_assert!(r.winner.is_some(), "majority must exist");
+        }
+        for v in 0..versions as u32 {
+            for rep in net.replicas() {
+                prop_assert_eq!(
+                    rep.retrieve(v).unwrap(),
+                    edition(v as i64),
+                    "replica {} version {} not healed", rep.name, v
+                );
+            }
+        }
+        // A second audit is quiet.
+        for r in net.audit_all() {
+            prop_assert!(r.dissenters.is_empty());
+        }
+    }
+
+    /// Publishing is incremental: old versions' digests never change.
+    #[test]
+    fn publishing_never_rewrites_history(versions in 2usize..6) {
+        let mut net = PreservationNetwork::new(3);
+        net.publish(0, &edition(0));
+        let d0 = net.replicas()[0].digest_of(0);
+        for v in 1..versions {
+            net.publish(v as u32, &edition(v as i64));
+            prop_assert_eq!(net.replicas()[0].digest_of(0), d0);
+        }
+    }
+}

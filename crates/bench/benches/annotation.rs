@@ -1,0 +1,57 @@
+//! E1 — the overhead of annotation propagation (§2.1).
+//!
+//! Measures evaluating the same query plain, under the default
+//! propagation scheme, and under DEFAULT-ALL, at growing input sizes —
+//! the "efficiency of computing annotation propagation" that the
+//! DBNotes work investigates.
+
+use cdb_annotation::colored::{eval_colored, ColoredDatabase, Scheme};
+use cdb_model::Atom;
+use cdb_relalg::{eval::eval, Database, Pred, RaExpr, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn make_db(n: usize) -> Database {
+    let rows_r = (0..n).map(|i| {
+        vec![Atom::Int(i as i64), Atom::Int((i % 50) as i64)]
+    });
+    let rows_s = (0..n).map(|i| {
+        vec![Atom::Int((i * 2 % n.max(1)) as i64), Atom::Int((i % 50) as i64)]
+    });
+    Database::new()
+        .with("R", Relation::table(["A", "B"], rows_r).unwrap())
+        .with("S", Relation::table(["A", "B"], rows_s).unwrap())
+}
+
+fn query() -> RaExpr {
+    RaExpr::ScanAs("R".into(), "R".into())
+        .product(RaExpr::ScanAs("S".into(), "S".into()))
+        .select(Pred::col_eq_col("R.A", "S.A").and(Pred::col_eq_const("R.B", 7)))
+        .project(vec![
+            cdb_relalg::ProjItem::col("R.A", "A"),
+            cdb_relalg::ProjItem::col("S.B", "B"),
+        ])
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_annotation_overhead");
+    g.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let db = make_db(n);
+        let cdb = ColoredDatabase::distinctly_colored(&db);
+        let q = query();
+        g.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| black_box(eval(&db, &q).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("default_scheme", n), &n, |b, _| {
+            b.iter(|| black_box(eval_colored(&cdb, &q, &Scheme::Default).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("default_all", n), &n, |b, _| {
+            b.iter(|| black_box(eval_colored(&cdb, &q, &Scheme::DefaultAll).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

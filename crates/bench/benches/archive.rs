@@ -1,0 +1,112 @@
+//! E7 — §5.1's archiving claims.
+//!
+//! Regenerates three result sets:
+//!   1. storage bytes over N versions for snapshots / deltas / archive
+//!      (printed table; the paper's claim: the archive "is a
+//!      space-efficient method for recording all past versions" for
+//!      append-mostly curated data),
+//!   2. single-version retrieval latency per store (the delta store
+//!      degrades linearly with version depth; the archive does not),
+//!   3. temporal (longitudinal) query latency: archive-direct vs
+//!      scan-all-versions (the paper: other methods answer such queries
+//!      only by "an attempt to evaluate the query on each version").
+
+use std::sync::Once;
+
+use cdb_archive::temporal;
+use cdb_bench::{build_stores, factbook_versions, print_once, uniprot_releases};
+use cdb_model::keys::KeyStep;
+use cdb_model::{Atom, KeyPath};
+use cdb_workload::factbook::FactbookSim;
+use cdb_workload::uniprot::UniprotSim;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+static SPACE_TABLE: Once = Once::new();
+
+fn space_table() {
+    println!("\n=== E7.1: storage bytes over versions (UniProt-like, 200 entries) ===");
+    println!(
+        "{:<10} {:>14} {:>14} {:>14} {:>16} {:>18}",
+        "versions", "snapshots B", "deltas B", "archive B", "flat-archive B", "archive/snapshot"
+    );
+    for versions in [5usize, 10, 20, 40] {
+        let vs = uniprot_releases(42, 200, versions);
+        let (archive, snaps, deltas) = build_stores(UniprotSim::key_spec(), &vs);
+        let (a, s, d) = (archive.encoded_size(), snaps.encoded_size(), deltas.encoded_size());
+        let flat = archive.encoded_size_flat();
+        println!(
+            "{:<10} {:>14} {:>14} {:>14} {:>16} {:>17.2}%",
+            versions,
+            s,
+            d,
+            a,
+            flat,
+            100.0 * a as f64 / s as f64
+        );
+    }
+    println!("(flat-archive = ablation: hereditary interval sharing disabled)");
+    println!();
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    print_once(&SPACE_TABLE, space_table);
+    let versions = 30usize;
+    let vs = factbook_versions(7, 40, versions);
+    let (archive, snaps, deltas) = build_stores(FactbookSim::key_spec(), &vs);
+    let mut g = c.benchmark_group("e7_retrieve_version");
+    for v in [0u32, 15, 29] {
+        g.bench_with_input(BenchmarkId::new("archive", v), &v, |b, &v| {
+            b.iter(|| black_box(archive.retrieve(v).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("snapshots", v), &v, |b, &v| {
+            b.iter(|| black_box(snaps.retrieve(v).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("deltas_replay", v), &v, |b, &v| {
+            b.iter(|| black_box(deltas.retrieve(v).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_temporal(c: &mut Criterion) {
+    let versions = 30usize;
+    let vs = factbook_versions(7, 40, versions);
+    let (archive, snaps, _) = build_stores(FactbookSim::key_spec(), &vs);
+    // A country present from the start.
+    let sim = FactbookSim::new(
+        7,
+        cdb_workload::factbook::FactbookConfig { countries: 40, ..Default::default() },
+    );
+    let name = sim.country_name(0).to_owned();
+    let path = KeyPath::root()
+        .child(KeyStep::Entry(vec![Atom::Str(name)]))
+        .child(KeyStep::Field("people".into()))
+        .child(KeyStep::Field("internet_users".into()));
+    let spec = FactbookSim::key_spec();
+
+    let mut g = c.benchmark_group("e7_temporal_series");
+    g.bench_function("archive_direct", |b| {
+        b.iter(|| black_box(temporal::series(&archive, &path).unwrap()))
+    });
+    g.bench_function("scan_all_versions", |b| {
+        b.iter(|| black_box(temporal::series_by_scan(&snaps, &spec, &path).unwrap()))
+    });
+    g.finish();
+
+    let mut g2 = c.benchmark_group("e7_merge_new_version");
+    let next = factbook_versions(7, 40, versions + 1).pop().expect("one more");
+    g2.bench_function("archive_add_version", |b| {
+        b.iter_with_setup(
+            || archive.clone(),
+            |mut a| {
+                a.add_version(&next, "next").unwrap();
+                black_box(a.version_count())
+            },
+        )
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_retrieval, bench_temporal);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E5 — §2.2's reverse-propagation complexity landscape.
+//!
+//! The general side-effect-free placement search probes every candidate
+//! source cell with a forward evaluation; its cost grows with database
+//! size × query cost. The key-preserving fast path of \[27\] resolves
+//! the placement directly and verifies once. The bench regenerates the
+//! claimed shape: key-preserving stays near-constant in probe count
+//! while the general search scales with the candidate space. View
+//! deletion (minimal witnesses + hitting sets) is measured alongside.
+
+use std::sync::Once;
+
+use cdb_annotation::reverse::{
+    find_placement_key_preserving, find_placements, view_deletions, Target,
+};
+use cdb_bench::print_once;
+use cdb_model::Atom;
+use cdb_relalg::{Database, ProjItem, RaExpr, Relation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+static TABLE: Once = Once::new();
+
+fn make_db(n: usize) -> Database {
+    let rows_r = (0..n).map(|i| vec![Atom::Int(i as i64), Atom::Int((i % 20) as i64)]);
+    let rows_s = (0..20).map(|j| vec![Atom::Int(j as i64), Atom::Int((j * 10) as i64)]);
+    Database::new()
+        .with("R", Relation::table(["K", "G"], rows_r).unwrap())
+        .with("S", Relation::table(["G", "C"], rows_s).unwrap())
+}
+
+/// A key-preserving projection-join view: keeps R's key K.
+fn view() -> RaExpr {
+    RaExpr::scan("R")
+        .natural_join(RaExpr::scan("S"))
+        .project(vec![ProjItem::col("K", "K"), ProjItem::col("C", "C")])
+}
+
+fn target(n: usize) -> Target {
+    let k = (n / 2) as i64;
+    Target {
+        tuple: vec![Atom::Int(k), Atom::Int((k % 20) * 10)],
+        attr: "K".into(),
+    }
+}
+
+fn table() {
+    println!("\n=== E5: probe counts, general search vs key-preserving ===");
+    println!(
+        "{:<8} {:>16} {:>18} {:>14}",
+        "|R|", "general probes", "general found", "fast probes"
+    );
+    for n in [20usize, 40, 80, 160] {
+        let db = make_db(n);
+        let q = view();
+        let t = target(n);
+        let (found, stats) = find_placements(&db, &q, &t).unwrap();
+        let (fast, fstats) =
+            find_placement_key_preserving(&db, &q, "R", &["K"], &t).unwrap();
+        assert!(fast.is_some());
+        println!(
+            "{:<8} {:>16} {:>18} {:>14}",
+            n,
+            stats.evaluations,
+            found.len(),
+            fstats.evaluations
+        );
+    }
+    println!();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    print_once(&TABLE, table);
+    let mut g = c.benchmark_group("e5_side_effect_free_placement");
+    g.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let db = make_db(n);
+        let q = view();
+        let t = target(n);
+        g.bench_with_input(BenchmarkId::new("general_search", n), &n, |b, _| {
+            b.iter(|| black_box(find_placements(&db, &q, &t).unwrap().0.len()))
+        });
+        g.bench_with_input(BenchmarkId::new("key_preserving", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    find_placement_key_preserving(&db, &q, "R", &["K"], &t)
+                        .unwrap()
+                        .0
+                        .is_some(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_deletion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_view_deletion");
+    g.sample_size(10);
+    for n in [20usize, 60] {
+        let db = make_db(n);
+        // π_C(R ⋈ S): each C has n/20 witnesses.
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .project(vec![ProjItem::col("C", "C")]);
+        let t = vec![Atom::Int(50)];
+        g.bench_with_input(BenchmarkId::new("minimal_deletions", n), &n, |b, _| {
+            b.iter(|| black_box(view_deletions(&db, &q, &t).unwrap().len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_view_deletion);
+criterion_main!(benches);

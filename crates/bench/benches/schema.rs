@@ -1,0 +1,106 @@
+//! E9 — §6.1's schema-evolution costs.
+//!
+//! Regenerates the interleaving blow-up table (DFA states and
+//! interleave-free regex size for `a # b # c # …`, exponential per
+//! \[42, 43, 56\]) and measures subtype checking: inclusion vs width vs
+//! interleaving on evolving content models, plus schema inference
+//! throughput.
+
+use std::sync::Once;
+
+use cdb_bench::print_once;
+use cdb_schema::automata::{state_count, Dfa};
+use cdb_schema::infer::infer_regex;
+use cdb_schema::{inclusion_subtype, interleave_subtype, width_subtype, Regex};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+static TABLE: Once = Once::new();
+
+const SYMS: [&str; 10] = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
+
+fn interleave_of(n: usize) -> Regex {
+    SYMS[..n]
+        .iter()
+        .map(|s| Regex::sym(*s))
+        .reduce(Regex::interleave)
+        .expect("n ≥ 1")
+}
+
+fn table() {
+    println!("\n=== E9: the interleaving blow-up (a # b # … over n symbols) ===");
+    println!(
+        "{:<6} {:>12} {:>12} {:>20}",
+        "n", "expr size", "DFA states", "flat regex size"
+    );
+    for n in 1..=8 {
+        let e = interleave_of(n);
+        let states = state_count(&e).expect("within cap");
+        let flat = if n <= 6 {
+            e.eliminate_interleave().size().to_string()
+        } else {
+            "(skipped)".to_owned()
+        };
+        println!("{:<6} {:>12} {:>12} {:>20}", n, e.size(), states, flat);
+    }
+    println!();
+}
+
+fn bench_blowup(c: &mut Criterion) {
+    print_once(&TABLE, table);
+    let mut g = c.benchmark_group("e9_interleave_dfa");
+    for n in [3usize, 5, 7] {
+        let e = interleave_of(n);
+        g.bench_with_input(BenchmarkId::new("build_dfa", n), &n, |b, _| {
+            b.iter(|| black_box(Dfa::build(&e).unwrap().state_count()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_subtyping(c: &mut Criterion) {
+    // An evolving UniProt-ish content model.
+    let old = Regex::parse("id ac dt* de gn os oc* ref* cc* dr* kw* sq").unwrap();
+    let appended = Regex::parse("id ac dt* de gn os oc* ref* cc* dr* kw* sq ft*").unwrap();
+    let inserted = Regex::parse("id ac dt* de gn os og oc* ref* cc* dr* kw* sq").unwrap();
+
+    let mut g = c.benchmark_group("e9_subtype_checks");
+    for (name, evolved) in [("appended", &appended), ("inserted", &inserted)] {
+        g.bench_with_input(BenchmarkId::new("inclusion", name), evolved, |b, e| {
+            b.iter(|| black_box(inclusion_subtype(e, &old)))
+        });
+        g.bench_with_input(BenchmarkId::new("width", name), evolved, |b, e| {
+            b.iter(|| black_box(width_subtype(e, &old)))
+        });
+        g.bench_with_input(BenchmarkId::new("interleaving", name), evolved, |b, e| {
+            b.iter(|| black_box(interleave_subtype(e, &old)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    // Inference over many observed entry layouts.
+    let mut examples: Vec<Vec<&str>> = Vec::new();
+    for i in 0..200 {
+        let mut e = vec!["id", "ac"];
+        if i % 3 != 0 {
+            e.push("de");
+        }
+        #[allow(clippy::same_item_push)] // repeated fields are the point
+        for _ in 0..(i % 5) {
+            e.push("ref");
+        }
+        if i % 7 == 0 {
+            e.push("kw");
+        }
+        e.push("sq");
+        examples.push(e);
+    }
+    c.bench_function("e9_infer_content_model_200_entries", |b| {
+        b.iter(|| black_box(infer_regex(&examples)))
+    });
+}
+
+criterion_group!(benches, bench_blowup, bench_subtyping, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E4 — the cost of provenance across semirings (§4.1).
+//!
+//! The same positive query evaluated as a K-relation under every
+//! instantiation: Bool (set semantics, the baseline), ℕ (bags), Lineage,
+//! Why, MinWhy, Tropical, and full ℕ[X] polynomials — showing the price
+//! of each provenance grade, plus the evaluate-once-specialize-later
+//! alternative via homomorphisms.
+
+use cdb_model::Atom;
+use cdb_relalg::{Pred, RaExpr, Schema};
+use cdb_semiring::eval::eval_k;
+use cdb_semiring::hom::{poly_to_nat, poly_to_why};
+use cdb_semiring::{
+    KDatabase, KRelation, Lineage, MinWhy, Nat, Polynomial, Semiring, Tropical, Why,
+};
+use cdb_semiring::instances::Bool;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn make_db<K: Semiring>(n: usize, var: impl Fn(String) -> K) -> KDatabase<K> {
+    let schema = Schema::new(["X", "Y", "Z"]).unwrap();
+    let rel = KRelation::from_pairs(
+        schema,
+        (0..n).map(|i| {
+            (
+                vec![
+                    Atom::Int((i % 23) as i64),
+                    Atom::Int((i % 7) as i64),
+                    Atom::Int((i % 11) as i64),
+                ],
+                var(format!("t{i}")),
+            )
+        }),
+    )
+    .unwrap();
+    KDatabase::new().with("R", rel)
+}
+
+fn query() -> RaExpr {
+    // A self-join + union shaped like Figure 4.
+    let copy = RaExpr::scan("R").project_cols(["X", "Z"]);
+    let join = RaExpr::ScanAs("R".into(), "r1".into())
+        .product(RaExpr::ScanAs("R".into(), "r2".into()))
+        .select(Pred::col_eq_col("r1.Y", "r2.Y"))
+        .project(vec![
+            cdb_relalg::ProjItem::col("r1.X", "X"),
+            cdb_relalg::ProjItem::col("r2.Z", "Z"),
+        ]);
+    copy.union(join)
+}
+
+fn bench_semirings(c: &mut Criterion) {
+    let n = 120usize;
+    let q = query();
+    let mut g = c.benchmark_group("e4_semiring_evaluation");
+    g.sample_size(10);
+
+    let bool_db = make_db(n, |_| Bool(true));
+    g.bench_with_input(BenchmarkId::new("bool_set_semantics", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&bool_db, &q).unwrap()))
+    });
+    let nat_db = make_db(n, |_| Nat(1));
+    g.bench_with_input(BenchmarkId::new("nat_bags", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&nat_db, &q).unwrap()))
+    });
+    let lin_db = make_db(n, Lineage::var);
+    g.bench_with_input(BenchmarkId::new("lineage", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&lin_db, &q).unwrap()))
+    });
+    let why_db = make_db(n, Why::var);
+    g.bench_with_input(BenchmarkId::new("why_provenance", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&why_db, &q).unwrap()))
+    });
+    let min_db = make_db(n, MinWhy::var);
+    g.bench_with_input(BenchmarkId::new("minimal_why", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&min_db, &q).unwrap()))
+    });
+    let trop_db = make_db(n, |_| Tropical::Cost(1));
+    g.bench_with_input(BenchmarkId::new("tropical_cost", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&trop_db, &q).unwrap()))
+    });
+    let poly_db = make_db(n, Polynomial::var);
+    g.bench_with_input(BenchmarkId::new("polynomial_nx", n), &n, |b, _| {
+        b.iter(|| black_box(eval_k(&poly_db, &q).unwrap()))
+    });
+    g.finish();
+
+    // Evaluate-once-in-ℕ[X], specialize afterwards.
+    let poly_out = eval_k(&poly_db, &q).unwrap();
+    let mut g2 = c.benchmark_group("e4_specialize_after");
+    g2.bench_function("poly_to_why", |b| {
+        b.iter(|| black_box(poly_out.map_annotations(&poly_to_why)))
+    });
+    g2.bench_function("poly_to_nat", |b| {
+        b.iter(|| black_box(poly_out.map_annotations(&poly_to_nat)))
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_semirings);
+criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Relational views over a curated database, with annotation
+//! propagation in both directions (§2).
+//!
+//! Users see curated data through *views* — here, flat relations over
+//! entry fields. Annotations made on a view must be carried **back** to
+//! the source (reverse propagation, §2.2) and **forward** to other
+//! views. [`annotate_through_view`] implements the full loop: find a
+//! side-effect-free placement for the view annotation (via
+//! `cdb-annotation`), and attach the note to the placed source field.
+
+use cdb_annotation::colored::{ColoredRelation, ColoredTuple, Scheme};
+use cdb_annotation::reverse::{find_placements, Target};
+use cdb_model::Atom;
+use cdb_relalg::{Database, RaExpr, Relation, RelalgError, Schema, Tuple};
+
+use crate::db::{CuratedDatabase, DbError};
+
+/// The flat relation of all entries over the given fields: schema is
+/// `[key_field, fields…]`; entries missing a field get `Unit`.
+pub fn entry_relation(
+    db: &CuratedDatabase,
+    fields: &[&str],
+) -> Result<Relation, DbError> {
+    let mut attrs = vec![db.key_field().to_owned()];
+    attrs.extend(fields.iter().map(|f| (*f).to_owned()));
+    let schema = Schema::new(attrs).map_err(relalg_to_db)?;
+    let mut rel = Relation::empty(schema);
+    for key in db.entry_keys()? {
+        let mut row: Tuple = vec![Atom::Str(key.clone())];
+        for f in fields {
+            row.push(db.field(&key, f).unwrap_or(Atom::Unit));
+        }
+        rel.insert(row).map_err(relalg_to_db)?;
+    }
+    Ok(rel)
+}
+
+/// The same relation with every cell distinctly colored `key/field`, so
+/// view outputs carry readable where-provenance.
+pub fn colored_entry_relation(
+    db: &CuratedDatabase,
+    fields: &[&str],
+) -> Result<ColoredRelation, DbError> {
+    let plain = entry_relation(db, fields)?;
+    let key_field = db.key_field().to_owned();
+    let mut out = ColoredRelation::empty(plain.schema().clone());
+    for row in plain.tuples() {
+        let key = match &row[0] {
+            Atom::Str(s) => s.clone(),
+            other => other.to_string(),
+        };
+        let colors: Vec<String> = std::iter::once(format!("{key}/{key_field}"))
+            .chain(fields.iter().map(|f| format!("{key}/{f}")))
+            .collect();
+        out.insert(ColoredTuple::with_colors(row.clone(), colors))
+            .map_err(relalg_to_db)?;
+    }
+    Ok(out)
+}
+
+/// The result of annotating through a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewAnnotation {
+    /// The annotation was placed on this source `(entry key, field)`.
+    Placed {
+        /// The entry the note landed on.
+        key: String,
+        /// The field the note landed on.
+        field: String,
+    },
+    /// No side-effect-free placement exists (§2.2's hard case); the note
+    /// was not attached.
+    NoCleanPlacement,
+    /// Multiple equally-valid placements; the note was attached to all.
+    PlacedMultiple(Vec<(String, String)>),
+}
+
+/// Annotates a cell of the view `q(entries)`: finds side-effect-free
+/// source placements by reverse propagation and attaches the note to the
+/// placed source field(s).
+///
+/// The view `q` must reference the entry relation by the name
+/// `"entries"` with schema `[key_field, fields…]`.
+pub fn annotate_through_view(
+    db: &mut CuratedDatabase,
+    fields: &[&str],
+    q: &RaExpr,
+    target: &Target,
+    author: &str,
+    text: &str,
+    time: u64,
+) -> Result<ViewAnnotation, DbError> {
+    let rel = entry_relation(db, fields)?;
+    let rdb = Database::new().with("entries", rel.clone());
+    let (placements, _stats) = find_placements(&rdb, q, target).map_err(relalg_to_db)?;
+    if placements.is_empty() {
+        return Ok(ViewAnnotation::NoCleanPlacement);
+    }
+    let mut placed = Vec::new();
+    for p in &placements {
+        // Recover (key, field) from the placement tuple.
+        let key = match &p.tuple[0] {
+            Atom::Str(s) => s.clone(),
+            other => other.to_string(),
+        };
+        let field = p.attr.clone();
+        if field == db.key_field() {
+            db.annotate(&key, None, author, text, time)?;
+            placed.push((key, "<entry>".to_owned()));
+        } else {
+            db.annotate(&key, Some(&field), author, text, time)?;
+            placed.push((key, field));
+        }
+    }
+    Ok(match placed.len() {
+        1 => {
+            let (key, field) = placed.remove(0);
+            ViewAnnotation::Placed { key, field }
+        }
+        _ => ViewAnnotation::PlacedMultiple(placed),
+    })
+}
+
+/// Evaluates a view over the colored entry relation so the output cells
+/// carry `key/field` where-provenance.
+pub fn colored_view(
+    db: &CuratedDatabase,
+    fields: &[&str],
+    q: &RaExpr,
+    scheme: &Scheme,
+) -> Result<ColoredRelation, DbError> {
+    let colored = colored_entry_relation(db, fields)?;
+    let mut cdb = cdb_annotation::colored::ColoredDatabase::new();
+    cdb.insert("entries", colored);
+    cdb_annotation::colored::eval_colored(&cdb, q, scheme).map_err(relalg_to_db)
+}
+
+fn relalg_to_db(e: RelalgError) -> DbError {
+    DbError::NoSuchEntry(format!("relational view error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_relalg::Pred;
+
+    fn sample() -> CuratedDatabase {
+        let mut db = CuratedDatabase::new("iuphar", "name");
+        db.add_entry(
+            "GABA-A",
+            1,
+            "GABA-A",
+            &[("kind", Atom::Str("receptor".into())), ("tm", Atom::Int(4))],
+        )
+        .unwrap();
+        db.add_entry(
+            "alice",
+            2,
+            "5-HT3",
+            &[("kind", Atom::Str("channel".into())), ("tm", Atom::Int(4))],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn entry_relation_flattens_entries() {
+        let db = sample();
+        let rel = entry_relation(&db, &["kind", "tm"]).unwrap();
+        assert_eq!(rel.schema().attrs(), ["name", "kind", "tm"]);
+        assert_eq!(rel.len(), 2);
+        // Missing fields come out as Unit.
+        let rel2 = entry_relation(&db, &["nope"]).unwrap();
+        assert!(rel2.tuples().iter().all(|t| t[1] == Atom::Unit));
+    }
+
+    #[test]
+    fn colored_view_carries_readable_provenance() {
+        let db = sample();
+        let q = RaExpr::scan("entries")
+            .select(Pred::col_eq_const("kind", "receptor"))
+            .project_cols(["tm"]);
+        let out = colored_view(&db, &["kind", "tm"], &q, &Scheme::Default).unwrap();
+        let cs = out.cell_colors(&vec![Atom::Int(4)], "tm").unwrap();
+        assert_eq!(
+            cs.iter().cloned().collect::<Vec<_>>(),
+            vec!["GABA-A/tm".to_string()],
+            "the 4 came from GABA-A's tm field, not 5-HT3's"
+        );
+    }
+
+    #[test]
+    fn annotating_through_a_selection_view_lands_on_the_source() {
+        let mut db = sample();
+        let q = RaExpr::scan("entries").select(Pred::col_eq_const("name", "GABA-A"));
+        let target = Target {
+            tuple: vec![
+                Atom::Str("GABA-A".into()),
+                Atom::Str("receptor".into()),
+                Atom::Int(4),
+            ],
+            attr: "kind".into(),
+        };
+        let r = annotate_through_view(
+            &mut db,
+            &["kind", "tm"],
+            &q,
+            &target,
+            "carol",
+            "check this",
+            9,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            ViewAnnotation::Placed { key: "GABA-A".into(), field: "kind".into() }
+        );
+        assert_eq!(db.notes_on("GABA-A", Some("kind")).len(), 1);
+        assert_eq!(db.notes_on("5-HT3", Some("kind")).len(), 0);
+    }
+
+    #[test]
+    fn annotation_with_spread_reports_no_clean_placement() {
+        let mut db = sample();
+        // π_tm merges the two entries' equal tm values: annotating the
+        // merged output cell cannot be placed side-effect-free on one
+        // source… actually placing on either source colors the single
+        // merged cell exactly — both placements are clean. Force a
+        // spread instead: a product duplicating a cell.
+        let q = RaExpr::ScanAs("entries".into(), "a".into())
+            .product(RaExpr::ScanAs("entries".into(), "b".into()))
+            .project(vec![
+                cdb_relalg::ProjItem::col("a.name", "name"),
+                cdb_relalg::ProjItem::col("b.tm", "tm"),
+            ]);
+        // Output tuple (GABA-A, 4): its name cell is copied into rows
+        // paired with both b-tuples, but projection merges them…
+        // target the name cell of a *specific* row.
+        let target = Target {
+            tuple: vec![Atom::Str("GABA-A".into()), Atom::Int(4)],
+            attr: "name".into(),
+        };
+        let r = annotate_through_view(
+            &mut db,
+            &["tm"],
+            &q,
+            &target,
+            "x",
+            "y",
+            1,
+        )
+        .unwrap();
+        // GABA-A's name colors the (GABA-A, 4) row's name cell only —
+        // both b-rows have tm = 4, so the projection merges to a single
+        // output tuple and the placement is clean.
+        assert!(matches!(r, ViewAnnotation::Placed { .. }));
+        // Now make the tm values differ so the spread is real.
+        db.edit_field("e", 2, "5-HT3", "tm", Atom::Int(9)).unwrap();
+        let target2 = Target {
+            tuple: vec![Atom::Str("GABA-A".into()), Atom::Int(4)],
+            attr: "name".into(),
+        };
+        let r2 = annotate_through_view(
+            &mut db,
+            &["tm"],
+            &q,
+            &target2,
+            "x",
+            "y",
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            r2,
+            ViewAnnotation::NoCleanPlacement,
+            "GABA-A's name now spreads to (GABA-A,4) and (GABA-A,9)"
+        );
+    }
+
+    #[test]
+    fn union_merge_annotates_all_sources() {
+        let mut db = sample();
+        // π_tm over both entries with equal tm: both placements clean.
+        let q = RaExpr::scan("entries").project_cols(["tm"]);
+        let target = Target { tuple: vec![Atom::Int(4)], attr: "tm".into() };
+        let r = annotate_through_view(&mut db, &["tm"], &q, &target, "x", "note", 1)
+            .unwrap();
+        match r {
+            ViewAnnotation::PlacedMultiple(ps) => {
+                assert_eq!(ps.len(), 2);
+            }
+            other => panic!("expected multiple placements, got {other:?}"),
+        }
+        assert_eq!(db.notes_on("GABA-A", Some("tm")).len(), 1);
+        assert_eq!(db.notes_on("5-HT3", Some("tm")).len(), 1);
+    }
+}

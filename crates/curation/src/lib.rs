@@ -1,0 +1,39 @@
+//! # cdb-curation
+//!
+//! The copy-paste model of database curation (§3 of *Curated
+//! Databases*, after Buneman–Chapman–Cheney, SIGMOD 2006 \[13\]):
+//!
+//! > "curated databases are semistructured trees, and the fundamental
+//! > operation is to copy a data element — a subtree — from one tree to
+//! > another."
+//!
+//! * [`tree`] — the mutable semistructured tree store ([`TreeDb`]),
+//! * [`ops`] — the curation operations (insert, modify, delete, copy,
+//!   paste) grouped into [`ops::Transaction`]s attributed to curators,
+//! * [`provstore`] — the provenance store, with the two cost mitigations
+//!   of §3.1: **hereditary provenance** ("unless a node in the tree has
+//!   been modified, its provenance is that of its parent node") and
+//!   **transaction squashing** ("a description of the effects of the
+//!   transaction that is shorter than the log of basic operations"), plus
+//!   a naive per-node store as the baseline the benchmarks compare
+//!   against,
+//! * [`queries`] — provenance queries: when was a value created, by what
+//!   process did it arrive, when was a subtree last modified,
+//! * [`update_lang`] — the provenance-aware update language of §3.1
+//!   \[52, 14\]: updates over colored complex objects, the
+//!   kind-preservation condition, and the three Figure 3 programs.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ops;
+pub mod provql;
+pub mod provstore;
+pub mod queries;
+pub mod replay;
+pub mod tree;
+pub mod update_lang;
+
+pub use ops::{Clipboard, CurationOp, Transaction, TxnId};
+pub use provstore::{Origin, ProvRecord, ProvStore, StoreMode};
+pub use tree::{NodeId, TreeDb};

@@ -1,0 +1,236 @@
+//! Base (atomic) values.
+//!
+//! Atoms are the leaves of every complex object. They are totally ordered
+//! and hashable so that sets of values can be kept in canonical order and
+//! used as keys — a property the archiver's fat-node merge and the
+//! provenance store both rely on.
+
+use std::fmt;
+
+/// A base value: the leaves of the complex-object model.
+///
+/// Real numbers are represented as scaled decimals (`Decimal`) rather than
+/// floats so that `Atom` can implement `Eq`, `Ord` and `Hash` — the data
+/// model must support set semantics, and IEEE floats cannot be set
+/// elements. Curated scientific data (molecular weights, percentages) is
+/// decimal in the sources anyway.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Atom {
+    /// The unit/null atom. Used for label-only tree nodes.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A scaled decimal: `digits * 10^-scale`.
+    Decimal(Decimal),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+/// A scaled decimal number: `digits * 10^-scale`, kept in a canonical form
+/// where `digits` has no trailing zero factor unless `scale == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Decimal {
+    digits: i64,
+    scale: u8,
+}
+
+impl Decimal {
+    /// Creates a decimal `digits * 10^-scale`, canonicalizing trailing
+    /// zeros (`1500, 2` becomes `15, 0` — i.e. `15.00` → `15`).
+    pub fn new(mut digits: i64, mut scale: u8) -> Self {
+        while scale > 0 && digits % 10 == 0 {
+            digits /= 10;
+            scale -= 1;
+        }
+        Decimal { digits, scale }
+    }
+
+    /// The unscaled digits.
+    pub fn digits(&self) -> i64 {
+        self.digits
+    }
+
+    /// The decimal scale (number of fractional digits).
+    pub fn scale(&self) -> u8 {
+        self.scale
+    }
+
+    /// Approximate conversion to `f64`, for reporting only.
+    pub fn to_f64(&self) -> f64 {
+        self.digits as f64 / 10f64.powi(self.scale as i32)
+    }
+}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Compare digits * 10^-scale without losing precision: scale both
+        // to the larger scale using i128 arithmetic.
+        let (a, b) = (self.digits as i128, other.digits as i128);
+        let (sa, sb) = (self.scale as u32, other.scale as u32);
+        let max = sa.max(sb);
+        let a = a * 10i128.pow(max - sa);
+        let b = b * 10i128.pow(max - sb);
+        a.cmp(&b)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.digits);
+        }
+        let sign = if self.digits < 0 { "-" } else { "" };
+        let abs = self.digits.unsigned_abs();
+        let pow = 10u64.pow(self.scale as u32);
+        write!(
+            f,
+            "{sign}{}.{:0width$}",
+            abs / pow,
+            abs % pow,
+            width = self.scale as usize
+        )
+    }
+}
+
+impl Atom {
+    /// A short tag naming the constructor, used in error messages and in
+    /// the kind-preservation checker of the update language.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Atom::Unit => "unit",
+            Atom::Bool(_) => "bool",
+            Atom::Int(_) => "int",
+            Atom::Decimal(_) => "decimal",
+            Atom::Str(_) => "string",
+        }
+    }
+
+    /// Returns the string payload if this atom is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Atom::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload if this atom is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this atom is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Atom::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Unit => write!(f, "()"),
+            Atom::Bool(b) => write!(f, "{b}"),
+            Atom::Int(i) => write!(f, "{i}"),
+            Atom::Decimal(d) => write!(f, "{d}"),
+            Atom::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(v: i64) -> Self {
+        Atom::Int(v)
+    }
+}
+
+impl From<bool> for Atom {
+    fn from(v: bool) -> Self {
+        Atom::Bool(v)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(v: &str) -> Self {
+        Atom::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Atom {
+    fn from(v: String) -> Self {
+        Atom::Str(v)
+    }
+}
+
+impl From<Decimal> for Atom {
+    fn from(v: Decimal) -> Self {
+        Atom::Decimal(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_canonicalizes_trailing_zeros() {
+        assert_eq!(Decimal::new(1500, 2), Decimal::new(15, 0));
+        assert_eq!(Decimal::new(1500, 2).to_string(), "15");
+        assert_eq!(Decimal::new(1502, 2).to_string(), "15.02");
+        assert_eq!(Decimal::new(-1502, 2).to_string(), "-15.02");
+    }
+
+    #[test]
+    fn decimal_ordering_is_numeric() {
+        let a = Decimal::new(15, 1); // 1.5
+        let b = Decimal::new(2, 0); // 2
+        let c = Decimal::new(150, 2); // 1.50 == 1.5
+        assert!(a < b);
+        assert_eq!(a, c);
+        assert_eq!(a.cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn atom_ordering_separates_constructors() {
+        // The derived order sorts by constructor first; all we rely on is
+        // totality and consistency with Eq.
+        let mut atoms = vec![
+            Atom::Str("b".into()),
+            Atom::Int(3),
+            Atom::Unit,
+            Atom::Bool(true),
+            Atom::Str("a".into()),
+        ];
+        atoms.sort();
+        atoms.dedup();
+        assert_eq!(atoms.len(), 5);
+    }
+
+    #[test]
+    fn atom_accessors() {
+        assert_eq!(Atom::from(42).as_int(), Some(42));
+        assert_eq!(Atom::from("x").as_str(), Some("x"));
+        assert_eq!(Atom::from(true).as_bool(), Some(true));
+        assert_eq!(Atom::Unit.as_int(), None);
+        assert_eq!(Atom::from(42).tag(), "int");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Atom::Unit.to_string(), "()");
+        assert_eq!(Atom::from(7).to_string(), "7");
+        assert_eq!(Atom::from("hi").to_string(), "\"hi\"");
+    }
+}

@@ -1,0 +1,83 @@
+//! Errors produced by the data-model layer.
+
+use std::fmt;
+
+use crate::path::Path;
+
+/// Errors from navigating, typing or keying complex objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A path step named a record field that does not exist.
+    NoSuchField {
+        /// The missing field label.
+        label: String,
+        /// The path prefix at which the lookup failed.
+        at: Path,
+    },
+    /// A path step indexed a list out of bounds.
+    IndexOutOfBounds {
+        /// The out-of-range index.
+        index: usize,
+        /// The length of the list.
+        len: usize,
+        /// The path prefix at which the lookup failed.
+        at: Path,
+    },
+    /// A path step selected a set element that is not present.
+    NoSuchElement {
+        /// The path prefix at which the lookup failed.
+        at: Path,
+    },
+    /// A path step was applied to a value of the wrong shape
+    /// (e.g. a field step on a set).
+    ShapeMismatch {
+        /// What the step expected ("record", "set", "list").
+        expected: &'static str,
+        /// What was found ("atom", "record", …).
+        found: &'static str,
+        /// The path prefix at which the mismatch occurred.
+        at: Path,
+    },
+    /// A value failed to check against a type.
+    TypeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+        /// The path at which checking failed.
+        at: Path,
+    },
+    /// A key specification could not be satisfied (missing key field or
+    /// duplicate key among siblings).
+    KeyViolation {
+        /// Human-readable description of the violation.
+        detail: String,
+        /// The path at which the violation occurred.
+        at: Path,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoSuchField { label, at } => {
+                write!(f, "no field {label:?} at {at}")
+            }
+            ModelError::IndexOutOfBounds { index, len, at } => {
+                write!(f, "index {index} out of bounds (len {len}) at {at}")
+            }
+            ModelError::NoSuchElement { at } => {
+                write!(f, "no such set element at {at}")
+            }
+            ModelError::ShapeMismatch { expected, found, at } => {
+                write!(f, "expected {expected}, found {found} at {at}")
+            }
+            ModelError::TypeMismatch { detail, at } => {
+                write!(f, "type mismatch at {at}: {detail}")
+            }
+            ModelError::KeyViolation { detail, at } => {
+                write!(f, "key violation at {at}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,200 @@
+//! Paths: canonical addresses of parts of a complex object.
+//!
+//! A [`Path`] is a sequence of [`Step`]s from the root of a value to one of
+//! its parts. Set elements are addressed *by their value* (there is no
+//! positional identity inside a set), which is exactly the addressing
+//! discipline the colored-value provenance model of §2.3 needs: a color
+//! names a part, and parts of sets are identified extensionally.
+
+use std::fmt;
+
+use crate::value::{Label, Value};
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Step {
+    /// Descend into a record field.
+    Field(Label),
+    /// Descend into a list position.
+    Index(usize),
+    /// Descend into the set element equal to the given value.
+    Elem(Box<Value>),
+}
+
+impl Step {
+    /// The value shape this step can be applied to.
+    pub fn expects(&self) -> &'static str {
+        match self {
+            Step::Field(_) => "record",
+            Step::Index(_) => "list",
+            Step::Elem(_) => "set",
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Field(l) => write!(f, ".{l}"),
+            Step::Index(i) => write!(f, "[{i}]"),
+            Step::Elem(v) => write!(f, "{{{v}}}"),
+        }
+    }
+}
+
+/// A path from the root of a value to one of its parts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+impl Path {
+    /// The empty path (addresses the whole value).
+    pub fn root() -> Self {
+        Path { steps: Vec::new() }
+    }
+
+    /// Builds a path from a step sequence.
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        Path { steps }
+    }
+
+    /// Convenience: a path of record-field steps, e.g. `Path::fields(["a","b"])`.
+    pub fn fields<L: Into<Label>>(labels: impl IntoIterator<Item = L>) -> Self {
+        Path {
+            steps: labels.into_iter().map(|l| Step::Field(l.into())).collect(),
+        }
+    }
+
+    /// The steps of this path.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether this is the root path.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Returns a new path extended by one step.
+    pub fn child(&self, step: Step) -> Self {
+        let mut steps = self.steps.clone();
+        steps.push(step);
+        Path { steps }
+    }
+
+    /// Returns a new path that is this path followed by `suffix`.
+    pub fn join(&self, suffix: &Path) -> Self {
+        let mut steps = self.steps.clone();
+        steps.extend(suffix.steps.iter().cloned());
+        Path { steps }
+    }
+
+    /// The parent path, or `None` at the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.steps.is_empty() {
+            None
+        } else {
+            Some(Path {
+                steps: self.steps[..self.steps.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// The last step, or `None` at the root.
+    pub fn last(&self) -> Option<&Step> {
+        self.steps.last()
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`. Provenance is
+    /// *hereditary* (§3.1): a fact recorded at a path applies to every
+    /// path it prefixes unless overridden below.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.steps.len() >= self.steps.len()
+            && self.steps[..] == other.steps[..self.steps.len()]
+    }
+
+    /// Strips `prefix` from the front of this path, if it is a prefix.
+    pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
+        if prefix.is_prefix_of(self) {
+            Some(Path {
+                steps: self.steps[prefix.len()..].to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.steps.is_empty() {
+            return write!(f, "/");
+        }
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Step> for Path {
+    fn from_iter<T: IntoIterator<Item = Step>>(iter: T) -> Self {
+        Path {
+            steps: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_relation() {
+        let p = Path::fields(["a", "b"]);
+        let q = Path::fields(["a", "b", "c"]);
+        let r = Path::fields(["a", "x"]);
+        assert!(p.is_prefix_of(&q));
+        assert!(p.is_prefix_of(&p));
+        assert!(!q.is_prefix_of(&p));
+        assert!(!r.is_prefix_of(&q));
+    }
+
+    #[test]
+    fn strip_prefix_returns_suffix() {
+        let p = Path::fields(["a", "b"]);
+        let q = Path::fields(["a", "b", "c"]);
+        assert_eq!(q.strip_prefix(&p), Some(Path::fields(["c"])));
+        assert_eq!(p.strip_prefix(&q), None);
+    }
+
+    #[test]
+    fn parent_and_last() {
+        let p = Path::fields(["a", "b"]);
+        assert_eq!(p.parent(), Some(Path::fields(["a"])));
+        assert_eq!(p.last(), Some(&Step::Field("b".into())));
+        assert_eq!(Path::root().parent(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Path::root().to_string(), "/");
+        let p = Path::root()
+            .child(Step::Field("a".into()))
+            .child(Step::Index(2));
+        assert_eq!(p.to_string(), ".a[2]");
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let p = Path::fields(["a"]);
+        let q = Path::fields(["b", "c"]);
+        assert_eq!(p.join(&q), Path::fields(["a", "b", "c"]));
+    }
+}

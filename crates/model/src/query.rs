@@ -1,0 +1,300 @@
+//! Label-path queries over complex objects — the XPath-like layer of
+//! §6.1.
+//!
+//! > "Style-sheets for presentation based on such a model are easy to
+//! > construct, as is an appropriate variant of XPath. Note that most
+//! > XPath expressions are insensitive to the addition of new tags, so
+//! > we would expect them to have the same kinds of guarantees about
+//! > extensibility as we do for relational databases and SQL."
+//!
+//! A [`PathQuery`] is a sequence of axis steps over record fields (sets
+//! and lists are transparent — a step applies to every element). The
+//! extensibility guarantee is a theorem of the semantics and is
+//! property-tested: adding *new* record fields anywhere in a value never
+//! changes the result of a query that doesn't mention them.
+
+use std::fmt;
+
+use crate::path::{Path, Step};
+use crate::value::Value;
+
+/// One step of a path query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryStep {
+    /// `/label` — the field `label` of each current record (elements of
+    /// current sets/lists are searched transparently).
+    Child(String),
+    /// `/*` — every field of each current record.
+    AnyChild,
+    /// `//label` — every descendant field named `label`.
+    Descendant(String),
+}
+
+/// A parsed path query, e.g. `/entry/name`, `//population`, `/entry/*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    steps: Vec<QueryStep>,
+}
+
+impl PathQuery {
+    /// Parses a query. Syntax: steps separated by `/`; a leading `//`
+    /// (or any empty segment) makes the following step a descendant
+    /// step; `*` is the wildcard.
+    pub fn parse(input: &str) -> Result<PathQuery, String> {
+        let mut steps = Vec::new();
+        let mut descendant = false;
+        if !input.starts_with('/') {
+            return Err("path query must start with '/'".to_owned());
+        }
+        for seg in input.split('/').skip(1) {
+            if seg.is_empty() {
+                descendant = true;
+                continue;
+            }
+            let step = match (seg, descendant) {
+                ("*", false) => QueryStep::AnyChild,
+                ("*", true) => {
+                    return Err("'//*' is not supported".to_owned());
+                }
+                (label, false) => QueryStep::Child(label.to_owned()),
+                (label, true) => QueryStep::Descendant(label.to_owned()),
+            };
+            steps.push(step);
+            descendant = false;
+        }
+        if descendant {
+            return Err("trailing '/'".to_owned());
+        }
+        if steps.is_empty() {
+            return Err("empty query".to_owned());
+        }
+        Ok(PathQuery { steps })
+    }
+
+    /// The labels this query mentions (used by the stability theorem:
+    /// results are invariant under adding fields with *other* labels).
+    pub fn mentioned_labels(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                QueryStep::Child(l) | QueryStep::Descendant(l) => Some(l.as_str()),
+                QueryStep::AnyChild => None,
+            })
+            .collect()
+    }
+
+    /// Whether the query uses a wildcard (wildcards are the one
+    /// construct that *is* sensitive to new fields).
+    pub fn has_wildcard(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, QueryStep::AnyChild))
+    }
+
+    /// Evaluates the query, returning matching parts with their paths,
+    /// in document order.
+    pub fn eval<'v>(&self, value: &'v Value) -> Vec<(Path, &'v Value)> {
+        let mut current: Vec<(Path, &Value)> = vec![(Path::root(), value)];
+        for step in &self.steps {
+            let mut next = Vec::new();
+            for (p, v) in current {
+                apply_step(step, &p, v, &mut next);
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Convenience: the matching values only.
+    pub fn values<'v>(&self, value: &'v Value) -> Vec<&'v Value> {
+        self.eval(value).into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+/// Applies one step to one node. Sets and lists are transparent: the
+/// step recurses into their elements first.
+fn apply_step<'v>(
+    step: &QueryStep,
+    at: &Path,
+    v: &'v Value,
+    out: &mut Vec<(Path, &'v Value)>,
+) {
+    match v {
+        Value::Set(s) => {
+            for el in s {
+                let p = at.child(Step::Elem(Box::new(el.clone())));
+                apply_step(step, &p, el, out);
+            }
+        }
+        Value::List(xs) => {
+            for (i, el) in xs.iter().enumerate() {
+                let p = at.child(Step::Index(i));
+                apply_step(step, &p, el, out);
+            }
+        }
+        Value::Record(m) => match step {
+            QueryStep::Child(label) => {
+                if let Some(child) = m.get(label) {
+                    out.push((at.child(Step::Field(label.clone())), child));
+                }
+            }
+            QueryStep::AnyChild => {
+                for (l, child) in m {
+                    out.push((at.child(Step::Field(l.clone())), child));
+                }
+            }
+            QueryStep::Descendant(label) => {
+                collect_descendants(label, at, v, out);
+            }
+        },
+        Value::Atom(_) => {
+            if let QueryStep::Descendant(_) = step {
+                // atoms have no descendants
+            }
+        }
+    }
+}
+
+fn collect_descendants<'v>(
+    label: &str,
+    at: &Path,
+    v: &'v Value,
+    out: &mut Vec<(Path, &'v Value)>,
+) {
+    match v {
+        Value::Atom(_) => {}
+        Value::Record(m) => {
+            for (l, child) in m {
+                let p = at.child(Step::Field(l.clone()));
+                if l == label {
+                    out.push((p.clone(), child));
+                }
+                collect_descendants(label, &p, child, out);
+            }
+        }
+        Value::Set(s) => {
+            for el in s {
+                let p = at.child(Step::Elem(Box::new(el.clone())));
+                collect_descendants(label, &p, el, out);
+            }
+        }
+        Value::List(xs) => {
+            for (i, el) in xs.iter().enumerate() {
+                let p = at.child(Step::Index(i));
+                collect_descendants(label, &p, el, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            match s {
+                QueryStep::Child(l) => write!(f, "/{l}")?,
+                QueryStep::AnyChild => write!(f, "/*")?,
+                QueryStep::Descendant(l) => write!(f, "//{l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factbook() -> Value {
+        Value::set([
+            Value::record([
+                ("name", Value::str("Iceland")),
+                (
+                    "people",
+                    Value::record([("population", Value::int(300_000))]),
+                ),
+            ]),
+            Value::record([
+                ("name", Value::str("Latvia")),
+                (
+                    "people",
+                    Value::record([("population", Value::int(1_900_000))]),
+                ),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn child_steps_navigate_through_sets() {
+        let v = factbook();
+        let q = PathQuery::parse("/name").unwrap();
+        let names = q.values(&v);
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&&Value::str("Iceland")));
+    }
+
+    #[test]
+    fn nested_paths_and_descendants() {
+        let v = factbook();
+        let q = PathQuery::parse("/people/population").unwrap();
+        assert_eq!(q.values(&v).len(), 2);
+        let d = PathQuery::parse("//population").unwrap();
+        assert_eq!(d.values(&v), q.values(&v));
+    }
+
+    #[test]
+    fn wildcard_selects_all_fields() {
+        let v = Value::record([("a", Value::int(1)), ("b", Value::int(2))]);
+        let q = PathQuery::parse("/*").unwrap();
+        assert_eq!(q.values(&v).len(), 2);
+        assert!(q.has_wildcard());
+    }
+
+    #[test]
+    fn results_carry_resolvable_paths() {
+        let v = factbook();
+        let q = PathQuery::parse("//population").unwrap();
+        for (p, part) in q.eval(&v) {
+            assert_eq!(v.get(&p).unwrap(), part);
+        }
+    }
+
+    /// The §6.1 extensibility claim: adding new fields never disturbs a
+    /// wildcard-free query that doesn't mention them.
+    #[test]
+    fn queries_are_insensitive_to_added_fields() {
+        let v = factbook();
+        let q = PathQuery::parse("/people/population").unwrap();
+        let before: Vec<Value> = q.values(&v).into_iter().cloned().collect();
+        // Evolve: add a field to every country and a nested one under
+        // people.
+        let evolved = Value::set(v.as_set().unwrap().iter().map(|c| {
+            let mut m = c.as_record().unwrap().clone();
+            m.insert("gdp".into(), Value::int(42));
+            let mut people = m["people"].as_record().unwrap().clone();
+            people.insert("internet_users".into(), Value::int(7));
+            m.insert("people".into(), Value::Record(people));
+            Value::Record(m)
+        }));
+        let after: Vec<Value> = q.values(&evolved).into_iter().cloned().collect();
+        assert_eq!(before, after);
+        // A wildcard query, by contrast, sees the new fields.
+        let w = PathQuery::parse("/*").unwrap();
+        assert!(w.values(&evolved).len() > w.values(&v).len());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(PathQuery::parse("name").is_err());
+        assert!(PathQuery::parse("/").is_err());
+        assert!(PathQuery::parse("/a/").is_err());
+        assert!(PathQuery::parse("//*").is_err());
+        assert_eq!(
+            PathQuery::parse("/entry//name").unwrap().to_string(),
+            "/entry//name"
+        );
+    }
+
+    #[test]
+    fn mentioned_labels_reports_dependencies() {
+        let q = PathQuery::parse("/entry//name").unwrap();
+        assert_eq!(q.mentioned_labels(), vec!["entry", "name"]);
+    }
+}

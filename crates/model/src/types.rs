@@ -1,0 +1,381 @@
+//! Types for complex objects, with *record subtyping*.
+//!
+//! §6.1 of the paper argues that the extensibility guarantees databases
+//! rely on ("adding a column seldom interferes with existing
+//! applications") are exactly *record subtyping* in the programming-
+//! language sense [Rémy 94]: a record with fields `A, B, C` can be used
+//! wherever one with fields `A, B` is expected. This module provides that
+//! subtype relation for the complex-object model; the regular-expression
+//! side of the story (inclusion vs. width vs. interleaving subtyping for
+//! XML-style content models) lives in `cdb-schema`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::error::ModelError;
+use crate::path::{Path, Step};
+use crate::value::{Label, Value};
+
+/// Types of atomic values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AtomType {
+    /// The unit type.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// Scaled decimals.
+    Decimal,
+    /// Strings.
+    Str,
+}
+
+impl AtomType {
+    /// The type of a given atom.
+    pub fn of(a: &Atom) -> AtomType {
+        match a {
+            Atom::Unit => AtomType::Unit,
+            Atom::Bool(_) => AtomType::Bool,
+            Atom::Int(_) => AtomType::Int,
+            Atom::Decimal(_) => AtomType::Decimal,
+            Atom::Str(_) => AtomType::Str,
+        }
+    }
+}
+
+impl fmt::Display for AtomType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomType::Unit => "unit",
+            AtomType::Bool => "bool",
+            AtomType::Int => "int",
+            AtomType::Decimal => "decimal",
+            AtomType::Str => "string",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A record field: its type and whether it must be present.
+///
+/// Optional fields are how schema inference (`cdb-schema::infer`)
+/// generalizes over entries that carry different field subsets — the
+/// World Factbook's `Government/Elections/Althing` problem from §6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldType {
+    /// The field's type.
+    pub ty: Type,
+    /// Whether the field may be absent.
+    pub optional: bool,
+}
+
+impl FieldType {
+    /// A required field of the given type.
+    pub fn required(ty: Type) -> Self {
+        FieldType { ty, optional: false }
+    }
+
+    /// An optional field of the given type.
+    pub fn optional(ty: Type) -> Self {
+        FieldType { ty, optional: true }
+    }
+}
+
+/// A type of complex objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// Any value. Top of the subtype order; inference's last resort.
+    Any,
+    /// An atomic type.
+    Atom(AtomType),
+    /// A record type. Values may carry *extra* fields (width subtyping).
+    Record(BTreeMap<Label, FieldType>),
+    /// A homogeneous set.
+    Set(Box<Type>),
+    /// A homogeneous list.
+    List(Box<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for a record type with all-required fields.
+    pub fn record<L: Into<Label>>(fields: impl IntoIterator<Item = (L, Type)>) -> Self {
+        Type::Record(
+            fields
+                .into_iter()
+                .map(|(l, t)| (l.into(), FieldType::required(t)))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a set type.
+    pub fn set(elem: Type) -> Self {
+        Type::Set(Box::new(elem))
+    }
+
+    /// Convenience constructor for a list type.
+    pub fn list(elem: Type) -> Self {
+        Type::List(Box::new(elem))
+    }
+
+    /// Checks `value` against this type. Extra record fields are allowed
+    /// (width subtyping): existing applications keep working when the
+    /// curators add a column.
+    pub fn check(&self, value: &Value) -> Result<(), ModelError> {
+        self.check_at(value, &Path::root())
+    }
+
+    fn check_at(&self, value: &Value, at: &Path) -> Result<(), ModelError> {
+        match (self, value) {
+            (Type::Any, _) => Ok(()),
+            (Type::Atom(t), Value::Atom(a)) => {
+                if AtomType::of(a) == *t {
+                    Ok(())
+                } else {
+                    Err(ModelError::TypeMismatch {
+                        detail: format!("expected {t}, found {} atom", a.tag()),
+                        at: at.clone(),
+                    })
+                }
+            }
+            (Type::Record(fields), Value::Record(m)) => {
+                for (l, ft) in fields {
+                    match m.get(l) {
+                        Some(v) => {
+                            ft.ty.check_at(v, &at.child(Step::Field(l.clone())))?
+                        }
+                        None if ft.optional => {}
+                        None => {
+                            return Err(ModelError::TypeMismatch {
+                                detail: format!("missing required field {l:?}"),
+                                at: at.clone(),
+                            })
+                        }
+                    }
+                }
+                Ok(())
+            }
+            (Type::Set(elem), Value::Set(s)) => {
+                for v in s {
+                    elem.check_at(v, &at.child(Step::Elem(Box::new(v.clone()))))?;
+                }
+                Ok(())
+            }
+            (Type::List(elem), Value::List(xs)) => {
+                for (i, v) in xs.iter().enumerate() {
+                    elem.check_at(v, &at.child(Step::Index(i)))?;
+                }
+                Ok(())
+            }
+            (t, v) => Err(ModelError::TypeMismatch {
+                detail: format!("expected {t}, found {}", v.kind()),
+                at: at.clone(),
+            }),
+        }
+    }
+
+    /// The subtype relation `self <: other`: every value of `self` is a
+    /// value of `other`. Records use *width and depth* subtyping: a
+    /// subtype may require more fields and give each field a subtype.
+    pub fn is_subtype_of(&self, other: &Type) -> bool {
+        match (self, other) {
+            (_, Type::Any) => true,
+            (Type::Any, _) => false,
+            (Type::Atom(a), Type::Atom(b)) => a == b,
+            (Type::Record(sub), Type::Record(sup)) => sup.iter().all(|(l, ft_sup)| {
+                match sub.get(l) {
+                    // A field required above must be required below, and
+                    // at a subtype.
+                    Some(ft_sub) => {
+                        (ft_sup.optional || !ft_sub.optional)
+                            && ft_sub.ty.is_subtype_of(&ft_sup.ty)
+                    }
+                    // A field missing below is fine only if optional
+                    // above (the sub-record's values simply never have
+                    // it... but width subtyping allows extra fields in
+                    // *values*, so absence in the subtype's description
+                    // is only safe when the supertype tolerates absence).
+                    None => ft_sup.optional,
+                }
+            }),
+            (Type::Set(a), Type::Set(b)) => a.is_subtype_of(b),
+            (Type::List(a), Type::List(b)) => a.is_subtype_of(b),
+            _ => false,
+        }
+    }
+
+    /// The least upper bound of two types in the subtype order, used by
+    /// schema inference to generalize over heterogeneous entries.
+    /// Falls back to [`Type::Any`] when the shapes disagree.
+    pub fn lub(&self, other: &Type) -> Type {
+        match (self, other) {
+            (a, b) if a == b => a.clone(),
+            (Type::Atom(a), Type::Atom(b)) if a == b => Type::Atom(*a),
+            (Type::Record(a), Type::Record(b)) => {
+                let mut out: BTreeMap<Label, FieldType> = BTreeMap::new();
+                for (l, fa) in a {
+                    match b.get(l) {
+                        Some(fb) => {
+                            out.insert(
+                                l.clone(),
+                                FieldType {
+                                    ty: fa.ty.lub(&fb.ty),
+                                    optional: fa.optional || fb.optional,
+                                },
+                            );
+                        }
+                        None => {
+                            out.insert(l.clone(), FieldType::optional(fa.ty.clone()));
+                        }
+                    }
+                }
+                for (l, fb) in b {
+                    if !a.contains_key(l) {
+                        out.insert(l.clone(), FieldType::optional(fb.ty.clone()));
+                    }
+                }
+                Type::Record(out)
+            }
+            (Type::Set(a), Type::Set(b)) => Type::set(a.lub(b)),
+            (Type::List(a), Type::List(b)) => Type::list(a.lub(b)),
+            _ => Type::Any,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Any => write!(f, "any"),
+            Type::Atom(a) => write!(f, "{a}"),
+            Type::Record(fields) => {
+                write!(f, "(")?;
+                for (i, (l, ft)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}{}: {}", if ft.optional { "?" } else { "" }, ft.ty)?;
+                }
+                write!(f, ")")
+            }
+            Type::Set(t) => write!(f, "{{{t}}}"),
+            Type::List(t) => write!(f, "[{t}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Type {
+        Type::record([("A", Type::Atom(AtomType::Int)), ("B", Type::Atom(AtomType::Int))])
+    }
+
+    fn abc() -> Type {
+        Type::record([
+            ("A", Type::Atom(AtomType::Int)),
+            ("B", Type::Atom(AtomType::Int)),
+            ("C", Type::Atom(AtomType::Str)),
+        ])
+    }
+
+    #[test]
+    fn width_subtyping_record_with_more_fields_is_subtype() {
+        // §6.1: "we can always use a record with fields A, B, C anywhere
+        // one with fields A, B is expected."
+        assert!(abc().is_subtype_of(&ab()));
+        assert!(!ab().is_subtype_of(&abc()));
+    }
+
+    #[test]
+    fn values_with_extra_fields_check_against_narrower_type() {
+        let v = Value::record([
+            ("A", Value::int(1)),
+            ("B", Value::int(2)),
+            ("C", Value::str("x")),
+        ]);
+        assert!(ab().check(&v).is_ok());
+        assert!(abc().check(&v).is_ok());
+    }
+
+    #[test]
+    fn missing_required_field_fails() {
+        let v = Value::record([("A", Value::int(1))]);
+        let err = ab().check(&v).unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn optional_field_may_be_absent() {
+        let t = Type::Record(
+            [
+                ("A".to_string(), FieldType::required(Type::Atom(AtomType::Int))),
+                ("B".to_string(), FieldType::optional(Type::Atom(AtomType::Int))),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        assert!(t.check(&Value::record([("A", Value::int(1))])).is_ok());
+    }
+
+    #[test]
+    fn set_and_list_checking() {
+        let t = Type::set(ab());
+        let good = Value::set([Value::record([("A", Value::int(1)), ("B", Value::int(2))])]);
+        let bad = Value::set([Value::int(3)]);
+        assert!(t.check(&good).is_ok());
+        assert!(t.check(&bad).is_err());
+        assert!(Type::list(Type::Atom(AtomType::Int))
+            .check(&Value::list([Value::int(1), Value::int(2)]))
+            .is_ok());
+    }
+
+    #[test]
+    fn lub_makes_disagreeing_fields_optional() {
+        let a = Type::record([("A", Type::Atom(AtomType::Int))]);
+        let b = Type::record([("B", Type::Atom(AtomType::Str))]);
+        let l = a.lub(&b);
+        match &l {
+            Type::Record(fs) => {
+                assert!(fs["A"].optional);
+                assert!(fs["B"].optional);
+            }
+            _ => panic!("expected record"),
+        }
+        // Both inputs are subtypes of the lub? A record typed `a` lacks B,
+        // which the lub tolerates (optional), so yes.
+        assert!(a.is_subtype_of(&l));
+        assert!(b.is_subtype_of(&l));
+    }
+
+    #[test]
+    fn lub_of_incompatible_shapes_is_any() {
+        assert_eq!(
+            Type::Atom(AtomType::Int).lub(&Type::set(Type::Any)),
+            Type::Any
+        );
+        assert!(ab().is_subtype_of(&Type::Any));
+    }
+
+    #[test]
+    fn subtype_reflexive_and_transitive_samples() {
+        assert!(ab().is_subtype_of(&ab()));
+        let wide = Type::record([
+            ("A", Type::Atom(AtomType::Int)),
+            ("B", Type::Atom(AtomType::Int)),
+            ("C", Type::Atom(AtomType::Str)),
+            ("D", Type::Atom(AtomType::Bool)),
+        ]);
+        assert!(wide.is_subtype_of(&abc()));
+        assert!(abc().is_subtype_of(&ab()));
+        assert!(wide.is_subtype_of(&ab()));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ab().to_string(), "(A: int, B: int)");
+        assert_eq!(Type::set(Type::Atom(AtomType::Str)).to_string(), "{string}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Complex objects: values built from atoms, records, sets and lists.
+//!
+//! This is the "simple complex-object model in which records, sets, and
+//! lists can be freely combined" that §6.1 of the paper argues is the
+//! right underlying data model for curated databases (with XML demoted to
+//! a presentation/transmission format).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::error::ModelError;
+use crate::path::{Path, Step};
+
+/// A record-field / tree-edge label.
+pub type Label = String;
+
+/// A complex object.
+///
+/// Sets are kept in a `BTreeSet` so that value equality is extensional
+/// (order- and duplicate-insensitive), which the annotation-propagation
+/// semantics of §2 depends on: a union that merges two equal base values
+/// must *merge* their annotations rather than keep two copies.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A base value.
+    Atom(Atom),
+    /// A labeled record `(A: e1, B: e2, …)`.
+    Record(BTreeMap<Label, Value>),
+    /// A set `{e1, e2, …}` with extensional equality.
+    Set(BTreeSet<Value>),
+    /// An ordered list `[e1, e2, …]`.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Convenience constructor for an atom value.
+    pub fn atom(a: impl Into<Atom>) -> Self {
+        Value::Atom(a.into())
+    }
+
+    /// Convenience constructor for an integer atom.
+    pub fn int(i: i64) -> Self {
+        Value::Atom(Atom::Int(i))
+    }
+
+    /// Convenience constructor for a string atom.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Atom(Atom::Str(s.into()))
+    }
+
+    /// Convenience constructor for the unit atom.
+    pub fn unit() -> Self {
+        Value::Atom(Atom::Unit)
+    }
+
+    /// Builds a record from `(label, value)` pairs.
+    pub fn record<L: Into<Label>>(fields: impl IntoIterator<Item = (L, Value)>) -> Self {
+        Value::Record(fields.into_iter().map(|(l, v)| (l.into(), v)).collect())
+    }
+
+    /// Builds a set from values (duplicates collapse).
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// Builds a list from values.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// The shape tag of this value: `"atom"`, `"record"`, `"set"` or
+    /// `"list"`. This is the *kind* used by the kind-preservation
+    /// condition on update languages (§3.1 / \[14\]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Atom(_) => "atom",
+            Value::Record(_) => "record",
+            Value::Set(_) => "set",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Returns the atom if this value is atomic.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Value::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the record fields if this value is a record.
+    pub fn as_record(&self) -> Option<&BTreeMap<Label, Value>> {
+        match self {
+            Value::Record(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the set elements if this value is a set.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the list elements if this value is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Looks up a record field directly.
+    pub fn field(&self, label: &str) -> Option<&Value> {
+        self.as_record().and_then(|m| m.get(label))
+    }
+
+    /// Navigates to the part of this value addressed by `path`.
+    pub fn get(&self, path: &Path) -> Result<&Value, ModelError> {
+        let mut cur = self;
+        for (i, step) in path.steps().iter().enumerate() {
+            let at = || Path::from_steps(path.steps()[..i].to_vec());
+            cur = match (step, cur) {
+                (Step::Field(l), Value::Record(m)) => m.get(l).ok_or_else(|| {
+                    ModelError::NoSuchField { label: l.clone(), at: at() }
+                })?,
+                (Step::Index(n), Value::List(xs)) => xs.get(*n).ok_or_else(|| {
+                    ModelError::IndexOutOfBounds { index: *n, len: xs.len(), at: at() }
+                })?,
+                (Step::Elem(v), Value::Set(s)) => s
+                    .get(v.as_ref())
+                    .ok_or_else(|| ModelError::NoSuchElement { at: at() })?,
+                (step, found) => {
+                    return Err(ModelError::ShapeMismatch {
+                        expected: step.expects(),
+                        found: found.kind(),
+                        at: at(),
+                    })
+                }
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Functionally replaces the part addressed by `path` with `new`,
+    /// returning the updated value. Replacing a set element removes the
+    /// old element and inserts the new one (set semantics).
+    pub fn updated(&self, path: &Path, new: Value) -> Result<Value, ModelError> {
+        self.updated_at(path.steps(), path, new)
+    }
+
+    fn updated_at(
+        &self,
+        steps: &[Step],
+        full: &Path,
+        new: Value,
+    ) -> Result<Value, ModelError> {
+        let Some((step, rest)) = steps.split_first() else {
+            return Ok(new);
+        };
+        let at = || {
+            let done = full.len() - steps.len();
+            Path::from_steps(full.steps()[..done].to_vec())
+        };
+        match (step, self) {
+            (Step::Field(l), Value::Record(m)) => {
+                let child = m.get(l).ok_or_else(|| ModelError::NoSuchField {
+                    label: l.clone(),
+                    at: at(),
+                })?;
+                let mut m2 = m.clone();
+                m2.insert(l.clone(), child.updated_at(rest, full, new)?);
+                Ok(Value::Record(m2))
+            }
+            (Step::Index(n), Value::List(xs)) => {
+                let child = xs.get(*n).ok_or_else(|| ModelError::IndexOutOfBounds {
+                    index: *n,
+                    len: xs.len(),
+                    at: at(),
+                })?;
+                let mut xs2 = xs.clone();
+                xs2[*n] = child.updated_at(rest, full, new)?;
+                Ok(Value::List(xs2))
+            }
+            (Step::Elem(v), Value::Set(s)) => {
+                let child = s
+                    .get(v.as_ref())
+                    .ok_or_else(|| ModelError::NoSuchElement { at: at() })?;
+                let updated = child.updated_at(rest, full, new)?;
+                let mut s2 = s.clone();
+                s2.remove(v.as_ref());
+                s2.insert(updated);
+                Ok(Value::Set(s2))
+            }
+            (step, found) => Err(ModelError::ShapeMismatch {
+                expected: step.expects(),
+                found: found.kind(),
+                at: at(),
+            }),
+        }
+    }
+
+    /// Enumerates every part of this value (including the value itself)
+    /// together with its path, in depth-first order. This is the set of
+    /// annotatable locations in the colored-value model of §2.3.
+    pub fn parts(&self) -> Vec<(Path, &Value)> {
+        let mut out = Vec::new();
+        self.collect_parts(Path::root(), &mut out);
+        out
+    }
+
+    fn collect_parts<'a>(&'a self, here: Path, out: &mut Vec<(Path, &'a Value)>) {
+        out.push((here.clone(), self));
+        match self {
+            Value::Atom(_) => {}
+            Value::Record(m) => {
+                for (l, v) in m {
+                    v.collect_parts(here.child(Step::Field(l.clone())), out);
+                }
+            }
+            Value::Set(s) => {
+                for v in s {
+                    v.collect_parts(here.child(Step::Elem(Box::new(v.clone()))), out);
+                }
+            }
+            Value::List(xs) => {
+                for (i, v) in xs.iter().enumerate() {
+                    v.collect_parts(here.child(Step::Index(i)), out);
+                }
+            }
+        }
+    }
+
+    /// The number of parts (nodes) in this value.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::Record(m) => 1 + m.values().map(Value::size).sum::<usize>(),
+            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+            Value::List(xs) => 1 + xs.iter().map(Value::size).sum::<usize>(),
+        }
+    }
+
+    /// The nesting depth of this value (an atom has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::Record(m) => 1 + m.values().map(Value::depth).max().unwrap_or(0),
+            Value::Set(s) => 1 + s.iter().map(Value::depth).max().unwrap_or(0),
+            Value::List(xs) => 1 + xs.iter().map(Value::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Record(m) => {
+                write!(f, "(")?;
+                for (i, (l, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}: {v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::List(xs) => {
+                write!(f, "[")?;
+                for (i, v) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Atom(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        // {(A:10, B:50), (A:12, B:30)} — the un-annotated table of Fig. 2.
+        Value::set([
+            Value::record([("A", Value::int(10)), ("B", Value::int(50))]),
+            Value::record([("A", Value::int(12)), ("B", Value::int(30))]),
+        ])
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let t = Value::record([("A", Value::int(10)), ("B", Value::int(50))]);
+        assert_eq!(t.to_string(), "(A: 10, B: 50)");
+        assert_eq!(
+            sample().to_string(),
+            "{(A: 10, B: 50), (A: 12, B: 30)}"
+        );
+    }
+
+    #[test]
+    fn set_equality_is_extensional() {
+        let a = Value::set([Value::int(1), Value::int(2), Value::int(1)]);
+        let b = Value::set([Value::int(2), Value::int(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn get_navigates_records_sets_lists() {
+        let v = sample();
+        let elem = Value::record([("A", Value::int(10)), ("B", Value::int(50))]);
+        let p = Path::root()
+            .child(Step::Elem(Box::new(elem)))
+            .child(Step::Field("B".into()));
+        assert_eq!(v.get(&p).unwrap(), &Value::int(50));
+    }
+
+    #[test]
+    fn get_reports_shape_mismatch() {
+        let v = Value::int(3);
+        let p = Path::root().child(Step::Field("A".into()));
+        match v.get(&p) {
+            Err(ModelError::ShapeMismatch { expected, found, .. }) => {
+                assert_eq!(expected, "record");
+                assert_eq!(found, "atom");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn updated_replaces_in_place() {
+        let v = Value::record([("A", Value::int(10)), ("B", Value::int(50))]);
+        let p = Path::root().child(Step::Field("B".into()));
+        let v2 = v.updated(&p, Value::int(55)).unwrap();
+        assert_eq!(v2.field("B").unwrap(), &Value::int(55));
+        assert_eq!(v.field("B").unwrap(), &Value::int(50), "original untouched");
+    }
+
+    #[test]
+    fn updated_set_element_keeps_set_semantics() {
+        let v = Value::set([Value::int(1), Value::int(2)]);
+        let p = Path::root().child(Step::Elem(Box::new(Value::int(1))));
+        let v2 = v.updated(&p, Value::int(2)).unwrap();
+        // 1 replaced by 2 merges with the existing 2.
+        assert_eq!(v2, Value::set([Value::int(2)]));
+    }
+
+    #[test]
+    fn parts_enumerates_all_nodes() {
+        let v = sample();
+        let parts = v.parts();
+        // 1 set + 2 records + 4 atoms = 7 parts.
+        assert_eq!(parts.len(), 7);
+        assert_eq!(v.size(), 7);
+        // Each part's path navigates back to the same subvalue.
+        for (p, sub) in &parts {
+            assert_eq!(v.get(p).unwrap(), *sub);
+        }
+    }
+
+    #[test]
+    fn depth_and_kind() {
+        assert_eq!(Value::int(1).depth(), 1);
+        assert_eq!(sample().depth(), 3);
+        assert_eq!(sample().kind(), "set");
+        assert_eq!(Value::list([]).kind(), "list");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the data model: path/navigation coherence,
+//! functional updates, type lub laws, and key-path resolution.
+
+use cdb_model::{Atom, Type, Value};
+use proptest::prelude::*;
+
+/// A strategy for atoms.
+fn atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        Just(Atom::Unit),
+        any::<bool>().prop_map(Atom::Bool),
+        (-1000i64..1000).prop_map(Atom::Int),
+        "[a-z]{0,6}".prop_map(Atom::Str),
+    ]
+}
+
+/// A strategy for values of bounded depth/size.
+fn value() -> impl Strategy<Value = Value> {
+    let leaf = atom().prop_map(Value::Atom);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::btree_map("[a-c]", inner.clone(), 0..4)
+                .prop_map(Value::Record),
+            proptest::collection::btree_set(inner.clone(), 0..4).prop_map(Value::Set),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::List),
+        ]
+    })
+}
+
+proptest! {
+    /// Every enumerated part's path navigates back to that exact part.
+    #[test]
+    fn parts_paths_resolve(v in value()) {
+        for (path, part) in v.parts() {
+            prop_assert_eq!(v.get(&path).unwrap(), part);
+        }
+    }
+
+    /// size() agrees with the number of enumerated parts.
+    #[test]
+    fn size_counts_parts(v in value()) {
+        prop_assert_eq!(v.size(), v.parts().len());
+    }
+
+    /// Functionally updating a part to itself is the identity.
+    #[test]
+    fn update_with_same_value_is_identity(v in value()) {
+        for (path, part) in v.parts() {
+            let updated = v.updated(&path, part.clone()).unwrap();
+            prop_assert_eq!(&updated, &v);
+        }
+    }
+
+    /// After updating an atom leaf to a fresh marker, the marker is
+    /// reachable at that path (unless set-merging collapsed it, in which
+    /// case the updated tree simply no longer has the original).
+    #[test]
+    fn update_plants_new_value(v in value()) {
+        let marker = Value::str("zz-marker");
+        for (path, part) in v.parts() {
+            if part.kind() != "atom" { continue; }
+            let updated = v.updated(&path, marker.clone()).unwrap();
+            // Either the marker is now at the path (records/lists) or
+            // somewhere in the tree (set element keyed by value moved).
+            let found = updated.parts().iter().any(|(_, p)| **p == marker);
+            prop_assert!(found);
+        }
+    }
+
+    /// Depth is monotone: every part is at most as deep as the whole.
+    #[test]
+    fn depth_bounds_parts(v in value()) {
+        for (_, part) in v.parts() {
+            prop_assert!(part.depth() <= v.depth());
+        }
+    }
+}
+
+/// A strategy for types of bounded depth.
+fn ty() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Any),
+        Just(Type::Atom(cdb_model::AtomType::Int)),
+        Just(Type::Atom(cdb_model::AtomType::Str)),
+        Just(Type::Atom(cdb_model::AtomType::Bool)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::btree_map(
+                "[a-c]",
+                (inner.clone(), any::<bool>()).prop_map(|(t, opt)| {
+                    if opt {
+                        cdb_model::types::FieldType::optional(t)
+                    } else {
+                        cdb_model::types::FieldType::required(t)
+                    }
+                }),
+                0..3
+            )
+            .prop_map(Type::Record),
+            inner.clone().prop_map(Type::set),
+            inner.prop_map(Type::list),
+        ]
+    })
+}
+
+proptest! {
+    /// lub is commutative and idempotent, and an upper bound.
+    #[test]
+    fn lub_laws(a in ty(), b in ty()) {
+        prop_assert_eq!(a.lub(&b), b.lub(&a), "commutative");
+        prop_assert_eq!(a.lub(&a), a.clone(), "idempotent");
+        let l = a.lub(&b);
+        prop_assert!(a.is_subtype_of(&l), "a <: lub(a,b): {} <: {}", a, l);
+        prop_assert!(b.is_subtype_of(&l), "b <: lub(a,b): {} <: {}", b, l);
+    }
+
+    /// Subtyping is reflexive, and Any is top.
+    #[test]
+    fn subtype_reflexive_and_top(a in ty()) {
+        prop_assert!(a.is_subtype_of(&a));
+        prop_assert!(a.is_subtype_of(&Type::Any));
+    }
+
+    /// Inference coherence: every value checks against its exact type,
+    /// both values check against the lub of their exact types, and
+    /// everything checks against Any.
+    #[test]
+    fn values_check_against_lub(a in value(), b in value()) {
+        let ta = exact_type(&a);
+        let tb = exact_type(&b);
+        prop_assert!(ta.check(&a).is_ok(), "exact type accepts its value");
+        let l = ta.lub(&tb);
+        prop_assert!(l.check(&a).is_ok(), "lub accepts left: {} vs {}", l, a);
+        prop_assert!(l.check(&b).is_ok(), "lub accepts right: {} vs {}", l, b);
+        prop_assert!(Type::Any.check(&a).is_ok());
+    }
+}
+
+/// The most specific type of a value (duplicated from cdb-schema's
+/// `type_of` to keep this crate's tests self-contained).
+fn exact_type(v: &Value) -> Type {
+    match v {
+        Value::Atom(a) => Type::Atom(cdb_model::AtomType::of(a)),
+        Value::Record(m) => Type::record(m.iter().map(|(l, x)| (l.clone(), exact_type(x)))),
+        Value::Set(s) => Type::set(
+            s.iter().map(exact_type).reduce(|a, b| a.lub(&b)).unwrap_or(Type::Any),
+        ),
+        Value::List(xs) => Type::list(
+            xs.iter().map(exact_type).reduce(|a, b| a.lub(&b)).unwrap_or(Type::Any),
+        ),
+    }
+}
+
+mod keys {
+    use super::*;
+    use cdb_model::KeySpec;
+
+    proptest! {
+        /// For entry sets with unique keys, every keyed node resolves
+        /// back to itself.
+        #[test]
+        fn keyed_nodes_resolve(
+            entries in proptest::collection::btree_map("[a-z]{1,5}", -100i64..100, 1..8)
+        ) {
+            let spec = KeySpec::new().rule(Vec::<String>::new(), ["name"]);
+            let v = Value::set(entries.iter().map(|(name, val)| {
+                Value::record([
+                    ("name", Value::str(name.clone())),
+                    ("val", Value::int(*val)),
+                ])
+            }));
+            let nodes = spec.keyed_nodes(&v).unwrap();
+            prop_assert_eq!(nodes.len(), 1 + entries.len() * 3);
+            for (kp, sub) in nodes {
+                prop_assert_eq!(spec.resolve(&v, &kp).unwrap(), sub);
+            }
+        }
+    }
+}

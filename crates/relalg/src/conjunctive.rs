@@ -1,0 +1,474 @@
+//! Conjunctive queries / Datalog rules.
+//!
+//! Figure 4 of the paper derives semiring provenance for the program
+//!
+//! ```text
+//! V(X, Z) :- R(X, _, Z)
+//! V(X, Z) :- R(X, Y, _), R(_, Y, Z)
+//! ```
+//!
+//! This module provides the rule representation and the matching
+//! machinery. Evaluation returns, for every derived head tuple, the list
+//! of *derivations* — for each rule match, the base tuples used — which
+//! is exactly the information a provenance semiring interprets: each
+//! derivation becomes a product (`·`) of the base-tuple annotations, and
+//! alternative derivations are summed (`+`). The semiring interpretation
+//! itself lives in `cdb-semiring`.
+//!
+//! Recursive programs are supported via naive fixpoint iteration, which
+//! §6.3 notes is what the "recursive querying of hierarchical data"
+//! needed by ontologies comes down to.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cdb_model::Atom;
+
+use crate::database::Database;
+use crate::error::RelalgError;
+use crate::relation::{Relation, Schema, Tuple};
+
+/// A term in an atom pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// A constant.
+    Const(Atom),
+    /// An anonymous variable (`_`), matching anything.
+    Wildcard,
+}
+
+impl Term {
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(a) => write!(f, "{a}"),
+            Term::Wildcard => write!(f, "_"),
+        }
+    }
+}
+
+/// An atom pattern `R(t1, …, tn)` in a rule body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomPattern {
+    /// The relation name.
+    pub relation: String,
+    /// The terms, positionally matched against tuples.
+    pub terms: Vec<Term>,
+}
+
+impl AtomPattern {
+    /// Builds an atom pattern.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        AtomPattern { relation: relation.into(), terms }
+    }
+}
+
+impl fmt::Display for AtomPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ts: Vec<String> = self.terms.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}({})", self.relation, ts.join(", "))
+    }
+}
+
+/// A Datalog rule `H(x̄) :- B1, …, Bn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head relation name.
+    pub head: String,
+    /// The head terms (variables or constants; no wildcards).
+    pub head_terms: Vec<Term>,
+    /// The body atoms.
+    pub body: Vec<AtomPattern>,
+}
+
+impl Rule {
+    /// Builds a rule, rejecting unsafe heads (head variables must occur
+    /// in the body; wildcards are not allowed in heads).
+    pub fn new(
+        head: impl Into<String>,
+        head_terms: Vec<Term>,
+        body: Vec<AtomPattern>,
+    ) -> Result<Self, RelalgError> {
+        for t in &head_terms {
+            match t {
+                Term::Wildcard => {
+                    return Err(RelalgError::UpdateError(
+                        "wildcard in rule head".to_owned(),
+                    ))
+                }
+                Term::Var(v) => {
+                    let bound = body
+                        .iter()
+                        .flat_map(|a| a.terms.iter())
+                        .any(|bt| matches!(bt, Term::Var(bv) if bv == v));
+                    if !bound {
+                        return Err(RelalgError::UpdateError(format!(
+                            "unsafe rule: head variable {v} not bound in body"
+                        )));
+                    }
+                }
+                Term::Const(_) => {}
+            }
+        }
+        Ok(Rule { head: head.into(), head_terms, body })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hs: Vec<String> = self.head_terms.iter().map(|t| t.to_string()).collect();
+        let bs: Vec<String> = self.body.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}({}) :- {}", self.head, hs.join(", "), bs.join(", "))
+    }
+}
+
+/// A variable substitution.
+pub type Substitution = BTreeMap<String, Atom>;
+
+/// One body match: the substitution and the base tuples used per atom.
+pub type BodyMatch = (Substitution, Vec<(String, Tuple)>);
+
+/// The derivations of every derived tuple, keyed by `(relation, tuple)`.
+pub type DerivationMap = BTreeMap<(String, Tuple), Vec<Derivation>>;
+
+/// One way of deriving a head tuple: the rule index in the program and
+/// the base tuples matched by each body atom, in body order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Derivation {
+    /// Index of the rule in the program.
+    pub rule: usize,
+    /// For each body atom, `(relation, matched tuple)`.
+    pub uses: Vec<(String, Tuple)>,
+}
+
+/// All matches of a rule body against a database: for each complete
+/// substitution, the substitution and the tuples used.
+pub fn body_matches(
+    db: &Database,
+    body: &[AtomPattern],
+) -> Result<Vec<BodyMatch>, RelalgError> {
+    let mut results = Vec::new();
+    match_from(db, body, 0, &mut Substitution::new(), &mut Vec::new(), &mut results)?;
+    Ok(results)
+}
+
+fn match_from(
+    db: &Database,
+    body: &[AtomPattern],
+    idx: usize,
+    subst: &mut Substitution,
+    uses: &mut Vec<(String, Tuple)>,
+    out: &mut Vec<BodyMatch>,
+) -> Result<(), RelalgError> {
+    if idx == body.len() {
+        out.push((subst.clone(), uses.clone()));
+        return Ok(());
+    }
+    let pat = &body[idx];
+    let rel = db.get(&pat.relation)?;
+    if rel.schema().arity() != pat.terms.len() {
+        return Err(RelalgError::UpdateError(format!(
+            "pattern {pat} has arity {} but relation has arity {}",
+            pat.terms.len(),
+            rel.schema().arity()
+        )));
+    }
+    // Deduplicate candidate tuples (set semantics at the base).
+    for tuple in rel.tuple_set() {
+        let mut bound_here: Vec<String> = Vec::new();
+        let mut ok = true;
+        for (term, atom) in pat.terms.iter().zip(&tuple) {
+            match term {
+                Term::Wildcard => {}
+                Term::Const(c) => {
+                    if c != atom {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match subst.get(v) {
+                    Some(bound) => {
+                        if bound != atom {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        subst.insert(v.clone(), atom.clone());
+                        bound_here.push(v.clone());
+                    }
+                },
+            }
+        }
+        if ok {
+            uses.push((pat.relation.clone(), tuple.clone()));
+            match_from(db, body, idx + 1, subst, uses, out)?;
+            uses.pop();
+        }
+        for v in bound_here {
+            subst.remove(&v);
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a program (a set of rules, possibly with several rules per
+/// head and possibly recursive) to a fixpoint, returning the derived
+/// database (head relations only). Head relation schemas are synthesized
+/// as `c0, c1, …`.
+pub fn eval_program(db: &Database, rules: &[Rule]) -> Result<Database, RelalgError> {
+    Ok(eval_with_derivations(db, rules)?.0)
+}
+
+/// Like [`eval_program`], but also returns, for every derived tuple of
+/// every head relation, the set of derivations that produce it. A
+/// derivation's `uses` refer to tuples of the *input* database only for
+/// non-recursive programs; for recursive programs intermediate head
+/// tuples can appear, and the caller (the semiring fixpoint in
+/// `cdb-semiring`) is expected to iterate.
+pub fn eval_with_derivations(
+    db: &Database,
+    rules: &[Rule],
+) -> Result<(Database, DerivationMap), RelalgError> {
+    let mut work = db.clone();
+    // Ensure head relations exist (possibly empty) so bodies that
+    // reference them (recursion) resolve.
+    for rule in rules {
+        let arity = rule.head_terms.len();
+        if work.get(&rule.head).is_err() {
+            let schema = Schema::new((0..arity).map(|i| format!("c{i}")))?;
+            work.insert(rule.head.clone(), Relation::empty(schema));
+        }
+    }
+    let mut derivs: DerivationMap = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for (ri, rule) in rules.iter().enumerate() {
+            for (subst, uses) in body_matches(&work, &rule.body)? {
+                let head_tuple: Tuple = rule
+                    .head_terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => subst[v].clone(),
+                        Term::Const(a) => a.clone(),
+                        Term::Wildcard => unreachable!("rejected at construction"),
+                    })
+                    .collect();
+                let key = (rule.head.clone(), head_tuple.clone());
+                let d = Derivation { rule: ri, uses };
+                let entry = derivs.entry(key).or_default();
+                if !entry.contains(&d) {
+                    entry.push(d);
+                    changed = true;
+                }
+                let rel = work.get_mut(&rule.head)?;
+                if !rel.contains(&head_tuple) {
+                    rel.insert(head_tuple)?;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Return only the head relations.
+    let mut out = Database::new();
+    for rule in rules {
+        if out.get(&rule.head).is_err() {
+            out.insert(rule.head.clone(), work.get(&rule.head)?.clone());
+        }
+    }
+    Ok((out, derivs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Atom {
+        Atom::Str(x.into())
+    }
+
+    /// The R instance of Figure 4: rows (a,b,c), (d,b,e), (f,g,e).
+    pub(crate) fn figure4_db() -> Database {
+        Database::new().with(
+            "R",
+            Relation::table(
+                ["X", "Y", "Z"],
+                [
+                    vec![s("a"), s("b"), s("c")],
+                    vec![s("d"), s("b"), s("e")],
+                    vec![s("f"), s("g"), s("e")],
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn figure4_rules() -> Vec<Rule> {
+        vec![
+            // V(X,Z) :- R(X,_,Z)
+            Rule::new(
+                "V",
+                vec![Term::var("X"), Term::var("Z")],
+                vec![AtomPattern::new(
+                    "R",
+                    vec![Term::var("X"), Term::Wildcard, Term::var("Z")],
+                )],
+            )
+            .unwrap(),
+            // V(X,Z) :- R(X,Y,_), R(_,Y,Z)
+            Rule::new(
+                "V",
+                vec![Term::var("X"), Term::var("Z")],
+                vec![
+                    AtomPattern::new(
+                        "R",
+                        vec![Term::var("X"), Term::var("Y"), Term::Wildcard],
+                    ),
+                    AtomPattern::new(
+                        "R",
+                        vec![Term::Wildcard, Term::var("Y"), Term::var("Z")],
+                    ),
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn figure4_derives_the_papers_v() {
+        let (out, _) = eval_with_derivations(&figure4_db(), &figure4_rules()).unwrap();
+        let v = out.get("V").unwrap();
+        let expect: Vec<Tuple> = vec![
+            vec![s("a"), s("c")],
+            vec![s("a"), s("e")],
+            vec![s("d"), s("c")],
+            vec![s("d"), s("e")],
+            vec![s("f"), s("e")],
+        ];
+        assert_eq!(v.tuple_set(), expect.into_iter().collect());
+    }
+
+    #[test]
+    fn figure4_rule_derivation_counts() {
+        // Derivations of the two Datalog rules alone (the full Figure 4
+        // polynomials, which also involve the disjunctive C=C join, are
+        // reproduced in cdb-semiring): (a,c) has the copy derivation p
+        // plus the self-join p·p; (d,e) has r plus r·r; (f,e) s plus s·s.
+        let (_, derivs) = eval_with_derivations(&figure4_db(), &figure4_rules()).unwrap();
+        let count = |x: &str, z: &str| {
+            derivs[&("V".to_string(), vec![s(x), s(z)])].len()
+        };
+        assert_eq!(count("a", "c"), 2);
+        assert_eq!(count("a", "e"), 1);
+        assert_eq!(count("d", "c"), 1);
+        assert_eq!(count("d", "e"), 2);
+        assert_eq!(count("f", "e"), 2);
+        // Each derivation records the base tuples it used.
+        let d_ac = &derivs[&("V".to_string(), vec![s("a"), s("c")])];
+        assert!(d_ac.iter().any(|d| d.rule == 0 && d.uses.len() == 1));
+        assert!(d_ac.iter().any(|d| d.rule == 1 && d.uses.len() == 2));
+    }
+
+    #[test]
+    fn unsafe_rules_are_rejected() {
+        assert!(Rule::new("H", vec![Term::var("X")], vec![]).is_err());
+        assert!(Rule::new(
+            "H",
+            vec![Term::Wildcard],
+            vec![AtomPattern::new("R", vec![Term::var("X")])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn constants_in_patterns_filter() {
+        let db = figure4_db();
+        let rule = Rule::new(
+            "V",
+            vec![Term::var("Z")],
+            vec![AtomPattern::new(
+                "R",
+                vec![Term::Const(s("a")), Term::Wildcard, Term::var("Z")],
+            )],
+        )
+        .unwrap();
+        let out = eval_program(&db, &[rule]).unwrap();
+        assert_eq!(out.get("V").unwrap().tuples(), &[vec![s("c")]]);
+    }
+
+    #[test]
+    fn recursive_transitive_closure() {
+        // §6.3: recursive querying of hierarchies (ancestor relation).
+        let db = Database::new().with(
+            "edge",
+            Relation::table(
+                ["F", "T"],
+                [
+                    vec![s("a"), s("b")],
+                    vec![s("b"), s("c")],
+                    vec![s("c"), s("d")],
+                ],
+            )
+            .unwrap(),
+        );
+        let rules = vec![
+            Rule::new(
+                "tc",
+                vec![Term::var("X"), Term::var("Y")],
+                vec![AtomPattern::new("edge", vec![Term::var("X"), Term::var("Y")])],
+            )
+            .unwrap(),
+            Rule::new(
+                "tc",
+                vec![Term::var("X"), Term::var("Z")],
+                vec![
+                    AtomPattern::new("edge", vec![Term::var("X"), Term::var("Y")]),
+                    AtomPattern::new("tc", vec![Term::var("Y"), Term::var("Z")]),
+                ],
+            )
+            .unwrap(),
+        ];
+        let out = eval_program(&db, &rules).unwrap();
+        assert_eq!(out.get("tc").unwrap().tuple_set().len(), 6);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let db = figure4_db();
+        // R(X, Y, Y): no row has equal 2nd and 3rd columns.
+        let rule = Rule::new(
+            "V",
+            vec![Term::var("X")],
+            vec![AtomPattern::new(
+                "R",
+                vec![Term::var("X"), Term::var("Y"), Term::var("Y")],
+            )],
+        )
+        .unwrap();
+        let out = eval_program(&db, &[rule]).unwrap();
+        assert!(out.get("V").unwrap().is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let db = figure4_db();
+        let rule = Rule::new(
+            "V",
+            vec![Term::var("X")],
+            vec![AtomPattern::new("R", vec![Term::var("X")])],
+        )
+        .unwrap();
+        assert!(eval_program(&db, &[rule]).is_err());
+    }
+}

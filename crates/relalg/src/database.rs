@@ -1,0 +1,103 @@
+//! A named collection of relations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::RelalgError;
+use crate::relation::Relation;
+
+/// A database: a mapping from relation names to relation values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds (or replaces) a relation, builder-style.
+    pub fn with(mut self, name: impl Into<String>, rel: Relation) -> Self {
+        self.relations.insert(name.into(), rel);
+        self
+    }
+
+    /// Adds (or replaces) a relation.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Result<&Relation, RelalgError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelalgError::NoSuchRelation(name.to_owned()))
+    }
+
+    /// Looks up a relation mutably.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation, RelalgError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelalgError::NoSuchRelation(name.to_owned()))
+    }
+
+    /// The relation names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Iterates over `(name, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name} {rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use cdb_model::Atom;
+
+    #[test]
+    fn lookup_and_missing() {
+        let db = Database::new().with(
+            "R",
+            Relation::table(["A"], [vec![Atom::Int(1)]]).unwrap(),
+        );
+        assert!(db.get("R").is_ok());
+        assert!(matches!(db.get("S"), Err(RelalgError::NoSuchRelation(_))));
+        assert_eq!(db.names().collect::<Vec<_>>(), vec!["R"]);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn mutation_through_get_mut() {
+        let mut db = Database::new().with(
+            "R",
+            Relation::table(["A"], [vec![Atom::Int(1)]]).unwrap(),
+        );
+        db.get_mut("R").unwrap().insert(vec![Atom::Int(2)]).unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Errors produced by the relational algebra engine.
+
+use std::fmt;
+
+/// Errors from building, parsing or evaluating relational queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelalgError {
+    /// A scanned relation is not in the database.
+    NoSuchRelation(String),
+    /// An attribute reference did not resolve against a schema.
+    NoSuchAttribute {
+        /// The attribute that failed to resolve.
+        attr: String,
+        /// The schema it was resolved against, for diagnostics.
+        schema: Vec<String>,
+    },
+    /// An attribute reference resolved to more than one column.
+    AmbiguousAttribute {
+        /// The ambiguous attribute.
+        attr: String,
+        /// The columns it could mean.
+        candidates: Vec<String>,
+    },
+    /// Union/difference of relations with different arities or attribute
+    /// names.
+    SchemaMismatch {
+        /// Left schema.
+        left: Vec<String>,
+        /// Right schema.
+        right: Vec<String>,
+    },
+    /// A duplicate attribute name would be produced.
+    DuplicateAttribute(String),
+    /// A comparison was applied to incomparable atoms.
+    TypeError(String),
+    /// A syntax error from the SQL-ish parser.
+    Parse {
+        /// Byte offset of the error in the input.
+        at: usize,
+        /// Description of what went wrong.
+        msg: String,
+    },
+    /// An update statement was applied to a missing relation, or had the
+    /// wrong arity.
+    UpdateError(String),
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::NoSuchRelation(r) => write!(f, "no such relation {r:?}"),
+            RelalgError::NoSuchAttribute { attr, schema } => {
+                write!(f, "no attribute {attr:?} in schema {schema:?}")
+            }
+            RelalgError::AmbiguousAttribute { attr, candidates } => {
+                write!(f, "ambiguous attribute {attr:?}: could be {candidates:?}")
+            }
+            RelalgError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left:?} vs {right:?}")
+            }
+            RelalgError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute {a:?}")
+            }
+            RelalgError::TypeError(m) => write!(f, "type error: {m}"),
+            RelalgError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            RelalgError::UpdateError(m) => write!(f, "update error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}

@@ -1,0 +1,317 @@
+//! Set-semantics evaluation of relational algebra expressions.
+
+
+use crate::database::Database;
+use crate::error::RelalgError;
+use crate::expr::{ProjSource, RaExpr};
+use crate::relation::{Relation, Schema, Tuple};
+
+/// Evaluates an expression against a database under set semantics.
+pub fn eval(db: &Database, expr: &RaExpr) -> Result<Relation, RelalgError> {
+    let mut rel = eval_raw(db, expr)?;
+    rel.dedup();
+    Ok(rel)
+}
+
+fn eval_raw(db: &Database, expr: &RaExpr) -> Result<Relation, RelalgError> {
+    match expr {
+        RaExpr::Scan(name) => Ok(db.get(name)?.clone()),
+        RaExpr::ScanAs(name, alias) => {
+            let base = db.get(name)?;
+            let schema = base.schema().qualified(alias);
+            Relation::from_rows(schema, base.tuples().iter().cloned())
+        }
+        RaExpr::Select(e, pred) => {
+            let input = eval_raw(db, e)?;
+            let mut out = Relation::empty(input.schema().clone());
+            for t in input.tuples() {
+                if pred.eval(input.schema(), t)? {
+                    out.insert(t.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Project(e, items) => {
+            let input = eval_raw(db, e)?;
+            let schema = Schema::new(items.iter().map(|i| i.name.clone()))?;
+            let mut out = Relation::empty(schema);
+            for t in input.tuples() {
+                let mut row: Tuple = Vec::with_capacity(items.len());
+                for item in items {
+                    match &item.source {
+                        ProjSource::Col(c) => {
+                            row.push(t[input.schema().resolve(c)?].clone())
+                        }
+                        ProjSource::Const(a) => row.push(a.clone()),
+                    }
+                }
+                out.insert(row)?;
+            }
+            Ok(out)
+        }
+        RaExpr::Product(a, b) => {
+            let left = eval_raw(db, a)?;
+            let right = eval_raw(db, b)?;
+            let schema = Schema::new(
+                left.schema()
+                    .attrs()
+                    .iter()
+                    .chain(right.schema().attrs())
+                    .cloned(),
+            )?;
+            let mut out = Relation::empty(schema);
+            for lt in left.tuples() {
+                for rt in right.tuples() {
+                    let mut row = lt.clone();
+                    row.extend(rt.iter().cloned());
+                    out.insert(row)?;
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::NaturalJoin(a, b) => {
+            let left = eval_raw(db, a)?;
+            let right = eval_raw(db, b)?;
+            natural_join(&left, &right)
+        }
+        RaExpr::Union(a, b) => {
+            let left = eval_raw(db, a)?;
+            let right = eval_raw(db, b)?;
+            require_compatible(&left, &right)?;
+            let mut out = left;
+            for t in right.tuples() {
+                out.insert(t.clone())?;
+            }
+            Ok(out)
+        }
+        RaExpr::Diff(a, b) => {
+            let left = eval_raw(db, a)?;
+            let right = eval_raw(db, b)?;
+            require_compatible(&left, &right)?;
+            let rset = right.tuple_set();
+            let mut out = Relation::empty(left.schema().clone());
+            for t in left.tuples() {
+                if !rset.contains(t) {
+                    out.insert(t.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Rename(e, pairs) => {
+            let input = eval_raw(db, e)?;
+            let mut attrs: Vec<String> = input.schema().attrs().to_vec();
+            for (old, new) in pairs {
+                let i = input.schema().resolve(old)?;
+                attrs[i] = new.clone();
+            }
+            Relation::from_rows(Schema::new(attrs)?, input.tuples().iter().cloned())
+        }
+    }
+}
+
+fn require_compatible(left: &Relation, right: &Relation) -> Result<(), RelalgError> {
+    if left.schema().union_compatible(right.schema()) {
+        Ok(())
+    } else {
+        Err(RelalgError::SchemaMismatch {
+            left: left.schema().attrs().to_vec(),
+            right: right.schema().attrs().to_vec(),
+        })
+    }
+}
+
+/// The shared-attribute positions `(left_idx, right_idx)` a natural join
+/// matches on, by unqualified base name.
+pub fn shared_attrs(left: &Schema, right: &Schema) -> Vec<(usize, usize)> {
+    let base = |a: &str| a.rsplit('.').next().unwrap_or(a).to_owned();
+    let mut out = Vec::new();
+    for (i, la) in left.attrs().iter().enumerate() {
+        for (j, ra) in right.attrs().iter().enumerate() {
+            if base(la) == base(ra) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, RelalgError> {
+    let shared = shared_attrs(left.schema(), right.schema());
+    let right_kept: Vec<usize> = (0..right.schema().arity())
+        .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
+        .collect();
+    let attrs: Vec<String> = left
+        .schema()
+        .attrs()
+        .iter()
+        .cloned()
+        .chain(right_kept.iter().map(|&j| right.schema().attrs()[j].clone()))
+        .collect();
+    let mut out = Relation::empty(Schema::new(attrs)?);
+    for lt in left.tuples() {
+        for rt in right.tuples() {
+            if shared.iter().all(|&(i, j)| lt[i] == rt[j]) {
+                let mut row: Tuple = lt.clone();
+                row.extend(right_kept.iter().map(|&j| rt[j].clone()));
+                out.insert(row)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the two-table join query of the paper's §2.1 example:
+/// `SELECT <cols> FROM R, S WHERE R.A = S.A AND R.B = 50` — used by both
+/// the plain tests here and the annotated evaluation in `cdb-annotation`.
+pub fn paper_q(cols: Vec<crate::expr::ProjItem>) -> RaExpr {
+    use crate::pred::Pred;
+    RaExpr::ScanAs("R".into(), "R".into())
+        .product(RaExpr::ScanAs("S".into(), "S".into()))
+        .select(Pred::col_eq_col("R.A", "S.A").and(Pred::col_eq_const("R.B", 50)))
+        .project(cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ProjItem;
+    use crate::pred::Pred;
+    use cdb_model::Atom;
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    /// The R and S instances from §2.1 of the paper.
+    fn paper_db() -> Database {
+        Database::new()
+            .with(
+                "R",
+                Relation::table(
+                    ["A", "B"],
+                    [vec![int(10), int(49)], vec![int(12), int(50)]],
+                )
+                .unwrap(),
+            )
+            .with(
+                "S",
+                Relation::table(
+                    ["A", "B"],
+                    [vec![int(11), int(49)], vec![int(12), int(50)]],
+                )
+                .unwrap(),
+            )
+    }
+
+    #[test]
+    fn q1_and_q2_are_classically_equivalent() {
+        // Q1: SELECT R.A, R.B ...; Q2: SELECT S.A, 50 AS B ...
+        let db = paper_db();
+        let q1 = paper_q(vec![ProjItem::col("R.A", "A"), ProjItem::col("R.B", "B")]);
+        let q2 = paper_q(vec![ProjItem::col("S.A", "A"), ProjItem::constant(50, "B")]);
+        let r1 = eval(&db, &q1).unwrap();
+        let r2 = eval(&db, &q2).unwrap();
+        assert!(r1.set_eq(&r2), "Q1 and Q2 agree on ordinary output");
+        assert_eq!(r1.tuples(), &[vec![int(12), int(50)]]);
+    }
+
+    #[test]
+    fn selection_filters() {
+        let db = paper_db();
+        let q = RaExpr::scan("R").select(Pred::col_eq_const("A", 10));
+        let r = eval(&db, &q).unwrap();
+        assert_eq!(r.tuples(), &[vec![int(10), int(49)]]);
+    }
+
+    #[test]
+    fn projection_merges_duplicates() {
+        let db = Database::new().with(
+            "T",
+            Relation::table(["A", "B"], [vec![int(1), int(5)], vec![int(2), int(5)]])
+                .unwrap(),
+        );
+        let q = RaExpr::scan("T").project_cols(["B"]);
+        let r = eval(&db, &q).unwrap();
+        assert_eq!(r.tuples(), &[vec![int(5)]], "set semantics merges");
+    }
+
+    #[test]
+    fn natural_join_on_shared_names() {
+        let db = Database::new()
+            .with(
+                "R",
+                Relation::table(["A", "B"], [vec![int(1), int(2)], vec![int(3), int(4)]])
+                    .unwrap(),
+            )
+            .with(
+                "S",
+                Relation::table(["B", "C"], [vec![int(2), int(7)], vec![int(9), int(8)]])
+                    .unwrap(),
+            );
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
+        let r = eval(&db, &q).unwrap();
+        assert_eq!(r.schema().attrs(), ["A", "B", "C"]);
+        assert_eq!(r.tuples(), &[vec![int(1), int(2), int(7)]]);
+    }
+
+    #[test]
+    fn union_requires_compatibility() {
+        let db = Database::new()
+            .with("R", Relation::table(["A"], [vec![int(1)]]).unwrap())
+            .with("S", Relation::table(["B"], [vec![int(2)]]).unwrap());
+        let q = RaExpr::scan("R").union(RaExpr::scan("S"));
+        assert!(matches!(
+            eval(&db, &q),
+            Err(RelalgError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn union_and_diff() {
+        let db = Database::new()
+            .with(
+                "R",
+                Relation::table(["A"], [vec![int(1)], vec![int(2)]]).unwrap(),
+            )
+            .with(
+                "S",
+                Relation::table(["A"], [vec![int(2)], vec![int(3)]]).unwrap(),
+            );
+        let u = eval(&db, &RaExpr::scan("R").union(RaExpr::scan("S"))).unwrap();
+        assert_eq!(u.tuple_set().len(), 3);
+        let d = eval(&db, &RaExpr::scan("R").diff(RaExpr::scan("S"))).unwrap();
+        assert_eq!(d.tuples(), &[vec![int(1)]]);
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let db = Database::new().with("R", Relation::table(["A"], [vec![int(1)]]).unwrap());
+        let q = RaExpr::Rename(
+            Box::new(RaExpr::scan("R")),
+            vec![("A".to_string(), "X".to_string())],
+        );
+        let r = eval(&db, &q).unwrap();
+        assert_eq!(r.schema().attrs(), ["X"]);
+        assert_eq!(r.tuples(), &[vec![int(1)]]);
+    }
+
+    #[test]
+    fn product_concatenates_qualified_schemas() {
+        let db = paper_db();
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()));
+        let r = eval(&db, &q).unwrap();
+        assert_eq!(r.schema().attrs(), ["r.A", "r.B", "s.A", "s.B"]);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn unaliased_self_product_is_a_duplicate_error() {
+        let db = paper_db();
+        let q = RaExpr::scan("R").product(RaExpr::scan("R"));
+        assert!(matches!(
+            eval(&db, &q),
+            Err(RelalgError::DuplicateAttribute(_))
+        ));
+    }
+}

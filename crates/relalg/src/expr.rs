@@ -1,0 +1,232 @@
+//! The relational algebra AST.
+
+use std::fmt;
+
+use cdb_model::Atom;
+
+use crate::pred::Pred;
+
+/// One item of a projection list: what to output, and the output name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjItem {
+    /// The source: a column reference or a constant. Constants are how
+    /// queries *invent* values — the `50 AS B` of the paper's Q2, whose
+    /// output carries the ⊥ annotation.
+    pub source: ProjSource,
+    /// The output attribute name.
+    pub name: String,
+}
+
+/// The source of a projection item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProjSource {
+    /// Copy a column.
+    Col(String),
+    /// Emit a constant.
+    Const(Atom),
+}
+
+impl ProjItem {
+    /// `col AS name` (or just `col`, reusing its base name).
+    pub fn col(col: impl Into<String>, name: impl Into<String>) -> Self {
+        ProjItem { source: ProjSource::Col(col.into()), name: name.into() }
+    }
+
+    /// `const AS name`.
+    pub fn constant(a: impl Into<Atom>, name: impl Into<String>) -> Self {
+        ProjItem { source: ProjSource::Const(a.into()), name: name.into() }
+    }
+}
+
+impl fmt::Display for ProjItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.source {
+            ProjSource::Col(c) if c == &self.name => write!(f, "{c}"),
+            ProjSource::Col(c) => write!(f, "{c} AS {}", self.name),
+            ProjSource::Const(a) => write!(f, "{a} AS {}", self.name),
+        }
+    }
+}
+
+/// A relational algebra expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaExpr {
+    /// Scan a named base relation.
+    Scan(String),
+    /// Scan a named base relation under an alias: attributes become
+    /// `alias.A`. (SQL `FROM R AS x`.)
+    ScanAs(String, String),
+    /// Selection σ_pred.
+    Select(Box<RaExpr>, Pred),
+    /// Projection π with optional renaming and constants. Set semantics:
+    /// duplicates produced by the projection are merged.
+    Project(Box<RaExpr>, Vec<ProjItem>),
+    /// Cartesian product.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Natural join on shared base attribute names.
+    NaturalJoin(Box<RaExpr>, Box<RaExpr>),
+    /// Union (set semantics; schemas must be union-compatible).
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Set difference.
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Attribute renaming: pairs of (old, new).
+    Rename(Box<RaExpr>, Vec<(String, String)>),
+}
+
+impl RaExpr {
+    /// Scan convenience constructor.
+    pub fn scan(name: impl Into<String>) -> Self {
+        RaExpr::Scan(name.into())
+    }
+
+    /// Selection convenience constructor.
+    pub fn select(self, pred: Pred) -> Self {
+        RaExpr::Select(Box::new(self), pred)
+    }
+
+    /// Projection convenience constructor.
+    pub fn project(self, items: Vec<ProjItem>) -> Self {
+        RaExpr::Project(Box::new(self), items)
+    }
+
+    /// Projection onto named columns (no renaming).
+    pub fn project_cols<S: Into<String> + Clone>(
+        self,
+        cols: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let items = cols
+            .into_iter()
+            .map(|c| {
+                let name: String = c.into();
+                // Output name is the unqualified base name.
+                let base = name.rsplit('.').next().unwrap_or(&name).to_owned();
+                ProjItem::col(name, base)
+            })
+            .collect();
+        RaExpr::Project(Box::new(self), items)
+    }
+
+    /// Product convenience constructor.
+    pub fn product(self, other: RaExpr) -> Self {
+        RaExpr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Natural join convenience constructor.
+    pub fn natural_join(self, other: RaExpr) -> Self {
+        RaExpr::NaturalJoin(Box::new(self), Box::new(other))
+    }
+
+    /// Union convenience constructor.
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Difference convenience constructor.
+    pub fn diff(self, other: RaExpr) -> Self {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Whether the expression is *positive* (monotone): no difference.
+    /// The provenance semiring semantics of §4.1 and the reverse
+    /// annotation propagation of §2.2 are defined for positive queries.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            RaExpr::Scan(_) | RaExpr::ScanAs(_, _) => true,
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => {
+                e.is_positive()
+            }
+            RaExpr::Product(a, b)
+            | RaExpr::NaturalJoin(a, b)
+            | RaExpr::Union(a, b) => a.is_positive() && b.is_positive(),
+            RaExpr::Diff(_, _) => false,
+        }
+    }
+
+    /// The names of the base relations scanned by this expression.
+    pub fn base_relations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases(&self, out: &mut Vec<String>) {
+        match self {
+            RaExpr::Scan(n) | RaExpr::ScanAs(n, _) => out.push(n.clone()),
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => {
+                e.collect_bases(out)
+            }
+            RaExpr::Product(a, b)
+            | RaExpr::NaturalJoin(a, b)
+            | RaExpr::Union(a, b)
+            | RaExpr::Diff(a, b) => {
+                a.collect_bases(out);
+                b.collect_bases(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Scan(n) => write!(f, "{n}"),
+            RaExpr::ScanAs(n, a) => write!(f, "{n} AS {a}"),
+            RaExpr::Select(e, p) => write!(f, "σ[{p}]({e})"),
+            RaExpr::Project(e, items) => {
+                let cols: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+                write!(f, "π[{}]({e})", cols.join(", "))
+            }
+            RaExpr::Product(a, b) => write!(f, "({a} × {b})"),
+            RaExpr::NaturalJoin(a, b) => write!(f, "({a} ⋈ {b})"),
+            RaExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
+            RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),
+            RaExpr::Rename(e, pairs) => {
+                let ps: Vec<String> =
+                    pairs.iter().map(|(o, n)| format!("{o}→{n}")).collect();
+                write!(f, "ρ[{}]({e})", ps.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positivity() {
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .select(Pred::col_eq_const("A", 1))
+            .project_cols(["A"]);
+        assert!(q.is_positive());
+        let d = q.clone().diff(RaExpr::scan("T"));
+        assert!(!d.is_positive());
+        assert!(!d.clone().project_cols(["A"]).is_positive());
+    }
+
+    #[test]
+    fn base_relations_collects_scans() {
+        let q = RaExpr::scan("R").union(RaExpr::ScanAs("S".into(), "x".into()));
+        assert_eq!(q.base_relations(), vec!["R".to_string(), "S".to_string()]);
+    }
+
+    #[test]
+    fn display_uses_algebra_notation() {
+        let q = RaExpr::scan("R").select(Pred::col_eq_const("A", 10));
+        assert_eq!(q.to_string(), "σ[A = 10](R)");
+        let p = RaExpr::scan("R").project_cols(["B"]);
+        assert_eq!(p.to_string(), "π[B](R)");
+    }
+
+    #[test]
+    fn project_cols_strips_qualifiers_in_output() {
+        let p = RaExpr::scan("R").project_cols(["r.A"]);
+        match p {
+            RaExpr::Project(_, items) => {
+                assert_eq!(items[0].name, "A");
+            }
+            _ => unreachable!(),
+        }
+    }
+}

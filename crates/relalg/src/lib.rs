@@ -1,0 +1,42 @@
+//! # cdb-relalg
+//!
+//! A small, complete relational algebra engine. This is the substrate on
+//! which the provenance and annotation machinery of the paper is built:
+//!
+//! * flat relations over the atoms of `cdb-model` ([`Relation`],
+//!   [`Tuple`], [`Schema`]),
+//! * the full relational algebra AST ([`RaExpr`]) with selection,
+//!   projection (including constants — the `50 AS B` of the paper's
+//!   Q1/Q2 example), natural and theta joins, product, union, difference
+//!   and renaming,
+//! * conjunctive queries / non-recursive Datalog rules
+//!   ([`conjunctive`]) — the form used in Figure 4 of the paper,
+//! * a small SQL-ish surface syntax ([`sql`]) covering the paper's
+//!   examples (`SELECT`–`FROM`–`WHERE`, `UNION`, `INSERT`, `DELETE`,
+//!   `UPDATE`), so that the worked examples can be written exactly as
+//!   they appear in print.
+//!
+//! The engine is deliberately naive (nested-loop joins, no optimizer):
+//! the experiments measure provenance and archiving behaviour, not join
+//! performance, and a naive engine keeps the provenance semantics
+//! auditable. *Not* optimizing is also faithful to §2.1's point that
+//! annotation propagation breaks classical rewriting: `cdb-annotation`
+//! evaluates these ASTs exactly as written.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conjunctive;
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod pred;
+pub mod relation;
+pub mod sql;
+
+pub use database::Database;
+pub use error::RelalgError;
+pub use expr::{ProjItem, RaExpr};
+pub use pred::{CmpOp, Operand, Pred};
+pub use relation::{Relation, Schema, Tuple};

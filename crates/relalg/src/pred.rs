@@ -1,0 +1,252 @@
+//! Selection predicates.
+
+use std::fmt;
+
+use cdb_model::Atom;
+
+use crate::error::RelalgError;
+use crate::relation::{Schema, Tuple};
+
+/// An operand of a comparison: a column reference or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A (possibly qualified) attribute reference.
+    Col(String),
+    /// A constant atom.
+    Const(Atom),
+}
+
+impl Operand {
+    /// Convenience constructor for a column operand.
+    pub fn col(name: impl Into<String>) -> Self {
+        Operand::Col(name.into())
+    }
+
+    /// Convenience constructor for a constant operand.
+    pub fn constant(a: impl Into<Atom>) -> Self {
+        Operand::Const(a.into())
+    }
+
+    /// Evaluates the operand against a tuple.
+    pub fn eval<'a>(
+        &'a self,
+        schema: &Schema,
+        tuple: &'a Tuple,
+    ) -> Result<&'a Atom, RelalgError> {
+        match self {
+            Operand::Col(name) => Ok(&tuple[schema.resolve(name)?]),
+            Operand::Const(a) => Ok(a),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(c) => write!(f, "{c}"),
+            Operand::Const(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to two atoms. Ordered comparisons require the
+    /// atoms to be of the same constructor.
+    pub fn apply(self, l: &Atom, r: &Atom) -> Result<bool, RelalgError> {
+        match self {
+            CmpOp::Eq => Ok(l == r),
+            CmpOp::Ne => Ok(l != r),
+            _ => {
+                if std::mem::discriminant(l) != std::mem::discriminant(r) {
+                    return Err(RelalgError::TypeError(format!(
+                        "cannot order {l} against {r}"
+                    )));
+                }
+                Ok(match self {
+                    CmpOp::Lt => l < r,
+                    CmpOp::Le => l <= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Ge => l >= r,
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A selection predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// Always true.
+    True,
+    /// A comparison between two operands.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `left op right` convenience constructor.
+    pub fn cmp(left: Operand, op: CmpOp, right: Operand) -> Self {
+        Pred::Cmp { left, op, right }
+    }
+
+    /// `col = const` convenience constructor.
+    pub fn col_eq_const(col: impl Into<String>, a: impl Into<Atom>) -> Self {
+        Pred::cmp(Operand::col(col), CmpOp::Eq, Operand::constant(a))
+    }
+
+    /// `col1 = col2` convenience constructor.
+    pub fn col_eq_col(l: impl Into<String>, r: impl Into<String>) -> Self {
+        Pred::cmp(Operand::col(l), CmpOp::Eq, Operand::col(r))
+    }
+
+    /// Conjunction convenience constructor.
+    pub fn and(self, other: Pred) -> Self {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the predicate against a tuple.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<bool, RelalgError> {
+        match self {
+            Pred::True => Ok(true),
+            Pred::Cmp { left, op, right } => {
+                let l = left.eval(schema, tuple)?;
+                let r = right.eval(schema, tuple)?;
+                op.apply(l, r)
+            }
+            Pred::And(a, b) => Ok(a.eval(schema, tuple)? && b.eval(schema, tuple)?),
+            Pred::Or(a, b) => Ok(a.eval(schema, tuple)? || b.eval(schema, tuple)?),
+            Pred::Not(p) => Ok(!p.eval(schema, tuple)?),
+        }
+    }
+
+    /// The pairs of operands this predicate *explicitly equates* at the
+    /// top level (under conjunction only). Used by the DEFAULT-ALL
+    /// annotation-propagation scheme of §2.1, which merges the
+    /// annotations of base values "explicitly found to be equal in a
+    /// selection".
+    pub fn equated_pairs(&self) -> Vec<(Operand, Operand)> {
+        match self {
+            Pred::Cmp { left, op: CmpOp::Eq, right } => {
+                vec![(left.clone(), right.clone())]
+            }
+            Pred::And(a, b) => {
+                let mut v = a.equated_pairs();
+                v.extend(b.equated_pairs());
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Pred::And(a, b) => write!(f, "({a} AND {b})"),
+            Pred::Or(a, b) => write!(f, "({a} OR {b})"),
+            Pred::Not(p) => write!(f, "NOT {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let t = vec![Atom::Int(10), Atom::Int(50)];
+        assert!(Pred::col_eq_const("A", 10).eval(&s, &t).unwrap());
+        assert!(!Pred::col_eq_const("A", 11).eval(&s, &t).unwrap());
+        assert!(Pred::cmp(Operand::col("B"), CmpOp::Gt, Operand::constant(49))
+            .eval(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = schema();
+        let t = vec![Atom::Int(10), Atom::Int(50)];
+        let p = Pred::col_eq_const("A", 10).and(Pred::col_eq_const("B", 50));
+        assert!(p.eval(&s, &t).unwrap());
+        let q = Pred::Or(
+            Box::new(Pred::col_eq_const("A", 99)),
+            Box::new(Pred::col_eq_const("B", 50)),
+        );
+        assert!(q.eval(&s, &t).unwrap());
+        assert!(!Pred::Not(Box::new(q)).eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn ordering_mixed_types_is_an_error() {
+        let s = schema();
+        let t = vec![Atom::Int(10), Atom::Str("x".into())];
+        let p = Pred::cmp(Operand::col("A"), CmpOp::Lt, Operand::col("B"));
+        assert!(matches!(p.eval(&s, &t), Err(RelalgError::TypeError(_))));
+        // Equality across types is fine (just false).
+        let q = Pred::col_eq_col("A", "B");
+        assert!(!q.eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn equated_pairs_sees_through_conjunction_only() {
+        let p = Pred::col_eq_col("R.A", "S.A").and(Pred::col_eq_const("R.B", 50));
+        assert_eq!(p.equated_pairs().len(), 2);
+        let q = Pred::Or(
+            Box::new(Pred::col_eq_col("R.A", "S.A")),
+            Box::new(Pred::True),
+        );
+        assert!(q.equated_pairs().is_empty());
+    }
+}

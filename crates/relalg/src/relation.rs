@@ -1,0 +1,313 @@
+//! Flat relations: schemas, tuples, and relation values.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cdb_model::Atom;
+
+use crate::error::RelalgError;
+
+/// A tuple: a fixed-arity vector of atoms, positionally matched to a
+/// [`Schema`].
+pub type Tuple = Vec<Atom>;
+
+/// A relation schema: an ordered list of attribute names.
+///
+/// Attribute references may be qualified (`"R.A"`). Resolution of an
+/// unqualified name succeeds iff exactly one column matches either the
+/// whole name or its unqualified suffix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new<S: Into<String>>(
+        attrs: impl IntoIterator<Item = S>,
+    ) -> Result<Self, RelalgError> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        let mut seen = BTreeSet::new();
+        for a in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(RelalgError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// The attribute names, in order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// The arity of the schema.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The unqualified part of an attribute name (`"R.A"` → `"A"`).
+    fn base_name(attr: &str) -> &str {
+        attr.rsplit('.').next().unwrap_or(attr)
+    }
+
+    /// Resolves an attribute reference to a column index.
+    ///
+    /// A reference matches a column if it equals the column name exactly,
+    /// or if it equals the column's unqualified base name. Ambiguity and
+    /// absence are errors.
+    pub fn resolve(&self, attr: &str) -> Result<usize, RelalgError> {
+        let exact: Vec<usize> = self
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == attr)
+            .map(|(i, _)| i)
+            .collect();
+        let matches = if exact.is_empty() {
+            self.attrs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| Self::base_name(a) == attr)
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            exact
+        };
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(RelalgError::NoSuchAttribute {
+                attr: attr.to_owned(),
+                schema: self.attrs.clone(),
+            }),
+            many => Err(RelalgError::AmbiguousAttribute {
+                attr: attr.to_owned(),
+                candidates: many.iter().map(|&i| self.attrs[i].clone()).collect(),
+            }),
+        }
+    }
+
+    /// Prefixes every attribute with a qualifier: `A` → `q.A`. Existing
+    /// qualifiers are replaced (`R.A` → `q.A`), matching SQL aliasing.
+    pub fn qualified(&self, q: &str) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| format!("{q}.{}", Self::base_name(a)))
+                .collect(),
+        }
+    }
+
+    /// Strips qualifiers from every attribute, failing on collisions.
+    pub fn unqualified(&self) -> Result<Schema, RelalgError> {
+        Schema::new(self.attrs.iter().map(|a| Self::base_name(a).to_owned()))
+    }
+
+    /// Whether two schemas are union-compatible (same base names in the
+    /// same order — qualifiers are ignored, as SQL does).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.arity() == other.arity()
+            && self
+                .attrs
+                .iter()
+                .zip(&other.attrs)
+                .all(|(a, b)| Self::base_name(a) == Self::base_name(b))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attrs.join(", "))
+    }
+}
+
+/// A relation value: a schema plus a sequence of tuples.
+///
+/// Tuples are kept in insertion order and may contain duplicates; most
+/// operations are set-semantics and call [`Relation::dedup`] at the end,
+/// matching the paper's use of set-based relational algebra. (Bag
+/// semantics lives in `cdb-semiring` as the ℕ-instantiation of
+/// K-relations, where it belongs.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Creates a relation from rows, checking arity.
+    pub fn from_rows(
+        schema: Schema,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelalgError> {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Convenience constructor: `Relation::table(["A","B"], [...rows])`.
+    pub fn table<S: Into<String>>(
+        attrs: impl IntoIterator<Item = S>,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelalgError> {
+        Relation::from_rows(Schema::new(attrs)?, rows)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples, in order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple, checking arity.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(), RelalgError> {
+        if tuple.len() != self.schema.arity() {
+            return Err(RelalgError::UpdateError(format!(
+                "arity mismatch: tuple has {} fields, schema {} has {}",
+                tuple.len(),
+                self.schema,
+                self.schema.arity()
+            )));
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Whether the relation contains the tuple.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.iter().any(|t| t == tuple)
+    }
+
+    /// Removes duplicate tuples, keeping first occurrences in order.
+    pub fn dedup(&mut self) {
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Returns the deduplicated set of tuples.
+    pub fn tuple_set(&self) -> BTreeSet<Tuple> {
+        self.tuples.iter().cloned().collect()
+    }
+
+    /// Set-equality: same schema base names and same tuple sets,
+    /// ignoring order and duplicates.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.schema.union_compatible(&other.schema) && self.tuple_set() == other.tuple_set()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            let cells: Vec<String> = t.iter().map(|a| a.to_string()).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Relation {
+        Relation::table(
+            ["A", "B"],
+            [
+                vec![Atom::Int(10), Atom::Int(49)],
+                vec![Atom::Int(12), Atom::Int(50)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(matches!(
+            Schema::new(["A", "A"]),
+            Err(RelalgError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn resolve_prefers_exact_then_base_name() {
+        let s = Schema::new(["R.A", "S.A", "B"]).unwrap();
+        assert_eq!(s.resolve("R.A").unwrap(), 0);
+        assert_eq!(s.resolve("B").unwrap(), 2);
+        assert!(matches!(
+            s.resolve("A"),
+            Err(RelalgError::AmbiguousAttribute { .. })
+        ));
+        assert!(matches!(
+            s.resolve("C"),
+            Err(RelalgError::NoSuchAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn qualification_round_trip() {
+        let s = Schema::new(["A", "B"]).unwrap();
+        let q = s.qualified("r");
+        assert_eq!(q.attrs(), ["r.A", "r.B"]);
+        assert_eq!(q.unqualified().unwrap(), s);
+        // Re-qualifying replaces the qualifier.
+        assert_eq!(q.qualified("x").attrs(), ["x.A", "x.B"]);
+    }
+
+    #[test]
+    fn union_compatibility_ignores_qualifiers() {
+        let a = Schema::new(["R.A", "R.B"]).unwrap();
+        let b = Schema::new(["A", "B"]).unwrap();
+        let c = Schema::new(["A", "C"]).unwrap();
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut rel = r();
+        assert!(rel.insert(vec![Atom::Int(1)]).is_err());
+        assert!(rel.insert(vec![Atom::Int(1), Atom::Int(2)]).is_ok());
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn dedup_and_set_eq() {
+        let mut rel = r();
+        rel.insert(vec![Atom::Int(10), Atom::Int(49)]).unwrap();
+        assert_eq!(rel.len(), 3);
+        rel.dedup();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.set_eq(&r()));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let s = r().to_string();
+        assert!(s.contains("(A, B)"));
+        assert!(s.contains("10 | 49"));
+    }
+}

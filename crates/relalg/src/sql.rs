@@ -1,0 +1,788 @@
+//! A small SQL-ish surface syntax.
+//!
+//! Covers exactly the fragment the paper's worked examples are written
+//! in, so the examples can be transcribed verbatim:
+//!
+//! ```text
+//! SELECT R.A, R.B FROM R, S WHERE R.A = S.A AND R.B = 50
+//! SELECT S.A, 50 AS B FROM R, S WHERE R.A = S.A AND R.B = 50
+//! SELECT R.A, 55 AS B FROM R WHERE A <> 10 UNION SELECT * FROM R WHERE A = 10
+//! DELETE FROM R WHERE A = 10
+//! INSERT INTO R VALUES (10, 55)
+//! UPDATE R SET B = 55 WHERE A = 10
+//! ```
+//!
+//! Queries compile to [`RaExpr`]; update statements compile to a
+//! [`Statement`] AST that both the plain executor here and the
+//! provenance-aware executors in `cdb-annotation`/`cdb-curation`
+//! interpret.
+
+use cdb_model::Atom;
+
+use crate::database::Database;
+use crate::error::RelalgError;
+use crate::eval::eval;
+use crate::expr::{ProjItem, RaExpr};
+use crate::pred::{CmpOp, Operand, Pred};
+use crate::relation::Tuple;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A query.
+    Query(RaExpr),
+    /// `INSERT INTO rel VALUES (…), (…)`.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Rows to insert.
+        rows: Vec<Tuple>,
+    },
+    /// `DELETE FROM rel WHERE pred`.
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// Which tuples to delete.
+        pred: Pred,
+    },
+    /// `UPDATE rel SET col = const, … WHERE pred`.
+    Update {
+        /// Target relation.
+        relation: String,
+        /// Assignments (column, new constant value).
+        sets: Vec<(String, Atom)>,
+        /// Which tuples to update.
+        pred: Pred,
+    },
+}
+
+/// Parses a single statement.
+pub fn parse(input: &str) -> Result<Statement, RelalgError> {
+    let mut p = Parser::new(input)?;
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parses a `;`-separated script of statements.
+pub fn parse_script(input: &str) -> Result<Vec<Statement>, RelalgError> {
+    let mut p = Parser::new(input)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat_symbol(";") {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+        if !p.eat_symbol(";") && !p.at_end() {
+            return Err(p.err("expected ';' between statements"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses and runs a statement against a database. Queries return the
+/// result relation; updates mutate the database in place and return the
+/// relation's new state.
+pub fn execute(db: &mut Database, input: &str) -> Result<crate::Relation, RelalgError> {
+    let stmt = parse(input)?;
+    run(db, &stmt)
+}
+
+/// Runs a parsed statement.
+pub fn run(db: &mut Database, stmt: &Statement) -> Result<crate::Relation, RelalgError> {
+    match stmt {
+        Statement::Query(q) => eval(db, q),
+        Statement::Insert { relation, rows } => {
+            let rel = db.get_mut(relation)?;
+            for row in rows {
+                rel.insert(row.clone())?;
+            }
+            rel.dedup();
+            Ok(rel.clone())
+        }
+        Statement::Delete { relation, pred } => {
+            let rel = db.get_mut(relation)?;
+            let schema = rel.schema().clone();
+            let mut kept = Vec::new();
+            for t in rel.tuples() {
+                if !pred.eval(&schema, t)? {
+                    kept.push(t.clone());
+                }
+            }
+            *rel = crate::Relation::from_rows(schema, kept)?;
+            Ok(rel.clone())
+        }
+        Statement::Update { relation, sets, pred } => {
+            let rel = db.get_mut(relation)?;
+            let schema = rel.schema().clone();
+            let mut idx_sets: Vec<(usize, Atom)> = Vec::new();
+            for (col, val) in sets {
+                idx_sets.push((schema.resolve(col)?, val.clone()));
+            }
+            let mut rows = Vec::new();
+            for t in rel.tuples() {
+                let mut t = t.clone();
+                if pred.eval(&schema, &t)? {
+                    for (i, v) in &idx_sets {
+                        t[*i] = v.clone();
+                    }
+                }
+                rows.push(t);
+            }
+            *rel = crate::Relation::from_rows(schema, rows)?;
+            rel.dedup();
+            Ok(rel.clone())
+        }
+    }
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Sym(String),
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, RelalgError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push((start, Tok::Ident(input[start..i].to_owned())));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            let start = i;
+            if c == '-' {
+                i += 1;
+            }
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = input[start..i].parse().map_err(|_| RelalgError::Parse {
+                at: start,
+                msg: "integer out of range".to_owned(),
+            })?;
+            toks.push((start, Tok::Int(n)));
+        } else if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(RelalgError::Parse {
+                        at: start,
+                        msg: "unterminated string literal".to_owned(),
+                    });
+                }
+                if bytes[i] == b'\'' {
+                    // '' is an escaped quote.
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+            toks.push((start, Tok::Str(s)));
+        } else {
+            let start = i;
+            // Multi-char symbols first.
+            let rest = &input[i..];
+            let sym = ["<>", "<=", ">=", "="]
+                .iter()
+                .chain(["<", ">", ",", "(", ")", "*", ".", ";"].iter())
+                .find(|s| rest.starts_with(**s));
+            match sym {
+                Some(s) => {
+                    toks.push((start, Tok::Sym((*s).to_owned())));
+                    i += s.len();
+                }
+                None => {
+                    return Err(RelalgError::Parse {
+                        at: start,
+                        msg: format!("unexpected character {c:?}"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(toks)
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, RelalgError> {
+        Ok(Parser { toks: lex(input)?, pos: 0, input_len: input.len() })
+    }
+
+    fn err(&self, msg: &str) -> RelalgError {
+        let at = self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.input_len);
+        RelalgError::Parse { at, msg: msg.to_owned() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn expect_end(&self) -> Result<(), RelalgError> {
+        // A trailing semicolon is tolerated.
+        let mut p = self.pos;
+        while let Some((_, Tok::Sym(s))) = self.toks.get(p) {
+            if s == ";" {
+                p += 1;
+            } else {
+                break;
+            }
+        }
+        if p >= self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing input"))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), RelalgError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if let Some(Tok::Sym(s)) = self.peek() {
+            if s == sym {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), RelalgError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, RelalgError> {
+        match self.peek() {
+            Some(Tok::Ident(id)) => {
+                let id = id.clone();
+                self.pos += 1;
+                Ok(id)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    /// A possibly-qualified column name: `a` or `r.a`.
+    fn column(&mut self) -> Result<String, RelalgError> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn constant(&mut self) -> Result<Atom, RelalgError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Atom::Int(n))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Atom::Str(s))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("true") => {
+                self.pos += 1;
+                Ok(Atom::Bool(true))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(Atom::Bool(false))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("null") => {
+                self.pos += 1;
+                Ok(Atom::Unit)
+            }
+            _ => Err(self.err("expected constant")),
+        }
+    }
+
+    fn is_keyword(id: &str) -> bool {
+        const KW: [&str; 16] = [
+            "select", "from", "where", "union", "except", "and", "or", "not",
+            "as", "insert", "into", "values", "delete", "update", "set", "distinct",
+        ];
+        KW.iter().any(|k| id.eq_ignore_ascii_case(k))
+    }
+
+    // ------------------------------------------------------- statements
+
+    fn statement(&mut self) -> Result<Statement, RelalgError> {
+        match self.peek() {
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("select") => {
+                Ok(Statement::Query(self.query()?))
+            }
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("insert") => self.insert(),
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("delete") => self.delete(),
+            Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("update") => self.update(),
+            _ => Err(self.err("expected SELECT, INSERT, DELETE or UPDATE")),
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, RelalgError> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let relation = self.ident()?;
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol("(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.constant()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+            self.expect_symbol(")")?;
+            rows.push(row);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        Ok(Statement::Insert { relation, rows })
+    }
+
+    fn delete(&mut self) -> Result<Statement, RelalgError> {
+        self.expect_keyword("delete")?;
+        self.expect_keyword("from")?;
+        let relation = self.ident()?;
+        let pred = if self.eat_keyword("where") { self.pred()? } else { Pred::True };
+        Ok(Statement::Delete { relation, pred })
+    }
+
+    fn update(&mut self) -> Result<Statement, RelalgError> {
+        self.expect_keyword("update")?;
+        let relation = self.ident()?;
+        // The paper's Figure 3 writes `UPDATE R WHERE A = 10; SET B = 55`
+        // with the clauses transposed; accept both orders.
+        let mut pred = Pred::True;
+        let mut sets = Vec::new();
+        let mut saw_set = false;
+        loop {
+            if self.eat_keyword("set") {
+                saw_set = true;
+                loop {
+                    let col = self.column()?;
+                    self.expect_symbol("=")?;
+                    let val = self.constant()?;
+                    sets.push((col, val));
+                    if !self.eat_symbol(",") {
+                        break;
+                    }
+                }
+            } else if self.eat_keyword("where") {
+                pred = self.pred()?;
+                // Tolerate the paper's stray ';' between clauses.
+                let _ = self.eat_symbol(";");
+            } else {
+                break;
+            }
+            let _ = self.eat_symbol(";");
+            if saw_set && !matches!(self.peek(), Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("where")) {
+                break;
+            }
+        }
+        if !saw_set {
+            return Err(self.err("UPDATE requires a SET clause"));
+        }
+        Ok(Statement::Update { relation, sets, pred })
+    }
+
+    // ---------------------------------------------------------- queries
+
+    fn query(&mut self) -> Result<RaExpr, RelalgError> {
+        let mut left = self.select_query()?;
+        loop {
+            if self.eat_keyword("union") {
+                let right = self.select_query()?;
+                left = left.union(right);
+            } else if self.eat_keyword("except") {
+                let right = self.select_query()?;
+                left = left.diff(right);
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn select_query(&mut self) -> Result<RaExpr, RelalgError> {
+        self.expect_keyword("select")?;
+        let _ = self.eat_keyword("distinct"); // set semantics anyway
+        let star = self.eat_symbol("*");
+        let mut items: Vec<ProjItem> = Vec::new();
+        if !star {
+            loop {
+                items.push(self.proj_item()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_keyword("from")?;
+        let mut sources: Vec<RaExpr> = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let alias = match self.peek() {
+                Some(Tok::Ident(id))
+                    if id.eq_ignore_ascii_case("as") =>
+                {
+                    self.pos += 1;
+                    Some(self.ident()?)
+                }
+                Some(Tok::Ident(id)) if !Self::is_keyword(id) => {
+                    let a = id.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            };
+            // Tables are always scanned under an alias (defaulting to the
+            // table name) so that qualified references like `R.A` resolve
+            // even in single-table FROM clauses.
+            let alias = alias.unwrap_or_else(|| name.clone());
+            sources.push(RaExpr::ScanAs(name, alias));
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let mut from = None;
+        for src in sources {
+            from = Some(match from {
+                None => src,
+                Some(f) => RaExpr::Product(Box::new(f), Box::new(src)),
+            });
+        }
+        let mut q = from.expect("at least one source");
+        if self.eat_keyword("where") {
+            q = q.select(self.pred()?);
+        }
+        if !star {
+            q = q.project(items);
+        }
+        Ok(q)
+    }
+
+    fn proj_item(&mut self) -> Result<ProjItem, RelalgError> {
+        // Constant or column, optionally AS name.
+        let (source_col, source_const) = match self.peek() {
+            Some(Tok::Ident(id)) if !Self::is_keyword(id) => (Some(self.column()?), None),
+            _ => (None, Some(self.constant()?)),
+        };
+        let name = if self.eat_keyword("as") {
+            self.ident()?
+        } else {
+            match &source_col {
+                Some(c) => c.rsplit('.').next().unwrap_or(c).to_owned(),
+                None => return Err(self.err("constant projection requires AS name")),
+            }
+        };
+        Ok(match (source_col, source_const) {
+            (Some(c), _) => ProjItem::col(c, name),
+            (_, Some(a)) => ProjItem { source: crate::expr::ProjSource::Const(a), name },
+            _ => unreachable!(),
+        })
+    }
+
+    // ------------------------------------------------------- predicates
+
+    fn pred(&mut self) -> Result<Pred, RelalgError> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<Pred, RelalgError> {
+        let mut left = self.and_pred()?;
+        while self.eat_keyword("or") {
+            let right = self.and_pred()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<Pred, RelalgError> {
+        let mut left = self.unary_pred()?;
+        while self.eat_keyword("and") {
+            let right = self.unary_pred()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_pred(&mut self) -> Result<Pred, RelalgError> {
+        if self.eat_keyword("not") {
+            return Ok(Pred::Not(Box::new(self.unary_pred()?)));
+        }
+        if self.eat_symbol("(") {
+            let p = self.pred()?;
+            self.expect_symbol(")")?;
+            return Ok(p);
+        }
+        let left = self.operand()?;
+        let op = self.cmp_op()?;
+        let right = self.operand()?;
+        Ok(Pred::Cmp { left, op, right })
+    }
+
+    fn operand(&mut self) -> Result<Operand, RelalgError> {
+        match self.peek() {
+            Some(Tok::Ident(id))
+                if !Self::is_keyword(id)
+                    && !id.eq_ignore_ascii_case("true")
+                    && !id.eq_ignore_ascii_case("false")
+                    && !id.eq_ignore_ascii_case("null") =>
+            {
+                Ok(Operand::Col(self.column()?))
+            }
+            _ => Ok(Operand::Const(self.constant()?)),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, RelalgError> {
+        for (sym, op) in [
+            ("<>", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat_symbol(sym) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected comparison operator"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    fn paper_db() -> Database {
+        Database::new()
+            .with(
+                "R",
+                Relation::table(
+                    ["A", "B"],
+                    [vec![int(10), int(49)], vec![int(12), int(50)]],
+                )
+                .unwrap(),
+            )
+            .with(
+                "S",
+                Relation::table(
+                    ["A", "B"],
+                    [vec![int(11), int(49)], vec![int(12), int(50)]],
+                )
+                .unwrap(),
+            )
+    }
+
+    #[test]
+    fn parses_and_runs_q1() {
+        let mut db = paper_db();
+        let r = execute(
+            &mut db,
+            "SELECT R.A, R.B FROM R, S WHERE R.A = S.A AND R.B = 50",
+        )
+        .unwrap();
+        assert_eq!(r.schema().attrs(), ["A", "B"]);
+        assert_eq!(r.tuples(), &[vec![int(12), int(50)]]);
+    }
+
+    #[test]
+    fn parses_and_runs_q2_with_constant() {
+        let mut db = paper_db();
+        let r = execute(
+            &mut db,
+            "SELECT S.A, 50 AS B FROM R, S WHERE R.A = S.A AND R.B = 50",
+        )
+        .unwrap();
+        assert_eq!(r.tuples(), &[vec![int(12), int(50)]]);
+    }
+
+    #[test]
+    fn select_star_single_table() {
+        let mut db = paper_db();
+        let r = execute(&mut db, "SELECT * FROM R WHERE A = 10").unwrap();
+        assert_eq!(r.tuples(), &[vec![int(10), int(49)]]);
+    }
+
+    #[test]
+    fn figure3_first_program_is_a_query() {
+        let mut db = paper_db();
+        let r = execute(
+            &mut db,
+            "SELECT R.A, 55 AS B FROM R WHERE A <> 10 \
+             UNION SELECT * FROM R WHERE A = 10",
+        )
+        .unwrap();
+        let expect: std::collections::BTreeSet<Tuple> =
+            [vec![int(12), int(55)], vec![int(10), int(49)]].into_iter().collect();
+        assert_eq!(r.tuple_set(), expect);
+    }
+
+    #[test]
+    fn figure3_delete_insert() {
+        let mut db = paper_db();
+        execute(&mut db, "DELETE FROM R WHERE A = 10").unwrap();
+        execute(&mut db, "INSERT INTO R VALUES (10, 55)").unwrap();
+        let expect: std::collections::BTreeSet<Tuple> =
+            [vec![int(10), int(55)], vec![int(12), int(50)]].into_iter().collect();
+        assert_eq!(db.get("R").unwrap().tuple_set(), expect);
+    }
+
+    #[test]
+    fn figure3_update_both_clause_orders() {
+        // Standard order.
+        let mut db = paper_db();
+        execute(&mut db, "UPDATE R SET B = 55 WHERE A = 10").unwrap();
+        assert!(db.get("R").unwrap().contains(&vec![int(10), int(55)]));
+        // The paper's transposed order with stray semicolon.
+        let mut db2 = paper_db();
+        execute(&mut db2, "UPDATE R WHERE A = 10; SET B = 55").unwrap();
+        assert_eq!(db.get("R").unwrap().tuple_set(), db2.get("R").unwrap().tuple_set());
+    }
+
+    #[test]
+    fn except_and_parens_and_strings() {
+        let mut db = Database::new().with(
+            "T",
+            Relation::table(
+                ["name", "n"],
+                [
+                    vec![Atom::Str("a".into()), int(1)],
+                    vec![Atom::Str("b".into()), int(2)],
+                ],
+            )
+            .unwrap(),
+        );
+        let r = execute(
+            &mut db,
+            "SELECT * FROM T WHERE (name = 'a' OR name = 'b') AND NOT n = 2",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        let r2 = execute(
+            &mut db,
+            "SELECT name FROM T EXCEPT SELECT name FROM T WHERE n = 2",
+        )
+        .unwrap();
+        assert_eq!(r2.tuples(), &[vec![Atom::Str("a".into())]]);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let mut db = paper_db();
+        let r = execute(
+            &mut db,
+            "SELECT x.A FROM R AS x, S AS y WHERE x.A = y.A",
+        )
+        .unwrap();
+        assert_eq!(r.tuples(), &[vec![int(12)]]);
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts = parse_script(
+            "DELETE FROM R WHERE A = 10; INSERT INTO R VALUES (10, 55);",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        match parse("SELECT FROM R") {
+            Err(RelalgError::Parse { at, .. }) => assert!(at > 0),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(parse("SELECT * FROM R WHERE A ~ 3").is_err());
+        assert!(parse("SELECT 5 FROM R").is_err(), "constant needs AS");
+        assert!(parse("SELECT * FROM R extra garbage +").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let stmts = parse("INSERT INTO R VALUES ('it''s', 1)").unwrap();
+        match stmts {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0][0], Atom::Str("it's".into()));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn multi_row_insert_and_delete_all() {
+        let mut db = paper_db();
+        execute(&mut db, "INSERT INTO R VALUES (1,1), (2,2)").unwrap();
+        assert_eq!(db.get("R").unwrap().len(), 4);
+        execute(&mut db, "DELETE FROM R").unwrap();
+        assert!(db.get("R").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: algebraic laws of the evaluator on random
+//! relations, and parser/printer coherence.
+
+use cdb_model::Atom;
+use cdb_relalg::eval::eval;
+use cdb_relalg::{Database, Pred, RaExpr, Relation};
+use proptest::prelude::*;
+
+/// Random two-column relations with small integer domains (to force
+/// collisions, joins and duplicates).
+fn rel() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..6, 0i64..6), 0..10)
+}
+
+fn build(r: &[(i64, i64)], s: &[(i64, i64)]) -> Database {
+    let mk = |rows: &[(i64, i64)], attrs: [&str; 2]| {
+        Relation::table(
+            attrs,
+            rows.iter().map(|(a, b)| vec![Atom::Int(*a), Atom::Int(*b)]),
+        )
+        .unwrap()
+    };
+    Database::new()
+        .with("R", mk(r, ["A", "B"]))
+        .with("S", mk(s, ["B", "C"]))
+        .with("T", mk(s, ["A", "B"]))
+}
+
+proptest! {
+    /// Union is commutative and associative (as sets), and idempotent.
+    #[test]
+    fn union_laws(r in rel(), s in rel()) {
+        let db = build(&r, &s);
+        let ru_t = eval(&db, &RaExpr::scan("R").union(RaExpr::scan("T"))).unwrap();
+        let tu_r = eval(&db, &RaExpr::scan("T").union(RaExpr::scan("R"))).unwrap();
+        prop_assert!(ru_t.set_eq(&tu_r));
+        let r_twice = eval(&db, &RaExpr::scan("R").union(RaExpr::scan("R"))).unwrap();
+        let r_once = eval(&db, &RaExpr::scan("R")).unwrap();
+        prop_assert!(r_twice.set_eq(&r_once));
+    }
+
+    /// Selections commute, and conjunction equals composition.
+    #[test]
+    fn selection_laws(r in rel(), s in rel()) {
+        let db = build(&r, &s);
+        let p = Pred::col_eq_const("A", 2);
+        let q = Pred::col_eq_const("B", 3);
+        let pq = eval(&db, &RaExpr::scan("R").select(p.clone()).select(q.clone())).unwrap();
+        let qp = eval(&db, &RaExpr::scan("R").select(q.clone()).select(p.clone())).unwrap();
+        let conj = eval(&db, &RaExpr::scan("R").select(p.clone().and(q.clone()))).unwrap();
+        prop_assert!(pq.set_eq(&qp));
+        prop_assert!(pq.set_eq(&conj));
+    }
+
+    /// Difference laws: R − S ⊆ R; R − R = ∅; (R − T) ∪ (R ∩ T) = R.
+    #[test]
+    fn difference_laws(r in rel(), s in rel()) {
+        let db = build(&r, &s);
+        let diff = eval(&db, &RaExpr::scan("R").diff(RaExpr::scan("T"))).unwrap();
+        let r_rel = eval(&db, &RaExpr::scan("R")).unwrap();
+        for t in diff.tuples() {
+            prop_assert!(r_rel.contains(t));
+        }
+        let self_diff = eval(&db, &RaExpr::scan("R").diff(RaExpr::scan("R"))).unwrap();
+        prop_assert!(self_diff.is_empty());
+        // R ∩ T via double difference.
+        let inter = eval(
+            &db,
+            &RaExpr::scan("R").diff(RaExpr::scan("R").diff(RaExpr::scan("T"))),
+        )
+        .unwrap();
+        let rebuilt = {
+            let mut u = diff.clone();
+            for t in inter.tuples() {
+                u.insert(t.clone()).unwrap();
+            }
+            u
+        };
+        prop_assert!(rebuilt.set_eq(&r_rel));
+    }
+
+    /// The natural join is contained in the product filtered on equal
+    /// shared attributes, and join with a full-domain relation is lossless.
+    #[test]
+    fn join_agrees_with_filtered_product(r in rel(), s in rel()) {
+        let db = build(&r, &s);
+        let join = eval(&db, &RaExpr::scan("R").natural_join(RaExpr::scan("S"))).unwrap();
+        let prod = eval(
+            &db,
+            &RaExpr::ScanAs("R".into(), "r".into())
+                .product(RaExpr::ScanAs("S".into(), "s".into()))
+                .select(Pred::col_eq_col("r.B", "s.B"))
+                .project(vec![
+                    cdb_relalg::ProjItem::col("r.A", "A"),
+                    cdb_relalg::ProjItem::col("r.B", "B"),
+                    cdb_relalg::ProjItem::col("s.C", "C"),
+                ]),
+        )
+        .unwrap();
+        prop_assert!(join.set_eq(&prod));
+    }
+
+    /// Projection is monotone and never increases cardinality.
+    #[test]
+    fn projection_cardinality(r in rel(), s in rel()) {
+        let db = build(&r, &s);
+        let base = eval(&db, &RaExpr::scan("R")).unwrap();
+        let proj = eval(&db, &RaExpr::scan("R").project_cols(["A"])).unwrap();
+        prop_assert!(proj.len() <= base.len());
+    }
+
+    /// Queries built by the SQL parser agree with hand-built algebra.
+    #[test]
+    fn sql_agrees_with_algebra(r in rel(), s in rel(), k in 0i64..6) {
+        let mut db = build(&r, &s);
+        let via_sql = cdb_relalg::sql::execute(
+            &mut db,
+            &format!("SELECT A FROM R WHERE B = {k}"),
+        )
+        .unwrap();
+        let via_ra = eval(
+            &db,
+            &RaExpr::scan("R")
+                .select(Pred::col_eq_const("B", k))
+                .project_cols(["A"]),
+        )
+        .unwrap();
+        prop_assert!(via_sql.set_eq(&via_ra));
+    }
+}

@@ -1,0 +1,158 @@
+//! SQL front-end edge cases: precedence, parenthesization, aliasing,
+//! literals, and error positions.
+
+use cdb_model::Atom;
+use cdb_relalg::sql::{execute, parse, parse_script, Statement};
+use cdb_relalg::{Database, Relation};
+
+fn int(i: i64) -> Atom {
+    Atom::Int(i)
+}
+
+fn db() -> Database {
+    Database::new().with(
+        "T",
+        Relation::table(
+            ["a", "b", "c"],
+            [
+                vec![int(1), int(1), int(0)],
+                vec![int(1), int(0), int(1)],
+                vec![int(0), int(1), int(1)],
+                vec![int(0), int(0), int(0)],
+            ],
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn and_binds_tighter_than_or() {
+    let mut d = db();
+    // a=1 OR b=1 AND c=1  ≡  a=1 OR (b=1 AND c=1)
+    let r = execute(&mut d, "SELECT * FROM T WHERE a = 1 OR b = 1 AND c = 1").unwrap();
+    assert_eq!(r.len(), 3, "rows 1,2 (a=1) and row 3 (b=1∧c=1)");
+    // Parenthesized the other way gives a different result.
+    let r2 = execute(&mut d, "SELECT * FROM T WHERE (a = 1 OR b = 1) AND c = 1").unwrap();
+    assert_eq!(r2.len(), 2, "rows with c=1 among a=1∨b=1");
+}
+
+#[test]
+fn not_and_nested_parens() {
+    let mut d = db();
+    let r = execute(&mut d, "SELECT * FROM T WHERE NOT (a = 1 OR b = 1)").unwrap();
+    assert_eq!(r.len(), 1);
+    assert_eq!(r.tuples()[0], vec![int(0), int(0), int(0)]);
+    let r2 = execute(&mut d, "SELECT * FROM T WHERE NOT NOT a = 1").unwrap();
+    assert_eq!(r2.len(), 2);
+}
+
+#[test]
+fn comparison_operators() {
+    let mut d = db();
+    for (q, n) in [
+        ("SELECT * FROM T WHERE a <= 0", 2),
+        ("SELECT * FROM T WHERE a >= 1", 2),
+        ("SELECT * FROM T WHERE a < b", 1),
+        ("SELECT * FROM T WHERE a > b", 1),
+        ("SELECT * FROM T WHERE a <> b", 2),
+    ] {
+        let r = execute(&mut d, q).unwrap();
+        assert_eq!(r.len(), n, "{q}");
+    }
+}
+
+#[test]
+fn implicit_alias_without_as() {
+    let mut d = db();
+    let r = execute(&mut d, "SELECT x.a FROM T x WHERE x.b = 1").unwrap();
+    assert_eq!(r.len(), 2);
+}
+
+#[test]
+fn distinct_keyword_is_accepted() {
+    let mut d = db();
+    let r = execute(&mut d, "SELECT DISTINCT a FROM T").unwrap();
+    assert_eq!(r.len(), 2, "set semantics anyway");
+}
+
+#[test]
+fn boolean_and_null_literals() {
+    let mut d = Database::new().with(
+        "U",
+        Relation::table(["x", "flag"], [vec![int(1), Atom::Bool(true)]]).unwrap(),
+    );
+    let r = execute(&mut d, "SELECT * FROM U WHERE flag = true").unwrap();
+    assert_eq!(r.len(), 1);
+    let stmt = parse("INSERT INTO U VALUES (2, null)").unwrap();
+    match stmt {
+        Statement::Insert { rows, .. } => assert_eq!(rows[0][1], Atom::Unit),
+        _ => panic!(),
+    }
+}
+
+#[test]
+fn negative_numbers() {
+    let mut d = Database::new().with(
+        "N",
+        Relation::table(["x"], [vec![int(-5)], vec![int(5)]]).unwrap(),
+    );
+    let r = execute(&mut d, "SELECT * FROM N WHERE x = -5").unwrap();
+    assert_eq!(r.len(), 1);
+    let r2 = execute(&mut d, "SELECT * FROM N WHERE x < -4").unwrap();
+    assert_eq!(r2.len(), 1);
+}
+
+#[test]
+fn triple_union_and_except_chain() {
+    let mut d = db();
+    let r = execute(
+        &mut d,
+        "SELECT a FROM T WHERE a = 1 UNION SELECT b AS a FROM T \
+         UNION SELECT c AS a FROM T EXCEPT SELECT a FROM T WHERE a = 0",
+    )
+    .unwrap();
+    // Left-assoc: (((a=1) ∪ b ∪ c) − {0}) = {1}.
+    assert_eq!(r.tuples(), &[vec![int(1)]]);
+}
+
+#[test]
+fn error_positions_point_into_the_input() {
+    for (q, min_at) in [
+        ("SELECT", 6),
+        ("SELECT a FROM", 13),
+        ("SELECT a FROM T WHERE", 21),
+        ("SELECT a FROM T WHERE a ==", 25),
+    ] {
+        match parse(q) {
+            Err(cdb_relalg::RelalgError::Parse { at, .. }) => {
+                assert!(at >= min_at.min(q.len()), "{q}: at={at}")
+            }
+            other => panic!("{q}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn scripts_tolerate_blank_statements_and_trailing_semis() {
+    let s = parse_script(";;SELECT a FROM T;;;DELETE FROM T;;").unwrap();
+    assert_eq!(s.len(), 2);
+    assert!(parse_script("SELECT a FROM T DELETE").is_err());
+}
+
+#[test]
+fn update_multiple_assignments() {
+    let mut d = db();
+    // Rows (1,1,0) and (0,0,0) both become (7,8,0): under set semantics
+    // they merge into one tuple.
+    execute(&mut d, "UPDATE T SET a = 7, b = 8 WHERE c = 0").unwrap();
+    let r = execute(&mut d, "SELECT * FROM T WHERE a = 7 AND b = 8").unwrap();
+    assert_eq!(r.tuples(), &[vec![int(7), int(8), int(0)]]);
+    assert_eq!(d.get("T").unwrap().len(), 3, "4 rows collapsed to 3");
+}
+
+#[test]
+fn keywords_case_insensitive() {
+    let mut d = db();
+    let r = execute(&mut d, "select a from T where a = 1 union select b as a from T").unwrap();
+    assert_eq!(r.tuple_set().len(), 2);
+}

@@ -1,0 +1,304 @@
+//! Derivative-based DFA construction and regex recovery.
+//!
+//! The DFA of an expression is built from its Brzozowski derivatives:
+//! states are normalized derivative expressions, the start state is the
+//! expression itself, and a state is accepting iff nullable. Because the
+//! smart constructors normalize aggressively, the state set is finite
+//! for every expression in this crate (including interleaving, whose
+//! derivative law `d_a(r # s) = d_a(r) # s | r # d_a(s)` is built in).
+//!
+//! The DFA's state count is the semantic measure of the **interleaving
+//! blow-up**: `a # b # c # …` over n symbols yields 2ⁿ states, which is
+//! what the E9 bench tabulates. [`Dfa::to_regex`] recovers an
+//! interleave-free expression by state elimination.
+
+use std::collections::BTreeMap;
+
+use crate::regex::Regex;
+
+/// A guard against state explosion in adversarial inputs.
+const MAX_STATES: usize = 1 << 20;
+
+/// A deterministic finite automaton over label symbols.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Alphabet, sorted.
+    alphabet: Vec<String>,
+    /// Transition table: `trans[state][symbol_index]`, `usize::MAX` = no
+    /// transition (dead).
+    trans: Vec<Vec<usize>>,
+    /// Accepting states.
+    accepting: Vec<bool>,
+    /// Start state (always 0).
+    start: usize,
+}
+
+impl Dfa {
+    /// Builds the derivative DFA. Returns `None` if the state cap is
+    /// exceeded.
+    pub fn build(expr: &Regex) -> Option<Dfa> {
+        let alphabet: Vec<String> = expr.alphabet().into_iter().collect();
+        let mut index: BTreeMap<Regex, usize> = BTreeMap::new();
+        let mut states: Vec<Regex> = Vec::new();
+        let mut worklist: Vec<usize> = Vec::new();
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+
+        index.insert(expr.clone(), 0);
+        states.push(expr.clone());
+        worklist.push(0);
+        trans.push(vec![usize::MAX; alphabet.len()]);
+
+        while let Some(si) = worklist.pop() {
+            for (ai, a) in alphabet.iter().enumerate() {
+                let d = states[si].derivative(a);
+                if d.is_empty_language() {
+                    continue;
+                }
+                let ti = match index.get(&d) {
+                    Some(&t) => t,
+                    None => {
+                        let t = states.len();
+                        if t >= MAX_STATES {
+                            return None;
+                        }
+                        index.insert(d.clone(), t);
+                        states.push(d);
+                        trans.push(vec![usize::MAX; alphabet.len()]);
+                        worklist.push(t);
+                        t
+                    }
+                };
+                trans[si][ai] = ti;
+            }
+        }
+        let accepting = states.iter().map(Regex::nullable).collect();
+        Some(Dfa { alphabet, trans, accepting, start: 0 })
+    }
+
+    /// Number of states (the blow-up measure).
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &[String] {
+        &self.alphabet
+    }
+
+    /// Runs the DFA on a word.
+    pub fn accepts<S: AsRef<str>>(&self, word: impl IntoIterator<Item = S>) -> bool {
+        let mut cur = self.start;
+        for s in word {
+            let Some(ai) = self.alphabet.iter().position(|a| a == s.as_ref()) else {
+                return false;
+            };
+            let next = self.trans[cur][ai];
+            if next == usize::MAX {
+                return false;
+            }
+            cur = next;
+        }
+        self.accepting[cur]
+    }
+
+    /// Recovers a regular expression by GNFA state elimination. The
+    /// result uses only `{∅, ε, sym, seq, alt, star}`.
+    #[allow(clippy::needless_range_loop)] // index pairs over a 2-D matrix
+    pub fn to_regex(&self) -> Regex {
+        let n = self.trans.len();
+        // GNFA with fresh start (n) and accept (n+1) states; edge
+        // labels are regexes.
+        let total = n + 2;
+        let mut edge: Vec<Vec<Regex>> = vec![vec![Regex::Empty; total]; total];
+        for (s, row) in self.trans.iter().enumerate() {
+            for (ai, &t) in row.iter().enumerate() {
+                if t != usize::MAX {
+                    let lbl = Regex::sym(self.alphabet[ai].clone());
+                    let old = std::mem::replace(&mut edge[s][t], Regex::Empty);
+                    edge[s][t] = Regex::alt([old, lbl]);
+                }
+            }
+        }
+        edge[n][self.start] = Regex::Eps;
+        for (s, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                edge[s][n + 1] = Regex::alt([
+                    std::mem::replace(&mut edge[s][n + 1], Regex::Empty),
+                    Regex::Eps,
+                ]);
+            }
+        }
+        // Eliminate original states one by one.
+        for rip in 0..n {
+            let self_loop = edge[rip][rip].clone();
+            let loop_star = Regex::star(self_loop);
+            for p in 0..total {
+                if p == rip {
+                    continue;
+                }
+                let p_in = edge[p][rip].clone();
+                if p_in.is_empty_language() {
+                    continue;
+                }
+                for q in 0..total {
+                    if q == rip {
+                        continue;
+                    }
+                    let out = edge[rip][q].clone();
+                    if out.is_empty_language() {
+                        continue;
+                    }
+                    let via = Regex::seq([p_in.clone(), loop_star.clone(), out]);
+                    let old = std::mem::replace(&mut edge[p][q], Regex::Empty);
+                    edge[p][q] = Regex::alt([old, via]);
+                }
+            }
+            for x in 0..total {
+                edge[rip][x] = Regex::Empty;
+                edge[x][rip] = Regex::Empty;
+            }
+        }
+        edge[n][n + 1].clone()
+    }
+}
+
+/// The DFA state count of an expression — `None` if it exceeds the cap.
+pub fn state_count(expr: &Regex) -> Option<usize> {
+    Dfa::build(expr).map(|d| d.state_count())
+}
+
+/// Language containment `L(a) ⊆ L(b)` by product exploration of
+/// derivative pairs: from `(a, b)`, follow both derivatives on every
+/// symbol of `a`'s alphabet (symbols outside `b`'s alphabet drive `b` to
+/// ∅); reject if a nullable `a`-state pairs with a non-nullable
+/// `b`-state.
+pub fn contains(sup: &Regex, sub: &Regex) -> bool {
+    let mut seen: std::collections::BTreeSet<(Regex, Regex)> = Default::default();
+    let mut work = vec![(sub.clone(), sup.clone())];
+    let alphabet: Vec<String> = sub
+        .alphabet()
+        .union(&sup.alphabet())
+        .cloned()
+        .collect();
+    while let Some((a, b)) = work.pop() {
+        if a.is_empty_language() {
+            continue;
+        }
+        if a.nullable() && !b.nullable() {
+            return false;
+        }
+        if !seen.insert((a.clone(), b.clone())) {
+            continue;
+        }
+        for s in &alphabet {
+            let da = a.derivative(s);
+            if da.is_empty_language() {
+                continue;
+            }
+            let db = b.derivative(s);
+            if db.is_empty_language() {
+                return false; // a word in L(a) leaves L(b)'s prefixes…
+            }
+            work.push((da, db));
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    #[test]
+    fn dfa_agrees_with_derivative_matching() {
+        for (expr, word, expect) in [
+            ("a b c", vec!["a", "b", "c"], true),
+            ("a b c", vec!["a", "c"], false),
+            ("(a|b)* c", vec!["b", "a", "c"], true),
+            ("(a|b)* c", vec!["c", "c"], false),
+            ("a & b", vec!["b", "a"], true),
+            ("a & b", vec!["a"], false),
+        ] {
+            let e = r(expr);
+            let dfa = Dfa::build(&e).unwrap();
+            assert_eq!(dfa.accepts(word.clone()), expect, "{expr} on {word:?}");
+            assert_eq!(e.matches(word.clone()), expect);
+        }
+    }
+
+    #[test]
+    fn interleave_state_count_is_exponential() {
+        let syms = ["a", "b", "c", "d", "e", "f"];
+        let mut counts = Vec::new();
+        for n in 1..=6 {
+            let e = syms[..n]
+                .iter()
+                .map(|s| Regex::sym(*s))
+                .reduce(Regex::interleave)
+                .unwrap();
+            counts.push(state_count(&e).unwrap());
+        }
+        // a#b#…#xn has exactly 2^n reachable states (subsets of symbols
+        // consumed).
+        assert_eq!(counts, vec![2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn sequence_state_count_is_linear() {
+        let syms = ["a", "b", "c", "d", "e", "f"];
+        for n in 1..=6 {
+            let e = Regex::seq(syms[..n].iter().map(|s| Regex::sym(*s)));
+            assert_eq!(state_count(&e).unwrap(), n + 1);
+        }
+    }
+
+    #[test]
+    fn to_regex_round_trips_language() {
+        for expr in ["a b c", "(a|b)* c", "a & b & c", "(a b) & c*", "a? b+"] {
+            let e = r(expr);
+            let back = Dfa::build(&e).unwrap().to_regex();
+            assert!(!format!("{back:?}").contains("Interleave"));
+            // Compare on all words up to length 4 over the alphabet.
+            let alphabet: Vec<String> = e.alphabet().into_iter().collect();
+            let mut words: Vec<Vec<String>> = vec![vec![]];
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for s in &alphabet {
+                        let mut w2 = w.clone();
+                        w2.push(s.clone());
+                        next.push(w2);
+                    }
+                }
+                words.extend(next);
+            }
+            words.dedup();
+            for w in words {
+                assert_eq!(
+                    e.matches(w.iter().map(String::as_str)),
+                    back.matches(w.iter().map(String::as_str)),
+                    "{expr} vs recovered on {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn containment_basics() {
+        assert!(contains(&r("(a|b)*"), &r("a b a")));
+        assert!(contains(&r("(a|b)*"), &r("a* b*")));
+        assert!(!contains(&r("a b"), &r("a b | b a")));
+        assert!(contains(&r("a & b"), &r("a b")));
+        assert!(contains(&r("a & b"), &r("b a")));
+        assert!(!contains(&r("a b"), &r("a & b")));
+        // Reflexivity and ∅/ε edge cases.
+        assert!(contains(&r("a b c"), &r("a b c")));
+        assert!(contains(&r("a?"), &Regex::Eps));
+        assert!(contains(&Regex::Eps, &Regex::Empty));
+        assert!(!contains(&Regex::Empty, &Regex::Eps));
+    }
+}

@@ -1,0 +1,272 @@
+//! Schema inference for schema-less semistructured data.
+//!
+//! §6: AceDB let biologists build databases without a schema, and "since
+//! eventually one will want to retro-fit a schema to the data, it also
+//! points to the need of automatic schema inference for semistructured
+//! data" \[4, 6, 7, 34, 74\]. Two inference problems are solved here:
+//!
+//! * [`infer_type`] — a complex-object [`Type`] for a collection of
+//!   values, by folding least upper bounds: fields present in only some
+//!   entries become optional (the World Factbook's
+//!   `Government/Elections/Althing` pattern),
+//! * [`infer_regex`] — a CHARE-style (chain of alternations with
+//!   multiplicities) regular expression generalizing a set of example
+//!   label sequences, the shape \[6\] shows covers almost all real-world
+//!   DTD content models.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdb_model::{AtomType, Type, Value};
+
+use crate::regex::Regex;
+
+/// Infers a type covering all given values (an empty input infers
+/// [`Type::Any`]).
+pub fn infer_type<'a>(values: impl IntoIterator<Item = &'a Value>) -> Type {
+    let mut it = values.into_iter();
+    let Some(first) = it.next() else {
+        return Type::Any;
+    };
+    let mut acc = type_of(first);
+    for v in it {
+        acc = acc.lub(&type_of(v));
+    }
+    acc
+}
+
+/// The exact (most specific) type of a single value.
+pub fn type_of(v: &Value) -> Type {
+    match v {
+        Value::Atom(a) => Type::Atom(AtomType::of(a)),
+        Value::Record(m) => Type::record(
+            m.iter().map(|(l, x)| (l.clone(), type_of(x))),
+        ),
+        Value::Set(s) => Type::set(infer_type(s.iter())),
+        Value::List(xs) => Type::list(infer_type(xs.iter())),
+    }
+}
+
+/// Infers a CHARE expression from example label sequences: a
+/// concatenation of *factors*, each an alternation of symbols with a
+/// multiplicity (`1`, `?`, `+`, `*`).
+///
+/// Factors are the strongly-connected components of the symbol
+/// successor graph, emitted in topological order; a factor's
+/// multiplicity is derived from how often its symbols occur per example.
+/// The result is guaranteed to accept every example (checked by tests
+/// and debug assertions), at the cost of possible generalization —
+/// which is the point of inference.
+pub fn infer_regex<S: AsRef<str>>(examples: &[Vec<S>]) -> Regex {
+    let examples: Vec<Vec<&str>> = examples
+        .iter()
+        .map(|e| e.iter().map(AsRef::as_ref).collect())
+        .collect();
+    let symbols: BTreeSet<&str> = examples.iter().flatten().copied().collect();
+    if symbols.is_empty() {
+        return Regex::Eps;
+    }
+    // Successor graph: a → b if b ever directly follows a.
+    let mut succ: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &examples {
+        for w in e.windows(2) {
+            succ.entry(w[0]).or_default().insert(w[1]);
+        }
+    }
+    // SCCs by Tarjan-lite (iterative Kosaraju on the small graph).
+    let sccs = scc_topological(&symbols, &succ);
+    // Multiplicity of each factor: across examples, min and max number
+    // of occurrences of the factor's symbols.
+    let mut factors = Vec::new();
+    for comp in sccs {
+        let (mut min_c, mut max_c) = (usize::MAX, 0usize);
+        for e in &examples {
+            let c = e.iter().filter(|s| comp.contains(*s)).count();
+            min_c = min_c.min(c);
+            max_c = max_c.max(c);
+        }
+        let base = Regex::alt(comp.iter().map(|s| Regex::sym(*s)));
+        // A multi-symbol SCC means the symbols repeat among themselves:
+        // force a starred/plus factor regardless of counts.
+        let repeating = comp.len() > 1 || max_c > 1;
+        let factor = match (min_c, repeating) {
+            (0, true) => Regex::star(base),
+            (0, false) => Regex::opt(base),
+            (_, true) => Regex::seq([base.clone(), Regex::star(base)]),
+            (_, false) => base,
+        };
+        factors.push(factor);
+    }
+    let result = Regex::seq(factors);
+    debug_assert!(
+        examples.iter().all(|e| result.matches(e.iter().copied())),
+        "inferred expression must accept every example"
+    );
+    result
+}
+
+/// SCCs of the successor graph in topological order of first occurrence.
+fn scc_topological<'a>(
+    symbols: &BTreeSet<&'a str>,
+    succ: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+) -> Vec<BTreeSet<&'a str>> {
+    // Compute reachability closure.
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut work = vec![from];
+        while let Some(x) = work.pop() {
+            if x == to {
+                return true;
+            }
+            if !seen.insert(x) {
+                continue;
+            }
+            if let Some(ns) = succ.get(x) {
+                work.extend(ns.iter().copied());
+            }
+        }
+        false
+    };
+    // Group mutually-reachable symbols.
+    let mut comps: Vec<BTreeSet<&str>> = Vec::new();
+    for &s in symbols {
+        if comps.iter().any(|c| c.contains(s)) {
+            continue;
+        }
+        let mut comp = BTreeSet::new();
+        comp.insert(s);
+        for &t in symbols {
+            if t != s && reaches(s, t) && reaches(t, s) {
+                comp.insert(t);
+            }
+        }
+        comps.push(comp);
+    }
+    // Topological sort: comp A before comp B if A reaches B.
+    comps.sort_by(|a, b| {
+        let ar = a.iter().next().expect("non-empty");
+        let br = b.iter().next().expect("non-empty");
+        if reaches(ar, br) && !reaches(br, ar) {
+            std::cmp::Ordering::Less
+        } else if reaches(br, ar) && !reaches(ar, br) {
+            std::cmp::Ordering::Greater
+        } else {
+            ar.cmp(br)
+        }
+    });
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_model::types::FieldType;
+
+    #[test]
+    fn type_inference_marks_varying_fields_optional() {
+        // Iceland has an "althing" field; other countries do not (§6's
+        // Government/Elections/Althing example).
+        let iceland = Value::record([
+            ("name", Value::str("Iceland")),
+            ("althing", Value::str("parliament")),
+        ]);
+        let latvia = Value::record([("name", Value::str("Latvia"))]);
+        let t = infer_type([&iceland, &latvia]);
+        match &t {
+            Type::Record(fs) => {
+                assert!(!fs["name"].optional);
+                assert!(fs["althing"].optional);
+            }
+            other => panic!("expected record, got {other}"),
+        }
+        // Both values check against the inferred type.
+        assert!(t.check(&iceland).is_ok());
+        assert!(t.check(&latvia).is_ok());
+    }
+
+    #[test]
+    fn type_inference_generalizes_sets_elementwise() {
+        let db = Value::set([
+            Value::record([("a", Value::int(1))]),
+            Value::record([("a", Value::int(2)), ("b", Value::str("x"))]),
+        ]);
+        let t = infer_type([&db]);
+        match &t {
+            Type::Set(elem) => match elem.as_ref() {
+                Type::Record(fs) => {
+                    assert_eq!(fs["a"], FieldType::required(Type::Atom(AtomType::Int)));
+                    assert!(fs["b"].optional);
+                }
+                other => panic!("expected record, got {other}"),
+            },
+            other => panic!("expected set, got {other}"),
+        }
+    }
+
+    #[test]
+    fn incompatible_shapes_fall_back_to_any() {
+        let t = infer_type([&Value::int(1), &Value::str("x")]);
+        assert_eq!(t, Type::Any);
+        assert_eq!(infer_type(std::iter::empty()), Type::Any);
+    }
+
+    #[test]
+    fn regex_inference_simple_sequence() {
+        let ex = vec![
+            vec!["id", "ac", "de", "sq"],
+            vec!["id", "ac", "de", "sq"],
+        ];
+        let e = infer_regex(&ex);
+        assert!(e.matches(["id", "ac", "de", "sq"]));
+        assert!(!e.matches(["ac", "id", "de", "sq"]));
+        assert_eq!(e.to_string(), "id ac de sq");
+    }
+
+    #[test]
+    fn regex_inference_optional_and_repeated() {
+        // Some entries have no "kw", some have multiple "ref"s.
+        let ex = vec![
+            vec!["id", "ref", "sq"],
+            vec!["id", "ref", "ref", "ref", "sq"],
+            vec!["id", "kw", "ref", "sq"],
+        ];
+        let e = infer_regex(&ex);
+        for x in &ex {
+            assert!(e.matches(x.iter().copied()), "{x:?}");
+        }
+        // Generalizes: more refs fine, kw optional.
+        assert!(e.matches(["id", "ref", "ref", "ref", "ref", "sq"]));
+        assert!(e.matches(["id", "ref", "sq"]));
+        assert!(!e.matches(["ref", "id", "sq"]));
+    }
+
+    #[test]
+    fn regex_inference_alternating_symbols_form_a_starred_factor() {
+        // a and b alternate arbitrarily: they form one SCC.
+        let ex = vec![
+            vec!["x", "a", "b", "a", "y"],
+            vec!["x", "b", "a", "b", "y"],
+        ];
+        let e = infer_regex(&ex);
+        for x in &ex {
+            assert!(e.matches(x.iter().copied()));
+        }
+        assert!(e.matches(["x", "a", "b", "a", "b", "a", "y"]));
+    }
+
+    #[test]
+    fn regex_inference_empty_and_single() {
+        assert_eq!(infer_regex::<&str>(&[]), Regex::Eps);
+        let e = infer_regex(&[vec!["a"]]);
+        assert!(e.matches(["a"]));
+        assert!(!e.matches(Vec::<&str>::new()));
+    }
+
+    #[test]
+    fn inferred_types_accept_future_entries_with_extra_fields() {
+        // The retro-fitted schema keeps working as curators add fields
+        // (width subtyping at the value level).
+        let t = infer_type([&Value::record([("a", Value::int(1))])]);
+        let richer = Value::record([("a", Value::int(2)), ("z", Value::str("new"))]);
+        assert!(t.check(&richer).is_ok());
+    }
+}

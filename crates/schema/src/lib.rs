@@ -1,0 +1,32 @@
+//! # cdb-schema
+//!
+//! Evolution of structure (§6 of *Curated Databases*):
+//!
+//! * [`regex`] — regular-expression content models over field labels
+//!   (the regular-expression types of XML schema languages), with
+//!   Brzozowski derivatives, matching, and an **interleaving** operator
+//!   `r1 # r2` (§6.1),
+//! * [`automata`] — derivative-based DFA construction and state
+//!   counting, used to demonstrate the exponential blow-up of removing
+//!   interleaving (`a # b # c # …`, \[42, 43, 56\]),
+//! * [`subtype`] — the three subtype disciplines §6.1 contrasts:
+//!   **inclusion** subtyping (language containment — under which adding
+//!   a field breaks existing transformations), **width** (prefix)
+//!   subtyping, and **interleaving-based** subtyping (new fields may
+//!   appear anywhere), with the order-dependence counterexample from the
+//!   paper,
+//! * [`infer`] — schema inference for schema-less semistructured data
+//!   (§6's AceDB retro-fitting): complex-object [`cdb_model::Type`]
+//!   inference by least upper bounds, and CHARE-style regular-expression
+//!   inference from example label sequences \[4, 6, 7\].
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod automata;
+pub mod infer;
+pub mod regex;
+pub mod subtype;
+
+pub use regex::Regex;
+pub use subtype::{inclusion_subtype, interleave_subtype, width_subtype};

@@ -1,0 +1,545 @@
+//! Regular expressions over field labels, with Brzozowski derivatives
+//! and the interleaving (shuffle) operator of §6.1.
+//!
+//! Smart constructors keep expressions in a normal form (associativity
+//! flattening, identity/annihilator elimination, duplicate-alternative
+//! removal) so that the set of derivatives reachable from any expression
+//! is finite — which is what makes the derivative-based DFA construction
+//! in [`crate::automata`] terminate and its state counts meaningful.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A regular expression over label symbols.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty string ε.
+    Eps,
+    /// A single symbol.
+    Sym(String),
+    /// Concatenation.
+    Seq(Vec<Regex>),
+    /// Alternation.
+    Alt(BTreeSet<Regex>),
+    /// Kleene star.
+    Star(Rc<Regex>),
+    /// Interleaving (shuffle): all ways of merging a word of the left
+    /// with a word of the right, preserving each side's order.
+    Interleave(Rc<Regex>, Rc<Regex>),
+}
+
+impl Regex {
+    /// A symbol.
+    pub fn sym(s: impl Into<String>) -> Regex {
+        Regex::Sym(s.into())
+    }
+
+    /// Normalized concatenation.
+    pub fn seq(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Eps => {}
+                Regex::Seq(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Eps,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Seq(out),
+        }
+    }
+
+    /// Normalized alternation.
+    pub fn alt(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        let mut out: BTreeSet<Regex> = BTreeSet::new();
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(xs) => out.extend(xs),
+                other => {
+                    out.insert(other);
+                }
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Normalized star.
+    pub fn star(inner: Regex) -> Regex {
+        match inner {
+            Regex::Empty | Regex::Eps => Regex::Eps,
+            s @ Regex::Star(_) => s,
+            other => Regex::Star(Rc::new(other)),
+        }
+    }
+
+    /// `r?` = `r | ε`.
+    pub fn opt(inner: Regex) -> Regex {
+        Regex::alt([inner, Regex::Eps])
+    }
+
+    /// Normalized interleaving.
+    pub fn interleave(a: Regex, b: Regex) -> Regex {
+        match (a, b) {
+            (Regex::Empty, _) | (_, Regex::Empty) => Regex::Empty,
+            (Regex::Eps, x) | (x, Regex::Eps) => x,
+            (a, b) => {
+                // Order the operands (interleaving commutes) for sharing.
+                if a <= b {
+                    Regex::Interleave(Rc::new(a), Rc::new(b))
+                } else {
+                    Regex::Interleave(Rc::new(b), Rc::new(a))
+                }
+            }
+        }
+    }
+
+    /// Whether ε ∈ L(self).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty => false,
+            Regex::Eps => true,
+            Regex::Sym(_) => false,
+            Regex::Seq(xs) => xs.iter().all(Regex::nullable),
+            Regex::Alt(xs) => xs.iter().any(Regex::nullable),
+            Regex::Star(_) => true,
+            Regex::Interleave(a, b) => a.nullable() && b.nullable(),
+        }
+    }
+
+    /// Whether L(self) = ∅. (With the normalizing constructors, only the
+    /// literal `Empty` denotes the empty language.)
+    pub fn is_empty_language(&self) -> bool {
+        matches!(self, Regex::Empty)
+    }
+
+    /// The Brzozowski derivative with respect to symbol `a`.
+    pub fn derivative(&self, a: &str) -> Regex {
+        match self {
+            Regex::Empty | Regex::Eps => Regex::Empty,
+            Regex::Sym(s) => {
+                if s == a {
+                    Regex::Eps
+                } else {
+                    Regex::Empty
+                }
+            }
+            Regex::Seq(xs) => {
+                // d(r1 r2…) = d(r1) r2… | [r1 nullable] d(r2…)
+                let (first, rest) = xs.split_first().expect("Seq is non-empty");
+                let rest_re = Regex::seq(rest.iter().cloned());
+                let left = Regex::seq(
+                    std::iter::once(first.derivative(a)).chain(rest.iter().cloned()),
+                );
+                if first.nullable() {
+                    Regex::alt([left, rest_re.derivative(a)])
+                } else {
+                    left
+                }
+            }
+            Regex::Alt(xs) => Regex::alt(xs.iter().map(|x| x.derivative(a))),
+            Regex::Star(inner) => Regex::seq([
+                inner.derivative(a),
+                Regex::Star(Rc::clone(inner)),
+            ]),
+            Regex::Interleave(l, r) => Regex::alt([
+                Regex::interleave(l.derivative(a), (**r).clone()),
+                Regex::interleave((**l).clone(), r.derivative(a)),
+            ]),
+        }
+    }
+
+    /// Whether the word (sequence of labels) is in the language.
+    pub fn matches<S: AsRef<str>>(&self, word: impl IntoIterator<Item = S>) -> bool {
+        let mut cur = self.clone();
+        for s in word {
+            cur = cur.derivative(s.as_ref());
+            if cur.is_empty_language() {
+                return false;
+            }
+        }
+        cur.nullable()
+    }
+
+    /// The set of symbols occurring in the expression.
+    pub fn alphabet(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_alphabet(&mut out);
+        out
+    }
+
+    fn collect_alphabet(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Regex::Empty | Regex::Eps => {}
+            Regex::Sym(s) => {
+                out.insert(s.clone());
+            }
+            Regex::Seq(xs) => {
+                for x in xs {
+                    x.collect_alphabet(out);
+                }
+            }
+            Regex::Alt(xs) => {
+                for x in xs {
+                    x.collect_alphabet(out);
+                }
+            }
+            Regex::Star(x) => x.collect_alphabet(out),
+            Regex::Interleave(a, b) => {
+                a.collect_alphabet(out);
+                b.collect_alphabet(out);
+            }
+        }
+    }
+
+    /// Syntactic size (number of AST nodes) — the measure in which
+    /// interleaving elimination blows up exponentially.
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Eps | Regex::Sym(_) => 1,
+            Regex::Seq(xs) => 1 + xs.iter().map(Regex::size).sum::<usize>(),
+            Regex::Alt(xs) => 1 + xs.iter().map(Regex::size).sum::<usize>(),
+            Regex::Star(x) => 1 + x.size(),
+            Regex::Interleave(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Rewrites the expression to eliminate interleaving, producing an
+    /// equivalent expression over `{ε, sym, seq, alt, star}` only, by
+    /// building the derivative DFA and converting it back to a regular
+    /// expression (state elimination). Exponential in general —
+    /// "removing interleaving can lead to an exponential increase in the
+    /// size of the regular expression, as is apparent from a#b#c#…" —
+    /// which `cdb-bench`'s schema benches measure.
+    pub fn eliminate_interleave(&self) -> Regex {
+        crate::automata::Dfa::build(self)
+            .expect("interleave elimination exceeded the state cap")
+            .to_regex()
+    }
+
+    /// Parses an expression from a compact syntax: symbols are
+    /// identifiers; juxtaposition (whitespace or `,`) is concatenation;
+    /// `|` alternation; `&` interleaving; postfix `*`, `+`, `?`;
+    /// parentheses group. Precedence: postfix > concatenation > `&` >
+    /// `|`.
+    pub fn parse(input: &str) -> Result<Regex, String> {
+        let mut p = Parser { input: input.as_bytes(), pos: 0 };
+        let r = p.alt_expr()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(r)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Alt(_) => 0,
+                Regex::Interleave(_, _) => 1,
+                Regex::Seq(_) => 2,
+                _ => 3,
+            }
+        }
+        fn show(r: &Regex, p: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mine = prec(r);
+            if mine < p {
+                write!(f, "(")?;
+            }
+            match r {
+                Regex::Empty => write!(f, "∅")?,
+                Regex::Eps => write!(f, "ε")?,
+                Regex::Sym(s) => write!(f, "{s}")?,
+                Regex::Seq(xs) => {
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ")?;
+                        }
+                        show(x, 3, f)?;
+                    }
+                }
+                Regex::Alt(xs) => {
+                    for (i, x) in xs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " | ")?;
+                        }
+                        show(x, 1, f)?;
+                    }
+                }
+                Regex::Star(x) => {
+                    show(x, 3, f)?;
+                    write!(f, "*")?;
+                }
+                Regex::Interleave(a, b) => {
+                    show(a, 2, f)?;
+                    write!(f, " & ")?;
+                    show(b, 2, f)?;
+                }
+            }
+            if mine < p {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        show(self, 0, f)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_whitespace() || self.input[self.pos] == b',')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn alt_expr(&mut self) -> Result<Regex, String> {
+        let mut parts = vec![self.interleave_expr()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            parts.push(self.interleave_expr()?);
+        }
+        Ok(Regex::alt(parts))
+    }
+
+    fn interleave_expr(&mut self) -> Result<Regex, String> {
+        let mut acc = self.seq_expr()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            let rhs = self.seq_expr()?;
+            acc = Regex::interleave(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn seq_expr(&mut self) -> Result<Regex, String> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'(' => {
+                    parts.push(self.postfix_expr()?);
+                }
+                _ => break,
+            }
+        }
+        if parts.is_empty() {
+            return Err(format!("expected expression at byte {}", self.pos));
+        }
+        Ok(Regex::seq(parts))
+    }
+
+    fn postfix_expr(&mut self) -> Result<Regex, String> {
+        let mut base = self.atom_expr()?;
+        loop {
+            match self.input.get(self.pos).copied() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    base = Regex::star(base);
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    base = Regex::seq([base.clone(), Regex::star(base)]);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    base = Regex::opt(base);
+                }
+                _ => break,
+            }
+        }
+        Ok(base)
+    }
+
+    fn atom_expr(&mut self) -> Result<Regex, String> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let r = self.alt_expr()?;
+                if self.peek() != Some(b')') {
+                    return Err(format!("expected ')' at byte {}", self.pos));
+                }
+                self.pos += 1;
+                Ok(r)
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let start = self.pos;
+                while self.pos < self.input.len()
+                    && (self.input[self.pos].is_ascii_alphanumeric()
+                        || self.input[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Regex::sym(
+                    std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| "bad utf-8".to_owned())?,
+                ))
+            }
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parsing_and_display() {
+        assert_eq!(r("a b c").to_string(), "a b c");
+        assert_eq!(r("a | b c").to_string(), "a | b c");
+        assert_eq!(r("(a | b)*").to_string(), "(a | b)*");
+        // Interleave operands are canonically reordered (it commutes).
+        assert_eq!(r("a & b & c").to_string(), "c & (a & b)");
+        assert_eq!(r("a+").to_string(), "a a*");
+        assert!(Regex::parse("a )").is_err());
+        assert!(Regex::parse("|").is_err());
+    }
+
+    #[test]
+    fn matching_basics() {
+        assert!(r("a b c").matches(["a", "b", "c"]));
+        assert!(!r("a b c").matches(["a", "c", "b"]));
+        assert!(r("(a | b)*").matches(["a", "b", "b", "a"]));
+        assert!(r("(a | b)*").matches(Vec::<&str>::new()));
+        assert!(r("a b? c").matches(["a", "c"]));
+        assert!(!r("a b? c").matches(["a", "b", "b", "c"]));
+    }
+
+    #[test]
+    fn interleave_matches_all_shuffles() {
+        let e = r("(a b) & c");
+        assert!(e.matches(["a", "b", "c"]));
+        assert!(e.matches(["a", "c", "b"]));
+        assert!(e.matches(["c", "a", "b"]));
+        assert!(!e.matches(["b", "a", "c"]), "a-before-b order preserved");
+        assert!(!e.matches(["a", "b"]));
+    }
+
+    #[test]
+    fn interleave_expresses_record_subtyping_shape() {
+        // a & b & c accepts any permutation — the unordered record.
+        let e = r("a & b & c");
+        for perm in [
+            ["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"],
+            ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
+        ] {
+            assert!(e.matches(perm), "{perm:?}");
+        }
+        assert!(!e.matches(["a", "b"]));
+        assert!(!e.matches(["a", "b", "c", "a"]));
+    }
+
+    #[test]
+    fn derivatives_normalize() {
+        let e = r("a b | a c");
+        let d = e.derivative("a");
+        assert!(d.matches(["b"]));
+        assert!(d.matches(["c"]));
+        assert!(!d.matches(["a"]));
+        assert_eq!(e.derivative("z"), Regex::Empty);
+    }
+
+    #[test]
+    fn eliminate_interleave_preserves_language_on_samples() {
+        let e = r("(a b) & c");
+        let flat = e.eliminate_interleave();
+        assert!(!format!("{flat:?}").contains("Interleave"));
+        for w in [
+            vec!["a", "b", "c"],
+            vec!["a", "c", "b"],
+            vec!["c", "a", "b"],
+            vec!["b", "a", "c"],
+            vec!["a", "b"],
+            vec![],
+        ] {
+            assert_eq!(e.matches(w.clone()), flat.matches(w.clone()), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn eliminate_interleave_blows_up() {
+        // a & b & c & d … — the paper's example of exponential growth.
+        let syms = ["a", "b", "c", "d", "e"];
+        let mut sizes = Vec::new();
+        for n in 2..=5 {
+            let e = syms[..n]
+                .iter()
+                .map(|s| Regex::sym(*s))
+                .reduce(Regex::interleave)
+                .unwrap();
+            sizes.push(e.eliminate_interleave().size());
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[1] >= 2 * w[0]),
+            "sizes should at least double: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn star_shuffle_is_language_equivalent_to_alternation_star() {
+        // a* # b* ≡ (a|b)*.
+        let e = Regex::interleave(Regex::star(Regex::sym("a")), Regex::star(Regex::sym("b")));
+        let flat = e.eliminate_interleave();
+        assert!(!format!("{flat:?}").contains("Interleave"));
+        for w in [
+            vec![], vec!["a"], vec!["b"], vec!["a", "b", "a"],
+            vec!["b", "b", "a", "a"],
+        ] {
+            assert!(flat.matches(w.clone()), "{w:?}");
+            assert!(e.matches(w), "original");
+        }
+    }
+
+    #[test]
+    fn alphabet_and_size() {
+        let e = r("(a b)* | c & d");
+        let al = e.alphabet();
+        assert_eq!(al.len(), 4);
+        assert!(e.size() >= 6);
+    }
+
+    #[test]
+    fn smart_constructors_normalize() {
+        assert_eq!(Regex::seq([Regex::Eps, Regex::sym("a"), Regex::Eps]), Regex::sym("a"));
+        assert_eq!(Regex::seq([Regex::sym("a"), Regex::Empty]), Regex::Empty);
+        assert_eq!(Regex::alt([Regex::Empty, Regex::sym("a")]), Regex::sym("a"));
+        assert_eq!(
+            Regex::alt([Regex::sym("a"), Regex::sym("a")]),
+            Regex::sym("a")
+        );
+        assert_eq!(Regex::star(Regex::star(Regex::sym("a"))), Regex::star(Regex::sym("a")));
+        assert_eq!(Regex::star(Regex::Empty), Regex::Eps);
+        assert_eq!(
+            Regex::interleave(Regex::Eps, Regex::sym("a")),
+            Regex::sym("a")
+        );
+        assert_eq!(Regex::interleave(Regex::Empty, Regex::sym("a")), Regex::Empty);
+    }
+}

@@ -1,0 +1,162 @@
+//! The three subtype disciplines of §6.1.
+//!
+//! The paper's running scenario: a curated database's content model `r`
+//! gains a new field `a` at the end, becoming `r a`. Under **inclusion**
+//! subtyping (the discipline of XDuce/CDuce-style languages \[3, 46\]),
+//! "a transformation that expects an element of r may break if we
+//! provide an element of ra, since the language ra is not a subtype of
+//! (that is, contained in) r" — extension breaks everything. **Width**
+//! (prefix) subtyping tolerates appended fields but is order-dependent
+//! (the paper's rab/rb counterexample, reproduced in the tests).
+//! **Interleaving** subtyping tolerates new fields anywhere, recovering
+//! the record-subtyping guarantee relational schemas enjoy.
+
+use crate::automata::contains;
+use crate::regex::Regex;
+
+/// Inclusion subtyping: `sub <: sup` iff `L(sub) ⊆ L(sup)`.
+pub fn inclusion_subtype(sub: &Regex, sup: &Regex) -> bool {
+    contains(sup, sub)
+}
+
+/// Width (prefix) subtyping, §6.1: "r is a subtype of r′ if every
+/// element of r′ is a prefix of some element of r" — i.e. a consumer
+/// expecting `sup` can read a prefix-shaped view of any `sub` document.
+///
+/// Equivalently: `L(sup) ⊆ prefixes(L(sub))`. Decided by a product walk
+/// of derivative pairs: wherever `sup` can accept, `sub` must still be
+/// extendable (non-empty residual language).
+pub fn width_subtype(sub: &Regex, sup: &Regex) -> bool {
+    let mut seen: std::collections::BTreeSet<(Regex, Regex)> = Default::default();
+    let mut work = vec![(sup.clone(), sub.clone())];
+    let alphabet: Vec<String> =
+        sup.alphabet().union(&sub.alphabet()).cloned().collect();
+    while let Some((p, s)) = work.pop() {
+        if p.is_empty_language() {
+            continue;
+        }
+        // Wherever sup accepts a word w, w must be a prefix of some
+        // element of sub: the residual of sub after w must be a
+        // non-empty language (normalized: not the literal ∅).
+        if p.nullable() && s.is_empty_language() {
+            return false;
+        }
+        if !seen.insert((p.clone(), s.clone())) {
+            continue;
+        }
+        for a in &alphabet {
+            let dp = p.derivative(a);
+            if dp.is_empty_language() {
+                continue;
+            }
+            work.push((dp, s.derivative(a)));
+        }
+    }
+    true
+}
+
+/// Interleaving subtyping: `sub <: sup` allowing the new fields
+/// `extras` to occur *anywhere*: `L(sub) ⊆ L(sup # extras*)` where
+/// `extras` is the alternation of the symbols of `sub` not in `sup`.
+pub fn interleave_subtype(sub: &Regex, sup: &Regex) -> bool {
+    let extras: Vec<Regex> = sub
+        .alphabet()
+        .difference(&sup.alphabet())
+        .map(|s| Regex::sym(s.clone()))
+        .collect();
+    let padding = Regex::star(Regex::alt(extras));
+    let widened = Regex::interleave(sup.clone(), padding);
+    contains(&widened, sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: &str) -> Regex {
+        Regex::parse(s).unwrap()
+    }
+
+    #[test]
+    fn inclusion_breaks_on_field_append() {
+        // §6.1: ra is not contained in r.
+        let old = r("title author year");
+        let new = r("title author year doi");
+        assert!(!inclusion_subtype(&new, &old), "extension breaks inclusion");
+        assert!(inclusion_subtype(&old, &old), "reflexive");
+        // Narrowing an alternation IS an inclusion subtype.
+        assert!(inclusion_subtype(&r("a b"), &r("a (b | c)")));
+    }
+
+    #[test]
+    fn width_subtyping_tolerates_appended_fields() {
+        let old = r("title author year");
+        let new = r("title author year doi");
+        assert!(width_subtype(&new, &old), "every old word is a prefix of a new one");
+        assert!(!width_subtype(&old, &new), "not the other way around");
+    }
+
+    #[test]
+    fn width_subtyping_is_order_dependent_paper_counterexample() {
+        // §6.1: add a then b at the end of r, getting rab; a query uses
+        // r and b but not a. Remove a → rb. Width subtyping gives no
+        // guarantee that rb still works where rab did: "b" alone is not
+        // a prefix-extension compatible view.
+        let rab = r("t a b");
+        let rb = r("t b");
+        let query_needs = r("t b"); // consumer reads t then b, ignoring a? It cannot:
+        // width subtyping is positional. rab is NOT a width-subtype of
+        // the consumer's expectation once a sits in the middle:
+        assert!(!width_subtype(&rab, &query_needs));
+        // while rb is:
+        assert!(width_subtype(&rb, &query_needs));
+        // So code written against "t b" worked on rb but breaks on rab —
+        // the arbitrary-order trap the paper describes.
+    }
+
+    #[test]
+    fn interleave_subtyping_tolerates_fields_anywhere() {
+        let consumer = r("t b");
+        let rab = r("t a b");
+        let rb = r("t b");
+        let arb = r("a t b");
+        assert!(interleave_subtype(&rab, &consumer));
+        assert!(interleave_subtype(&rb, &consumer));
+        assert!(interleave_subtype(&arb, &consumer));
+        // But genuinely missing or reordered *known* fields still fail.
+        assert!(!interleave_subtype(&r("t"), &consumer), "b missing");
+        assert!(!interleave_subtype(&r("b t"), &consumer), "known order violated");
+    }
+
+    #[test]
+    fn interleave_subtyping_recovers_record_subtyping() {
+        // A record with fields A,B,C (any order) used where A,B expected.
+        let wide = r("A & B & C");
+        let narrow = r("A & B");
+        assert!(interleave_subtype(&wide, &narrow));
+        assert!(!interleave_subtype(&narrow, &wide), "missing required C");
+    }
+
+    #[test]
+    fn width_subtype_with_optional_and_star() {
+        // Consumers of `entry*` can prefix-read a database that appends
+        // a trailer.
+        assert!(width_subtype(&r("entry* trailer"), &r("entry*")));
+        assert!(width_subtype(&r("a (b | c) d"), &r("a (b | c)")));
+        assert!(!width_subtype(&r("a d"), &r("a (b | c)")));
+    }
+
+    #[test]
+    fn subtype_relations_are_distinct() {
+        // Inclusion ⊊ interleave-tolerant: inclusion implies interleave
+        // subtyping (extras = ∅ ⇒ same check)…
+        let sub = r("a b");
+        let sup = r("a (b | c)");
+        assert!(inclusion_subtype(&sub, &sup));
+        assert!(interleave_subtype(&sub, &sup));
+        // …but not conversely.
+        let appended = r("a b d");
+        assert!(!inclusion_subtype(&appended, &sup));
+        assert!(interleave_subtype(&appended, &sup));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests: derivative matching vs DFA, interleave
+//! elimination preserves the language, containment soundness, and
+//! subtype-relation structure on random expressions.
+
+use cdb_schema::automata::{contains, Dfa};
+use cdb_schema::{inclusion_subtype, interleave_subtype, width_subtype, Regex};
+use proptest::prelude::*;
+
+fn sym() -> impl Strategy<Value = Regex> {
+    prop_oneof![Just(Regex::sym("a")), Just(Regex::sym("b")), Just(Regex::sym("c"))]
+}
+
+/// Random regular expressions of bounded size (with interleaving).
+fn regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![Just(Regex::Eps), sym()];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner).prop_flat_map(|(a, b)| {
+            prop_oneof![
+                Just(Regex::seq([a.clone(), b.clone()])),
+                Just(Regex::alt([a.clone(), b.clone()])),
+                Just(Regex::star(a.clone())),
+                Just(Regex::opt(a.clone())),
+                Just(Regex::interleave(a, b)),
+            ]
+        })
+    })
+}
+
+/// Random short words over the alphabet.
+fn word() -> impl Strategy<Value = Vec<&'static str>> {
+    proptest::collection::vec(
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        0..6,
+    )
+}
+
+proptest! {
+    /// Derivative-based matching agrees with the constructed DFA.
+    #[test]
+    fn dfa_agrees_with_derivatives(e in regex(), w in word()) {
+        let dfa = Dfa::build(&e).expect("state cap");
+        prop_assert_eq!(e.matches(w.iter().copied()), dfa.accepts(w.iter().copied()));
+    }
+
+    /// Interleave elimination preserves the language on sampled words.
+    #[test]
+    fn eliminate_interleave_preserves_language(e in regex(), w in word()) {
+        let flat = e.eliminate_interleave();
+        let has_interleave = format!("{:?}", flat).contains("Interleave");
+        prop_assert!(!has_interleave);
+        let (em, fm) = (e.matches(w.iter().copied()), flat.matches(w.iter().copied()));
+        prop_assert_eq!(em, fm, "disagree on {:?} for {} vs flat {}", w, e, flat);
+    }
+
+    /// DFA-to-regex recovery preserves the language on sampled words.
+    #[test]
+    fn dfa_to_regex_preserves_language(e in regex(), w in word()) {
+        let back = Dfa::build(&e).unwrap().to_regex();
+        prop_assert_eq!(
+            e.matches(w.iter().copied()),
+            back.matches(w.iter().copied())
+        );
+    }
+
+    /// Containment soundness: if L(sub) ⊆ L(sup) is claimed, no sampled
+    /// word is in sub but not sup; and containment is reflexive, with
+    /// alternation an upper bound.
+    #[test]
+    fn containment_sound_on_samples(a in regex(), b in regex(), w in word()) {
+        prop_assert!(contains(&a, &a), "reflexive");
+        let alt = Regex::alt([a.clone(), b.clone()]);
+        prop_assert!(contains(&alt, &a), "a ⊆ a|b");
+        prop_assert!(contains(&alt, &b), "b ⊆ a|b");
+        if contains(&b, &a) && a.matches(w.iter().copied()) {
+            prop_assert!(b.matches(w.iter().copied()),
+                "claimed {} ⊆ {} but {:?} separates them", a, b, w);
+        }
+    }
+
+    /// Inclusion subtyping implies interleaving subtyping (the padding
+    /// star includes ε). It does NOT imply width subtyping — width runs
+    /// in the other direction (every *supertype* word must be a prefix
+    /// of a subtype word), e.g. `a <: a|b` by inclusion while `b` is a
+    /// prefix of no word of `a`.
+    #[test]
+    fn inclusion_implies_interleave_subtyping(a in regex(), b in regex()) {
+        if inclusion_subtype(&a, &b) {
+            prop_assert!(interleave_subtype(&a, &b),
+                "inclusion {} <: {} but interleaving disagrees", a, b);
+        }
+    }
+
+    /// Appending fresh material always preserves width subtyping.
+    #[test]
+    fn appending_preserves_width_subtype(a in regex()) {
+        let extended = Regex::seq([a.clone(), Regex::sym("z")]);
+        prop_assert!(width_subtype(&extended, &a));
+    }
+
+    /// Interleaving fresh symbols anywhere preserves interleave
+    /// subtyping.
+    #[test]
+    fn interleaving_fresh_symbols_preserves_subtype(a in regex()) {
+        let widened = Regex::interleave(a.clone(), Regex::star(Regex::sym("z")));
+        prop_assert!(interleave_subtype(&widened, &a));
+    }
+
+    /// Smart-constructor normalization never changes nullability or
+    /// single-symbol derivatives.
+    #[test]
+    fn derivatives_respect_language(e in regex(), w in word()) {
+        // matches(w) computed stepwise equals direct evaluation — this
+        // is the definition, but exercises the normalizing constructors
+        // deeply.
+        let mut cur = e.clone();
+        let mut alive = true;
+        for s in &w {
+            cur = cur.derivative(s);
+            if cur.is_empty_language() {
+                alive = false;
+                break;
+            }
+        }
+        let stepwise = alive && cur.nullable();
+        prop_assert_eq!(stepwise, e.matches(w.iter().copied()));
+    }
+}

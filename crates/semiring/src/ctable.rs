@@ -1,0 +1,173 @@
+//! Conditional tables (C-tables) as a semiring instantiation.
+//!
+//! §4.1 lists "C-tables \[47\]" (Imieliński–Lipski incomplete databases)
+//! among the well-known extensions recovered by instantiating the
+//! provenance semiring. A (Boolean-condition) C-table is a K-relation
+//! over the positive-Boolean semiring: each tuple carries a condition,
+//! and each assignment of the condition variables — a *possible world* —
+//! selects the tuples whose condition holds.
+//!
+//! The framework's payoff, demonstrated in the tests: evaluating a
+//! positive query directly on the C-table and then instantiating a world
+//! gives the same relation as instantiating first and evaluating the
+//! plain query in that world.
+
+use std::collections::BTreeSet;
+
+use cdb_relalg::{Relation, RelalgError};
+
+use crate::instances::minwhy::MinWhy;
+use crate::krel::{KDatabase, KRelation};
+
+/// A conditional table: tuples annotated with positive Boolean
+/// conditions over named variables.
+pub type CTable = KRelation<MinWhy>;
+
+/// A database of conditional tables.
+pub type CDatabase = KDatabase<MinWhy>;
+
+/// The condition variables appearing anywhere in a C-table.
+pub fn condition_vars(t: &CTable) -> BTreeSet<String> {
+    t.iter()
+        .flat_map(|(_, c)| {
+            c.witnesses()
+                .iter()
+                .flat_map(|w| w.iter().cloned())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Instantiates a C-table in the possible world described by `truth`:
+/// keeps exactly the tuples whose condition evaluates true.
+pub fn instantiate(t: &CTable, truth: &impl Fn(&str) -> bool) -> Relation {
+    let mut out = Relation::empty(t.schema().clone());
+    for (tuple, cond) in t.iter() {
+        if cond.eval_assignment(truth) {
+            out.insert(tuple.clone()).expect("schema arity fixed");
+        }
+    }
+    out
+}
+
+/// Instantiates every table of a conditional database.
+pub fn instantiate_db(
+    db: &CDatabase,
+    truth: &impl Fn(&str) -> bool,
+) -> cdb_relalg::Database {
+    let mut out = cdb_relalg::Database::new();
+    for (name, t) in db.iter() {
+        out.insert(name.to_owned(), instantiate(t, truth));
+    }
+    out
+}
+
+/// Enumerates all possible worlds of a C-table (all assignments of its
+/// condition variables), returning each distinct instantiated relation
+/// once. Exponential in the variable count; capped at 20 variables.
+pub fn possible_worlds(t: &CTable) -> Result<Vec<Relation>, RelalgError> {
+    let vars: Vec<String> = condition_vars(t).into_iter().collect();
+    if vars.len() > 20 {
+        return Err(RelalgError::UpdateError(format!(
+            "too many condition variables ({}) to enumerate worlds",
+            vars.len()
+        )));
+    }
+    let mut seen: Vec<Relation> = Vec::new();
+    for mask in 0u32..(1u32 << vars.len()) {
+        let truth = |v: &str| {
+            vars.iter()
+                .position(|x| x == v)
+                .map(|i| mask & (1 << i) != 0)
+                .unwrap_or(false)
+        };
+        let world = instantiate(t, &truth);
+        if !seen.iter().any(|w| w.set_eq(&world)) {
+            seen.push(world);
+        }
+    }
+    Ok(seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_k;
+    use crate::semiring::Semiring;
+    use cdb_model::Atom;
+    use cdb_relalg::{Pred, RaExpr, Schema};
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    /// A C-table with one certain tuple and two conditional ones.
+    fn sample() -> CTable {
+        let schema = Schema::new(["A", "B"]).unwrap();
+        KRelation::from_pairs(
+            schema,
+            [
+                (vec![int(1), int(10)], MinWhy::one()), // certain
+                (vec![int(2), int(20)], MinWhy::var("x")),
+                (vec![int(3), int(20)], MinWhy::var("x").mul(&MinWhy::var("y"))),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instantiation_selects_by_condition() {
+        let t = sample();
+        let none = instantiate(&t, &|_| false);
+        assert_eq!(none.len(), 1, "only the certain tuple");
+        let x_only = instantiate(&t, &|v| v == "x");
+        assert_eq!(x_only.len(), 2);
+        let all = instantiate(&t, &|_| true);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn possible_worlds_are_distinct_instantiations() {
+        let worlds = possible_worlds(&sample()).unwrap();
+        // x=0 → {t1}; x=1,y=0 → {t1,t2}; x=1,y=1 → all. (x=0,y=1 dups.)
+        assert_eq!(worlds.len(), 3);
+    }
+
+    #[test]
+    fn query_commutes_with_instantiation() {
+        // The semiring framework's guarantee, for a selection+projection.
+        let t = sample();
+        let db = CDatabase::new().with("T", t.clone());
+        let q = RaExpr::scan("T")
+            .select(Pred::col_eq_const("B", 20))
+            .project_cols(["B"]);
+        let annotated = eval_k(&db, &q).unwrap();
+        for truth in [
+            (|_v: &str| false) as fn(&str) -> bool,
+            |v| v == "x",
+            |_| true,
+        ] {
+            let direct = instantiate(&annotated, &truth);
+            let via_world =
+                cdb_relalg::eval::eval(&instantiate_db(&db, &truth), &q).unwrap();
+            assert!(direct.set_eq(&via_world));
+        }
+    }
+
+    #[test]
+    fn condition_vars_collects_support() {
+        let vars = condition_vars(&sample());
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains("x") && vars.contains("y"));
+    }
+
+    #[test]
+    fn projection_merges_conditions_disjunctively() {
+        let db = CDatabase::new().with("T", sample());
+        let q = RaExpr::scan("T").project_cols(["B"]);
+        let v = eval_k(&db, &q).unwrap();
+        // B=20 present iff x ∨ x∧y ≡ x.
+        assert_eq!(v.annotation(&vec![int(20)]).to_string(), "x");
+        assert_eq!(v.annotation(&vec![int(10)]), MinWhy::one());
+    }
+}

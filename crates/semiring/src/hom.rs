@@ -1,0 +1,203 @@
+//! Semiring homomorphisms and the specialization chain.
+//!
+//! §4.1: "they are not exactly the same, but they are related by
+//! homomorphisms h : P(P(X)) → Irr(P(P(X))) and
+//! h′ : Irr(P(P(X))) → P ∪ {⊥}."
+//!
+//! Together with the universal valuation out of ℕ\[X\], the chain is
+//!
+//! ```text
+//! ℕ[X] ──poly_to_why──▶ Why ──why_to_minwhy──▶ MinWhy ──minwhy_to_lineage──▶ Lineage ──lineage_to_bool──▶ Bool
+//! ```
+//!
+//! The fundamental property (tested here and by proptest suites): for a
+//! positive query `q`, `h(eval_K(q, D)) = eval_L(q, h(D))` — one may
+//! evaluate once in the most general semiring and specialize afterwards.
+
+use crate::instances::lineage::Lineage;
+use crate::instances::minwhy::MinWhy;
+use crate::instances::nat::Nat;
+use crate::instances::polynomial::Polynomial;
+use crate::instances::why::Why;
+use crate::instances::Bool;
+
+/// ℕ\[X\] → Why: each monomial becomes the witness of its variable
+/// support (exponents and coefficients are forgotten — why-provenance
+/// does not count).
+pub fn poly_to_why(p: &Polynomial) -> Why {
+    Why::from_witnesses(p.terms().map(|(m, _)| {
+        m.vars().map(str::to_owned).collect()
+    }))
+}
+
+/// ℕ\[X\] → ℕ: evaluate every variable as 1 (derivation counting /
+/// bag multiplicity).
+pub fn poly_to_nat(p: &Polynomial) -> Nat {
+    p.eval_in(&|_| Nat(1))
+}
+
+/// Why → MinWhy: the paper's `min` homomorphism.
+pub fn why_to_minwhy(w: &Why) -> MinWhy {
+    MinWhy::from(w)
+}
+
+/// Why → Lineage: flatten all witnesses together, sending the empty
+/// element to ⊥. This *is* a homomorphism (unlike flattening after
+/// minimization — see below).
+pub fn why_to_lineage(w: &Why) -> Lineage {
+    if w.witnesses().is_empty() {
+        Lineage::Bottom
+    } else {
+        Lineage::Set(
+            w.witnesses()
+                .iter()
+                .flat_map(|x| x.iter().cloned())
+                .collect(),
+        )
+    }
+}
+
+/// MinWhy → Lineage: flatten the *minimal* witnesses, sending the empty
+/// element to ⊥.
+///
+/// §4.1 of the paper presents this map (`h′ : Irr(P(P(X))) → P ∪ {⊥}`)
+/// as a homomorphism, but it is **not** additive: with `S = {{r}}` and
+/// `T = {{r,s}}`, `h′(S + T) = h′(min({{r},{r,s}})) = {r}` while
+/// `h′(S) + h′(T) = {r,s}`. Minimization discards witnesses whose
+/// members lineage would have retained. The test
+/// `minwhy_to_lineage_is_not_a_homomorphism` documents the
+/// counterexample; lineage is correctly reached from [`Why`] via
+/// [`why_to_lineage`], making MinWhy/PosBool and Lineage *incomparable*
+/// specializations of Why rather than a chain.
+pub fn minwhy_to_lineage(m: &MinWhy) -> Lineage {
+    if m.witnesses().is_empty() {
+        Lineage::Bottom
+    } else {
+        Lineage::Set(
+            m.witnesses()
+                .iter()
+                .flat_map(|w| w.iter().cloned())
+                .collect(),
+        )
+    }
+}
+
+/// Lineage → Bool: is there any derivation at all?
+pub fn lineage_to_bool(l: &Lineage) -> Bool {
+    Bool(!matches!(l, Lineage::Bottom))
+}
+
+/// ℕ → Bool.
+pub fn nat_to_bool(n: &Nat) -> Bool {
+    Bool(n.0 > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_k, figure4_database, figure4_query};
+    use crate::semiring::{check_laws, Semiring};
+    use cdb_model::Atom;
+
+    fn s(x: &str) -> Atom {
+        Atom::Str(x.into())
+    }
+
+    /// Checks `h` is a homomorphism on the given samples.
+    fn check_hom<K: Semiring, L: Semiring>(h: impl Fn(&K) -> L, samples: &[K]) {
+        assert_eq!(h(&K::zero()), L::zero(), "h(0) ≠ 0");
+        assert_eq!(h(&K::one()), L::one(), "h(1) ≠ 1");
+        for a in samples {
+            for b in samples {
+                assert_eq!(h(&a.add(b)), h(a).add(&h(b)), "h not additive");
+                assert_eq!(h(&a.mul(b)), h(a).mul(&h(b)), "h not multiplicative");
+            }
+        }
+    }
+
+    fn poly_samples() -> Vec<Polynomial> {
+        let p = Polynomial::var("p");
+        let r = Polynomial::var("r");
+        vec![
+            Polynomial::zero(),
+            Polynomial::one(),
+            p.clone(),
+            r.clone(),
+            p.add(&r),
+            p.mul(&p),
+            p.add(&p.mul(&r)),
+            Polynomial::constant(2).mul(&r),
+        ]
+    }
+
+    #[test]
+    fn all_chain_maps_are_homomorphisms() {
+        let polys = poly_samples();
+        check_hom(poly_to_why, &polys);
+        check_hom(poly_to_nat, &polys);
+        let whys: Vec<Why> = polys.iter().map(poly_to_why).collect();
+        check_hom(why_to_minwhy, &whys);
+        let minwhys: Vec<MinWhy> = whys.iter().map(why_to_minwhy).collect();
+        check_hom(why_to_lineage, &whys);
+        let lineages: Vec<Lineage> = whys.iter().map(why_to_lineage).collect();
+        check_hom(lineage_to_bool, &lineages);
+        check_hom(nat_to_bool, &[Nat(0), Nat(1), Nat(5)]);
+        // And everything in the chain really is a semiring.
+        check_laws(&whys);
+        check_laws(&minwhys);
+        check_laws(&lineages);
+    }
+
+    #[test]
+    fn evaluation_commutes_with_specialization_on_figure4() {
+        // Evaluate Figure 4 once in ℕ[X], then specialize; compare with
+        // evaluating directly in each specialized semiring.
+        let q = figure4_query();
+        let poly_db = figure4_database(|v| Polynomial::var(v));
+        let poly_v = eval_k(&poly_db, &q).unwrap();
+
+        // … to Why.
+        let why_direct = eval_k(&figure4_database(|v| Why::var(v)), &q).unwrap();
+        assert_eq!(poly_v.map_annotations(&poly_to_why), why_direct);
+
+        // … to ℕ (variables ↦ 1).
+        let nat_direct = eval_k(&figure4_database(|_| Nat(1)), &q).unwrap();
+        assert_eq!(poly_v.map_annotations(&poly_to_nat), nat_direct);
+
+        // … to Lineage via Why.
+        let lin_direct = eval_k(&figure4_database(|v| Lineage::var(v)), &q).unwrap();
+        assert_eq!(
+            poly_v.map_annotations(&|p: &Polynomial| why_to_lineage(&poly_to_why(p))),
+            lin_direct
+        );
+    }
+
+    #[test]
+    fn specialized_figure4_values_match_the_papers_discussion() {
+        let q = figure4_query();
+        let poly_v = eval_k(&figure4_database(|v| Polynomial::var(v)), &q).unwrap();
+        let de = poly_v.annotation(&vec![s("d"), s("e")]);
+        // minimal why-provenance of (d,e) is {{r}}: the r·r and r·s
+        // witnesses are non-minimal.
+        let min = why_to_minwhy(&poly_to_why(&de));
+        assert_eq!(min.to_string(), "r");
+        // lineage flattens to every involved tuple.
+        assert_eq!(why_to_lineage(&poly_to_why(&de)).to_string(), "{r,s}");
+        // bag count: 3 derivations.
+        assert_eq!(poly_to_nat(&de), Nat(3));
+    }
+
+    /// §4.1 presents `h′ : Irr(P(P(X))) → P ∪ {⊥}` as a homomorphism.
+    /// It is not: this is the concrete counterexample (documented in
+    /// EXPERIMENTS.md as a finding of the reproduction).
+    #[test]
+    fn minwhy_to_lineage_is_not_a_homomorphism() {
+        let s_el = MinWhy::var("r");
+        let t_el = MinWhy::var("r").mul(&MinWhy::var("s"));
+        let lhs = minwhy_to_lineage(&s_el.add(&t_el));
+        let rhs = minwhy_to_lineage(&s_el).add(&minwhy_to_lineage(&t_el));
+        assert_eq!(lhs.to_string(), "{r}");
+        assert_eq!(rhs.to_string(), "{r,s}");
+        assert_ne!(lhs, rhs, "additivity fails, so h′ is not a semiring hom");
+    }
+}

@@ -1,0 +1,124 @@
+//! Lineage (Cui–Widom), with the paper's correction.
+//!
+//! §4.1: "It was claimed in \[44\] that why-provenance can be obtained
+//! by evaluating using the structure P(X) equipped with `0 = 1 = ∅` and
+//! `+ = · = ∪`. This definition actually is closest to lineage. Also …
+//! there is a technical problem: `(P(X), ∪, ∪, ∅, ∅)` is not a semiring
+//! since it does not satisfy the multiplicative annihilator law
+//! `0·a = 0`. Instead, the (apparently) intended behavior can be
+//! obtained by taking `P(X) ∪ {⊥}` with `0 = ⊥`, `1 = ∅`,
+//! `⊥+S = S+⊥ = S`, `⊥·S = S·⊥ = ⊥`, and `S + T = S · T = S ∪ T` if
+//! `S, T ≠ ⊥`."
+//!
+//! That corrected structure is exactly this type.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::semiring::Semiring;
+
+/// The lineage semiring `P(X) ∪ {⊥}`.
+///
+/// `Bottom` (⊥) is the additive zero — "no derivation at all" — while
+/// `Set(∅)` is the multiplicative one — "derivable from nothing".
+/// Conflating the two is precisely the bug the paper corrects.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lineage {
+    /// ⊥: the tuple has no derivation (absent).
+    Bottom,
+    /// The set of source-tuple identifiers that the output tuple's
+    /// derivation *involves* (all witnesses flattened together).
+    Set(BTreeSet<String>),
+}
+
+impl Lineage {
+    /// A singleton lineage.
+    pub fn var(name: impl Into<String>) -> Self {
+        Lineage::Set([name.into()].into_iter().collect())
+    }
+
+    /// The identifiers, if present.
+    pub fn ids(&self) -> Option<&BTreeSet<String>> {
+        match self {
+            Lineage::Bottom => None,
+            Lineage::Set(s) => Some(s),
+        }
+    }
+}
+
+impl Semiring for Lineage {
+    fn zero() -> Self {
+        Lineage::Bottom
+    }
+    fn one() -> Self {
+        Lineage::Set(BTreeSet::new())
+    }
+    fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, x) | (x, Lineage::Bottom) => x.clone(),
+            (Lineage::Set(a), Lineage::Set(b)) => {
+                Lineage::Set(a.union(b).cloned().collect())
+            }
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lineage::Bottom, _) | (_, Lineage::Bottom) => Lineage::Bottom,
+            (Lineage::Set(a), Lineage::Set(b)) => {
+                Lineage::Set(a.union(b).cloned().collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lineage::Bottom => write!(f, "⊥"),
+            Lineage::Set(s) => {
+                write!(f, "{{")?;
+                for (i, x) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    #[test]
+    fn corrected_lineage_is_a_semiring() {
+        check_laws(&[
+            Lineage::Bottom,
+            Lineage::one(),
+            Lineage::var("p"),
+            Lineage::var("r"),
+            Lineage::var("p").add(&Lineage::var("r")),
+        ]);
+    }
+
+    #[test]
+    fn bottom_annihilates_but_empty_set_does_not() {
+        let p = Lineage::var("p");
+        assert_eq!(Lineage::Bottom.mul(&p), Lineage::Bottom);
+        assert_eq!(Lineage::one().mul(&p), p);
+        assert_eq!(Lineage::Bottom.add(&p), p);
+    }
+
+    #[test]
+    fn add_and_mul_both_flatten() {
+        let p = Lineage::var("p");
+        let r = Lineage::var("r");
+        let both: BTreeSet<String> = ["p".to_string(), "r".to_string()].into();
+        assert_eq!(p.add(&r), Lineage::Set(both.clone()));
+        assert_eq!(p.mul(&r), Lineage::Set(both));
+    }
+}

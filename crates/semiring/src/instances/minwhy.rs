@@ -1,0 +1,173 @@
+//! Minimal why-provenance: the semiring `Irr(P(P(X)))`.
+//!
+//! §4.1: "minimal why-provenance can be modeled using the semiring of
+//! irreducible elements of P(P(X)) … that consists of those elements S
+//! such that for every s, s′ ∈ S, if s ⊆ s′ then s = s′. This again
+//! forms a semiring since it is the homomorphic image of the minimization
+//! operation min(S). Specifically, in Irr(P(P(X))) we define S + T as
+//! min(S ∪ T) and S · T as min{s ∪ t | s ∈ S, t ∈ T}."
+//!
+//! Elements are *antichains* of witnesses. The structure is isomorphic to
+//! positive Boolean expressions in minimal DNF, which is why this type
+//! doubles as the `PosBool(X)` semiring used for conditional tables
+//! ([`crate::ctable`]): [`MinWhy::eval_assignment`] evaluates the
+//! corresponding monotone formula.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::instances::why::{Why, Witness};
+use crate::semiring::Semiring;
+
+/// Minimal why-provenance: an antichain of witnesses. Also serves as the
+/// positive-Boolean-expression semiring `PosBool(X)` in minimal DNF.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MinWhy(BTreeSet<Witness>);
+
+/// The antichain of ⊆-minimal elements of a witness set — the paper's
+/// `min(S)`.
+pub fn minimize(s: &BTreeSet<Witness>) -> BTreeSet<Witness> {
+    s.iter()
+        .filter(|w| !s.iter().any(|o| *o != **w && o.is_subset(w)))
+        .cloned()
+        .collect()
+}
+
+impl MinWhy {
+    /// The provenance of a base tuple: one singleton witness.
+    pub fn var(name: impl Into<String>) -> Self {
+        MinWhy([[name.into()].into_iter().collect()].into_iter().collect())
+    }
+
+    /// Builds from witnesses, minimizing.
+    pub fn from_witnesses(ws: impl IntoIterator<Item = Witness>) -> Self {
+        MinWhy(minimize(&ws.into_iter().collect()))
+    }
+
+    /// The minimal witnesses (always an antichain).
+    pub fn witnesses(&self) -> &BTreeSet<Witness> {
+        &self.0
+    }
+
+    /// Evaluates the corresponding positive Boolean formula (DNF over the
+    /// witness variables) under a truth assignment: true iff some witness
+    /// has all its variables true. This is the C-table/possible-worlds
+    /// reading.
+    pub fn eval_assignment(&self, truth: &impl Fn(&str) -> bool) -> bool {
+        self.0.iter().any(|w| w.iter().all(|v| truth(v)))
+    }
+}
+
+impl From<&Why> for MinWhy {
+    /// The homomorphism `min : P(P(X)) → Irr(P(P(X)))`.
+    fn from(w: &Why) -> Self {
+        MinWhy(minimize(w.witnesses()))
+    }
+}
+
+impl Semiring for MinWhy {
+    fn zero() -> Self {
+        MinWhy(BTreeSet::new())
+    }
+    fn one() -> Self {
+        MinWhy([Witness::new()].into_iter().collect())
+    }
+    fn add(&self, other: &Self) -> Self {
+        MinWhy(minimize(&self.0.union(&other.0).cloned().collect()))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        MinWhy(minimize(&out))
+    }
+}
+
+impl fmt::Display for MinWhy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "false");
+        }
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            if w.is_empty() {
+                write!(f, "true")?;
+            } else {
+                for (j, x) in w.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, "∧")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    fn p() -> MinWhy {
+        MinWhy::var("p")
+    }
+    fn r() -> MinWhy {
+        MinWhy::var("r")
+    }
+
+    #[test]
+    fn minwhy_is_a_semiring() {
+        check_laws(&[
+            MinWhy::zero(),
+            MinWhy::one(),
+            p(),
+            r(),
+            p().add(&r()),
+            p().mul(&r()),
+        ]);
+    }
+
+    #[test]
+    fn absorption_p_plus_p_times_r_is_p() {
+        // The law Why lacks and MinWhy has: a + a·b = a.
+        assert_eq!(p().add(&p().mul(&r())), p());
+    }
+
+    #[test]
+    fn one_absorbs_everything_additively() {
+        assert_eq!(MinWhy::one().add(&p()), MinWhy::one());
+    }
+
+    #[test]
+    fn minimization_is_a_homomorphism_from_why() {
+        let a = Why::var("p").add(&Why::var("p").mul(&Why::var("r")));
+        let b = Why::var("r").add(&Why::var("s"));
+        // min(a + b) = min(a) + min(b), min(a·b) = min(a)·min(b).
+        assert_eq!(MinWhy::from(&a.add(&b)), MinWhy::from(&a).add(&MinWhy::from(&b)));
+        assert_eq!(MinWhy::from(&a.mul(&b)), MinWhy::from(&a).mul(&MinWhy::from(&b)));
+    }
+
+    #[test]
+    fn eval_assignment_reads_it_as_posbool() {
+        let e = p().mul(&r()).add(&MinWhy::var("s")); // p∧r ∨ s
+        assert!(e.eval_assignment(&|v| v == "s"));
+        assert!(e.eval_assignment(&|v| v == "p" || v == "r"));
+        assert!(!e.eval_assignment(&|v| v == "p"));
+        assert!(!MinWhy::zero().eval_assignment(&|_| true));
+        assert!(MinWhy::one().eval_assignment(&|_| false));
+    }
+
+    #[test]
+    fn display_is_dnf() {
+        assert_eq!(p().mul(&r()).add(&MinWhy::var("s")).to_string(), "p∧r ∨ s");
+        assert_eq!(MinWhy::zero().to_string(), "false");
+        assert_eq!(MinWhy::one().to_string(), "true");
+    }
+}

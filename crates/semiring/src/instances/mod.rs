@@ -1,0 +1,64 @@
+//! Semiring instances.
+//!
+//! §4.1: "Various instantiations of this abstract provenance semiring
+//! give rise to a number of well-known extensions to positive relational
+//! algebra: relational algebra itself, algebra with bag semantics,
+//! C-tables, and probabilistic event tables."
+//!
+//! The instances form a specialization hierarchy under surjective
+//! homomorphisms (most to least informative):
+//!
+//! ```text
+//! ℕ[X]  ──→  Why(X)  ──→  MinWhy(X) ≅ PosBool(X)  ──→  Lineage(X)  ──→  Bool
+//!   │
+//!   └──→ ℕ (bag)  ──→  Bool
+//! ```
+//!
+//! see [`crate::hom`] for the maps and their commutation property.
+
+pub mod lineage;
+pub mod minwhy;
+pub mod nat;
+pub mod polynomial;
+pub mod prob;
+pub mod tropical;
+pub mod why;
+
+use crate::semiring::Semiring;
+
+/// The Boolean semiring `({true,false}, ∨, ∧, false, true)`: ordinary set
+/// semantics. The least informative provenance — "is the tuple there?"
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+}
+
+impl std::fmt::Display for Bool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    #[test]
+    fn bool_is_a_semiring() {
+        check_laws(&[Bool(false), Bool(true)]);
+    }
+}

@@ -1,0 +1,48 @@
+//! The natural-numbers semiring: bag (multiset) semantics.
+
+use crate::semiring::Semiring;
+
+/// `(ℕ, +, ·, 0, 1)` — a tuple's annotation is its multiplicity.
+///
+/// Saturating arithmetic keeps the type total; provenance multiplicities
+/// anywhere near `u64::MAX` are already meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Nat(pub u64);
+
+impl Semiring for Nat {
+    fn zero() -> Self {
+        Nat(0)
+    }
+    fn one() -> Self {
+        Nat(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Nat(self.0.saturating_add(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Nat(self.0.saturating_mul(other.0))
+    }
+}
+
+impl std::fmt::Display for Nat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    #[test]
+    fn nat_is_a_semiring() {
+        check_laws(&[Nat(0), Nat(1), Nat(2), Nat(7)]);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Nat(u64::MAX).add(&Nat(1)), Nat(u64::MAX));
+        assert_eq!(Nat(u64::MAX).mul(&Nat(2)), Nat(u64::MAX));
+    }
+}

@@ -1,0 +1,268 @@
+//! Provenance polynomials ℕ\[X\]: the most general provenance semiring.
+//!
+//! Figure 4 of the paper annotates the source tuples of `R` with
+//! "abstract quantities" `p`, `r`, `s` and derives polynomials such as
+//! `p + (p·p)` for the output tuples. ℕ\[X\] is *universal*: any other
+//! semiring's provenance is the image of the polynomial under the
+//! valuation homomorphism (see [`crate::hom`]), so evaluating once in
+//! ℕ\[X\] answers every (positive) provenance question afterwards.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::semiring::Semiring;
+
+/// A monomial: a product of variables with exponents, e.g. `p·p·r` is
+/// `{p: 2, r: 1}`. The empty monomial is `1`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Monomial(BTreeMap<String, u32>);
+
+impl Monomial {
+    /// The unit monomial (1).
+    pub fn unit() -> Self {
+        Monomial::default()
+    }
+
+    /// A single variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(name.into(), 1);
+        Monomial(m)
+    }
+
+    /// Product of two monomials (exponents add).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut m = self.0.clone();
+        for (v, e) in &other.0 {
+            *m.entry(v.clone()).or_insert(0) += e;
+        }
+        Monomial(m)
+    }
+
+    /// The variables of this monomial (its *support*).
+    pub fn vars(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(String::as_str)
+    }
+
+    /// The exponent of a variable (0 if absent).
+    pub fn exponent(&self, var: &str) -> u32 {
+        self.0.get(var).copied().unwrap_or(0)
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.0.values().sum()
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for (v, e) in &self.0 {
+            for _ in 0..*e {
+                if !first {
+                    write!(f, "·")?;
+                }
+                write!(f, "{v}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A provenance polynomial: a finite sum of monomials with natural
+/// coefficients.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Polynomial(BTreeMap<Monomial, u64>);
+
+impl Polynomial {
+    /// A single variable, e.g. the tuple identifier `p` of Figure 4.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(Monomial::var(name), 1);
+        Polynomial(m)
+    }
+
+    /// A constant polynomial.
+    pub fn constant(n: u64) -> Self {
+        if n == 0 {
+            return Polynomial::default();
+        }
+        let mut m = BTreeMap::new();
+        m.insert(Monomial::unit(), n);
+        Polynomial(m)
+    }
+
+    /// The terms `(monomial, coefficient)` in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, u64)> {
+        self.0.iter().map(|(m, c)| (m, *c))
+    }
+
+    /// Number of distinct monomials.
+    pub fn num_terms(&self) -> usize {
+        self.0.len()
+    }
+
+    /// All variables appearing in the polynomial.
+    pub fn vars(&self) -> std::collections::BTreeSet<&str> {
+        self.0.keys().flat_map(|m| m.vars()).collect()
+    }
+
+    /// Evaluates the polynomial in another semiring by mapping each
+    /// variable through `valuation`. This is the universal-property
+    /// homomorphism of ℕ\[X\] (Green et al.): variables go to `valuation`,
+    /// `+`/`·`/constants go to the target's operations.
+    pub fn eval_in<K: Semiring>(&self, valuation: &impl Fn(&str) -> K) -> K {
+        let mut acc = K::zero();
+        for (mono, coeff) in &self.0 {
+            let mut term = K::one();
+            for (v, e) in &mono.0 {
+                let kv = valuation(v);
+                for _ in 0..*e {
+                    term = term.mul(&kv);
+                }
+            }
+            // coeff-fold: term + term + … (coeff times).
+            let mut with_coeff = K::zero();
+            for _ in 0..*coeff {
+                with_coeff = with_coeff.add(&term);
+            }
+            acc = acc.add(&with_coeff);
+        }
+        acc
+    }
+
+    fn insert_term(&mut self, m: Monomial, c: u64) {
+        if c == 0 {
+            return;
+        }
+        let e = self.0.entry(m).or_insert(0);
+        *e = e.saturating_add(c);
+    }
+}
+
+impl Semiring for Polynomial {
+    fn zero() -> Self {
+        Polynomial::default()
+    }
+    fn one() -> Self {
+        Polynomial::constant(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (m, c) in &other.0 {
+            out.insert_term(m.clone(), *c);
+        }
+        out
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = Polynomial::default();
+        for (ma, ca) in &self.0 {
+            for (mb, cb) in &other.0 {
+                out.insert_term(ma.mul(mb), ca.saturating_mul(*cb));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        // Sort by degree, then by the printed form, so `p + p·p` and
+        // `r + r·r + r·s` print in the paper's order.
+        let mut terms: Vec<(&Monomial, u64)> = self.terms().collect();
+        terms.sort_by_key(|(m, _)| (m.degree(), m.to_string()));
+        for (i, (m, c)) in terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c != 1 || m.0.is_empty() {
+                write!(f, "{c}")?;
+                if !m.0.is_empty() {
+                    write!(f, "·")?;
+                }
+            }
+            if !m.0.is_empty() {
+                write!(f, "{m}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::nat::Nat;
+    use crate::semiring::check_laws;
+
+    fn p() -> Polynomial {
+        Polynomial::var("p")
+    }
+    fn r() -> Polynomial {
+        Polynomial::var("r")
+    }
+
+    #[test]
+    fn polynomial_is_a_semiring() {
+        check_laws(&[
+            Polynomial::zero(),
+            Polynomial::one(),
+            p(),
+            r(),
+            p().add(&r()),
+            p().mul(&p()),
+            Polynomial::constant(2).mul(&p()),
+        ]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(p().add(&p().mul(&p())).to_string(), "p + p·p");
+        assert_eq!(p().mul(&r()).to_string(), "p·r");
+        assert_eq!(p().add(&p()).to_string(), "2·p");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+        assert_eq!(Polynomial::one().to_string(), "1");
+    }
+
+    #[test]
+    fn eval_in_nat_is_polynomial_evaluation() {
+        // (p + p·p) with p=3 → 3 + 9 = 12.
+        let poly = p().add(&p().mul(&p()));
+        let v = poly.eval_in(&|name: &str| if name == "p" { Nat(3) } else { Nat(0) });
+        assert_eq!(v, Nat(12));
+    }
+
+    #[test]
+    fn eval_in_is_a_homomorphism_on_samples() {
+        let a = p().add(&r());
+        let b = p().mul(&r()).add(&Polynomial::constant(2));
+        let val = |name: &str| Nat(if name == "p" { 2 } else { 5 });
+        assert_eq!(
+            a.add(&b).eval_in(&val),
+            a.eval_in(&val).add(&b.eval_in(&val))
+        );
+        assert_eq!(
+            a.mul(&b).eval_in(&val),
+            a.eval_in(&val).mul(&b.eval_in(&val))
+        );
+    }
+
+    #[test]
+    fn vars_and_degree() {
+        let poly = p().mul(&p()).mul(&r());
+        let vars = poly.vars();
+        assert!(vars.contains("p") && vars.contains("r"));
+        let (m, c) = poly.terms().next().unwrap();
+        assert_eq!(c, 1);
+        assert_eq!(m.degree(), 3);
+        assert_eq!(m.exponent("p"), 2);
+    }
+}

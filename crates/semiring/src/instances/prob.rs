@@ -1,0 +1,143 @@
+//! Probabilistic event tables (§4.1's "probabilistic event tables
+//! \[30, 66\]") — tuples annotated with event expressions, and exact
+//! probability computation for independent base events.
+//!
+//! The *event expression* of an output tuple is its [`crate::MinWhy`]
+//! (positive-Boolean) annotation; this module computes the probability
+//! that the expression holds when each base variable is an independent
+//! event with a given marginal probability. Exact evaluation of a
+//! monotone DNF probability is #P-hard in general, so we enumerate
+//! assignments over the (typically small) support — an honest exact
+//! algorithm with exponential worst case, which is all the provenance
+//! experiments need.
+//!
+//! The [`Prob`] semiring itself is the Viterbi-style `([0,1], max, ·)`
+//! structure: a *most-likely-derivation* score, useful as a cheap
+//! upper-bound companion to the exact event probability.
+
+use std::collections::BTreeSet;
+
+use crate::instances::minwhy::MinWhy;
+use crate::semiring::Semiring;
+
+/// The Viterbi semiring `([0,1], max, ·, 0, 1)`: the probability of the
+/// most likely single derivation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Prob(pub f64);
+
+impl Semiring for Prob {
+    fn zero() -> Self {
+        Prob(0.0)
+    }
+    fn one() -> Self {
+        Prob(1.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Prob(self.0.max(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Prob(self.0 * other.0)
+    }
+}
+
+impl std::fmt::Display for Prob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// Exact probability that the event expression `e` holds, when each
+/// variable `v` is an independent event of probability `marginal(v)`.
+///
+/// Enumerates all `2^n` assignments over the expression's support; `n`
+/// is capped at 24 variables to keep the exponential honest-but-bounded.
+pub fn event_probability(e: &MinWhy, marginal: &impl Fn(&str) -> f64) -> f64 {
+    let vars: Vec<&str> = e
+        .witnesses()
+        .iter()
+        .flat_map(|w| w.iter().map(String::as_str))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    assert!(
+        vars.len() <= 24,
+        "event expression support too large for exact enumeration ({} vars)",
+        vars.len()
+    );
+    if e.witnesses().is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for mask in 0u32..(1u32 << vars.len()) {
+        let truth = |v: &str| {
+            let i = vars.iter().position(|x| *x == v).expect("var in support");
+            mask & (1 << i) != 0
+        };
+        if e.eval_assignment(&truth) {
+            let mut p = 1.0;
+            for (i, v) in vars.iter().enumerate() {
+                let m = marginal(v);
+                p *= if mask & (1 << i) != 0 { m } else { 1.0 - m };
+            }
+            total += p;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    #[test]
+    fn viterbi_is_a_semiring() {
+        check_laws(&[Prob(0.0), Prob(1.0), Prob(0.5), Prob(0.25)]);
+    }
+
+    #[test]
+    fn single_event_probability_is_its_marginal() {
+        let e = MinWhy::var("p");
+        let p = event_probability(&e, &|_| 0.3);
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_of_independent_events() {
+        // P(p ∨ r) = 1 - (1-0.5)(1-0.5) = 0.75.
+        let e = MinWhy::var("p").add(&MinWhy::var("r"));
+        let p = event_probability(&e, &|_| 0.5);
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let e = MinWhy::var("p").mul(&MinWhy::var("r"));
+        let p = event_probability(&e, &|_| 0.5);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorption_does_not_change_probability() {
+        // p ∨ (p ∧ r) has the same probability as p — and MinWhy already
+        // normalizes them to the same element.
+        let a = MinWhy::var("p");
+        let b = MinWhy::var("p").add(&MinWhy::var("p").mul(&MinWhy::var("r")));
+        assert_eq!(a, b);
+        assert!((event_probability(&b, &|_| 0.4) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_one_probabilities() {
+        assert_eq!(event_probability(&MinWhy::zero(), &|_| 0.9), 0.0);
+        assert_eq!(event_probability(&MinWhy::one(), &|_| 0.9), 1.0);
+    }
+
+    #[test]
+    fn viterbi_scores_best_derivation() {
+        // max(0.3, 0.2·0.9) = 0.3.
+        let a = Prob(0.3);
+        let b = Prob(0.2).mul(&Prob(0.9));
+        assert_eq!(a.add(&b), Prob(0.3));
+    }
+}

@@ -1,0 +1,88 @@
+//! The tropical (min-plus) semiring: cheapest-derivation cost.
+//!
+//! Not named in the paper's list, but a standard instantiation that the
+//! curated-database setting puts to work in `cdb-core`: annotate each
+//! source with the cost of verifying/licensing it (§1.2's micropayment
+//! discussion — "if one database charges for access to some piece of
+//! data, … some of the payment goes to the sources of that data"), and
+//! the tropical evaluation yields the cheapest way to derive each output
+//! tuple.
+
+use crate::semiring::Semiring;
+
+/// `(ℕ ∪ {∞}, min, +, ∞, 0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tropical {
+    /// Finite cost.
+    Cost(u64),
+    /// ∞: no derivation.
+    Infinity,
+}
+
+impl Tropical {
+    /// The finite cost, if any.
+    pub fn cost(&self) -> Option<u64> {
+        match self {
+            Tropical::Cost(c) => Some(*c),
+            Tropical::Infinity => None,
+        }
+    }
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical::Infinity
+    }
+    fn one() -> Self {
+        Tropical::Cost(0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, x) | (x, Tropical::Infinity) => *x,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(*a.min(b)),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
+            (Tropical::Cost(a), Tropical::Cost(b)) => {
+                Tropical::Cost(a.saturating_add(*b))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Tropical {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tropical::Cost(c) => write!(f, "{c}"),
+            Tropical::Infinity => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    #[test]
+    fn tropical_is_a_semiring() {
+        check_laws(&[
+            Tropical::Infinity,
+            Tropical::Cost(0),
+            Tropical::Cost(1),
+            Tropical::Cost(5),
+        ]);
+    }
+
+    #[test]
+    fn min_plus_behaviour() {
+        let a = Tropical::Cost(3);
+        let b = Tropical::Cost(5);
+        assert_eq!(a.add(&b), Tropical::Cost(3));
+        assert_eq!(a.mul(&b), Tropical::Cost(8));
+        assert_eq!(Tropical::Infinity.mul(&a), Tropical::Infinity);
+        assert_eq!(Tropical::Infinity.add(&a), a);
+    }
+}

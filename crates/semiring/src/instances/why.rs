@@ -1,0 +1,158 @@
+//! Proof why-provenance: the semiring `P(P(X))`.
+//!
+//! §4.1: "A natural definition of proof why-provenance can be given using
+//! a different semiring: the set P(P(X)) of all sets of subsets of X,
+//! with 0 = ∅, 1 = {∅}, S + T = S ∪ T and S · T = {s ∪ t | s ∈ S, t ∈ T}."
+//!
+//! An element is a set of *witnesses*; each witness is a set of source
+//! tuples jointly sufficient to derive the output tuple.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::semiring::Semiring;
+
+/// A witness: a set of source-tuple identifiers.
+pub type Witness = BTreeSet<String>;
+
+/// Proof why-provenance `(P(P(X)), ∪, pairwise-∪, ∅, {∅})`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Why(BTreeSet<Witness>);
+
+impl Why {
+    /// The provenance of a base tuple: one singleton witness.
+    pub fn var(name: impl Into<String>) -> Self {
+        Why([[name.into()].into_iter().collect()].into_iter().collect())
+    }
+
+    /// Builds from an explicit witness set.
+    pub fn from_witnesses(ws: impl IntoIterator<Item = Witness>) -> Self {
+        Why(ws.into_iter().collect())
+    }
+
+    /// The witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<Witness> {
+        &self.0
+    }
+
+    /// The *minimal* witnesses: those with no proper sub-witness in the
+    /// set. This is the `min` operation whose homomorphic image is
+    /// [`crate::MinWhy`].
+    pub fn minimal_witnesses(&self) -> BTreeSet<Witness> {
+        self.0
+            .iter()
+            .filter(|w| !self.0.iter().any(|o| *o != **w && o.is_subset(w)))
+            .cloned()
+            .collect()
+    }
+
+    /// Whether `sub` (a set of available source tuples) supports at least
+    /// one witness — i.e. the output tuple would still be derivable from
+    /// `sub` alone.
+    pub fn supported_by(&self, sub: &Witness) -> bool {
+        self.0.iter().any(|w| w.is_subset(sub))
+    }
+}
+
+impl Semiring for Why {
+    fn zero() -> Self {
+        Why(BTreeSet::new())
+    }
+    fn one() -> Self {
+        Why([Witness::new()].into_iter().collect())
+    }
+    fn add(&self, other: &Self) -> Self {
+        Why(self.0.union(&other.0).cloned().collect())
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = BTreeSet::new();
+        for a in &self.0 {
+            for b in &other.0 {
+                out.insert(a.union(b).cloned().collect());
+            }
+        }
+        Why(out)
+    }
+}
+
+impl fmt::Display for Why {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, x) in w.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::check_laws;
+
+    fn p() -> Why {
+        Why::var("p")
+    }
+    fn r() -> Why {
+        Why::var("r")
+    }
+
+    #[test]
+    fn why_is_a_semiring() {
+        check_laws(&[
+            Why::zero(),
+            Why::one(),
+            p(),
+            r(),
+            p().add(&r()),
+            p().mul(&r()),
+            p().add(&p().mul(&r())),
+        ]);
+    }
+
+    #[test]
+    fn addition_is_idempotent_but_keeps_nonminimal_witnesses() {
+        // p + p·p: witnesses {p} and {p} ∪ {p} = {p} — under Why the
+        // self-join collapses, but p·r and p stay distinct witnesses.
+        let v = p().add(&p().mul(&r()));
+        assert_eq!(v.witnesses().len(), 2);
+        assert_eq!(v.add(&v), v, "+ is idempotent");
+    }
+
+    #[test]
+    fn minimal_witnesses_drop_supersets() {
+        let v = p().add(&p().mul(&r()));
+        let min = v.minimal_witnesses();
+        assert_eq!(min.len(), 1);
+        assert!(min.iter().next().unwrap().contains("p"));
+    }
+
+    #[test]
+    fn supported_by_checks_witness_containment() {
+        let v = p().mul(&r()).add(&Why::var("s"));
+        let have: Witness = ["p".to_string(), "r".to_string()].into();
+        assert!(v.supported_by(&have));
+        let only_p: Witness = ["p".to_string()].into();
+        assert!(!v.supported_by(&only_p));
+        let s: Witness = ["s".to_string()].into();
+        assert!(v.supported_by(&s));
+    }
+
+    #[test]
+    fn display_shows_witness_sets() {
+        assert_eq!(p().add(&r()).to_string(), "{{p}, {r}}");
+        assert_eq!(p().mul(&r()).to_string(), "{{p,r}}");
+        assert_eq!(Why::zero().to_string(), "{}");
+        assert_eq!(Why::one().to_string(), "{{}}");
+    }
+}

@@ -1,0 +1,52 @@
+//! # cdb-semiring
+//!
+//! The provenance-semiring framework of §4.1 of *Curated Databases*
+//! (after Green, Karvounarakis and Tannen, "Provenance semirings",
+//! PODS 2007 — reference \[44\] of the paper):
+//!
+//! > "in the process of evaluation of a relational algebra expression,
+//! > two things can happen to tuples: they can be joined together (in a
+//! > join) or they can be merged together (in a union or projection). …
+//! > we conclude that these are polynomials in a (commutative) semiring."
+//!
+//! This crate provides:
+//!
+//! * the [`Semiring`] trait and the instances the paper discusses:
+//!   [`Bool`] (set semantics), [`Nat`] (bag semantics), [`Polynomial`]
+//!   (the most general provenance, ℕ\[X\]), [`Lineage`] (Cui–Widom
+//!   lineage, *including the paper's correction*: `P(X)` with `0 = 1 = ∅`
+//!   is **not** a semiring, so ⊥ is adjoined), [`Why`] (proof
+//!   why-provenance, `P(P(X))`), [`MinWhy`] (minimal why-provenance,
+//!   `Irr(P(P(X)))`, isomorphic to positive Boolean expressions),
+//!   [`Tropical`] (min-plus cost) and [`Prob`] (event probability),
+//! * [`KRelation`]s and positive relational algebra evaluation over any
+//!   semiring ([`eval`]),
+//! * semiring-annotated Datalog evaluation ([`datalog`]),
+//! * semiring [`hom`]omorphisms and the specialization chain
+//!   ℕ\[X\] → Why → MinWhy → Lineage → Bool, with the fundamental
+//!   commutation property (evaluate-then-map = map-then-evaluate),
+//! * conditional tables ([`ctable`]) — the C-tables of Imieliński and
+//!   Lipski, recovered as the PosBool instantiation,
+//! * probabilistic event tables ([`instances::prob`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ctable;
+pub mod datalog;
+pub mod eval;
+pub mod hom;
+pub mod instances;
+pub mod krel;
+pub mod semiring;
+
+pub use instances::lineage::Lineage;
+pub use instances::minwhy::MinWhy;
+pub use instances::nat::Nat;
+pub use instances::polynomial::{Monomial, Polynomial};
+pub use instances::prob::Prob;
+pub use instances::tropical::Tropical;
+pub use instances::why::Why;
+pub use instances::Bool;
+pub use krel::{KDatabase, KRelation};
+pub use semiring::Semiring;

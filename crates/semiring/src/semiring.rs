@@ -1,0 +1,141 @@
+//! The commutative-semiring trait and law-checking helpers.
+
+use std::fmt::Debug;
+
+/// A commutative semiring `(K, +, ·, 0, 1)`.
+///
+/// Laws (checked for every instance by the shared test harness
+/// [`check_laws`] and by property tests):
+///
+/// * `(K, +, 0)` is a commutative monoid,
+/// * `(K, ·, 1)` is a commutative monoid,
+/// * `·` distributes over `+`,
+/// * `0 · a = 0` (the multiplicative annihilator — the law the paper
+///   points out is *violated* by the naive `P(X)` with `0 = 1 = ∅`,
+///   which is why [`crate::Lineage`] adjoins ⊥).
+pub trait Semiring: Clone + PartialEq + Debug {
+    /// The additive identity. Tuples annotated `0` are absent.
+    fn zero() -> Self;
+    /// The multiplicative identity: the annotation of "present, with no
+    /// further qualification".
+    fn one() -> Self;
+    /// Alternative use / merging: union and projection.
+    fn add(&self, other: &Self) -> Self;
+    /// Joint use: join and product.
+    fn mul(&self, other: &Self) -> Self;
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Sums an iterator of elements.
+    fn sum(items: impl IntoIterator<Item = Self>) -> Self {
+        items
+            .into_iter()
+            .fold(Self::zero(), |acc, x| acc.add(&x))
+    }
+
+    /// Multiplies an iterator of elements.
+    fn product(items: impl IntoIterator<Item = Self>) -> Self {
+        items.into_iter().fold(Self::one(), |acc, x| acc.mul(&x))
+    }
+}
+
+/// Checks all commutative-semiring laws on the given sample elements,
+/// panicking with a description of the first violated law. Test-support
+/// code, exposed so every instance module (and the proptest suites) can
+/// reuse it.
+pub fn check_laws<K: Semiring>(samples: &[K]) {
+    let zero = K::zero();
+    let one = K::one();
+    for a in samples {
+        assert_eq!(a.add(&zero), *a, "0 is not a + identity for {a:?}");
+        assert_eq!(a.mul(&one), *a, "1 is not a · identity for {a:?}");
+        assert_eq!(
+            a.mul(&zero),
+            zero,
+            "annihilator law 0·a = 0 fails for {a:?}"
+        );
+        for b in samples {
+            assert_eq!(a.add(b), b.add(a), "+ not commutative on {a:?}, {b:?}");
+            assert_eq!(a.mul(b), b.mul(a), "· not commutative on {a:?}, {b:?}");
+            for c in samples {
+                assert_eq!(
+                    a.add(&b.add(c)),
+                    a.add(b).add(c),
+                    "+ not associative on {a:?}, {b:?}, {c:?}"
+                );
+                assert_eq!(
+                    a.mul(&b.mul(c)),
+                    a.mul(b).mul(c),
+                    "· not associative on {a:?}, {b:?}, {c:?}"
+                );
+                assert_eq!(
+                    a.mul(&b.add(c)),
+                    a.mul(b).add(&a.mul(c)),
+                    "· does not distribute over + on {a:?}, {b:?}, {c:?}"
+                );
+            }
+        }
+    }
+}
+
+/// A semiring homomorphism `h : K → L`: preserves 0, 1, + and ·.
+///
+/// The fundamental property of the semiring framework (Green et al.) is
+/// that positive relational algebra commutes with homomorphisms; the
+/// property tests in `hom` exercise it for the specialization chain.
+pub trait SemiringHom<K: Semiring, L: Semiring> {
+    /// Applies the homomorphism.
+    fn apply(&self, k: &K) -> L;
+}
+
+impl<K: Semiring, L: Semiring, F: Fn(&K) -> L> SemiringHom<K, L> for F {
+    fn apply(&self, k: &K) -> L {
+        self(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Bool;
+
+    #[test]
+    fn sum_and_product_fold_correctly() {
+        let xs = [Bool(true), Bool(false), Bool(true)];
+        assert_eq!(Bool::sum(xs), Bool(true));
+        assert_eq!(Bool::product(xs), Bool(false));
+        assert_eq!(Bool::sum(std::iter::empty::<Bool>()), Bool::zero());
+        assert_eq!(Bool::product(std::iter::empty::<Bool>()), Bool::one());
+    }
+
+    /// The paper's §4.1 counterexample: `(P(X), ∪, ∪, ∅, ∅)` violates the
+    /// annihilator law. We reproduce it with a deliberately-broken type
+    /// to show `check_laws` catches it.
+    #[test]
+    #[should_panic(expected = "annihilator")]
+    fn naive_powerset_is_not_a_semiring() {
+        #[derive(Debug, Clone, PartialEq)]
+        struct NaivePowerset(std::collections::BTreeSet<&'static str>);
+        impl Semiring for NaivePowerset {
+            fn zero() -> Self {
+                NaivePowerset(Default::default())
+            }
+            fn one() -> Self {
+                NaivePowerset(Default::default())
+            }
+            fn add(&self, o: &Self) -> Self {
+                NaivePowerset(self.0.union(&o.0).cloned().collect())
+            }
+            fn mul(&self, o: &Self) -> Self {
+                NaivePowerset(self.0.union(&o.0).cloned().collect())
+            }
+        }
+        check_laws(&[
+            NaivePowerset(Default::default()),
+            NaivePowerset(["x"].into_iter().collect()),
+        ]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Datalog-with-provenance edge cases: constants in heads and bodies,
+//! multiple heads, self-joins, and semiring agreement between the
+//! Datalog evaluator and the RA evaluator on equivalent queries.
+
+use cdb_model::Atom;
+use cdb_relalg::conjunctive::{AtomPattern, Rule, Term};
+use cdb_relalg::{RaExpr, Schema};
+use cdb_semiring::datalog::eval_datalog;
+use cdb_semiring::eval::eval_k;
+use cdb_semiring::{KDatabase, KRelation, Polynomial, Semiring, Why};
+
+fn s(x: &str) -> Atom {
+    Atom::Str(x.into())
+}
+
+fn db<K: Semiring>(var: impl Fn(&str) -> K) -> KDatabase<K> {
+    let schema = Schema::new(["X", "Y"]).unwrap();
+    let rel = KRelation::from_pairs(
+        schema,
+        [
+            (vec![s("a"), s("b")], var("p")),
+            (vec![s("b"), s("b")], var("r")),
+            (vec![s("c"), s("a")], var("q")),
+        ],
+    )
+    .unwrap();
+    KDatabase::new().with("E", rel)
+}
+
+#[test]
+fn constants_in_heads_are_emitted() {
+    let rule = Rule::new(
+        "H",
+        vec![Term::Const(s("tag")), Term::var("X")],
+        vec![AtomPattern::new("E", vec![Term::var("X"), Term::Const(s("b"))])],
+    )
+    .unwrap();
+    let out = eval_datalog(&db(|v| Polynomial::var(v)), &[rule]).unwrap();
+    let h = out.get("H").unwrap();
+    assert_eq!(h.annotation(&vec![s("tag"), s("a")]).to_string(), "p");
+    assert_eq!(h.annotation(&vec![s("tag"), s("b")]).to_string(), "r");
+    assert!(h.annotation(&vec![s("tag"), s("c")]).is_zero());
+}
+
+#[test]
+fn self_join_squares_annotations() {
+    // H(X) :- E(X,Y), E(Y,Y): (a) uses p then r; (b) uses r twice.
+    let rule = Rule::new(
+        "H",
+        vec![Term::var("X")],
+        vec![
+            AtomPattern::new("E", vec![Term::var("X"), Term::var("Y")]),
+            AtomPattern::new("E", vec![Term::var("Y"), Term::var("Y")]),
+        ],
+    )
+    .unwrap();
+    let out = eval_datalog(&db(|v| Polynomial::var(v)), &[rule]).unwrap();
+    let h = out.get("H").unwrap();
+    assert_eq!(h.annotation(&vec![s("a")]).to_string(), "p·r");
+    assert_eq!(h.annotation(&vec![s("b")]).to_string(), "r·r");
+}
+
+#[test]
+fn multiple_head_relations_coexist() {
+    let rules = vec![
+        Rule::new(
+            "Src",
+            vec![Term::var("X")],
+            vec![AtomPattern::new("E", vec![Term::var("X"), Term::Wildcard])],
+        )
+        .unwrap(),
+        Rule::new(
+            "Dst",
+            vec![Term::var("Y")],
+            vec![AtomPattern::new("E", vec![Term::Wildcard, Term::var("Y")])],
+        )
+        .unwrap(),
+    ];
+    let out = eval_datalog(&db(|v| Why::var(v)), &rules).unwrap();
+    assert_eq!(out.get("Src").unwrap().len(), 3);
+    assert_eq!(out.get("Dst").unwrap().len(), 2);
+    // b is a destination of both p and r: two witnesses.
+    let b = out.get("Dst").unwrap().annotation(&vec![s("b")]);
+    assert_eq!(b.witnesses().len(), 2);
+}
+
+#[test]
+fn datalog_agrees_with_ra_on_equivalent_query() {
+    // H(X,Y) :- E(X,Y)  ≡  scan.
+    let rule = Rule::new(
+        "H",
+        vec![Term::var("X"), Term::var("Y")],
+        vec![AtomPattern::new("E", vec![Term::var("X"), Term::var("Y")])],
+    )
+    .unwrap();
+    let d = db(|v| Polynomial::var(v));
+    let via_datalog = eval_datalog(&d, &[rule]).unwrap();
+    let via_ra = eval_k(&d, &RaExpr::scan("E")).unwrap();
+    for (t, k) in via_ra.iter() {
+        assert_eq!(&via_datalog.get("H").unwrap().annotation(t), k);
+    }
+}
+
+#[test]
+fn empty_body_match_yields_empty_head() {
+    let rule = Rule::new(
+        "H",
+        vec![Term::var("X")],
+        vec![AtomPattern::new(
+            "E",
+            vec![Term::var("X"), Term::Const(s("zzz"))],
+        )],
+    )
+    .unwrap();
+    let out = eval_datalog(&db(|v| Polynomial::var(v)), &[rule]).unwrap();
+    assert!(out.get("H").unwrap().is_empty());
+}

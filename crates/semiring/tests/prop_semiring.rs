@@ -1,0 +1,206 @@
+//! Property-based tests: semiring laws on generated elements, the
+//! homomorphism chain, and the fundamental commutation of evaluation
+//! with specialization on generated K-databases.
+
+use cdb_model::Atom;
+use cdb_relalg::{Pred, RaExpr, Schema};
+use cdb_semiring::eval::eval_k;
+use cdb_semiring::hom::{poly_to_nat, poly_to_why, why_to_lineage, why_to_minwhy};
+use cdb_semiring::semiring::check_laws;
+use cdb_semiring::{KDatabase, KRelation, Lineage, MinWhy, Nat, Polynomial, Semiring, Why};
+use proptest::prelude::*;
+
+/// Random polynomials over a tiny variable set.
+fn poly() -> impl Strategy<Value = Polynomial> {
+    let var = prop_oneof![Just("p"), Just("r"), Just("s")];
+    let leaf = prop_oneof![
+        Just(Polynomial::zero()),
+        Just(Polynomial::one()),
+        (0u64..3).prop_map(Polynomial::constant),
+        var.prop_map(Polynomial::var),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner).prop_flat_map(|(a, b)| {
+            prop_oneof![
+                Just(a.add(&b)),
+                Just(a.mul(&b)),
+            ]
+        })
+    })
+}
+
+proptest! {
+    /// Laws hold on arbitrary triples of polynomials (associativity,
+    /// commutativity, distributivity, identities, annihilator).
+    #[test]
+    fn polynomial_laws(a in poly(), b in poly(), c in poly()) {
+        check_laws(&[a, b, c]);
+    }
+
+    /// The chain maps are homomorphisms on arbitrary pairs.
+    #[test]
+    fn chain_maps_are_homomorphisms(a in poly(), b in poly()) {
+        // ℕ[X] → Why.
+        prop_assert_eq!(poly_to_why(&a.add(&b)), poly_to_why(&a).add(&poly_to_why(&b)));
+        prop_assert_eq!(poly_to_why(&a.mul(&b)), poly_to_why(&a).mul(&poly_to_why(&b)));
+        // ℕ[X] → ℕ.
+        prop_assert_eq!(poly_to_nat(&a.add(&b)), poly_to_nat(&a).add(&poly_to_nat(&b)));
+        prop_assert_eq!(poly_to_nat(&a.mul(&b)), poly_to_nat(&a).mul(&poly_to_nat(&b)));
+        // Why → MinWhy and Why → Lineage.
+        let (wa, wb) = (poly_to_why(&a), poly_to_why(&b));
+        prop_assert_eq!(
+            why_to_minwhy(&wa.add(&wb)),
+            why_to_minwhy(&wa).add(&why_to_minwhy(&wb))
+        );
+        prop_assert_eq!(
+            why_to_minwhy(&wa.mul(&wb)),
+            why_to_minwhy(&wa).mul(&why_to_minwhy(&wb))
+        );
+        prop_assert_eq!(
+            why_to_lineage(&wa.add(&wb)),
+            why_to_lineage(&wa).add(&why_to_lineage(&wb))
+        );
+        prop_assert_eq!(
+            why_to_lineage(&wa.mul(&wb)),
+            why_to_lineage(&wa).mul(&why_to_lineage(&wb))
+        );
+    }
+
+    /// Why / MinWhy / Lineage laws on images of random polynomials.
+    #[test]
+    fn derived_semiring_laws(a in poly(), b in poly(), c in poly()) {
+        let ws: Vec<Why> = [&a, &b, &c].iter().map(|p| poly_to_why(p)).collect();
+        check_laws(&ws);
+        let ms: Vec<MinWhy> = ws.iter().map(why_to_minwhy).collect();
+        check_laws(&ms);
+        let ls: Vec<Lineage> = ws.iter().map(why_to_lineage).collect();
+        check_laws(&ls);
+    }
+
+    /// `eval_in` is the universal-property homomorphism: evaluating the
+    /// polynomial in ℕ with every variable ↦ its assigned count equals
+    /// structural evaluation.
+    #[test]
+    fn eval_in_respects_operations(a in poly(), b in poly(), p in 0u64..4, r in 0u64..4) {
+        let val = move |name: &str| Nat(match name { "p" => p, "r" => r, _ => 2 });
+        prop_assert_eq!(
+            a.add(&b).eval_in(&val),
+            a.eval_in(&val).add(&b.eval_in(&val))
+        );
+        prop_assert_eq!(
+            a.mul(&b).eval_in(&val),
+            a.eval_in(&val).mul(&b.eval_in(&val))
+        );
+    }
+}
+
+/// Rows for two binary relations.
+type TwoRelations = (Vec<(i64, i64)>, Vec<(i64, i64)>);
+
+/// A random small K-database over ℕ[X] (each tuple its own variable),
+/// as (rows of R(X,Y), rows of S(Y,Z)).
+fn k_rows() -> impl Strategy<Value = TwoRelations> {
+    (
+        proptest::collection::vec((0i64..5, 0i64..5), 1..6),
+        proptest::collection::vec((0i64..5, 0i64..5), 1..6),
+    )
+}
+
+fn build_poly_db(r: &[(i64, i64)], s: &[(i64, i64)]) -> KDatabase<Polynomial> {
+    let mut n = 0;
+    let mut mk = |rows: &[(i64, i64)], attrs: [&str; 2]| {
+        let schema = Schema::new(attrs).unwrap();
+        KRelation::from_pairs(
+            schema,
+            rows.iter().map(|(a, b)| {
+                n += 1;
+                (vec![Atom::Int(*a), Atom::Int(*b)], Polynomial::var(format!("t{n}")))
+            }),
+        )
+        .unwrap()
+    };
+    let r_rel = mk(r, ["X", "Y"]);
+    let s_rel = mk(s, ["Y", "Z"]);
+    KDatabase::new().with("R", r_rel).with("S", s_rel)
+}
+
+fn test_query() -> RaExpr {
+    RaExpr::scan("R")
+        .natural_join(RaExpr::scan("S"))
+        .select(Pred::cmp(
+            cdb_relalg::Operand::col("X"),
+            cdb_relalg::CmpOp::Le,
+            cdb_relalg::Operand::col("Z"),
+        ))
+        .project_cols(["X", "Z"])
+        .union(RaExpr::scan("R").project_cols(["X", "Y"]).project(vec![
+            cdb_relalg::ProjItem::col("X", "X"),
+            cdb_relalg::ProjItem::col("Y", "Z"),
+        ]))
+}
+
+proptest! {
+    /// The fundamental theorem on random instances: evaluate in ℕ[X],
+    /// then specialize — identical to evaluating in the specialized
+    /// semiring directly. (Checked for Why, ℕ and Lineage.)
+    #[test]
+    fn evaluation_commutes_with_specialization((r, s) in k_rows()) {
+        let q = test_query();
+        let poly_db = build_poly_db(&r, &s);
+        let poly_out = eval_k(&poly_db, &q).unwrap();
+
+        let why_db = poly_db.map_annotations(&poly_to_why);
+        prop_assert_eq!(
+            poly_out.map_annotations(&poly_to_why),
+            eval_k(&why_db, &q).unwrap()
+        );
+
+        let nat_db = poly_db.map_annotations(&poly_to_nat);
+        prop_assert_eq!(
+            poly_out.map_annotations(&poly_to_nat),
+            eval_k(&nat_db, &q).unwrap()
+        );
+
+        let lin_db = poly_db.map_annotations(&|p: &Polynomial| why_to_lineage(&poly_to_why(p)));
+        prop_assert_eq!(
+            poly_out.map_annotations(&|p: &Polynomial| why_to_lineage(&poly_to_why(p))),
+            eval_k(&lin_db, &q).unwrap()
+        );
+    }
+
+    /// Why-provenance witnesses are sound: the output tuple is derivable
+    /// from exactly the tuples of any single witness.
+    #[test]
+    fn witnesses_are_sufficient((r, s) in k_rows()) {
+        let q = test_query();
+        let poly_db = build_poly_db(&r, &s);
+        let why_db = poly_db.map_annotations(&poly_to_why);
+        let out = eval_k(&why_db, &q).unwrap();
+        // For each output tuple and each witness, re-evaluate on the
+        // sub-database containing only witness tuples: the tuple must
+        // still be derivable (monotone query).
+        for (tuple, why) in out.iter() {
+            for witness in why.witnesses().iter().take(3) {
+                let mut sub: KDatabase<Why> = KDatabase::new();
+                for (name, rel) in why_db.iter() {
+                    let filtered = KRelation::from_pairs(
+                        rel.schema().clone(),
+                        rel.iter().filter_map(|(t, k)| {
+                            let keep = k
+                                .witnesses()
+                                .iter()
+                                .any(|w| w.iter().all(|x| witness.contains(x)) && w.len() == 1);
+                            if keep { Some((t.clone(), k.clone())) } else { None }
+                        }),
+                    ).unwrap();
+                    sub.insert(name.to_owned(), filtered);
+                }
+                let sub_out = eval_k(&sub, &q).unwrap();
+                prop_assert!(
+                    !sub_out.annotation(tuple).is_zero(),
+                    "witness {witness:?} fails to derive {tuple:?}"
+                );
+            }
+        }
+    }
+}

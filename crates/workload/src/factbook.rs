@@ -1,0 +1,270 @@
+//! World-Factbook-like country databases with yearly revisions.
+//!
+//! Each country is a hierarchical entry (geography / people / economy /
+//! government categories with leaf statistics). Yearly revisions nudge
+//! the numeric leaves (the temporal-query workload: "the internet
+//! penetration of Liechtenstein over the past five years") and
+//! occasionally *split* a country (fission, §6.2 — "a phenomenon one
+//! would expect in the World Factbook over its existence").
+
+use cdb_model::{KeySpec, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic Factbook.
+#[derive(Debug, Clone)]
+pub struct FactbookConfig {
+    /// Number of countries initially.
+    pub countries: usize,
+    /// Fraction of numeric leaves revised per year.
+    pub revision_fraction: f64,
+    /// Probability per year of a country fission.
+    pub fission_probability: f64,
+}
+
+impl Default for FactbookConfig {
+    fn default() -> Self {
+        FactbookConfig {
+            countries: 30,
+            revision_fraction: 0.5,
+            fission_probability: 0.2,
+        }
+    }
+}
+
+/// A recorded fission event: `original` split into `parts`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FissionEvent {
+    /// The year (version) of the split.
+    pub year: u32,
+    /// The country that ceased to exist.
+    pub original: String,
+    /// The successor countries.
+    pub parts: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Country {
+    name: String,
+    population: i64,
+    area: i64,
+    gdp: i64,
+    internet_users: i64,
+    government: String,
+    /// Predecessor country, if created by fission.
+    predecessor: Option<String>,
+}
+
+/// A deterministic Factbook simulator.
+#[derive(Debug, Clone)]
+pub struct FactbookSim {
+    cfg: FactbookConfig,
+    rng: StdRng,
+    countries: Vec<Country>,
+    year: u32,
+    next_id: usize,
+    /// All fission events so far.
+    pub fissions: Vec<FissionEvent>,
+}
+
+const GOVERNMENTS: [&str; 4] =
+    ["republic", "constitutional monarchy", "federation", "parliamentary democracy"];
+
+impl FactbookSim {
+    /// Creates the initial edition.
+    pub fn new(seed: u64, cfg: FactbookConfig) -> Self {
+        let mut sim = FactbookSim {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            countries: Vec::new(),
+            year: 0,
+            next_id: 0,
+            fissions: Vec::new(),
+        };
+        for _ in 0..sim.cfg.countries {
+            let c = sim.fresh_country(None);
+            sim.countries.push(c);
+        }
+        sim
+    }
+
+    fn fresh_country(&mut self, predecessor: Option<String>) -> Country {
+        let id = self.next_id;
+        self.next_id += 1;
+        Country {
+            name: format!("Country{id:03}"),
+            population: self.rng.gen_range(30_000..80_000_000),
+            area: self.rng.gen_range(100..2_000_000),
+            gdp: self.rng.gen_range(1_000..5_000_000),
+            internet_users: self.rng.gen_range(1_000..1_000_000),
+            government: GOVERNMENTS[self.rng.gen_range(0..GOVERNMENTS.len())].to_owned(),
+            predecessor,
+        }
+    }
+
+    /// The key spec: countries keyed by name.
+    pub fn key_spec() -> KeySpec {
+        KeySpec::new().rule(Vec::<String>::new(), ["name"])
+    }
+
+    /// Current year (version number).
+    pub fn year(&self) -> u32 {
+        self.year
+    }
+
+    /// Number of countries.
+    pub fn country_count(&self) -> usize {
+        self.countries.len()
+    }
+
+    /// The name of the i-th country (for building query paths).
+    pub fn country_name(&self, i: usize) -> &str {
+        &self.countries[i].name
+    }
+
+    /// The current edition as a value.
+    pub fn snapshot(&self) -> Value {
+        Value::set(self.countries.iter().map(country_value))
+    }
+
+    /// Advances one year.
+    pub fn advance(&mut self) {
+        self.year += 1;
+        let n = self.countries.len();
+        let revs = ((n as f64) * self.cfg.revision_fraction).ceil() as usize;
+        for _ in 0..revs.min(n) {
+            let i = self.rng.gen_range(0..self.countries.len());
+            let c = &mut self.countries[i];
+            // Random-walk the statistics, biased upward (growth).
+            let bump = |rng: &mut StdRng, v: i64| -> i64 {
+                let delta = rng.gen_range(-3..8) as f64 / 100.0;
+                (v as f64 * (1.0 + delta)) as i64
+            };
+            c.population = bump(&mut self.rng, c.population).max(1_000);
+            c.gdp = bump(&mut self.rng, c.gdp).max(100);
+            c.internet_users = bump(&mut self.rng, c.internet_users).max(100);
+        }
+        if self.countries.len() > 1 && self.rng.gen_bool(self.cfg.fission_probability) {
+            let i = self.rng.gen_range(0..self.countries.len());
+            let original = self.countries.remove(i);
+            let mut parts = Vec::new();
+            for frac in [0.6, 0.4] {
+                let mut part = self.fresh_country(Some(original.name.clone()));
+                part.population = (original.population as f64 * frac) as i64;
+                part.area = (original.area as f64 * frac) as i64;
+                part.gdp = (original.gdp as f64 * frac) as i64;
+                part.internet_users = (original.internet_users as f64 * frac) as i64;
+                parts.push(part.name.clone());
+                self.countries.push(part);
+            }
+            self.fissions.push(FissionEvent {
+                year: self.year,
+                original: original.name,
+                parts,
+            });
+        }
+    }
+}
+
+fn country_value(c: &Country) -> Value {
+    let mut fields = vec![
+        ("name".to_owned(), Value::str(c.name.clone())),
+        (
+            "geography".to_owned(),
+            Value::record([("area_sq_km", Value::int(c.area))]),
+        ),
+        (
+            "people".to_owned(),
+            Value::record([
+                ("population", Value::int(c.population)),
+                ("internet_users", Value::int(c.internet_users)),
+            ]),
+        ),
+        (
+            "economy".to_owned(),
+            Value::record([("gdp_musd", Value::int(c.gdp))]),
+        ),
+        (
+            "government".to_owned(),
+            Value::record([("type", Value::str(c.government.clone()))]),
+        ),
+    ];
+    if let Some(p) = &c.predecessor {
+        fields.push(("predecessor".to_owned(), Value::str(p.clone())));
+    }
+    Value::record(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_keyed() {
+        let mut a = FactbookSim::new(3, FactbookConfig::default());
+        let mut b = FactbookSim::new(3, FactbookConfig::default());
+        let spec = FactbookSim::key_spec();
+        for _ in 0..5 {
+            a.advance();
+            b.advance();
+            assert!(spec.keyed_nodes(&a.snapshot()).is_ok());
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn revisions_change_leaf_statistics() {
+        let mut sim = FactbookSim::new(
+            1,
+            FactbookConfig { fission_probability: 0.0, revision_fraction: 1.0, ..Default::default() },
+        );
+        let before = sim.snapshot();
+        sim.advance();
+        let after = sim.snapshot();
+        assert_ne!(before, after);
+        // Country set (names) unchanged without fission.
+        let names = |v: &Value| -> std::collections::BTreeSet<Value> {
+            v.as_set()
+                .unwrap()
+                .iter()
+                .map(|c| c.field("name").unwrap().clone())
+                .collect()
+        };
+        assert_eq!(names(&before), names(&after));
+    }
+
+    #[test]
+    fn fission_splits_a_country() {
+        let mut sim = FactbookSim::new(
+            2,
+            FactbookConfig { fission_probability: 1.0, countries: 5, ..Default::default() },
+        );
+        let before = sim.country_count();
+        sim.advance();
+        assert_eq!(sim.country_count(), before + 1, "one became two");
+        assert_eq!(sim.fissions.len(), 1);
+        let f = &sim.fissions[0];
+        assert_eq!(f.parts.len(), 2);
+        // Successors record their predecessor.
+        let snap = sim.snapshot();
+        for part in &f.parts {
+            let c = snap
+                .as_set()
+                .unwrap()
+                .iter()
+                .find(|c| c.field("name") == Some(&Value::str(part.clone())))
+                .unwrap();
+            assert_eq!(c.field("predecessor"), Some(&Value::str(f.original.clone())));
+        }
+    }
+
+    #[test]
+    fn hierarchy_has_the_factbook_categories() {
+        let sim = FactbookSim::new(4, FactbookConfig { countries: 1, ..Default::default() });
+        let snap = sim.snapshot();
+        let c = snap.as_set().unwrap().iter().next().unwrap();
+        for cat in ["geography", "people", "economy", "government"] {
+            assert!(c.field(cat).is_some(), "missing {cat}");
+        }
+    }
+}

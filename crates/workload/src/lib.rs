@@ -1,0 +1,30 @@
+//! # cdb-workload
+//!
+//! Synthetic workloads standing in for the curated databases the paper
+//! describes (§1). The paper's actual datasets (UniProt releases, CIA
+//! World Factbook editions, the IUPHAR receptor database) are not
+//! redistributable, so these generators reproduce the *structural*
+//! statistics the experiments depend on — hierarchical entries with
+//! stable keys, append-mostly evolution, long-lived nodes, occasional
+//! field edits and entry fission/fusion — with fully deterministic
+//! seeding. (See DESIGN.md's substitution table.)
+//!
+//! * [`uniprot`] — protein-entry databases: large entries, slow change,
+//!   additions dominate (the regime where §5.1 says fat-node archiving
+//!   shines).
+//! * [`factbook`] — country hierarchies with yearly revisions of leaf
+//!   statistics (the temporal-query workload) and occasional country
+//!   splits (fission, §6.2).
+//! * [`sessions`] — copy-paste curation sessions against
+//!   `cdb-curation`, driving the provenance-store experiments (E6).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod factbook;
+pub mod sessions;
+pub mod uniprot;
+
+pub use factbook::FactbookSim;
+pub use sessions::CurationSim;
+pub use uniprot::UniprotSim;

@@ -1,0 +1,325 @@
+//! UniProt-like protein-entry databases.
+//!
+//! Entries mimic the Figure 1 flat-file structure: accession (`ac`, the
+//! key), identifier, description, gene names, organism and lineage,
+//! references, comment fields (the annotation §2 distinguishes from core
+//! data), keywords and a sequence. Evolution follows the paper's
+//! characterization: "curated databases do not grow or change rapidly"
+//! and "updates are mostly additions … a node tends to persist through
+//! many versions".
+
+use cdb_model::{KeySpec, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic UniProt-like database evolution.
+#[derive(Debug, Clone)]
+pub struct UniprotConfig {
+    /// Entries in the initial release.
+    pub initial_entries: usize,
+    /// New entries added per release (additions dominate).
+    pub adds_per_release: usize,
+    /// Fraction of existing entries whose annotation changes per
+    /// release.
+    pub edit_fraction: f64,
+    /// Fraction of existing entries deleted per release (tiny).
+    pub delete_fraction: f64,
+    /// Probability per release of a *fusion* event (two entries found to
+    /// be the same gene, §6.2).
+    pub fusion_probability: f64,
+    /// Amino-acid sequence length.
+    pub sequence_len: usize,
+}
+
+impl Default for UniprotConfig {
+    fn default() -> Self {
+        UniprotConfig {
+            initial_entries: 100,
+            adds_per_release: 10,
+            edit_fraction: 0.05,
+            delete_fraction: 0.005,
+            fusion_probability: 0.3,
+            sequence_len: 120,
+        }
+    }
+}
+
+/// A recorded fusion event: `absorbed` was merged into `kept`, and its
+/// accession retired (the paper's UniProt retired-identifier mechanism).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusionEvent {
+    /// The release at which the fusion happened.
+    pub release: u32,
+    /// The surviving accession.
+    pub kept: String,
+    /// The retired accession.
+    pub absorbed: String,
+}
+
+/// A deterministic UniProt-like database simulator.
+#[derive(Debug, Clone)]
+pub struct UniprotSim {
+    cfg: UniprotConfig,
+    rng: StdRng,
+    entries: Vec<Entry>,
+    next_ac: usize,
+    release: u32,
+    /// All fusion events so far.
+    pub fusions: Vec<FusionEvent>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    ac: String,
+    id: String,
+    de: String,
+    gene: String,
+    organism: String,
+    lineage: Vec<String>,
+    function: String,
+    similarity: String,
+    keywords: Vec<String>,
+    sequence: String,
+    /// Accessions retired into this entry by fusion.
+    secondary_acs: Vec<String>,
+    annotation_rev: u32,
+}
+
+const ORGANISMS: [&str; 4] = ["HOMO SAPIENS", "MUS MUSCULUS", "RATTUS NORVEGICUS", "DANIO RERIO"];
+const KEYWORDS: [&str; 8] = [
+    "BRAIN", "NEURONE", "PHOSPHORYLATION", "MULTIGENE FAMILY",
+    "KINASE", "MEMBRANE", "TRANSPORT", "SIGNAL",
+];
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+impl UniprotSim {
+    /// Creates a simulator with a deterministic seed and builds the
+    /// initial release.
+    pub fn new(seed: u64, cfg: UniprotConfig) -> Self {
+        let mut sim = UniprotSim {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            entries: Vec::new(),
+            next_ac: 0,
+            release: 0,
+            fusions: Vec::new(),
+        };
+        for _ in 0..sim.cfg.initial_entries {
+            let e = sim.fresh_entry();
+            sim.entries.push(e);
+        }
+        sim
+    }
+
+    fn fresh_entry(&mut self) -> Entry {
+        let n = self.next_ac;
+        self.next_ac += 1;
+        let seq: String = (0..self.cfg.sequence_len)
+            .map(|_| AMINO[self.rng.gen_range(0..AMINO.len())] as char)
+            .collect();
+        let org = ORGANISMS[self.rng.gen_range(0..ORGANISMS.len())];
+        let nkw = self.rng.gen_range(1..4);
+        let keywords = (0..nkw)
+            .map(|_| KEYWORDS[self.rng.gen_range(0..KEYWORDS.len())].to_owned())
+            .collect();
+        Entry {
+            ac: format!("Q{n:05}"),
+            id: format!("P{n:04}_HUMAN"),
+            de: format!("PROTEIN {n} (FAMILY {})", n % 17),
+            gene: format!("GN{}", n % 311),
+            organism: org.to_owned(),
+            lineage: vec![
+                "EUKARYOTA".into(),
+                "METAZOA".into(),
+                "CHORDATA".into(),
+                org.split(' ').next().unwrap_or("GENUS").to_owned(),
+            ],
+            function: format!("ACTIVATES PATHWAY {}", n % 29),
+            similarity: format!("BELONGS TO THE {} FAMILY", n % 17),
+            keywords,
+            sequence: seq,
+            secondary_acs: Vec::new(),
+            annotation_rev: 0,
+        }
+    }
+
+    /// The hierarchical key spec for this database: entries keyed by
+    /// accession, references by number.
+    pub fn key_spec() -> KeySpec {
+        KeySpec::new().rule(Vec::<String>::new(), ["ac"])
+    }
+
+    /// The current release as a value: a set of entry records.
+    pub fn snapshot(&self) -> Value {
+        Value::set(self.entries.iter().map(entry_value))
+    }
+
+    /// Current release number.
+    pub fn release(&self) -> u32 {
+        self.release
+    }
+
+    /// Current entry count.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Advances one release: additions, a few annotation edits, rare
+    /// deletions, and possibly a fusion.
+    pub fn advance(&mut self) {
+        self.release += 1;
+        // Annotation edits.
+        let n = self.entries.len();
+        let edits = ((n as f64) * self.cfg.edit_fraction).ceil() as usize;
+        for _ in 0..edits.min(n) {
+            let i = self.rng.gen_range(0..self.entries.len());
+            let release = self.release;
+            let e = &mut self.entries[i];
+            e.annotation_rev = release;
+            e.function = format!("ACTIVATES PATHWAY {} (REV {release})", i % 29);
+        }
+        // Rare deletions.
+        let dels = ((n as f64) * self.cfg.delete_fraction).floor() as usize;
+        for _ in 0..dels {
+            if self.entries.len() > 2 {
+                let i = self.rng.gen_range(0..self.entries.len());
+                self.entries.remove(i);
+            }
+        }
+        // Possible fusion: two entries discovered to be the same gene.
+        if self.entries.len() > 2 && self.rng.gen_bool(self.cfg.fusion_probability) {
+            let i = self.rng.gen_range(0..self.entries.len());
+            let mut j = self.rng.gen_range(0..self.entries.len());
+            while j == i {
+                j = self.rng.gen_range(0..self.entries.len());
+            }
+            let (keep, absorb) = if i < j { (i, j) } else { (j, i) };
+            let absorbed = self.entries.remove(absorb);
+            let kept = &mut self.entries[keep];
+            kept.secondary_acs.push(absorbed.ac.clone());
+            kept.secondary_acs.extend(absorbed.secondary_acs.iter().cloned());
+            self.fusions.push(FusionEvent {
+                release: self.release,
+                kept: kept.ac.clone(),
+                absorbed: absorbed.ac,
+            });
+        }
+        // Additions dominate.
+        for _ in 0..self.cfg.adds_per_release {
+            let e = self.fresh_entry();
+            self.entries.push(e);
+        }
+    }
+}
+
+fn entry_value(e: &Entry) -> Value {
+    Value::record([
+        ("ac", Value::str(e.ac.clone())),
+        ("id", Value::str(e.id.clone())),
+        ("de", Value::str(e.de.clone())),
+        ("gn", Value::str(e.gene.clone())),
+        ("os", Value::str(e.organism.clone())),
+        (
+            "oc",
+            Value::list(e.lineage.iter().map(|l| Value::str(l.clone()))),
+        ),
+        (
+            "cc",
+            Value::record([
+                ("function", Value::str(e.function.clone())),
+                ("similarity", Value::str(e.similarity.clone())),
+                ("annotation_rev", Value::int(i64::from(e.annotation_rev))),
+            ]),
+        ),
+        (
+            "kw",
+            Value::set(e.keywords.iter().map(|k| Value::str(k.clone()))),
+        ),
+        (
+            "secondary_acs",
+            Value::set(e.secondary_acs.iter().map(|a| Value::str(a.clone()))),
+        ),
+        ("sq", Value::str(e.sequence.clone())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = UniprotSim::new(42, UniprotConfig::default());
+        let mut b = UniprotSim::new(42, UniprotConfig::default());
+        for _ in 0..3 {
+            a.advance();
+            b.advance();
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        let mut c = UniprotSim::new(43, UniprotConfig::default());
+        c.advance();
+        c.advance();
+        c.advance();
+        assert_ne!(a.snapshot(), c.snapshot(), "different seed differs");
+    }
+
+    #[test]
+    fn snapshots_satisfy_the_key_spec() {
+        let mut sim = UniprotSim::new(7, UniprotConfig::default());
+        let spec = UniprotSim::key_spec();
+        for _ in 0..5 {
+            assert!(spec.keyed_nodes(&sim.snapshot()).is_ok());
+            sim.advance();
+        }
+    }
+
+    #[test]
+    fn additions_dominate() {
+        let cfg = UniprotConfig::default();
+        let mut sim = UniprotSim::new(1, cfg.clone());
+        let before = sim.entry_count();
+        for _ in 0..10 {
+            sim.advance();
+        }
+        let after = sim.entry_count();
+        assert!(after > before + 10 * cfg.adds_per_release / 2);
+    }
+
+    #[test]
+    fn fusions_retire_accessions() {
+        let cfg = UniprotConfig { fusion_probability: 1.0, ..Default::default() };
+        let mut sim = UniprotSim::new(5, cfg);
+        sim.advance();
+        assert_eq!(sim.fusions.len(), 1);
+        let f = &sim.fusions[0];
+        let snap = sim.snapshot();
+        // The kept entry carries the retired ac in secondary_acs.
+        let set = snap.as_set().unwrap();
+        let kept = set
+            .iter()
+            .find(|e| e.field("ac") == Some(&Value::str(f.kept.clone())))
+            .expect("kept entry present");
+        let secs = kept.field("secondary_acs").unwrap().as_set().unwrap();
+        assert!(secs.contains(&Value::str(f.absorbed.clone())));
+        // The absorbed entry is gone.
+        assert!(!set
+            .iter()
+            .any(|e| e.field("ac") == Some(&Value::str(f.absorbed.clone()))));
+    }
+
+    #[test]
+    fn entries_have_the_figure1_fields() {
+        let sim = UniprotSim::new(9, UniprotConfig { initial_entries: 1, ..Default::default() });
+        let snap = sim.snapshot();
+        let e = sim_first(&snap);
+        for f in ["ac", "id", "de", "gn", "os", "oc", "cc", "kw", "sq"] {
+            assert!(e.field(f).is_some(), "missing field {f}");
+        }
+        let seq = e.field("sq").unwrap();
+        assert_eq!(seq.as_atom().unwrap().as_str().unwrap().len(), 120);
+    }
+
+    fn sim_first(snap: &Value) -> &Value {
+        snap.as_set().unwrap().iter().next().unwrap()
+    }
+}

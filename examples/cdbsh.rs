@@ -1,0 +1,297 @@
+//! `cdbsh` — an interactive curation shell over the integrated engine.
+//!
+//! A line-oriented front end exercising the whole public API: curation,
+//! annotation, publishing, citation, temporal queries, lifecycle, path
+//! queries, and SQL over relational views. Works interactively or with
+//! piped scripts:
+//!
+//! ```console
+//! $ cargo run --example cdbsh <<'EOF'
+//! new iuphar name
+//! add alice GABA-A kind=receptor tm=4
+//! add bob 5-HT3 kind=receptor tm=4
+//! publish 2008-06
+//! edit alice GABA-A tm 5
+//! publish 2008-12
+//! series GABA-A tm
+//! cite 0 GABA-A
+//! sql SELECT name FROM entries WHERE tm = 4
+//! path //tm
+//! merge alice GABA-A 5-HT3
+//! what 5-HT3
+//! quit
+//! EOF
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use curated_db::model::PathQuery;
+use curated_db::relalg::sql;
+use curated_db::{Atom, CuratedDatabase};
+
+fn main() {
+    let stdin = io::stdin();
+    let mut db: Option<CuratedDatabase> = None;
+    let mut clock: u64 = 0;
+    let interactive = false; // piped-friendly: no prompt echo logic needed
+
+    println!("cdbsh — curated-database shell (type `help`)");
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        clock += 1;
+        match run_command(&mut db, clock, line) {
+            Ok(Output::Quit) => break,
+            Ok(Output::Text(s)) => println!("{s}"),
+            Err(e) => println!("error: {e}"),
+        }
+        if interactive {
+            let _ = io::stdout().flush();
+        }
+    }
+}
+
+enum Output {
+    Text(String),
+    Quit,
+}
+
+fn run_command(
+    db_slot: &mut Option<CuratedDatabase>,
+    time: u64,
+    line: &str,
+) -> Result<Output, String> {
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().unwrap_or_default();
+    let rest: Vec<&str> = parts.collect();
+    let text = |s: String| Ok(Output::Text(s));
+
+    match cmd {
+        "help" => text(HELP.trim().to_owned()),
+        "quit" | "exit" => Ok(Output::Quit),
+        "new" => {
+            let [name, key] = take::<2>(&rest)?;
+            *db_slot = Some(CuratedDatabase::new(*name, *key));
+            text(format!("created database {name:?} keyed by {key:?}"))
+        }
+        _ => {
+            let db = db_slot.as_mut().ok_or("no database: use `new <name> <key>`")?;
+            match cmd {
+                "add" => {
+                    if rest.len() < 2 {
+                        return Err("add <curator> <key> [field=value …]".into());
+                    }
+                    let (curator, key) = (rest[0], rest[1]);
+                    let fields: Vec<(&str, Atom)> = rest[2..]
+                        .iter()
+                        .map(|kv|
+
+ parse_field(kv))
+                        .collect::<Result<_, _>>()?;
+                    db.add_entry(curator, time, key, &fields).map_err(fmt_err)?;
+                    text(format!("added entry {key:?}"))
+                }
+                "edit" => {
+                    let [curator, key, field, value] = take::<4>(&rest)?;
+                    db.edit_field(curator, time, key, field, parse_atom(value))
+                        .map_err(fmt_err)?;
+                    text(format!("edited {key}.{field}"))
+                }
+                "note" => {
+                    if rest.len() < 4 {
+                        return Err("note <author> <key> <field|-> <text…>".into());
+                    }
+                    let (author, key, field) = (rest[0], rest[1], rest[2]);
+                    let body = rest[3..].join(" ");
+                    let field = if field == "-" { None } else { Some(field) };
+                    db.annotate(key, field, author, &body, time).map_err(fmt_err)?;
+                    text("noted".into())
+                }
+                "notes" => {
+                    let [key, field] = take::<2>(&rest)?;
+                    let field = if *field == "-" { None } else { Some(*field) };
+                    let notes = db.notes_on(key, field);
+                    text(
+                        notes
+                            .iter()
+                            .map(|n| format!("[{}] {}: {}", n.time, n.author, n.text))
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    )
+                }
+                "publish" => {
+                    let [label] = take::<1>(&rest)?;
+                    let v = db.publish(*label).map_err(fmt_err)?;
+                    text(format!("published version {v} ({label})"))
+                }
+                "versions" => text(
+                    db.archive()
+                        .versions()
+                        .iter()
+                        .map(|v| format!("{}: {}", v.id, v.label))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                ),
+                "cite" => {
+                    let [v, key] = take::<2>(&rest)?;
+                    let v: u32 = v.parse().map_err(|_| "version must be a number")?;
+                    let c = db.cite(v, key).map_err(fmt_err)?;
+                    text(c.to_string())
+                }
+                "series" => {
+                    let [key, field] = take::<2>(&rest)?;
+                    let s = db.field_series(key, field).map_err(fmt_err)?;
+                    text(
+                        s.iter()
+                            .map(|(v, a)| format!("v{v}: {a}"))
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    )
+                }
+                "entries" => text(db.entry_keys().map_err(fmt_err)?.join(", ")),
+                "show" => {
+                    let [key] = take::<1>(&rest)?;
+                    let node = db.entry_node(key).map_err(fmt_err)?;
+                    let v = db.curated.tree.subtree_value(node).map_err(|e| e.to_string())?;
+                    text(v.to_string())
+                }
+                "merge" => {
+                    let [curator, kept, absorbed] = take::<3>(&rest)?;
+                    db.merge_entries(curator, time, kept, absorbed).map_err(fmt_err)?;
+                    text(format!("{absorbed} merged into {kept}"))
+                }
+                "what" => {
+                    let [id] = take::<1>(&rest)?;
+                    let current = db.resolve_id(id).map_err(fmt_err)?;
+                    text(format!("{id} → {current:?}"))
+                }
+                "history" => {
+                    let [key] = take::<1>(&rest)?;
+                    let node = db.entry_node(key).map_err(fmt_err)?;
+                    let h = curated_db::curation::queries::history(&db.curated, node);
+                    text(
+                        h.iter()
+                            .map(|(t, ops)| {
+                                format!("{} by {} ({} ops)", t.id, t.curator, ops.len())
+                            })
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    )
+                }
+                "sql" => {
+                    let query = line[3..].trim();
+                    // Build a view over every field any entry has.
+                    let fields = all_fields(db)?;
+                    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+                    let rel = curated_db::core::views::entry_relation(db, &field_refs)
+                        .map_err(fmt_err)?;
+                    let mut rdb = curated_db::relalg::Database::new();
+                    rdb.insert("entries", rel);
+                    let out = sql::execute(&mut rdb, query).map_err(|e| e.to_string())?;
+                    text(out.to_string())
+                }
+                "diff" => {
+                    let [a, b] = take::<2>(&rest)?;
+                    let a: u32 = a.parse().map_err(|_| "version must be a number")?;
+                    let b: u32 = b.parse().map_err(|_| "version must be a number")?;
+                    let changes = db.archive().diff(a, b).map_err(|e| e.to_string())?;
+                    text(
+                        changes
+                            .iter()
+                            .map(|(kp, c)| format!("{kp}: {c:?}"))
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    )
+                }
+                "prov" => {
+                    let q = line[4..].trim();
+                    let a = curated_db::curation::provql::query(&db.curated, q)?;
+                    text(a.to_string())
+                }
+                "path" => {
+                    let [expr] = take::<1>(&rest)?;
+                    let q = PathQuery::parse(expr)?;
+                    let snapshot = db.export().map_err(fmt_err)?;
+                    let hits = q.values(&snapshot);
+                    text(
+                        hits.iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join("\n"),
+                    )
+                }
+                other => Err(format!("unknown command {other:?} (try `help`)")),
+            }
+        }
+    }
+}
+
+const HELP: &str = r#"
+commands:
+  new <name> <keyfield>              create a database
+  add <curator> <key> [f=v …]        add an entry
+  edit <curator> <key> <field> <v>   edit a field
+  note <author> <key> <field|-> <t…> annotate (- = whole entry)
+  notes <key> <field|->              list annotations
+  publish <label>                    archive the current state
+  versions | diff <v1> <v2>          list versions / diff two versions
+  cite <version> <key>               cite an entry as of a version
+  series <key> <field>               value history across versions
+  entries | show <key> | history <key>
+  merge <curator> <kept> <absorbed>  fuse entries (retires the absorbed id)
+  what <id>                          what happened to an identifier
+  sql <SELECT …>                     query the relational view `entries`
+  path </a/b | //x>                  path query over the exported value
+  prov <provql>                      provenance query language, e.g.
+                                       prov VALUE /entry/name AT TXN 0
+                                       prov WHEN CREATED /entry/name
+                                       prov FROM WHERE /entry
+                                       prov WHO TOUCHED /entry
+                                       prov CHANGED BETWEEN TXN 0 AND TXN 2
+  help | quit
+"#;
+
+fn take<'a, const N: usize>(rest: &'a [&'a str]) -> Result<&'a [&'a str; N], String> {
+    rest.get(..N)
+        .and_then(|s| <&[&str; N]>::try_from(s).ok())
+        .filter(|_| rest.len() == N)
+        .ok_or_else(|| format!("expected exactly {N} arguments"))
+}
+
+fn parse_field(kv: &str) -> Result<(&str, Atom), String> {
+    let (k, v) = kv
+        .split_once('=')
+        .ok_or_else(|| format!("expected field=value, got {kv:?}"))?;
+    Ok((k, parse_atom(v)))
+}
+
+fn parse_atom(s: &str) -> Atom {
+    if let Ok(i) = s.parse::<i64>() {
+        Atom::Int(i)
+    } else if s == "true" || s == "false" {
+        Atom::Bool(s == "true")
+    } else {
+        Atom::Str(s.to_owned())
+    }
+}
+
+fn all_fields(db: &CuratedDatabase) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::new();
+    for key in db.entry_keys().map_err(fmt_err)? {
+        let node = db.entry_node(&key).map_err(fmt_err)?;
+        for &c in db.curated.tree.children(node).map_err(|e| e.to_string())? {
+            let l = db.curated.tree.label(c).map_err(|e| e.to_string())?;
+            if l != db.key_field() && !out.iter().any(|x| x == l) {
+                out.push(l.to_owned());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fmt_err(e: curated_db::DbError) -> String {
+    e.to_string()
+}

@@ -1,0 +1,92 @@
+//! The copy-paste curation loop of §3, with provenance recording, the
+//! hereditary/naive provenance-store comparison, transaction squashing,
+//! and the three Figure 3 update programs.
+//!
+//! Run with: `cargo run --example curation_session`
+
+use cdb_annotation::nested::ColoredTable;
+use cdb_curation::provstore::{squash, StoreMode};
+use cdb_curation::queries;
+use cdb_curation::update_lang::{figure3_query, sql_delete, sql_insert, sql_update};
+use cdb_model::Atom;
+use cdb_relalg::{Pred, Schema};
+use cdb_workload::sessions::{CurationSim, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Copy-paste curation with provenance (§3.1) ==");
+    let cfg = SessionConfig {
+        source_entries: 100,
+        fields_per_entry: 10,
+        transactions: 40,
+        pastes_per_txn: 3,
+        edits_per_txn: 5,
+        inserts_per_txn: 1,
+    };
+    let mut hered = CurationSim::new(1, StoreMode::Hereditary, cfg.clone());
+    let mut naive = CurationSim::new(1, StoreMode::Naive, cfg);
+    hered.run();
+    naive.run();
+
+    println!(
+        "target database: {} nodes after {} transactions",
+        hered.target.tree.size(),
+        hered.target.log.len()
+    );
+    println!(
+        "provenance store: naive = {} records ({} B), hereditary = {} records ({} B)",
+        naive.target.prov.record_count(),
+        naive.target.prov.encoded_size(),
+        hered.target.prov.record_count(),
+        hered.target.prov.encoded_size(),
+    );
+
+    let raw: usize = hered.target.log.iter().map(|t| t.ops.len()).sum();
+    let squashed: usize = hered.target.log.iter().map(|t| squash(&t.ops).len()).sum();
+    println!("transaction logs: {raw} raw ops → {squashed} after squashing");
+
+    // Provenance queries on a pasted entry.
+    let entry = hered.pasted_roots()[0];
+    println!("\nprovenance of {}:", hered.target.tree.path_of(entry)?);
+    for origin in queries::how_arrived(&hered.target, entry) {
+        println!("  ← {origin}");
+    }
+    println!(
+        "created in {:?}, curators so far: {:?}",
+        queries::when_created(&hered.target, entry),
+        queries::curators_of(&hered.target, entry)?,
+    );
+
+    // ---- Figure 3 ----------------------------------------------------
+    println!("\n== Figure 3: updates and provenance ==");
+    let r = ColoredTable::figure2_style(
+        Schema::new(["A", "B"])?,
+        &[vec![Atom::Int(10), Atom::Int(49)], vec![Atom::Int(12), Atom::Int(50)]],
+    );
+    println!("R = {}", r.table);
+
+    let p1 = figure3_query(&r)?;
+    println!("\nP1 (query: SELECT R.A, 55 AS B … UNION SELECT * …):");
+    println!("   {}", p1.table);
+
+    let p2 = sql_insert(
+        &sql_delete(&r, &Pred::col_eq_const("A", 10))?,
+        vec![Atom::Int(10), Atom::Int(55)],
+    )?;
+    println!("P2 (DELETE FROM R WHERE A = 10; INSERT INTO R VALUES (10,55)):");
+    println!("   {}", p2.table);
+
+    let p3 = sql_update(&r, &[("B", Atom::Int(55))], &Pred::col_eq_const("A", 10))?;
+    println!("P3 (UPDATE R SET B = 55 WHERE A = 10):");
+    println!("   {}", p3.table);
+
+    assert_eq!(p1.table.strip(), p2.table.strip());
+    assert_eq!(p2.table.strip(), p3.table.strip());
+    println!(
+        "\n→ same plain result, three different provenance behaviours:\n\
+         P1 builds a fresh table (copying); P2 keeps the table color but\n\
+         invents the tuple; P3 keeps table AND tuple colors, replacing\n\
+         only the assigned cell (kind-preserving, not copying)."
+    );
+
+    Ok(())
+}

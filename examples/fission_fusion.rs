@@ -1,0 +1,86 @@
+//! Object fission and fusion (§6.2): UniProt-style entry merging with
+//! retired identifiers, Factbook-style country splits, and the lifecycle
+//! queries "What happened to X?" / "How did Y come about?".
+//!
+//! Run with: `cargo run --example fission_fusion`
+
+use cdb_workload::uniprot::{UniprotConfig, UniprotSim};
+use curated_db::{Atom, CuratedDatabase};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Fusion in a gene database ==");
+    let mut db = CuratedDatabase::new("genes", "ac");
+    db.add_entry("curator1", 1, "Q00001", &[("gene", Atom::Str("YWHAH".into()))])?;
+    db.add_entry("curator1", 1, "Q00002", &[("gene", Atom::Str("YWHA1".into()))])?;
+    db.add_entry("curator2", 2, "Q00003", &[("gene", Atom::Str("OTHER".into()))])?;
+    db.publish("rel-27")?;
+
+    // "Fusion occurs in genetic databases when it is discovered … that
+    // two entries refer to the same gene."
+    db.merge_entries("curator2", 3, "Q00001", "Q00002")?;
+    db.publish("rel-28")?;
+
+    println!("What happened to Q00002? → {:?}", db.resolve_id("Q00002")?);
+    println!(
+        "How did Q00001 come about? ← absorbed {:?}",
+        db.lifecycle.how_did_come_about("Q00001")?
+    );
+    println!(
+        "secondary (retired) accessions of Q00001: {:?}",
+        db.lifecycle.secondary_ids("Q00001")
+    );
+
+    // The published version records the retired id, UniProt-style.
+    let v1 = db.version(1)?;
+    let entry = v1
+        .as_set()
+        .and_then(|s| {
+            s.iter()
+                .find(|e| e.field("ac") == Some(&curated_db::Value::str("Q00001")))
+        })
+        .expect("entry exists");
+    println!("published entry: {entry}");
+
+    println!("\n== Fission: a split entry ==");
+    db.split_entry(
+        "curator1",
+        4,
+        "Q00003",
+        &[
+            ("Q00004", vec![("gene", Atom::Str("OTHER-A".into()))]),
+            ("Q00005", vec![("gene", Atom::Str("OTHER-B".into()))]),
+        ],
+    )?;
+    db.publish("rel-29")?;
+    println!("What happened to Q00003? → {:?}", db.resolve_id("Q00003")?);
+    println!(
+        "How did Q00004 come about? ← split from {:?}",
+        db.lifecycle.how_did_come_about("Q00004")?
+    );
+
+    // Even chains resolve: merge one part away again.
+    db.merge_entries("curator1", 5, "Q00001", "Q00004")?;
+    println!(
+        "after a further merge, What happened to Q00003? → {:?}",
+        db.resolve_id("Q00003")?
+    );
+
+    println!("\n== At scale: the synthetic UniProt simulator ==");
+    let mut sim = UniprotSim::new(
+        7,
+        UniprotConfig { initial_entries: 200, fusion_probability: 0.8, ..Default::default() },
+    );
+    for _ in 0..10 {
+        sim.advance();
+    }
+    println!(
+        "after 10 releases: {} entries, {} fusion events",
+        sim.entry_count(),
+        sim.fusions.len()
+    );
+    for f in sim.fusions.iter().take(5) {
+        println!("  release {}: {} absorbed {}", f.release, f.kept, f.absorbed);
+    }
+
+    Ok(())
+}

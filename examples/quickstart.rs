@@ -1,0 +1,103 @@
+//! Quickstart: the full curated-database lifecycle in one sitting.
+//!
+//! Builds a small IUPHAR-like receptor database, curates it with
+//! attributed transactions, annotates it, publishes versions into the
+//! archive, cites an entry, travels in time, and asks the lifecycle
+//! questions of §6.2.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use curated_db::{Atom, CuratedDatabase, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small curated database in the style of the IUPHAR receptor
+    // database: "most of the curation effort is supplied by volunteers,
+    // and only two people are involved with its direct maintenance" (§1).
+    let mut db = CuratedDatabase::new("iuphar", "name");
+
+    println!("== Curation ==");
+    db.add_entry(
+        "joanna",
+        1,
+        "GABA-A",
+        &[
+            ("kind", Atom::Str("ligand-gated ion channel".into())),
+            ("subunits", Atom::Int(5)),
+        ],
+    )?;
+    db.add_entry(
+        "michael",
+        2,
+        "5-HT3",
+        &[
+            ("kind", Atom::Str("ligand-gated ion channel".into())),
+            ("subunits", Atom::Int(5)),
+        ],
+    )?;
+    db.add_entry(
+        "joanna",
+        3,
+        "GABA-B1",
+        &[("kind", Atom::Str("GPCR".into()))],
+    )?;
+    db.add_entry(
+        "joanna",
+        3,
+        "GABA-B2",
+        &[("kind", Atom::Str("GPCR".into()))],
+    )?;
+    println!("entries: {:?}", db.entry_keys()?);
+
+    // Superimposed annotation (§2: DAS-style, external to the core data).
+    db.annotate(
+        "GABA-A",
+        Some("subunits"),
+        "michael",
+        "pentamer confirmed by cryo-EM",
+        4,
+    )?;
+    println!(
+        "note on GABA-A.subunits: {:?}",
+        db.notes_on("GABA-A", Some("subunits"))[0].text
+    );
+
+    println!("\n== Publishing and citation (§5) ==");
+    let v0 = db.publish("2008-06")?;
+    let citation = db.cite(v0, "GABA-A")?;
+    println!("cite: {citation}");
+
+    // The working database moves on…
+    db.edit_field("michael", 5, "GABA-A", "subunits", Atom::Int(4))?;
+    let v1 = db.publish("2008-12")?;
+
+    // …but the citation still resolves to the cited version.
+    let cited = citation.resolve(db.archive())?;
+    println!("cited entry (still the old one): {cited}");
+    assert_eq!(cited.field("subunits"), Some(&Value::int(5)));
+
+    println!("\n== Temporal queries (§5.1) ==");
+    for (v, a) in db.field_series("GABA-A", "subunits")? {
+        println!("  version {v}: subunits = {a}");
+    }
+    let _ = v1;
+
+    println!("\n== Fission & fusion (§6.2) ==");
+    // GABA-B1 and GABA-B2 turn out to be subunits of one receptor.
+    db.merge_entries("joanna", 6, "GABA-B1", "GABA-B2")?;
+    println!(
+        "what happened to GABA-B2? → now part of {:?}",
+        db.resolve_id("GABA-B2")?
+    );
+    db.publish("2009-06")?;
+    let last = db.version(2)?;
+    println!("published entry count: {}", last.as_set().map(|s| s.len()).unwrap_or(0));
+
+    println!("\n== Provenance (§3) ==");
+    let node = db.entry_node("GABA-A")?;
+    let curators = cdb_curation::queries::curators_of(&db.curated, node)?;
+    println!("curators of GABA-A: {curators:?}");
+    let created = cdb_curation::queries::when_created(&db.curated, node);
+    println!("created in transaction: {created:?}");
+
+    Ok(())
+}

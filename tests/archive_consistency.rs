@@ -1,0 +1,169 @@
+//! Cross-crate integration: the three version stores agree on every
+//! version of realistic workloads, temporal queries agree with the
+//! scan-everything baseline, and citations stay resolvable forever.
+
+use curated_db::archive::temporal;
+use curated_db::archive::{Archive, Citation, DeltaStore, SnapshotStore};
+use curated_db::model::keys::KeyStep;
+use curated_db::workload::factbook::{FactbookConfig, FactbookSim};
+use curated_db::workload::uniprot::{UniprotConfig, UniprotSim};
+use curated_db::{Atom, KeyPath, Value};
+
+fn build_all(
+    spec: curated_db::KeySpec,
+    versions: &[Value],
+) -> (Archive, SnapshotStore, DeltaStore) {
+    let mut archive = Archive::new("db", spec.clone());
+    let mut snaps = SnapshotStore::new();
+    let mut deltas = DeltaStore::new(spec);
+    for (i, v) in versions.iter().enumerate() {
+        archive.add_version(v, format!("v{i}")).unwrap();
+        snaps.add_version(v, format!("v{i}"));
+        deltas.add_version(v, format!("v{i}")).unwrap();
+    }
+    (archive, snaps, deltas)
+}
+
+#[test]
+fn all_stores_reconstruct_identical_uniprot_releases() {
+    let mut sim = UniprotSim::new(
+        99,
+        UniprotConfig { initial_entries: 60, adds_per_release: 8, ..Default::default() },
+    );
+    let mut versions = Vec::new();
+    for _ in 0..12 {
+        versions.push(sim.snapshot());
+        sim.advance();
+    }
+    let (archive, snaps, deltas) = build_all(UniprotSim::key_spec(), &versions);
+    for v in 0..versions.len() as u32 {
+        let a = archive.retrieve(v).unwrap();
+        assert_eq!(a, versions[v as usize], "archive v{v}");
+        assert_eq!(a, snaps.retrieve(v).unwrap(), "snapshot v{v}");
+        assert_eq!(a, deltas.retrieve(v).unwrap(), "delta v{v}");
+    }
+}
+
+#[test]
+fn archive_is_smaller_than_snapshots_on_append_mostly_data() {
+    let mut sim = UniprotSim::new(
+        7,
+        UniprotConfig { initial_entries: 80, adds_per_release: 5, ..Default::default() },
+    );
+    let mut versions = Vec::new();
+    for _ in 0..15 {
+        versions.push(sim.snapshot());
+        sim.advance();
+    }
+    let (archive, snaps, _) = build_all(UniprotSim::key_spec(), &versions);
+    // §5.1's claim: for databases where "updates are mostly additions
+    // and a node tends to persist", the merged archive is far smaller
+    // than keeping all versions.
+    assert!(
+        archive.encoded_size() * 3 < snaps.encoded_size(),
+        "archive {} B vs snapshots {} B",
+        archive.encoded_size(),
+        snaps.encoded_size()
+    );
+}
+
+#[test]
+fn temporal_series_agree_with_scan_baseline_on_factbook() {
+    let mut sim = FactbookSim::new(
+        11,
+        FactbookConfig { countries: 25, fission_probability: 0.3, ..Default::default() },
+    );
+    let first_country = sim.country_name(0).to_owned();
+    let mut versions = Vec::new();
+    for _ in 0..10 {
+        versions.push(sim.snapshot());
+        sim.advance();
+    }
+    let (archive, snaps, _) = build_all(FactbookSim::key_spec(), &versions);
+    let spec = FactbookSim::key_spec();
+    let path = KeyPath::root()
+        .child(KeyStep::Entry(vec![Atom::Str(first_country)]))
+        .child(KeyStep::Field("people".into()))
+        .child(KeyStep::Field("population".into()));
+    let direct = temporal::series(&archive, &path).unwrap();
+    let scanned = temporal::series_by_scan(&snaps, &spec, &path).unwrap();
+    assert_eq!(direct, scanned);
+    assert!(!direct.is_empty());
+}
+
+#[test]
+fn fissioned_countries_have_bounded_lifespans() {
+    let mut sim = FactbookSim::new(
+        13,
+        FactbookConfig { countries: 10, fission_probability: 1.0, ..Default::default() },
+    );
+    let mut versions = Vec::new();
+    for _ in 0..5 {
+        versions.push(sim.snapshot());
+        sim.advance();
+    }
+    assert!(!sim.fissions.is_empty());
+    let (archive, _, _) = build_all(FactbookSim::key_spec(), &versions);
+    for f in &sim.fissions {
+        if f.year as usize >= versions.len() {
+            continue; // split after the last archived version
+        }
+        let kp = KeyPath::root().child(KeyStep::Entry(vec![Atom::Str(f.original.clone())]));
+        let spans = archive.lifespan(&kp).unwrap();
+        // The original ends exactly at its fission year.
+        assert_eq!(spans.last().unwrap().1, Some(f.year));
+    }
+}
+
+#[test]
+fn citations_survive_database_evolution() {
+    let mut sim = UniprotSim::new(5, UniprotConfig { initial_entries: 10, ..Default::default() });
+    let first = sim.snapshot();
+    let ac = first
+        .as_set()
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .field("ac")
+        .unwrap()
+        .clone();
+    let Value::Atom(Atom::Str(ac)) = ac else { panic!() };
+
+    let mut archive = Archive::new("uniprot", UniprotSim::key_spec());
+    archive.add_version(&first, "rel-1").unwrap();
+    let path = KeyPath::root().child(KeyStep::Entry(vec![Atom::Str(ac.clone())]));
+    let citation = Citation::cite(&archive, 0, &path, vec!["The UniProt Consortium".into()])
+        .unwrap();
+    let original_entry = citation.resolve(&archive).unwrap();
+
+    // Twenty more releases later…
+    for i in 0..20 {
+        sim.advance();
+        archive.add_version(&sim.snapshot(), format!("rel-{}", i + 2)).unwrap();
+    }
+    // …the citation still resolves to the identical entry.
+    assert_eq!(citation.resolve(&archive).unwrap(), original_entry);
+    assert!(citation.to_string().contains("rel-1"));
+}
+
+#[test]
+fn archive_diffs_match_store_level_reconstruction() {
+    let mut sim = FactbookSim::new(17, FactbookConfig::default());
+    let v0 = sim.snapshot();
+    sim.advance();
+    let v1 = sim.snapshot();
+    let (archive, _, _) = build_all(FactbookSim::key_spec(), &[v0.clone(), v1.clone()]);
+    let diff = archive.diff(0, 1).unwrap();
+    if v0 != v1 {
+        assert!(!diff.is_empty());
+    }
+    // Every reported change names a key path that exists in one of the
+    // versions.
+    let spec = FactbookSim::key_spec();
+    for (kp, _) in &diff {
+        let in_v0 = spec.resolve(&v0, kp).is_ok();
+        let in_v1 = spec.resolve(&v1, kp).is_ok();
+        assert!(in_v0 || in_v1, "{kp} in neither version");
+    }
+}

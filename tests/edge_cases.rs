@@ -1,0 +1,153 @@
+//! Cross-crate edge cases: empty databases, deleted entries in old
+//! versions, bounded inventing at scale, C-table possible worlds, and
+//! hostile inputs.
+
+use curated_db::annotation::nested::ColoredTable;
+use curated_db::relalg::{Pred, Schema};
+use curated_db::semiring::ctable::{instantiate, possible_worlds};
+use curated_db::semiring::{KRelation, MinWhy, Semiring};
+use curated_db::{Atom, CuratedDatabase, Value};
+
+#[test]
+fn empty_database_publishes_and_retrieves() {
+    let mut db = CuratedDatabase::new("empty", "id");
+    let v = db.publish("r0").unwrap();
+    assert_eq!(db.version(v).unwrap(), Value::set([]));
+    // Citing anything in it fails cleanly.
+    assert!(db.cite(v, "nope").is_err());
+    // Rebuilding from the (empty) log matches.
+    let rebuilt = db.archive_from_log().unwrap();
+    assert_eq!(rebuilt.retrieve(0).unwrap(), Value::set([]));
+}
+
+#[test]
+fn citing_entries_that_no_longer_exist() {
+    let mut db = CuratedDatabase::new("d", "id");
+    db.add_entry("a", 1, "X", &[("v", Atom::Int(1))]).unwrap();
+    let v0 = db.publish("r0").unwrap();
+    db.delete_entry("a", 2, "X").unwrap();
+    db.publish("r1").unwrap();
+    // The entry is gone from the working database and from v1…
+    assert!(db.entry_node("X").is_err());
+    // …but the citation of v0 still resolves (authors unknown now).
+    let c = db.cite(v0, "X").unwrap();
+    assert_eq!(
+        c.resolve(db.archive()).unwrap().field("v"),
+        Some(&Value::int(1))
+    );
+    // And citing it in v1 fails.
+    assert!(db.cite(1, "X").is_err());
+}
+
+#[test]
+fn lifecycle_ids_survive_even_full_deletion() {
+    let mut db = CuratedDatabase::new("d", "id");
+    db.add_entry("a", 1, "X", &[]).unwrap();
+    db.delete_entry("a", 2, "X").unwrap();
+    assert_eq!(db.resolve_id("X").unwrap(), Vec::<String>::new());
+    // Re-creating a deleted id is rejected (identifiers are permanent).
+    assert!(db.add_entry("a", 3, "X", &[]).is_err());
+}
+
+#[test]
+fn bounded_inventing_is_constant_in_input_size() {
+    // §2.3: "A query can generate only a bounded number of base values."
+    // Our σ invents exactly 1 part (the table) regardless of input size;
+    // π invents 1 + one record per output tuple — bounded by a function
+    // of the OUTPUT, never free invention. Verify σ's invariant:
+    for n in [2usize, 8, 32, 128] {
+        let rows: Vec<Vec<Atom>> = (0..n as i64)
+            .map(|i| vec![Atom::Int(i), Atom::Int(i % 3)])
+            .collect();
+        let table = ColoredTable::figure2_style(Schema::new(["A", "B"]).unwrap(), &rows);
+        let sel = table.select(&Pred::col_eq_const("B", 1)).unwrap();
+        assert_eq!(sel.table.invented_count(), 1, "only the fresh table at n={n}");
+    }
+}
+
+#[test]
+fn ctable_worlds_scale_with_condition_variables_not_tuples() {
+    let schema = Schema::new(["X"]).unwrap();
+    // 6 tuples but only 2 condition variables → at most 4 worlds.
+    let t = KRelation::from_pairs(
+        schema,
+        (0..6).map(|i| {
+            let cond = match i % 3 {
+                0 => MinWhy::one(),
+                1 => MinWhy::var("u"),
+                _ => MinWhy::var("w"),
+            };
+            (vec![Atom::Int(i)], cond)
+        }),
+    )
+    .unwrap();
+    let worlds = possible_worlds(&t).unwrap();
+    assert!(worlds.len() <= 4);
+    // The all-true world contains everything; the all-false world only
+    // the certain tuples.
+    let all = instantiate(&t, &|_| true);
+    assert_eq!(all.len(), 6);
+    let none = instantiate(&t, &|_| false);
+    assert_eq!(none.len(), 2);
+}
+
+#[test]
+fn hostile_path_query_inputs() {
+    use curated_db::model::PathQuery;
+    // Deeply nested value: no stack or logic surprises.
+    let mut v = Value::int(0);
+    for i in 0..200 {
+        v = Value::record([(format!("l{}", i % 3), v)]);
+    }
+    let q = PathQuery::parse("//l0").unwrap();
+    assert!(!q.values(&v).is_empty());
+}
+
+#[test]
+fn archive_handles_entry_rename_as_delete_plus_add() {
+    // Renaming an entry's key is fission+fusion at the data level: the
+    // old key path closes, the new one opens.
+    let spec = curated_db::KeySpec::new().rule(Vec::<String>::new(), ["k"]);
+    let mut arch = curated_db::archive::Archive::new("d", spec);
+    let e = |k: &str| Value::set([Value::record([("k", Value::str(k)), ("x", Value::int(1))])]);
+    arch.add_version(&e("old"), "0").unwrap();
+    arch.add_version(&e("new"), "1").unwrap();
+    use curated_db::model::keys::KeyStep;
+    let old_path =
+        curated_db::KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("old".into())]));
+    let new_path =
+        curated_db::KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("new".into())]));
+    assert_eq!(arch.lifespan(&old_path).unwrap(), vec![(0, Some(1))]);
+    assert_eq!(arch.lifespan(&new_path).unwrap(), vec![(1, None)]);
+}
+
+#[test]
+fn unicode_and_long_strings_round_trip_everywhere() {
+    let mut db = CuratedDatabase::new("åäö-библиотека", "名前");
+    let long = "◉".repeat(1000) + "— ligand-gated χ₂ channel";
+    db.add_entry("curator-ß", 1, "GABA-α", &[("desc", Atom::Str(long.clone()))])
+        .unwrap();
+    let v = db.publish("рел-1").unwrap();
+    let snap = db.version(v).unwrap();
+    let entry = snap.as_set().unwrap().iter().next().unwrap().clone();
+    assert_eq!(entry.field("desc"), Some(&Value::str(long)));
+    let c = db.cite(v, "GABA-α").unwrap();
+    assert!(c.to_string().contains("GABA-α"));
+}
+
+#[test]
+fn semiring_zero_annotations_never_surface() {
+    use curated_db::relalg::RaExpr;
+    use curated_db::semiring::eval::eval_k;
+    use curated_db::semiring::{KDatabase, Nat};
+    let schema = Schema::new(["A"]).unwrap();
+    let rel = KRelation::from_pairs(
+        schema,
+        [(vec![Atom::Int(1)], Nat(0)), (vec![Atom::Int(2)], Nat(3))],
+    )
+    .unwrap();
+    assert_eq!(rel.len(), 1, "zero-annotated tuples are pruned at insert");
+    let db = KDatabase::new().with("R", rel);
+    let out = eval_k(&db, &RaExpr::scan("R")).unwrap();
+    assert!(out.iter().all(|(_, k)| !k.is_zero()));
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration: the full curated-database story of §1 —
+//! curate (with provenance), annotate, publish, cite, time-travel,
+//! merge/split — across all substrate crates at once.
+
+use curated_db::core::views::{
+    annotate_through_view, colored_view, entry_relation, ViewAnnotation,
+};
+use curated_db::annotation::colored::Scheme;
+use curated_db::annotation::reverse::Target;
+use curated_db::curation::queries;
+use curated_db::relalg::{Pred, RaExpr};
+use curated_db::schema::infer::infer_type;
+use curated_db::{Atom, CuratedDatabase, Value};
+
+/// Builds a small protein database curated by two people.
+fn build() -> CuratedDatabase {
+    let mut db = CuratedDatabase::new("proteins", "ac");
+    db.add_entry(
+        "alice",
+        1,
+        "Q04917",
+        &[
+            ("id", Atom::Str("143F_HUMAN".into())),
+            ("de", Atom::Str("14-3-3 PROTEIN ETA".into())),
+            ("organism", Atom::Str("HOMO SAPIENS".into())),
+            ("aa", Atom::Int(245)),
+        ],
+    )
+    .unwrap();
+    db.add_entry(
+        "bob",
+        2,
+        "P31946",
+        &[
+            ("id", Atom::Str("1433B_HUMAN".into())),
+            ("de", Atom::Str("14-3-3 PROTEIN BETA".into())),
+            ("organism", Atom::Str("HOMO SAPIENS".into())),
+            ("aa", Atom::Int(246)),
+        ],
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn publish_cite_time_travel_loop() {
+    let mut db = build();
+    let v0 = db.publish("rel-27").unwrap();
+
+    // Curation continues: an annotation update (the Figure 1 DT lines).
+    db.edit_field("alice", 3, "Q04917", "de", Atom::Str("14-3-3 PROTEIN ETA (AS1)".into()))
+        .unwrap();
+    let v1 = db.publish("rel-28").unwrap();
+
+    // Series across versions.
+    let series = db.field_series("Q04917", "de").unwrap();
+    assert_eq!(series.len(), 2);
+    assert_ne!(series[0].1, series[1].1);
+
+    // A citation of the old release keeps resolving after publication of
+    // the new one.
+    let citation = db.cite(v0, "Q04917").unwrap();
+    assert!(citation.authors.contains(&"alice".to_string()));
+    let old_entry = citation.resolve(db.archive()).unwrap();
+    assert_eq!(old_entry.field("de"), Some(&Value::str("14-3-3 PROTEIN ETA")));
+    let _ = v1;
+}
+
+#[test]
+fn provenance_tracks_cross_database_curation() {
+    // A downstream group copies an entry from `proteins` into their own
+    // curated database and corrects it (§3's copy-paste loop).
+    let upstream = build();
+    let node = upstream.entry_node("Q04917").unwrap();
+    let clip = upstream.curated.copy(node).unwrap();
+
+    let mut mydb = CuratedDatabase::new("mylab", "ac");
+    mydb.import_entry("carol", 10, "Q04917", &clip).unwrap();
+    mydb.edit_field("carol", 11, "Q04917", "aa", Atom::Int(244)).unwrap();
+
+    // The imported entry's provenance chain reaches back to `proteins`.
+    let entry = mydb.entry_node("Q04917").unwrap();
+    let chain = queries::how_arrived(&mydb.curated, entry);
+    assert!(chain.iter().any(
+        |o| matches!(o, curated_db::curation::Origin::CopiedFrom { db, .. } if db == "proteins")
+    ));
+    // The corrected field's provenance is the correction, not the copy.
+    let aa = mydb.curated.tree.child_by_label(entry, "aa").unwrap().unwrap();
+    let recs = mydb.curated.prov.effective(&mydb.curated.tree, aa);
+    assert!(matches!(
+        recs.last().unwrap().event,
+        curated_db::curation::provstore::ProvEvent::Modified
+    ));
+}
+
+#[test]
+fn views_carry_provenance_and_annotations_round_trip() {
+    let mut db = build();
+    // A user queries a view and sees where every cell came from.
+    let q = RaExpr::scan("entries")
+        .select(Pred::col_eq_const("organism", "HOMO SAPIENS"))
+        .project_cols(["ac", "aa"]);
+    let view = colored_view(&db, &["organism", "aa"], &q, &Scheme::Default).unwrap();
+    let cs = view
+        .cell_colors(&vec![Atom::Str("Q04917".into()), Atom::Int(245)], "aa")
+        .unwrap();
+    assert_eq!(cs.iter().cloned().collect::<Vec<_>>(), vec!["Q04917/aa".to_string()]);
+
+    // The user annotates the view cell; the note lands on the source.
+    let target = Target {
+        tuple: vec![
+            Atom::Str("Q04917".into()),
+            Atom::Str("HOMO SAPIENS".into()),
+            Atom::Int(245),
+        ],
+        attr: "aa".into(),
+    };
+    let full_view = RaExpr::scan("entries")
+        .select(Pred::col_eq_const("organism", "HOMO SAPIENS"));
+    let placed = annotate_through_view(
+        &mut db,
+        &["organism", "aa"],
+        &full_view,
+        &target,
+        "dave",
+        "recount the residues",
+        20,
+    )
+    .unwrap();
+    assert_eq!(
+        placed,
+        ViewAnnotation::Placed { key: "Q04917".into(), field: "aa".into() }
+    );
+    assert_eq!(db.notes_on("Q04917", Some("aa"))[0].text, "recount the residues");
+}
+
+#[test]
+fn lifecycle_and_schema_inference_over_published_versions() {
+    let mut db = build();
+    db.publish("r1").unwrap();
+    // Fusion: the two 14-3-3 entries are (fictionally) unified.
+    db.merge_entries("alice", 5, "Q04917", "P31946").unwrap();
+    db.publish("r2").unwrap();
+
+    assert_eq!(db.resolve_id("P31946").unwrap(), vec!["Q04917".to_string()]);
+    // The published v1 carries the retired id.
+    let v1 = db.version(1).unwrap();
+    let entry = v1.as_set().unwrap().iter().next().unwrap().clone();
+    assert!(entry
+        .field("secondary_ids")
+        .and_then(Value::as_set)
+        .map(|s| s.contains(&Value::str("P31946")))
+        .unwrap_or(false));
+
+    // Retro-fit a schema to the published versions (§6): v0 entries and
+    // v1 entries have different field sets; inference generalizes.
+    let v0 = db.version(0).unwrap();
+    let entries: Vec<&Value> = v0
+        .as_set()
+        .unwrap()
+        .iter()
+        .chain(v1.as_set().unwrap().iter())
+        .collect();
+    let t = infer_type(entries.iter().copied());
+    for e in entries {
+        assert!(t.check(e).is_ok());
+    }
+}
+
+#[test]
+fn relational_views_join_with_external_relations() {
+    // Curated data exported relationally composes with ordinary RA and
+    // the provenance semirings.
+    use curated_db::semiring::eval::eval_k;
+    use curated_db::semiring::{KDatabase, KRelation, Why};
+
+    let db = build();
+    let entries = entry_relation(&db, &["organism", "aa"]).unwrap();
+    let taxa = curated_db::relalg::Relation::table(
+        ["organism", "taxon"],
+        [vec![Atom::Str("HOMO SAPIENS".into()), Atom::Int(9606)]],
+    )
+    .unwrap();
+
+    let mut kdb: KDatabase<Why> = KDatabase::new();
+    kdb.insert("entries", KRelation::tagged(&entries, |i, _| Why::var(format!("e{i}"))).unwrap());
+    kdb.insert("taxa", KRelation::tagged(&taxa, |_, _| Why::var("ncbi")).unwrap());
+
+    let q = RaExpr::scan("entries")
+        .natural_join(RaExpr::scan("taxa"))
+        .project_cols(["taxon"]);
+    let out = eval_k(&kdb, &q).unwrap();
+    let w = out.annotation(&vec![Atom::Int(9606)]);
+    // Both entries joined with the one taxa row: two witnesses, each
+    // containing the ncbi tuple.
+    assert_eq!(w.witnesses().len(), 2);
+    assert!(w.witnesses().iter().all(|wit| wit.contains("ncbi")));
+}

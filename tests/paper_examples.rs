@@ -1,0 +1,197 @@
+//! Integration tests regenerating every worked example in the paper —
+//! the executable versions of EXPERIMENTS.md entries E1–E4.
+
+use std::collections::BTreeMap;
+
+use curated_db::annotation::colored::{
+    eval_colored, ColoredDatabase, ColoredRelation, ColoredTuple, Scheme,
+};
+use curated_db::annotation::nested::{check_copying, check_kind_preservation, ColoredTable};
+use curated_db::curation::update_lang::{figure3_query, sql_delete, sql_insert, sql_update};
+use curated_db::relalg::eval::paper_q;
+use curated_db::relalg::{Pred, ProjItem, Schema};
+use curated_db::semiring::eval::{eval_k, figure4_database, figure4_query};
+use curated_db::semiring::hom::{poly_to_nat, poly_to_why, why_to_minwhy};
+use curated_db::semiring::{Nat, Polynomial};
+use curated_db::Atom;
+
+fn int(i: i64) -> Atom {
+    Atom::Int(i)
+}
+
+/// E1 — the §2.1 Q1/Q2 tables, exactly as printed.
+#[test]
+fn e1_q1_q2_annotated_tables() {
+    let r = ColoredRelation::from_tuples(
+        Schema::new(["A", "B"]).unwrap(),
+        [
+            ColoredTuple::with_colors(vec![int(10), int(49)], vec!["b1", "b2"]),
+            ColoredTuple::with_colors(vec![int(12), int(50)], vec!["b3", "b4"]),
+        ],
+    )
+    .unwrap();
+    let s = ColoredRelation::from_tuples(
+        Schema::new(["A", "B"]).unwrap(),
+        [
+            ColoredTuple::with_colors(vec![int(11), int(49)], vec!["b5", "b6"]),
+            ColoredTuple::with_colors(vec![int(12), int(50)], vec!["b7", "b8"]),
+        ],
+    )
+    .unwrap();
+    let db = ColoredDatabase::new().with("R", r).with("S", s);
+    let q1 = paper_q(vec![ProjItem::col("R.A", "A"), ProjItem::col("R.B", "B")]);
+    let q2 = paper_q(vec![ProjItem::col("S.A", "A"), ProjItem::constant(50, "B")]);
+
+    let o1 = eval_colored(&db, &q1, &Scheme::Default).unwrap();
+    let o2 = eval_colored(&db, &q2, &Scheme::Default).unwrap();
+    // The paper's printed outputs: Q1 → 12♭3 50♭4; Q2 → 12♭7 50⊥.
+    assert_eq!(format!("{o1}"), "(A, B)\n  12b3 | 50b4\n");
+    assert_eq!(format!("{o2}"), "(A, B)\n  12b7 | 50⊥\n");
+}
+
+/// E2 — Figure 2's provenance annotation under σ and π.
+#[test]
+fn e2_figure2_provenance_annotation() {
+    let table = ColoredTable::figure2_style(
+        Schema::new(["A", "B"]).unwrap(),
+        &[vec![int(10), int(50)], vec![int(12), int(50)]],
+    );
+    // R: tuples colored t1/t2, cells b1..b4, table "tab".
+    assert_eq!(
+        table.table.to_string(),
+        "{(A: 10^b1, B: 50^b2)^t1, (A: 12^b3, B: 50^b4)^t2}^tab"
+    );
+    let sel = table.select(&Pred::col_eq_const("A", 10)).unwrap();
+    assert_eq!(sel.table.to_string(), "{(A: 10^b1, B: 50^b2)^t1}^⊥");
+    let proj = table.project(&["B"]).unwrap();
+    assert_eq!(proj.table.to_string(), "{(B: 50^b2)^⊥, (B: 50^b4)^⊥}^⊥");
+    // Both queries satisfy the copying condition of §2.3.
+    check_copying(&table.table, &sel.table).unwrap();
+    check_copying(&table.table, &proj.table).unwrap();
+}
+
+/// E3 — Figure 3's three programs: same result, different provenance.
+#[test]
+fn e3_figure3_updates_and_provenance() {
+    let r = ColoredTable::figure2_style(
+        Schema::new(["A", "B"]).unwrap(),
+        &[vec![int(10), int(49)], vec![int(12), int(50)]],
+    );
+    let p1 = figure3_query(&r).unwrap();
+    let p2 = sql_insert(
+        &sql_delete(&r, &Pred::col_eq_const("A", 10)).unwrap(),
+        vec![int(10), int(55)],
+    )
+    .unwrap();
+    let p3 = sql_update(&r, &[("B", int(55))], &Pred::col_eq_const("A", 10)).unwrap();
+
+    // "Although they all have the same 'result'…"
+    assert_eq!(p1.table.strip(), p2.table.strip());
+    assert_eq!(p2.table.strip(), p3.table.strip());
+
+    // "…the way they carry provenance is different."
+    assert_eq!(p1.table.color, None, "query constructs a fresh table");
+    assert_eq!(p2.table.color.as_deref(), Some("tab"));
+    assert_eq!(p3.table.color.as_deref(), Some("tab"));
+
+    // P1 is copying; P2 and P3 are only kind-preserving.
+    check_copying(&r.table, &p1.table).unwrap();
+    assert!(check_copying(&r.table, &p2.table).is_err());
+    assert!(check_copying(&r.table, &p3.table).is_err());
+    check_kind_preservation(&r.table, &p2.table).unwrap();
+    check_kind_preservation(&r.table, &p3.table).unwrap();
+
+    // P3 keeps the updated tuple's color; P2 invents its tuple.
+    assert_eq!(
+        p3.table.to_string(),
+        "{(A: 10^b1, B: 55^⊥)^t1, (A: 12^b3, B: 50^b4)^t2}^tab"
+    );
+    assert_eq!(
+        p2.table.to_string(),
+        "{(A: 12^b3, B: 50^b4)^t2, (A: 10^⊥, B: 55^⊥)^⊥}^tab"
+    );
+}
+
+/// E4 — Figure 4's semiring provenance polynomials, with the printed
+/// forms, plus the specialization chain.
+#[test]
+fn e4_figure4_semiring_provenance() {
+    let s = |x: &str| Atom::Str(x.into());
+    let db = figure4_database(|v| Polynomial::var(v));
+    let v = eval_k(&db, &figure4_query()).unwrap();
+    assert_eq!(v.len(), 5);
+    let poly = |x: &str, z: &str| v.annotation(&vec![s(x), s(z)]);
+    // Figure 4's polynomials (· is commutative, so r·p prints p·r).
+    assert_eq!(poly("a", "c").to_string(), "p + p·p");
+    assert_eq!(poly("a", "e").to_string(), "p·r");
+    assert_eq!(poly("d", "c").to_string(), "p·r");
+    assert_eq!(poly("d", "e").to_string(), "r + r·r + r·s");
+    assert_eq!(poly("f", "e").to_string(), "s + r·s + s·s");
+
+    // Specializations: why-provenance keeps alternative witnesses,
+    // minimal-why drops non-minimal ones, bag counts derivations.
+    let de = poly("d", "e");
+    assert_eq!(poly_to_why(&de).to_string(), "{{r}, {r,s}}");
+    assert_eq!(why_to_minwhy(&poly_to_why(&de)).to_string(), "r");
+    assert_eq!(poly_to_nat(&de), Nat(3));
+}
+
+/// The SQL front end runs the paper's statements verbatim (Figure 3's
+/// program texts) against a plain database.
+#[test]
+fn figure3_sql_texts_execute() {
+    use curated_db::relalg::sql::execute;
+    use curated_db::relalg::{Database, Relation};
+    let base = Database::new().with(
+        "R",
+        Relation::table(["A", "B"], [vec![int(10), int(49)], vec![int(12), int(50)]])
+            .unwrap(),
+    );
+    let expected: std::collections::BTreeSet<Vec<Atom>> =
+        [vec![int(10), int(55)], vec![int(12), int(50)]].into_iter().collect();
+
+    let mut db1 = base.clone();
+    let out = execute(
+        &mut db1,
+        "SELECT R.A, 55 AS B FROM R WHERE A = 10 UNION SELECT * FROM R WHERE A <> 10",
+    )
+    .unwrap();
+    assert_eq!(out.tuple_set(), expected);
+
+    let mut db2 = base.clone();
+    execute(&mut db2, "DELETE FROM R WHERE A = 10").unwrap();
+    execute(&mut db2, "INSERT INTO R VALUES (10, 55)").unwrap();
+    assert_eq!(db2.get("R").unwrap().tuple_set(), expected);
+
+    let mut db3 = base.clone();
+    execute(&mut db3, "UPDATE R WHERE A = 10; SET B = 55").unwrap();
+    assert_eq!(db3.get("R").unwrap().tuple_set(), expected);
+}
+
+/// DEFAULT-ALL makes the equivalent queries Q1/Q2 agree — and custom
+/// propagation can steer annotations anywhere.
+#[test]
+fn e1_schemes_cover_the_design_space() {
+    let rel = |rows: [(i64, i64, [&str; 2]); 2]| {
+        ColoredRelation::from_tuples(
+            Schema::new(["A", "B"]).unwrap(),
+            rows.map(|(a, b, cs)| {
+                ColoredTuple::with_colors(vec![int(a), int(b)], cs.to_vec())
+            }),
+        )
+        .unwrap()
+    };
+    let db = ColoredDatabase::new()
+        .with("R", rel([(10, 49, ["b1", "b2"]), (12, 50, ["b3", "b4"])]))
+        .with("S", rel([(11, 49, ["b5", "b6"]), (12, 50, ["b7", "b8"])]));
+    let q1 = paper_q(vec![ProjItem::col("R.A", "A"), ProjItem::col("R.B", "B")]);
+    let q2 = paper_q(vec![ProjItem::col("S.A", "A"), ProjItem::constant(50, "B")]);
+    let a1 = eval_colored(&db, &q1, &Scheme::DefaultAll).unwrap();
+    let a2 = eval_colored(&db, &q2, &Scheme::DefaultAll).unwrap();
+    assert_eq!(a1, a2);
+    let steer: BTreeMap<String, Vec<String>> =
+        [("A".to_string(), vec!["S.B".to_string()])].into_iter().collect();
+    let c = eval_colored(&db, &q2, &Scheme::Custom(steer)).unwrap();
+    let colors = c.cell_colors(&vec![int(12), int(50)], "A").unwrap();
+    assert_eq!(colors.iter().cloned().collect::<Vec<_>>(), vec!["b8"]);
+}
