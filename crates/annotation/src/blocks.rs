@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use cdb_model::Atom;
-use cdb_relalg::{Pred, Relation, RelalgError, Schema, Tuple};
+use cdb_relalg::{Pred, RelalgError, Relation, Schema, Tuple};
 
 /// A block: a color on a set of attributes of one tuple.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -61,7 +61,10 @@ pub struct BlockRelation {
 impl BlockRelation {
     /// An empty block relation.
     pub fn empty(schema: Schema) -> Self {
-        BlockRelation { schema, tuples: Vec::new() }
+        BlockRelation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Builds from tuples, merging blocks of equal-valued tuples.
@@ -140,8 +143,7 @@ impl BlockRelation {
         let mut out = BlockRelation::empty(self.schema.clone());
         for t in &self.tuples {
             let hit = t.blocks.iter().any(|b| {
-                color.is_none_or(|c| b.color == c)
-                    && attr.is_none_or(|a| b.attrs.contains(a))
+                color.is_none_or(|c| b.color == c) && attr.is_none_or(|a| b.attrs.contains(a))
             });
             if hit {
                 out.insert(t.clone())?;
@@ -166,12 +168,14 @@ impl BlockRelation {
                 .blocks
                 .iter()
                 .filter_map(|b| {
-                    let attrs: BTreeSet<String> =
-                        b.attrs.intersection(&keep).cloned().collect();
+                    let attrs: BTreeSet<String> = b.attrs.intersection(&keep).cloned().collect();
                     if attrs.is_empty() {
                         None
                     } else {
-                        Some(Block { attrs, color: b.color.clone() })
+                        Some(Block {
+                            attrs,
+                            color: b.color.clone(),
+                        })
                     }
                 })
                 .collect();
@@ -216,7 +220,10 @@ impl BlockRelation {
                                 }
                             })
                             .collect();
-                        blocks.push(Block { attrs, color: b.color.clone() });
+                        blocks.push(Block {
+                            attrs,
+                            color: b.color.clone(),
+                        });
                     }
                     out.insert(BlockTuple { values, blocks })?;
                 }
@@ -293,7 +300,10 @@ impl BlockRelation {
                         .filter(|(i, _)| row[arity + i] == Atom::Bool(true))
                         .map(|(_, a)| a.clone())
                         .collect();
-                    vec![Block { attrs, color: c.clone() }]
+                    vec![Block {
+                        attrs,
+                        color: c.clone(),
+                    }]
                 }
                 other => {
                     return Err(RelalgError::TypeError(format!(
@@ -368,7 +378,10 @@ mod tests {
         assert_eq!(dubious.tuples().len(), 1);
         let verified_gene = g.select_color(Some("verified"), Some("gene")).unwrap();
         assert_eq!(verified_gene.tuples().len(), 1);
-        assert_eq!(verified_gene.tuples()[0].values[0], Atom::Str("ywha1".into()));
+        assert_eq!(
+            verified_gene.tuples()[0].values[0],
+            Atom::Str("ywha1".into())
+        );
         let any_on_function = g.select_color(None, Some("function")).unwrap();
         assert_eq!(any_on_function.tuples().len(), 1);
     }
@@ -440,7 +453,15 @@ mod tests {
         let e = g.to_explicit().unwrap();
         assert_eq!(
             e.schema().attrs(),
-            ["gene", "organism", "function", "in_gene", "in_organism", "in_function", "color"]
+            [
+                "gene",
+                "organism",
+                "function",
+                "in_gene",
+                "in_organism",
+                "in_function",
+                "color"
+            ]
         );
         assert_eq!(e.len(), 3, "one row per (tuple, block)");
         let back = BlockRelation::from_explicit(&e, 3).unwrap();
@@ -459,8 +480,7 @@ mod tests {
         let db = Database::new().with("E", e);
         let q = RaExpr::scan("E")
             .select(
-                Pred::col_eq_const("color", "verified")
-                    .and(Pred::col_eq_const("in_gene", true)),
+                Pred::col_eq_const("color", "verified").and(Pred::col_eq_const("in_gene", true)),
             )
             .project_cols(["gene", "organism", "function"]);
         let via_explicit = cdb_relalg::eval::eval(&db, &q).unwrap();
@@ -474,7 +494,10 @@ mod tests {
     fn tuples_without_blocks_survive_the_round_trip() {
         let r = BlockRelation::from_tuples(
             Schema::new(["x"]).unwrap(),
-            [BlockTuple { values: vec![int(1)], blocks: vec![] }],
+            [BlockTuple {
+                values: vec![int(1)],
+                blocks: vec![],
+            }],
         )
         .unwrap();
         let e = r.to_explicit().unwrap();

@@ -21,8 +21,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use cdb_model::Atom;
+use cdb_relalg::exec::{extract_keys, join_matches, recognize_equi_join, ExecConfig};
 use cdb_relalg::expr::{ProjSource, RaExpr};
-use cdb_relalg::{Operand, Relation, RelalgError, Schema, Tuple};
+use cdb_relalg::{Operand, RelalgError, Relation, Schema, Tuple};
 
 /// An annotation color (the paper's ♭1, ♭2, …).
 pub type Color = String;
@@ -57,7 +58,10 @@ impl ColoredTuple {
     /// A tuple with all cells uncolored.
     pub fn plain(values: Tuple) -> Self {
         let n = values.len();
-        ColoredTuple { values, colors: vec![Colors::new(); n] }
+        ColoredTuple {
+            values,
+            colors: vec![Colors::new(); n],
+        }
     }
 
     /// A tuple with one color per cell.
@@ -89,7 +93,11 @@ pub struct ColoredRelation {
 impl ColoredRelation {
     /// An empty colored relation.
     pub fn empty(schema: Schema) -> Self {
-        ColoredRelation { schema, tuples: Vec::new(), index: BTreeMap::new() }
+        ColoredRelation {
+            schema,
+            tuples: Vec::new(),
+            index: BTreeMap::new(),
+        }
     }
 
     /// Builds from colored tuples, merging duplicates.
@@ -160,7 +168,9 @@ impl ColoredRelation {
     /// The colors on the cell `(tuple, attr)`, if the tuple is present.
     pub fn cell_colors(&self, values: &Tuple, attr: &str) -> Option<&Colors> {
         let i = self.schema.resolve(attr).ok()?;
-        self.index.get(values).map(|&pos| &self.tuples[pos].colors[i])
+        self.index
+            .get(values)
+            .map(|&pos| &self.tuples[pos].colors[i])
     }
 
     /// Every cell on which a given color appears: `(tuple values, attr)`.
@@ -204,10 +214,7 @@ impl fmt::Display for ColoredRelation {
                     if cs.is_empty() {
                         format!("{v}⊥")
                     } else {
-                        format!(
-                            "{v}{}",
-                            cs.iter().cloned().collect::<Vec<_>>().join(",")
-                        )
+                        format!("{v}{}", cs.iter().cloned().collect::<Vec<_>>().join(","))
                     }
                 })
                 .collect();
@@ -273,18 +280,42 @@ impl ColoredDatabase {
 }
 
 /// Evaluates a positive RA expression over a colored database under the
-/// given propagation scheme.
+/// given propagation scheme, with the naive nested-loop interpreter.
 pub fn eval_colored(
     db: &ColoredDatabase,
     expr: &RaExpr,
     scheme: &Scheme,
+) -> Result<ColoredRelation, RelalgError> {
+    eval_colored_cfg(db, expr, scheme, None)
+}
+
+/// Evaluates under the given propagation scheme with the physical
+/// engine of [`cdb_relalg::exec`]: natural joins and recognized
+/// equi-joins run as (optionally parallel) hash joins. Color
+/// propagation — including the DEFAULT-ALL merging across join columns
+/// and equated cells — is applied per matched pair exactly as in the
+/// naive interpreter, so the two produce identical colored relations.
+pub fn eval_colored_with(
+    db: &ColoredDatabase,
+    expr: &RaExpr,
+    scheme: &Scheme,
+    cfg: &ExecConfig,
+) -> Result<ColoredRelation, RelalgError> {
+    eval_colored_cfg(db, expr, scheme, Some(cfg))
+}
+
+fn eval_colored_cfg(
+    db: &ColoredDatabase,
+    expr: &RaExpr,
+    scheme: &Scheme,
+    cfg: Option<&ExecConfig>,
 ) -> Result<ColoredRelation, RelalgError> {
     if !expr.is_positive() {
         return Err(RelalgError::UpdateError(
             "annotation propagation is defined for positive queries".to_owned(),
         ));
     }
-    Ok(eval_inner(db, expr, scheme, true)?.0)
+    Ok(eval_inner(db, expr, scheme, true, cfg)?.0)
 }
 
 /// Per-column *guaranteed constants*: column index → the constant the
@@ -301,7 +332,9 @@ fn eval_inner(
     expr: &RaExpr,
     scheme: &Scheme,
     outermost: bool,
+    cfg: Option<&ExecConfig>,
 ) -> Result<(ColoredRelation, GuaranteedConsts), RelalgError> {
+    let hash = cfg.filter(|c| c.hash_join);
     match expr {
         RaExpr::Scan(name) => Ok((db.get(name)?.clone(), GuaranteedConsts::new())),
         RaExpr::ScanAs(name, alias) => {
@@ -310,7 +343,72 @@ fn eval_inner(
             Ok((base.clone().with_schema(schema), GuaranteedConsts::new()))
         }
         RaExpr::Select(e, pred) => {
-            let (input, mut gc) = eval_inner(db, e, scheme, false)?;
+            // Physical path: σ[a.x = b.y ∧ …](A × B) as a hash join.
+            // The guaranteed-constant and equality-class bookkeeping is
+            // identical to the product-then-select path; only the pair
+            // enumeration changes.
+            if let (Some(cfg), RaExpr::Product(a, b)) = (hash, e.as_ref()) {
+                let (left, gcl) = eval_inner(db, a, scheme, false, Some(cfg))?;
+                let (right, gcr) = eval_inner(db, b, scheme, false, Some(cfg))?;
+                let offset = left.schema.arity();
+                let schema = Schema::new(
+                    left.schema
+                        .attrs()
+                        .iter()
+                        .chain(right.schema.attrs())
+                        .cloned(),
+                )?;
+                let mut gc = gcl;
+                for (i, a) in gcr {
+                    gc.insert(i + offset, a);
+                }
+                let classes = equality_classes(&schema, pred, &mut gc)?;
+                if let Some(ej) = recognize_equi_join(&schema, offset, pred) {
+                    let lcols: Vec<usize> = ej.keys.iter().map(|&(l, _)| l).collect();
+                    let rcols: Vec<usize> = ej.keys.iter().map(|&(_, r)| r).collect();
+                    let build = extract_keys(right.tuples.iter().map(|t| &t.values), &rcols);
+                    let probe = extract_keys(left.tuples.iter().map(|t| &t.values), &lcols);
+                    let m = join_matches(&build, &probe, cfg);
+                    let mut out = ColoredRelation::empty(schema);
+                    for &(li, ri) in &m.pairs {
+                        let (lt, rt) = (&left.tuples[li], &right.tuples[ri]);
+                        let mut values = lt.values.clone();
+                        values.extend(rt.values.iter().cloned());
+                        if !pred.eval(&out.schema, &values)? {
+                            continue;
+                        }
+                        let mut colors = lt.colors.clone();
+                        colors.extend(rt.colors.iter().cloned());
+                        let mut t = ColoredTuple { values, colors };
+                        if matches!(scheme, Scheme::DefaultAll) {
+                            merge_classes(&classes, &mut t);
+                        }
+                        out.insert(t)?;
+                    }
+                    return Ok((out, gc));
+                }
+                // Not an equi-join: nested-loop over the evaluated
+                // sides, then filter.
+                let mut out = ColoredRelation::empty(schema);
+                for lt in &left.tuples {
+                    for rt in &right.tuples {
+                        let mut values = lt.values.clone();
+                        values.extend(rt.values.iter().cloned());
+                        if !pred.eval(&out.schema, &values)? {
+                            continue;
+                        }
+                        let mut colors = lt.colors.clone();
+                        colors.extend(rt.colors.iter().cloned());
+                        let mut t = ColoredTuple { values, colors };
+                        if matches!(scheme, Scheme::DefaultAll) {
+                            merge_classes(&classes, &mut t);
+                        }
+                        out.insert(t)?;
+                    }
+                }
+                return Ok((out, gc));
+            }
+            let (input, mut gc) = eval_inner(db, e, scheme, false, cfg)?;
             let classes = equality_classes(&input.schema, pred, &mut gc)?;
             let mut out = ColoredRelation::empty(input.schema.clone());
             for t in &input.tuples {
@@ -325,7 +423,7 @@ fn eval_inner(
             Ok((out, gc))
         }
         RaExpr::Project(e, items) => {
-            let (input, gc_in) = eval_inner(db, e, scheme, false)?;
+            let (input, gc_in) = eval_inner(db, e, scheme, false, cfg)?;
             let schema = Schema::new(items.iter().map(|i| i.name.clone()))?;
             let mut gc_out = GuaranteedConsts::new();
             for (o, item) in items.iter().enumerate() {
@@ -347,17 +445,15 @@ fn eval_inner(
                 let mut colors: Vec<Colors> = Vec::with_capacity(items.len());
                 for item in items {
                     let steered = match scheme {
-                        Scheme::Custom(steer) if outermost => {
-                            steer.get(&item.name).map(|srcs| {
-                                let mut cs = Colors::new();
-                                for s in srcs {
-                                    if let Ok(j) = input.schema.resolve(s) {
-                                        cs.extend(t.colors[j].iter().cloned());
-                                    }
+                        Scheme::Custom(steer) if outermost => steer.get(&item.name).map(|srcs| {
+                            let mut cs = Colors::new();
+                            for s in srcs {
+                                if let Ok(j) = input.schema.resolve(s) {
+                                    cs.extend(t.colors[j].iter().cloned());
                                 }
-                                cs
-                            })
-                        }
+                            }
+                            cs
+                        }),
                         _ => None,
                     };
                     match &item.source {
@@ -393,8 +489,8 @@ fn eval_inner(
             Ok((out, gc_out))
         }
         RaExpr::Product(a, b) => {
-            let (left, gcl) = eval_inner(db, a, scheme, false)?;
-            let (right, gcr) = eval_inner(db, b, scheme, false)?;
+            let (left, gcl) = eval_inner(db, a, scheme, false, cfg)?;
+            let (right, gcr) = eval_inner(db, b, scheme, false, cfg)?;
             let offset = left.schema.arity();
             let schema = Schema::new(
                 left.schema
@@ -420,8 +516,8 @@ fn eval_inner(
             Ok((out, gc))
         }
         RaExpr::NaturalJoin(a, b) => {
-            let (left, gcl) = eval_inner(db, a, scheme, false)?;
-            let (right, gcr) = eval_inner(db, b, scheme, false)?;
+            let (left, gcl) = eval_inner(db, a, scheme, false, cfg)?;
+            let (right, gcr) = eval_inner(db, b, scheme, false, cfg)?;
             let shared = cdb_relalg::eval::shared_attrs(&left.schema, &right.schema);
             let right_kept: Vec<usize> = (0..right.schema.arity())
                 .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
@@ -447,29 +543,43 @@ fn eval_inner(
                 }
             }
             let mut out = ColoredRelation::empty(Schema::new(attrs)?);
+            let emit = |lt: &ColoredTuple, rt: &ColoredTuple| {
+                let mut values = lt.values.clone();
+                values.extend(right_kept.iter().map(|&j| rt.values[j].clone()));
+                let mut colors = lt.colors.clone();
+                // Join cells are implicitly identified: their
+                // colors merge under DEFAULT-ALL.
+                if matches!(scheme, Scheme::DefaultAll) {
+                    for &(i, j) in &shared {
+                        colors[i].extend(rt.colors[j].iter().cloned());
+                    }
+                }
+                colors.extend(right_kept.iter().map(|&j| rt.colors[j].clone()));
+                ColoredTuple { values, colors }
+            };
+            if let (Some(cfg), false) = (hash, shared.is_empty()) {
+                let lcols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+                let rcols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+                let build = extract_keys(right.tuples.iter().map(|t| &t.values), &rcols);
+                let probe = extract_keys(left.tuples.iter().map(|t| &t.values), &lcols);
+                let m = join_matches(&build, &probe, cfg);
+                for &(li, ri) in &m.pairs {
+                    out.insert(emit(&left.tuples[li], &right.tuples[ri]))?;
+                }
+                return Ok((out, gc));
+            }
             for lt in &left.tuples {
                 for rt in &right.tuples {
                     if shared.iter().all(|&(i, j)| lt.values[i] == rt.values[j]) {
-                        let mut values = lt.values.clone();
-                        values.extend(right_kept.iter().map(|&j| rt.values[j].clone()));
-                        let mut colors = lt.colors.clone();
-                        // Join cells are implicitly identified: their
-                        // colors merge under DEFAULT-ALL.
-                        if matches!(scheme, Scheme::DefaultAll) {
-                            for &(i, j) in &shared {
-                                colors[i].extend(rt.colors[j].iter().cloned());
-                            }
-                        }
-                        colors.extend(right_kept.iter().map(|&j| rt.colors[j].clone()));
-                        out.insert(ColoredTuple { values, colors })?;
+                        out.insert(emit(lt, rt))?;
                     }
                 }
             }
             Ok((out, gc))
         }
         RaExpr::Union(a, b) => {
-            let (left, gcl) = eval_inner(db, a, scheme, outermost)?;
-            let (right, gcr) = eval_inner(db, b, scheme, outermost)?;
+            let (left, gcl) = eval_inner(db, a, scheme, outermost, cfg)?;
+            let (right, gcr) = eval_inner(db, b, scheme, outermost, cfg)?;
             if !left.schema.union_compatible(&right.schema) {
                 return Err(RelalgError::SchemaMismatch {
                     left: left.schema.attrs().to_vec(),
@@ -488,7 +598,7 @@ fn eval_inner(
             Ok((out, gc))
         }
         RaExpr::Rename(e, pairs) => {
-            let (input, gc) = eval_inner(db, e, scheme, false)?;
+            let (input, gc) = eval_inner(db, e, scheme, false, cfg)?;
             let mut attrs: Vec<String> = input.schema.attrs().to_vec();
             for (old, new) in pairs {
                 let i = input.schema.resolve(old)?;
@@ -528,8 +638,7 @@ fn equality_classes(
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 parent[ri] = rj;
             }
-            (Operand::Col(a), Operand::Const(c))
-            | (Operand::Const(c), Operand::Col(a)) => {
+            (Operand::Col(a), Operand::Const(c)) | (Operand::Const(c), Operand::Col(a)) => {
                 let i = schema.resolve(&a)?;
                 match const_rep.get(&c) {
                     Some(&j) => {
@@ -661,8 +770,9 @@ mod tests {
         // Steer B's annotation from S.B even though the value is the
         // constant 50 (a pSQL PROPAGATE clause).
         let db = paper_db();
-        let steer: BTreeMap<String, Vec<String>> =
-            [("B".to_string(), vec!["S.B".to_string()])].into_iter().collect();
+        let steer: BTreeMap<String, Vec<String>> = [("B".to_string(), vec!["S.B".to_string()])]
+            .into_iter()
+            .collect();
         let r2 = eval_colored(&db, &q2(), &Scheme::Custom(steer)).unwrap();
         assert_eq!(colors(&r2, "B"), vec!["b8"]);
         assert_eq!(colors(&r2, "A"), vec!["b7"], "unlisted attrs default");
@@ -702,12 +812,18 @@ mod tests {
     fn natural_join_merges_colors_under_default_all_only() {
         let r = ColoredRelation::from_tuples(
             Schema::new(["A", "B"]).unwrap(),
-            [ColoredTuple::with_colors(vec![int(1), int(2)], vec!["x1", "x2"])],
+            [ColoredTuple::with_colors(
+                vec![int(1), int(2)],
+                vec!["x1", "x2"],
+            )],
         )
         .unwrap();
         let s = ColoredRelation::from_tuples(
             Schema::new(["B", "C"]).unwrap(),
-            [ColoredTuple::with_colors(vec![int(2), int(3)], vec!["y1", "y2"])],
+            [ColoredTuple::with_colors(
+                vec![int(2), int(3)],
+                vec!["y1", "y2"],
+            )],
         )
         .unwrap();
         let db = ColoredDatabase::new().with("R", r).with("S", s);
@@ -715,14 +831,52 @@ mod tests {
         let def = eval_colored(&db, &q, &Scheme::Default).unwrap();
         let t = vec![int(1), int(2), int(3)];
         assert_eq!(
-            def.cell_colors(&t, "B").unwrap().iter().cloned().collect::<Vec<_>>(),
+            def.cell_colors(&t, "B")
+                .unwrap()
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>(),
             vec!["x2"]
         );
         let all = eval_colored(&db, &q, &Scheme::DefaultAll).unwrap();
         assert_eq!(
-            all.cell_colors(&t, "B").unwrap().iter().cloned().collect::<Vec<_>>(),
+            all.cell_colors(&t, "B")
+                .unwrap()
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>(),
             vec!["x2", "y1"]
         );
+    }
+
+    #[test]
+    fn hash_engine_preserves_all_three_schemes() {
+        // Q1/Q2 are σ[R.A = S.A ∧ R.B = 50](R × S) projections: the
+        // equi-join recognizer fires, and the colored output must be
+        // identical — including DEFAULT-ALL's cross-cell merging and
+        // CUSTOM's steered propagation.
+        let db = paper_db();
+        let steer: BTreeMap<String, Vec<String>> = [("B".to_string(), vec!["S.B".to_string()])]
+            .into_iter()
+            .collect();
+        let schemes = [Scheme::Default, Scheme::DefaultAll, Scheme::Custom(steer)];
+        for scheme in &schemes {
+            for q in [
+                q1(),
+                q2(),
+                RaExpr::scan("R").natural_join(RaExpr::scan("S")),
+            ] {
+                let naive = eval_colored(&db, &q, scheme).unwrap();
+                for cfg in [ExecConfig::default(), {
+                    let mut c = ExecConfig::with_partitions(4);
+                    c.parallel_threshold = 1;
+                    c
+                }] {
+                    let hashed = eval_colored_with(&db, &q, scheme, &cfg).unwrap();
+                    assert_eq!(naive, hashed, "scheme {scheme:?}, query {q}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -125,7 +125,11 @@ fn eval_inner(db: &ColoredDatabase, expr: &RaExpr) -> Result<ColoredRelation, Re
                 .attrs()
                 .iter()
                 .cloned()
-                .chain(right_kept.iter().map(|&j| right.schema().attrs()[j].clone()))
+                .chain(
+                    right_kept
+                        .iter()
+                        .map(|&j| right.schema().attrs()[j].clone()),
+                )
                 .collect();
             let mut out = ColoredRelation::empty(Schema::new(attrs)?);
             for lt in left.tuples() {
@@ -184,10 +188,7 @@ fn eval_inner(db: &ColoredDatabase, expr: &RaExpr) -> Result<ColoredRelation, Re
 }
 
 /// The column indices a predicate reads.
-fn predicate_columns(
-    schema: &Schema,
-    pred: &cdb_relalg::Pred,
-) -> Result<Vec<usize>, RelalgError> {
+fn predicate_columns(schema: &Schema, pred: &cdb_relalg::Pred) -> Result<Vec<usize>, RelalgError> {
     fn walk(
         schema: &Schema,
         pred: &cdb_relalg::Pred,
@@ -235,7 +236,11 @@ mod tests {
                 "R",
                 Relation::table(
                     ["A", "B"],
-                    [vec![int(1), int(10)], vec![int(2), int(20)], vec![int(3), int(10)]],
+                    [
+                        vec![int(1), int(10)],
+                        vec![int(2), int(20)],
+                        vec![int(3), int(10)],
+                    ],
                 )
                 .unwrap(),
             )
@@ -284,8 +289,7 @@ mod tests {
                             .iter()
                             .find(|c| &c.values == t_out)
                             .expect("annotated output covers base output");
-                        let mentioned =
-                            ct.colors.iter().any(|cs| cs.contains(&color));
+                        let mentioned = ct.colors.iter().any(|cs| cs.contains(&color));
                         assert!(
                             mentioned,
                             "output tuple {t_out:?} changed when perturbing \
@@ -321,7 +325,9 @@ mod tests {
     #[test]
     fn join_dependencies_include_both_join_cells() {
         let base = db();
-        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S")).project_cols(["C"]);
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .project_cols(["C"]);
         let cdb = ColoredDatabase::distinctly_colored(&base);
         let dep = eval_dependency(&cdb, &q).unwrap();
         // C=7 joins via B=10 (R rows 1 and 3, S row 1): its deps include
@@ -341,10 +347,12 @@ mod tests {
                 .select(Pred::col_eq_const("B", 10))
                 .project_cols(["A"]),
             RaExpr::scan("R").natural_join(RaExpr::scan("S")),
-            RaExpr::scan("R").natural_join(RaExpr::scan("S")).project_cols(["C"]),
-            RaExpr::scan("R").project_cols(["B"]).union(
-                RaExpr::scan("S").project_cols(["B"]),
-            ),
+            RaExpr::scan("R")
+                .natural_join(RaExpr::scan("S"))
+                .project_cols(["C"]),
+            RaExpr::scan("R")
+                .project_cols(["B"])
+                .union(RaExpr::scan("S").project_cols(["B"])),
         ] {
             check_dependency_correct(&base, &q);
         }
@@ -373,7 +381,9 @@ mod tests {
         let new_out = plain_eval(&db2, &q).unwrap();
         assert!(!new_out.contains(&vec![int(1)]), "output changed");
         let cs = wp.cell_colors(&vec![int(1)], "A").unwrap();
-        assert!(!cs.contains("R.b2"), "…but where-provenance never mentions R.b2");
+        assert!(
+            !cs.contains("R.b2"),
+            "…but where-provenance never mentions R.b2"
+        );
     }
-
 }

@@ -37,6 +37,8 @@ pub mod dependency;
 pub mod nested;
 pub mod reverse;
 
-pub use colored::{ColoredDatabase, ColoredRelation, ColoredTuple, Scheme};
+pub use colored::{
+    eval_colored, eval_colored_with, ColoredDatabase, ColoredRelation, ColoredTuple, Scheme,
+};
 pub use nested::{CNode, Colored};
 pub use reverse::{find_placements, view_deletions, Placement};

@@ -49,12 +49,18 @@ pub enum CNode {
 impl Colored {
     /// A colored atom.
     pub fn atom(a: impl Into<Atom>, color: impl Into<String>) -> Self {
-        Colored { color: Some(color.into()), node: CNode::Atom(a.into()) }
+        Colored {
+            color: Some(color.into()),
+            node: CNode::Atom(a.into()),
+        }
     }
 
     /// An invented (⊥) atom.
     pub fn invented_atom(a: impl Into<Atom>) -> Self {
-        Colored { color: None, node: CNode::Atom(a.into()) }
+        Colored {
+            color: None,
+            node: CNode::Atom(a.into()),
+        }
     }
 
     /// A colored record.
@@ -70,7 +76,10 @@ impl Colored {
 
     /// A colored set.
     pub fn set(items: impl IntoIterator<Item = Colored>, color: ColorTag) -> Self {
-        Colored { color, node: CNode::Set(items.into_iter().collect()) }
+        Colored {
+            color,
+            node: CNode::Set(items.into_iter().collect()),
+        }
     }
 
     /// Strips colors, recovering the plain value. Set elements that
@@ -102,11 +111,15 @@ impl Colored {
                     .map(|(l, v)| (l.clone(), Self::distinct_inner(v, prefix, n)))
                     .collect(),
             ),
-            Value::Set(s) => {
-                CNode::Set(s.iter().map(|v| Self::distinct_inner(v, prefix, n)).collect())
-            }
+            Value::Set(s) => CNode::Set(
+                s.iter()
+                    .map(|v| Self::distinct_inner(v, prefix, n))
+                    .collect(),
+            ),
             Value::List(xs) => CNode::Set(
-                xs.iter().map(|v| Self::distinct_inner(v, prefix, n)).collect(),
+                xs.iter()
+                    .map(|v| Self::distinct_inner(v, prefix, n))
+                    .collect(),
             ),
         };
         Colored { color, node }
@@ -156,9 +169,9 @@ impl Colored {
             color: self.color.as_deref().map(f),
             node: match &self.node {
                 CNode::Atom(a) => CNode::Atom(a.clone()),
-                CNode::Record(m) => CNode::Record(
-                    m.iter().map(|(l, v)| (l.clone(), v.recolor(f))).collect(),
-                ),
+                CNode::Record(m) => {
+                    CNode::Record(m.iter().map(|(l, v)| (l.clone(), v.recolor(f))).collect())
+                }
                 CNode::Set(xs) => CNode::Set(xs.iter().map(|v| v.recolor(f)).collect()),
             },
         }
@@ -175,7 +188,9 @@ impl Colored {
         let v = match &self.node {
             CNode::Atom(a) => Value::Atom(a.clone()),
             CNode::Record(m) => Value::Record(
-                m.iter().map(|(l, x)| (l.clone(), x.to_explicit())).collect(),
+                m.iter()
+                    .map(|(l, x)| (l.clone(), x.to_explicit()))
+                    .collect(),
             ),
             CNode::Set(xs) => Value::list(xs.iter().map(Colored::to_explicit)),
         };
@@ -185,7 +200,9 @@ impl Colored {
     /// Parses the explicit representation back. Fails on malformed
     /// encodings.
     pub fn from_explicit(value: &Value) -> Result<Colored, RelalgError> {
-        let rec = value.as_record().ok_or_else(|| malformed("not a (V,C) record"))?;
+        let rec = value
+            .as_record()
+            .ok_or_else(|| malformed("not a (V,C) record"))?;
         let c = rec.get("C").ok_or_else(|| malformed("missing C"))?;
         let v = rec.get("V").ok_or_else(|| malformed("missing V"))?;
         let color = match c {
@@ -201,7 +218,9 @@ impl Colored {
                     .collect::<Result<_, RelalgError>>()?,
             ),
             Value::List(xs) => CNode::Set(
-                xs.iter().map(Colored::from_explicit).collect::<Result<_, _>>()?,
+                xs.iter()
+                    .map(Colored::from_explicit)
+                    .collect::<Result<_, _>>()?,
             ),
             Value::Set(_) => return Err(malformed("explicit sets are encoded as lists")),
         };
@@ -348,7 +367,10 @@ impl ColoredTable {
                 .collect::<Result<_, RelalgError>>()?;
             out.push(Colored::record(fields, None));
         }
-        Ok(ColoredTable { schema, table: Colored::set(out, None) })
+        Ok(ColoredTable {
+            schema,
+            table: Colored::set(out, None),
+        })
     }
 }
 
@@ -485,14 +507,13 @@ mod tests {
         let out = r.select(&Pred::col_eq_const("A", 10)).unwrap();
         // Output table is freshly constructed: ⊥.
         assert_eq!(out.table.color, None);
-        let CNode::Set(rows) = &out.table.node else { panic!() };
+        let CNode::Set(rows) = &out.table.node else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         // The kept tuple retains its color t1, and its cells b1, b2.
         assert_eq!(rows[0].color.as_deref(), Some("t1"));
-        assert_eq!(
-            rows[0].to_string(),
-            "(A: 10^b1, B: 50^b2)^t1"
-        );
+        assert_eq!(rows[0].to_string(), "(A: 10^b1, B: 50^b2)^t1");
     }
 
     #[test]
@@ -500,7 +521,9 @@ mod tests {
         let r = figure2_r();
         let out = r.project(&["B"]).unwrap();
         assert_eq!(out.table.color, None);
-        let CNode::Set(rows) = &out.table.node else { panic!() };
+        let CNode::Set(rows) = &out.table.node else {
+            panic!()
+        };
         // Two tuples that differ only in their cell colors: 50^b2 and
         // 50^b4, each inside a ⊥ record.
         assert_eq!(rows.len(), 2);
@@ -532,10 +555,7 @@ mod tests {
         // The paper's (A: 7^⊥, B: 8^bi)^bj example: the tuple keeps its
         // color bj but its A component changed — not a copy.
         let input = Colored::record(
-            [
-                ("A", Colored::atom(6, "ba")),
-                ("B", Colored::atom(8, "bi")),
-            ],
+            [("A", Colored::atom(6, "ba")), ("B", Colored::atom(8, "bi"))],
             Some("bj".into()),
         );
         let output = Colored::record(
@@ -563,10 +583,13 @@ mod tests {
         let r = figure2_r();
         let f = |c: &str| format!("{c}{c}"); // non-injective-ish rename
         let query = |t: &Colored| {
-            ColoredTable { schema: r.schema.clone(), table: t.clone() }
-                .select(&Pred::col_eq_const("A", 10))
-                .unwrap()
-                .table
+            ColoredTable {
+                schema: r.schema.clone(),
+                table: t.clone(),
+            }
+            .select(&Pred::col_eq_const("A", 10))
+            .unwrap()
+            .table
         };
         assert!(check_color_propagation(query, &r.table, &f));
     }

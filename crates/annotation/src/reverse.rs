@@ -94,7 +94,10 @@ pub fn find_placements(
 
 fn dedup(names: Vec<String>) -> Vec<String> {
     let mut seen = BTreeSet::new();
-    names.into_iter().filter(|n| seen.insert(n.clone())).collect()
+    names
+        .into_iter()
+        .filter(|n| seen.insert(n.clone()))
+        .collect()
 }
 
 /// Forward-propagates a probe color placed on one source cell and checks
@@ -208,14 +211,10 @@ pub fn view_deletions(
     if why.is_zero() {
         return Ok(Vec::new());
     }
-    let witnesses: Vec<BTreeSet<String>> = why_to_minwhy(&why)
-        .witnesses()
-        .iter()
-        .cloned()
-        .collect();
+    let witnesses: Vec<BTreeSet<String>> =
+        why_to_minwhy(&why).witnesses().iter().cloned().collect();
     // Minimal hitting sets by breadth-first search over set sizes.
-    let universe: BTreeSet<String> =
-        witnesses.iter().flat_map(|w| w.iter().cloned()).collect();
+    let universe: BTreeSet<String> = witnesses.iter().flat_map(|w| w.iter().cloned()).collect();
     let universe: Vec<String> = universe.into_iter().collect();
     let mut minimal: Vec<BTreeSet<String>> = Vec::new();
     for size in 1..=universe.len() {
@@ -223,7 +222,10 @@ pub fn view_deletions(
             if minimal.iter().any(|m| m.is_subset(&combo)) {
                 continue;
             }
-            if witnesses.iter().all(|w| w.iter().any(|x| combo.contains(x))) {
+            if witnesses
+                .iter()
+                .all(|w| w.iter().any(|x| combo.contains(x)))
+            {
                 minimal.push(combo);
             }
         }
@@ -248,8 +250,7 @@ pub fn view_deletions(
         for (rel, t) in &tuples {
             let r = db2.get_mut(rel)?;
             let schema = r.schema().clone();
-            let remaining: Vec<Tuple> =
-                r.tuples().iter().filter(|x| *x != t).cloned().collect();
+            let remaining: Vec<Tuple> = r.tuples().iter().filter(|x| *x != t).cloned().collect();
             *r = cdb_relalg::Relation::from_rows(schema, remaining)?;
         }
         let new_out = cdb_relalg::eval::eval(&db2, q)?.tuple_set();
@@ -258,7 +259,10 @@ pub fn view_deletions(
             .iter()
             .filter(|t| *t != target_tuple && !new_out.contains(*t))
             .count();
-        result.push(DeletionSet { tuples, side_effects });
+        result.push(DeletionSet {
+            tuples,
+            side_effects,
+        });
     }
     result.sort();
     Ok(result)
@@ -303,11 +307,8 @@ mod tests {
         Database::new()
             .with(
                 "R",
-                Relation::table(
-                    ["A", "B"],
-                    [vec![int(1), int(10)], vec![int(2), int(20)]],
-                )
-                .unwrap(),
+                Relation::table(["A", "B"], [vec![int(1), int(10)], vec![int(2), int(20)]])
+                    .unwrap(),
             )
             .with(
                 "S",
@@ -322,7 +323,10 @@ mod tests {
     #[test]
     fn selection_views_have_unique_placements() {
         let q = RaExpr::scan("R").select(Pred::col_eq_const("A", 1));
-        let target = Target { tuple: vec![int(1), int(10)], attr: "B".into() };
+        let target = Target {
+            tuple: vec![int(1), int(10)],
+            attr: "B".into(),
+        };
         let (ps, stats) = find_placements(&db(), &q, &target).unwrap();
         assert_eq!(ps.len(), 1);
         assert_eq!(ps[0].relation, "R");
@@ -338,23 +342,28 @@ mod tests {
         // merged output cell — actually side-effect-free. But annotating
         // via a *join* column that spreads is not. Construct the spread
         // case: π over a product duplicates a source cell.
-        let d = Database::new().with(
-            "R",
-            Relation::table(["A"], [vec![int(1)]]).unwrap(),
-        ).with(
-            "S",
-            Relation::table(["B"], [vec![int(5)], vec![int(6)]]).unwrap(),
-        );
+        let d = Database::new()
+            .with("R", Relation::table(["A"], [vec![int(1)]]).unwrap())
+            .with(
+                "S",
+                Relation::table(["B"], [vec![int(5)], vec![int(6)]]).unwrap(),
+            );
         // Q = π_{A,B}(R × S): the single R cell copies into TWO output
         // tuples — any annotation on it has a side effect.
         let q = RaExpr::ScanAs("R".into(), "r".into())
             .product(RaExpr::ScanAs("S".into(), "s".into()))
             .project(vec![ProjItem::col("r.A", "A"), ProjItem::col("s.B", "B")]);
-        let target = Target { tuple: vec![int(1), int(5)], attr: "A".into() };
+        let target = Target {
+            tuple: vec![int(1), int(5)],
+            attr: "A".into(),
+        };
         let (ps, _) = find_placements(&d, &q, &target).unwrap();
         assert!(ps.is_empty(), "the R.A color spreads to both output rows");
         // The B cell, by contrast, has a clean placement.
-        let target_b = Target { tuple: vec![int(1), int(5)], attr: "B".into() };
+        let target_b = Target {
+            tuple: vec![int(1), int(5)],
+            attr: "B".into(),
+        };
         let (ps, _) = find_placements(&d, &q, &target_b).unwrap();
         assert_eq!(ps.len(), 1);
         assert_eq!(ps[0].relation, "S");
@@ -366,7 +375,10 @@ mod tests {
             .with("R", Relation::table(["A"], [vec![int(7)]]).unwrap())
             .with("S", Relation::table(["A"], [vec![int(7)]]).unwrap());
         let q = RaExpr::scan("R").union(RaExpr::scan("S"));
-        let target = Target { tuple: vec![int(7)], attr: "A".into() };
+        let target = Target {
+            tuple: vec![int(7)],
+            attr: "A".into(),
+        };
         let (ps, _) = find_placements(&d, &q, &target).unwrap();
         // Either source cell propagates exactly to the merged output cell.
         assert_eq!(ps.len(), 2);
@@ -378,9 +390,11 @@ mod tests {
         let q = RaExpr::scan("R")
             .natural_join(RaExpr::scan("S"))
             .project(vec![ProjItem::col("A", "A"), ProjItem::col("C", "C")]);
-        let target = Target { tuple: vec![int(1), int(100)], attr: "A".into() };
-        let (fast, stats) =
-            find_placement_key_preserving(&db(), &q, "R", &["A"], &target).unwrap();
+        let target = Target {
+            tuple: vec![int(1), int(100)],
+            attr: "A".into(),
+        };
+        let (fast, stats) = find_placement_key_preserving(&db(), &q, "R", &["A"], &target).unwrap();
         let (slow, slow_stats) = find_placements(&db(), &q, &target).unwrap();
         let fast = fast.unwrap();
         assert!(slow.contains(&fast));
@@ -396,9 +410,11 @@ mod tests {
         let q = RaExpr::scan("R")
             .natural_join(RaExpr::scan("S"))
             .project(vec![ProjItem::col("A", "A"), ProjItem::col("C", "C")]);
-        let target = Target { tuple: vec![int(9), int(100)], attr: "A".into() };
-        let (fast, _) =
-            find_placement_key_preserving(&db(), &q, "R", &["A"], &target).unwrap();
+        let target = Target {
+            tuple: vec![int(9), int(100)],
+            attr: "A".into(),
+        };
+        let (fast, _) = find_placement_key_preserving(&db(), &q, "R", &["A"], &target).unwrap();
         assert!(fast.is_none());
     }
 
@@ -425,7 +441,10 @@ mod tests {
         let q = RaExpr::scan("R").select(Pred::col_eq_const("A", 1));
         let dels = view_deletions(&db(), &q, &vec![int(1), int(10)]).unwrap();
         assert_eq!(dels.len(), 1);
-        assert_eq!(dels[0].tuples, vec![("R".to_string(), vec![int(1), int(10)])]);
+        assert_eq!(
+            dels[0].tuples,
+            vec![("R".to_string(), vec![int(1), int(10)])]
+        );
         assert_eq!(dels[0].side_effects, 0);
     }
 
@@ -442,8 +461,7 @@ mod tests {
         // but deleting source of a shared B would have side effects.
         let d = Database::new().with(
             "T",
-            Relation::table(["A", "B"], [vec![int(1), int(5)], vec![int(2), int(5)]])
-                .unwrap(),
+            Relation::table(["A", "B"], [vec![int(1), int(5)], vec![int(2), int(5)]]).unwrap(),
         );
         let q = RaExpr::scan("T").project_cols(["A"]);
         // Deleting (1,5) removes view tuple (1) with no side effect.

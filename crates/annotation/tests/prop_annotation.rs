@@ -36,12 +36,10 @@ fn queries() -> Vec<RaExpr> {
         RaExpr::scan("R")
             .natural_join(RaExpr::scan("S"))
             .project_cols(["A", "C"]),
-        RaExpr::scan("R").union(
-            RaExpr::scan("S").project(vec![
-                cdb_relalg::ProjItem::col("B", "A"),
-                cdb_relalg::ProjItem::col("C", "B"),
-            ]),
-        ),
+        RaExpr::scan("R").union(RaExpr::scan("S").project(vec![
+            cdb_relalg::ProjItem::col("B", "A"),
+            cdb_relalg::ProjItem::col("C", "B"),
+        ])),
         RaExpr::scan("R")
             .select(Pred::col_eq_const("B", 1))
             .project(vec![

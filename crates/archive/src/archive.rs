@@ -228,7 +228,10 @@ impl Archive {
         let vid = self.versions.len() as VersionId;
         let spec = self.spec.clone();
         merge(&mut self.root, value, &mut Vec::new(), vid, &spec)?;
-        self.versions.push(VersionInfo { id: vid, label: label.into() });
+        self.versions.push(VersionInfo {
+            id: vid,
+            label: label.into(),
+        });
         Ok(vid)
     }
 
@@ -237,8 +240,7 @@ impl Archive {
         if v as usize >= self.versions.len() {
             return Err(ArchiveError::NoSuchVersion(v));
         }
-        reconstruct(&self.root, v)
-            .ok_or(ArchiveError::NoSuchVersion(v))
+        reconstruct(&self.root, v).ok_or(ArchiveError::NoSuchVersion(v))
     }
 
     /// Looks up the archive node at a key path (any version).
@@ -258,10 +260,7 @@ impl Archive {
     }
 
     /// The atomic-value timeline of the node at `path`.
-    pub fn value_history(
-        &self,
-        path: &KeyPath,
-    ) -> Result<Vec<(Interval, Atom)>, ArchiveError> {
+    pub fn value_history(&self, path: &KeyPath) -> Result<Vec<(Interval, Atom)>, ArchiveError> {
         self.node(path)
             .map(|n| n.atoms.clone())
             .ok_or_else(|| ArchiveError::NoSuchKeyPath(path.to_string()))
@@ -350,7 +349,13 @@ fn merge(
                 let step = KeyStep::Field(label.clone());
                 seen.push(step.clone());
                 context.push(label.clone());
-                merge(node.children.entry(step).or_default(), child, context, vid, spec)?;
+                merge(
+                    node.children.entry(step).or_default(),
+                    child,
+                    context,
+                    vid,
+                    spec,
+                )?;
                 context.pop();
             }
             close_absent(node, &seen, vid, |s| matches!(s, KeyStep::Field(_)));
@@ -367,7 +372,13 @@ fn merge(
                     .entry_step(context, child, &cdb_model::Path::root())
                     .map_err(ArchiveError::Model)?;
                 seen.push(step.clone());
-                merge(node.children.entry(step).or_default(), child, context, vid, spec)?;
+                merge(
+                    node.children.entry(step).or_default(),
+                    child,
+                    context,
+                    vid,
+                    spec,
+                )?;
             }
             close_absent(node, &seen, vid, |s| matches!(s, KeyStep::Entry(_)));
         }
@@ -381,7 +392,13 @@ fn merge(
             for (i, child) in xs.iter().enumerate() {
                 let step = KeyStep::Index(i);
                 seen.push(step.clone());
-                merge(node.children.entry(step).or_default(), child, context, vid, spec)?;
+                merge(
+                    node.children.entry(step).or_default(),
+                    child,
+                    context,
+                    vid,
+                    spec,
+                )?;
             }
             close_absent(node, &seen, vid, |s| matches!(s, KeyStep::Index(_)));
         }
@@ -559,7 +576,10 @@ fn diff_node(
                 if a1 != a2 {
                     out.push((
                         here.clone(),
-                        Change::Changed { from: a1.clone(), to: a2.clone() },
+                        Change::Changed {
+                            from: a1.clone(),
+                            to: a2.clone(),
+                        },
                     ));
                 }
             }
@@ -580,10 +600,7 @@ mod tests {
     }
 
     fn country(name: &str, pop: i64) -> Value {
-        Value::record([
-            ("name", Value::str(name)),
-            ("population", Value::int(pop)),
-        ])
+        Value::record([("name", Value::str(name)), ("population", Value::int(pop))])
     }
 
     #[test]
@@ -611,8 +628,7 @@ mod tests {
         }
         // set + record + 2 fields = 4 nodes, regardless of 10 versions.
         assert_eq!(arch.node_count(), 4);
-        let kp = KeyPath::root()
-            .child(KeyStep::Entry(vec![Atom::Str("Iceland".into())]));
+        let kp = KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("Iceland".into())]));
         assert_eq!(arch.lifespan(&kp).unwrap(), vec![(0, None)]);
     }
 
@@ -656,7 +672,8 @@ mod tests {
     #[test]
     fn diff_reports_minimal_changes() {
         let mut arch = Archive::new("factbook", factbook_spec());
-        arch.add_version(&Value::set([country("Iceland", 1)]), "a").unwrap();
+        arch.add_version(&Value::set([country("Iceland", 1)]), "a")
+            .unwrap();
         arch.add_version(
             &Value::set([country("Iceland", 2), country("Latvia", 3)]),
             "b",
@@ -665,8 +682,13 @@ mod tests {
         let diff = arch.diff(0, 1).unwrap();
         assert_eq!(diff.len(), 2);
         assert!(diff.iter().any(|(p, c)| {
-            matches!(c, Change::Changed { from: Atom::Int(1), to: Atom::Int(2) })
-                && p.to_string().contains("population")
+            matches!(
+                c,
+                Change::Changed {
+                    from: Atom::Int(1),
+                    to: Atom::Int(2)
+                }
+            ) && p.to_string().contains("population")
         }));
         assert!(diff
             .iter()
@@ -681,10 +703,7 @@ mod tests {
         let spec = KeySpec::new();
         let mut arch = Archive::new("db", spec);
         let v0 = Value::record([("gov", Value::str("monarchy"))]);
-        let v1 = Value::record([(
-            "gov",
-            Value::record([("type", Value::str("republic"))]),
-        )]);
+        let v1 = Value::record([("gov", Value::record([("type", Value::str("republic"))]))]);
         arch.add_version(&v0, "a").unwrap();
         arch.add_version(&v1, "b").unwrap();
         assert_eq!(arch.retrieve(0).unwrap(), v0);
@@ -694,9 +713,7 @@ mod tests {
     #[test]
     fn key_violations_are_rejected_before_merging() {
         let mut arch = Archive::new("factbook", factbook_spec());
-        let bad = Value::set([
-            Value::record([("nokey", Value::int(1))]),
-        ]);
+        let bad = Value::set([Value::record([("nokey", Value::int(1))])]);
         assert!(arch.add_version(&bad, "x").is_err());
         assert_eq!(arch.version_count(), 0);
     }
@@ -721,8 +738,10 @@ mod tests {
     #[test]
     fn all_key_paths_enumerates_history() {
         let mut arch = Archive::new("factbook", factbook_spec());
-        arch.add_version(&Value::set([country("A", 1)]), "a").unwrap();
-        arch.add_version(&Value::set([country("B", 2)]), "b").unwrap();
+        arch.add_version(&Value::set([country("A", 1)]), "a")
+            .unwrap();
+        arch.add_version(&Value::set([country("B", 2)]), "b")
+            .unwrap();
         let paths = arch.all_key_paths();
         // root, A, A.name, A.population, B, B.name, B.population
         assert_eq!(paths.len(), 7);

@@ -39,7 +39,13 @@ pub struct DeltaStore {
 impl DeltaStore {
     /// An empty store.
     pub fn new(spec: KeySpec) -> Self {
-        DeltaStore { spec, base: None, versions: Vec::new(), deltas: Vec::new(), last: None }
+        DeltaStore {
+            spec,
+            base: None,
+            versions: Vec::new(),
+            deltas: Vec::new(),
+            last: None,
+        }
     }
 
     /// Stores a version, returning its id.
@@ -60,7 +66,10 @@ impl DeltaStore {
                 self.deltas.push(d);
             }
         }
-        self.versions.push(VersionInfo { id, label: label.into() });
+        self.versions.push(VersionInfo {
+            id,
+            label: label.into(),
+        });
         self.last = Some(value.clone());
         Ok(id)
     }
@@ -71,8 +80,7 @@ impl DeltaStore {
             return Err(ArchiveError::NoSuchVersion(v));
         }
         let base = self.base.as_ref().ok_or(ArchiveError::NoSuchVersion(v))?;
-        let mut cur =
-            codec::decode_value(base).map_err(|_| ArchiveError::NoSuchVersion(v))?;
+        let mut cur = codec::decode_value(base).map_err(|_| ArchiveError::NoSuchVersion(v))?;
         for i in 1..=v as usize {
             for d in &self.deltas[i] {
                 cur = apply_delta(&self.spec, &cur, d)?;
@@ -114,15 +122,9 @@ impl DeltaStore {
 /// Computes keyed differences between two versions: for each key path
 /// present in either, emit `Put` for added/changed subtrees (at the
 /// highest changed path) and `Remove` for dropped ones.
-pub fn diff_values(
-    spec: &KeySpec,
-    old: &Value,
-    new: &Value,
-) -> Result<Vec<Delta>, ArchiveError> {
-    let old_nodes: BTreeMap<KeyPath, &Value> =
-        spec.keyed_nodes(old)?.into_iter().collect();
-    let new_nodes: BTreeMap<KeyPath, &Value> =
-        spec.keyed_nodes(new)?.into_iter().collect();
+pub fn diff_values(spec: &KeySpec, old: &Value, new: &Value) -> Result<Vec<Delta>, ArchiveError> {
+    let old_nodes: BTreeMap<KeyPath, &Value> = spec.keyed_nodes(old)?.into_iter().collect();
+    let new_nodes: BTreeMap<KeyPath, &Value> = spec.keyed_nodes(new)?.into_iter().collect();
     let mut out = Vec::new();
     // Added or changed: walk new paths shallow-first; skip paths under an
     // already-emitted Put.
@@ -238,11 +240,7 @@ fn put_at_ctx(
     }
 }
 
-fn remove_at(
-    spec: &KeySpec,
-    value: &Value,
-    steps: &[KeyStep],
-) -> Result<Value, ArchiveError> {
+fn remove_at(spec: &KeySpec, value: &Value, steps: &[KeyStep]) -> Result<Value, ArchiveError> {
     remove_at_ctx(spec, value, steps, &mut Vec::new())
 }
 
@@ -307,10 +305,7 @@ mod tests {
     }
 
     fn country(name: &str, pop: i64) -> Value {
-        Value::record([
-            ("name", Value::str(name)),
-            ("population", Value::int(pop)),
-        ])
+        Value::record([("name", Value::str(name)), ("population", Value::int(pop))])
     }
 
     #[test]
@@ -371,17 +366,23 @@ mod tests {
             .rule(["cities"], ["city"]);
         let old = Value::set([Value::record([
             ("name", Value::str("Iceland")),
-            ("cities", Value::set([Value::record([
-                ("city", Value::str("Reykjavik")),
-                ("pop", Value::int(1)),
-            ])])),
+            (
+                "cities",
+                Value::set([Value::record([
+                    ("city", Value::str("Reykjavik")),
+                    ("pop", Value::int(1)),
+                ])]),
+            ),
         ])]);
         let new = Value::set([Value::record([
             ("name", Value::str("Iceland")),
-            ("cities", Value::set([
-                Value::record([("city", Value::str("Reykjavik")), ("pop", Value::int(2))]),
-                Value::record([("city", Value::str("Akureyri")), ("pop", Value::int(3))]),
-            ])),
+            (
+                "cities",
+                Value::set([
+                    Value::record([("city", Value::str("Reykjavik")), ("pop", Value::int(2))]),
+                    Value::record([("city", Value::str("Akureyri")), ("pop", Value::int(3))]),
+                ]),
+            ),
         ])]);
         let mut store = DeltaStore::new(s2);
         store.add_version(&old, "a").unwrap();

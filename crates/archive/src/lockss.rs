@@ -48,7 +48,10 @@ pub struct Replica {
 impl Replica {
     /// An empty replica.
     pub fn new(name: impl Into<String>) -> Self {
-        Replica { name: name.into(), versions: BTreeMap::new() }
+        Replica {
+            name: name.into(),
+            versions: BTreeMap::new(),
+        }
     }
 
     /// Stores a published version (incremental: only the new version
@@ -59,7 +62,10 @@ impl Replica {
 
     /// Retrieves a version, if held and decodable.
     pub fn retrieve(&self, v: VersionId) -> Result<Value, ArchiveError> {
-        let bytes = self.versions.get(&v).ok_or(ArchiveError::NoSuchVersion(v))?;
+        let bytes = self
+            .versions
+            .get(&v)
+            .ok_or(ArchiveError::NoSuchVersion(v))?;
         codec::decode_value(bytes).map_err(|_| ArchiveError::NoSuchVersion(v))
     }
 
@@ -119,7 +125,9 @@ impl PreservationNetwork {
     /// A network of `n` named replicas.
     pub fn new(n: usize) -> Self {
         PreservationNetwork {
-            replicas: (0..n).map(|i| Replica::new(format!("library{i}"))).collect(),
+            replicas: (0..n)
+                .map(|i| Replica::new(format!("library{i}")))
+                .collect(),
         }
     }
 
@@ -176,7 +184,11 @@ impl PreservationNetwork {
                 let _ = i;
             }
         }
-        PollResult { version: v, winner, dissenters }
+        PollResult {
+            version: v,
+            winner,
+            dissenters,
+        }
     }
 
     /// Audits and repairs every version held anywhere.
@@ -224,9 +236,11 @@ mod tests {
     fn bit_rot_is_detected_and_repaired() {
         let mut net = network_with_versions(5, 2);
         net.replica_mut(2).rot(1, 7);
-        assert!(net.replicas()[2].retrieve(1).is_err() ||
-                net.replicas()[2].retrieve(1).unwrap() != edition(1),
-                "rot corrupted the copy");
+        assert!(
+            net.replicas()[2].retrieve(1).is_err()
+                || net.replicas()[2].retrieve(1).unwrap() != edition(1),
+            "rot corrupted the copy"
+        );
         let r = net.poll(1, true);
         assert_eq!(r.dissenters, vec!["library2".to_string()]);
         // Repaired: the replica now agrees and decodes correctly.
@@ -297,6 +311,10 @@ mod tests {
         let r = net.poll(0, true);
         assert!(r.winner.is_some());
         assert_eq!(r.dissenters, vec!["library1".to_string()]);
-        assert_eq!(net.replicas()[1].retrieve(0).unwrap(), edition(0), "restored");
+        assert_eq!(
+            net.replicas()[1].retrieve(0).unwrap(),
+            edition(0),
+            "restored"
+        );
     }
 }

@@ -21,8 +21,13 @@ impl SnapshotStore {
     /// Stores a version, returning its id.
     pub fn add_version(&mut self, value: &Value, label: impl Into<String>) -> VersionId {
         let id = self.snapshots.len() as VersionId;
-        self.snapshots
-            .push((VersionInfo { id, label: label.into() }, codec::encode_value(value)));
+        self.snapshots.push((
+            VersionInfo {
+                id,
+                label: label.into(),
+            },
+            codec::encode_value(value),
+        ));
         id
     }
 

@@ -20,10 +20,7 @@ use crate::snapshots::SnapshotStore;
 /// The series of values of an atomic key path across versions:
 /// `(version, value)` for every version where it was present. The
 /// archive-direct form.
-pub fn series(
-    archive: &Archive,
-    path: &KeyPath,
-) -> Result<Vec<(VersionId, Atom)>, ArchiveError> {
+pub fn series(archive: &Archive, path: &KeyPath) -> Result<Vec<(VersionId, Atom)>, ArchiveError> {
     let hist = archive.value_history(path)?;
     let n = archive.version_count();
     let mut out = Vec::new();
@@ -90,11 +87,7 @@ pub fn entry_lifespans(
 /// both are present (the paper's "correlate it with economic data").
 /// Returns `None` when fewer than two shared versions exist or a series
 /// is constant.
-pub fn correlate(
-    archive: &Archive,
-    a: &KeyPath,
-    b: &KeyPath,
-) -> Result<Option<f64>, ArchiveError> {
+pub fn correlate(archive: &Archive, a: &KeyPath, b: &KeyPath) -> Result<Option<f64>, ArchiveError> {
     let sa = series(archive, a)?;
     let sb = series(archive, b)?;
     let to_f = |x: &Atom| -> Option<f64> {
@@ -156,8 +149,9 @@ mod tests {
     fn build() -> (Archive, SnapshotStore) {
         let mut arch = Archive::new("factbook", spec());
         let mut snaps = SnapshotStore::new();
-        for (i, (net, gdp)) in
-            [(10, 100), (12, 110), (15, 130), (20, 160), (26, 200)].iter().enumerate()
+        for (i, (net, gdp)) in [(10, 100), (12, 110), (15, 130), (20, 160), (26, 200)]
+            .iter()
+            .enumerate()
         {
             let v = Value::set([country("Liechtenstein", *net, *gdp)]);
             arch.add_version(&v, format!("200{i}")).unwrap();
@@ -182,21 +176,16 @@ mod tests {
     fn versions_where_filters() {
         let (arch, _) = build();
         let p = liecht_path("internet_users");
-        let vs = versions_where(&arch, &p, |a| matches!(a, Atom::Int(i) if *i >= 15))
-            .unwrap();
+        let vs = versions_where(&arch, &p, |a| matches!(a, Atom::Int(i) if *i >= 15)).unwrap();
         assert_eq!(vs, vec![2, 3, 4]);
     }
 
     #[test]
     fn correlation_of_growing_series_is_high() {
         let (arch, _) = build();
-        let c = correlate(
-            &arch,
-            &liecht_path("internet_users"),
-            &liecht_path("gdp"),
-        )
-        .unwrap()
-        .unwrap();
+        let c = correlate(&arch, &liecht_path("internet_users"), &liecht_path("gdp"))
+            .unwrap()
+            .unwrap();
         assert!(c > 0.98, "both grow monotonically: r = {c}");
     }
 
@@ -204,11 +193,8 @@ mod tests {
     fn correlation_none_for_constant_series() {
         let mut arch = Archive::new("f", spec());
         for i in 0..3 {
-            arch.add_version(
-                &Value::set([country("X", 5, 100 + i)]),
-                i.to_string(),
-            )
-            .unwrap();
+            arch.add_version(&Value::set([country("X", 5, 100 + i)]), i.to_string())
+                .unwrap();
         }
         let c = correlate(
             &arch,
@@ -226,12 +212,10 @@ mod tests {
     #[test]
     fn entry_lifespans_report_each_country() {
         let mut arch = Archive::new("f", spec());
-        arch.add_version(
-            &Value::set([country("A", 1, 1), country("B", 2, 2)]),
-            "0",
-        )
-        .unwrap();
-        arch.add_version(&Value::set([country("A", 1, 1)]), "1").unwrap();
+        arch.add_version(&Value::set([country("A", 1, 1), country("B", 2, 2)]), "0")
+            .unwrap();
+        arch.add_version(&Value::set([country("A", 1, 1)]), "1")
+            .unwrap();
         let spans = entry_lifespans(&arch, &KeyPath::root()).unwrap();
         assert_eq!(spans.len(), 2);
         let b = spans

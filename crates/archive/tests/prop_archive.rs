@@ -14,7 +14,10 @@ fn atom() -> impl Strategy<Value = Atom> {
         any::<i64>().prop_map(Atom::Int),
         "[ -~]{0,12}".prop_map(Atom::Str),
         (any::<i64>(), 0u8..6).prop_map(|(d, s)| {
-            Atom::Decimal(cdb_model::atom::Decimal::new(d.clamp(-1_000_000, 1_000_000), s))
+            Atom::Decimal(cdb_model::atom::Decimal::new(
+                d.clamp(-1_000_000, 1_000_000),
+                s,
+            ))
         }),
     ]
 }

@@ -12,11 +12,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn make_db(n: usize) -> Database {
-    let rows_r = (0..n).map(|i| {
-        vec![Atom::Int(i as i64), Atom::Int((i % 50) as i64)]
-    });
+    let rows_r = (0..n).map(|i| vec![Atom::Int(i as i64), Atom::Int((i % 50) as i64)]);
     let rows_s = (0..n).map(|i| {
-        vec![Atom::Int((i * 2 % n.max(1)) as i64), Atom::Int((i % 50) as i64)]
+        vec![
+            Atom::Int((i * 2 % n.max(1)) as i64),
+            Atom::Int((i % 50) as i64),
+        ]
     });
     Database::new()
         .with("R", Relation::table(["A", "B"], rows_r).unwrap())

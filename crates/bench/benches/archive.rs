@@ -33,7 +33,11 @@ fn space_table() {
     for versions in [5usize, 10, 20, 40] {
         let vs = uniprot_releases(42, 200, versions);
         let (archive, snaps, deltas) = build_stores(UniprotSim::key_spec(), &vs);
-        let (a, s, d) = (archive.encoded_size(), snaps.encoded_size(), deltas.encoded_size());
+        let (a, s, d) = (
+            archive.encoded_size(),
+            snaps.encoded_size(),
+            deltas.encoded_size(),
+        );
         let flat = archive.encoded_size_flat();
         println!(
             "{:<10} {:>14} {:>14} {:>14} {:>16} {:>17.2}%",
@@ -76,7 +80,10 @@ fn bench_temporal(c: &mut Criterion) {
     // A country present from the start.
     let sim = FactbookSim::new(
         7,
-        cdb_workload::factbook::FactbookConfig { countries: 40, ..Default::default() },
+        cdb_workload::factbook::FactbookConfig {
+            countries: 40,
+            ..Default::default()
+        },
     );
     let name = sim.country_name(0).to_owned();
     let path = KeyPath::root()
@@ -95,7 +102,9 @@ fn bench_temporal(c: &mut Criterion) {
     g.finish();
 
     let mut g2 = c.benchmark_group("e7_merge_new_version");
-    let next = factbook_versions(7, 40, versions + 1).pop().expect("one more");
+    let next = factbook_versions(7, 40, versions + 1)
+        .pop()
+        .expect("one more");
     g2.bench_function("archive_add_version", |b| {
         b.iter_with_setup(
             || archive.clone(),

@@ -1,0 +1,92 @@
+//! E15 — the physical join engine (`cdb-relalg::exec`).
+//!
+//! Hash join vs the naive nested loop on workload-generated equi-join
+//! tables, sequential vs parallel partitioned probing, and the σ(R × S)
+//! equi-join recognizer. Prints the ExecStats operator table and a
+//! one-shot speedup line before the timed samples.
+
+use std::hint::black_box;
+use std::sync::Once;
+use std::time::Instant;
+
+use cdb_relalg::eval::eval;
+use cdb_relalg::{eval_hash, eval_with_stats, ExecConfig};
+use cdb_workload::relational::{join_tables, natural_join_query, select_product_query, JoinConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+static REPORT: Once = Once::new();
+
+fn bench_joins(c: &mut Criterion) {
+    // Smoke mode shrinks the tables: one nested-loop iteration at full
+    // size costs seconds, which is exactly what CI should not pay.
+    let n: usize = if criterion::smoke_mode() { 300 } else { 10_000 };
+    let cfg = JoinConfig {
+        left_rows: n,
+        right_rows: n,
+        key_cardinality: n,
+        payload_values: 1_000,
+    };
+    let db = join_tables(0xC0DB, &cfg);
+    let nat = natural_join_query();
+
+    cdb_bench::print_once(&REPORT, || {
+        let started = Instant::now();
+        let naive = eval(&db, &nat).unwrap();
+        let loop_time = started.elapsed();
+        let started = Instant::now();
+        let (hashed, stats) = eval_with_stats(&db, &nat, &ExecConfig::default()).unwrap();
+        let hash_time = started.elapsed();
+        assert_eq!(naive, hashed, "engines must agree before we time them");
+        eprintln!("\n-- E15: R ⋈ S at {n}×{n}, {} rows out --", hashed.len());
+        eprintln!("{stats}");
+        eprintln!(
+            "nested loop {loop_time:.3?}  hash {hash_time:.3?}  speedup {:.1}x\n",
+            loop_time.as_secs_f64() / hash_time.as_secs_f64().max(1e-9),
+        );
+    });
+
+    let mut g = c.benchmark_group("e15_natural_join");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
+        b.iter(|| black_box(eval(&db, &nat).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("hash_sequential", n), &n, |b, _| {
+        b.iter(|| black_box(eval_hash(&db, &nat, &ExecConfig::sequential()).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("hash_parallel", n), &n, |b, _| {
+        b.iter(|| black_box(eval_hash(&db, &nat, &ExecConfig::default()).unwrap()))
+    });
+    // Force partitioned probing even on one core, to price the
+    // thread-scope machinery itself.
+    let mut four = ExecConfig::with_partitions(4);
+    four.parallel_threshold = 1;
+    g.bench_with_input(BenchmarkId::new("hash_4_partitions", n), &n, |b, _| {
+        b.iter(|| black_box(eval_hash(&db, &nat, &four).unwrap()))
+    });
+    g.finish();
+
+    // The recognizer path: σ[r.K = s.K](R × S). The naive engine
+    // *materializes* the product (n² rows), so this comparison runs on
+    // smaller tables.
+    let m: usize = if criterion::smoke_mode() { 100 } else { 1_000 };
+    let cfg = JoinConfig {
+        left_rows: m,
+        right_rows: m,
+        key_cardinality: m,
+        payload_values: 1_000,
+    };
+    let db = join_tables(0xC0DB + 1, &cfg);
+    let sel = select_product_query();
+    let mut g = c.benchmark_group("e15_select_product");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("nested_loop", m), &m, |b, _| {
+        b.iter(|| black_box(eval(&db, &sel).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("hash_recognized", m), &m, |b, _| {
+        b.iter(|| black_box(eval_hash(&db, &sel, &ExecConfig::default()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

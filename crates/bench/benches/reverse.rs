@@ -55,8 +55,7 @@ fn table() {
         let q = view();
         let t = target(n);
         let (found, stats) = find_placements(&db, &q, &t).unwrap();
-        let (fast, fstats) =
-            find_placement_key_preserving(&db, &q, "R", &["K"], &t).unwrap();
+        let (fast, fstats) = find_placement_key_preserving(&db, &q, "R", &["K"], &t).unwrap();
         assert!(fast.is_some());
         println!(
             "{:<8} {:>16} {:>18} {:>14}",

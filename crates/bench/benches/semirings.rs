@@ -10,10 +10,10 @@ use cdb_model::Atom;
 use cdb_relalg::{Pred, RaExpr, Schema};
 use cdb_semiring::eval::eval_k;
 use cdb_semiring::hom::{poly_to_nat, poly_to_why};
+use cdb_semiring::instances::Bool;
 use cdb_semiring::{
     KDatabase, KRelation, Lineage, MinWhy, Nat, Polynomial, Semiring, Tropical, Why,
 };
-use cdb_semiring::instances::Bool;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -27,7 +27,11 @@ pub fn print_once(once: &'static Once, f: impl FnOnce()) {
 pub fn factbook_versions(seed: u64, countries: usize, versions: usize) -> Vec<Value> {
     let mut sim = FactbookSim::new(
         seed,
-        FactbookConfig { countries, revision_fraction: 0.3, fission_probability: 0.1 },
+        FactbookConfig {
+            countries,
+            revision_fraction: 0.3,
+            fission_probability: 0.1,
+        },
     );
     let mut out = Vec::with_capacity(versions);
     for _ in 0..versions {
@@ -41,7 +45,10 @@ pub fn factbook_versions(seed: u64, countries: usize, versions: usize) -> Vec<Va
 pub fn uniprot_releases(seed: u64, entries: usize, releases: usize) -> Vec<Value> {
     let mut sim = UniprotSim::new(
         seed,
-        UniprotConfig { initial_entries: entries, ..Default::default() },
+        UniprotConfig {
+            initial_entries: entries,
+            ..Default::default()
+        },
     );
     let mut out = Vec::with_capacity(releases);
     for _ in 0..releases {

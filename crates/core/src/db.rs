@@ -174,7 +174,11 @@ impl CuratedDatabase {
         let root = self.curated.tree.root();
         let mut t = self.curated.begin(curator, time);
         let entry = t.insert(root, "entry", None)?;
-        t.insert(entry, self.key_field.clone(), Some(Atom::Str(key.to_owned())))?;
+        t.insert(
+            entry,
+            self.key_field.clone(),
+            Some(Atom::Str(key.to_owned())),
+        )?;
         for (label, value) in fields {
             t.insert(entry, (*label).to_owned(), Some(value.clone()))?;
         }
@@ -207,7 +211,11 @@ impl CuratedDatabase {
                 }
             }
             None => {
-                t.insert(entry, self.key_field.clone(), Some(Atom::Str(key.to_owned())))?;
+                t.insert(
+                    entry,
+                    self.key_field.clone(),
+                    Some(Atom::Str(key.to_owned())),
+                )?;
             }
         }
         t.commit();
@@ -284,7 +292,11 @@ impl CuratedDatabase {
         for &c in self.curated.tree.children(absorbed_node)? {
             let label = self.curated.tree.label(c)?.to_owned();
             if label != self.key_field
-                && self.curated.tree.child_by_label(kept_node, &label)?.is_none()
+                && self
+                    .curated
+                    .tree
+                    .child_by_label(kept_node, &label)?
+                    .is_none()
             {
                 carry.push((label, self.curated.tree.value(c)?.cloned()));
             }
@@ -313,7 +325,11 @@ impl CuratedDatabase {
         let mut t = self.curated.begin(curator, time);
         for (key, fields) in parts {
             let entry = t.insert(root, "entry", None)?;
-            t.insert(entry, self.key_field.clone(), Some(Atom::Str((*key).to_owned())))?;
+            t.insert(
+                entry,
+                self.key_field.clone(),
+                Some(Atom::Str((*key).to_owned())),
+            )?;
             for (label, value) in fields {
                 t.insert(entry, (*label).to_owned(), Some(value.clone()))?;
             }
@@ -355,7 +371,11 @@ impl CuratedDatabase {
         self.notes
             .entry((key.to_owned(), field.map(str::to_owned)))
             .or_default()
-            .push(Note { author: author.to_owned(), text: text.to_owned(), time });
+            .push(Note {
+                author: author.to_owned(),
+                text: text.to_owned(),
+                time,
+            });
         Ok(())
     }
 
@@ -373,7 +393,12 @@ impl CuratedDatabase {
     /// entry records, each carrying its secondary (retired) identifiers
     /// from the lifecycle registry — UniProt's convention.
     pub fn export(&self) -> Result<Value, DbError> {
-        export_tree(&self.curated.tree, &self.key_field, &self.lifecycle, u64::MAX)
+        export_tree(
+            &self.curated.tree,
+            &self.key_field,
+            &self.lifecycle,
+            u64::MAX,
+        )
     }
 
     /// Publishes the current state as a new archived version — "a common
@@ -437,12 +462,10 @@ impl CuratedDatabase {
     }
 
     /// The history of an entry field's value across published versions.
-    pub fn field_series(
-        &self,
-        key: &str,
-        field: &str,
-    ) -> Result<Vec<(VersionId, Atom)>, DbError> {
-        let path = self.entry_key_path(key).child(KeyStep::Field(field.to_owned()));
+    pub fn field_series(&self, key: &str, field: &str) -> Result<Vec<(VersionId, Atom)>, DbError> {
+        let path = self
+            .entry_key_path(key)
+            .child(KeyStep::Field(field.to_owned()));
         Ok(cdb_archive::temporal::series(&self.archive, &path)?)
     }
 }
@@ -497,9 +520,18 @@ mod tests {
     fn add_edit_read_entries() {
         let mut db = sample();
         assert_eq!(db.entry_keys().unwrap().len(), 2);
-        assert_eq!(db.field("GABA-A", "kind").unwrap(), Atom::Str("receptor".into()));
-        db.edit_field("carol", 3, "GABA-A", "kind", Atom::Str("ion channel".into()))
-            .unwrap();
+        assert_eq!(
+            db.field("GABA-A", "kind").unwrap(),
+            Atom::Str("receptor".into())
+        );
+        db.edit_field(
+            "carol",
+            3,
+            "GABA-A",
+            "kind",
+            Atom::Str("ion channel".into()),
+        )
+        .unwrap();
         assert_eq!(
             db.field("GABA-A", "kind").unwrap(),
             Atom::Str("ion channel".into())
@@ -518,7 +550,8 @@ mod tests {
     fn publish_and_time_travel() {
         let mut db = sample();
         let v0 = db.publish("2008-01").unwrap();
-        db.edit_field("carol", 3, "GABA-A", "tm", Atom::Int(5)).unwrap();
+        db.edit_field("carol", 3, "GABA-A", "tm", Atom::Int(5))
+            .unwrap();
         let v1 = db.publish("2008-02").unwrap();
         let series = db.field_series("GABA-A", "tm").unwrap();
         assert_eq!(series, vec![(v0, Atom::Int(4)), (v1, Atom::Int(5))]);
@@ -538,8 +571,14 @@ mod tests {
     fn citations_credit_curators_and_pin_versions() {
         let mut db = sample();
         let v0 = db.publish("r1").unwrap();
-        db.edit_field("carol", 5, "GABA-A", "kind", Atom::Str("ion channel".into()))
-            .unwrap();
+        db.edit_field(
+            "carol",
+            5,
+            "GABA-A",
+            "kind",
+            Atom::Str("ion channel".into()),
+        )
+        .unwrap();
         db.publish("r2").unwrap();
         let c = db.cite(v0, "GABA-A").unwrap();
         assert!(c.authors.contains(&"alice".to_string()));
@@ -551,9 +590,13 @@ mod tests {
     #[test]
     fn fusion_retires_and_resolves_identifiers() {
         let mut db = sample();
-        db.add_entry("alice", 3, "GABA-B", &[("tm", Atom::Int(7))]).unwrap();
+        db.add_entry("alice", 3, "GABA-B", &[("tm", Atom::Int(7))])
+            .unwrap();
         db.merge_entries("alice", 4, "GABA-A", "GABA-B").unwrap();
-        assert!(matches!(db.entry_node("GABA-B"), Err(DbError::NoSuchEntry(_))));
+        assert!(matches!(
+            db.entry_node("GABA-B"),
+            Err(DbError::NoSuchEntry(_))
+        ));
         // The retired id resolves to the survivor.
         assert_eq!(db.resolve_id("GABA-B").unwrap(), vec!["GABA-A".to_string()]);
         // Export carries the secondary id.
@@ -620,21 +663,23 @@ mod tests {
     fn archive_from_log_matches_live_archive() {
         let mut db = sample();
         db.publish("r0").unwrap();
-        db.edit_field("carol", 3, "GABA-A", "kind", Atom::Str("ion channel".into()))
-            .unwrap();
+        db.edit_field(
+            "carol",
+            3,
+            "GABA-A",
+            "kind",
+            Atom::Str("ion channel".into()),
+        )
+        .unwrap();
         db.annotate("GABA-A", None, "dave", "superimposed, not core", 4)
             .unwrap();
         db.publish("r1").unwrap();
-        db.add_entry("erin", 5, "NMDA", &[("tm", Atom::Int(4))]).unwrap();
+        db.add_entry("erin", 5, "NMDA", &[("tm", Atom::Int(4))])
+            .unwrap();
         db.merge_entries("erin", 6, "GABA-A", "5-HT3").unwrap();
         db.publish("r2").unwrap();
-        db.split_entry(
-            "erin",
-            7,
-            "NMDA",
-            &[("NMDA-1", vec![]), ("NMDA-2", vec![])],
-        )
-        .unwrap();
+        db.split_entry("erin", 7, "NMDA", &[("NMDA-1", vec![]), ("NMDA-2", vec![])])
+            .unwrap();
         db.publish("r3").unwrap();
 
         let rebuilt = db.archive_from_log().unwrap();
@@ -663,9 +708,9 @@ mod tests {
         let mut dst = CuratedDatabase::new("mydb", "name");
         let pasted = dst.import_entry("me", 2, "P1", &clip).unwrap();
         let chain = queries::how_arrived(&dst.curated, pasted);
-        assert!(chain.iter().any(
-            |o| matches!(o, cdb_curation::Origin::CopiedFrom { db, .. } if db == "uniprot")
-        ));
+        assert!(chain
+            .iter()
+            .any(|o| matches!(o, cdb_curation::Origin::CopiedFrom { db, .. } if db == "uniprot")));
         assert_eq!(dst.field("P1", "sq").unwrap(), Atom::Str("GDREQ".into()));
     }
 }

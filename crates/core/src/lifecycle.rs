@@ -128,17 +128,16 @@ impl EntryRegistry {
             return Err(LifecycleError::Duplicate(id));
         }
         self.fates.insert(id.clone(), Fate::Active);
-        self.events.push(EntryEvent::Created { id, from_split: None, time });
+        self.events.push(EntryEvent::Created {
+            id,
+            from_split: None,
+            time,
+        });
         Ok(())
     }
 
     /// Records a fusion: `absorbed` is retired into `kept`.
-    pub fn merge(
-        &mut self,
-        kept: &str,
-        absorbed: &str,
-        time: u64,
-    ) -> Result<(), LifecycleError> {
+    pub fn merge(&mut self, kept: &str, absorbed: &str, time: u64) -> Result<(), LifecycleError> {
         for id in [kept, absorbed] {
             if !self.is_active(id) {
                 return Err(if self.fates.contains_key(id) {
@@ -205,7 +204,10 @@ impl EntryRegistry {
             });
         }
         self.fates.insert(id.to_owned(), Fate::Deleted);
-        self.events.push(EntryEvent::Deleted { id: id.to_owned(), time });
+        self.events.push(EntryEvent::Deleted {
+            id: id.to_owned(),
+            time,
+        });
         Ok(())
     }
 
@@ -249,10 +251,7 @@ impl EntryRegistry {
 
     /// "How did Y come about?" — follows provenance backward to the
     /// roots: all retired/ancestor identifiers that contributed to `id`.
-    pub fn how_did_come_about(
-        &self,
-        id: &str,
-    ) -> Result<Vec<String>, LifecycleError> {
+    pub fn how_did_come_about(&self, id: &str) -> Result<Vec<String>, LifecycleError> {
         self.fate(id)?;
         let mut ancestors = Vec::new();
         let mut work = vec![id.to_owned()];
@@ -268,9 +267,11 @@ impl EntryRegistry {
                         ancestors.push(absorbed.clone());
                         work.push(absorbed.clone());
                     }
-                    EntryEvent::Created { id: cid, from_split: Some(orig), .. }
-                        if cid == &x =>
-                    {
+                    EntryEvent::Created {
+                        id: cid,
+                        from_split: Some(orig),
+                        ..
+                    } if cid == &x => {
                         ancestors.push(orig.clone());
                         work.push(orig.clone());
                     }
@@ -297,11 +298,11 @@ impl EntryRegistry {
             .events
             .iter()
             .filter_map(|e| match e {
-                EntryEvent::Merged { kept, absorbed, time: t }
-                    if kept == id && *t <= time =>
-                {
-                    Some(absorbed.clone())
-                }
+                EntryEvent::Merged {
+                    kept,
+                    absorbed,
+                    time: t,
+                } if kept == id && *t <= time => Some(absorbed.clone()),
                 _ => None,
             })
             .collect();
@@ -370,10 +371,19 @@ mod tests {
     fn errors_on_bad_operations() {
         let mut r = EntryRegistry::new();
         r.create("A", 1).unwrap();
-        assert!(matches!(r.create("A", 2), Err(LifecycleError::Duplicate(_))));
-        assert!(matches!(r.merge("A", "Z", 2), Err(LifecycleError::Unknown(_))));
+        assert!(matches!(
+            r.create("A", 2),
+            Err(LifecycleError::Duplicate(_))
+        ));
+        assert!(matches!(
+            r.merge("A", "Z", 2),
+            Err(LifecycleError::Unknown(_))
+        ));
         r.delete("A", 3).unwrap();
-        assert!(matches!(r.delete("A", 4), Err(LifecycleError::NotActive(_))));
+        assert!(matches!(
+            r.delete("A", 4),
+            Err(LifecycleError::NotActive(_))
+        ));
         assert!(matches!(
             r.split("A", &["B".into()], 5),
             Err(LifecycleError::NotActive(_))

@@ -11,16 +11,13 @@
 use cdb_annotation::colored::{ColoredRelation, ColoredTuple, Scheme};
 use cdb_annotation::reverse::{find_placements, Target};
 use cdb_model::Atom;
-use cdb_relalg::{Database, RaExpr, Relation, RelalgError, Schema, Tuple};
+use cdb_relalg::{Database, RaExpr, RelalgError, Relation, Schema, Tuple};
 
 use crate::db::{CuratedDatabase, DbError};
 
 /// The flat relation of all entries over the given fields: schema is
 /// `[key_field, fields…]`; entries missing a field get `Unit`.
-pub fn entry_relation(
-    db: &CuratedDatabase,
-    fields: &[&str],
-) -> Result<Relation, DbError> {
+pub fn entry_relation(db: &CuratedDatabase, fields: &[&str]) -> Result<Relation, DbError> {
     let mut attrs = vec![db.key_field().to_owned()];
     attrs.extend(fields.iter().map(|f| (*f).to_owned()));
     let schema = Schema::new(attrs).map_err(relalg_to_db)?;
@@ -213,7 +210,10 @@ mod tests {
         .unwrap();
         assert_eq!(
             r,
-            ViewAnnotation::Placed { key: "GABA-A".into(), field: "kind".into() }
+            ViewAnnotation::Placed {
+                key: "GABA-A".into(),
+                field: "kind".into()
+            }
         );
         assert_eq!(db.notes_on("GABA-A", Some("kind")).len(), 1);
         assert_eq!(db.notes_on("5-HT3", Some("kind")).len(), 0);
@@ -240,16 +240,7 @@ mod tests {
             tuple: vec![Atom::Str("GABA-A".into()), Atom::Int(4)],
             attr: "name".into(),
         };
-        let r = annotate_through_view(
-            &mut db,
-            &["tm"],
-            &q,
-            &target,
-            "x",
-            "y",
-            1,
-        )
-        .unwrap();
+        let r = annotate_through_view(&mut db, &["tm"], &q, &target, "x", "y", 1).unwrap();
         // GABA-A's name colors the (GABA-A, 4) row's name cell only —
         // both b-rows have tm = 4, so the projection merges to a single
         // output tuple and the placement is clean.
@@ -260,16 +251,7 @@ mod tests {
             tuple: vec![Atom::Str("GABA-A".into()), Atom::Int(4)],
             attr: "name".into(),
         };
-        let r2 = annotate_through_view(
-            &mut db,
-            &["tm"],
-            &q,
-            &target2,
-            "x",
-            "y",
-            1,
-        )
-        .unwrap();
+        let r2 = annotate_through_view(&mut db, &["tm"], &q, &target2, "x", "y", 1).unwrap();
         assert_eq!(
             r2,
             ViewAnnotation::NoCleanPlacement,
@@ -282,9 +264,11 @@ mod tests {
         let mut db = sample();
         // π_tm over both entries with equal tm: both placements clean.
         let q = RaExpr::scan("entries").project_cols(["tm"]);
-        let target = Target { tuple: vec![Atom::Int(4)], attr: "tm".into() };
-        let r = annotate_through_view(&mut db, &["tm"], &q, &target, "x", "note", 1)
-            .unwrap();
+        let target = Target {
+            tuple: vec![Atom::Int(4)],
+            attr: "tm".into(),
+        };
+        let r = annotate_through_view(&mut db, &["tm"], &q, &target, "x", "note", 1).unwrap();
         match r {
             ViewAnnotation::PlacedMultiple(ps) => {
                 assert_eq!(ps.len(), 2);

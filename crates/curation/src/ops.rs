@@ -237,9 +237,17 @@ impl<'a> Txn<'a> {
         value: Option<Atom>,
     ) -> Result<NodeId, TreeError> {
         let label = label.into();
-        let node = self.db.tree.create_node(parent, label.clone(), value.clone())?;
+        let node = self
+            .db
+            .tree
+            .create_node(parent, label.clone(), value.clone())?;
         self.db.prov.on_insert(node, self.txn.id);
-        self.txn.ops.push(CurationOp::Insert { node, parent, label, value });
+        self.txn.ops.push(CurationOp::Insert {
+            node,
+            parent,
+            label,
+            value,
+        });
         Ok(node)
     }
 
@@ -266,7 +274,9 @@ impl<'a> Txn<'a> {
             path: clip.source_path.clone(),
             chain: clip.source_chain.clone(),
         };
-        self.db.prov.on_paste(node, self.txn.id, origin.clone(), clip.snapshot.size());
+        self.db
+            .prov
+            .on_paste(node, self.txn.id, origin.clone(), clip.snapshot.size());
         self.txn.ops.push(CurationOp::Paste {
             node,
             parent,
@@ -349,10 +359,15 @@ mod tests {
 
         assert_eq!(dst.tree.label(pasted).unwrap(), "entry");
         let ac = dst.tree.resolve_path("/entry/ac").unwrap();
-        assert_eq!(dst.tree.value(ac).unwrap(), Some(&Atom::Str("Q04917".into())));
+        assert_eq!(
+            dst.tree.value(ac).unwrap(),
+            Some(&Atom::Str("Q04917".into()))
+        );
         // The paste op recorded the origin.
         match &dst.log[0].ops[0] {
-            CurationOp::Paste { origin, snapshot, .. } => {
+            CurationOp::Paste {
+                origin, snapshot, ..
+            } => {
                 assert_eq!(snapshot.size(), 3);
                 match origin {
                     Origin::CopiedFrom { db, path, .. } => {

@@ -161,15 +161,26 @@ pub fn parse(input: &str) -> Result<ProvQuery, ParseError> {
     let upper: Vec<String> = toks.iter().map(|t| t.to_ascii_uppercase()).collect();
     let u: Vec<&str> = upper.iter().map(String::as_str).collect();
     match u.as_slice() {
-        ["VALUE", _p] => Ok(ProvQuery::Value { path: toks[1].to_owned(), at: None }),
+        ["VALUE", _p] => Ok(ProvQuery::Value {
+            path: toks[1].to_owned(),
+            at: None,
+        }),
         ["VALUE", _p, "AT", "TXN", n] => Ok(ProvQuery::Value {
             path: toks[1].to_owned(),
             at: Some(TxnId(parse_num(n)?)),
         }),
-        ["WHEN", "CREATED", _p] => Ok(ProvQuery::WhenCreated { path: toks[2].to_owned() }),
-        ["FROM", "WHERE", _p] => Ok(ProvQuery::FromWhere { path: toks[2].to_owned() }),
-        ["WHO", "TOUCHED", _p] => Ok(ProvQuery::WhoTouched { path: toks[2].to_owned() }),
-        ["HISTORY", _p] => Ok(ProvQuery::History { path: toks[1].to_owned() }),
+        ["WHEN", "CREATED", _p] => Ok(ProvQuery::WhenCreated {
+            path: toks[2].to_owned(),
+        }),
+        ["FROM", "WHERE", _p] => Ok(ProvQuery::FromWhere {
+            path: toks[2].to_owned(),
+        }),
+        ["WHO", "TOUCHED", _p] => Ok(ProvQuery::WhoTouched {
+            path: toks[2].to_owned(),
+        }),
+        ["HISTORY", _p] => Ok(ProvQuery::History {
+            path: toks[1].to_owned(),
+        }),
         ["CHANGED", "BETWEEN", "TXN", a, "AND", "TXN", b] => Ok(ProvQuery::ChangedBetween {
             from: TxnId(parse_num(a)?),
             to: TxnId(parse_num(b)?),
@@ -181,7 +192,8 @@ pub fn parse(input: &str) -> Result<ProvQuery, ParseError> {
 }
 
 fn parse_num(s: &str) -> Result<u64, ParseError> {
-    s.parse().map_err(|_| ParseError(format!("expected a number, got {s:?}")))
+    s.parse()
+        .map_err(|_| ParseError(format!("expected a number, got {s:?}")))
 }
 
 /// Evaluates a query against a curated tree.
@@ -191,7 +203,10 @@ pub fn eval(db: &CuratedTree, q: &ProvQuery) -> Result<Answer, EvalError> {
             let node = db.tree.resolve_path(path)?;
             Ok(Answer::Value(db.tree.value(node)?.map(|a| a.to_string())))
         }
-        ProvQuery::Value { path, at: Some(txn) } => {
+        ProvQuery::Value {
+            path,
+            at: Some(txn),
+        } => {
             let past = replay::replay(db.tree.name(), &db.log, Some(*txn))
                 .map_err(|e| EvalError::Replay(e.to_string()))?;
             let node = past.resolve_path(path)?;
@@ -206,7 +221,11 @@ pub fn eval(db: &CuratedTree, q: &ProvQuery) -> Result<Answer, EvalError> {
                 .iter()
                 .find(|t| t.id == txn)
                 .ok_or_else(|| EvalError::NoProvenance(path.clone()))?;
-            Ok(Answer::Created { txn, curator: t.curator.clone(), time: t.time })
+            Ok(Answer::Created {
+                txn,
+                curator: t.curator.clone(),
+                time: t.time,
+            })
         }
         ProvQuery::FromWhere { path } => {
             let node = db.tree.resolve_path(path)?;
@@ -243,13 +262,25 @@ pub fn eval(db: &CuratedTree, q: &ProvQuery) -> Result<Answer, EvalError> {
                     let node = op.node();
                     let desc = match op {
                         CurationOp::Insert { label, .. } => {
-                            format!("+ {} ({})", state.path_of(node).unwrap_or_else(|_| label.clone()), txn.id)
+                            format!(
+                                "+ {} ({})",
+                                state.path_of(node).unwrap_or_else(|_| label.clone()),
+                                txn.id
+                            )
                         }
                         CurationOp::Paste { .. } => {
-                            format!("⇐ {} ({})", state.path_of(node).unwrap_or_else(|_| node.to_string()), txn.id)
+                            format!(
+                                "⇐ {} ({})",
+                                state.path_of(node).unwrap_or_else(|_| node.to_string()),
+                                txn.id
+                            )
                         }
                         CurationOp::Modify { .. } => {
-                            format!("~ {} ({})", state.path_of(node).unwrap_or_else(|_| node.to_string()), txn.id)
+                            format!(
+                                "~ {} ({})",
+                                state.path_of(node).unwrap_or_else(|_| node.to_string()),
+                                txn.id
+                            )
                         }
                         CurationOp::Delete { .. } => format!("- {node} ({})", txn.id),
                     };
@@ -278,7 +309,8 @@ mod tests {
         let sroot = src.tree.root();
         let mut t = src.begin("upstream", 1);
         let e = t.insert(sroot, "entry", None).unwrap();
-        t.insert(e, "name", Some(Atom::Str("ywhah".into()))).unwrap();
+        t.insert(e, "name", Some(Atom::Str("ywhah".into())))
+            .unwrap();
         t.commit();
         let clip = src.copy(e).unwrap();
 

@@ -90,7 +90,10 @@ pub struct ProvStore {
 impl ProvStore {
     /// An empty store.
     pub fn new(mode: StoreMode) -> Self {
-        ProvStore { mode, records: BTreeMap::new() }
+        ProvStore {
+            mode,
+            records: BTreeMap::new(),
+        }
     }
 
     /// The storage mode.
@@ -104,12 +107,24 @@ impl ProvStore {
 
     /// Records a fresh insert.
     pub fn on_insert(&mut self, node: NodeId, txn: TxnId) {
-        self.push(node, ProvRecord { txn, event: ProvEvent::Created(Origin::Local) });
+        self.push(
+            node,
+            ProvRecord {
+                txn,
+                event: ProvEvent::Created(Origin::Local),
+            },
+        );
     }
 
     /// Records a modification.
     pub fn on_modify(&mut self, node: NodeId, txn: TxnId) {
-        self.push(node, ProvRecord { txn, event: ProvEvent::Modified });
+        self.push(
+            node,
+            ProvRecord {
+                txn,
+                event: ProvEvent::Modified,
+            },
+        );
     }
 
     /// Records a paste of a subtree of `size` nodes rooted at `node`.
@@ -121,7 +136,13 @@ impl ProvStore {
     pub fn on_paste(&mut self, node: NodeId, txn: TxnId, origin: Origin, size: usize) {
         match self.mode {
             StoreMode::Hereditary => {
-                self.push(node, ProvRecord { txn, event: ProvEvent::Created(origin) });
+                self.push(
+                    node,
+                    ProvRecord {
+                        txn,
+                        event: ProvEvent::Created(origin),
+                    },
+                );
             }
             StoreMode::Naive => {
                 // One record per pasted node. Node ids of a pasted
@@ -130,7 +151,10 @@ impl ProvStore {
                 for i in 0..size {
                     self.push(
                         NodeId(node_index(node) + i),
-                        ProvRecord { txn, event: ProvEvent::Created(origin.clone()) },
+                        ProvRecord {
+                            txn,
+                            event: ProvEvent::Created(origin.clone()),
+                        },
                     );
                 }
             }
@@ -188,9 +212,7 @@ impl ProvStore {
                 Origin::Local => 1,
                 Origin::External { source } => 1 + source.len(),
                 Origin::CopiedFrom { db, path, chain } => {
-                    1 + db.len()
-                        + path.len()
-                        + chain.iter().map(origin_size).sum::<usize>()
+                    1 + db.len() + path.len() + chain.iter().map(origin_size).sum::<usize>()
                 }
             }
         }
@@ -242,7 +264,12 @@ pub fn squash(ops: &[CurationOp]) -> Vec<CurationOp> {
     let mut out: Vec<CurationOp> = Vec::new();
     for op in ops {
         match op {
-            CurationOp::Insert { node, parent, label, value } => {
+            CurationOp::Insert {
+                node,
+                parent,
+                label,
+                value,
+            } => {
                 if !deleted.contains_key(node) {
                     out.push(CurationOp::Insert {
                         node: *node,
@@ -252,7 +279,12 @@ pub fn squash(ops: &[CurationOp]) -> Vec<CurationOp> {
                     });
                 }
             }
-            CurationOp::Paste { node, parent, origin, snapshot } => {
+            CurationOp::Paste {
+                node,
+                parent,
+                origin,
+                snapshot,
+            } => {
                 if !deleted.contains_key(node) {
                     out.push(CurationOp::Paste {
                         node: *node,
@@ -280,7 +312,9 @@ pub fn squash(ops: &[CurationOp]) -> Vec<CurationOp> {
                             folded = true;
                             break;
                         }
-                        CurationOp::Modify { node: n, new: pnew, .. } if n == node => {
+                        CurationOp::Modify {
+                            node: n, new: pnew, ..
+                        } if n == node => {
                             *pnew = new.clone();
                             folded = true;
                             break;
@@ -390,7 +424,7 @@ mod tests {
     }
 
     #[test]
-    fn chain_flattens_cross_database_copies(){
+    fn chain_flattens_cross_database_copies() {
         // a → b → c: pasting from b into c carries a's origin.
         let mut a = CuratedTree::new("a", StoreMode::Hereditary);
         let ar = a.tree.root();
@@ -424,8 +458,17 @@ mod tests {
     fn squash_cancels_insert_then_delete() {
         let n = NodeId(5);
         let ops = vec![
-            CurationOp::Insert { node: n, parent: NodeId(0), label: "x".into(), value: None },
-            CurationOp::Modify { node: n, old: None, new: Some(Atom::Int(1)) },
+            CurationOp::Insert {
+                node: n,
+                parent: NodeId(0),
+                label: "x".into(),
+                value: None,
+            },
+            CurationOp::Modify {
+                node: n,
+                old: None,
+                new: Some(Atom::Int(1)),
+            },
             CurationOp::Delete { node: n },
         ];
         assert!(squash(&ops).is_empty());
@@ -435,9 +478,22 @@ mod tests {
     fn squash_folds_modifies_into_insert() {
         let n = NodeId(5);
         let ops = vec![
-            CurationOp::Insert { node: n, parent: NodeId(0), label: "x".into(), value: Some(Atom::Int(1)) },
-            CurationOp::Modify { node: n, old: Some(Atom::Int(1)), new: Some(Atom::Int(2)) },
-            CurationOp::Modify { node: n, old: Some(Atom::Int(2)), new: Some(Atom::Int(3)) },
+            CurationOp::Insert {
+                node: n,
+                parent: NodeId(0),
+                label: "x".into(),
+                value: Some(Atom::Int(1)),
+            },
+            CurationOp::Modify {
+                node: n,
+                old: Some(Atom::Int(1)),
+                new: Some(Atom::Int(2)),
+            },
+            CurationOp::Modify {
+                node: n,
+                old: Some(Atom::Int(2)),
+                new: Some(Atom::Int(3)),
+            },
         ];
         let s = squash(&ops);
         assert_eq!(
@@ -455,8 +511,16 @@ mod tests {
     fn squash_collapses_repeated_modifies() {
         let n = NodeId(7);
         let ops = vec![
-            CurationOp::Modify { node: n, old: Some(Atom::Int(0)), new: Some(Atom::Int(1)) },
-            CurationOp::Modify { node: n, old: Some(Atom::Int(1)), new: Some(Atom::Int(2)) },
+            CurationOp::Modify {
+                node: n,
+                old: Some(Atom::Int(0)),
+                new: Some(Atom::Int(1)),
+            },
+            CurationOp::Modify {
+                node: n,
+                old: Some(Atom::Int(1)),
+                new: Some(Atom::Int(2)),
+            },
         ];
         let s = squash(&ops);
         assert_eq!(s.len(), 1);
@@ -481,7 +545,9 @@ mod tests {
         let ops = vec![CurationOp::Paste {
             node: NodeId(9),
             parent: NodeId(0),
-            origin: Origin::External { source: "PMID:94032477".into() },
+            origin: Origin::External {
+                source: "PMID:94032477".into(),
+            },
             snapshot: crate::ops::ClipNode {
                 label: "entry".into(),
                 value: None,

@@ -76,10 +76,7 @@ pub fn last_modified(db: &CuratedTree, node: NodeId) -> Result<Option<TxnId>, Tr
 
 /// The full history of a node: every transaction whose log touches it,
 /// with the touching operations.
-pub fn history(
-    db: &CuratedTree,
-    node: NodeId,
-) -> Vec<(&Transaction, Vec<&CurationOp>)> {
+pub fn history(db: &CuratedTree, node: NodeId) -> Vec<(&Transaction, Vec<&CurationOp>)> {
     let mut out = Vec::new();
     for txn in db.transactions() {
         let ops: Vec<&CurationOp> = txn.ops.iter().filter(|op| op.node() == node).collect();
@@ -132,7 +129,8 @@ mod tests {
         let mut t = src.begin("upstream-curator", 1);
         let e = t.insert(root, "entry", None).unwrap();
         t.insert(e, "ac", Some(Atom::Str("Q04917".into()))).unwrap();
-        t.insert(e, "seq", Some(Atom::Str("GDREQLL".into()))).unwrap();
+        t.insert(e, "seq", Some(Atom::Str("GDREQLL".into())))
+            .unwrap();
         t.commit();
         (src, e)
     }

@@ -46,11 +46,7 @@ impl From<TreeError> for ReplayError {
 /// Replays a transaction log (in order) up to and **including** `upto`
 /// (or the whole log when `None`), returning the reconstructed tree.
 /// Node ids in the replayed tree equal the original ids.
-pub fn replay(
-    name: &str,
-    log: &[Transaction],
-    upto: Option<TxnId>,
-) -> Result<TreeDb, ReplayError> {
+pub fn replay(name: &str, log: &[Transaction], upto: Option<TxnId>) -> Result<TreeDb, ReplayError> {
     let mut tree = TreeDb::new(name);
     for txn in log {
         if let Some(limit) = upto {
@@ -97,7 +93,12 @@ pub fn replay_and_verify(db: &CuratedTree) -> Result<TreeDb, ReplayError> {
 
 fn apply(tree: &mut TreeDb, op: &CurationOp) -> Result<(), ReplayError> {
     match op {
-        CurationOp::Insert { node, parent, label, value } => {
+        CurationOp::Insert {
+            node,
+            parent,
+            label,
+            value,
+        } => {
             let created = tree.create_node(*parent, label.clone(), value.clone())?;
             check_id(*node, created)
         }
@@ -109,7 +110,12 @@ fn apply(tree: &mut TreeDb, op: &CurationOp) -> Result<(), ReplayError> {
             tree.delete_subtree(*node)?;
             Ok(())
         }
-        CurationOp::Paste { node, parent, snapshot, .. } => {
+        CurationOp::Paste {
+            node,
+            parent,
+            snapshot,
+            ..
+        } => {
             let created = paste_snapshot(tree, *parent, snapshot)?;
             check_id(*node, created)
         }

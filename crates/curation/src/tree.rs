@@ -74,7 +74,11 @@ impl TreeDb {
             children: Vec::new(),
             alive: true,
         };
-        TreeDb { name, nodes: vec![root], root: NodeId(0) }
+        TreeDb {
+            name,
+            nodes: vec![root],
+            root: NodeId(0),
+        }
     }
 
     /// The database name.
@@ -279,7 +283,11 @@ impl TreeDb {
             grouped
                 .into_iter()
                 .map(|(l, mut vs)| {
-                    let v = if vs.len() == 1 { vs.remove(0) } else { Value::list(vs) };
+                    let v = if vs.len() == 1 {
+                        vs.remove(0)
+                    } else {
+                        Value::list(vs)
+                    };
                     (l, v)
                 })
                 .collect(),
@@ -353,7 +361,8 @@ mod tests {
     fn subtree_value_groups_children() {
         let mut db = TreeDb::new("udb");
         let entry = db.create_node(db.root(), "entry", None).unwrap();
-        db.create_node(entry, "name", Some(Atom::Str("x".into()))).unwrap();
+        db.create_node(entry, "name", Some(Atom::Str("x".into())))
+            .unwrap();
         let refs = db.create_node(entry, "refs", None).unwrap();
         db.create_node(refs, "ref", Some(Atom::Int(1))).unwrap();
         db.create_node(refs, "ref", Some(Atom::Int(2))).unwrap();
@@ -362,10 +371,10 @@ mod tests {
             v,
             Value::record([
                 ("name", Value::str("x")),
-                ("refs", Value::record([(
-                    "ref",
-                    Value::list([Value::int(1), Value::int(2)])
-                )])),
+                (
+                    "refs",
+                    Value::record([("ref", Value::list([Value::int(1), Value::int(2)]))])
+                ),
             ])
         );
     }

@@ -125,13 +125,13 @@ pub fn figure3_query(table: &ColoredTable) -> Result<ColoredTable, RelalgError> 
             out_rows.push(row.clone()); // SELECT * preserves the tuple
         }
     }
-    Ok(ColoredTable { schema, table: Colored::set(out_rows, None) })
+    Ok(ColoredTable {
+        schema,
+        table: Colored::set(out_rows, None),
+    })
 }
 
-fn row_tuple(
-    schema: &cdb_relalg::Schema,
-    row: &Colored,
-) -> Result<Vec<Atom>, RelalgError> {
+fn row_tuple(schema: &cdb_relalg::Schema, row: &Colored) -> Result<Vec<Atom>, RelalgError> {
     let CNode::Record(m) = &row.node else {
         return Err(RelalgError::UpdateError("rows must be records".into()));
     };
@@ -174,7 +174,11 @@ pub fn run_statement(
             check_rel(relation, table_name)?;
             sql_delete(table, pred)
         }
-        Statement::Update { relation, sets, pred } => {
+        Statement::Update {
+            relation,
+            sets,
+            pred,
+        } => {
             check_rel(relation, table_name)?;
             let sets: Vec<(&str, Atom)> =
                 sets.iter().map(|(c, a)| (c.as_str(), a.clone())).collect();
@@ -205,7 +209,10 @@ pub fn run_statement(
                     };
                     values.push(atom.clone());
                     colors.push(
-                        cell.color.iter().cloned().collect::<std::collections::BTreeSet<_>>(),
+                        cell.color
+                            .iter()
+                            .cloned()
+                            .collect::<std::collections::BTreeSet<_>>(),
                     );
                 }
                 flat.insert(cdb_annotation::colored::ColoredTuple { values, colors })?;
@@ -321,47 +328,52 @@ pub enum UpdateOp {
 /// Applies an update operation, returning the new colored value.
 pub fn apply(value: &Colored, op: &UpdateOp) -> Result<Colored, RelalgError> {
     match op {
-        UpdateOp::InsertField { path, label, value: v } => {
-            with_node(value, path, &mut |node| match node {
-                CNode::Record(m) => {
-                    m.insert(label.clone(), v.clone());
+        UpdateOp::InsertField {
+            path,
+            label,
+            value: v,
+        } => with_node(value, path, &mut |node| match node {
+            CNode::Record(m) => {
+                m.insert(label.clone(), v.clone());
+                Ok(())
+            }
+            _ => Err(RelalgError::UpdateError(
+                "InsertField target not a record".into(),
+            )),
+        }),
+        UpdateOp::DeleteField { path, label } => with_node(value, path, &mut |node| match node {
+            CNode::Record(m) => m
+                .remove(label)
+                .map(|_| ())
+                .ok_or_else(|| RelalgError::UpdateError("no such field".into())),
+            _ => Err(RelalgError::UpdateError(
+                "DeleteField target not a record".into(),
+            )),
+        }),
+        UpdateOp::InsertElem { path, value: v } => with_node(value, path, &mut |node| match node {
+            CNode::Set(xs) => {
+                xs.push(v.clone());
+                Ok(())
+            }
+            _ => Err(RelalgError::UpdateError(
+                "InsertElem target not a set".into(),
+            )),
+        }),
+        UpdateOp::DeleteElem { path, index } => with_node(value, path, &mut |node| match node {
+            CNode::Set(xs) => {
+                if *index < xs.len() {
+                    xs.remove(*index);
                     Ok(())
+                } else {
+                    Err(RelalgError::UpdateError(
+                        "element index out of range".into(),
+                    ))
                 }
-                _ => Err(RelalgError::UpdateError("InsertField target not a record".into())),
-            })
-        }
-        UpdateOp::DeleteField { path, label } => {
-            with_node(value, path, &mut |node| match node {
-                CNode::Record(m) => {
-                    m.remove(label)
-                        .map(|_| ())
-                        .ok_or_else(|| RelalgError::UpdateError("no such field".into()))
-                }
-                _ => Err(RelalgError::UpdateError("DeleteField target not a record".into())),
-            })
-        }
-        UpdateOp::InsertElem { path, value: v } => {
-            with_node(value, path, &mut |node| match node {
-                CNode::Set(xs) => {
-                    xs.push(v.clone());
-                    Ok(())
-                }
-                _ => Err(RelalgError::UpdateError("InsertElem target not a set".into())),
-            })
-        }
-        UpdateOp::DeleteElem { path, index } => {
-            with_node(value, path, &mut |node| match node {
-                CNode::Set(xs) => {
-                    if *index < xs.len() {
-                        xs.remove(*index);
-                        Ok(())
-                    } else {
-                        Err(RelalgError::UpdateError("element index out of range".into()))
-                    }
-                }
-                _ => Err(RelalgError::UpdateError("DeleteElem target not a set".into())),
-            })
-        }
+            }
+            _ => Err(RelalgError::UpdateError(
+                "DeleteElem target not a set".into(),
+            )),
+        }),
         UpdateOp::ReplaceAtom { path, value: v } => {
             let mut out = value.clone();
             let target = navigate_mut(&mut out, path)?;
@@ -371,7 +383,9 @@ pub fn apply(value: &Colored, op: &UpdateOp) -> Result<Colored, RelalgError> {
                     target.color = None; // invented
                     Ok(out)
                 }
-                _ => Err(RelalgError::UpdateError("ReplaceAtom target not an atom".into())),
+                _ => Err(RelalgError::UpdateError(
+                    "ReplaceAtom target not an atom".into(),
+                )),
             }
         }
     }
@@ -518,8 +532,7 @@ mod tests {
         let r = figure3_r();
         // P2's statements, as printed in the figure.
         let stmts =
-            parse_script("DELETE FROM R WHERE A = 10; INSERT INTO R VALUES (10, 55);")
-                .unwrap();
+            parse_script("DELETE FROM R WHERE A = 10; INSERT INTO R VALUES (10, 55);").unwrap();
         let mut cur = r.clone();
         for s in &stmts {
             cur = run_statement(&cur, "R", s).unwrap();
@@ -557,10 +570,7 @@ mod tests {
         let v = Colored::distinct(
             &cdb_model::Value::record([
                 ("name", cdb_model::Value::str("x")),
-                (
-                    "refs",
-                    cdb_model::Value::set([cdb_model::Value::int(1)]),
-                ),
+                ("refs", cdb_model::Value::set([cdb_model::Value::int(1)])),
             ]),
             "c",
         );
@@ -592,19 +602,28 @@ mod tests {
         let v = Colored::distinct(
             &cdb_model::Value::record([
                 ("a", cdb_model::Value::int(1)),
-                ("refs", cdb_model::Value::set([cdb_model::Value::int(1), cdb_model::Value::int(2)])),
+                (
+                    "refs",
+                    cdb_model::Value::set([cdb_model::Value::int(1), cdb_model::Value::int(2)]),
+                ),
             ]),
             "c",
         );
         let out = apply(
             &v,
-            &UpdateOp::DeleteField { path: vec![], label: "a".into() },
+            &UpdateOp::DeleteField {
+                path: vec![],
+                label: "a".into(),
+            },
         )
         .unwrap();
         check_kind_preservation(&v, &out).unwrap();
         let out2 = apply(
             &out,
-            &UpdateOp::DeleteElem { path: vec![CStep::Field("refs".into())], index: 0 },
+            &UpdateOp::DeleteElem {
+                path: vec![CStep::Field("refs".into())],
+                index: 0,
+            },
         )
         .unwrap();
         check_kind_preservation(&v, &out2).unwrap();
@@ -634,14 +653,20 @@ mod tests {
         .is_err());
         assert!(apply(
             &v,
-            &UpdateOp::DeleteElem { path: vec![], index: 0 }
+            &UpdateOp::DeleteElem {
+                path: vec![],
+                index: 0
+            }
         )
         .is_err());
         // Replacing a record as if it were an atom fails.
         let rec = Colored::record([("a", Colored::invented_atom(1))], None);
         assert!(apply(
             &rec,
-            &UpdateOp::ReplaceAtom { path: vec![], value: Atom::Int(2) }
+            &UpdateOp::ReplaceAtom {
+                path: vec![],
+                value: Atom::Int(2)
+            }
         )
         .is_err());
     }

@@ -67,7 +67,11 @@ impl fmt::Display for ModelError {
             ModelError::NoSuchElement { at } => {
                 write!(f, "no such set element at {at}")
             }
-            ModelError::ShapeMismatch { expected, found, at } => {
+            ModelError::ShapeMismatch {
+                expected,
+                found,
+                at,
+            } => {
                 write!(f, "expected {expected}, found {found} at {at}")
             }
             ModelError::TypeMismatch { detail, at } => {

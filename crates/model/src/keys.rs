@@ -95,8 +95,7 @@ impl KeyPath {
 
     /// Whether `self` is a (non-strict) prefix of `other`.
     pub fn is_prefix_of(&self, other: &KeyPath) -> bool {
-        other.steps.len() >= self.steps.len()
-            && self.steps[..] == other.steps[..self.steps.len()]
+        other.steps.len() >= self.steps.len() && self.steps[..] == other.steps[..self.steps.len()]
     }
 
     /// The number of steps.
@@ -176,13 +175,15 @@ impl KeySpec {
     ) -> Result<KeyStep, ModelError> {
         match self.key_fields(context) {
             Some(fields) => {
-                let rec = element.as_record().ok_or_else(|| ModelError::KeyViolation {
-                    detail: format!(
-                        "key rule at context {context:?} expects record elements, found {}",
-                        element.kind()
-                    ),
-                    at: at.clone(),
-                })?;
+                let rec = element
+                    .as_record()
+                    .ok_or_else(|| ModelError::KeyViolation {
+                        detail: format!(
+                            "key rule at context {context:?} expects record elements, found {}",
+                            element.kind()
+                        ),
+                        at: at.clone(),
+                    })?;
                 let mut atoms = Vec::with_capacity(fields.len());
                 for fld in fields {
                     let v = rec.get(fld).ok_or_else(|| ModelError::KeyViolation {
@@ -217,7 +218,13 @@ impl KeySpec {
         value: &'v Value,
     ) -> Result<Vec<(KeyPath, &'v Value)>, ModelError> {
         let mut out = Vec::new();
-        self.walk(value, &mut Vec::new(), KeyPath::root(), Path::root(), &mut out)?;
+        self.walk(
+            value,
+            &mut Vec::new(),
+            KeyPath::root(),
+            Path::root(),
+            &mut out,
+        )?;
         Ok(out)
     }
 

@@ -115,8 +115,7 @@ impl Path {
     /// *hereditary* (§3.1): a fact recorded at a path applies to every
     /// path it prefixes unless overridden below.
     pub fn is_prefix_of(&self, other: &Path) -> bool {
-        other.steps.len() >= self.steps.len()
-            && self.steps[..] == other.steps[..self.steps.len()]
+        other.steps.len() >= self.steps.len() && self.steps[..] == other.steps[..self.steps.len()]
     }
 
     /// Strips `prefix` from the front of this path, if it is a prefix.

@@ -111,12 +111,7 @@ impl PathQuery {
 
 /// Applies one step to one node. Sets and lists are transparent: the
 /// step recurses into their elements first.
-fn apply_step<'v>(
-    step: &QueryStep,
-    at: &Path,
-    v: &'v Value,
-    out: &mut Vec<(Path, &'v Value)>,
-) {
+fn apply_step<'v>(step: &QueryStep, at: &Path, v: &'v Value, out: &mut Vec<(Path, &'v Value)>) {
     match v {
         Value::Set(s) => {
             for el in s {
@@ -153,12 +148,7 @@ fn apply_step<'v>(
     }
 }
 
-fn collect_descendants<'v>(
-    label: &str,
-    at: &Path,
-    v: &'v Value,
-    out: &mut Vec<(Path, &'v Value)>,
-) {
+fn collect_descendants<'v>(label: &str, at: &Path, v: &'v Value, out: &mut Vec<(Path, &'v Value)>) {
     match v {
         Value::Atom(_) => {}
         Value::Record(m) => {

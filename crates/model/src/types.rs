@@ -74,7 +74,10 @@ pub struct FieldType {
 impl FieldType {
     /// A required field of the given type.
     pub fn required(ty: Type) -> Self {
-        FieldType { ty, optional: false }
+        FieldType {
+            ty,
+            optional: false,
+        }
     }
 
     /// An optional field of the given type.
@@ -142,9 +145,7 @@ impl Type {
             (Type::Record(fields), Value::Record(m)) => {
                 for (l, ft) in fields {
                     match m.get(l) {
-                        Some(v) => {
-                            ft.ty.check_at(v, &at.child(Step::Field(l.clone())))?
-                        }
+                        Some(v) => ft.ty.check_at(v, &at.child(Step::Field(l.clone())))?,
                         None if ft.optional => {}
                         None => {
                             return Err(ModelError::TypeMismatch {
@@ -188,8 +189,7 @@ impl Type {
                     // A field required above must be required below, and
                     // at a subtype.
                     Some(ft_sub) => {
-                        (ft_sup.optional || !ft_sub.optional)
-                            && ft_sub.ty.is_subtype_of(&ft_sup.ty)
+                        (ft_sup.optional || !ft_sub.optional) && ft_sub.ty.is_subtype_of(&ft_sup.ty)
                     }
                     // A field missing below is fine only if optional
                     // above (the sub-record's values simply never have
@@ -270,7 +270,10 @@ mod tests {
     use super::*;
 
     fn ab() -> Type {
-        Type::record([("A", Type::Atom(AtomType::Int)), ("B", Type::Atom(AtomType::Int))])
+        Type::record([
+            ("A", Type::Atom(AtomType::Int)),
+            ("B", Type::Atom(AtomType::Int)),
+        ])
     }
 
     fn abc() -> Type {
@@ -311,8 +314,14 @@ mod tests {
     fn optional_field_may_be_absent() {
         let t = Type::Record(
             [
-                ("A".to_string(), FieldType::required(Type::Atom(AtomType::Int))),
-                ("B".to_string(), FieldType::optional(Type::Atom(AtomType::Int))),
+                (
+                    "A".to_string(),
+                    FieldType::required(Type::Atom(AtomType::Int)),
+                ),
+                (
+                    "B".to_string(),
+                    FieldType::optional(Type::Atom(AtomType::Int)),
+                ),
             ]
             .into_iter()
             .collect(),

@@ -124,12 +124,19 @@ impl Value {
         for (i, step) in path.steps().iter().enumerate() {
             let at = || Path::from_steps(path.steps()[..i].to_vec());
             cur = match (step, cur) {
-                (Step::Field(l), Value::Record(m)) => m.get(l).ok_or_else(|| {
-                    ModelError::NoSuchField { label: l.clone(), at: at() }
-                })?,
-                (Step::Index(n), Value::List(xs)) => xs.get(*n).ok_or_else(|| {
-                    ModelError::IndexOutOfBounds { index: *n, len: xs.len(), at: at() }
-                })?,
+                (Step::Field(l), Value::Record(m)) => {
+                    m.get(l).ok_or_else(|| ModelError::NoSuchField {
+                        label: l.clone(),
+                        at: at(),
+                    })?
+                }
+                (Step::Index(n), Value::List(xs)) => {
+                    xs.get(*n).ok_or_else(|| ModelError::IndexOutOfBounds {
+                        index: *n,
+                        len: xs.len(),
+                        at: at(),
+                    })?
+                }
                 (Step::Elem(v), Value::Set(s)) => s
                     .get(v.as_ref())
                     .ok_or_else(|| ModelError::NoSuchElement { at: at() })?,
@@ -152,12 +159,7 @@ impl Value {
         self.updated_at(path.steps(), path, new)
     }
 
-    fn updated_at(
-        &self,
-        steps: &[Step],
-        full: &Path,
-        new: Value,
-    ) -> Result<Value, ModelError> {
+    fn updated_at(&self, steps: &[Step], full: &Path, new: Value) -> Result<Value, ModelError> {
         let Some((step, rest)) = steps.split_first() else {
             return Ok(new);
         };
@@ -315,10 +317,7 @@ mod tests {
     fn display_matches_paper_syntax() {
         let t = Value::record([("A", Value::int(10)), ("B", Value::int(50))]);
         assert_eq!(t.to_string(), "(A: 10, B: 50)");
-        assert_eq!(
-            sample().to_string(),
-            "{(A: 10, B: 50), (A: 12, B: 30)}"
-        );
+        assert_eq!(sample().to_string(), "{(A: 10, B: 50), (A: 12, B: 30)}");
     }
 
     #[test]
@@ -343,7 +342,9 @@ mod tests {
         let v = Value::int(3);
         let p = Path::root().child(Step::Field("A".into()));
         match v.get(&p) {
-            Err(ModelError::ShapeMismatch { expected, found, .. }) => {
+            Err(ModelError::ShapeMismatch {
+                expected, found, ..
+            }) => {
                 assert_eq!(expected, "record");
                 assert_eq!(found, "atom");
             }

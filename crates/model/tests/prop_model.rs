@@ -19,8 +19,7 @@ fn value() -> impl Strategy<Value = Value> {
     let leaf = atom().prop_map(Value::Atom);
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            proptest::collection::btree_map("[a-c]", inner.clone(), 0..4)
-                .prop_map(Value::Record),
+            proptest::collection::btree_map("[a-c]", inner.clone(), 0..4).prop_map(Value::Record),
             proptest::collection::btree_set(inner.clone(), 0..4).prop_map(Value::Set),
             proptest::collection::vec(inner, 0..4).prop_map(Value::List),
         ]
@@ -144,10 +143,16 @@ fn exact_type(v: &Value) -> Type {
         Value::Atom(a) => Type::Atom(cdb_model::AtomType::of(a)),
         Value::Record(m) => Type::record(m.iter().map(|(l, x)| (l.clone(), exact_type(x)))),
         Value::Set(s) => Type::set(
-            s.iter().map(exact_type).reduce(|a, b| a.lub(&b)).unwrap_or(Type::Any),
+            s.iter()
+                .map(exact_type)
+                .reduce(|a, b| a.lub(&b))
+                .unwrap_or(Type::Any),
         ),
         Value::List(xs) => Type::list(
-            xs.iter().map(exact_type).reduce(|a, b| a.lub(&b)).unwrap_or(Type::Any),
+            xs.iter()
+                .map(exact_type)
+                .reduce(|a, b| a.lub(&b))
+                .unwrap_or(Type::Any),
         ),
     }
 }

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no crates registry, so this workspace ships
+//! a small std-only implementation of the `proptest 1.x` API subset its
+//! tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`;
+//! * integer-range strategies (`0i64..6`), tuple strategies, [`Just`],
+//!   `any::<T>()`, [`prop_oneof!`], and `&str` character-class patterns
+//!   (`"[a-z]{0,6}"`);
+//! * [`collection::vec`], [`collection::btree_map`],
+//!   [`collection::btree_set`];
+//! * the [`proptest!`] macro plus [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`], and [`prop_assume!`].
+//!
+//! Differences from upstream, by design: inputs are generated from a
+//! deterministic per-test-per-case seed (so failures reproduce exactly
+//! on rerun, with no persistence file), and there is **no shrinking** —
+//! a failing case prints its full inputs instead. Case count defaults to
+//! 256 and can be overridden with the `PROPTEST_CASES` environment
+//! variable.
+//!
+//! [`Just`]: strategy::Just
+//! [`prop_oneof!`]: crate::prop_oneof
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod pattern;
+pub mod rng;
+pub mod runner;
+pub mod strategy;
+
+/// A failed or rejected test case, produced by the `prop_assert*` and
+/// `prop_assume!` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reject: bool,
+    msg: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            reject: false,
+            msg: msg.into(),
+        }
+    }
+
+    /// A rejected (assumption-violating) case; the runner retries with
+    /// fresh inputs.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            reject: true,
+            msg: msg.into(),
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+
+    /// The failure/rejection message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+/// Everything a property test typically imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with inputs printed) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+        let _ = r;
+    }};
+}
+
+/// Rejects the current case (the runner retries with fresh inputs) when
+/// the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Chooses uniformly among the given strategies (all producing the same
+/// value type). Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body on 256 (or `PROPTEST_CASES`)
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__pt_rng| {
+                    let mut __pt_inputs = ::std::string::String::new();
+                    $(
+                        let __pt_v = $crate::strategy::Strategy::gen(&($strat), __pt_rng);
+                        {
+                            use ::std::fmt::Write as _;
+                            let _ = ::std::write!(
+                                __pt_inputs, "{} = {:?}; ", stringify!($arg), &__pt_v
+                            );
+                        }
+                        let $arg = __pt_v;
+                    )+
+                    let __pt_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                #[allow(unreachable_code)]
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __pt_result {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                            $crate::runner::CaseOutcome::Pass
+                        }
+                        ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                            if e.is_reject() {
+                                $crate::runner::CaseOutcome::Reject
+                            } else {
+                                $crate::runner::CaseOutcome::Fail {
+                                    inputs: __pt_inputs,
+                                    msg: e.message().to_owned(),
+                                }
+                            }
+                        }
+                        ::std::result::Result::Err(p) => {
+                            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                                (*s).to_owned()
+                            } else if let Some(s) =
+                                p.downcast_ref::<::std::string::String>()
+                            {
+                                s.clone()
+                            } else {
+                                "test body panicked".to_owned()
+                            };
+                            $crate::runner::CaseOutcome::Fail { inputs: __pt_inputs, msg }
+                        }
+                    }
+                },
+            );
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}

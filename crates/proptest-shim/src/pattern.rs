@@ -1,0 +1,137 @@
+//! Character-class string patterns: the `"[a-z]{0,6}"` subset of
+//! proptest's regex string strategies.
+//!
+//! Grammar: a pattern is a sequence of units; each unit is a character
+//! class `[...]` (literal characters and `x-y` ranges) or a literal
+//! character, optionally followed by `{n}` or `{m,n}` repetition. That
+//! covers every string strategy in this workspace's tests; anything
+//! fancier panics loudly so the gap is obvious.
+
+use crate::rng::TestRng;
+
+struct Unit {
+    choices: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Unit> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut units = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let mut choices = Vec::new();
+        match chars[i] {
+            '[' => {
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                        for c in lo..=hi {
+                            choices.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        choices.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+            }
+            '{' | '}' | ']' => panic!("unsupported pattern syntax at {i} in {pattern:?}"),
+            c => {
+                choices.push(c);
+                i += 1;
+            }
+        }
+        let (mut min, mut max) = (1, 1);
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    min = lo.trim().parse().expect("repetition lower bound");
+                    max = hi.trim().parse().expect("repetition upper bound");
+                }
+                None => {
+                    min = spec.trim().parse().expect("repetition count");
+                    max = min;
+                }
+            }
+            assert!(min <= max, "bad repetition {{{spec}}} in {pattern:?}");
+            i = close + 1;
+        }
+        assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+        units.push(Unit { choices, min, max });
+    }
+    units
+}
+
+/// Generates a string matching the pattern.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for unit in parse(pattern) {
+        let n = rng.usize_in(unit.min, unit.max + 1);
+        for _ in 0..n {
+            out.push(unit.choices[rng.index(unit.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(5)
+    }
+
+    #[test]
+    fn single_class_defaults_to_one_char() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-c]", &mut r);
+            assert_eq!(s.len(), 1);
+            assert!(("a"..="c").contains(&s.as_str()));
+        }
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        let mut r = rng();
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let s = generate("[a-z]{0,6}", &mut r);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            lens.insert(s.len());
+        }
+        assert!(lens.len() > 3, "lengths should vary: {lens:?}");
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let mut r = rng();
+        let s = generate("x[0-9]{3}", &mut r);
+        assert_eq!(s.len(), 4);
+        assert!(s.starts_with('x'));
+        assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,107 @@
+//! The per-test case loop driving [`proptest!`](crate::proptest) bodies.
+
+use crate::rng::TestRng;
+
+/// What one generated case did.
+pub enum CaseOutcome {
+    /// The body ran to completion with all assertions holding.
+    Pass,
+    /// A `prop_assume!` rejected the inputs; retry with fresh ones.
+    Reject,
+    /// An assertion failed or the body panicked.
+    Fail {
+        /// Debug rendering of the generated inputs.
+        inputs: String,
+        /// The failure message.
+        msg: String,
+    },
+}
+
+/// The number of passing cases each property must accumulate
+/// (`PROPTEST_CASES` env var, default 256).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Runs `case` until [`case_count`] cases pass, panicking on the first
+/// failure with the generated inputs (deterministically reproducible:
+/// the seed is a pure function of `name` and the case index).
+pub fn run(name: &str, mut case: impl FnMut(&mut TestRng) -> CaseOutcome) {
+    let want = case_count();
+    let reject_budget = want.saturating_mul(16) + 256;
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut idx = 0u64;
+    while passed < want {
+        let mut rng = TestRng::for_case(name, idx);
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "{name}: too many rejected cases ({rejected}) — \
+                     weaken the prop_assume! or widen the generators"
+                );
+            }
+            CaseOutcome::Fail { inputs, msg } => panic!(
+                "property {name} failed at case #{idx} after {passed} passing cases\n\
+                 inputs: {inputs}\n{msg}\n\
+                 (offline proptest shim: no shrinking; seeds are deterministic, \
+                 rerun reproduces this failure)"
+            ),
+        }
+        idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_until_enough_cases_pass() {
+        let mut calls = 0;
+        run("runner::t1", |_| {
+            calls += 1;
+            CaseOutcome::Pass
+        });
+        assert_eq!(calls, case_count());
+    }
+
+    #[test]
+    fn rejections_retry() {
+        let mut calls = 0u32;
+        run("runner::t2", |_| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                CaseOutcome::Reject
+            } else {
+                CaseOutcome::Pass
+            }
+        });
+        assert!(calls > case_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "property runner::t3 failed")]
+    fn failures_panic_with_inputs() {
+        run("runner::t3", |_| CaseOutcome::Fail {
+            inputs: "x = 3".to_owned(),
+            msg: "boom".to_owned(),
+        });
+    }
+
+    // The full macro surface, exercised end to end.
+    crate::proptest! {
+        #[test]
+        fn macro_end_to_end(v in crate::collection::vec(0i64..10, 0..5), b in crate::strategy::any::<bool>()) {
+            crate::prop_assert!(v.len() < 5);
+            crate::prop_assert_eq!(b, b);
+            crate::prop_assume!(v.len() != 4); // never true here, but exercises the path
+        }
+    }
+}

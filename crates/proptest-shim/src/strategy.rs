@@ -1,0 +1,362 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::pattern;
+use crate::rng::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the per-case generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy it selects.
+    fn prop_flat_map<R, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        R: Strategy,
+        F: Fn(Self::Value) -> R,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds recursive structures: `self` is the leaf case, and
+    /// `recurse` wraps a strategy for subtrees into a strategy for
+    /// branches. `depth` bounds the nesting; the size hints are accepted
+    /// for API compatibility but unused (collection strategies already
+    /// carry their own size ranges).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), branch]).boxed();
+        }
+        strat
+    }
+
+    /// Erases the strategy's type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.gen(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn gen(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn gen(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    R: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R::Value;
+
+    fn gen(&self, rng: &mut TestRng) -> R::Value {
+        (self.f)(self.inner.gen(rng)).gen(rng)
+    }
+}
+
+/// Always generates clones of one value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn gen(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Chooses uniformly among type-erased alternatives (built by the
+/// [`prop_oneof!`](crate::prop_oneof) macro).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; at least one arm is required.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn gen(&self, rng: &mut TestRng) -> V {
+        let i = rng.index(self.arms.len());
+        self.arms[i].gen(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        char::from_u32(rng.int_in(0x20, 0x7f) as u32).unwrap_or('?')
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An unconstrained value of `T`, as in `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation)]
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.int_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation)]
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.int_in(*self.start() as i128, *self.end() as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// String generation from a character-class pattern such as
+/// `"[a-z]{0,6}"` (the subset of proptest's regex strategies this
+/// workspace uses).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (0i64..6).gen(&mut r);
+            assert!((0..6).contains(&v));
+            let w = (-50i64..50).gen(&mut r);
+            assert!((-50..50).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (0i64..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            assert_eq!(s.gen(&mut r) % 2, 0);
+        }
+        let f = (1usize..4).prop_flat_map(|n| crate::collection::vec(0i64..5, n..n + 1));
+        for _ in 0..50 {
+            let v = f.gen(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1i64).boxed(), Just(2i64).boxed()]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(u.gen(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)] // the payload only exercises generation
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&strat.gen(&mut r)) <= 3);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c, d) = (0usize..8, 0usize..3, 0usize..64, any::<bool>()).gen(&mut r);
+        assert!(a < 8 && b < 3 && c < 64);
+        let _: bool = d;
+    }
+}

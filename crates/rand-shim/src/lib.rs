@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace ships a small std-only implementation of the subset of the
+//! `rand 0.8` API it actually uses: [`rngs::StdRng`], [`SeedableRng`],
+//! and [`Rng::gen_range`] / [`Rng::gen_bool`] / [`Rng::gen`].
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast,
+//! well-distributed, and fully deterministic from a `u64` seed, which is
+//! all the synthetic-workload generators and benches require. Streams do
+//! **not** match upstream `rand`; every consumer in this repo only relies
+//! on determinism per seed, not on specific values.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Draws a value in `[low, high)` from the generator.
+    fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// The raw entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                // Width fits in u128 for every integer type we support;
+                // modulo bias is ~2^-64 per draw, irrelevant for synthetic
+                // workloads and tests.
+                let span = (high as i128 - low as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (low as i128 + draw as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Ranges a value can be uniformly drawn from (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample.
+    fn sample_single(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut dyn RngCore) -> T {
+        T::sample(rng, self.start, self.end)
+    }
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform value in the half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 bits of mantissa, same construction as rand's `gen::<f64>()`.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A random value of a primitive type (subset of `rand::Rng::gen`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types generable by [`Rng::gen`] (stand-in for the `Standard`
+/// distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn from_rng(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for bool {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for i64 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64 (as the xoshiro authors recommend).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i32..8);
+            assert!((-3..8).contains(&v));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}

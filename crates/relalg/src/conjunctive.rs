@@ -68,7 +68,10 @@ pub struct AtomPattern {
 impl AtomPattern {
     /// Builds an atom pattern.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        AtomPattern { relation: relation.into(), terms }
+        AtomPattern {
+            relation: relation.into(),
+            terms,
+        }
     }
 }
 
@@ -101,9 +104,7 @@ impl Rule {
         for t in &head_terms {
             match t {
                 Term::Wildcard => {
-                    return Err(RelalgError::UpdateError(
-                        "wildcard in rule head".to_owned(),
-                    ))
+                    return Err(RelalgError::UpdateError("wildcard in rule head".to_owned()))
                 }
                 Term::Var(v) => {
                     let bound = body
@@ -119,7 +120,11 @@ impl Rule {
                 Term::Const(_) => {}
             }
         }
-        Ok(Rule { head: head.into(), head_terms, body })
+        Ok(Rule {
+            head: head.into(),
+            head_terms,
+            body,
+        })
     }
 }
 
@@ -152,12 +157,16 @@ pub struct Derivation {
 
 /// All matches of a rule body against a database: for each complete
 /// substitution, the substitution and the tuples used.
-pub fn body_matches(
-    db: &Database,
-    body: &[AtomPattern],
-) -> Result<Vec<BodyMatch>, RelalgError> {
+pub fn body_matches(db: &Database, body: &[AtomPattern]) -> Result<Vec<BodyMatch>, RelalgError> {
     let mut results = Vec::new();
-    match_from(db, body, 0, &mut Substitution::new(), &mut Vec::new(), &mut results)?;
+    match_from(
+        db,
+        body,
+        0,
+        &mut Substitution::new(),
+        &mut Vec::new(),
+        &mut results,
+    )?;
     Ok(results)
 }
 
@@ -331,14 +340,8 @@ mod tests {
                 "V",
                 vec![Term::var("X"), Term::var("Z")],
                 vec![
-                    AtomPattern::new(
-                        "R",
-                        vec![Term::var("X"), Term::var("Y"), Term::Wildcard],
-                    ),
-                    AtomPattern::new(
-                        "R",
-                        vec![Term::Wildcard, Term::var("Y"), Term::var("Z")],
-                    ),
+                    AtomPattern::new("R", vec![Term::var("X"), Term::var("Y"), Term::Wildcard]),
+                    AtomPattern::new("R", vec![Term::Wildcard, Term::var("Y"), Term::var("Z")]),
                 ],
             )
             .unwrap(),
@@ -366,9 +369,7 @@ mod tests {
         // reproduced in cdb-semiring): (a,c) has the copy derivation p
         // plus the self-join p·p; (d,e) has r plus r·r; (f,e) s plus s·s.
         let (_, derivs) = eval_with_derivations(&figure4_db(), &figure4_rules()).unwrap();
-        let count = |x: &str, z: &str| {
-            derivs[&("V".to_string(), vec![s(x), s(z)])].len()
-        };
+        let count = |x: &str, z: &str| derivs[&("V".to_string(), vec![s(x), s(z)])].len();
         assert_eq!(count("a", "c"), 2);
         assert_eq!(count("a", "e"), 1);
         assert_eq!(count("d", "c"), 1);
@@ -426,7 +427,10 @@ mod tests {
             Rule::new(
                 "tc",
                 vec![Term::var("X"), Term::var("Y")],
-                vec![AtomPattern::new("edge", vec![Term::var("X"), Term::var("Y")])],
+                vec![AtomPattern::new(
+                    "edge",
+                    vec![Term::var("X"), Term::var("Y")],
+                )],
             )
             .unwrap(),
             Rule::new(

@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn lookup_and_missing() {
-        let db = Database::new().with(
-            "R",
-            Relation::table(["A"], [vec![Atom::Int(1)]]).unwrap(),
-        );
+        let db = Database::new().with("R", Relation::table(["A"], [vec![Atom::Int(1)]]).unwrap());
         assert!(db.get("R").is_ok());
         assert!(matches!(db.get("S"), Err(RelalgError::NoSuchRelation(_))));
         assert_eq!(db.names().collect::<Vec<_>>(), vec!["R"]);
@@ -93,10 +90,8 @@ mod tests {
 
     #[test]
     fn mutation_through_get_mut() {
-        let mut db = Database::new().with(
-            "R",
-            Relation::table(["A"], [vec![Atom::Int(1)]]).unwrap(),
-        );
+        let mut db =
+            Database::new().with("R", Relation::table(["A"], [vec![Atom::Int(1)]]).unwrap());
         db.get_mut("R").unwrap().insert(vec![Atom::Int(2)]).unwrap();
         assert_eq!(db.get("R").unwrap().len(), 2);
     }

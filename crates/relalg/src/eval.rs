@@ -1,6 +1,5 @@
 //! Set-semantics evaluation of relational algebra expressions.
 
-
 use crate::database::Database;
 use crate::error::RelalgError;
 use crate::expr::{ProjSource, RaExpr};
@@ -39,9 +38,7 @@ fn eval_raw(db: &Database, expr: &RaExpr) -> Result<Relation, RelalgError> {
                 let mut row: Tuple = Vec::with_capacity(items.len());
                 for item in items {
                     match &item.source {
-                        ProjSource::Col(c) => {
-                            row.push(t[input.schema().resolve(c)?].clone())
-                        }
+                        ProjSource::Col(c) => row.push(t[input.schema().resolve(c)?].clone()),
                         ProjSource::Const(a) => row.push(a.clone()),
                     }
                 }
@@ -145,7 +142,11 @@ fn natural_join(left: &Relation, right: &Relation) -> Result<Relation, RelalgErr
         .attrs()
         .iter()
         .cloned()
-        .chain(right_kept.iter().map(|&j| right.schema().attrs()[j].clone()))
+        .chain(
+            right_kept
+                .iter()
+                .map(|&j| right.schema().attrs()[j].clone()),
+        )
         .collect();
     let mut out = Relation::empty(Schema::new(attrs)?);
     for lt in left.tuples() {
@@ -187,19 +188,13 @@ mod tests {
         Database::new()
             .with(
                 "R",
-                Relation::table(
-                    ["A", "B"],
-                    [vec![int(10), int(49)], vec![int(12), int(50)]],
-                )
-                .unwrap(),
+                Relation::table(["A", "B"], [vec![int(10), int(49)], vec![int(12), int(50)]])
+                    .unwrap(),
             )
             .with(
                 "S",
-                Relation::table(
-                    ["A", "B"],
-                    [vec![int(11), int(49)], vec![int(12), int(50)]],
-                )
-                .unwrap(),
+                Relation::table(["A", "B"], [vec![int(11), int(49)], vec![int(12), int(50)]])
+                    .unwrap(),
             )
     }
 
@@ -227,8 +222,7 @@ mod tests {
     fn projection_merges_duplicates() {
         let db = Database::new().with(
             "T",
-            Relation::table(["A", "B"], [vec![int(1), int(5)], vec![int(2), int(5)]])
-                .unwrap(),
+            Relation::table(["A", "B"], [vec![int(1), int(5)], vec![int(2), int(5)]]).unwrap(),
         );
         let q = RaExpr::scan("T").project_cols(["B"]);
         let r = eval(&db, &q).unwrap();
@@ -240,13 +234,11 @@ mod tests {
         let db = Database::new()
             .with(
                 "R",
-                Relation::table(["A", "B"], [vec![int(1), int(2)], vec![int(3), int(4)]])
-                    .unwrap(),
+                Relation::table(["A", "B"], [vec![int(1), int(2)], vec![int(3), int(4)]]).unwrap(),
             )
             .with(
                 "S",
-                Relation::table(["B", "C"], [vec![int(2), int(7)], vec![int(9), int(8)]])
-                    .unwrap(),
+                Relation::table(["B", "C"], [vec![int(2), int(7)], vec![int(9), int(8)]]).unwrap(),
             );
         let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
         let r = eval(&db, &q).unwrap();
@@ -298,8 +290,8 @@ mod tests {
     #[test]
     fn product_concatenates_qualified_schemas() {
         let db = paper_db();
-        let q = RaExpr::ScanAs("R".into(), "r".into())
-            .product(RaExpr::ScanAs("S".into(), "s".into()));
+        let q =
+            RaExpr::ScanAs("R".into(), "r".into()).product(RaExpr::ScanAs("S".into(), "s".into()));
         let r = eval(&db, &q).unwrap();
         assert_eq!(r.schema().attrs(), ["r.A", "r.B", "s.A", "s.B"]);
         assert_eq!(r.len(), 4);

@@ -1,0 +1,849 @@
+//! The physical execution layer: hash joins, parallel partitioned
+//! probing, and per-operator execution statistics.
+//!
+//! The interpreter in [`crate::eval`] is deliberately naive — nested-loop
+//! joins keep the annotation semantics auditable. This module adds a
+//! second engine over the *same* AST with three physical improvements,
+//! all verified equivalent to the naive engine by differential tests:
+//!
+//! * **Hash joins.** [`RaExpr::NaturalJoin`] builds a hash table over the
+//!   smaller-side key columns and probes with the other side. A
+//!   recognizer ([`recognize_equi_join`]) additionally rewrites
+//!   `σ[a.x = b.y ∧ rest](A × B)` — the shape every `SELECT … FROM A, B
+//!   WHERE a.x = b.y` compiles to — into a hash join on the equated
+//!   column pairs with the full predicate re-checked on matches, so
+//!   residual (non-equality) conjuncts still apply.
+//! * **Parallel partitioned probing.** When the probe side is at least
+//!   [`ExecConfig::parallel_threshold`] tuples, it is split into
+//!   [`ExecConfig::partitions`] chunks probed concurrently under
+//!   [`std::thread::scope`]. Chunk results are concatenated in chunk
+//!   order, so the output is byte-identical to a sequential probe
+//!   regardless of the partition count.
+//! * **Statistics.** [`eval_with_stats`] returns an [`ExecStats`]
+//!   operator tree recording rows in/out, build/probe sizes, partition
+//!   counts and wall time per operator; its `Display` impl renders the
+//!   table printed by `cdbsh` and the join benchmarks.
+//!
+//! The kernel at the bottom of the stack, [`join_matches`], works on
+//! borrowed key columns and returns `(probe, build)` index pairs. The
+//! K-relation and colored evaluators (`cdb-semiring`, `cdb-annotation`)
+//! reuse it and combine the matched rows under their own semantics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cdb_model::Atom;
+
+use crate::database::Database;
+use crate::error::RelalgError;
+use crate::expr::{ProjSource, RaExpr};
+use crate::pred::{CmpOp, Operand, Pred};
+use crate::relation::{Relation, Schema, Tuple};
+
+/// Tuning knobs for the physical engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Use hash joins for natural joins and recognized equi-joins.
+    /// When `false` the engine mirrors the naive interpreter (useful as
+    /// a differential baseline that still collects statistics).
+    pub hash_join: bool,
+    /// Number of probe partitions; `0` means one per available core.
+    /// `1` forces a sequential probe.
+    pub partitions: usize,
+    /// Probe sides smaller than this many tuples are probed
+    /// sequentially — thread spawning costs more than it saves on
+    /// small inputs.
+    pub parallel_threshold: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            hash_join: true,
+            partitions: 0,
+            parallel_threshold: 4096,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Hash joins with a strictly sequential probe.
+    pub fn sequential() -> Self {
+        ExecConfig {
+            partitions: 1,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Hash joins probing across exactly `n` partitions (subject to the
+    /// parallel threshold); `0` means one per available core.
+    pub fn with_partitions(n: usize) -> Self {
+        ExecConfig {
+            partitions: n,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// The partition count to use for a probe side of `probe_rows`
+    /// tuples: `1` below the threshold, otherwise the configured count
+    /// (resolving `0` to the number of available cores).
+    pub fn partitions_for(&self, probe_rows: usize) -> usize {
+        if probe_rows < self.parallel_threshold.max(1) {
+            return 1;
+        }
+        match self.partitions {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// The result of a [`join_matches`] kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinMatches {
+    /// Matching `(probe_index, build_index)` pairs, ordered by probe
+    /// index, then by build insertion order within a key bucket. This is
+    /// exactly the order a probe-major nested loop would discover them
+    /// in, which is what makes the hash engine's output byte-identical
+    /// to the naive engine's.
+    pub pairs: Vec<(usize, usize)>,
+    /// How many probe partitions actually ran.
+    pub partitions: usize,
+}
+
+/// The shared hash-join kernel: builds a hash table over `build` keys
+/// and probes it with `probe` keys, in parallel when `cfg` allows.
+///
+/// Each key is the projection of one tuple onto the join columns; rows
+/// with equal keys match. All three evaluators (plain, K-relation,
+/// colored) call this and then combine the matched rows under their own
+/// semantics (concatenation, semiring multiplication, color merging).
+pub fn join_matches(build: &[Vec<&Atom>], probe: &[Vec<&Atom>], cfg: &ExecConfig) -> JoinMatches {
+    let mut table: HashMap<&[&Atom], Vec<usize>> = HashMap::with_capacity(build.len());
+    for (i, key) in build.iter().enumerate() {
+        table.entry(key.as_slice()).or_default().push(i);
+    }
+    let parts = cfg.partitions_for(probe.len()).max(1);
+    if parts == 1 || probe.len() < 2 {
+        let mut pairs = Vec::new();
+        probe_chunk(&table, probe, 0, &mut pairs);
+        return JoinMatches {
+            pairs,
+            partitions: 1,
+        };
+    }
+    let chunk = probe.len().div_ceil(parts);
+    std::thread::scope(|s| {
+        let table = &table;
+        let handles: Vec<_> = probe
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, rows)| {
+                s.spawn(move || {
+                    let mut pairs = Vec::new();
+                    probe_chunk(table, rows, ci * chunk, &mut pairs);
+                    pairs
+                })
+            })
+            .collect();
+        let partitions = handles.len();
+        let mut pairs = Vec::new();
+        for h in handles {
+            // Chunks concatenate in order: determinism does not depend
+            // on which worker finishes first.
+            pairs.extend(h.join().expect("join probe worker panicked"));
+        }
+        JoinMatches { pairs, partitions }
+    })
+}
+
+fn probe_chunk(
+    table: &HashMap<&[&Atom], Vec<usize>>,
+    probe: &[Vec<&Atom>],
+    base: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
+    for (off, key) in probe.iter().enumerate() {
+        if let Some(bucket) = table.get(key.as_slice()) {
+            out.extend(bucket.iter().map(|&bi| (base + off, bi)));
+        }
+    }
+}
+
+/// Projects each tuple onto the given columns, borrowing the atoms —
+/// the key extraction step in front of [`join_matches`].
+pub fn extract_keys<'a>(
+    rows: impl IntoIterator<Item = &'a Tuple>,
+    cols: &[usize],
+) -> Vec<Vec<&'a Atom>> {
+    rows.into_iter()
+        .map(|t| cols.iter().map(|&c| &t[c]).collect())
+        .collect()
+}
+
+/// A recognized equi-join within `σ_pred(A × B)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquiJoin {
+    /// `(left column, right column)` pairs the predicate equates across
+    /// the two sides — the hash keys.
+    pub keys: Vec<(usize, usize)>,
+    /// How many predicate conjuncts are *not* pure cross-side column
+    /// equalities. The full predicate is re-applied to matched rows, so
+    /// these still filter; this count exists for statistics.
+    pub residual_conjuncts: usize,
+}
+
+/// Recognizes `σ_pred(A × B)` as an equi-join: scans the predicate's
+/// top-level conjuncts for `col = col` comparisons whose operands
+/// resolve to opposite sides of the product. Returns `None` when no
+/// conjunct qualifies (the caller falls back to product-then-filter) or
+/// when a column fails to resolve — the naive engine only surfaces
+/// resolution errors while iterating rows, and the recognizer must not
+/// introduce errors the naive engine would not.
+pub fn recognize_equi_join(combined: &Schema, left_arity: usize, pred: &Pred) -> Option<EquiJoin> {
+    let mut keys = Vec::new();
+    let mut residual_conjuncts = 0;
+    for conjunct in pred.conjuncts() {
+        if let Pred::Cmp {
+            left: Operand::Col(l),
+            op: CmpOp::Eq,
+            right: Operand::Col(r),
+        } = conjunct
+        {
+            let (li, ri) = match (combined.resolve(l), combined.resolve(r)) {
+                (Ok(li), Ok(ri)) => (li, ri),
+                _ => return None,
+            };
+            match (li < left_arity, ri < left_arity) {
+                (true, false) => {
+                    keys.push((li, ri - left_arity));
+                    continue;
+                }
+                (false, true) => {
+                    keys.push((ri, li - left_arity));
+                    continue;
+                }
+                _ => {} // same-side equality: plain filter
+            }
+        }
+        residual_conjuncts += 1;
+    }
+    if keys.is_empty() {
+        None
+    } else {
+        Some(EquiJoin {
+            keys,
+            residual_conjuncts,
+        })
+    }
+}
+
+/// Per-operator execution statistics, forming a tree that mirrors the
+/// physical plan.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator label, e.g. `HashJoin[r.A=s.A]` or `Scan R`.
+    pub op: String,
+    /// Rows produced by this operator (before any final dedup).
+    pub rows_out: usize,
+    /// Hash-table size for join operators.
+    pub build_rows: Option<usize>,
+    /// Probe-side size for join operators.
+    pub probe_rows: Option<usize>,
+    /// Probe partitions actually used, for join operators.
+    pub partitions: Option<usize>,
+    /// Wall time spent in this operator, including its children.
+    pub elapsed: Duration,
+    /// Child operators.
+    pub children: Vec<OpStats>,
+}
+
+impl OpStats {
+    fn leaf(op: impl Into<String>, rows_out: usize, started: Instant) -> Self {
+        OpStats {
+            op: op.into(),
+            rows_out,
+            build_rows: None,
+            probe_rows: None,
+            partitions: None,
+            elapsed: started.elapsed(),
+            children: Vec::new(),
+        }
+    }
+
+    fn unary(op: impl Into<String>, rows_out: usize, started: Instant, child: OpStats) -> Self {
+        OpStats {
+            children: vec![child],
+            ..OpStats::leaf(op, rows_out, started)
+        }
+    }
+
+    fn binary(
+        op: impl Into<String>,
+        rows_out: usize,
+        started: Instant,
+        l: OpStats,
+        r: OpStats,
+    ) -> Self {
+        OpStats {
+            children: vec![l, r],
+            ..OpStats::leaf(op, rows_out, started)
+        }
+    }
+
+    /// Total number of operators in this subtree.
+    pub fn operator_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(OpStats::operator_count)
+            .sum::<usize>()
+    }
+}
+
+/// The statistics of one [`eval_with_stats`] run.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// The root of the physical operator tree.
+    pub root: OpStats,
+}
+
+impl ExecStats {
+    /// Finds the first operator (preorder) whose label starts with the
+    /// given prefix — convenient for asserting on join stats in tests.
+    pub fn find(&self, prefix: &str) -> Option<&OpStats> {
+        fn go<'a>(n: &'a OpStats, prefix: &str) -> Option<&'a OpStats> {
+            if n.op.starts_with(prefix) {
+                return Some(n);
+            }
+            n.children.iter().find_map(|c| go(c, prefix))
+        }
+        go(&self.root, prefix)
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn width(n: &OpStats, depth: usize) -> usize {
+            let own = depth * 2 + n.op.chars().count();
+            n.children
+                .iter()
+                .map(|c| width(c, depth + 1))
+                .fold(own, usize::max)
+        }
+        fn row(f: &mut fmt::Formatter<'_>, n: &OpStats, depth: usize, opw: usize) -> fmt::Result {
+            let pad = " ".repeat(depth * 2);
+            let opt = |v: Option<usize>| v.map_or(String::from("-"), |v| v.to_string());
+            let label: String = format!("{pad}{}", n.op);
+            let fill = opw.saturating_sub(label.chars().count());
+            writeln!(
+                f,
+                "{label}{}  {:>9}  {:>9}  {:>9}  {:>4}  {:>9.3}",
+                " ".repeat(fill),
+                n.rows_out,
+                opt(n.build_rows),
+                opt(n.probe_rows),
+                opt(n.partitions),
+                n.elapsed.as_secs_f64() * 1e3,
+            )?;
+            for c in &n.children {
+                row(f, c, depth + 1, opw)?;
+            }
+            Ok(())
+        }
+        let opw = width(&self.root, 0).max("operator".len());
+        writeln!(
+            f,
+            "{:<opw$}  {:>9}  {:>9}  {:>9}  {:>4}  {:>9}",
+            "operator", "rows", "build", "probe", "part", "ms"
+        )?;
+        row(f, &self.root, 0, opw)
+    }
+}
+
+/// Evaluates under set semantics with the physical engine, returning the
+/// result and the operator statistics tree.
+pub fn eval_with_stats(
+    db: &Database,
+    expr: &RaExpr,
+    cfg: &ExecConfig,
+) -> Result<(Relation, ExecStats), RelalgError> {
+    let (mut rel, root) = eval_node(db, expr, cfg)?;
+    rel.dedup();
+    Ok((rel, ExecStats { root }))
+}
+
+/// Evaluates under set semantics with the physical engine (hash joins,
+/// parallel probing), discarding statistics. Produces exactly the same
+/// relation as [`crate::eval::eval`].
+pub fn eval_hash(db: &Database, expr: &RaExpr, cfg: &ExecConfig) -> Result<Relation, RelalgError> {
+    eval_with_stats(db, expr, cfg).map(|(rel, _)| rel)
+}
+
+fn eval_node(
+    db: &Database,
+    expr: &RaExpr,
+    cfg: &ExecConfig,
+) -> Result<(Relation, OpStats), RelalgError> {
+    let started = Instant::now();
+    match expr {
+        RaExpr::Scan(name) => {
+            let rel = db.get(name)?.clone();
+            let stats = OpStats::leaf(format!("Scan {name}"), rel.len(), started);
+            Ok((rel, stats))
+        }
+        RaExpr::ScanAs(name, alias) => {
+            let base = db.get(name)?;
+            let schema = base.schema().qualified(alias);
+            let rel = Relation::from_rows(schema, base.tuples().iter().cloned())?;
+            let stats = OpStats::leaf(format!("Scan {name} AS {alias}"), rel.len(), started);
+            Ok((rel, stats))
+        }
+        RaExpr::Select(e, pred) => {
+            // The equi-join rewrite: σ over a product whose predicate
+            // equates columns across the two sides becomes a hash join.
+            if cfg.hash_join {
+                if let RaExpr::Product(a, b) = e.as_ref() {
+                    let (left, lstats) = eval_node(db, a, cfg)?;
+                    let (right, rstats) = eval_node(db, b, cfg)?;
+                    let combined = Schema::new(
+                        left.schema()
+                            .attrs()
+                            .iter()
+                            .chain(right.schema().attrs())
+                            .cloned(),
+                    )?;
+                    if let Some(ej) = recognize_equi_join(&combined, left.schema().arity(), pred) {
+                        return hash_equi_join(
+                            &left, &right, combined, pred, &ej, cfg, started, lstats, rstats,
+                        );
+                    }
+                    // No cross-side equality: plain product, then filter.
+                    let (prod, pstats) =
+                        product_of(&left, &right, combined, started, lstats, rstats)?;
+                    return filter_of(prod, pred, started, pstats);
+                }
+            }
+            let (input, istats) = eval_node(db, e, cfg)?;
+            filter_of(input, pred, started, istats)
+        }
+        RaExpr::Project(e, items) => {
+            let (input, istats) = eval_node(db, e, cfg)?;
+            let schema = Schema::new(items.iter().map(|i| i.name.clone()))?;
+            let mut out = Relation::empty(schema);
+            for t in input.tuples() {
+                let mut row: Tuple = Vec::with_capacity(items.len());
+                for item in items {
+                    match &item.source {
+                        ProjSource::Col(c) => row.push(t[input.schema().resolve(c)?].clone()),
+                        ProjSource::Const(a) => row.push(a.clone()),
+                    }
+                }
+                out.insert(row)?;
+            }
+            let stats = OpStats::unary("Project π", out.len(), started, istats);
+            Ok((out, stats))
+        }
+        RaExpr::Product(a, b) => {
+            let (left, lstats) = eval_node(db, a, cfg)?;
+            let (right, rstats) = eval_node(db, b, cfg)?;
+            let combined = Schema::new(
+                left.schema()
+                    .attrs()
+                    .iter()
+                    .chain(right.schema().attrs())
+                    .cloned(),
+            )?;
+            product_of(&left, &right, combined, started, lstats, rstats)
+        }
+        RaExpr::NaturalJoin(a, b) => {
+            let (left, lstats) = eval_node(db, a, cfg)?;
+            let (right, rstats) = eval_node(db, b, cfg)?;
+            let shared = crate::eval::shared_attrs(left.schema(), right.schema());
+            if cfg.hash_join && !shared.is_empty() {
+                hash_natural_join(&left, &right, &shared, cfg, started, lstats, rstats)
+            } else {
+                loop_natural_join(&left, &right, &shared, started, lstats, rstats)
+            }
+        }
+        RaExpr::Union(a, b) => {
+            let (left, lstats) = eval_node(db, a, cfg)?;
+            let (right, rstats) = eval_node(db, b, cfg)?;
+            if !left.schema().union_compatible(right.schema()) {
+                return Err(RelalgError::SchemaMismatch {
+                    left: left.schema().attrs().to_vec(),
+                    right: right.schema().attrs().to_vec(),
+                });
+            }
+            let mut out = left;
+            for t in right.tuples() {
+                out.insert(t.clone())?;
+            }
+            let stats = OpStats::binary("Union ∪", out.len(), started, lstats, rstats);
+            Ok((out, stats))
+        }
+        RaExpr::Diff(a, b) => {
+            let (left, lstats) = eval_node(db, a, cfg)?;
+            let (right, rstats) = eval_node(db, b, cfg)?;
+            if !left.schema().union_compatible(right.schema()) {
+                return Err(RelalgError::SchemaMismatch {
+                    left: left.schema().attrs().to_vec(),
+                    right: right.schema().attrs().to_vec(),
+                });
+            }
+            let rset = right.tuple_set();
+            let mut out = Relation::empty(left.schema().clone());
+            for t in left.tuples() {
+                if !rset.contains(t) {
+                    out.insert(t.clone())?;
+                }
+            }
+            let stats = OpStats::binary("Diff −", out.len(), started, lstats, rstats);
+            Ok((out, stats))
+        }
+        RaExpr::Rename(e, pairs) => {
+            let (input, istats) = eval_node(db, e, cfg)?;
+            let mut attrs: Vec<String> = input.schema().attrs().to_vec();
+            for (old, new) in pairs {
+                let i = input.schema().resolve(old)?;
+                attrs[i] = new.clone();
+            }
+            let rel = Relation::from_rows(Schema::new(attrs)?, input.tuples().iter().cloned())?;
+            let stats = OpStats::unary("Rename ρ", rel.len(), started, istats);
+            Ok((rel, stats))
+        }
+    }
+}
+
+fn filter_of(
+    input: Relation,
+    pred: &Pred,
+    started: Instant,
+    istats: OpStats,
+) -> Result<(Relation, OpStats), RelalgError> {
+    let mut out = Relation::empty(input.schema().clone());
+    for t in input.tuples() {
+        if pred.eval(input.schema(), t)? {
+            out.insert(t.clone())?;
+        }
+    }
+    let stats = OpStats::unary(format!("Select σ[{pred}]"), out.len(), started, istats);
+    Ok((out, stats))
+}
+
+fn product_of(
+    left: &Relation,
+    right: &Relation,
+    combined: Schema,
+    started: Instant,
+    lstats: OpStats,
+    rstats: OpStats,
+) -> Result<(Relation, OpStats), RelalgError> {
+    let mut out = Relation::empty(combined);
+    for lt in left.tuples() {
+        for rt in right.tuples() {
+            let mut row = lt.clone();
+            row.extend(rt.iter().cloned());
+            out.insert(row)?;
+        }
+    }
+    let stats = OpStats::binary("Product ×", out.len(), started, lstats, rstats);
+    Ok((out, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_equi_join(
+    left: &Relation,
+    right: &Relation,
+    combined: Schema,
+    pred: &Pred,
+    ej: &EquiJoin,
+    cfg: &ExecConfig,
+    started: Instant,
+    lstats: OpStats,
+    rstats: OpStats,
+) -> Result<(Relation, OpStats), RelalgError> {
+    let lcols: Vec<usize> = ej.keys.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = ej.keys.iter().map(|&(_, r)| r).collect();
+    let build = extract_keys(right.tuples(), &rcols);
+    let probe = extract_keys(left.tuples(), &lcols);
+    let matches = join_matches(&build, &probe, cfg);
+    let mut out = Relation::empty(combined);
+    for &(li, ri) in &matches.pairs {
+        let mut row = left.tuples()[li].clone();
+        row.extend(right.tuples()[ri].iter().cloned());
+        // Re-check the whole predicate: residual conjuncts (and
+        // same-side equalities) still filter the matched pairs.
+        if pred.eval(out.schema(), &row)? {
+            out.insert(row)?;
+        }
+    }
+    let label = format!(
+        "HashJoin[{}]{}",
+        ej.keys
+            .iter()
+            .map(|&(l, r)| {
+                format!("{}={}", left.schema().attrs()[l], right.schema().attrs()[r])
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+        if ej.residual_conjuncts > 0 {
+            format!(" +{} residual", ej.residual_conjuncts)
+        } else {
+            String::new()
+        }
+    );
+    let stats = OpStats {
+        build_rows: Some(right.len()),
+        probe_rows: Some(left.len()),
+        partitions: Some(matches.partitions),
+        ..OpStats::binary(label, out.len(), started, lstats, rstats)
+    };
+    Ok((out, stats))
+}
+
+fn natural_join_layout(
+    left: &Relation,
+    right: &Relation,
+    shared: &[(usize, usize)],
+) -> Result<(Schema, Vec<usize>), RelalgError> {
+    let right_kept: Vec<usize> = (0..right.schema().arity())
+        .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
+        .collect();
+    let attrs: Vec<String> = left
+        .schema()
+        .attrs()
+        .iter()
+        .cloned()
+        .chain(
+            right_kept
+                .iter()
+                .map(|&j| right.schema().attrs()[j].clone()),
+        )
+        .collect();
+    Ok((Schema::new(attrs)?, right_kept))
+}
+
+fn hash_natural_join(
+    left: &Relation,
+    right: &Relation,
+    shared: &[(usize, usize)],
+    cfg: &ExecConfig,
+    started: Instant,
+    lstats: OpStats,
+    rstats: OpStats,
+) -> Result<(Relation, OpStats), RelalgError> {
+    let (schema, right_kept) = natural_join_layout(left, right, shared)?;
+    let lcols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+    let rcols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+    let build = extract_keys(right.tuples(), &rcols);
+    let probe = extract_keys(left.tuples(), &lcols);
+    let matches = join_matches(&build, &probe, cfg);
+    let mut out = Relation::empty(schema);
+    for &(li, ri) in &matches.pairs {
+        let rt = &right.tuples()[ri];
+        let mut row = left.tuples()[li].clone();
+        row.extend(right_kept.iter().map(|&j| rt[j].clone()));
+        out.insert(row)?;
+    }
+    let keys: Vec<&str> = shared
+        .iter()
+        .map(|&(i, _)| left.schema().attrs()[i].as_str())
+        .collect();
+    let stats = OpStats {
+        build_rows: Some(right.len()),
+        probe_rows: Some(left.len()),
+        partitions: Some(matches.partitions),
+        ..OpStats::binary(
+            format!("HashNaturalJoin[{}]", keys.join(",")),
+            out.len(),
+            started,
+            lstats,
+            rstats,
+        )
+    };
+    Ok((out, stats))
+}
+
+fn loop_natural_join(
+    left: &Relation,
+    right: &Relation,
+    shared: &[(usize, usize)],
+    started: Instant,
+    lstats: OpStats,
+    rstats: OpStats,
+) -> Result<(Relation, OpStats), RelalgError> {
+    let (schema, right_kept) = natural_join_layout(left, right, shared)?;
+    let mut out = Relation::empty(schema);
+    for lt in left.tuples() {
+        for rt in right.tuples() {
+            if shared.iter().all(|&(i, j)| lt[i] == rt[j]) {
+                let mut row = lt.clone();
+                row.extend(right_kept.iter().map(|&j| rt[j].clone()));
+                out.insert(row)?;
+            }
+        }
+    }
+    let stats = OpStats::binary("NaturalJoin ⋈ (loop)", out.len(), started, lstats, rstats);
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::expr::ProjItem;
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    fn join_db(n: i64) -> Database {
+        // R(A,B) with B = A % 7; S(B,C): join on B fans out.
+        let r = Relation::table(["A", "B"], (0..n).map(|i| vec![int(i), int(i % 7)])).unwrap();
+        let s =
+            Relation::table(["B", "C"], (0..20).map(|i| vec![int(i % 7), int(100 + i)])).unwrap();
+        Database::new().with("R", r).with("S", s)
+    }
+
+    #[test]
+    fn kernel_matches_are_probe_ordered() {
+        let a1 = int(1);
+        let a2 = int(2);
+        let build = vec![vec![&a1], vec![&a2], vec![&a1]];
+        let probe = vec![vec![&a2], vec![&a1]];
+        let m = join_matches(&build, &probe, &ExecConfig::sequential());
+        assert_eq!(m.pairs, vec![(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(m.partitions, 1);
+    }
+
+    #[test]
+    fn kernel_is_partition_invariant() {
+        let atoms: Vec<Atom> = (0..500).map(|i| int(i % 13)).collect();
+        let keys: Vec<Vec<&Atom>> = atoms.iter().map(|a| vec![a]).collect();
+        let seq = join_matches(&keys, &keys, &ExecConfig::sequential());
+        for parts in [2, 3, 8] {
+            let mut cfg = ExecConfig::with_partitions(parts);
+            cfg.parallel_threshold = 1;
+            let par = join_matches(&keys, &keys, &cfg);
+            assert_eq!(par.pairs, seq.pairs, "{parts} partitions");
+            assert_eq!(par.partitions, parts);
+        }
+    }
+
+    #[test]
+    fn natural_join_agrees_with_naive_engine() {
+        let db = join_db(50);
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
+        let naive = eval(&db, &q).unwrap();
+        let (hashed, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed, "byte-identical, not just set-equal");
+        let join = stats.find("HashNaturalJoin").expect("hash join in plan");
+        assert_eq!(join.build_rows, Some(20));
+        assert_eq!(join.probe_rows, Some(50));
+    }
+
+    #[test]
+    fn select_product_is_recognized_as_equi_join() {
+        let db = join_db(30);
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::col_eq_col("r.B", "s.B").and(Pred::col_eq_const("r.A", 3)));
+        let naive = eval(&db, &q).unwrap();
+        let (hashed, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed);
+        let join = stats
+            .find("HashJoin[r.B=s.B]")
+            .expect("equi-join recognized");
+        assert!(
+            join.op.contains("+1 residual"),
+            "constant filter is residual"
+        );
+    }
+
+    #[test]
+    fn non_equi_select_falls_back_to_product() {
+        let db = join_db(10);
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::cmp(
+                Operand::col("r.B"),
+                CmpOp::Lt,
+                Operand::col("s.B"),
+            ));
+        let naive = eval(&db, &q).unwrap();
+        let (hashed, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed);
+        assert!(stats.find("HashJoin").is_none());
+        assert!(stats.find("Product ×").is_some());
+    }
+
+    #[test]
+    fn parallel_probe_equals_sequential() {
+        let db = join_db(2000);
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
+        let seq = eval_hash(&db, &q, &ExecConfig::sequential()).unwrap();
+        for parts in [2, 8] {
+            let mut cfg = ExecConfig::with_partitions(parts);
+            cfg.parallel_threshold = 1;
+            let par = eval_hash(&db, &q, &cfg).unwrap();
+            assert_eq!(seq, par, "{parts} partitions");
+        }
+    }
+
+    #[test]
+    fn threshold_keeps_small_probes_sequential() {
+        let db = join_db(100);
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
+        let cfg = ExecConfig::with_partitions(8); // threshold 4096 > 100
+        let (_, stats) = eval_with_stats(&db, &q, &cfg).unwrap();
+        let join = stats.find("HashNaturalJoin").unwrap();
+        assert_eq!(join.partitions, Some(1));
+    }
+
+    #[test]
+    fn whole_algebra_matches_on_a_mixed_query() {
+        let db = join_db(40);
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .select(Pred::col_eq_const("C", 103))
+            .project(vec![ProjItem::col("A", "A"), ProjItem::constant(1, "One")])
+            .union(
+                RaExpr::scan("R")
+                    .project(vec![ProjItem::col("A", "A"), ProjItem::constant(1, "One")])
+                    .diff(
+                        RaExpr::scan("R")
+                            .project(vec![ProjItem::col("B", "A"), ProjItem::constant(1, "One")]),
+                    ),
+            );
+        let naive = eval(&db, &q).unwrap();
+        let hashed = eval_hash(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed);
+    }
+
+    #[test]
+    fn stats_render_a_table() {
+        let db = join_db(30);
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
+        let (_, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        let table = stats.to_string();
+        assert!(table.contains("operator"), "{table}");
+        assert!(table.contains("HashNaturalJoin[B]"), "{table}");
+        assert!(table.contains("  Scan R"), "children indented: {table}");
+        assert_eq!(stats.root.operator_count(), 3);
+    }
+
+    #[test]
+    fn disabling_hash_join_still_collects_stats() {
+        let db = join_db(25);
+        let q = RaExpr::scan("R").natural_join(RaExpr::scan("S"));
+        let cfg = ExecConfig {
+            hash_join: false,
+            ..ExecConfig::default()
+        };
+        let (rel, stats) = eval_with_stats(&db, &q, &cfg).unwrap();
+        assert_eq!(rel, eval(&db, &q).unwrap());
+        assert!(stats.find("NaturalJoin ⋈ (loop)").is_some());
+    }
+}

@@ -29,12 +29,18 @@ pub enum ProjSource {
 impl ProjItem {
     /// `col AS name` (or just `col`, reusing its base name).
     pub fn col(col: impl Into<String>, name: impl Into<String>) -> Self {
-        ProjItem { source: ProjSource::Col(col.into()), name: name.into() }
+        ProjItem {
+            source: ProjSource::Col(col.into()),
+            name: name.into(),
+        }
     }
 
     /// `const AS name`.
     pub fn constant(a: impl Into<Atom>, name: impl Into<String>) -> Self {
-        ProjItem { source: ProjSource::Const(a.into()), name: name.into() }
+        ProjItem {
+            source: ProjSource::Const(a.into()),
+            name: name.into(),
+        }
     }
 }
 
@@ -90,10 +96,7 @@ impl RaExpr {
     }
 
     /// Projection onto named columns (no renaming).
-    pub fn project_cols<S: Into<String> + Clone>(
-        self,
-        cols: impl IntoIterator<Item = S>,
-    ) -> Self {
+    pub fn project_cols<S: Into<String> + Clone>(self, cols: impl IntoIterator<Item = S>) -> Self {
         let items = cols
             .into_iter()
             .map(|c| {
@@ -132,12 +135,10 @@ impl RaExpr {
     pub fn is_positive(&self) -> bool {
         match self {
             RaExpr::Scan(_) | RaExpr::ScanAs(_, _) => true,
-            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => {
-                e.is_positive()
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => e.is_positive(),
+            RaExpr::Product(a, b) | RaExpr::NaturalJoin(a, b) | RaExpr::Union(a, b) => {
+                a.is_positive() && b.is_positive()
             }
-            RaExpr::Product(a, b)
-            | RaExpr::NaturalJoin(a, b)
-            | RaExpr::Union(a, b) => a.is_positive() && b.is_positive(),
             RaExpr::Diff(_, _) => false,
         }
     }
@@ -181,8 +182,7 @@ impl fmt::Display for RaExpr {
             RaExpr::Union(a, b) => write!(f, "({a} ∪ {b})"),
             RaExpr::Diff(a, b) => write!(f, "({a} − {b})"),
             RaExpr::Rename(e, pairs) => {
-                let ps: Vec<String> =
-                    pairs.iter().map(|(o, n)| format!("{o}→{n}")).collect();
+                let ps: Vec<String> = pairs.iter().map(|(o, n)| format!("{o}→{n}")).collect();
                 write!(f, "ρ[{}]({e})", ps.join(", "))
             }
         }

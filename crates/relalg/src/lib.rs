@@ -16,12 +16,18 @@
 //!   `UPDATE`), so that the worked examples can be written exactly as
 //!   they appear in print.
 //!
-//! The engine is deliberately naive (nested-loop joins, no optimizer):
-//! the experiments measure provenance and archiving behaviour, not join
-//! performance, and a naive engine keeps the provenance semantics
-//! auditable. *Not* optimizing is also faithful to §2.1's point that
-//! annotation propagation breaks classical rewriting: `cdb-annotation`
-//! evaluates these ASTs exactly as written.
+//! The reference interpreter ([`eval`]) is deliberately naive
+//! (nested-loop joins, no optimizer): the experiments measure provenance
+//! and archiving behaviour, not join performance, and a naive engine
+//! keeps the provenance semantics auditable. *Not* optimizing is also
+//! faithful to §2.1's point that annotation propagation breaks classical
+//! rewriting: `cdb-annotation` evaluates these ASTs exactly as written.
+//!
+//! For large curated instances there is a second, physical engine
+//! ([`exec`]): hash joins with an equi-join recognizer, parallel
+//! partitioned probing, and per-operator statistics ([`ExecStats`]).
+//! It is differentially tested to produce exactly the interpreter's
+//! results, so either engine can serve either role.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +36,7 @@ pub mod conjunctive;
 pub mod database;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod expr;
 pub mod pred;
 pub mod relation;
@@ -37,6 +44,7 @@ pub mod sql;
 
 pub use database::Database;
 pub use error::RelalgError;
+pub use exec::{eval_hash, eval_with_stats, ExecConfig, ExecStats, OpStats};
 pub use expr::{ProjItem, RaExpr};
 pub use pred::{CmpOp, Operand, Pred};
 pub use relation::{Relation, Schema, Tuple};

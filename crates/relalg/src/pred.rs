@@ -28,11 +28,7 @@ impl Operand {
     }
 
     /// Evaluates the operand against a tuple.
-    pub fn eval<'a>(
-        &'a self,
-        schema: &Schema,
-        tuple: &'a Tuple,
-    ) -> Result<&'a Atom, RelalgError> {
+    pub fn eval<'a>(&'a self, schema: &Schema, tuple: &'a Tuple) -> Result<&'a Atom, RelalgError> {
         match self {
             Operand::Col(name) => Ok(&tuple[schema.resolve(name)?]),
             Operand::Const(a) => Ok(a),
@@ -163,6 +159,22 @@ impl Pred {
         }
     }
 
+    /// The top-level conjuncts of the predicate, flattening nested
+    /// `And` (a single non-conjunctive predicate is its own conjunct).
+    /// `True` contributes nothing. Used by the equi-join recognizer in
+    /// [`crate::exec`] to pull hash keys out of a selection.
+    pub fn conjuncts(&self) -> Vec<&Pred> {
+        match self {
+            Pred::True => Vec::new(),
+            Pred::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
     /// The pairs of operands this predicate *explicitly equates* at the
     /// top level (under conjunction only). Used by the DEFAULT-ALL
     /// annotation-propagation scheme of §2.1, which merges the
@@ -170,7 +182,11 @@ impl Pred {
     /// selection".
     pub fn equated_pairs(&self) -> Vec<(Operand, Operand)> {
         match self {
-            Pred::Cmp { left, op: CmpOp::Eq, right } => {
+            Pred::Cmp {
+                left,
+                op: CmpOp::Eq,
+                right,
+            } => {
                 vec![(left.clone(), right.clone())]
             }
             Pred::And(a, b) => {
@@ -209,9 +225,11 @@ mod tests {
         let t = vec![Atom::Int(10), Atom::Int(50)];
         assert!(Pred::col_eq_const("A", 10).eval(&s, &t).unwrap());
         assert!(!Pred::col_eq_const("A", 11).eval(&s, &t).unwrap());
-        assert!(Pred::cmp(Operand::col("B"), CmpOp::Gt, Operand::constant(49))
-            .eval(&s, &t)
-            .unwrap());
+        assert!(
+            Pred::cmp(Operand::col("B"), CmpOp::Gt, Operand::constant(49))
+                .eval(&s, &t)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -23,9 +23,7 @@ pub struct Schema {
 
 impl Schema {
     /// Builds a schema, rejecting duplicate attribute names.
-    pub fn new<S: Into<String>>(
-        attrs: impl IntoIterator<Item = S>,
-    ) -> Result<Self, RelalgError> {
+    pub fn new<S: Into<String>>(attrs: impl IntoIterator<Item = S>) -> Result<Self, RelalgError> {
         let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
         let mut seen = BTreeSet::new();
         for a in &attrs {
@@ -138,7 +136,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Creates a relation from rows, checking arity.

@@ -113,7 +113,11 @@ pub fn run(db: &mut Database, stmt: &Statement) -> Result<crate::Relation, Relal
             *rel = crate::Relation::from_rows(schema, kept)?;
             Ok(rel.clone())
         }
-        Statement::Update { relation, sets, pred } => {
+        Statement::Update {
+            relation,
+            sets,
+            pred,
+        } => {
             let rel = db.get_mut(relation)?;
             let schema = rel.schema().clone();
             let mut idx_sets: Vec<(usize, Atom)> = Vec::new();
@@ -164,8 +168,7 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, RelalgError> {
         } else if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric()
-                    || bytes[i] == b'_')
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -238,12 +241,23 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, RelalgError> {
 
 impl Parser {
     fn new(input: &str) -> Result<Self, RelalgError> {
-        Ok(Parser { toks: lex(input)?, pos: 0, input_len: input.len() })
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            input_len: input.len(),
+        })
     }
 
     fn err(&self, msg: &str) -> RelalgError {
-        let at = self.toks.get(self.pos).map(|(o, _)| *o).unwrap_or(self.input_len);
-        RelalgError::Parse { at, msg: msg.to_owned() }
+        let at = self
+            .toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.input_len);
+        RelalgError::Parse {
+            at,
+            msg: msg.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -357,8 +371,8 @@ impl Parser {
 
     fn is_keyword(id: &str) -> bool {
         const KW: [&str; 16] = [
-            "select", "from", "where", "union", "except", "and", "or", "not",
-            "as", "insert", "into", "values", "delete", "update", "set", "distinct",
+            "select", "from", "where", "union", "except", "and", "or", "not", "as", "insert",
+            "into", "values", "delete", "update", "set", "distinct",
         ];
         KW.iter().any(|k| id.eq_ignore_ascii_case(k))
     }
@@ -405,7 +419,11 @@ impl Parser {
         self.expect_keyword("delete")?;
         self.expect_keyword("from")?;
         let relation = self.ident()?;
-        let pred = if self.eat_keyword("where") { self.pred()? } else { Pred::True };
+        let pred = if self.eat_keyword("where") {
+            self.pred()?
+        } else {
+            Pred::True
+        };
         Ok(Statement::Delete { relation, pred })
     }
 
@@ -437,14 +455,20 @@ impl Parser {
                 break;
             }
             let _ = self.eat_symbol(";");
-            if saw_set && !matches!(self.peek(), Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("where")) {
+            if saw_set
+                && !matches!(self.peek(), Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("where"))
+            {
                 break;
             }
         }
         if !saw_set {
             return Err(self.err("UPDATE requires a SET clause"));
         }
-        Ok(Statement::Update { relation, sets, pred })
+        Ok(Statement::Update {
+            relation,
+            sets,
+            pred,
+        })
     }
 
     // ---------------------------------------------------------- queries
@@ -483,9 +507,7 @@ impl Parser {
         loop {
             let name = self.ident()?;
             let alias = match self.peek() {
-                Some(Tok::Ident(id))
-                    if id.eq_ignore_ascii_case("as") =>
-                {
+                Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("as") => {
                     self.pos += 1;
                     Some(self.ident()?)
                 }
@@ -538,7 +560,10 @@ impl Parser {
         };
         Ok(match (source_col, source_const) {
             (Some(c), _) => ProjItem::col(c, name),
-            (_, Some(a)) => ProjItem { source: crate::expr::ProjSource::Const(a), name },
+            (_, Some(a)) => ProjItem {
+                source: crate::expr::ProjSource::Const(a),
+                name,
+            },
             _ => unreachable!(),
         })
     }
@@ -626,19 +651,13 @@ mod tests {
         Database::new()
             .with(
                 "R",
-                Relation::table(
-                    ["A", "B"],
-                    [vec![int(10), int(49)], vec![int(12), int(50)]],
-                )
-                .unwrap(),
+                Relation::table(["A", "B"], [vec![int(10), int(49)], vec![int(12), int(50)]])
+                    .unwrap(),
             )
             .with(
                 "S",
-                Relation::table(
-                    ["A", "B"],
-                    [vec![int(11), int(49)], vec![int(12), int(50)]],
-                )
-                .unwrap(),
+                Relation::table(["A", "B"], [vec![int(11), int(49)], vec![int(12), int(50)]])
+                    .unwrap(),
             )
     }
 
@@ -682,7 +701,9 @@ mod tests {
         )
         .unwrap();
         let expect: std::collections::BTreeSet<Tuple> =
-            [vec![int(12), int(55)], vec![int(10), int(49)]].into_iter().collect();
+            [vec![int(12), int(55)], vec![int(10), int(49)]]
+                .into_iter()
+                .collect();
         assert_eq!(r.tuple_set(), expect);
     }
 
@@ -692,7 +713,9 @@ mod tests {
         execute(&mut db, "DELETE FROM R WHERE A = 10").unwrap();
         execute(&mut db, "INSERT INTO R VALUES (10, 55)").unwrap();
         let expect: std::collections::BTreeSet<Tuple> =
-            [vec![int(10), int(55)], vec![int(12), int(50)]].into_iter().collect();
+            [vec![int(10), int(55)], vec![int(12), int(50)]]
+                .into_iter()
+                .collect();
         assert_eq!(db.get("R").unwrap().tuple_set(), expect);
     }
 
@@ -705,7 +728,10 @@ mod tests {
         // The paper's transposed order with stray semicolon.
         let mut db2 = paper_db();
         execute(&mut db2, "UPDATE R WHERE A = 10; SET B = 55").unwrap();
-        assert_eq!(db.get("R").unwrap().tuple_set(), db2.get("R").unwrap().tuple_set());
+        assert_eq!(
+            db.get("R").unwrap().tuple_set(),
+            db2.get("R").unwrap().tuple_set()
+        );
     }
 
     #[test]
@@ -738,20 +764,14 @@ mod tests {
     #[test]
     fn aliases_resolve() {
         let mut db = paper_db();
-        let r = execute(
-            &mut db,
-            "SELECT x.A FROM R AS x, S AS y WHERE x.A = y.A",
-        )
-        .unwrap();
+        let r = execute(&mut db, "SELECT x.A FROM R AS x, S AS y WHERE x.A = y.A").unwrap();
         assert_eq!(r.tuples(), &[vec![int(12)]]);
     }
 
     #[test]
     fn script_parsing() {
-        let stmts = parse_script(
-            "DELETE FROM R WHERE A = 10; INSERT INTO R VALUES (10, 55);",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("DELETE FROM R WHERE A = 10; INSERT INTO R VALUES (10, 55);").unwrap();
         assert_eq!(stmts.len(), 2);
     }
 

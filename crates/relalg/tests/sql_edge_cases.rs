@@ -153,6 +153,10 @@ fn update_multiple_assignments() {
 #[test]
 fn keywords_case_insensitive() {
     let mut d = db();
-    let r = execute(&mut d, "select a from T where a = 1 union select b as a from T").unwrap();
+    let r = execute(
+        &mut d,
+        "select a from T where a = 1 union select b as a from T",
+    )
+    .unwrap();
     assert_eq!(r.tuple_set().len(), 2);
 }

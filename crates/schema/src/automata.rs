@@ -72,7 +72,12 @@ impl Dfa {
             }
         }
         let accepting = states.iter().map(Regex::nullable).collect();
-        Some(Dfa { alphabet, trans, accepting, start: 0 })
+        Some(Dfa {
+            alphabet,
+            trans,
+            accepting,
+            start: 0,
+        })
     }
 
     /// Number of states (the blow-up measure).
@@ -175,11 +180,7 @@ pub fn state_count(expr: &Regex) -> Option<usize> {
 pub fn contains(sup: &Regex, sub: &Regex) -> bool {
     let mut seen: std::collections::BTreeSet<(Regex, Regex)> = Default::default();
     let mut work = vec![(sub.clone(), sup.clone())];
-    let alphabet: Vec<String> = sub
-        .alphabet()
-        .union(&sup.alphabet())
-        .cloned()
-        .collect();
+    let alphabet: Vec<String> = sub.alphabet().union(&sup.alphabet()).cloned().collect();
     while let Some((a, b)) = work.pop() {
         if a.is_empty_language() {
             continue;

@@ -38,9 +38,7 @@ pub fn infer_type<'a>(values: impl IntoIterator<Item = &'a Value>) -> Type {
 pub fn type_of(v: &Value) -> Type {
     match v {
         Value::Atom(a) => Type::Atom(AtomType::of(a)),
-        Value::Record(m) => Type::record(
-            m.iter().map(|(l, x)| (l.clone(), type_of(x))),
-        ),
+        Value::Record(m) => Type::record(m.iter().map(|(l, x)| (l.clone(), type_of(x)))),
         Value::Set(s) => Type::set(infer_type(s.iter())),
         Value::List(xs) => Type::list(infer_type(xs.iter())),
     }
@@ -211,10 +209,7 @@ mod tests {
 
     #[test]
     fn regex_inference_simple_sequence() {
-        let ex = vec![
-            vec!["id", "ac", "de", "sq"],
-            vec!["id", "ac", "de", "sq"],
-        ];
+        let ex = vec![vec!["id", "ac", "de", "sq"], vec!["id", "ac", "de", "sq"]];
         let e = infer_regex(&ex);
         assert!(e.matches(["id", "ac", "de", "sq"]));
         assert!(!e.matches(["ac", "id", "de", "sq"]));
@@ -242,10 +237,7 @@ mod tests {
     #[test]
     fn regex_inference_alternating_symbols_form_a_starred_factor() {
         // a and b alternate arbitrarily: they form one SCC.
-        let ex = vec![
-            vec!["x", "a", "b", "a", "y"],
-            vec!["x", "b", "a", "b", "y"],
-        ];
+        let ex = vec![vec!["x", "a", "b", "a", "y"], vec!["x", "b", "a", "b", "y"]];
         let e = infer_regex(&ex);
         for x in &ex {
             assert!(e.matches(x.iter().copied()));

@@ -138,9 +138,8 @@ impl Regex {
                 // d(r1 r2…) = d(r1) r2… | [r1 nullable] d(r2…)
                 let (first, rest) = xs.split_first().expect("Seq is non-empty");
                 let rest_re = Regex::seq(rest.iter().cloned());
-                let left = Regex::seq(
-                    std::iter::once(first.derivative(a)).chain(rest.iter().cloned()),
-                );
+                let left =
+                    Regex::seq(std::iter::once(first.derivative(a)).chain(rest.iter().cloned()));
                 if first.nullable() {
                     Regex::alt([left, rest_re.derivative(a)])
                 } else {
@@ -148,10 +147,7 @@ impl Regex {
                 }
             }
             Regex::Alt(xs) => Regex::alt(xs.iter().map(|x| x.derivative(a))),
-            Regex::Star(inner) => Regex::seq([
-                inner.derivative(a),
-                Regex::Star(Rc::clone(inner)),
-            ]),
+            Regex::Star(inner) => Regex::seq([inner.derivative(a), Regex::Star(Rc::clone(inner))]),
             Regex::Interleave(l, r) => Regex::alt([
                 Regex::interleave(l.derivative(a), (**r).clone()),
                 Regex::interleave((**l).clone(), r.derivative(a)),
@@ -233,7 +229,10 @@ impl Regex {
     /// parentheses group. Precedence: postfix > concatenation > `&` >
     /// `|`.
     pub fn parse(input: &str) -> Result<Regex, String> {
-        let mut p = Parser { input: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
         let r = p.alt_expr()?;
         p.skip_ws();
         if p.pos != p.input.len() {
@@ -447,8 +446,12 @@ mod tests {
         // a & b & c accepts any permutation — the unordered record.
         let e = r("a & b & c");
         for perm in [
-            ["a", "b", "c"], ["a", "c", "b"], ["b", "a", "c"],
-            ["b", "c", "a"], ["c", "a", "b"], ["c", "b", "a"],
+            ["a", "b", "c"],
+            ["a", "c", "b"],
+            ["b", "a", "c"],
+            ["b", "c", "a"],
+            ["c", "a", "b"],
+            ["c", "b", "a"],
         ] {
             assert!(e.matches(perm), "{perm:?}");
         }
@@ -509,7 +512,10 @@ mod tests {
         let flat = e.eliminate_interleave();
         assert!(!format!("{flat:?}").contains("Interleave"));
         for w in [
-            vec![], vec!["a"], vec!["b"], vec!["a", "b", "a"],
+            vec![],
+            vec!["a"],
+            vec!["b"],
+            vec!["a", "b", "a"],
             vec!["b", "b", "a", "a"],
         ] {
             assert!(flat.matches(w.clone()), "{w:?}");
@@ -527,19 +533,28 @@ mod tests {
 
     #[test]
     fn smart_constructors_normalize() {
-        assert_eq!(Regex::seq([Regex::Eps, Regex::sym("a"), Regex::Eps]), Regex::sym("a"));
+        assert_eq!(
+            Regex::seq([Regex::Eps, Regex::sym("a"), Regex::Eps]),
+            Regex::sym("a")
+        );
         assert_eq!(Regex::seq([Regex::sym("a"), Regex::Empty]), Regex::Empty);
         assert_eq!(Regex::alt([Regex::Empty, Regex::sym("a")]), Regex::sym("a"));
         assert_eq!(
             Regex::alt([Regex::sym("a"), Regex::sym("a")]),
             Regex::sym("a")
         );
-        assert_eq!(Regex::star(Regex::star(Regex::sym("a"))), Regex::star(Regex::sym("a")));
+        assert_eq!(
+            Regex::star(Regex::star(Regex::sym("a"))),
+            Regex::star(Regex::sym("a"))
+        );
         assert_eq!(Regex::star(Regex::Empty), Regex::Eps);
         assert_eq!(
             Regex::interleave(Regex::Eps, Regex::sym("a")),
             Regex::sym("a")
         );
-        assert_eq!(Regex::interleave(Regex::Empty, Regex::sym("a")), Regex::Empty);
+        assert_eq!(
+            Regex::interleave(Regex::Empty, Regex::sym("a")),
+            Regex::Empty
+        );
     }
 }

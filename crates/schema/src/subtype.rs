@@ -29,8 +29,7 @@ pub fn inclusion_subtype(sub: &Regex, sup: &Regex) -> bool {
 pub fn width_subtype(sub: &Regex, sup: &Regex) -> bool {
     let mut seen: std::collections::BTreeSet<(Regex, Regex)> = Default::default();
     let mut work = vec![(sup.clone(), sub.clone())];
-    let alphabet: Vec<String> =
-        sup.alphabet().union(&sub.alphabet()).cloned().collect();
+    let alphabet: Vec<String> = sup.alphabet().union(&sub.alphabet()).cloned().collect();
     while let Some((p, s)) = work.pop() {
         if p.is_empty_language() {
             continue;
@@ -92,7 +91,10 @@ mod tests {
     fn width_subtyping_tolerates_appended_fields() {
         let old = r("title author year");
         let new = r("title author year doi");
-        assert!(width_subtype(&new, &old), "every old word is a prefix of a new one");
+        assert!(
+            width_subtype(&new, &old),
+            "every old word is a prefix of a new one"
+        );
         assert!(!width_subtype(&old, &new), "not the other way around");
     }
 
@@ -105,8 +107,8 @@ mod tests {
         let rab = r("t a b");
         let rb = r("t b");
         let query_needs = r("t b"); // consumer reads t then b, ignoring a? It cannot:
-        // width subtyping is positional. rab is NOT a width-subtype of
-        // the consumer's expectation once a sits in the middle:
+                                    // width subtyping is positional. rab is NOT a width-subtype of
+                                    // the consumer's expectation once a sits in the middle:
         assert!(!width_subtype(&rab, &query_needs));
         // while rb is:
         assert!(width_subtype(&rb, &query_needs));
@@ -125,7 +127,10 @@ mod tests {
         assert!(interleave_subtype(&arb, &consumer));
         // But genuinely missing or reordered *known* fields still fail.
         assert!(!interleave_subtype(&r("t"), &consumer), "b missing");
-        assert!(!interleave_subtype(&r("b t"), &consumer), "known order violated");
+        assert!(
+            !interleave_subtype(&r("b t"), &consumer),
+            "known order violated"
+        );
     }
 
     #[test]

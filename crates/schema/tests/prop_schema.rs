@@ -7,7 +7,11 @@ use cdb_schema::{inclusion_subtype, interleave_subtype, width_subtype, Regex};
 use proptest::prelude::*;
 
 fn sym() -> impl Strategy<Value = Regex> {
-    prop_oneof![Just(Regex::sym("a")), Just(Regex::sym("b")), Just(Regex::sym("c"))]
+    prop_oneof![
+        Just(Regex::sym("a")),
+        Just(Regex::sym("b")),
+        Just(Regex::sym("c"))
+    ]
 }
 
 /// Random regular expressions of bounded size (with interleaving).
@@ -28,10 +32,7 @@ fn regex() -> impl Strategy<Value = Regex> {
 
 /// Random short words over the alphabet.
 fn word() -> impl Strategy<Value = Vec<&'static str>> {
-    proptest::collection::vec(
-        prop_oneof![Just("a"), Just("b"), Just("c")],
-        0..6,
-    )
+    proptest::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c")], 0..6)
 }
 
 proptest! {

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 
-use cdb_relalg::{Relation, RelalgError};
+use cdb_relalg::{RelalgError, Relation};
 
 use crate::instances::minwhy::MinWhy;
 use crate::krel::{KDatabase, KRelation};
@@ -51,10 +51,7 @@ pub fn instantiate(t: &CTable, truth: &impl Fn(&str) -> bool) -> Relation {
 }
 
 /// Instantiates every table of a conditional database.
-pub fn instantiate_db(
-    db: &CDatabase,
-    truth: &impl Fn(&str) -> bool,
-) -> cdb_relalg::Database {
+pub fn instantiate_db(db: &CDatabase, truth: &impl Fn(&str) -> bool) -> cdb_relalg::Database {
     let mut out = cdb_relalg::Database::new();
     for (name, t) in db.iter() {
         out.insert(name.to_owned(), instantiate(t, truth));
@@ -109,7 +106,10 @@ mod tests {
             [
                 (vec![int(1), int(10)], MinWhy::one()), // certain
                 (vec![int(2), int(20)], MinWhy::var("x")),
-                (vec![int(3), int(20)], MinWhy::var("x").mul(&MinWhy::var("y"))),
+                (
+                    vec![int(3), int(20)],
+                    MinWhy::var("x").mul(&MinWhy::var("y")),
+                ),
             ],
         )
         .unwrap()
@@ -148,8 +148,7 @@ mod tests {
             |_| true,
         ] {
             let direct = instantiate(&annotated, &truth);
-            let via_world =
-                cdb_relalg::eval::eval(&instantiate_db(&db, &truth), &q).unwrap();
+            let via_world = cdb_relalg::eval::eval(&instantiate_db(&db, &truth), &q).unwrap();
             assert!(direct.set_eq(&via_world));
         }
     }

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use cdb_relalg::conjunctive::{body_matches, Rule, Term};
-use cdb_relalg::{Database, Relation, RelalgError, Schema, Tuple};
+use cdb_relalg::{Database, RelalgError, Relation, Schema, Tuple};
 
 use crate::krel::{KDatabase, KRelation};
 use crate::semiring::Semiring;
@@ -46,9 +46,9 @@ pub fn eval_datalog<K: Semiring>(
     }
     let mut head_schemas: BTreeMap<String, Schema> = BTreeMap::new();
     for rule in rules {
-        head_schemas
-            .entry(rule.head.clone())
-            .or_insert(Schema::new((0..rule.head_terms.len()).map(|i| format!("c{i}")))?);
+        head_schemas.entry(rule.head.clone()).or_insert(Schema::new(
+            (0..rule.head_terms.len()).map(|i| format!("c{i}")),
+        )?);
         if plain.get(&rule.head).is_err() {
             plain.insert(
                 rule.head.clone(),
@@ -162,7 +162,10 @@ mod tests {
             Rule::new(
                 "tc",
                 vec![Term::var("X"), Term::var("Y")],
-                vec![AtomPattern::new("edge", vec![Term::var("X"), Term::var("Y")])],
+                vec![AtomPattern::new(
+                    "edge",
+                    vec![Term::var("X"), Term::var("Y")],
+                )],
             )
             .unwrap(),
             Rule::new(

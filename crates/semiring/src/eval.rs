@@ -7,31 +7,56 @@
 //! algebra (the paper notes that update/difference provenance "would need
 //! some weaker structure than a semiring").
 
+use cdb_relalg::exec::{extract_keys, join_matches, recognize_equi_join, ExecConfig};
 use cdb_relalg::expr::{ProjSource, RaExpr};
 use cdb_relalg::{RelalgError, Schema, Tuple};
 
 use crate::krel::{KDatabase, KRelation};
 use crate::semiring::Semiring;
 
-/// Evaluates a positive RA expression over a K-database.
-pub fn eval_k<K: Semiring>(
+/// Evaluates a positive RA expression over a K-database with the naive
+/// nested-loop interpreter (the reference semantics).
+pub fn eval_k<K: Semiring>(db: &KDatabase<K>, expr: &RaExpr) -> Result<KRelation<K>, RelalgError> {
+    check_positive(expr)?;
+    eval_inner(db, expr, None)
+}
+
+/// Evaluates a positive RA expression over a K-database with the
+/// physical engine of [`cdb_relalg::exec`]: natural joins and
+/// recognized equi-joins run as (optionally parallel) hash joins.
+///
+/// The kernel's probe partitions concatenate in probe order and the
+/// matched rows are inserted into the output K-relation, where
+/// duplicate tuples merge by the semiring's `+` — so partition results
+/// combine exactly as [`KRelation::insert`] defines, and the result is
+/// identical to [`eval_k`] for any partition count.
+pub fn eval_k_with<K: Semiring>(
     db: &KDatabase<K>,
     expr: &RaExpr,
+    cfg: &ExecConfig,
 ) -> Result<KRelation<K>, RelalgError> {
-    if !expr.is_positive() {
-        return Err(RelalgError::UpdateError(
+    check_positive(expr)?;
+    eval_inner(db, expr, Some(cfg))
+}
+
+fn check_positive(expr: &RaExpr) -> Result<(), RelalgError> {
+    if expr.is_positive() {
+        Ok(())
+    } else {
+        Err(RelalgError::UpdateError(
             "K-relation semantics is defined for positive relational algebra only \
              (difference has no semiring interpretation)"
                 .to_owned(),
-        ));
+        ))
     }
-    eval_inner(db, expr)
 }
 
 fn eval_inner<K: Semiring>(
     db: &KDatabase<K>,
     expr: &RaExpr,
+    cfg: Option<&ExecConfig>,
 ) -> Result<KRelation<K>, RelalgError> {
+    let hash = cfg.filter(|c| c.hash_join);
     match expr {
         RaExpr::Scan(name) => Ok(db.get(name)?.clone()),
         RaExpr::ScanAs(name, alias) => {
@@ -40,7 +65,57 @@ fn eval_inner<K: Semiring>(
             Ok(base.clone().with_schema(schema))
         }
         RaExpr::Select(e, pred) => {
-            let input = eval_inner(db, e)?;
+            // Physical path: recognize σ[a.x = b.y ∧ …](A × B) and run
+            // it as a hash join, multiplying matched annotations.
+            if let (Some(cfg), RaExpr::Product(a, b)) = (hash, e.as_ref()) {
+                let left = eval_inner(db, a, Some(cfg))?;
+                let right = eval_inner(db, b, Some(cfg))?;
+                let schema = Schema::new(
+                    left.schema()
+                        .attrs()
+                        .iter()
+                        .chain(right.schema().attrs())
+                        .cloned(),
+                )?;
+                if let Some(ej) = recognize_equi_join(&schema, left.schema().arity(), pred) {
+                    let lrows: Vec<(&Tuple, &K)> = left.iter().collect();
+                    let rrows: Vec<(&Tuple, &K)> = right.iter().collect();
+                    let rcols: Vec<usize> = ej.keys.iter().map(|&(_, r)| r).collect();
+                    let lcols: Vec<usize> = ej.keys.iter().map(|&(l, _)| l).collect();
+                    let build = extract_keys(rrows.iter().map(|&(t, _)| t), &rcols);
+                    let probe = extract_keys(lrows.iter().map(|&(t, _)| t), &lcols);
+                    let m = join_matches(&build, &probe, cfg);
+                    let mut out = KRelation::empty(schema);
+                    for &(li, ri) in &m.pairs {
+                        let (lt, lk) = lrows[li];
+                        let (rt, rk) = rrows[ri];
+                        let mut row = lt.clone();
+                        row.extend(rt.iter().cloned());
+                        if pred.eval(out.schema(), &row)? {
+                            out.insert(row, lk.mul(rk))?;
+                        }
+                    }
+                    return Ok(out);
+                }
+                // Not an equi-join: product the already-evaluated sides,
+                // then filter.
+                let mut prod = KRelation::empty(schema);
+                for (lt, lk) in left.iter() {
+                    for (rt, rk) in right.iter() {
+                        let mut row = lt.clone();
+                        row.extend(rt.iter().cloned());
+                        prod.insert(row, lk.mul(rk))?;
+                    }
+                }
+                let mut out = KRelation::empty(prod.schema().clone());
+                for (t, k) in prod.iter() {
+                    if pred.eval(prod.schema(), t)? {
+                        out.insert(t.clone(), k.clone())?;
+                    }
+                }
+                return Ok(out);
+            }
+            let input = eval_inner(db, e, cfg)?;
             let mut out = KRelation::empty(input.schema().clone());
             for (t, k) in input.iter() {
                 if pred.eval(input.schema(), t)? {
@@ -50,16 +125,14 @@ fn eval_inner<K: Semiring>(
             Ok(out)
         }
         RaExpr::Project(e, items) => {
-            let input = eval_inner(db, e)?;
+            let input = eval_inner(db, e, cfg)?;
             let schema = Schema::new(items.iter().map(|i| i.name.clone()))?;
             let mut out = KRelation::empty(schema);
             for (t, k) in input.iter() {
                 let mut row: Tuple = Vec::with_capacity(items.len());
                 for item in items {
                     match &item.source {
-                        ProjSource::Col(c) => {
-                            row.push(t[input.schema().resolve(c)?].clone())
-                        }
+                        ProjSource::Col(c) => row.push(t[input.schema().resolve(c)?].clone()),
                         ProjSource::Const(a) => row.push(a.clone()),
                     }
                 }
@@ -68,8 +141,8 @@ fn eval_inner<K: Semiring>(
             Ok(out)
         }
         RaExpr::Product(a, b) => {
-            let left = eval_inner(db, a)?;
-            let right = eval_inner(db, b)?;
+            let left = eval_inner(db, a, cfg)?;
+            let right = eval_inner(db, b, cfg)?;
             let schema = Schema::new(
                 left.schema()
                     .attrs()
@@ -88,8 +161,8 @@ fn eval_inner<K: Semiring>(
             Ok(out)
         }
         RaExpr::NaturalJoin(a, b) => {
-            let left = eval_inner(db, a)?;
-            let right = eval_inner(db, b)?;
+            let left = eval_inner(db, a, cfg)?;
+            let right = eval_inner(db, b, cfg)?;
             let shared = cdb_relalg::eval::shared_attrs(left.schema(), right.schema());
             let right_kept: Vec<usize> = (0..right.schema().arity())
                 .filter(|j| !shared.iter().any(|(_, sj)| sj == j))
@@ -99,9 +172,30 @@ fn eval_inner<K: Semiring>(
                 .attrs()
                 .iter()
                 .cloned()
-                .chain(right_kept.iter().map(|&j| right.schema().attrs()[j].clone()))
+                .chain(
+                    right_kept
+                        .iter()
+                        .map(|&j| right.schema().attrs()[j].clone()),
+                )
                 .collect();
             let mut out = KRelation::empty(Schema::new(attrs)?);
+            if let (Some(cfg), false) = (hash, shared.is_empty()) {
+                let lrows: Vec<(&Tuple, &K)> = left.iter().collect();
+                let rrows: Vec<(&Tuple, &K)> = right.iter().collect();
+                let lcols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+                let rcols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+                let build = extract_keys(rrows.iter().map(|&(t, _)| t), &rcols);
+                let probe = extract_keys(lrows.iter().map(|&(t, _)| t), &lcols);
+                let m = join_matches(&build, &probe, cfg);
+                for &(li, ri) in &m.pairs {
+                    let (lt, lk) = lrows[li];
+                    let (rt, rk) = rrows[ri];
+                    let mut row = lt.clone();
+                    row.extend(right_kept.iter().map(|&j| rt[j].clone()));
+                    out.insert(row, lk.mul(rk))?;
+                }
+                return Ok(out);
+            }
             for (lt, lk) in left.iter() {
                 for (rt, rk) in right.iter() {
                     if shared.iter().all(|&(i, j)| lt[i] == rt[j]) {
@@ -114,8 +208,8 @@ fn eval_inner<K: Semiring>(
             Ok(out)
         }
         RaExpr::Union(a, b) => {
-            let left = eval_inner(db, a)?;
-            let right = eval_inner(db, b)?;
+            let left = eval_inner(db, a, cfg)?;
+            let right = eval_inner(db, b, cfg)?;
             if !left.schema().union_compatible(right.schema()) {
                 return Err(RelalgError::SchemaMismatch {
                     left: left.schema().attrs().to_vec(),
@@ -129,7 +223,7 @@ fn eval_inner<K: Semiring>(
             Ok(out)
         }
         RaExpr::Rename(e, pairs) => {
-            let input = eval_inner(db, e)?;
+            let input = eval_inner(db, e, cfg)?;
             let mut attrs: Vec<String> = input.schema().attrs().to_vec();
             for (old, new) in pairs {
                 let i = input.schema().resolve(old)?;
@@ -151,10 +245,7 @@ fn eval_inner<K: Semiring>(
 /// running example, which the paper's figure abbreviates to Datalog).
 pub fn figure4_query() -> RaExpr {
     use cdb_relalg::{CmpOp, Operand, Pred, ProjItem};
-    let copy = RaExpr::scan("R").project(vec![
-        ProjItem::col("X", "X"),
-        ProjItem::col("Z", "Z"),
-    ]);
+    let copy = RaExpr::scan("R").project(vec![ProjItem::col("X", "X"), ProjItem::col("Z", "Z")]);
     let self_join = RaExpr::ScanAs("R".into(), "r1".into())
         .product(RaExpr::ScanAs("R".into(), "r2".into()))
         .select(Pred::Or(
@@ -285,9 +376,40 @@ mod tests {
         let q = RaExpr::scan("R").select(Pred::col_eq_const("X", s("a")));
         let v = eval_k(&db, &q).unwrap();
         assert_eq!(v.len(), 1);
+        assert_eq!(v.annotation(&vec![s("a"), s("b"), s("c")]).to_string(), "p");
+    }
+
+    #[test]
+    fn hash_engine_matches_naive_on_figure4() {
+        // The Figure 4 query contains a disjunctive self-join (falls
+        // back to product) — add an equi-join on top so both physical
+        // paths run.
+        let db = figure4_database(|v| Polynomial::var(v));
+        let q = figure4_query().natural_join(RaExpr::ScanAs("R".into(), "R".into()));
+        let naive = eval_k(&db, &q).unwrap();
+        for cfg in [ExecConfig::default(), ExecConfig::sequential(), {
+            let mut c = ExecConfig::with_partitions(8);
+            c.parallel_threshold = 1;
+            c
+        }] {
+            assert_eq!(eval_k_with(&db, &q, &cfg).unwrap(), naive);
+        }
+    }
+
+    #[test]
+    fn hash_engine_recognizes_select_product() {
+        let db = figure4_database(|v| Polynomial::var(v));
+        let q = RaExpr::ScanAs("R".into(), "r1".into())
+            .product(RaExpr::ScanAs("R".into(), "r2".into()))
+            .select(Pred::col_eq_col("r1.Y", "r2.Y"));
+        let naive = eval_k(&db, &q).unwrap();
+        let hashed = eval_k_with(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed);
         assert_eq!(
-            v.annotation(&vec![s("a"), s("b"), s("c")]).to_string(),
-            "p"
+            hashed
+                .annotation(&vec![s("a"), s("b"), s("c"), s("a"), s("b"), s("c")])
+                .to_string(),
+            "p·p"
         );
     }
 

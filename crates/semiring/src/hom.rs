@@ -25,9 +25,10 @@ use crate::instances::Bool;
 /// support (exponents and coefficients are forgotten — why-provenance
 /// does not count).
 pub fn poly_to_why(p: &Polynomial) -> Why {
-    Why::from_witnesses(p.terms().map(|(m, _)| {
-        m.vars().map(str::to_owned).collect()
-    }))
+    Why::from_witnesses(
+        p.terms()
+            .map(|(m, _)| m.vars().map(str::to_owned).collect()),
+    )
 }
 
 /// ℕ\[X\] → ℕ: evaluate every variable as 1 (derivation counting /

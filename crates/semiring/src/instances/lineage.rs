@@ -56,17 +56,13 @@ impl Semiring for Lineage {
     fn add(&self, other: &Self) -> Self {
         match (self, other) {
             (Lineage::Bottom, x) | (x, Lineage::Bottom) => x.clone(),
-            (Lineage::Set(a), Lineage::Set(b)) => {
-                Lineage::Set(a.union(b).cloned().collect())
-            }
+            (Lineage::Set(a), Lineage::Set(b)) => Lineage::Set(a.union(b).cloned().collect()),
         }
     }
     fn mul(&self, other: &Self) -> Self {
         match (self, other) {
             (Lineage::Bottom, _) | (_, Lineage::Bottom) => Lineage::Bottom,
-            (Lineage::Set(a), Lineage::Set(b)) => {
-                Lineage::Set(a.union(b).cloned().collect())
-            }
+            (Lineage::Set(a), Lineage::Set(b)) => Lineage::Set(a.union(b).cloned().collect()),
         }
     }
 }

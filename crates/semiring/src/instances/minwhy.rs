@@ -150,8 +150,14 @@ mod tests {
         let a = Why::var("p").add(&Why::var("p").mul(&Why::var("r")));
         let b = Why::var("r").add(&Why::var("s"));
         // min(a + b) = min(a) + min(b), min(a·b) = min(a)·min(b).
-        assert_eq!(MinWhy::from(&a.add(&b)), MinWhy::from(&a).add(&MinWhy::from(&b)));
-        assert_eq!(MinWhy::from(&a.mul(&b)), MinWhy::from(&a).mul(&MinWhy::from(&b)));
+        assert_eq!(
+            MinWhy::from(&a.add(&b)),
+            MinWhy::from(&a).add(&MinWhy::from(&b))
+        );
+        assert_eq!(
+            MinWhy::from(&a.mul(&b)),
+            MinWhy::from(&a).mul(&MinWhy::from(&b))
+        );
     }
 
     #[test]

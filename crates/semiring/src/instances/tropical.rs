@@ -45,9 +45,7 @@ impl Semiring for Tropical {
     fn mul(&self, other: &Self) -> Self {
         match (self, other) {
             (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
-            (Tropical::Cost(a), Tropical::Cost(b)) => {
-                Tropical::Cost(a.saturating_add(*b))
-            }
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(a.saturating_add(*b)),
         }
     }
 }

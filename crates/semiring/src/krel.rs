@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use cdb_relalg::{Relation, RelalgError, Schema, Tuple};
+use cdb_relalg::{RelalgError, Relation, Schema, Tuple};
 
 use crate::semiring::Semiring;
 
@@ -19,7 +19,10 @@ pub struct KRelation<K: Semiring> {
 impl<K: Semiring> KRelation<K> {
     /// An empty K-relation.
     pub fn empty(schema: Schema) -> Self {
-        KRelation { schema, support: BTreeMap::new() }
+        KRelation {
+            schema,
+            support: BTreeMap::new(),
+        }
     }
 
     /// Builds from `(tuple, annotation)` pairs; repeated tuples have
@@ -100,7 +103,10 @@ impl<K: Semiring> KRelation<K> {
     /// match.
     pub(crate) fn with_schema(self, schema: Schema) -> Self {
         debug_assert_eq!(schema.arity(), self.schema.arity());
-        KRelation { schema, support: self.support }
+        KRelation {
+            schema,
+            support: self.support,
+        }
     }
 
     /// Maps annotations through a semiring homomorphism, preserving the
@@ -148,7 +154,9 @@ pub struct KDatabase<K: Semiring> {
 impl<K: Semiring> KDatabase<K> {
     /// An empty K-database.
     pub fn new() -> Self {
-        KDatabase { relations: BTreeMap::new() }
+        KDatabase {
+            relations: BTreeMap::new(),
+        }
     }
 
     /// Adds (or replaces) a relation, builder-style.

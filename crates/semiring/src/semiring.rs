@@ -31,9 +31,7 @@ pub trait Semiring: Clone + PartialEq + Debug {
 
     /// Sums an iterator of elements.
     fn sum(items: impl IntoIterator<Item = Self>) -> Self {
-        items
-            .into_iter()
-            .fold(Self::zero(), |acc, x| acc.add(&x))
+        items.into_iter().fold(Self::zero(), |acc, x| acc.add(&x))
     }
 
     /// Multiplies an iterator of elements.

@@ -32,7 +32,10 @@ fn constants_in_heads_are_emitted() {
     let rule = Rule::new(
         "H",
         vec![Term::Const(s("tag")), Term::var("X")],
-        vec![AtomPattern::new("E", vec![Term::var("X"), Term::Const(s("b"))])],
+        vec![AtomPattern::new(
+            "E",
+            vec![Term::var("X"), Term::Const(s("b"))],
+        )],
     )
     .unwrap();
     let out = eval_datalog(&db(|v| Polynomial::var(v)), &[rule]).unwrap();

@@ -20,12 +20,8 @@ fn poly() -> impl Strategy<Value = Polynomial> {
         var.prop_map(Polynomial::var),
     ];
     leaf.prop_recursive(3, 12, 2, |inner| {
-        (inner.clone(), inner).prop_flat_map(|(a, b)| {
-            prop_oneof![
-                Just(a.add(&b)),
-                Just(a.mul(&b)),
-            ]
-        })
+        (inner.clone(), inner)
+            .prop_flat_map(|(a, b)| prop_oneof![Just(a.add(&b)), Just(a.mul(&b)),])
     })
 }
 
@@ -114,7 +110,10 @@ fn build_poly_db(r: &[(i64, i64)], s: &[(i64, i64)]) -> KDatabase<Polynomial> {
             schema,
             rows.iter().map(|(a, b)| {
                 n += 1;
-                (vec![Atom::Int(*a), Atom::Int(*b)], Polynomial::var(format!("t{n}")))
+                (
+                    vec![Atom::Int(*a), Atom::Int(*b)],
+                    Polynomial::var(format!("t{n}")),
+                )
             }),
         )
         .unwrap()

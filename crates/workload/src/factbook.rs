@@ -67,8 +67,12 @@ pub struct FactbookSim {
     pub fissions: Vec<FissionEvent>,
 }
 
-const GOVERNMENTS: [&str; 4] =
-    ["republic", "constitutional monarchy", "federation", "parliamentary democracy"];
+const GOVERNMENTS: [&str; 4] = [
+    "republic",
+    "constitutional monarchy",
+    "federation",
+    "parliamentary democracy",
+];
 
 impl FactbookSim {
     /// Creates the initial edition.
@@ -216,7 +220,11 @@ mod tests {
     fn revisions_change_leaf_statistics() {
         let mut sim = FactbookSim::new(
             1,
-            FactbookConfig { fission_probability: 0.0, revision_fraction: 1.0, ..Default::default() },
+            FactbookConfig {
+                fission_probability: 0.0,
+                revision_fraction: 1.0,
+                ..Default::default()
+            },
         );
         let before = sim.snapshot();
         sim.advance();
@@ -237,7 +245,11 @@ mod tests {
     fn fission_splits_a_country() {
         let mut sim = FactbookSim::new(
             2,
-            FactbookConfig { fission_probability: 1.0, countries: 5, ..Default::default() },
+            FactbookConfig {
+                fission_probability: 1.0,
+                countries: 5,
+                ..Default::default()
+            },
         );
         let before = sim.country_count();
         sim.advance();
@@ -254,13 +266,22 @@ mod tests {
                 .iter()
                 .find(|c| c.field("name") == Some(&Value::str(part.clone())))
                 .unwrap();
-            assert_eq!(c.field("predecessor"), Some(&Value::str(f.original.clone())));
+            assert_eq!(
+                c.field("predecessor"),
+                Some(&Value::str(f.original.clone()))
+            );
         }
     }
 
     #[test]
     fn hierarchy_has_the_factbook_categories() {
-        let sim = FactbookSim::new(4, FactbookConfig { countries: 1, ..Default::default() });
+        let sim = FactbookSim::new(
+            4,
+            FactbookConfig {
+                countries: 1,
+                ..Default::default()
+            },
+        );
         let snap = sim.snapshot();
         let c = snap.as_set().unwrap().iter().next().unwrap();
         for cat in ["geography", "people", "economy", "government"] {

@@ -17,14 +17,19 @@
 //!   splits (fission, §6.2).
 //! * [`sessions`] — copy-paste curation sessions against
 //!   `cdb-curation`, driving the provenance-store experiments (E6).
+//! * [`relational`] — flat equi-joinable tables with controllable key
+//!   cardinality, for the join benchmarks and the engine-equivalence
+//!   differential tests of `cdb-relalg::exec`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod factbook;
+pub mod relational;
 pub mod sessions;
 pub mod uniprot;
 
 pub use factbook::FactbookSim;
+pub use relational::JoinConfig;
 pub use sessions::CurationSim;
 pub use uniprot::UniprotSim;

@@ -123,15 +123,9 @@ impl CurationSim {
             if let Ok(children) = t.tree().children(entry).map(<[NodeId]>::to_vec) {
                 if !children.is_empty() {
                     let c = children[self.rng.gen_range(0..children.len())];
-                    let _ = t.modify(
-                        c,
-                        Some(Atom::Str(format!("corrected@{}", self.time))),
-                    );
+                    let _ = t.modify(c, Some(Atom::Str(format!("corrected@{}", self.time))));
                     if self.rng.gen_bool(0.5) {
-                        let _ = t.modify(
-                            c,
-                            Some(Atom::Str(format!("revised@{}", self.time))),
-                        );
+                        let _ = t.modify(c, Some(Atom::Str(format!("revised@{}", self.time))));
                     }
                 }
             }
@@ -140,13 +134,21 @@ impl CurationSim {
         // scratch note created and discarded within the session.
         for k in 0..self.cfg.inserts_per_txn {
             let e = t
-                .insert(root, format!("note_{session}_{k}"), Some(Atom::Str("obs".into())))
+                .insert(
+                    root,
+                    format!("note_{session}_{k}"),
+                    Some(Atom::Str("obs".into())),
+                )
                 .expect("insert");
             let _ = e;
         }
         if self.rng.gen_bool(0.4) {
             let scratch = t
-                .insert(root, format!("scratch_{session}"), Some(Atom::Str("tmp".into())))
+                .insert(
+                    root,
+                    format!("scratch_{session}"),
+                    Some(Atom::Str("tmp".into())),
+                )
                 .expect("insert");
             let _ = t.modify(scratch, Some(Atom::Str("tmp2".into())));
             let _ = t.delete(scratch);
@@ -213,7 +215,11 @@ mod tests {
         let mut sim = CurationSim::new(
             9,
             StoreMode::Hereditary,
-            SessionConfig { transactions: 10, edits_per_txn: 8, ..Default::default() },
+            SessionConfig {
+                transactions: 10,
+                edits_per_txn: 8,
+                ..Default::default()
+            },
         );
         sim.run();
         let raw: usize = sim.target.log.iter().map(|t| t.ops.len()).sum();

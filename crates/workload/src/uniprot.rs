@@ -85,10 +85,21 @@ struct Entry {
     annotation_rev: u32,
 }
 
-const ORGANISMS: [&str; 4] = ["HOMO SAPIENS", "MUS MUSCULUS", "RATTUS NORVEGICUS", "DANIO RERIO"];
+const ORGANISMS: [&str; 4] = [
+    "HOMO SAPIENS",
+    "MUS MUSCULUS",
+    "RATTUS NORVEGICUS",
+    "DANIO RERIO",
+];
 const KEYWORDS: [&str; 8] = [
-    "BRAIN", "NEURONE", "PHOSPHORYLATION", "MULTIGENE FAMILY",
-    "KINASE", "MEMBRANE", "TRANSPORT", "SIGNAL",
+    "BRAIN",
+    "NEURONE",
+    "PHOSPHORYLATION",
+    "MULTIGENE FAMILY",
+    "KINASE",
+    "MEMBRANE",
+    "TRANSPORT",
+    "SIGNAL",
 ];
 const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
 
@@ -197,7 +208,8 @@ impl UniprotSim {
             let absorbed = self.entries.remove(absorb);
             let kept = &mut self.entries[keep];
             kept.secondary_acs.push(absorbed.ac.clone());
-            kept.secondary_acs.extend(absorbed.secondary_acs.iter().cloned());
+            kept.secondary_acs
+                .extend(absorbed.secondary_acs.iter().cloned());
             self.fusions.push(FusionEvent {
                 release: self.release,
                 kept: kept.ac.clone(),
@@ -287,7 +299,10 @@ mod tests {
 
     #[test]
     fn fusions_retire_accessions() {
-        let cfg = UniprotConfig { fusion_probability: 1.0, ..Default::default() };
+        let cfg = UniprotConfig {
+            fusion_probability: 1.0,
+            ..Default::default()
+        };
         let mut sim = UniprotSim::new(5, cfg);
         sim.advance();
         assert_eq!(sim.fusions.len(), 1);
@@ -309,7 +324,13 @@ mod tests {
 
     #[test]
     fn entries_have_the_figure1_fields() {
-        let sim = UniprotSim::new(9, UniprotConfig { initial_entries: 1, ..Default::default() });
+        let sim = UniprotSim::new(
+            9,
+            UniprotConfig {
+                initial_entries: 1,
+                ..Default::default()
+            },
+        );
         let snap = sim.snapshot();
         let e = sim_first(&snap);
         for f in ["ac", "id", "de", "gn", "os", "oc", "cc", "kw", "sq"] {

@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ColoredTuple::with_colors(vec![int(12), int(50)], vec!["b7", "b8"]),
         ],
     )?;
-    let db = ColoredDatabase::new().with("R", r.clone()).with("S", s.clone());
+    let db = ColoredDatabase::new()
+        .with("R", r.clone())
+        .with("S", s.clone());
 
     println!("R (annotated):\n{r}");
     println!("S (annotated):\n{s}");
@@ -60,8 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Custom propagation: steer B's annotation from S.B (a pSQL
     // PROPAGATE clause).
-    let steer: BTreeMap<String, Vec<String>> =
-        [("B".to_string(), vec!["S.B".to_string()])].into_iter().collect();
+    let steer: BTreeMap<String, Vec<String>> = [("B".to_string(), vec!["S.B".to_string()])]
+        .into_iter()
+        .collect();
     let custom = eval_colored(&db, &q2, &Scheme::Custom(steer))?;
     println!("Q2 with PROPAGATE S.B AS B:\n{custom}");
 

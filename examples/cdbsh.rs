@@ -26,7 +26,7 @@
 use std::io::{self, BufRead, Write};
 
 use curated_db::model::PathQuery;
-use curated_db::relalg::sql;
+use curated_db::relalg::{sql, ExecConfig};
 use curated_db::{Atom, CuratedDatabase};
 
 fn main() {
@@ -78,7 +78,9 @@ fn run_command(
             text(format!("created database {name:?} keyed by {key:?}"))
         }
         _ => {
-            let db = db_slot.as_mut().ok_or("no database: use `new <name> <key>`")?;
+            let db = db_slot
+                .as_mut()
+                .ok_or("no database: use `new <name> <key>`")?;
             match cmd {
                 "add" => {
                     if rest.len() < 2 {
@@ -87,9 +89,7 @@ fn run_command(
                     let (curator, key) = (rest[0], rest[1]);
                     let fields: Vec<(&str, Atom)> = rest[2..]
                         .iter()
-                        .map(|kv|
-
- parse_field(kv))
+                        .map(|kv| parse_field(kv))
                         .collect::<Result<_, _>>()?;
                     db.add_entry(curator, time, key, &fields).map_err(fmt_err)?;
                     text(format!("added entry {key:?}"))
@@ -107,7 +107,8 @@ fn run_command(
                     let (author, key, field) = (rest[0], rest[1], rest[2]);
                     let body = rest[3..].join(" ");
                     let field = if field == "-" { None } else { Some(field) };
-                    db.annotate(key, field, author, &body, time).map_err(fmt_err)?;
+                    db.annotate(key, field, author, &body, time)
+                        .map_err(fmt_err)?;
                     text("noted".into())
                 }
                 "notes" => {
@@ -155,12 +156,17 @@ fn run_command(
                 "show" => {
                     let [key] = take::<1>(&rest)?;
                     let node = db.entry_node(key).map_err(fmt_err)?;
-                    let v = db.curated.tree.subtree_value(node).map_err(|e| e.to_string())?;
+                    let v = db
+                        .curated
+                        .tree
+                        .subtree_value(node)
+                        .map_err(|e| e.to_string())?;
                     text(v.to_string())
                 }
                 "merge" => {
                     let [curator, kept, absorbed] = take::<3>(&rest)?;
-                    db.merge_entries(curator, time, kept, absorbed).map_err(fmt_err)?;
+                    db.merge_entries(curator, time, kept, absorbed)
+                        .map_err(fmt_err)?;
                     text(format!("{absorbed} merged into {kept}"))
                 }
                 "what" => {
@@ -183,15 +189,23 @@ fn run_command(
                 }
                 "sql" => {
                     let query = line[3..].trim();
-                    // Build a view over every field any entry has.
-                    let fields = all_fields(db)?;
-                    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
-                    let rel = curated_db::core::views::entry_relation(db, &field_refs)
-                        .map_err(fmt_err)?;
-                    let mut rdb = curated_db::relalg::Database::new();
-                    rdb.insert("entries", rel);
+                    let mut rdb = entries_view(db)?;
                     let out = sql::execute(&mut rdb, query).map_err(|e| e.to_string())?;
                     text(out.to_string())
+                }
+                "explain" => {
+                    // Like `sql`, but runs the query through the physical
+                    // engine and prints its ExecStats operator table.
+                    let query = line[7..].trim();
+                    let rdb = entries_view(db)?;
+                    let stmt = sql::parse(query).map_err(|e| e.to_string())?;
+                    let sql::Statement::Query(expr) = stmt else {
+                        return Err("explain takes a SELECT query".into());
+                    };
+                    let (out, stats) =
+                        curated_db::relalg::eval_with_stats(&rdb, &expr, &ExecConfig::default())
+                            .map_err(|e| e.to_string())?;
+                    text(format!("{stats}\n{out}"))
                 }
                 "diff" => {
                     let [a, b] = take::<2>(&rest)?;
@@ -244,6 +258,8 @@ commands:
   merge <curator> <kept> <absorbed>  fuse entries (retires the absorbed id)
   what <id>                          what happened to an identifier
   sql <SELECT …>                     query the relational view `entries`
+  explain <SELECT …>                 run via the hash-join engine and
+                                       print the ExecStats operator table
   path </a/b | //x>                  path query over the exported value
   prov <provql>                      provenance query language, e.g.
                                        prov VALUE /entry/name AT TXN 0
@@ -276,6 +292,16 @@ fn parse_atom(s: &str) -> Atom {
     } else {
         Atom::Str(s.to_owned())
     }
+}
+
+fn entries_view(db: &CuratedDatabase) -> Result<curated_db::relalg::Database, String> {
+    // Build a view over every field any entry has.
+    let fields = all_fields(db)?;
+    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+    let rel = curated_db::core::views::entry_relation(db, &field_refs).map_err(fmt_err)?;
+    let mut rdb = curated_db::relalg::Database::new();
+    rdb.insert("entries", rel);
+    Ok(rdb)
 }
 
 fn all_fields(db: &CuratedDatabase) -> Result<Vec<String>, String> {

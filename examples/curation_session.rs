@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Figure 3: updates and provenance ==");
     let r = ColoredTable::figure2_style(
         Schema::new(["A", "B"])?,
-        &[vec![Atom::Int(10), Atom::Int(49)], vec![Atom::Int(12), Atom::Int(50)]],
+        &[
+            vec![Atom::Int(10), Atom::Int(49)],
+            vec![Atom::Int(12), Atom::Int(50)],
+        ],
     );
     println!("R = {}", r.table);
 

@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --example factbook_archive`
 
-use cdb_archive::{Archive, DeltaStore, SnapshotStore};
 use cdb_archive::temporal;
+use cdb_archive::{Archive, DeltaStore, SnapshotStore};
 use cdb_model::keys::KeyStep;
 use cdb_model::KeyPath;
 use cdb_workload::factbook::{FactbookConfig, FactbookSim};
@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let years = 15;
     let mut sim = FactbookSim::new(
         2008,
-        FactbookConfig { countries: 40, revision_fraction: 0.3, fission_probability: 0.15 },
+        FactbookConfig {
+            countries: 40,
+            revision_fraction: 0.3,
+            fission_probability: 0.15,
+        },
     );
 
     let spec = FactbookSim::key_spec();
@@ -24,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snapshots = SnapshotStore::new();
     let mut deltas = DeltaStore::new(spec.clone());
 
-    println!("{:<6} {:>10} {:>12} {:>12} {:>12}", "year", "countries", "snapshots B", "deltas B", "archive B");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>12}",
+        "year", "countries", "snapshots B", "deltas B", "archive B"
+    );
     for y in 0..years {
         let edition = sim.snapshot();
         let label = format!("{}", 1993 + y);
@@ -47,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let a = archive.retrieve(v)?;
         assert_eq!(a, snapshots.retrieve(v)?);
         assert_eq!(a, deltas.retrieve(v)?);
-        println!("  version {v}: ✓ ({} countries)", a.as_set().map(|s| s.len()).unwrap_or(0));
+        println!(
+            "  version {v}: ✓ ({} countries)",
+            a.as_set().map(|s| s.len()).unwrap_or(0)
+        );
     }
 
     // The longitudinal query, directly on the archive.

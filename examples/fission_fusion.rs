@@ -10,9 +10,24 @@ use curated_db::{Atom, CuratedDatabase};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Fusion in a gene database ==");
     let mut db = CuratedDatabase::new("genes", "ac");
-    db.add_entry("curator1", 1, "Q00001", &[("gene", Atom::Str("YWHAH".into()))])?;
-    db.add_entry("curator1", 1, "Q00002", &[("gene", Atom::Str("YWHA1".into()))])?;
-    db.add_entry("curator2", 2, "Q00003", &[("gene", Atom::Str("OTHER".into()))])?;
+    db.add_entry(
+        "curator1",
+        1,
+        "Q00001",
+        &[("gene", Atom::Str("YWHAH".into()))],
+    )?;
+    db.add_entry(
+        "curator1",
+        1,
+        "Q00002",
+        &[("gene", Atom::Str("YWHA1".into()))],
+    )?;
+    db.add_entry(
+        "curator2",
+        2,
+        "Q00003",
+        &[("gene", Atom::Str("OTHER".into()))],
+    )?;
     db.publish("rel-27")?;
 
     // "Fusion occurs in genetic databases when it is discovered … that
@@ -68,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== At scale: the synthetic UniProt simulator ==");
     let mut sim = UniprotSim::new(
         7,
-        UniprotConfig { initial_entries: 200, fusion_probability: 0.8, ..Default::default() },
+        UniprotConfig {
+            initial_entries: 200,
+            fusion_probability: 0.8,
+            ..Default::default()
+        },
     );
     for _ in 0..10 {
         sim.advance();
@@ -79,7 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.fusions.len()
     );
     for f in sim.fusions.iter().take(5) {
-        println!("  release {}: {} absorbed {}", f.release, f.kept, f.absorbed);
+        println!(
+            "  release {}: {} absorbed {}",
+            f.release, f.kept, f.absorbed
+        );
     }
 
     Ok(())

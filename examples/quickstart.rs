@@ -90,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     db.publish("2009-06")?;
     let last = db.version(2)?;
-    println!("published entry count: {}", last.as_set().map(|s| s.len()).unwrap_or(0));
+    println!(
+        "published entry count: {}",
+        last.as_set().map(|s| s.len()).unwrap_or(0)
+    );
 
     println!("\n== Provenance (§3) ==");
     let node = db.entry_node("GABA-A")?;

@@ -19,8 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("appended field: {appended}");
     println!("inserted field: {inserted}\n");
 
-    println!("{:<22} {:>10} {:>8} {:>12}", "evolved vs old", "inclusion", "width", "interleaving");
-    for (name, evolved) in [("appended (… dr)", &appended), ("inserted (… kw …)", &inserted)] {
+    println!(
+        "{:<22} {:>10} {:>8} {:>12}",
+        "evolved vs old", "inclusion", "width", "interleaving"
+    );
+    for (name, evolved) in [
+        ("appended (… dr)", &appended),
+        ("inserted (… kw …)", &inserted),
+    ] {
         println!(
             "{:<22} {:>10} {:>8} {:>12}",
             name,
@@ -36,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("== The interleaving blow-up (§6.1, [42,43,56]) ==");
-    println!("{:<14} {:>12} {:>16}", "expression", "DFA states", "flat regex size");
+    println!(
+        "{:<14} {:>12} {:>16}",
+        "expression", "DFA states", "flat regex size"
+    );
     let syms = ["a", "b", "c", "d", "e", "f", "g"];
     for n in 1..=6 {
         let e = syms[..n]
@@ -46,7 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("non-empty");
         let states = state_count(&e).expect("within cap");
         let flat = e.eliminate_interleave().size();
-        println!("{:<14} {:>12} {:>16}", format!("{} syms &", n), states, flat);
+        println!(
+            "{:<14} {:>12} {:>16}",
+            format!("{} syms &", n),
+            states,
+            flat
+        );
     }
     println!("→ 2ⁿ states: compact to write, exponential to compile away.\n");
 

@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = figure4_database(|v| Polynomial::var(v));
     let v = eval_k(&db, &figure4_query())?;
 
-    println!("{:<10} {:<18} {:<14} {:<22} {:<10} {:<8}", "tuple", "ℕ[X] polynomial",
-        "why-prov", "minimal-why", "lineage", "count");
+    println!(
+        "{:<10} {:<18} {:<14} {:<22} {:<10} {:<8}",
+        "tuple", "ℕ[X] polynomial", "why-prov", "minimal-why", "lineage", "count"
+    );
     for (tuple, poly) in v.iter() {
         let why = poly_to_why(poly);
         let min = why_to_minwhy(&why);
@@ -75,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The fundamental commutation property, checked live.
-    let why_direct = eval_k(&figure4_database(|x| cdb_semiring::Why::var(x)), &figure4_query())?;
+    let why_direct = eval_k(
+        &figure4_database(|x| cdb_semiring::Why::var(x)),
+        &figure4_query(),
+    )?;
     assert_eq!(v.map_annotations(&poly_to_why), why_direct);
     println!("\n✓ evaluate-in-ℕ[X]-then-specialize = evaluate-directly (homomorphism property)");
 

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, the full test suite, and a smoke
+# iteration of every bench harness. No network access required — all
+# dependencies are in-tree (crates/*-shim).
+#
+# Usage: scripts/check.sh [--no-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=1
+if [[ "${1:-}" == "--no-bench" ]]; then
+    run_bench=0
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+if [[ "$run_bench" == 1 ]]; then
+    echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
+    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
+fi
+
+echo "== check.sh: all green =="

@@ -28,7 +28,11 @@ fn build_all(
 fn all_stores_reconstruct_identical_uniprot_releases() {
     let mut sim = UniprotSim::new(
         99,
-        UniprotConfig { initial_entries: 60, adds_per_release: 8, ..Default::default() },
+        UniprotConfig {
+            initial_entries: 60,
+            adds_per_release: 8,
+            ..Default::default()
+        },
     );
     let mut versions = Vec::new();
     for _ in 0..12 {
@@ -48,7 +52,11 @@ fn all_stores_reconstruct_identical_uniprot_releases() {
 fn archive_is_smaller_than_snapshots_on_append_mostly_data() {
     let mut sim = UniprotSim::new(
         7,
-        UniprotConfig { initial_entries: 80, adds_per_release: 5, ..Default::default() },
+        UniprotConfig {
+            initial_entries: 80,
+            adds_per_release: 5,
+            ..Default::default()
+        },
     );
     let mut versions = Vec::new();
     for _ in 0..15 {
@@ -71,7 +79,11 @@ fn archive_is_smaller_than_snapshots_on_append_mostly_data() {
 fn temporal_series_agree_with_scan_baseline_on_factbook() {
     let mut sim = FactbookSim::new(
         11,
-        FactbookConfig { countries: 25, fission_probability: 0.3, ..Default::default() },
+        FactbookConfig {
+            countries: 25,
+            fission_probability: 0.3,
+            ..Default::default()
+        },
     );
     let first_country = sim.country_name(0).to_owned();
     let mut versions = Vec::new();
@@ -95,7 +107,11 @@ fn temporal_series_agree_with_scan_baseline_on_factbook() {
 fn fissioned_countries_have_bounded_lifespans() {
     let mut sim = FactbookSim::new(
         13,
-        FactbookConfig { countries: 10, fission_probability: 1.0, ..Default::default() },
+        FactbookConfig {
+            countries: 10,
+            fission_probability: 1.0,
+            ..Default::default()
+        },
     );
     let mut versions = Vec::new();
     for _ in 0..5 {
@@ -117,7 +133,13 @@ fn fissioned_countries_have_bounded_lifespans() {
 
 #[test]
 fn citations_survive_database_evolution() {
-    let mut sim = UniprotSim::new(5, UniprotConfig { initial_entries: 10, ..Default::default() });
+    let mut sim = UniprotSim::new(
+        5,
+        UniprotConfig {
+            initial_entries: 10,
+            ..Default::default()
+        },
+    );
     let first = sim.snapshot();
     let ac = first
         .as_set()
@@ -128,19 +150,23 @@ fn citations_survive_database_evolution() {
         .field("ac")
         .unwrap()
         .clone();
-    let Value::Atom(Atom::Str(ac)) = ac else { panic!() };
+    let Value::Atom(Atom::Str(ac)) = ac else {
+        panic!()
+    };
 
     let mut archive = Archive::new("uniprot", UniprotSim::key_spec());
     archive.add_version(&first, "rel-1").unwrap();
     let path = KeyPath::root().child(KeyStep::Entry(vec![Atom::Str(ac.clone())]));
-    let citation = Citation::cite(&archive, 0, &path, vec!["The UniProt Consortium".into()])
-        .unwrap();
+    let citation =
+        Citation::cite(&archive, 0, &path, vec!["The UniProt Consortium".into()]).unwrap();
     let original_entry = citation.resolve(&archive).unwrap();
 
     // Twenty more releases later…
     for i in 0..20 {
         sim.advance();
-        archive.add_version(&sim.snapshot(), format!("rel-{}", i + 2)).unwrap();
+        archive
+            .add_version(&sim.snapshot(), format!("rel-{}", i + 2))
+            .unwrap();
     }
     // …the citation still resolves to the identical entry.
     assert_eq!(citation.resolve(&archive).unwrap(), original_entry);

@@ -61,7 +61,11 @@ fn bounded_inventing_is_constant_in_input_size() {
             .collect();
         let table = ColoredTable::figure2_style(Schema::new(["A", "B"]).unwrap(), &rows);
         let sel = table.select(&Pred::col_eq_const("B", 1)).unwrap();
-        assert_eq!(sel.table.invented_count(), 1, "only the fresh table at n={n}");
+        assert_eq!(
+            sel.table.invented_count(),
+            1,
+            "only the fresh table at n={n}"
+        );
     }
 }
 
@@ -113,10 +117,8 @@ fn archive_handles_entry_rename_as_delete_plus_add() {
     arch.add_version(&e("old"), "0").unwrap();
     arch.add_version(&e("new"), "1").unwrap();
     use curated_db::model::keys::KeyStep;
-    let old_path =
-        curated_db::KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("old".into())]));
-    let new_path =
-        curated_db::KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("new".into())]));
+    let old_path = curated_db::KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("old".into())]));
+    let new_path = curated_db::KeyPath::root().child(KeyStep::Entry(vec![Atom::Str("new".into())]));
     assert_eq!(arch.lifespan(&old_path).unwrap(), vec![(0, Some(1))]);
     assert_eq!(arch.lifespan(&new_path).unwrap(), vec![(1, None)]);
 }
@@ -125,8 +127,13 @@ fn archive_handles_entry_rename_as_delete_plus_add() {
 fn unicode_and_long_strings_round_trip_everywhere() {
     let mut db = CuratedDatabase::new("åäö-библиотека", "名前");
     let long = "◉".repeat(1000) + "— ligand-gated χ₂ channel";
-    db.add_entry("curator-ß", 1, "GABA-α", &[("desc", Atom::Str(long.clone()))])
-        .unwrap();
+    db.add_entry(
+        "curator-ß",
+        1,
+        "GABA-α",
+        &[("desc", Atom::Str(long.clone()))],
+    )
+    .unwrap();
     let v = db.publish("рел-1").unwrap();
     let snap = db.version(v).unwrap();
     let entry = snap.as_set().unwrap().iter().next().unwrap().clone();

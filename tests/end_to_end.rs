@@ -2,11 +2,11 @@
 //! curate (with provenance), annotate, publish, cite, time-travel,
 //! merge/split — across all substrate crates at once.
 
+use curated_db::annotation::colored::Scheme;
+use curated_db::annotation::reverse::Target;
 use curated_db::core::views::{
     annotate_through_view, colored_view, entry_relation, ViewAnnotation,
 };
-use curated_db::annotation::colored::Scheme;
-use curated_db::annotation::reverse::Target;
 use curated_db::curation::queries;
 use curated_db::relalg::{Pred, RaExpr};
 use curated_db::schema::infer::infer_type;
@@ -48,8 +48,14 @@ fn publish_cite_time_travel_loop() {
     let v0 = db.publish("rel-27").unwrap();
 
     // Curation continues: an annotation update (the Figure 1 DT lines).
-    db.edit_field("alice", 3, "Q04917", "de", Atom::Str("14-3-3 PROTEIN ETA (AS1)".into()))
-        .unwrap();
+    db.edit_field(
+        "alice",
+        3,
+        "Q04917",
+        "de",
+        Atom::Str("14-3-3 PROTEIN ETA (AS1)".into()),
+    )
+    .unwrap();
     let v1 = db.publish("rel-28").unwrap();
 
     // Series across versions.
@@ -62,7 +68,10 @@ fn publish_cite_time_travel_loop() {
     let citation = db.cite(v0, "Q04917").unwrap();
     assert!(citation.authors.contains(&"alice".to_string()));
     let old_entry = citation.resolve(db.archive()).unwrap();
-    assert_eq!(old_entry.field("de"), Some(&Value::str("14-3-3 PROTEIN ETA")));
+    assert_eq!(
+        old_entry.field("de"),
+        Some(&Value::str("14-3-3 PROTEIN ETA"))
+    );
     let _ = v1;
 }
 
@@ -76,7 +85,8 @@ fn provenance_tracks_cross_database_curation() {
 
     let mut mydb = CuratedDatabase::new("mylab", "ac");
     mydb.import_entry("carol", 10, "Q04917", &clip).unwrap();
-    mydb.edit_field("carol", 11, "Q04917", "aa", Atom::Int(244)).unwrap();
+    mydb.edit_field("carol", 11, "Q04917", "aa", Atom::Int(244))
+        .unwrap();
 
     // The imported entry's provenance chain reaches back to `proteins`.
     let entry = mydb.entry_node("Q04917").unwrap();
@@ -85,7 +95,12 @@ fn provenance_tracks_cross_database_curation() {
         |o| matches!(o, curated_db::curation::Origin::CopiedFrom { db, .. } if db == "proteins")
     ));
     // The corrected field's provenance is the correction, not the copy.
-    let aa = mydb.curated.tree.child_by_label(entry, "aa").unwrap().unwrap();
+    let aa = mydb
+        .curated
+        .tree
+        .child_by_label(entry, "aa")
+        .unwrap()
+        .unwrap();
     let recs = mydb.curated.prov.effective(&mydb.curated.tree, aa);
     assert!(matches!(
         recs.last().unwrap().event,
@@ -104,7 +119,10 @@ fn views_carry_provenance_and_annotations_round_trip() {
     let cs = view
         .cell_colors(&vec![Atom::Str("Q04917".into()), Atom::Int(245)], "aa")
         .unwrap();
-    assert_eq!(cs.iter().cloned().collect::<Vec<_>>(), vec!["Q04917/aa".to_string()]);
+    assert_eq!(
+        cs.iter().cloned().collect::<Vec<_>>(),
+        vec!["Q04917/aa".to_string()]
+    );
 
     // The user annotates the view cell; the note lands on the source.
     let target = Target {
@@ -115,8 +133,7 @@ fn views_carry_provenance_and_annotations_round_trip() {
         ],
         attr: "aa".into(),
     };
-    let full_view = RaExpr::scan("entries")
-        .select(Pred::col_eq_const("organism", "HOMO SAPIENS"));
+    let full_view = RaExpr::scan("entries").select(Pred::col_eq_const("organism", "HOMO SAPIENS"));
     let placed = annotate_through_view(
         &mut db,
         &["organism", "aa"],
@@ -129,9 +146,15 @@ fn views_carry_provenance_and_annotations_round_trip() {
     .unwrap();
     assert_eq!(
         placed,
-        ViewAnnotation::Placed { key: "Q04917".into(), field: "aa".into() }
+        ViewAnnotation::Placed {
+            key: "Q04917".into(),
+            field: "aa".into()
+        }
     );
-    assert_eq!(db.notes_on("Q04917", Some("aa"))[0].text, "recount the residues");
+    assert_eq!(
+        db.notes_on("Q04917", Some("aa"))[0].text,
+        "recount the residues"
+    );
 }
 
 #[test]
@@ -183,8 +206,14 @@ fn relational_views_join_with_external_relations() {
     .unwrap();
 
     let mut kdb: KDatabase<Why> = KDatabase::new();
-    kdb.insert("entries", KRelation::tagged(&entries, |i, _| Why::var(format!("e{i}"))).unwrap());
-    kdb.insert("taxa", KRelation::tagged(&taxa, |_, _| Why::var("ncbi")).unwrap());
+    kdb.insert(
+        "entries",
+        KRelation::tagged(&entries, |i, _| Why::var(format!("e{i}"))).unwrap(),
+    );
+    kdb.insert(
+        "taxa",
+        KRelation::tagged(&taxa, |_, _| Why::var("ncbi")).unwrap(),
+    );
 
     let q = RaExpr::scan("entries")
         .natural_join(RaExpr::scan("taxa"))

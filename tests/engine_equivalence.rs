@@ -1,0 +1,217 @@
+//! Differential tests for the physical execution engine
+//! (`cdb_relalg::exec`): the hash-join engine must be observationally
+//! identical to the naive nested-loop interpreter on random databases
+//! and random algebra expressions, the parallel partitioned probe must
+//! be indistinguishable from the sequential one, and annotated
+//! evaluation (K-relations, colored tuples) must not depend on the
+//! partition count. Each property runs 256 generated cases by default
+//! (`PROPTEST_CASES` overrides).
+
+use curated_db::annotation::colored::{ColoredDatabase, Scheme};
+use curated_db::annotation::{eval_colored, eval_colored_with};
+use curated_db::relalg::eval::eval;
+use curated_db::relalg::pred::{CmpOp, Operand};
+use curated_db::relalg::{eval_hash, eval_with_stats, ExecConfig, Pred, RaExpr};
+use curated_db::semiring::eval::{eval_k, eval_k_with, figure4_database, figure4_query};
+use curated_db::semiring::{KDatabase, KRelation, Nat, Polynomial, Semiring};
+use curated_db::workload::relational::{
+    join_tables, natural_join_query, select_product_query, JoinConfig,
+};
+use proptest::prelude::*;
+
+/// Number of distinct query shapes produced by [`query`].
+const QUERY_SHAPES: usize = 10;
+
+/// A pool of algebra expressions over the workload tables `R(K, A)` /
+/// `S(K, B)`, parameterised by a constant `c`. Covers every operator the
+/// physical engine special-cases (natural join, recognised equi-join,
+/// equi-join with residual conjuncts, non-equi fallback) plus the
+/// pass-through operators around them.
+fn query(qi: usize, c: i64) -> RaExpr {
+    let sel_prod = || select_product_query();
+    match qi % QUERY_SHAPES {
+        // The two workload shapes themselves.
+        0 => natural_join_query(),
+        1 => sel_prod(),
+        // Equi-join with a residual conjunct on each side's payload.
+        2 => RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::col_eq_col("r.K", "s.K").and(Pred::cmp(
+                Operand::col("A"),
+                CmpOp::Lt,
+                Operand::constant(c),
+            ))),
+        // Non-equi predicate: the recognizer must fall back to the
+        // nested loop, still agreeing with the reference engine.
+        3 => RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::cmp(Operand::col("A"), CmpOp::Le, Operand::col("B"))),
+        // Projection above a join (dedup after the hash path).
+        4 => natural_join_query().project_cols(["A", "B"]),
+        // A join of a join: (R ⋈ S) ⋈ R shares K and A with R.
+        5 => natural_join_query().natural_join(RaExpr::scan("R")),
+        // Selection below the join.
+        6 => RaExpr::scan("R")
+            .select(Pred::col_eq_const("K", c))
+            .natural_join(RaExpr::scan("S")),
+        // Union and difference around joins.
+        7 => natural_join_query()
+            .project_cols(["K", "A"])
+            .union(RaExpr::scan("R")),
+        8 => RaExpr::scan("R").diff(natural_join_query().project_cols(["K", "A"])),
+        // Projection over the recognised σ(×) form.
+        _ => sel_prod().project_cols(["r.K", "A", "B"]),
+    }
+}
+
+/// Random workload parameters, small enough that 256 cases stay cheap
+/// but with key cardinalities low enough to force bucket collisions and
+/// multi-match probes.
+fn cfg_strategy() -> impl Strategy<Value = JoinConfig> {
+    (0usize..40, 0usize..40, 1usize..10, 1usize..6).prop_map(
+        |(left_rows, right_rows, key_cardinality, payload_values)| JoinConfig {
+            left_rows,
+            right_rows,
+            key_cardinality,
+            payload_values,
+        },
+    )
+}
+
+proptest! {
+    /// The hash engine is *byte-identical* to the nested-loop reference
+    /// engine: same tuples, same order — not merely set-equal.
+    #[test]
+    fn hash_engine_matches_nested_loop(
+        seed in any::<u64>(),
+        cfg in cfg_strategy(),
+        qi in 0usize..QUERY_SHAPES,
+        c in 0i64..8,
+    ) {
+        let db = join_tables(seed, &cfg);
+        let q = query(qi, c);
+        let naive = eval(&db, &q).unwrap();
+        let hashed = eval_hash(&db, &q, &ExecConfig::default()).unwrap();
+        prop_assert_eq!(&naive, &hashed, "query shape {}", qi % QUERY_SHAPES);
+        // The stats-collecting entry point evaluates identically too.
+        let (with_stats, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        prop_assert_eq!(&naive, &with_stats);
+        // rows_out counts operator output *before* the final
+        // set-semantics dedup, so it bounds the result size from above.
+        prop_assert!(stats.root.rows_out >= naive.len());
+    }
+
+    /// Parallel partitioned probing returns exactly the sequential
+    /// result, for any partition count.
+    #[test]
+    fn parallel_matches_sequential(
+        seed in any::<u64>(),
+        cfg in cfg_strategy(),
+        qi in 0usize..QUERY_SHAPES,
+        parts in 2usize..9,
+    ) {
+        let db = join_tables(seed, &cfg);
+        let q = query(qi, 3);
+        let sequential = eval_hash(&db, &q, &ExecConfig::sequential()).unwrap();
+        let mut par = ExecConfig::with_partitions(parts);
+        par.parallel_threshold = 1; // force the thread-scope path
+        let parallel = eval_hash(&db, &q, &par).unwrap();
+        prop_assert_eq!(sequential, parallel, "partitions = {}", parts);
+    }
+
+    /// Colored-annotation evaluation is engine-independent under every
+    /// propagation scheme.
+    #[test]
+    fn colored_annotations_survive_hashing(
+        seed in any::<u64>(),
+        cfg in cfg_strategy(),
+        qi in 0usize..QUERY_SHAPES,
+    ) {
+        let q = query(qi, 3);
+        if !q.is_positive() {
+            return Ok(()); // colored evaluation is defined for positive queries
+        }
+        let db = join_tables(seed, &cfg);
+        let cdb = ColoredDatabase::distinctly_colored(&db);
+        let mut par = ExecConfig::with_partitions(4);
+        par.parallel_threshold = 1;
+        for scheme in [Scheme::Default, Scheme::DefaultAll] {
+            let naive = eval_colored(&cdb, &q, &scheme).unwrap();
+            let hashed = eval_colored_with(&cdb, &q, &scheme, &par).unwrap();
+            prop_assert_eq!(naive, hashed, "scheme {:?}", scheme);
+        }
+    }
+}
+
+/// Annotates the workload tables with per-tuple variables (`R0`, `R1`,
+/// …) so join annotations are informative products, not all-ones.
+fn tagged_db<K: Semiring>(
+    db: &curated_db::relalg::Database,
+    var: impl Fn(String) -> K,
+) -> KDatabase<K> {
+    let mut out = KDatabase::new();
+    for name in ["R", "S"] {
+        let rel = db.get(name).unwrap();
+        out.insert(
+            name,
+            KRelation::tagged(rel, |i, _| var(format!("{name}{i}"))).unwrap(),
+        );
+    }
+    out
+}
+
+/// The determinism requirement: semiring annotations must be identical
+/// across 1, 2, and 8 partitions — partition merge is the semiring `+`,
+/// which is associative and commutative, so the partitioning must be
+/// unobservable.
+#[test]
+fn annotations_are_partition_deterministic() {
+    let configs: Vec<ExecConfig> = [1usize, 2, 8]
+        .iter()
+        .map(|&p| {
+            let mut c = ExecConfig::with_partitions(p);
+            c.parallel_threshold = 1;
+            c
+        })
+        .collect();
+
+    // Figure 4's polynomial query, where annotation structure is rich.
+    let fig_db = figure4_database(|v| Polynomial::var(v));
+    let fig_q = figure4_query();
+    let reference = eval_k(&fig_db, &fig_q).unwrap();
+    for cfg in &configs {
+        assert_eq!(reference, eval_k_with(&fig_db, &fig_q, cfg).unwrap());
+    }
+
+    // Workload tables under Nat (bag semantics) and Polynomial
+    // (provenance polynomials), across the query pool.
+    let wl = JoinConfig {
+        left_rows: 60,
+        right_rows: 60,
+        key_cardinality: 7,
+        payload_values: 4,
+    };
+    let db = join_tables(0xD17E, &wl);
+    let nat_db = tagged_db(&db, |_| Nat(1));
+    let poly_db = tagged_db(&db, |v| Polynomial::var(&v));
+    for qi in 0..QUERY_SHAPES {
+        let q = query(qi, 3);
+        if !q.is_positive() {
+            continue; // K-relation semantics needs positive queries
+        }
+        let nat_ref = eval_k(&nat_db, &q).unwrap();
+        let poly_ref = eval_k(&poly_db, &q).unwrap();
+        for cfg in &configs {
+            assert_eq!(
+                nat_ref,
+                eval_k_with(&nat_db, &q, cfg).unwrap(),
+                "Nat, shape {qi}"
+            );
+            assert_eq!(
+                poly_ref,
+                eval_k_with(&poly_db, &q, cfg).unwrap(),
+                "Polynomial, shape {qi}"
+            );
+        }
+    }
+}

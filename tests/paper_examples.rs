@@ -4,19 +4,29 @@
 use std::collections::BTreeMap;
 
 use curated_db::annotation::colored::{
-    eval_colored, ColoredDatabase, ColoredRelation, ColoredTuple, Scheme,
+    eval_colored, eval_colored_with, ColoredDatabase, ColoredRelation, ColoredTuple, Scheme,
 };
 use curated_db::annotation::nested::{check_copying, check_kind_preservation, ColoredTable};
 use curated_db::curation::update_lang::{figure3_query, sql_delete, sql_insert, sql_update};
 use curated_db::relalg::eval::paper_q;
-use curated_db::relalg::{Pred, ProjItem, Schema};
-use curated_db::semiring::eval::{eval_k, figure4_database, figure4_query};
+use curated_db::relalg::{ExecConfig, Pred, ProjItem, Schema};
+use curated_db::semiring::eval::{eval_k, eval_k_with, figure4_database, figure4_query};
 use curated_db::semiring::hom::{poly_to_nat, poly_to_why, why_to_minwhy};
 use curated_db::semiring::{Nat, Polynomial};
 use curated_db::Atom;
 
 fn int(i: i64) -> Atom {
     Atom::Int(i)
+}
+
+/// The physical-engine configurations every exact-output check also runs
+/// under: sequential hash joins and a forced 4-way partitioned probe.
+/// (E2 and E3 exercise the *nested* annotation model, which has no
+/// relational plan, so they have no engine dimension.)
+fn engine_configs() -> Vec<ExecConfig> {
+    let mut partitioned = ExecConfig::with_partitions(4);
+    partitioned.parallel_threshold = 1;
+    vec![ExecConfig::sequential(), partitioned]
 }
 
 /// E1 — the §2.1 Q1/Q2 tables, exactly as printed.
@@ -47,6 +57,15 @@ fn e1_q1_q2_annotated_tables() {
     // The paper's printed outputs: Q1 → 12♭3 50♭4; Q2 → 12♭7 50⊥.
     assert_eq!(format!("{o1}"), "(A, B)\n  12b3 | 50b4\n");
     assert_eq!(format!("{o2}"), "(A, B)\n  12b7 | 50⊥\n");
+
+    // The hash-join engine prints the same tables, sequentially and
+    // partitioned.
+    for cfg in engine_configs() {
+        let h1 = eval_colored_with(&db, &q1, &Scheme::Default, &cfg).unwrap();
+        let h2 = eval_colored_with(&db, &q2, &Scheme::Default, &cfg).unwrap();
+        assert_eq!(format!("{h1}"), "(A, B)\n  12b3 | 50b4\n");
+        assert_eq!(format!("{h2}"), "(A, B)\n  12b7 | 50⊥\n");
+    }
 }
 
 /// E2 — Figure 2's provenance annotation under σ and π.
@@ -120,6 +139,10 @@ fn e4_figure4_semiring_provenance() {
     let db = figure4_database(|v| Polynomial::var(v));
     let v = eval_k(&db, &figure4_query()).unwrap();
     assert_eq!(v.len(), 5);
+    // Both physical engine configurations derive the same polynomials.
+    for cfg in engine_configs() {
+        assert_eq!(v, eval_k_with(&db, &figure4_query(), &cfg).unwrap());
+    }
     let poly = |x: &str, z: &str| v.annotation(&vec![s(x), s(z)]);
     // Figure 4's polynomials (· is commutative, so r·p prints p·r).
     assert_eq!(poly("a", "c").to_string(), "p + p·p");
@@ -144,11 +167,12 @@ fn figure3_sql_texts_execute() {
     use curated_db::relalg::{Database, Relation};
     let base = Database::new().with(
         "R",
-        Relation::table(["A", "B"], [vec![int(10), int(49)], vec![int(12), int(50)]])
-            .unwrap(),
+        Relation::table(["A", "B"], [vec![int(10), int(49)], vec![int(12), int(50)]]).unwrap(),
     );
     let expected: std::collections::BTreeSet<Vec<Atom>> =
-        [vec![int(10), int(55)], vec![int(12), int(50)]].into_iter().collect();
+        [vec![int(10), int(55)], vec![int(12), int(50)]]
+            .into_iter()
+            .collect();
 
     let mut db1 = base.clone();
     let out = execute(
@@ -175,9 +199,7 @@ fn e1_schemes_cover_the_design_space() {
     let rel = |rows: [(i64, i64, [&str; 2]); 2]| {
         ColoredRelation::from_tuples(
             Schema::new(["A", "B"]).unwrap(),
-            rows.map(|(a, b, cs)| {
-                ColoredTuple::with_colors(vec![int(a), int(b)], cs.to_vec())
-            }),
+            rows.map(|(a, b, cs)| ColoredTuple::with_colors(vec![int(a), int(b)], cs.to_vec())),
         )
         .unwrap()
     };
@@ -189,9 +211,19 @@ fn e1_schemes_cover_the_design_space() {
     let a1 = eval_colored(&db, &q1, &Scheme::DefaultAll).unwrap();
     let a2 = eval_colored(&db, &q2, &Scheme::DefaultAll).unwrap();
     assert_eq!(a1, a2);
-    let steer: BTreeMap<String, Vec<String>> =
-        [("A".to_string(), vec!["S.B".to_string()])].into_iter().collect();
-    let c = eval_colored(&db, &q2, &Scheme::Custom(steer)).unwrap();
+    let steer: BTreeMap<String, Vec<String>> = [("A".to_string(), vec!["S.B".to_string()])]
+        .into_iter()
+        .collect();
+    let scheme = Scheme::Custom(steer);
+    let c = eval_colored(&db, &q2, &scheme).unwrap();
     let colors = c.cell_colors(&vec![int(12), int(50)], "A").unwrap();
     assert_eq!(colors.iter().cloned().collect::<Vec<_>>(), vec!["b8"]);
+    // Scheme behaviour is engine-independent.
+    for cfg in engine_configs() {
+        assert_eq!(
+            a1,
+            eval_colored_with(&db, &q1, &Scheme::DefaultAll, &cfg).unwrap()
+        );
+        assert_eq!(c, eval_colored_with(&db, &q2, &scheme, &cfg).unwrap());
+    }
 }
