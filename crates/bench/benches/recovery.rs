@@ -1,0 +1,147 @@
+//! E16 — durable WAL: log-replay throughput vs checkpoint interval.
+//!
+//! A curation session from `cdb-workload` is written as a WAL image;
+//! the bench then times full recovery (scan + decode + replay + verify)
+//! with no checkpoint and with checkpoints taken every 64 / 16
+//! transactions (recovery loads the *last* checkpoint and replays only
+//! the tail), plus raw append+sync throughput. Prints a one-shot table
+//! of image size and recovery stats before the timed samples; the
+//! measurements land in `BENCH_recovery.json`.
+
+use std::hint::black_box;
+use std::sync::Once;
+
+use cdb_curation::ops::CuratedTree;
+use cdb_curation::provstore::StoreMode;
+use cdb_curation::replay::apply_committed;
+use cdb_curation::wire::{encode_transaction, Checkpoint};
+use cdb_storage::{recover, DurableLog, MemIo, FRAME_TXN};
+use cdb_workload::sessions::{CurationSim, SessionConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+static REPORT: Once = Once::new();
+
+fn session(txns: usize) -> CuratedTree {
+    let mut sim = CurationSim::new(
+        0xD0_0B,
+        StoreMode::Hereditary,
+        SessionConfig {
+            source_entries: 8,
+            fields_per_entry: 3,
+            transactions: txns,
+            pastes_per_txn: 2,
+            edits_per_txn: 3,
+            inserts_per_txn: 1,
+        },
+    );
+    sim.run();
+    sim.target
+}
+
+fn wal_image(db: &CuratedTree) -> Vec<u8> {
+    let mut log = DurableLog::create(MemIo::new()).unwrap();
+    for txn in db.transactions() {
+        log.append(FRAME_TXN, &encode_transaction(txn)).unwrap();
+    }
+    log.sync().unwrap();
+    log.into_io().bytes().to_vec()
+}
+
+/// The checkpoint a curator checkpointing every `interval` transactions
+/// would hold at crash time: state after the last full interval
+/// strictly before the crash (so there is always a tail to replay).
+fn checkpoint_every(db: &CuratedTree, interval: usize) -> Checkpoint {
+    let k = (db.log.len() - 1) / interval * interval;
+    let mut snap = CuratedTree::new(db.tree.name(), StoreMode::Hereditary);
+    for txn in &db.log[..k] {
+        apply_committed(&mut snap, txn).unwrap();
+    }
+    Checkpoint {
+        last_txn: snap.last_txn_id(),
+        tree: snap.tree,
+        prov: snap.prov,
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let txns: usize = if criterion::smoke_mode() { 12 } else { 250 };
+    let db = session(txns);
+    let image = wal_image(&db);
+
+    cdb_bench::print_once(&REPORT, || {
+        let (_, rec) = recover(
+            "curated",
+            StoreMode::Hereditary,
+            MemIo::from_bytes(image.clone()),
+            None,
+        )
+        .unwrap();
+        eprintln!(
+            "\n-- E16: {} txns, WAL image {} bytes, {} tree nodes --",
+            txns,
+            image.len(),
+            rec.db.tree.size(),
+        );
+        eprintln!("full replay: {:?}", rec.stats);
+        for interval in [64, 16] {
+            if interval >= txns {
+                continue;
+            }
+            let ck = checkpoint_every(&db, interval);
+            let (_, rec) = recover(
+                "curated",
+                StoreMode::Hereditary,
+                MemIo::from_bytes(image.clone()),
+                Some(ck),
+            )
+            .unwrap();
+            eprintln!("checkpoint every {interval}: {:?}", rec.stats);
+        }
+        eprintln!();
+    });
+
+    let mut g = c.benchmark_group("e16_recovery");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("replay_full", txns), &txns, |b, _| {
+        b.iter_with_setup(
+            || MemIo::from_bytes(image.clone()),
+            |io| black_box(recover("curated", StoreMode::Hereditary, io, None).unwrap()),
+        )
+    });
+    for interval in [64usize, 16] {
+        if interval >= txns {
+            continue;
+        }
+        let ck = checkpoint_every(&db, interval);
+        g.bench_with_input(
+            BenchmarkId::new(format!("replay_ckpt_every_{interval}"), txns),
+            &txns,
+            |b, _| {
+                b.iter_with_setup(
+                    || (MemIo::from_bytes(image.clone()), Some(ck.clone())),
+                    |(io, ck)| {
+                        black_box(recover("curated", StoreMode::Hereditary, io, ck).unwrap())
+                    },
+                )
+            },
+        );
+    }
+    // Raw log-append throughput: encode + append + one sync per txn.
+    let frames: Vec<Vec<u8>> = db.transactions().iter().map(encode_transaction).collect();
+    g.bench_with_input(BenchmarkId::new("append_sync", txns), &txns, |b, _| {
+        b.iter_with_setup(
+            || DurableLog::create(MemIo::new()).unwrap(),
+            |mut log| {
+                for f in &frames {
+                    log.append(FRAME_TXN, f).unwrap();
+                    log.sync().unwrap();
+                }
+                black_box(log.len().unwrap())
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

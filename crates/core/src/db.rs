@@ -36,6 +36,8 @@ pub enum DbError {
     NoSuchField(String, String),
     /// An entry with this key already exists.
     DuplicateEntry(String),
+    /// A durability-layer failure (WAL, checkpoint, or recovery).
+    Storage(String),
 }
 
 impl fmt::Display for DbError {
@@ -47,6 +49,7 @@ impl fmt::Display for DbError {
             DbError::NoSuchEntry(k) => write!(f, "no entry with key {k:?}"),
             DbError::NoSuchField(k, fld) => write!(f, "entry {k:?} has no field {fld:?}"),
             DbError::DuplicateEntry(k) => write!(f, "entry {k:?} already exists"),
+            DbError::Storage(m) => write!(f, "storage: {m}"),
         }
     }
 }
@@ -71,6 +74,12 @@ impl From<LifecycleError> for DbError {
     }
 }
 
+impl From<cdb_storage::StorageError> for DbError {
+    fn from(e: cdb_storage::StorageError) -> Self {
+        DbError::Storage(e.to_string())
+    }
+}
+
 /// A superimposed annotation: external to the core data (the DAS model
 /// of §2), attributed and timestamped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,14 +99,26 @@ pub struct CuratedDatabase {
     pub curated: CuratedTree,
     /// The identifier lifecycle registry.
     pub lifecycle: EntryRegistry,
-    key_field: String,
-    archive: Archive,
-    notes: BTreeMap<(String, Option<String>), Vec<Note>>,
+    pub(crate) key_field: String,
+    pub(crate) archive: Archive,
+    pub(crate) notes: BTreeMap<(String, Option<String>), Vec<Note>>,
     /// For each published version: the last committed transaction at
     /// publish time (None = published before any transaction) and the
     /// logical time of that transaction — enough to rebuild the archive
     /// from the log alone (see [`CuratedDatabase::archive_from_log`]).
-    publish_points: Vec<(Option<cdb_curation::TxnId>, u64, String)>,
+    pub(crate) publish_points: Vec<(Option<cdb_curation::TxnId>, u64, String)>,
+    /// The write-ahead log, when this instance is durable (see
+    /// [`CuratedDatabase::open`]); `None` = in-memory only.
+    pub(crate) wal: Option<cdb_storage::DurableLog<Box<dyn cdb_storage::Io>>>,
+    /// The checkpoint device, when durable.
+    pub(crate) ckpt_io: Option<Box<dyn cdb_storage::Io>>,
+    /// When to force appended frames to disk.
+    pub(crate) durability: crate::durable::Durability,
+    /// Lifecycle events already persisted to the WAL.
+    pub(crate) persisted_events: usize,
+    /// What the last recovery saw, when this instance was opened from
+    /// a WAL.
+    pub(crate) recovery: Option<cdb_storage::RecoveryStats>,
 }
 
 impl CuratedDatabase {
@@ -115,6 +136,11 @@ impl CuratedDatabase {
             archive: Archive::new(name, spec),
             notes: BTreeMap::new(),
             publish_points: Vec::new(),
+            wal: None,
+            ckpt_io: None,
+            durability: crate::durable::Durability::Always,
+            persisted_events: 0,
+            recovery: None,
         }
     }
 
@@ -184,6 +210,7 @@ impl CuratedDatabase {
         }
         t.commit();
         self.lifecycle.create(key, time)?;
+        self.persist_commit()?;
         Ok(entry)
     }
 
@@ -220,6 +247,7 @@ impl CuratedDatabase {
         }
         t.commit();
         self.lifecycle.create(key, time)?;
+        self.persist_commit()?;
         Ok(entry)
     }
 
@@ -250,6 +278,7 @@ impl CuratedDatabase {
             }
         }
         t.commit();
+        self.persist_commit()?;
         Ok(())
     }
 
@@ -271,6 +300,7 @@ impl CuratedDatabase {
         t.delete(entry)?;
         t.commit();
         self.lifecycle.delete(key, time)?;
+        self.persist_commit()?;
         Ok(())
     }
 
@@ -308,6 +338,7 @@ impl CuratedDatabase {
         t.delete(absorbed_node)?;
         t.commit();
         self.lifecycle.merge(kept, absorbed, time)?;
+        self.persist_commit()?;
         Ok(())
     }
 
@@ -338,6 +369,7 @@ impl CuratedDatabase {
         t.commit();
         let part_keys: Vec<String> = parts.iter().map(|(k, _)| (*k).to_string()).collect();
         self.lifecycle.split(original, &part_keys, time)?;
+        self.persist_commit()?;
         Ok(())
     }
 
@@ -376,6 +408,7 @@ impl CuratedDatabase {
                 text: text.to_owned(),
                 time,
             });
+        self.persist_note(key, field)?;
         Ok(())
     }
 
@@ -411,6 +444,7 @@ impl CuratedDatabase {
         let txn = self.curated.last_txn_id();
         let time = self.curated.log.last().map(|t| t.time).unwrap_or(0);
         self.publish_points.push((txn, time, label));
+        self.persist_publish()?;
         Ok(v)
     }
 

@@ -1,0 +1,445 @@
+//! Durability for the integrated database: WAL wiring, checkpoints,
+//! and crash recovery.
+//!
+//! The curation layer's transaction log is the durable core — every
+//! committed [`cdb_curation::ops::Transaction`] becomes one
+//! `FRAME_TXN` in the WAL. The integrated engine has three more kinds
+//! of state that the tree replay cannot reconstruct, and each rides
+//! along in its own frame:
+//!
+//! * publish points → `FRAME_PUBLISH` (the archive itself is *not*
+//!   persisted: it is recomputed by
+//!   [`CuratedDatabase::archive_from_log`], the paper's §5.1 answer,
+//!   which needs only the log and the publish points);
+//! * lifecycle events → `FRAME_AUX` tag [`AUX_EVENT`];
+//! * superimposed notes → `FRAME_AUX` tag [`AUX_NOTE`].
+//!
+//! Durability is per-instance: a database created with
+//! [`CuratedDatabase::new`] is purely in-memory; one opened with
+//! [`CuratedDatabase::open`] (or [`CuratedDatabase::open_dir`])
+//! persists every commit, with [`Durability::Always`] syncing at each
+//! commit and [`Durability::Batched`] deferring to an explicit
+//! [`CuratedDatabase::sync`] — the classic group-commit trade
+//! (unsynced transactions can be lost on crash, torn tails are
+//! truncated on recovery, committed-and-synced ones never are).
+
+use cdb_curation::provstore::StoreMode;
+use cdb_curation::wire::{put_str, put_u64, Checkpoint, Reader, WireError};
+use cdb_storage::{
+    read_checkpoint, recover, write_checkpoint, Io, PublishRecord, RecoveryStats, StorageError,
+    FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH,
+};
+
+use crate::db::{CuratedDatabase, DbError, Note};
+use crate::lifecycle::EntryEvent;
+
+/// When WAL appends are forced to durable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Sync at every commit: a returned operation is crash-durable.
+    #[default]
+    Always,
+    /// Buffer appends until [`CuratedDatabase::sync`] (group commit):
+    /// faster, but a crash can lose operations since the last sync —
+    /// never corrupt the log, only truncate it.
+    Batched,
+}
+
+/// Aux-frame tag: a serialized [`EntryEvent`].
+pub const AUX_EVENT: u8 = 1;
+/// Aux-frame tag: a serialized [`Note`] with its attachment point.
+pub const AUX_NOTE: u8 = 2;
+
+/// One decoded auxiliary frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuxRecord {
+    /// A lifecycle event to replay into the registry.
+    Event(EntryEvent),
+    /// A superimposed note and where it attaches.
+    Note {
+        /// Entry key the note attaches to.
+        key: String,
+        /// Field within the entry, if field-level.
+        field: Option<String>,
+        /// The annotation itself.
+        note: Note,
+    },
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn read_opt_str(r: &mut Reader<'_>) -> Result<Option<String>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str()?)),
+        t => Err(WireError::BadTag("option", t)),
+    }
+}
+
+/// Encodes a lifecycle event as an aux-frame payload.
+pub fn encode_event(e: &EntryEvent) -> Vec<u8> {
+    let mut out = vec![AUX_EVENT];
+    match e {
+        EntryEvent::Created {
+            id,
+            from_split,
+            time,
+        } => {
+            out.push(0);
+            put_str(&mut out, id);
+            put_opt_str(&mut out, from_split.as_deref());
+            put_u64(&mut out, *time);
+        }
+        EntryEvent::Merged {
+            kept,
+            absorbed,
+            time,
+        } => {
+            out.push(1);
+            put_str(&mut out, kept);
+            put_str(&mut out, absorbed);
+            put_u64(&mut out, *time);
+        }
+        EntryEvent::Split {
+            original,
+            parts,
+            time,
+        } => {
+            out.push(2);
+            put_str(&mut out, original);
+            out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+            for p in parts {
+                put_str(&mut out, p);
+            }
+            put_u64(&mut out, *time);
+        }
+        EntryEvent::Deleted { id, time } => {
+            out.push(3);
+            put_str(&mut out, id);
+            put_u64(&mut out, *time);
+        }
+    }
+    out
+}
+
+/// Encodes a note as an aux-frame payload.
+pub fn encode_note(key: &str, field: Option<&str>, note: &Note) -> Vec<u8> {
+    let mut out = vec![AUX_NOTE];
+    put_str(&mut out, key);
+    put_opt_str(&mut out, field);
+    put_str(&mut out, &note.author);
+    put_str(&mut out, &note.text);
+    put_u64(&mut out, note.time);
+    out
+}
+
+/// Decodes an aux-frame payload.
+pub fn decode_aux(bytes: &[u8]) -> Result<AuxRecord, WireError> {
+    let mut r = Reader::new(bytes);
+    let rec = match r.u8()? {
+        AUX_EVENT => AuxRecord::Event(match r.u8()? {
+            0 => EntryEvent::Created {
+                id: r.str()?,
+                from_split: read_opt_str(&mut r)?,
+                time: r.u64()?,
+            },
+            1 => EntryEvent::Merged {
+                kept: r.str()?,
+                absorbed: r.str()?,
+                time: r.u64()?,
+            },
+            2 => {
+                let original = r.str()?;
+                let n = r.u32()? as usize;
+                let mut parts = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    parts.push(r.str()?);
+                }
+                EntryEvent::Split {
+                    original,
+                    parts,
+                    time: r.u64()?,
+                }
+            }
+            3 => EntryEvent::Deleted {
+                id: r.str()?,
+                time: r.u64()?,
+            },
+            t => return Err(WireError::BadTag("lifecycle event", t)),
+        }),
+        AUX_NOTE => AuxRecord::Note {
+            key: r.str()?,
+            field: read_opt_str(&mut r)?,
+            note: Note {
+                author: r.str()?,
+                text: r.str()?,
+                time: r.u64()?,
+            },
+        },
+        t => return Err(WireError::BadTag("aux record", t)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(rec)
+}
+
+impl CuratedDatabase {
+    /// Opens a durable database over a WAL device and a checkpoint
+    /// device, recovering whatever committed state they hold. Empty
+    /// devices yield a fresh database that will persist from the
+    /// first commit on; a torn WAL tail (crash mid-write) is truncated
+    /// and the state is rebuilt from the committed prefix, checkpoint
+    /// first when one is usable.
+    pub fn open(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        wal_io: Box<dyn Io>,
+        mut ckpt_io: Box<dyn Io>,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        let ck = read_checkpoint(ckpt_io.as_mut())?;
+        let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
+
+        let mut db = CuratedDatabase::new(name, key_field);
+        db.curated = rec.db;
+        for aux in &rec.aux {
+            match decode_aux(aux).map_err(StorageError::Wire)? {
+                AuxRecord::Event(e) => db.lifecycle.replay_event(&e),
+                AuxRecord::Note { key, field, note } => {
+                    db.notes.entry((key, field)).or_default().push(note);
+                }
+            }
+        }
+        db.publish_points = rec
+            .publishes
+            .iter()
+            .map(|p| (p.txn, p.time, p.label.clone()))
+            .collect();
+        db.archive = db.archive_from_log()?;
+        db.persisted_events = db.lifecycle.events().len();
+        db.wal = Some(log);
+        db.ckpt_io = Some(ckpt_io);
+        db.recovery = Some(rec.stats);
+        Ok(db)
+    }
+
+    /// Opens a durable database backed by `<dir>/<name>.wal` and
+    /// `<dir>/<name>.ckpt` (created if absent).
+    pub fn open_dir(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        let dir = dir.as_ref();
+        let wal = cdb_storage::FileIo::open(dir.join(format!("{name}.wal")))?;
+        let ckpt = cdb_storage::FileIo::open(dir.join(format!("{name}.ckpt")))?;
+        CuratedDatabase::open(name, key_field, Box::new(wal), Box::new(ckpt))
+    }
+
+    /// Whether this instance persists commits.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The durability policy (meaningful only for durable instances).
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Sets the durability policy. Switching to [`Durability::Always`]
+    /// does not retroactively sync — call [`CuratedDatabase::sync`].
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
+    /// What recovery saw when this instance was opened from a WAL
+    /// (`None` for in-memory databases).
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Forces all buffered WAL frames to durable storage (a no-op for
+    /// in-memory databases and under [`Durability::Always`]).
+    pub fn sync(&mut self) -> Result<(), DbError> {
+        if let Some(log) = self.wal.as_mut() {
+            log.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint: the WAL is synced, then the current tree
+    /// and provenance store are snapshotted so the next recovery can
+    /// skip replaying the log prefix up to here. The WAL itself is
+    /// kept whole — it remains the source of truth (and
+    /// [`CuratedDatabase::archive_from_log`] needs the full log).
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        let Some(log) = self.wal.as_mut() else {
+            return Err(DbError::Storage(
+                "checkpoint on an in-memory database".into(),
+            ));
+        };
+        log.sync()?;
+        let ck = Checkpoint {
+            last_txn: self.curated.last_txn_id(),
+            tree: self.curated.tree.clone(),
+            prov: self.curated.prov.clone(),
+        };
+        let io = self
+            .ckpt_io
+            .as_mut()
+            .expect("durable database always has a checkpoint device");
+        write_checkpoint(io.as_mut(), &ck)?;
+        Ok(())
+    }
+
+    /// Appends the newest committed transaction *and* the lifecycle
+    /// events it produced as one atomic commit frame — a torn write
+    /// can drop the whole operation but never split the transaction
+    /// from its side effects. Called after every commit; in-memory
+    /// instances skip straight out.
+    pub(crate) fn persist_commit(&mut self) -> Result<(), DbError> {
+        let Some(log) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let events = self.lifecycle.events();
+        let fresh: Vec<Vec<u8>> = events[self.persisted_events.min(events.len())..]
+            .iter()
+            .map(encode_event)
+            .collect();
+        match self.curated.log.last() {
+            Some(txn) => {
+                log.append(FRAME_COMMIT, &cdb_storage::encode_commit(txn, &fresh))?;
+            }
+            None => {
+                for payload in &fresh {
+                    log.append(FRAME_AUX, payload)?;
+                }
+            }
+        }
+        self.persisted_events = events.len();
+        if self.durability == Durability::Always {
+            log.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a publish point to the WAL. Publishes are synced
+    /// immediately regardless of policy — losing one silently desyncs
+    /// the archive from what users were told was published.
+    pub(crate) fn persist_publish(&mut self) -> Result<(), DbError> {
+        let Some(log) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let (txn, time, label) = self
+            .publish_points
+            .last()
+            .expect("persist_publish follows a publish")
+            .clone();
+        log.append(
+            FRAME_PUBLISH,
+            &cdb_storage::recovery::encode_publish(&PublishRecord { txn, time, label }),
+        )?;
+        log.sync()?;
+        Ok(())
+    }
+
+    /// Appends a note to the WAL.
+    pub(crate) fn persist_note(&mut self, key: &str, field: Option<&str>) -> Result<(), DbError> {
+        let Some(log) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let note = self
+            .notes
+            .get(&(key.to_owned(), field.map(str::to_owned)))
+            .and_then(|v| v.last())
+            .expect("persist_note follows an annotate")
+            .clone();
+        log.append(FRAME_AUX, &encode_note(key, field, &note))?;
+        if self.durability == Durability::Always {
+            log.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aux_records_round_trip() {
+        let records = [
+            AuxRecord::Event(EntryEvent::Created {
+                id: "P1".into(),
+                from_split: None,
+                time: 3,
+            }),
+            AuxRecord::Event(EntryEvent::Created {
+                id: "P2".into(),
+                from_split: Some("P0".into()),
+                time: 4,
+            }),
+            AuxRecord::Event(EntryEvent::Merged {
+                kept: "A".into(),
+                absorbed: "B".into(),
+                time: 5,
+            }),
+            AuxRecord::Event(EntryEvent::Split {
+                original: "C".into(),
+                parts: vec!["C1".into(), "C2".into()],
+                time: 6,
+            }),
+            AuxRecord::Event(EntryEvent::Deleted {
+                id: "D".into(),
+                time: 7,
+            }),
+            AuxRecord::Note {
+                key: "GABA-A".into(),
+                field: Some("kind".into()),
+                note: Note {
+                    author: "carol".into(),
+                    text: "verify against IUPHAR".into(),
+                    time: 9,
+                },
+            },
+            AuxRecord::Note {
+                key: "5-HT3".into(),
+                field: None,
+                note: Note {
+                    author: "dave".into(),
+                    text: String::new(),
+                    time: 0,
+                },
+            },
+        ];
+        for rec in records {
+            let bytes = match &rec {
+                AuxRecord::Event(e) => encode_event(e),
+                AuxRecord::Note { key, field, note } => encode_note(key, field.as_deref(), note),
+            };
+            assert_eq!(decode_aux(&bytes).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn truncated_aux_payloads_error() {
+        let bytes = encode_event(&EntryEvent::Merged {
+            kept: "A".into(),
+            absorbed: "B".into(),
+            time: 5,
+        });
+        for cut in 0..bytes.len() {
+            assert!(decode_aux(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 
 pub mod db;
+pub mod durable;
 pub mod lifecycle;
 pub mod views;
 
 pub use db::{CuratedDatabase, DbError, Note};
+pub use durable::Durability;
 pub use lifecycle::{EntryEvent, EntryRegistry, Fate};
 
 // Re-export the substrate crates under one roof, so downstream users
@@ -39,3 +41,4 @@ pub use cdb_model as model;
 pub use cdb_relalg as relalg;
 pub use cdb_schema as schema;
 pub use cdb_semiring as semiring;
+pub use cdb_storage as storage;

@@ -92,7 +92,7 @@ impl std::error::Error for LifecycleError {}
 
 /// The identifier registry: every id ever issued, its fate, and the full
 /// event log.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EntryRegistry {
     fates: BTreeMap<String, Fate>,
     events: Vec<EntryEvent>,
@@ -209,6 +209,34 @@ impl EntryRegistry {
             time,
         });
         Ok(())
+    }
+
+    /// Re-applies one recorded event during crash recovery. Events
+    /// must be replayed in their original order; each call updates the
+    /// fate map exactly as the original operation did and re-appends
+    /// the event. (A `Split` relies on its parts' `Created` events —
+    /// which the original operation also emitted — for the parts'
+    /// `Active` fates.)
+    pub fn replay_event(&mut self, event: &EntryEvent) {
+        match event {
+            EntryEvent::Created { id, .. } => {
+                self.fates.insert(id.clone(), Fate::Active);
+            }
+            EntryEvent::Merged { kept, absorbed, .. } => {
+                self.fates
+                    .insert(absorbed.clone(), Fate::MergedInto(kept.clone()));
+            }
+            EntryEvent::Split {
+                original, parts, ..
+            } => {
+                self.fates
+                    .insert(original.clone(), Fate::SplitInto(parts.clone()));
+            }
+            EntryEvent::Deleted { id, .. } => {
+                self.fates.insert(id.clone(), Fate::Deleted);
+            }
+        }
+        self.events.push(event.clone());
     }
 
     /// "What happened to X?" — follows merges and splits forward to the
@@ -388,6 +416,21 @@ mod tests {
             r.split("A", &["B".into()], 5),
             Err(LifecycleError::NotActive(_))
         ));
+    }
+
+    #[test]
+    fn replaying_the_event_log_reconstructs_the_registry() {
+        let mut r = EntryRegistry::new();
+        r.create("A", 1).unwrap();
+        r.create("B", 1).unwrap();
+        r.merge("A", "B", 2).unwrap();
+        r.split("A", &["A1".into(), "A2".into()], 3).unwrap();
+        r.delete("A2", 4).unwrap();
+        let mut rebuilt = EntryRegistry::new();
+        for e in r.events() {
+            rebuilt.replay_event(e);
+        }
+        assert_eq!(rebuilt, r);
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! End-to-end durability for the integrated database: open → curate →
+//! crash/reopen → identical state, across file, memory, and
+//! fault-injected devices.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cdb_core::storage::{FaultPlan, FaultyIo, Io, MemIo, StorageError};
+use cdb_core::{CuratedDatabase, Durability};
+use cdb_model::{Atom, Value};
+
+/// A fault-injected device the test keeps a handle on after the
+/// database takes ownership, so it can crash it post-drop.
+#[derive(Debug, Clone)]
+struct SharedFaulty(Rc<RefCell<Option<FaultyIo>>>);
+
+impl SharedFaulty {
+    fn new(plan: FaultPlan) -> Self {
+        SharedFaulty(Rc::new(RefCell::new(Some(FaultyIo::new(plan)))))
+    }
+
+    fn crash(&self) -> Vec<u8> {
+        self.0
+            .borrow_mut()
+            .take()
+            .expect("device already crashed")
+            .crash()
+    }
+}
+
+impl Io for SharedFaulty {
+    fn len(&self) -> Result<u64, StorageError> {
+        self.0.borrow().as_ref().unwrap().len()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.0.borrow_mut().as_mut().unwrap().read_at(offset, buf)
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.0.borrow_mut().as_mut().unwrap().append(bytes)
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.0.borrow_mut().as_mut().unwrap().flush()
+    }
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.0.borrow_mut().as_mut().unwrap().truncate(len)
+    }
+}
+
+/// Shared in-memory device for the checkpoint file, surviving the
+/// database that owns the boxed handle.
+#[derive(Debug, Clone)]
+struct SharedMem(Rc<RefCell<MemIo>>);
+
+impl SharedMem {
+    fn new() -> Self {
+        SharedMem(Rc::new(RefCell::new(MemIo::new())))
+    }
+}
+
+impl Io for SharedMem {
+    fn len(&self) -> Result<u64, StorageError> {
+        self.0.borrow().len()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.0.borrow_mut().read_at(offset, buf)
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.0.borrow_mut().append(bytes)
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.0.borrow_mut().flush()
+    }
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.0.borrow_mut().truncate(len)
+    }
+}
+
+/// Runs a representative curation career against the database: adds,
+/// edits, annotations, a merge, a split, and two publishes.
+fn curate(db: &mut CuratedDatabase) {
+    db.add_entry(
+        "alice",
+        1,
+        "GABA-A",
+        &[("kind", Atom::Str("receptor".into())), ("tm", Atom::Int(4))],
+    )
+    .unwrap();
+    db.add_entry("bob", 2, "5-HT3", &[("kind", Atom::Str("receptor".into()))])
+        .unwrap();
+    db.publish("r0").unwrap();
+    db.edit_field(
+        "carol",
+        3,
+        "GABA-A",
+        "kind",
+        Atom::Str("ion channel".into()),
+    )
+    .unwrap();
+    db.annotate("GABA-A", Some("kind"), "carol", "verify vs IUPHAR", 4)
+        .unwrap();
+    db.add_entry("erin", 5, "NMDA", &[("tm", Atom::Int(4))])
+        .unwrap();
+    db.merge_entries("erin", 6, "GABA-A", "5-HT3").unwrap();
+    db.split_entry("erin", 7, "NMDA", &[("NMDA-1", vec![]), ("NMDA-2", vec![])])
+        .unwrap();
+    db.publish("r1").unwrap();
+}
+
+/// Asserts the recovered database is observably identical to the
+/// reference: tree + provenance + log, lifecycle, notes, and every
+/// archived version.
+fn assert_same(recovered: &CuratedDatabase, reference: &CuratedDatabase) {
+    assert_eq!(recovered.curated, reference.curated);
+    assert_eq!(recovered.lifecycle, reference.lifecycle);
+    assert_eq!(
+        recovered.notes_on("GABA-A", Some("kind")),
+        reference.notes_on("GABA-A", Some("kind"))
+    );
+    assert_eq!(
+        recovered.archive().version_count(),
+        reference.archive().version_count()
+    );
+    for v in 0..reference.archive().version_count() {
+        assert_eq!(
+            recovered.version(v).unwrap(),
+            reference.version(v).unwrap(),
+            "archived version {v} differs"
+        );
+    }
+    assert_eq!(recovered.export().unwrap(), reference.export().unwrap());
+}
+
+fn reference() -> CuratedDatabase {
+    let mut db = CuratedDatabase::new("iuphar", "name");
+    curate(&mut db);
+    db
+}
+
+#[test]
+fn durable_database_survives_clean_reopen_on_files() {
+    let dir = std::env::temp_dir().join(format!("cdb-durable-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let mut db = CuratedDatabase::open_dir("iuphar", "name", &dir).unwrap();
+        assert!(db.is_durable());
+        assert!(db.recovery_stats().is_some());
+        curate(&mut db);
+    }
+    let db = CuratedDatabase::open_dir("iuphar", "name", &dir).unwrap();
+    assert_same(&db, &reference());
+    let stats = db.recovery_stats().unwrap();
+    assert_eq!(stats.frames_dropped, 0);
+    assert!(stats.frames_scanned > 0);
+
+    // The reopened database keeps working: ids, publishes, citations.
+    let mut db = db;
+    db.add_entry("fred", 8, "AMPA", &[]).unwrap();
+    let v = db.publish("r2").unwrap();
+    let cited = db.cite(v, "AMPA").unwrap();
+    assert!(cited.authors.contains(&"fred".to_string()));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_with_always_durability_loses_nothing() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    let ckpt = SharedMem::new();
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(ckpt.clone()),
+        )
+        .unwrap();
+        assert_eq!(db.durability(), Durability::Always);
+        curate(&mut db);
+        // db dropped without any orderly shutdown.
+    }
+    let image = wal.crash();
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(ckpt),
+    )
+    .unwrap();
+    assert_same(&db, &reference());
+}
+
+#[test]
+fn crash_with_batched_durability_loses_only_the_unsynced_tail() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(MemIo::new()),
+        )
+        .unwrap();
+        db.set_durability(Durability::Batched);
+        db.add_entry("alice", 1, "A", &[("tm", Atom::Int(1))])
+            .unwrap();
+        db.add_entry("bob", 2, "B", &[]).unwrap();
+        db.sync().unwrap();
+        db.add_entry("carol", 3, "C", &[]).unwrap(); // never synced
+    }
+    let image = wal.crash();
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    let mut keys = db.entry_keys().unwrap();
+    keys.sort();
+    assert_eq!(keys, vec!["A".to_string(), "B".to_string()]);
+    // The lost transaction's lifecycle event vanished with it.
+    assert!(db.lifecycle.fate("C").is_err());
+    // And the database keeps working from the truncated state.
+    let mut db = db;
+    db.add_entry("dave", 4, "D", &[]).unwrap();
+    assert_eq!(db.entry_keys().unwrap().len(), 3);
+}
+
+#[test]
+fn checkpoint_is_used_by_recovery_and_changes_nothing() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    let ckpt = SharedMem::new();
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(ckpt.clone()),
+        )
+        .unwrap();
+        db.add_entry(
+            "alice",
+            1,
+            "GABA-A",
+            &[("kind", Atom::Str("receptor".into())), ("tm", Atom::Int(4))],
+        )
+        .unwrap();
+        db.add_entry("bob", 2, "5-HT3", &[("kind", Atom::Str("receptor".into()))])
+            .unwrap();
+        db.publish("r0").unwrap();
+        db.checkpoint().unwrap();
+        db.edit_field(
+            "carol",
+            3,
+            "GABA-A",
+            "kind",
+            Atom::Str("ion channel".into()),
+        )
+        .unwrap();
+        db.annotate("GABA-A", Some("kind"), "carol", "verify vs IUPHAR", 4)
+            .unwrap();
+        db.add_entry("erin", 5, "NMDA", &[("tm", Atom::Int(4))])
+            .unwrap();
+        db.merge_entries("erin", 6, "GABA-A", "5-HT3").unwrap();
+        db.split_entry("erin", 7, "NMDA", &[("NMDA-1", vec![]), ("NMDA-2", vec![])])
+            .unwrap();
+        db.publish("r1").unwrap();
+    }
+    let image = wal.crash();
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(ckpt),
+    )
+    .unwrap();
+    assert_same(&db, &reference());
+    let stats = db.recovery_stats().unwrap();
+    assert!(stats.used_checkpoint);
+    assert_eq!(stats.txns_adopted, 2);
+    assert!(stats.txns_replayed >= 4);
+}
+
+#[test]
+fn torn_wal_tail_is_truncated_and_state_rolls_back_cleanly() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(MemIo::new()),
+        )
+        .unwrap();
+        db.add_entry("alice", 1, "A", &[("tm", Atom::Int(1))])
+            .unwrap();
+        db.add_entry("bob", 2, "B", &[]).unwrap();
+    }
+    let mut image = wal.crash();
+    // Tear mid-frame: chop the last 3 bytes of the final frame.
+    image.truncate(image.len() - 3);
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    let stats = db.recovery_stats().unwrap();
+    assert_eq!(stats.frames_dropped, 1);
+    assert!(stats.bytes_dropped > 0);
+    let keys = db.entry_keys().unwrap();
+    assert_eq!(keys, vec!["A".to_string()]);
+    // B's lifecycle creation rode in a frame after B's transaction —
+    // both were torn, so the registry is consistent with the tree.
+    assert!(db.lifecycle.fate("B").is_err());
+    assert!(db.lifecycle.is_active("A"));
+}
+
+#[test]
+fn recovered_export_matches_value_level_snapshot() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    let snapshot: Value;
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(MemIo::new()),
+        )
+        .unwrap();
+        curate(&mut db);
+        snapshot = db.export().unwrap();
+    }
+    let image = wal.crash();
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    assert_eq!(db.export().unwrap(), snapshot);
+}

@@ -17,11 +17,21 @@
 //! exactly one iteration of one sample. CI uses it (via
 //! `scripts/check.sh`) to catch bench bit-rot without paying measurement
 //! time.
+//!
+//! **Machine-readable output:** every measurement is also recorded and,
+//! when the [`criterion_main!`]-generated `main` exits, written as
+//! `BENCH_<bench-name>.json` at the workspace root — an array of
+//! `{op, size, ns_per_iter, samples, iters_per_sample}` rows. Set
+//! `CDB_BENCH_JSON=0` to suppress the file, or `CDB_BENCH_JSON_DIR` to
+//! redirect it. Smoke runs never write the report (their timings are
+//! meaningless and would clobber real measurements).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` keeps working alongside
@@ -33,6 +43,99 @@ pub fn smoke_mode() -> bool {
     std::env::var("CDB_BENCH_SMOKE")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// One recorded measurement, as written to the JSON report.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full benchmark label (`group/function/param`).
+    pub op: String,
+    /// The numeric parameter, when the label's last segment is one.
+    pub size: Option<u64>,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: u128,
+    /// Samples taken (1 in smoke mode).
+    pub samples: usize,
+    /// Iterations per sample (1 in smoke mode).
+    pub iters_per_sample: u64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn record(r: Record) {
+    RECORDS.lock().expect("bench recorder poisoned").push(r);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The workspace root: the topmost ancestor of `manifest_dir` that
+/// still contains a `Cargo.toml`.
+fn workspace_root(manifest_dir: &str) -> PathBuf {
+    let mut root = PathBuf::from(manifest_dir);
+    let mut cur = Path::new(manifest_dir);
+    while let Some(parent) = cur.parent() {
+        if parent.join("Cargo.toml").is_file() {
+            root = parent.to_path_buf();
+        }
+        cur = parent;
+    }
+    root
+}
+
+/// Writes every recorded measurement of this process as
+/// `BENCH_<name>.json`. Called automatically by the
+/// [`criterion_main!`]-generated `main`; callable directly from a
+/// hand-rolled harness too.
+pub fn write_json_report(name: &str, manifest_dir: &str) {
+    if std::env::var("CDB_BENCH_JSON")
+        .map(|v| v == "0")
+        .unwrap_or(false)
+    {
+        return;
+    }
+    // Smoke runs exist to catch bit-rot; their one-iteration timings
+    // are noise and must not clobber a real report.
+    if smoke_mode() {
+        return;
+    }
+    let records = RECORDS.lock().expect("bench recorder poisoned");
+    if records.is_empty() {
+        return;
+    }
+    let dir = std::env::var("CDB_BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| workspace_root(manifest_dir));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let size = r.size.map_or_else(|| "null".to_owned(), |s| s.to_string());
+        out.push_str(&format!(
+            "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            json_escape(&r.op),
+            size,
+            r.ns_per_iter,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write {}: {e}", path.display()),
+    }
 }
 
 /// The top-level harness handle.
@@ -207,6 +310,11 @@ impl Bencher {
     }
 }
 
+/// The numeric parameter at the end of a `group/function/param` label.
+fn label_size(label: &str) -> Option<u64> {
+    label.rsplit('/').next()?.parse().ok()
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     if smoke_mode() {
         let mut b = Bencher {
@@ -215,6 +323,13 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
         };
         f(&mut b);
         eprintln!("  {label:<48} smoke ok ({:>10.3?}/iter)", b.elapsed);
+        record(Record {
+            op: label.to_owned(),
+            size: label_size(label),
+            ns_per_iter: b.elapsed.as_nanos(),
+            samples: 1,
+            iters_per_sample: 1,
+        });
         return;
     }
     // Calibrate: how long does one iteration take?
@@ -244,6 +359,13 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
         "  {label:<48} median {median:>10.3?}  mean {mean:>10.3?}  min {min:>10.3?}  \
          ({samples} samples × {iters_per_sample} iters)"
     );
+    record(Record {
+        op: label.to_owned(),
+        size: label_size(label),
+        ns_per_iter: median.as_nanos(),
+        samples,
+        iters_per_sample,
+    });
 }
 
 /// Declares a benchmark group function, as in criterion.
@@ -257,12 +379,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the benchmark `main`, as in criterion.
+/// Declares the benchmark `main`, as in criterion — plus, on exit, the
+/// machine-readable `BENCH_<bench-name>.json` report at the workspace
+/// root.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report(env!("CARGO_CRATE_NAME"), env!("CARGO_MANIFEST_DIR"));
         }
     };
 }
@@ -270,6 +395,54 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that touch the process-wide `CDB_BENCH_*`
+    /// environment variables.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn labels_expose_their_numeric_parameter() {
+        assert_eq!(
+            label_size("e15_natural_join/hash_sequential/10000"),
+            Some(10_000)
+        );
+        assert_eq!(label_size("group/op"), None);
+        assert_eq!(label_size("plain"), None);
+    }
+
+    #[test]
+    fn json_report_is_written_and_well_formed() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("cdb_criterion_shim_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::remove_var("CDB_BENCH_SMOKE");
+        std::env::set_var("CDB_BENCH_JSON_DIR", dir.display().to_string());
+        record(Record {
+            op: "g/f/64".into(),
+            size: Some(64),
+            ns_per_iter: 1234,
+            samples: 3,
+            iters_per_sample: 7,
+        });
+        write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
+        std::env::remove_var("CDB_BENCH_JSON_DIR");
+        let text = std::fs::read_to_string(dir.join("BENCH_shimtest.json")).unwrap();
+        assert!(text.contains("\"op\": \"g/f/64\""));
+        assert!(text.contains("\"size\": 64"));
+        assert!(text.contains("\"ns_per_iter\": 1234"));
+        assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn workspace_root_walks_to_the_topmost_manifest() {
+        let root = workspace_root(env!("CARGO_MANIFEST_DIR"));
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(
+            root.parent()
+                .is_none_or(|p| !p.join("Cargo.toml").is_file()),
+            "must be the topmost manifest"
+        );
+    }
 
     #[test]
     fn ids_render_like_criterion() {
@@ -304,6 +477,7 @@ mod tests {
 
     #[test]
     fn groups_and_functions_execute() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         std::env::set_var("CDB_BENCH_SMOKE", "1");
         let mut ran = false;
@@ -313,6 +487,7 @@ mod tests {
             g.bench_with_input(BenchmarkId::new("f", 1), &1, |b, _| b.iter(|| ran = true));
             g.finish();
         }
+        std::env::remove_var("CDB_BENCH_SMOKE");
         assert!(ran);
     }
 }

@@ -33,6 +33,7 @@ pub mod queries;
 pub mod replay;
 pub mod tree;
 pub mod update_lang;
+pub mod wire;
 
 pub use ops::{Clipboard, CurationOp, Transaction, TxnId};
 pub use provstore::{Origin, ProvRecord, ProvStore, StoreMode};

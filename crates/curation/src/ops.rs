@@ -136,7 +136,7 @@ impl ClipNode {
 
 /// A curated database: the tree plus its transaction log and provenance
 /// store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CuratedTree {
     /// The underlying tree.
     pub tree: TreeDb,
@@ -198,6 +198,27 @@ impl CuratedTree {
                 .map(|c| self.snapshot(c))
                 .collect::<Result<_, _>>()?,
         })
+    }
+
+    /// Reassembles a curated database from recovered parts (the durable
+    /// WAL's checkpoint + tail-replay path in `cdb-storage`). The next
+    /// transaction id continues after the last logged transaction.
+    pub fn from_parts(tree: TreeDb, log: Vec<Transaction>, prov: ProvStore) -> Self {
+        let next_txn = log.last().map(|t| t.id.0 + 1).unwrap_or(0);
+        CuratedTree {
+            tree,
+            log,
+            prov,
+            next_txn,
+        }
+    }
+
+    /// Appends an already-committed transaction to the log *without*
+    /// applying it — used by recovery for transactions whose effects are
+    /// already covered by a loaded checkpoint.
+    pub fn adopt_unapplied(&mut self, txn: Transaction) {
+        self.next_txn = txn.id.0 + 1;
+        self.log.push(txn);
     }
 
     /// The committed transactions.

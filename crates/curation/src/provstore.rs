@@ -81,7 +81,10 @@ pub enum StoreMode {
 }
 
 /// The provenance store.
-#[derive(Debug, Clone)]
+///
+/// Equality compares mode and every stored record — the crash-recovery
+/// tests assert a recovered store equals the uncrashed one exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProvStore {
     mode: StoreMode,
     records: BTreeMap<NodeId, Vec<ProvRecord>>,
@@ -196,6 +199,16 @@ impl ProvStore {
             }
         }
         out
+    }
+
+    /// Raw record map access for the wire codec (`crate::wire`).
+    pub(crate) fn raw_records(&self) -> &BTreeMap<NodeId, Vec<ProvRecord>> {
+        &self.records
+    }
+
+    /// Rebuilds a store from decoded parts (`crate::wire`).
+    pub(crate) fn from_raw(mode: StoreMode, records: BTreeMap<NodeId, Vec<ProvRecord>>) -> Self {
+        ProvStore { mode, records }
     }
 
     /// Number of records stored (the E6 space metric).

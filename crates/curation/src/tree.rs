@@ -46,7 +46,7 @@ impl fmt::Display for TreeError {
 
 impl std::error::Error for TreeError {}
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Node {
     label: String,
     value: Option<Atom>,
@@ -56,11 +56,27 @@ struct Node {
 }
 
 /// A curated database as a semistructured tree.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the *entire arena* — names, tombstones, and node
+/// order included — which is what the crash-recovery tests rely on: a
+/// recovered tree must be byte-identical to the uncrashed one, not
+/// merely value-equal on live nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeDb {
     name: String,
     nodes: Vec<Node>,
     root: NodeId,
+}
+
+/// A raw arena node, as exposed to the wire codec (`crate::wire`). The
+/// arena index of the node is implicit in its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RawNode {
+    pub(crate) label: String,
+    pub(crate) value: Option<Atom>,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+    pub(crate) alive: bool,
 }
 
 impl TreeDb {
@@ -206,6 +222,43 @@ impl TreeDb {
     /// The number of live, reachable nodes.
     pub fn size(&self) -> usize {
         self.live_nodes().len()
+    }
+
+    // ------------------------------------------------- serialization
+    //
+    // Raw arena access for the wire codec (`crate::wire`). The codec
+    // must round-trip tombstoned nodes and arena positions exactly,
+    // because node ids are arena indices and log replay re-allocates
+    // them in order.
+
+    pub(crate) fn raw_nodes(&self) -> Vec<RawNode> {
+        self.nodes
+            .iter()
+            .map(|n| RawNode {
+                label: n.label.clone(),
+                value: n.value.clone(),
+                parent: n.parent,
+                children: n.children.clone(),
+                alive: n.alive,
+            })
+            .collect()
+    }
+
+    pub(crate) fn from_raw(name: String, root: NodeId, raw: Vec<RawNode>) -> Self {
+        TreeDb {
+            name,
+            nodes: raw
+                .into_iter()
+                .map(|n| Node {
+                    label: n.label,
+                    value: n.value,
+                    parent: n.parent,
+                    children: n.children,
+                    alive: n.alive,
+                })
+                .collect(),
+            root,
+        }
     }
 
     // ----------------------------------------------------- mutations

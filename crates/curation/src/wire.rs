@@ -1,0 +1,626 @@
+//! Binary wire codec for the durable curation log.
+//!
+//! `cdb-storage` persists the transaction log as length-prefixed,
+//! checksummed frames (see its `frame` module); this module owns the
+//! *payload* encoding — a compact, versionless little-endian format for
+//! every [`CurationOp`], full [`Transaction`]s, and the checkpoint
+//! snapshot of a [`TreeDb`] + [`ProvStore`] pair. The codec lives here
+//! (not in the storage crate) because it needs raw arena access: node
+//! ids are arena indices, so a checkpoint must round-trip tombstoned
+//! nodes and arena order exactly for tail replay to re-allocate the
+//! original ids.
+//!
+//! Framing, checksums, and corruption handling are deliberately *not*
+//! here: this codec assumes its input bytes are exactly one valid
+//! payload (the storage layer's CRC gate guarantees that), and any
+//! decode error therefore means a frame that passed its checksum is
+//! structurally invalid — corruption the CRC missed, or a foreign file.
+
+use std::collections::BTreeMap;
+
+use cdb_model::atom::Decimal;
+use cdb_model::Atom;
+
+use crate::ops::{ClipNode, CurationOp, Transaction, TxnId};
+use crate::provstore::{Origin, ProvEvent, ProvRecord, ProvStore, StoreMode};
+use crate::tree::{NodeId, RawNode, TreeDb};
+
+/// Errors while decoding a wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the value was complete.
+    UnexpectedEof,
+    /// An enum tag byte was out of range.
+    BadTag(&'static str, u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// The payload had bytes left over after the value.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "payload truncated"),
+            WireError::BadTag(what, t) => write!(f, "bad {what} tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in payload"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A checkpoint snapshot: the materialized state as of `last_txn`, so
+/// recovery can skip re-applying the log prefix it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The last transaction whose effects the snapshot includes
+    /// (`None` = a snapshot of the empty database).
+    pub last_txn: Option<TxnId>,
+    /// The tree, arena order and tombstones preserved.
+    pub tree: TreeDb,
+    /// The provenance store.
+    pub prov: ProvStore,
+}
+
+// ------------------------------------------------------------ writer
+
+/// Appends a little-endian `u32` to `out`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64` to `out`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `i64` to `out`.
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string to `out`.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends an optional `u64` (presence byte + value) to `out`.
+pub fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn put_atom(out: &mut Vec<u8>, a: &Atom) {
+    match a {
+        Atom::Unit => out.push(0),
+        Atom::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Atom::Int(i) => {
+            out.push(2);
+            put_i64(out, *i);
+        }
+        Atom::Decimal(d) => {
+            out.push(3);
+            put_i64(out, d.digits());
+            out.push(d.scale());
+        }
+        Atom::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_opt_atom(out: &mut Vec<u8>, a: Option<&Atom>) {
+    match a {
+        None => out.push(0),
+        Some(a) => {
+            out.push(1);
+            put_atom(out, a);
+        }
+    }
+}
+
+fn put_origin(out: &mut Vec<u8>, o: &Origin) {
+    match o {
+        Origin::Local => out.push(0),
+        Origin::CopiedFrom { db, path, chain } => {
+            out.push(1);
+            put_str(out, db);
+            put_str(out, path);
+            put_u32(out, chain.len() as u32);
+            for c in chain {
+                put_origin(out, c);
+            }
+        }
+        Origin::External { source } => {
+            out.push(2);
+            put_str(out, source);
+        }
+    }
+}
+
+fn put_clip(out: &mut Vec<u8>, c: &ClipNode) {
+    put_str(out, &c.label);
+    put_opt_atom(out, c.value.as_ref());
+    put_u32(out, c.children.len() as u32);
+    for child in &c.children {
+        put_clip(out, child);
+    }
+}
+
+fn put_op(out: &mut Vec<u8>, op: &CurationOp) {
+    match op {
+        CurationOp::Insert {
+            node,
+            parent,
+            label,
+            value,
+        } => {
+            out.push(0);
+            put_u64(out, node.0 as u64);
+            put_u64(out, parent.0 as u64);
+            put_str(out, label);
+            put_opt_atom(out, value.as_ref());
+        }
+        CurationOp::Modify { node, old, new } => {
+            out.push(1);
+            put_u64(out, node.0 as u64);
+            put_opt_atom(out, old.as_ref());
+            put_opt_atom(out, new.as_ref());
+        }
+        CurationOp::Delete { node } => {
+            out.push(2);
+            put_u64(out, node.0 as u64);
+        }
+        CurationOp::Paste {
+            node,
+            parent,
+            origin,
+            snapshot,
+        } => {
+            out.push(3);
+            put_u64(out, node.0 as u64);
+            put_u64(out, parent.0 as u64);
+            put_origin(out, origin);
+            put_clip(out, snapshot);
+        }
+    }
+}
+
+/// Encodes a transaction as a WAL frame payload.
+pub fn encode_transaction(txn: &Transaction) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_u64(&mut out, txn.id.0);
+    put_str(&mut out, &txn.curator);
+    put_u64(&mut out, txn.time);
+    put_u32(&mut out, txn.ops.len() as u32);
+    for op in &txn.ops {
+        put_op(&mut out, op);
+    }
+    out
+}
+
+fn put_tree(out: &mut Vec<u8>, tree: &TreeDb) {
+    put_str(out, tree.name());
+    put_u64(out, tree.root().0 as u64);
+    let raw = tree.raw_nodes();
+    put_u32(out, raw.len() as u32);
+    for n in &raw {
+        put_str(out, &n.label);
+        put_opt_atom(out, n.value.as_ref());
+        put_opt_u64(out, n.parent.map(|p| p.0 as u64));
+        put_u32(out, n.children.len() as u32);
+        for c in &n.children {
+            put_u64(out, c.0 as u64);
+        }
+        out.push(u8::from(n.alive));
+    }
+}
+
+fn put_prov(out: &mut Vec<u8>, prov: &ProvStore) {
+    out.push(match prov.mode() {
+        StoreMode::Naive => 0,
+        StoreMode::Hereditary => 1,
+    });
+    let records = prov.raw_records();
+    put_u32(out, records.len() as u32);
+    for (node, recs) in records {
+        put_u64(out, node.0 as u64);
+        put_u32(out, recs.len() as u32);
+        for r in recs {
+            put_u64(out, r.txn.0);
+            match &r.event {
+                ProvEvent::Created(o) => {
+                    out.push(0);
+                    put_origin(out, o);
+                }
+                ProvEvent::Modified => out.push(1),
+            }
+        }
+    }
+}
+
+/// Encodes a checkpoint snapshot as a checkpoint-file frame payload.
+pub fn encode_checkpoint(ck: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    put_opt_u64(&mut out, ck.last_txn.map(|t| t.0));
+    put_tree(&mut out, &ck.tree);
+    put_prov(&mut out, &ck.prov);
+    out
+}
+
+// ------------------------------------------------------------ reader
+
+/// A cursor over a wire payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads an optional `u64` (presence byte + value).
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(WireError::BadTag("option", t)),
+        }
+    }
+
+    fn node_id(&mut self) -> Result<NodeId, WireError> {
+        Ok(NodeId(self.u64()? as usize))
+    }
+
+    fn atom(&mut self) -> Result<Atom, WireError> {
+        match self.u8()? {
+            0 => Ok(Atom::Unit),
+            1 => Ok(Atom::Bool(self.u8()? != 0)),
+            2 => Ok(Atom::Int(self.i64()?)),
+            3 => {
+                let digits = self.i64()?;
+                let scale = self.u8()?;
+                Ok(Atom::Decimal(Decimal::new(digits, scale)))
+            }
+            4 => Ok(Atom::Str(self.str()?)),
+            t => Err(WireError::BadTag("atom", t)),
+        }
+    }
+
+    fn opt_atom(&mut self) -> Result<Option<Atom>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.atom()?)),
+            t => Err(WireError::BadTag("option", t)),
+        }
+    }
+
+    fn origin(&mut self) -> Result<Origin, WireError> {
+        match self.u8()? {
+            0 => Ok(Origin::Local),
+            1 => {
+                let db = self.str()?;
+                let path = self.str()?;
+                let n = self.u32()? as usize;
+                let mut chain = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    chain.push(self.origin()?);
+                }
+                Ok(Origin::CopiedFrom { db, path, chain })
+            }
+            2 => Ok(Origin::External {
+                source: self.str()?,
+            }),
+            t => Err(WireError::BadTag("origin", t)),
+        }
+    }
+
+    fn clip(&mut self) -> Result<ClipNode, WireError> {
+        let label = self.str()?;
+        let value = self.opt_atom()?;
+        let n = self.u32()? as usize;
+        let mut children = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            children.push(self.clip()?);
+        }
+        Ok(ClipNode {
+            label,
+            value,
+            children,
+        })
+    }
+
+    fn op(&mut self) -> Result<CurationOp, WireError> {
+        match self.u8()? {
+            0 => Ok(CurationOp::Insert {
+                node: self.node_id()?,
+                parent: self.node_id()?,
+                label: self.str()?,
+                value: self.opt_atom()?,
+            }),
+            1 => Ok(CurationOp::Modify {
+                node: self.node_id()?,
+                old: self.opt_atom()?,
+                new: self.opt_atom()?,
+            }),
+            2 => Ok(CurationOp::Delete {
+                node: self.node_id()?,
+            }),
+            3 => Ok(CurationOp::Paste {
+                node: self.node_id()?,
+                parent: self.node_id()?,
+                origin: self.origin()?,
+                snapshot: self.clip()?,
+            }),
+            t => Err(WireError::BadTag("curation op", t)),
+        }
+    }
+
+    fn tree(&mut self) -> Result<TreeDb, WireError> {
+        let name = self.str()?;
+        let root = self.node_id()?;
+        let n = self.u32()? as usize;
+        let mut raw = Vec::with_capacity(n.min(65_536));
+        for _ in 0..n {
+            let label = self.str()?;
+            let value = self.opt_atom()?;
+            let parent = self.opt_u64()?.map(|p| NodeId(p as usize));
+            let nc = self.u32()? as usize;
+            let mut children = Vec::with_capacity(nc.min(65_536));
+            for _ in 0..nc {
+                children.push(self.node_id()?);
+            }
+            let alive = self.u8()? != 0;
+            raw.push(RawNode {
+                label,
+                value,
+                parent,
+                children,
+                alive,
+            });
+        }
+        Ok(TreeDb::from_raw(name, root, raw))
+    }
+
+    fn prov(&mut self) -> Result<ProvStore, WireError> {
+        let mode = match self.u8()? {
+            0 => StoreMode::Naive,
+            1 => StoreMode::Hereditary,
+            t => return Err(WireError::BadTag("store mode", t)),
+        };
+        let n = self.u32()? as usize;
+        let mut records = BTreeMap::new();
+        for _ in 0..n {
+            let node = self.node_id()?;
+            let nr = self.u32()? as usize;
+            let mut recs = Vec::with_capacity(nr.min(65_536));
+            for _ in 0..nr {
+                let txn = TxnId(self.u64()?);
+                let event = match self.u8()? {
+                    0 => ProvEvent::Created(self.origin()?),
+                    1 => ProvEvent::Modified,
+                    t => return Err(WireError::BadTag("prov event", t)),
+                };
+                recs.push(ProvRecord { txn, event });
+            }
+            records.insert(node, recs);
+        }
+        Ok(ProvStore::from_raw(mode, records))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a transaction frame payload.
+pub fn decode_transaction(bytes: &[u8]) -> Result<Transaction, WireError> {
+    let mut r = Reader::new(bytes);
+    let id = TxnId(r.u64()?);
+    let curator = r.str()?;
+    let time = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(n.min(65_536));
+    for _ in 0..n {
+        ops.push(r.op()?);
+    }
+    r.finish()?;
+    Ok(Transaction {
+        id,
+        curator,
+        time,
+        ops,
+    })
+}
+
+/// Decodes a checkpoint frame payload.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
+    let mut r = Reader::new(bytes);
+    let last_txn = r.opt_u64()?.map(TxnId);
+    let tree = r.tree()?;
+    let prov = r.prov()?;
+    r.finish()?;
+    Ok(Checkpoint {
+        last_txn,
+        tree,
+        prov,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::CuratedTree;
+    use crate::provstore::StoreMode;
+
+    fn busy_tree() -> CuratedTree {
+        // A database exercising every op and atom constructor, with a
+        // cross-database paste (nested origin chain) and a deletion
+        // (tombstones in the arena).
+        let mut src = CuratedTree::new("upstream", StoreMode::Hereditary);
+        let sroot = src.tree.root();
+        let mut t = src.begin("up", 1);
+        let e = t.insert(sroot, "entry", None).unwrap();
+        t.insert(e, "ac", Some(Atom::Str("Q1".into()))).unwrap();
+        t.insert(e, "mass", Some(Atom::Decimal(Decimal::new(2802, 2))))
+            .unwrap();
+        t.insert(e, "reviewed", Some(Atom::Bool(true))).unwrap();
+        t.commit();
+        let clip = src.copy(e).unwrap();
+
+        let mut db = CuratedTree::new("wire", StoreMode::Hereditary);
+        let root = db.tree.root();
+        let mut t = db.begin("alice", 2);
+        let pasted = t.paste(root, &clip).unwrap();
+        let note = t.insert(root, "note", Some(Atom::Int(-7))).unwrap();
+        t.modify(note, Some(Atom::Unit)).unwrap();
+        t.commit();
+        let mut t = db.begin("bob", 3);
+        let scratch = t.insert(pasted, "scratch", None).unwrap();
+        t.delete(scratch).unwrap();
+        t.commit();
+        db
+    }
+
+    #[test]
+    fn transactions_round_trip() {
+        let db = busy_tree();
+        for txn in db.transactions() {
+            let bytes = encode_transaction(txn);
+            assert_eq!(&decode_transaction(&bytes).unwrap(), txn);
+        }
+    }
+
+    #[test]
+    fn checkpoints_round_trip_tombstones_and_prov() {
+        let db = busy_tree();
+        let ck = Checkpoint {
+            last_txn: db.last_txn_id(),
+            tree: db.tree.clone(),
+            prov: db.prov.clone(),
+        };
+        let bytes = encode_checkpoint(&ck);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back, ck);
+        // Tail replay onto the decoded tree allocates the original ids:
+        // a fresh node gets the next arena index, not a reused one.
+        let mut recovered = CuratedTree::from_parts(back.tree, db.log.clone(), back.prov);
+        let root = recovered.tree.root();
+        let mut a = recovered.begin("x", 9);
+        let fresh_rec = a.insert(root, "f", None).unwrap();
+        a.commit();
+        let mut live = db.clone();
+        let root = live.tree.root();
+        let mut b = live.begin("x", 9);
+        let fresh_live = b.insert(root, "f", None).unwrap();
+        b.commit();
+        assert_eq!(fresh_rec, fresh_live);
+        assert_eq!(recovered, live);
+    }
+
+    #[test]
+    fn truncated_payloads_error_instead_of_panicking() {
+        let db = busy_tree();
+        let bytes = encode_transaction(&db.transactions()[0]);
+        for cut in 0..bytes.len() {
+            assert!(decode_transaction(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let ck = encode_checkpoint(&Checkpoint {
+            last_txn: None,
+            tree: db.tree.clone(),
+            prov: db.prov.clone(),
+        });
+        for cut in (0..ck.len()).step_by(7) {
+            assert!(decode_checkpoint(&ck[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let db = busy_tree();
+        let mut bytes = encode_transaction(&db.transactions()[0]);
+        bytes.push(0);
+        assert_eq!(decode_transaction(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tags_are_named() {
+        assert!(matches!(
+            decode_transaction(&{
+                let mut b = Vec::new();
+                put_u64(&mut b, 0);
+                put_str(&mut b, "c");
+                put_u64(&mut b, 1);
+                put_u32(&mut b, 1);
+                b.push(9); // no such op tag
+                b
+            }),
+            Err(WireError::BadTag("curation op", 9))
+        ));
+    }
+}

@@ -129,6 +129,17 @@ impl RaExpr {
         RaExpr::Diff(Box::new(self), Box::new(other))
     }
 
+    /// Rename convenience constructor: each pair is `(old, new)`.
+    pub fn rename<S: Into<String>>(self, pairs: impl IntoIterator<Item = (S, S)>) -> Self {
+        RaExpr::Rename(
+            Box::new(self),
+            pairs
+                .into_iter()
+                .map(|(o, n)| (o.into(), n.into()))
+                .collect(),
+        )
+    }
+
     /// Whether the expression is *positive* (monotone): no difference.
     /// The provenance semiring semantics of §4.1 and the reverse
     /// annotation propagation of §2.2 are defined for positive queries.

@@ -1,0 +1,208 @@
+//! The durable log: an append-only sequence of checksummed frames,
+//! plus the checkpoint file.
+//!
+//! [`DurableLog::open`] is self-healing: it scans the device, keeps the
+//! longest valid frame prefix, and **truncates the torn tail** so the
+//! next append lands on a clean boundary. Appends are buffered by the
+//! device until [`DurableLog::sync`]; a transaction is *committed* once
+//! the sync covering its frame returns.
+//!
+//! Checkpoints live in a separate device (file) from the WAL and are
+//! written whole — scan-validated on read, and simply ignored when
+//! invalid, because the WAL retains every transaction frame and can
+//! always rebuild from scratch. The checkpoint is an optimization, the
+//! log is the truth.
+
+use cdb_curation::wire::{decode_checkpoint, encode_checkpoint, Checkpoint};
+
+use crate::frame::{encode_frame, scan, Frame, ScanOutcome, CKPT_MAGIC, FRAME_CKPT, WAL_MAGIC};
+use crate::io::Io;
+use crate::StorageError;
+
+/// An open write-ahead log over some [`Io`] device.
+#[derive(Debug)]
+pub struct DurableLog<I: Io> {
+    io: I,
+    appended_since_sync: u64,
+}
+
+impl<I: Io> DurableLog<I> {
+    /// Initializes a fresh log on `io` (truncating whatever was
+    /// there) and syncs the header.
+    pub fn create(mut io: I) -> Result<Self, StorageError> {
+        io.truncate(0)?;
+        io.append(WAL_MAGIC)?;
+        io.flush()?;
+        Ok(DurableLog {
+            io,
+            appended_since_sync: 0,
+        })
+    }
+
+    /// Opens an existing log: scans the valid prefix, truncates any
+    /// torn tail, and returns the surviving frames. A device with a
+    /// missing or torn header (crash before creation finished, or an
+    /// empty file) is re-initialized to an empty log.
+    pub fn open(mut io: I) -> Result<(Self, ScanOutcome), StorageError> {
+        let mut outcome = scan(&mut io, WAL_MAGIC)?;
+        if !outcome.header_ok {
+            io.truncate(0)?;
+            io.append(WAL_MAGIC)?;
+            io.flush()?;
+        } else if outcome.bytes_dropped > 0 {
+            io.truncate(outcome.valid_len)?;
+            io.flush()?;
+        }
+        if !outcome.header_ok {
+            outcome.valid_len = WAL_MAGIC.len() as u64;
+        }
+        Ok((
+            DurableLog {
+                io,
+                appended_since_sync: 0,
+            },
+            outcome,
+        ))
+    }
+
+    /// Appends one frame. Not durable until [`DurableLog::sync`].
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+        self.io.append(&encode_frame(kind, payload))?;
+        self.appended_since_sync += 1;
+        Ok(())
+    }
+
+    /// Forces all appended frames to durable storage. This is the
+    /// commit point.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.io.flush()?;
+        self.appended_since_sync = 0;
+        Ok(())
+    }
+
+    /// Frames appended since the last sync (0 = everything durable,
+    /// as far as the device is honest).
+    pub fn unsynced_frames(&self) -> u64 {
+        self.appended_since_sync
+    }
+
+    /// Device length in bytes, as seen by this handle.
+    pub fn len(&self) -> Result<u64, StorageError> {
+        self.io.len()
+    }
+
+    /// Whether the log holds no frames (header only).
+    pub fn is_empty(&self) -> Result<bool, StorageError> {
+        Ok(self.len()? <= WAL_MAGIC.len() as u64)
+    }
+
+    /// Consumes the log, returning the device (for crash simulation).
+    pub fn into_io(self) -> I {
+        self.io
+    }
+}
+
+/// Writes a checkpoint snapshot to `io` (replacing any previous one)
+/// and syncs it.
+pub fn write_checkpoint(io: &mut dyn Io, ck: &Checkpoint) -> Result<(), StorageError> {
+    io.truncate(0)?;
+    io.append(CKPT_MAGIC)?;
+    io.append(&encode_frame(FRAME_CKPT, &encode_checkpoint(ck)))?;
+    io.flush()
+}
+
+/// Reads a checkpoint back, returning `None` when the device holds no
+/// usable snapshot (missing, torn, corrupt, or the wrong kind of
+/// frame). Recovery treats `None` as "replay the whole log".
+pub fn read_checkpoint(io: &mut dyn Io) -> Result<Option<Checkpoint>, StorageError> {
+    let outcome = scan(io, CKPT_MAGIC)?;
+    if !outcome.header_ok || outcome.frames_dropped > 0 {
+        return Ok(None);
+    }
+    match outcome.frames.as_slice() {
+        [Frame {
+            kind: FRAME_CKPT,
+            payload,
+        }] => Ok(decode_checkpoint(payload).ok()),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FRAME_TXN;
+    use crate::io::{FaultPlan, FaultyIo, MemIo};
+    use cdb_curation::ops::CuratedTree;
+    use cdb_curation::provstore::StoreMode;
+
+    #[test]
+    fn create_append_sync_reopen() {
+        let mut log = DurableLog::create(MemIo::new()).unwrap();
+        log.append(FRAME_TXN, b"one").unwrap();
+        log.append(FRAME_TXN, b"two").unwrap();
+        assert_eq!(log.unsynced_frames(), 2);
+        log.sync().unwrap();
+        assert_eq!(log.unsynced_frames(), 0);
+        let io = log.into_io();
+        let (_, out) = DurableLog::open(io).unwrap();
+        assert_eq!(out.frames.len(), 2);
+        assert_eq!(out.frames[1].payload, b"two");
+    }
+
+    #[test]
+    fn open_truncates_torn_tail_so_appends_land_clean() {
+        let mut log = DurableLog::create(FaultyIo::new(FaultPlan::default())).unwrap();
+        log.append(FRAME_TXN, b"committed").unwrap();
+        log.sync().unwrap();
+        log.append(FRAME_TXN, b"lost-in-crash").unwrap(); // never synced
+        let image = log.into_io().crash();
+
+        let (mut log, out) = DurableLog::open(MemIo::from_bytes(image)).unwrap();
+        assert_eq!(out.frames.len(), 1);
+        log.append(FRAME_TXN, b"after-recovery").unwrap();
+        log.sync().unwrap();
+        let (_, out2) = DurableLog::open(log.into_io()).unwrap();
+        assert_eq!(out2.frames.len(), 2);
+        assert_eq!(out2.frames[1].payload, b"after-recovery");
+        assert_eq!(out2.frames_dropped, 0);
+    }
+
+    #[test]
+    fn crash_before_header_reinitializes() {
+        let (log, out) = DurableLog::open(MemIo::from_bytes(b"CDB".to_vec())).unwrap();
+        assert!(!out.header_ok);
+        assert!(log.is_empty().unwrap());
+        let (_, out2) = DurableLog::open(log.into_io()).unwrap();
+        assert!(out2.header_ok);
+        assert_eq!(out2.frames.len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_corruption_reads_as_none() {
+        let mut db = CuratedTree::new("ck", StoreMode::Hereditary);
+        let root = db.tree.root();
+        let mut t = db.begin("c", 1);
+        t.insert(root, "entry", None).unwrap();
+        t.commit();
+        let ck = Checkpoint {
+            last_txn: db.last_txn_id(),
+            tree: db.tree.clone(),
+            prov: db.prov.clone(),
+        };
+        let mut io = MemIo::new();
+        write_checkpoint(&mut io, &ck).unwrap();
+        assert_eq!(read_checkpoint(&mut io).unwrap(), Some(ck.clone()));
+
+        // Flip any byte: the checkpoint must read as absent, never as
+        // a different checkpoint.
+        let bytes = io.bytes().to_vec();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let mut bad = MemIo::from_bytes(corrupt);
+            let got = read_checkpoint(&mut bad).unwrap();
+            assert!(got.is_none() || got == Some(ck.clone()), "byte {i}");
+        }
+    }
+}

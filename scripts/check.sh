@@ -24,6 +24,35 @@ cargo test --workspace -q
 if [[ "$run_bench" == 1 ]]; then
     echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
+    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench recovery
 fi
+
+echo "== example smoke (every binary in examples/) =="
+cargo build --examples -q
+for src in examples/*.rs; do
+    name="$(basename "$src" .rs)"
+    echo "-- example: $name"
+    if [[ "$name" == "cdbsh" ]]; then
+        # The shell reads commands from stdin; drive it with a script
+        # touching curation, publishing, citation, SQL, and lifecycle.
+        cargo run -q --example cdbsh <<'CDBSH'
+new iuphar name
+add alice GABA-A kind=receptor tm=4
+add bob 5-HT3 kind=receptor tm=4
+publish 2008-06
+edit alice GABA-A tm 5
+publish 2008-12
+series GABA-A tm
+cite 0 GABA-A
+sql SELECT name FROM entries WHERE tm = 4
+path //tm
+merge alice GABA-A 5-HT3
+what 5-HT3
+quit
+CDBSH
+    else
+        cargo run -q --example "$name" > /dev/null
+    fi
+done
 
 echo "== check.sh: all green =="

@@ -23,7 +23,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub use cdb_core::{CuratedDatabase, DbError, EntryEvent, EntryRegistry, Fate, Note};
+pub use cdb_core::{CuratedDatabase, DbError, Durability, EntryEvent, EntryRegistry, Fate, Note};
 
 pub use cdb_annotation as annotation;
 pub use cdb_archive as archive;
@@ -33,6 +33,7 @@ pub use cdb_model as model;
 pub use cdb_relalg as relalg;
 pub use cdb_schema as schema;
 pub use cdb_semiring as semiring;
+pub use cdb_storage as storage;
 pub use cdb_workload as workload;
 
 pub use cdb_model::{Atom, KeyPath, KeySpec, Value};

@@ -20,7 +20,7 @@ use curated_db::workload::relational::{
 use proptest::prelude::*;
 
 /// Number of distinct query shapes produced by [`query`].
-const QUERY_SHAPES: usize = 10;
+const QUERY_SHAPES: usize = 15;
 
 /// A pool of algebra expressions over the workload tables `R(K, A)` /
 /// `S(K, B)`, parameterised by a constant `c`. Covers every operator the
@@ -60,7 +60,34 @@ fn query(qi: usize, c: i64) -> RaExpr {
             .union(RaExpr::scan("R")),
         8 => RaExpr::scan("R").diff(natural_join_query().project_cols(["K", "A"])),
         // Projection over the recognised σ(×) form.
-        _ => sel_prod().project_cols(["r.K", "A", "B"]),
+        9 => sel_prod().project_cols(["r.K", "A", "B"]),
+        // Rename feeding a union: ρ[A→B](R) has S's schema (K, B).
+        10 => RaExpr::scan("R")
+            .rename([("A", "B")])
+            .union(RaExpr::scan("S"))
+            .select(Pred::cmp(
+                Operand::col("B"),
+                CmpOp::Lt,
+                Operand::constant(c),
+            )),
+        // Join above a union: (R ∪ ρ[B→A](S)) ⋈ S.
+        11 => RaExpr::scan("R")
+            .union(RaExpr::scan("S").rename([("B", "A")]))
+            .natural_join(RaExpr::scan("S")),
+        // Both keys renamed K→J, then the join happens on J.
+        12 => RaExpr::scan("R")
+            .rename([("K", "J")])
+            .natural_join(RaExpr::scan("S").rename([("K", "J")])),
+        // Difference of unions over the same (K, A) schema.
+        13 => natural_join_query()
+            .project_cols(["K", "A"])
+            .union(RaExpr::scan("R"))
+            .diff(RaExpr::scan("R").select(Pred::col_eq_const("K", c))),
+        // Three-way union of key projections.
+        _ => RaExpr::scan("R")
+            .project_cols(["K"])
+            .union(RaExpr::scan("S").project_cols(["K"]))
+            .union(natural_join_query().project_cols(["K"])),
     }
 }
 
@@ -140,6 +167,38 @@ proptest! {
             let hashed = eval_colored_with(&cdb, &q, &scheme, &par).unwrap();
             prop_assert_eq!(naive, hashed, "scheme {:?}", scheme);
         }
+    }
+
+    /// Explicitly-steered propagation (the paper's pSQL `PROPAGATE`
+    /// clauses, [`Scheme::Custom`]) is engine-independent too, for any
+    /// query shape and either steering target. Sources that do not
+    /// resolve in a given shape simply contribute nothing, identically
+    /// on both engines.
+    #[test]
+    fn custom_propagation_survives_hashing(
+        seed in any::<u64>(),
+        cfg in cfg_strategy(),
+        qi in 0usize..QUERY_SHAPES,
+        steer_b in any::<bool>(),
+    ) {
+        let q = query(qi, 3);
+        if !q.is_positive() {
+            return Ok(()); // colored evaluation is defined for positive queries
+        }
+        let db = join_tables(seed, &cfg);
+        let cdb = ColoredDatabase::distinctly_colored(&db);
+        let mut steer = std::collections::BTreeMap::new();
+        if steer_b {
+            steer.insert("B".to_string(), vec!["S.B".to_string(), "B".to_string()]);
+        } else {
+            steer.insert("A".to_string(), vec!["K".to_string(), "A".to_string()]);
+        }
+        let scheme = Scheme::Custom(steer);
+        let naive = eval_colored(&cdb, &q, &scheme).unwrap();
+        let mut par = ExecConfig::with_partitions(4);
+        par.parallel_threshold = 1;
+        let hashed = eval_colored_with(&cdb, &q, &scheme, &par).unwrap();
+        prop_assert_eq!(naive, hashed, "shape {}", qi % QUERY_SHAPES);
     }
 }
 

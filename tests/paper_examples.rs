@@ -1,5 +1,8 @@
 //! Integration tests regenerating every worked example in the paper —
-//! the executable versions of EXPERIMENTS.md entries E1–E4.
+//! the executable versions of EXPERIMENTS.md entries E1–E5 and E11.
+//! Every exact-output check with a relational plan runs through both
+//! physical engines (nested-loop reference and hash joins, sequential
+//! and partitioned — see [`engine_configs`]).
 
 use std::collections::BTreeMap;
 
@@ -190,6 +193,165 @@ fn figure3_sql_texts_execute() {
     let mut db3 = base.clone();
     execute(&mut db3, "UPDATE R WHERE A = 10; SET B = 55").unwrap();
     assert_eq!(db3.get("R").unwrap().tuple_set(), expected);
+}
+
+/// E5 — §2.2: reverse propagation. On a join+projection view the
+/// general search finds the unique side-effect-free placement by
+/// forward-probing every candidate source cell, the key-preserving
+/// fast path finds the same placement in a single evaluation, and the
+/// placement verifies forward identically on both physical engines.
+#[test]
+fn e5_reverse_propagation_placements() {
+    use curated_db::annotation::reverse::{find_placement_key_preserving, find_placements, Target};
+    use curated_db::relalg::eval::eval;
+    use curated_db::relalg::{eval_hash, Database, RaExpr, Relation};
+
+    let db = Database::new()
+        .with(
+            "R",
+            Relation::table(["A", "B"], [vec![int(1), int(10)], vec![int(2), int(20)]]).unwrap(),
+        )
+        .with(
+            "S",
+            Relation::table(
+                ["B", "C"],
+                [vec![int(10), int(100)], vec![int(20), int(100)]],
+            )
+            .unwrap(),
+        );
+    // The key-preserving view π_{A,C}(R ⋈ S) — R's key A survives.
+    let q = RaExpr::scan("R")
+        .natural_join(RaExpr::scan("S"))
+        .project(vec![ProjItem::col("A", "A"), ProjItem::col("C", "C")]);
+
+    // The view itself, exactly, on every engine.
+    let expected =
+        Relation::table(["A", "C"], [vec![int(1), int(100)], vec![int(2), int(100)]]).unwrap();
+    assert_eq!(eval(&db, &q).unwrap(), expected);
+    for cfg in engine_configs() {
+        assert_eq!(eval_hash(&db, &q, &cfg).unwrap(), expected);
+    }
+
+    let target = Target {
+        tuple: vec![int(1), int(100)],
+        attr: "A".into(),
+    };
+    let (slow, slow_stats) = find_placements(&db, &q, &target).unwrap();
+    assert_eq!(slow.len(), 1, "the placement is unique");
+    assert_eq!(slow[0].relation, "R");
+    assert_eq!(slow[0].tuple, vec![int(1), int(10)]);
+    assert_eq!(slow[0].attr, "A");
+
+    let (fast, fast_stats) = find_placement_key_preserving(&db, &q, "R", &["A"], &target).unwrap();
+    assert_eq!(fast.as_ref(), Some(&slow[0]));
+    // E5's complexity split: one forward evaluation for the
+    // key-preserving path vs one per candidate source cell (2 relations
+    // × 2 tuples × 2 attrs = 8) for the general search.
+    assert_eq!(fast_stats.evaluations, 1);
+    assert_eq!(slow_stats.candidates_tested, 8);
+    assert_eq!(slow_stats.evaluations, 8);
+
+    // Forward verification on both engines: a probe color on R(1,10).A
+    // lands exactly on the target cell and nowhere else.
+    let mut probed = ColoredTuple::plain(vec![int(1), int(10)]);
+    probed.colors[0].insert("probe".to_string());
+    let cdb = ColoredDatabase::new()
+        .with(
+            "R",
+            ColoredRelation::from_tuples(
+                Schema::new(["A", "B"]).unwrap(),
+                [probed, ColoredTuple::plain(vec![int(2), int(20)])],
+            )
+            .unwrap(),
+        )
+        .with(
+            "S",
+            ColoredRelation::from_tuples(
+                Schema::new(["B", "C"]).unwrap(),
+                [
+                    ColoredTuple::plain(vec![int(10), int(100)]),
+                    ColoredTuple::plain(vec![int(20), int(100)]),
+                ],
+            )
+            .unwrap(),
+        );
+    let landing = vec![(vec![int(1), int(100)], "A".to_string())];
+    assert_eq!(
+        eval_colored(&cdb, &q, &Scheme::Default)
+            .unwrap()
+            .occurrences("probe"),
+        landing
+    );
+    for cfg in engine_configs() {
+        assert_eq!(
+            eval_colored_with(&cdb, &q, &Scheme::Default, &cfg)
+                .unwrap()
+                .occurrences("probe"),
+            landing
+        );
+    }
+}
+
+/// E11 — §2.1: block annotations (MONDRIAN). A color-algebra query
+/// equals a positive-RA query over the explicit representation
+/// (indicator columns + color column) — the form in which \[40, 41\]
+/// state expressive completeness — and that RA query runs identically
+/// on both physical engines.
+#[test]
+fn e11_block_annotations_equal_ra_over_explicit() {
+    use curated_db::annotation::blocks::{Block, BlockRelation, BlockTuple};
+    use curated_db::relalg::eval::eval;
+    use curated_db::relalg::{eval_hash, Database, RaExpr};
+
+    let s = |x: &str| Atom::Str(x.into());
+    let genes = BlockRelation::from_tuples(
+        Schema::new(["gene", "organism"]).unwrap(),
+        [
+            BlockTuple {
+                values: vec![s("adh1"), s("yeast")],
+                blocks: vec![
+                    Block::new(["gene"], "verified"),
+                    Block::new(["gene", "organism"], "curated"),
+                ],
+            },
+            BlockTuple {
+                values: vec![s("adh2"), s("yeast")],
+                blocks: vec![Block::new(["organism"], "verified")],
+            },
+            BlockTuple {
+                values: vec![s("gpd1"), s("fly")],
+                blocks: vec![],
+            },
+        ],
+    )
+    .unwrap();
+
+    // The explicit representation round-trips exactly.
+    let explicit = genes.to_explicit().unwrap();
+    assert_eq!(
+        explicit.schema().attrs(),
+        ["gene", "organism", "in_gene", "in_organism", "color"]
+    );
+    assert_eq!(explicit.len(), 4, "one row per (tuple, block)");
+    assert_eq!(BlockRelation::from_explicit(&explicit, 2).unwrap(), genes);
+
+    // σ_color("verified" on gene) ≡ π_values(σ_{color ∧ in_gene}(E)).
+    let db = Database::new().with("E", explicit);
+    let q = RaExpr::scan("E")
+        .select(Pred::col_eq_const("color", "verified").and(Pred::col_eq_const("in_gene", true)))
+        .project_cols(["gene", "organism"]);
+    let direct: std::collections::BTreeSet<Vec<Atom>> = genes
+        .select_color(Some("verified"), Some("gene"))
+        .unwrap()
+        .tuples()
+        .iter()
+        .map(|t| t.values.clone())
+        .collect();
+    assert_eq!(direct.len(), 1, "only adh1's block covers gene");
+    assert_eq!(eval(&db, &q).unwrap().tuple_set(), direct);
+    for cfg in engine_configs() {
+        assert_eq!(eval_hash(&db, &q, &cfg).unwrap().tuple_set(), direct);
+    }
 }
 
 /// DEFAULT-ALL makes the equivalent queries Q1/Q2 agree — and custom
