@@ -114,8 +114,18 @@ pub struct CuratedDatabase {
     pub(crate) ckpt_io: Option<Box<dyn cdb_storage::Io>>,
     /// When to force appended frames to disk.
     pub(crate) durability: crate::durable::Durability,
-    /// Lifecycle events already persisted to the WAL.
+    /// Curation transactions already encoded into WAL frames (a prefix
+    /// length of `curated.log`). Persistence is driven by this
+    /// position, not by "the last transaction", so a commit whose
+    /// persist step failed or was skipped is picked up by the next one
+    /// instead of being skipped in the WAL forever.
+    pub(crate) persisted_txns: usize,
+    /// Lifecycle events already encoded into WAL frames.
     pub(crate) persisted_events: usize,
+    /// Frames encoded but not yet appended to the WAL (a previous
+    /// append failed); drained, in order, before anything new is
+    /// appended.
+    pub(crate) pending_frames: Vec<(u8, Vec<u8>)>,
     /// What the last recovery saw, when this instance was opened from
     /// a WAL.
     pub(crate) recovery: Option<cdb_storage::RecoveryStats>,
@@ -139,7 +149,9 @@ impl CuratedDatabase {
             wal: None,
             ckpt_io: None,
             durability: crate::durable::Durability::Always,
+            persisted_txns: 0,
             persisted_events: 0,
+            pending_frames: Vec::new(),
             recovery: None,
         }
     }
@@ -197,6 +209,12 @@ impl CuratedDatabase {
         if self.entry_node(key).is_ok() {
             return Err(DbError::DuplicateEntry(key.to_owned()));
         }
+        // Lifecycle preconditions are checked *before* the transaction
+        // commits: the registry remembers retired ids forever, so a key
+        // absent from the live tree can still be rejected — and a txn
+        // committed to the in-memory log but never WAL-persisted would
+        // corrupt recovery.
+        self.lifecycle.check_create(key)?;
         let root = self.curated.tree.root();
         let mut t = self.curated.begin(curator, time);
         let entry = t.insert(root, "entry", None)?;
@@ -227,6 +245,7 @@ impl CuratedDatabase {
         if self.entry_node(key).is_ok() {
             return Err(DbError::DuplicateEntry(key.to_owned()));
         }
+        self.lifecycle.check_create(key)?;
         let root = self.curated.tree.root();
         let mut t = self.curated.begin(curator, time);
         let entry = t.paste(root, clip)?;
@@ -296,6 +315,7 @@ impl CuratedDatabase {
     /// Deletes an entry outright.
     pub fn delete_entry(&mut self, curator: &str, time: u64, key: &str) -> Result<(), DbError> {
         let entry = self.entry_node(key)?;
+        self.lifecycle.check_delete(key)?;
         let mut t = self.curated.begin(curator, time);
         t.delete(entry)?;
         t.commit();
@@ -317,6 +337,7 @@ impl CuratedDatabase {
     ) -> Result<(), DbError> {
         let kept_node = self.entry_node(kept)?;
         let absorbed_node = self.entry_node(absorbed)?;
+        self.lifecycle.check_merge(kept, absorbed)?;
         // Carry over missing fields before deleting.
         let mut carry: Vec<(String, Option<Atom>)> = Vec::new();
         for &c in self.curated.tree.children(absorbed_node)? {
@@ -352,6 +373,8 @@ impl CuratedDatabase {
         parts: &[(&str, Vec<(&str, Atom)>)],
     ) -> Result<(), DbError> {
         let original_node = self.entry_node(original)?;
+        let part_keys: Vec<String> = parts.iter().map(|(k, _)| (*k).to_string()).collect();
+        self.lifecycle.check_split(original, &part_keys)?;
         let root = self.curated.tree.root();
         let mut t = self.curated.begin(curator, time);
         for (key, fields) in parts {
@@ -367,7 +390,6 @@ impl CuratedDatabase {
         }
         t.delete(original_node)?;
         t.commit();
-        let part_keys: Vec<String> = parts.iter().map(|(k, _)| (*k).to_string()).collect();
         self.lifecycle.split(original, &part_keys, time)?;
         self.persist_commit()?;
         Ok(())
@@ -647,6 +669,34 @@ mod tests {
         // Fields missing on the survivor were carried over... GABA-A had
         // no "tm"? It did (4) — so tm is NOT carried. Kind was shared.
         assert_eq!(db.field("GABA-A", "tm").unwrap(), Atom::Int(4));
+    }
+
+    /// Retired identifiers stay in the registry forever (§6.2), so
+    /// reusing one must be rejected *before* a curation transaction
+    /// commits — a committed txn behind a failed lifecycle update is
+    /// exactly the state that used to corrupt WAL recovery.
+    #[test]
+    fn retired_identifiers_cannot_be_reused() {
+        let mut db = sample();
+        db.delete_entry("alice", 3, "5-HT3").unwrap();
+        let log_len = db.curated.log.len();
+        assert!(matches!(
+            db.add_entry("x", 4, "5-HT3", &[]),
+            Err(DbError::Lifecycle(LifecycleError::Duplicate(_)))
+        ));
+        assert_eq!(db.curated.log.len(), log_len, "no phantom transaction");
+        assert!(db.entry_node("5-HT3").is_err(), "no phantom entry");
+        // A split onto a retired part name is rejected the same way,
+        // leaving the original untouched.
+        assert!(matches!(
+            db.split_entry("y", 5, "GABA-A", &[("5-HT3", vec![])]),
+            Err(DbError::Lifecycle(LifecycleError::Duplicate(_)))
+        ));
+        assert_eq!(db.curated.log.len(), log_len);
+        assert!(db.entry_node("GABA-A").is_ok());
+        // The database keeps working after the rejections.
+        db.add_entry("x", 6, "5-HT4", &[]).unwrap();
+        assert_eq!(db.curated.log.len(), log_len + 1);
     }
 
     #[test]

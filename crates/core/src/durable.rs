@@ -225,6 +225,7 @@ impl CuratedDatabase {
             .map(|p| (p.txn, p.time, p.label.clone()))
             .collect();
         db.archive = db.archive_from_log()?;
+        db.persisted_txns = db.curated.log.len();
         db.persisted_events = db.lifecycle.events().len();
         db.wal = Some(log);
         db.ckpt_io = Some(ckpt_io);
@@ -271,8 +272,27 @@ impl CuratedDatabase {
     /// Forces all buffered WAL frames to durable storage (a no-op for
     /// in-memory databases and under [`Durability::Always`]).
     pub fn sync(&mut self) -> Result<(), DbError> {
-        if let Some(log) = self.wal.as_mut() {
-            log.sync()?;
+        if self.wal.is_some() {
+            self.drain_pending()?;
+            if let Some(log) = self.wal.as_mut() {
+                log.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends every encoded-but-unwritten frame to the WAL, in order.
+    /// On failure the unwritten frames stay queued, so a transient
+    /// append error delays persistence instead of losing frames (or
+    /// reordering them: nothing new is appended past a queued frame).
+    fn drain_pending(&mut self) -> Result<(), DbError> {
+        while !self.pending_frames.is_empty() {
+            let (kind, payload) = &self.pending_frames[0];
+            self.wal
+                .as_mut()
+                .expect("drain_pending is only called on durable databases")
+                .append(*kind, payload)?;
+            self.pending_frames.remove(0);
         }
         Ok(())
     }
@@ -283,12 +303,13 @@ impl CuratedDatabase {
     /// kept whole — it remains the source of truth (and
     /// [`CuratedDatabase::archive_from_log`] needs the full log).
     pub fn checkpoint(&mut self) -> Result<(), DbError> {
-        let Some(log) = self.wal.as_mut() else {
+        if self.wal.is_none() {
             return Err(DbError::Storage(
                 "checkpoint on an in-memory database".into(),
             ));
-        };
-        log.sync()?;
+        }
+        self.drain_pending()?;
+        self.wal.as_mut().expect("checked durable above").sync()?;
         let ck = Checkpoint {
             last_txn: self.curated.last_txn_id(),
             tree: self.curated.tree.clone(),
@@ -302,33 +323,52 @@ impl CuratedDatabase {
         Ok(())
     }
 
-    /// Appends the newest committed transaction *and* the lifecycle
-    /// events it produced as one atomic commit frame — a torn write
-    /// can drop the whole operation but never split the transaction
-    /// from its side effects. Called after every commit; in-memory
-    /// instances skip straight out.
+    /// Encodes every not-yet-persisted committed transaction *and* the
+    /// lifecycle events produced alongside, then appends the frames to
+    /// the WAL. Each transaction and its events share one atomic commit
+    /// frame — a torn write can drop the whole operation but never
+    /// split the transaction from its side effects. Persistence is
+    /// position-based (`persisted_txns`/`persisted_events` prefixes of
+    /// the in-memory logs), so a commit whose persist step previously
+    /// errored is encoded or drained now, never skipped: the WAL always
+    /// holds a gap-free prefix of the in-memory log. Called after every
+    /// commit; in-memory instances skip straight out.
     pub(crate) fn persist_commit(&mut self) -> Result<(), DbError> {
-        let Some(log) = self.wal.as_mut() else {
+        if self.wal.is_none() {
             return Ok(());
-        };
-        let events = self.lifecycle.events();
-        let fresh: Vec<Vec<u8>> = events[self.persisted_events.min(events.len())..]
+        }
+        let mut fresh: Vec<Vec<u8>> = self.lifecycle.events()
+            [self.persisted_events.min(self.lifecycle.events().len())..]
             .iter()
             .map(encode_event)
             .collect();
-        match self.curated.log.last() {
-            Some(txn) => {
-                log.append(FRAME_COMMIT, &cdb_storage::encode_commit(txn, &fresh))?;
+        let start = self.persisted_txns.min(self.curated.log.len());
+        let txns = &self.curated.log[start..];
+        if txns.is_empty() {
+            for payload in fresh.drain(..) {
+                self.pending_frames.push((FRAME_AUX, payload));
             }
-            None => {
-                for payload in &fresh {
-                    log.append(FRAME_AUX, payload)?;
-                }
+        } else {
+            // Normally exactly one transaction is unpersisted and the
+            // fresh events are its own. More than one means an earlier
+            // persist was interrupted; the stragglers' events then ride
+            // with the newest frame — relative aux order (all recovery
+            // depends on) is preserved.
+            for (i, txn) in txns.iter().enumerate() {
+                let aux = if i + 1 == txns.len() {
+                    std::mem::take(&mut fresh)
+                } else {
+                    Vec::new()
+                };
+                self.pending_frames
+                    .push((FRAME_COMMIT, cdb_storage::encode_commit(txn, &aux)));
             }
         }
-        self.persisted_events = events.len();
+        self.persisted_txns = self.curated.log.len();
+        self.persisted_events = self.lifecycle.events().len();
+        self.drain_pending()?;
         if self.durability == Durability::Always {
-            log.sync()?;
+            self.wal.as_mut().expect("checked durable above").sync()?;
         }
         Ok(())
     }
@@ -337,36 +377,39 @@ impl CuratedDatabase {
     /// immediately regardless of policy — losing one silently desyncs
     /// the archive from what users were told was published.
     pub(crate) fn persist_publish(&mut self) -> Result<(), DbError> {
-        let Some(log) = self.wal.as_mut() else {
+        if self.wal.is_none() {
             return Ok(());
-        };
+        }
         let (txn, time, label) = self
             .publish_points
             .last()
             .expect("persist_publish follows a publish")
             .clone();
-        log.append(
+        self.pending_frames.push((
             FRAME_PUBLISH,
-            &cdb_storage::recovery::encode_publish(&PublishRecord { txn, time, label }),
-        )?;
-        log.sync()?;
+            cdb_storage::recovery::encode_publish(&PublishRecord { txn, time, label }),
+        ));
+        self.drain_pending()?;
+        self.wal.as_mut().expect("checked durable above").sync()?;
         Ok(())
     }
 
     /// Appends a note to the WAL.
     pub(crate) fn persist_note(&mut self, key: &str, field: Option<&str>) -> Result<(), DbError> {
-        let Some(log) = self.wal.as_mut() else {
+        if self.wal.is_none() {
             return Ok(());
-        };
+        }
         let note = self
             .notes
             .get(&(key.to_owned(), field.map(str::to_owned)))
             .and_then(|v| v.last())
             .expect("persist_note follows an annotate")
             .clone();
-        log.append(FRAME_AUX, &encode_note(key, field, &note))?;
+        self.pending_frames
+            .push((FRAME_AUX, encode_note(key, field, &note)));
+        self.drain_pending()?;
         if self.durability == Durability::Always {
-            log.sync()?;
+            self.wal.as_mut().expect("checked durable above").sync()?;
         }
         Ok(())
     }

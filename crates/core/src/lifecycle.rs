@@ -121,12 +121,56 @@ impl EntryRegistry {
         &self.events
     }
 
+    /// Requires `id` to be active, reporting why when it is not.
+    fn require_active(&self, id: &str) -> Result<(), LifecycleError> {
+        if self.is_active(id) {
+            Ok(())
+        } else if self.fates.contains_key(id) {
+            Err(LifecycleError::NotActive(id.to_owned()))
+        } else {
+            Err(LifecycleError::Unknown(id.to_owned()))
+        }
+    }
+
+    /// Whether [`EntryRegistry::create`] would accept `id`. Identifiers
+    /// are never reissued (§6.2: retired ids stay resolvable forever),
+    /// so a previously deleted/merged/split id is a `Duplicate` even
+    /// though no live entry carries it. Callers that pair a registry
+    /// update with another mutation (e.g. a curation transaction) must
+    /// check *before* committing the other mutation.
+    pub fn check_create(&self, id: &str) -> Result<(), LifecycleError> {
+        if self.fates.contains_key(id) {
+            return Err(LifecycleError::Duplicate(id.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Whether [`EntryRegistry::merge`] would accept this fusion.
+    pub fn check_merge(&self, kept: &str, absorbed: &str) -> Result<(), LifecycleError> {
+        self.require_active(kept)?;
+        self.require_active(absorbed)
+    }
+
+    /// Whether [`EntryRegistry::split`] would accept this fission.
+    pub fn check_split(&self, original: &str, parts: &[String]) -> Result<(), LifecycleError> {
+        self.require_active(original)?;
+        for p in parts {
+            if self.fates.contains_key(p) {
+                return Err(LifecycleError::Duplicate(p.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether [`EntryRegistry::delete`] would accept this deletion.
+    pub fn check_delete(&self, id: &str) -> Result<(), LifecycleError> {
+        self.require_active(id)
+    }
+
     /// Registers a fresh identifier.
     pub fn create(&mut self, id: impl Into<String>, time: u64) -> Result<(), LifecycleError> {
         let id = id.into();
-        if self.fates.contains_key(&id) {
-            return Err(LifecycleError::Duplicate(id));
-        }
+        self.check_create(&id)?;
         self.fates.insert(id.clone(), Fate::Active);
         self.events.push(EntryEvent::Created {
             id,
@@ -138,15 +182,7 @@ impl EntryRegistry {
 
     /// Records a fusion: `absorbed` is retired into `kept`.
     pub fn merge(&mut self, kept: &str, absorbed: &str, time: u64) -> Result<(), LifecycleError> {
-        for id in [kept, absorbed] {
-            if !self.is_active(id) {
-                return Err(if self.fates.contains_key(id) {
-                    LifecycleError::NotActive(id.to_owned())
-                } else {
-                    LifecycleError::Unknown(id.to_owned())
-                });
-            }
-        }
+        self.check_merge(kept, absorbed)?;
         self.fates
             .insert(absorbed.to_owned(), Fate::MergedInto(kept.to_owned()));
         self.events.push(EntryEvent::Merged {
@@ -164,18 +200,7 @@ impl EntryRegistry {
         parts: &[String],
         time: u64,
     ) -> Result<(), LifecycleError> {
-        if !self.is_active(original) {
-            return Err(if self.fates.contains_key(original) {
-                LifecycleError::NotActive(original.to_owned())
-            } else {
-                LifecycleError::Unknown(original.to_owned())
-            });
-        }
-        for p in parts {
-            if self.fates.contains_key(p) {
-                return Err(LifecycleError::Duplicate(p.clone()));
-            }
-        }
+        self.check_split(original, parts)?;
         self.fates
             .insert(original.to_owned(), Fate::SplitInto(parts.to_vec()));
         for p in parts {
@@ -196,13 +221,7 @@ impl EntryRegistry {
 
     /// Records a deletion.
     pub fn delete(&mut self, id: &str, time: u64) -> Result<(), LifecycleError> {
-        if !self.is_active(id) {
-            return Err(if self.fates.contains_key(id) {
-                LifecycleError::NotActive(id.to_owned())
-            } else {
-                LifecycleError::Unknown(id.to_owned())
-            });
-        }
+        self.check_delete(id)?;
         self.fates.insert(id.to_owned(), Fate::Deleted);
         self.events.push(EntryEvent::Deleted {
             id: id.to_owned(),

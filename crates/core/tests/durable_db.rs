@@ -6,7 +6,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cdb_core::storage::{FaultPlan, FaultyIo, Io, MemIo, StorageError};
-use cdb_core::{CuratedDatabase, Durability};
+use cdb_core::{CuratedDatabase, Durability, Fate};
 use cdb_model::{Atom, Value};
 
 /// A fault-injected device the test keeps a handle on after the
@@ -314,6 +314,85 @@ fn torn_wal_tail_is_truncated_and_state_rolls_back_cleanly() {
     // both were torn, so the registry is consistent with the tree.
     assert!(db.lifecycle.fate("B").is_err());
     assert!(db.lifecycle.is_active("A"));
+}
+
+/// Reusing a retired identifier is rejected before anything commits,
+/// so the WAL never develops a gap. (Before this was enforced, the
+/// rejected op left a committed-but-never-persisted transaction in the
+/// in-memory log; the next commit skipped it in the WAL forever, and
+/// every later reopen failed verification — permanent data loss.)
+#[test]
+fn rejected_retired_id_reuse_leaves_the_wal_recoverable() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(MemIo::new()),
+        )
+        .unwrap();
+        db.add_entry("alice", 1, "A", &[]).unwrap();
+        db.delete_entry("alice", 2, "A").unwrap();
+        // "A" is retired: recreating it fails cleanly, committing nothing.
+        assert!(db.add_entry("bob", 3, "A", &[]).is_err());
+        // Follow-on commits persist fine.
+        db.add_entry("bob", 4, "B", &[]).unwrap();
+    }
+    let image = wal.crash();
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    assert_eq!(db.entry_keys().unwrap(), vec!["B".to_string()]);
+    assert_eq!(db.lifecycle.fate("A").unwrap(), &Fate::Deleted);
+    assert!(db.lifecycle.is_active("B"));
+}
+
+/// A transient WAL append failure delays persistence of that commit —
+/// the next successful commit writes every unpersisted transaction, in
+/// order, rather than skipping the failed one forever.
+#[test]
+fn failed_wal_append_is_retried_by_the_next_commit() {
+    // Append #1 is the WAL header; #2 is A's commit frame; #3 (B's
+    // commit frame) fails once.
+    let wal = SharedFaulty::new(FaultPlan {
+        fail_append: Some(3),
+        ..FaultPlan::default()
+    });
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(MemIo::new()),
+        )
+        .unwrap();
+        db.add_entry("alice", 1, "A", &[]).unwrap();
+        assert!(db.add_entry("bob", 2, "B", &[]).is_err(), "append fails");
+        // C's commit drains B's queued frame first, then its own.
+        db.add_entry("carol", 3, "C", &[]).unwrap();
+    }
+    let image = wal.crash();
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(image)),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    let mut keys = db.entry_keys().unwrap();
+    keys.sort();
+    assert_eq!(
+        keys,
+        vec!["A".to_string(), "B".to_string(), "C".to_string()],
+        "the commit whose append failed was retried, not skipped"
+    );
+    assert!(db.lifecycle.is_active("B"));
+    assert_eq!(db.recovery_stats().unwrap().frames_dropped, 0);
 }
 
 #[test]

@@ -79,18 +79,34 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// The workspace root: the topmost ancestor of `manifest_dir` that
-/// still contains a `Cargo.toml`.
+/// The workspace root: the nearest ancestor of `manifest_dir`
+/// (inclusive) whose `Cargo.toml` declares a `[workspace]` section.
+/// Walking to the *topmost* manifest instead would escape the repo
+/// when it is checked out under an unrelated directory that happens to
+/// hold a `Cargo.toml` (a parent project, a stray `~/Cargo.toml`) and
+/// silently write the report there. With no workspace manifest in
+/// sight, the bench's own `manifest_dir` is the fallback.
 fn workspace_root(manifest_dir: &str) -> PathBuf {
-    let mut root = PathBuf::from(manifest_dir);
-    let mut cur = Path::new(manifest_dir);
-    while let Some(parent) = cur.parent() {
-        if parent.join("Cargo.toml").is_file() {
-            root = parent.to_path_buf();
+    let mut cur = Some(Path::new(manifest_dir));
+    while let Some(dir) = cur {
+        if manifest_declares_workspace(&dir.join("Cargo.toml")) {
+            return dir.to_path_buf();
         }
-        cur = parent;
+        cur = dir.parent();
     }
-    root
+    PathBuf::from(manifest_dir)
+}
+
+/// Whether the manifest at `path` has a `[workspace]` (or
+/// `[workspace.*]`, which implies one) section.
+fn manifest_declares_workspace(path: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    text.lines().any(|line| {
+        let line = line.trim();
+        line == "[workspace]" || line.starts_with("[workspace.")
+    })
 }
 
 /// Writes every recorded measurement of this process as
@@ -434,14 +450,36 @@ mod tests {
     }
 
     #[test]
-    fn workspace_root_walks_to_the_topmost_manifest() {
+    fn workspace_root_finds_the_nearest_workspace_manifest() {
         let root = workspace_root(env!("CARGO_MANIFEST_DIR"));
-        assert!(root.join("Cargo.toml").is_file());
-        assert!(
-            root.parent()
-                .is_none_or(|p| !p.join("Cargo.toml").is_file()),
-            "must be the topmost manifest"
+        assert!(manifest_declares_workspace(&root.join("Cargo.toml")));
+        // This crate is a workspace member, not the root itself.
+        assert_ne!(root, Path::new(env!("CARGO_MANIFEST_DIR")));
+    }
+
+    #[test]
+    fn workspace_root_ignores_non_workspace_manifests_above() {
+        let base = std::env::temp_dir().join(format!("cdb-shim-wsroot-{}", std::process::id()));
+        let member = base.join("outer").join("ws").join("member");
+        std::fs::create_dir_all(&member).unwrap();
+        // An unrelated manifest *above* the workspace must not win.
+        std::fs::write(base.join("outer").join("Cargo.toml"), "[package]\n").unwrap();
+        std::fs::write(
+            base.join("outer").join("ws").join("Cargo.toml"),
+            "[workspace]\nmembers = [\"member\"]\n",
+        )
+        .unwrap();
+        std::fs::write(member.join("Cargo.toml"), "[package]\nname = \"m\"\n").unwrap();
+        assert_eq!(
+            workspace_root(member.to_str().unwrap()),
+            base.join("outer").join("ws")
         );
+        // No workspace anywhere: fall back to the manifest dir itself.
+        let lone = base.join("lone");
+        std::fs::create_dir_all(&lone).unwrap();
+        std::fs::write(lone.join("Cargo.toml"), "[package]\n").unwrap();
+        assert_eq!(workspace_root(lone.to_str().unwrap()), lone);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -101,7 +101,11 @@ pub struct FileIo {
 }
 
 impl FileIo {
-    /// Opens (creating if absent) the file at `path` for logging.
+    /// Opens (creating if absent) the file at `path` for logging. The
+    /// parent directory is fsynced so a freshly created file's
+    /// directory entry is itself durable — without this, a crash soon
+    /// after creation can lose the whole (synced) log on filesystems
+    /// that don't order directory updates with file data.
     pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Self, StorageError> {
         let path = path.into();
         let file = std::fs::OpenOptions::new()
@@ -111,6 +115,8 @@ impl FileIo {
             .truncate(false)
             .open(&path)
             .map_err(|e| StorageError::Io(format!("open {}: {e}", path.display())))?;
+        sync_parent_dir(&path)
+            .map_err(|e| StorageError::Io(format!("sync dir of {}: {e}", path.display())))?;
         Ok(FileIo { file, path })
     }
 
@@ -122,6 +128,22 @@ impl FileIo {
     fn err(&self, what: &str, e: std::io::Error) -> StorageError {
         StorageError::Io(format!("{what} {}: {e}", self.path.display()))
     }
+}
+
+/// Fsyncs the directory holding `path` (unix only; elsewhere a
+/// directory handle cannot be fsynced, so this is a no-op).
+#[cfg(unix)]
+fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    std::fs::File::open(parent)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &std::path::Path) -> std::io::Result<()> {
+    Ok(())
 }
 
 impl Io for FileIo {
@@ -226,6 +248,9 @@ pub struct FaultPlan {
     pub flush_cap: Option<u64>,
     /// The n-th flush (1-based) returns an error and persists nothing.
     pub fail_flush: Option<u32>,
+    /// The n-th append (1-based) returns an error and buffers nothing
+    /// (a transient write failure — later appends succeed).
+    pub fail_append: Option<u32>,
     /// XOR masks applied to the durable image at crash time (bit rot):
     /// `(offset, mask)`. Offsets past the image are ignored.
     pub bit_flips: Vec<(u64, u8)>,
@@ -245,6 +270,7 @@ pub struct FaultyIo {
     pending: Vec<u8>,
     plan: FaultPlan,
     flushes: u32,
+    appends: u32,
 }
 
 impl FaultyIo {
@@ -255,6 +281,7 @@ impl FaultyIo {
             pending: Vec::new(),
             plan,
             flushes: 0,
+            appends: 0,
         }
     }
 
@@ -265,6 +292,7 @@ impl FaultyIo {
             pending: Vec::new(),
             plan,
             flushes: 0,
+            appends: 0,
         }
     }
 
@@ -314,6 +342,10 @@ impl Io for FaultyIo {
     }
 
     fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.appends += 1;
+        if self.plan.fail_append == Some(self.appends) {
+            return Err(StorageError::Io("injected append failure".into()));
+        }
         self.pending.extend_from_slice(bytes);
         Ok(())
     }
