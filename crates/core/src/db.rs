@@ -108,8 +108,10 @@ pub struct CuratedDatabase {
     /// from the log alone (see [`CuratedDatabase::archive_from_log`]).
     pub(crate) publish_points: Vec<(Option<cdb_curation::TxnId>, u64, String)>,
     /// The write-ahead log, when this instance is durable (see
-    /// [`CuratedDatabase::open`]); `None` = in-memory only.
-    pub(crate) wal: Option<cdb_storage::DurableLog<Box<dyn cdb_storage::Io>>>,
+    /// [`CuratedDatabase::open`]); `None` = in-memory only. Either
+    /// owned outright or a shared group-commit handle (see
+    /// [`crate::shared::SharedDb`]).
+    pub(crate) wal: Option<crate::durable::WalRef>,
     /// The checkpoint device, when durable.
     pub(crate) ckpt_io: Option<Box<dyn cdb_storage::Io>>,
     /// When to force appended frames to disk.
@@ -523,6 +525,30 @@ impl CuratedDatabase {
             .entry_key_path(key)
             .child(KeyStep::Field(field.to_owned()));
         Ok(cdb_archive::temporal::series(&self.archive, &path)?)
+    }
+
+    /// A deep, in-memory copy of the full curated state — tree,
+    /// provenance, log, lifecycle, archive, notes, publish points —
+    /// with no durability attached. This is what a
+    /// [`crate::shared::Snapshot`] wraps: every read method works on
+    /// the copy, and nothing the live database does afterwards can
+    /// reach it.
+    pub(crate) fn clone_state(&self) -> CuratedDatabase {
+        CuratedDatabase {
+            curated: self.curated.clone(),
+            lifecycle: self.lifecycle.clone(),
+            key_field: self.key_field.clone(),
+            archive: self.archive.clone(),
+            notes: self.notes.clone(),
+            publish_points: self.publish_points.clone(),
+            wal: None,
+            ckpt_io: None,
+            durability: crate::durable::Durability::Always,
+            persisted_txns: 0,
+            persisted_events: 0,
+            pending_frames: Vec::new(),
+            recovery: None,
+        }
     }
 }
 

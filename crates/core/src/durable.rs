@@ -26,12 +26,45 @@
 use cdb_curation::provstore::StoreMode;
 use cdb_curation::wire::{put_str, put_u64, Checkpoint, Reader, WireError};
 use cdb_storage::{
-    read_checkpoint, recover, write_checkpoint, Io, PublishRecord, RecoveryStats, StorageError,
-    FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH,
+    read_checkpoint, recover, write_checkpoint, DurableLog, GroupWal, Io, PublishRecord, Recovered,
+    RecoveryStats, StorageError, FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH,
 };
 
 use crate::db::{CuratedDatabase, DbError, Note};
 use crate::lifecycle::EntryEvent;
+
+/// How a durable database reaches its WAL: exclusively, or through the
+/// shared group-commit handle that [`crate::shared::SharedDb`] hands
+/// every writer. The database's persist path is identical either way —
+/// only the sync discipline differs (an owned log syncs inline; a
+/// shared one batches syncs across writers, and `SharedDb` waits for
+/// the batch *outside* the database lock).
+#[derive(Debug)]
+pub(crate) enum WalRef {
+    /// This database owns the log outright (single-threaded use).
+    Owned(DurableLog<Box<dyn Io>>),
+    /// The log is shared with other writers via group commit.
+    Shared(GroupWal),
+}
+
+impl WalRef {
+    pub(crate) fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
+        match self {
+            WalRef::Owned(log) => log.append(kind, payload),
+            WalRef::Shared(group) => group.append(kind, payload).map(|_| ()),
+        }
+    }
+
+    /// Forces everything appended so far to durable storage. For a
+    /// shared log this is a full barrier across *all* writers, not
+    /// just this database's frames.
+    pub(crate) fn sync(&mut self) -> Result<(), StorageError> {
+        match self {
+            WalRef::Owned(log) => log.sync(),
+            WalRef::Shared(group) => group.sync_all(),
+        }
+    }
+}
 
 /// When WAL appends are forced to durable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -208,7 +241,19 @@ impl CuratedDatabase {
         let name = name.into();
         let ck = read_checkpoint(ckpt_io.as_mut())?;
         let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
+        Self::from_recovered(name, key_field, rec, WalRef::Owned(log), ckpt_io)
+    }
 
+    /// Assembles a database from a finished recovery. Shared by
+    /// [`CuratedDatabase::open`] (owned WAL) and
+    /// [`crate::shared::SharedDb::open`] (group-commit WAL).
+    pub(crate) fn from_recovered(
+        name: String,
+        key_field: impl Into<String>,
+        rec: Recovered,
+        wal: WalRef,
+        ckpt_io: Box<dyn Io>,
+    ) -> Result<Self, DbError> {
         let mut db = CuratedDatabase::new(name, key_field);
         db.curated = rec.db;
         for aux in &rec.aux {
@@ -227,7 +272,7 @@ impl CuratedDatabase {
         db.archive = db.archive_from_log()?;
         db.persisted_txns = db.curated.log.len();
         db.persisted_events = db.lifecycle.events().len();
-        db.wal = Some(log);
+        db.wal = Some(wal);
         db.ckpt_io = Some(ckpt_io);
         db.recovery = Some(rec.stats);
         Ok(db)

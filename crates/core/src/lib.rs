@@ -26,11 +26,13 @@
 pub mod db;
 pub mod durable;
 pub mod lifecycle;
+pub mod shared;
 pub mod views;
 
 pub use db::{CuratedDatabase, DbError, Note};
 pub use durable::Durability;
 pub use lifecycle::{EntryEvent, EntryRegistry, Fate};
+pub use shared::{SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};
 
 // Re-export the substrate crates under one roof, so downstream users
 // depend on `cdb-core` alone.

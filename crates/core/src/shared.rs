@@ -1,0 +1,499 @@
+//! The concurrent serving layer: snapshot-isolated readers over a
+//! group-committed writer path.
+//!
+//! Curated databases are read-mostly (§1, §5 of the paper: a handful
+//! of curators write, everyone else queries the published versions),
+//! so the serving layer is built around that asymmetry:
+//!
+//! * **Readers** call [`SharedDb::snapshot`] and get an immutable
+//!   [`Snapshot`] — a frozen copy of the entire curated state (tree,
+//!   provenance, transaction log, lifecycle registry, archive, notes).
+//!   Every read — queries, provenance lookups, archive citations,
+//!   version retrieval, annotation reads — runs against the snapshot
+//!   with **no locks at all**; taking the snapshot itself is one
+//!   mutex-protected `Arc::clone`.
+//! * **Writers** serialize through the database mutex for the
+//!   in-memory commit, then wait for durability through the WAL's
+//!   group commit ([`cdb_storage::GroupWal`]) *outside* the lock, so
+//!   one writer's `fdatasync` never blocks another writer's in-memory
+//!   commit — concurrent commits share a single sync.
+//!
+//! # Protocol
+//!
+//! A write does, in order:
+//!
+//! 1. lock the database, run the curation op (which appends its WAL
+//!    frames, unsynced — the inner database runs at
+//!    [`Durability::Batched`]);
+//! 2. still under the lock, record the WAL sequence number of its
+//!    frames and **publish a fresh snapshot** (epoch `e+1`);
+//! 3. unlock, then [`GroupWal::commit`] the recorded sequence number —
+//!    block until a batch leader's single sync covers it.
+//!
+//! Publishing under the lock means snapshots are created in commit
+//! order: epoch `e`'s transaction log is always a prefix of epoch
+//! `e+1`'s (the `stress` feature compiles an assertion of exactly
+//! this). A snapshot can expose a commit whose sync is still in
+//! flight — readers see their own cluster's writes immediately, and
+//! durability lags by at most the batch window — but never a torn or
+//! reordered one.
+//!
+//! # Ack rule
+//!
+//! A write method returning `Ok` means the commit is durable: its
+//! frames were covered by a WAL sync that reported success. Because
+//! frames are appended in commit order under the database lock, the
+//! durable log is always a gap-free prefix of the acknowledged commit
+//! order — a crash may cut acknowledged commits off the end (a lying
+//! disk), never punch holes in the middle. `tests/concurrent_serving.rs`
+//! checks this against scripted fault schedules.
+//!
+//! # Epoch reclamation
+//!
+//! Snapshots are reference-counted, nothing more: the cache holds the
+//! newest epoch, each reader holds the epochs it is still using, and
+//! an old epoch's memory is freed the moment its last `Arc` drops. No
+//! global epoch tracking, no grace periods — the cost is that each
+//! commit clones the curated state for its snapshot, which the
+//! read-mostly workload amortizes (and the writer is paying a device
+//! sync anyway).
+
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use cdb_archive::VersionId;
+use cdb_curation::ops::Clipboard;
+use cdb_curation::provstore::StoreMode;
+use cdb_curation::NodeId;
+use cdb_model::Atom;
+use cdb_storage::{read_checkpoint, recover, GroupCommitStats, GroupWal, Io};
+
+use crate::db::{CuratedDatabase, DbError};
+use crate::durable::{Durability, WalRef};
+
+/// Default group-commit batch window for shared databases: long enough
+/// for concurrent writers to pile into one sync, short enough to be
+/// invisible next to the sync itself.
+pub const DEFAULT_BATCH_WINDOW: Duration = Duration::from_micros(200);
+
+#[derive(Debug)]
+struct SharedInner {
+    db: Mutex<CuratedDatabase>,
+    /// The newest snapshot and its epoch, replaced on every commit.
+    /// Readers clone the `Arc` out; old epochs die by refcount.
+    cache: Mutex<(u64, Arc<CuratedDatabase>)>,
+    /// The group-commit handle, when the database is durable.
+    group: Option<GroupWal>,
+}
+
+/// A cloneable, thread-safe handle to a curated database. All clones
+/// refer to the same database; see the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct SharedDb {
+    inner: Arc<SharedInner>,
+}
+
+/// An immutable, lock-free view of the database as of one commit
+/// epoch. Dereferences to [`CuratedDatabase`], so every read method —
+/// and the relational [`crate::views`] — works unchanged. The
+/// snapshot owns its state outright (including the notes map, so
+/// [`CuratedDatabase::notes_on`] borrows from the snapshot, not the
+/// live database — a concurrent `annotate` cannot be observed
+/// half-applied).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    state: Arc<CuratedDatabase>,
+    epoch: u64,
+}
+
+impl Deref for Snapshot {
+    type Target = CuratedDatabase;
+    fn deref(&self) -> &CuratedDatabase {
+        &self.state
+    }
+}
+
+impl Snapshot {
+    /// The commit epoch this snapshot froze (0 = before any commit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl SharedDb {
+    /// Wraps a fresh in-memory database for concurrent use.
+    pub fn new(name: impl Into<String>, key_field: impl Into<String>) -> Self {
+        Self::from_db(CuratedDatabase::new(name, key_field))
+    }
+
+    /// Wraps an existing database. A durable database's WAL is
+    /// converted to group commit (with [`DEFAULT_BATCH_WINDOW`]) and
+    /// its durability set to [`Durability::Batched`] — the write path
+    /// here acknowledges durability through the group, per-commit
+    /// inline syncs would defeat it.
+    pub fn from_db(mut db: CuratedDatabase) -> Self {
+        let group = match db.wal.take() {
+            Some(WalRef::Owned(log)) => {
+                let group = GroupWal::new(log, DEFAULT_BATCH_WINDOW);
+                db.wal = Some(WalRef::Shared(group.clone()));
+                Some(group)
+            }
+            Some(WalRef::Shared(group)) => {
+                let handle = group.clone();
+                db.wal = Some(WalRef::Shared(group));
+                Some(handle)
+            }
+            None => None,
+        };
+        if group.is_some() {
+            db.set_durability(Durability::Batched);
+        }
+        let snapshot = Arc::new(db.clone_state());
+        SharedDb {
+            inner: Arc::new(SharedInner {
+                db: Mutex::new(db),
+                cache: Mutex::new((0, snapshot)),
+                group,
+            }),
+        }
+    }
+
+    /// Opens a durable shared database over a WAL device and a
+    /// checkpoint device (see [`CuratedDatabase::open`] for recovery
+    /// semantics), with group commit at the given batch window.
+    pub fn open(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        wal_io: Box<dyn Io>,
+        mut ckpt_io: Box<dyn Io>,
+        window: Duration,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        let ck = read_checkpoint(ckpt_io.as_mut())?;
+        let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
+        let group = GroupWal::new(log, window);
+        let mut db = CuratedDatabase::from_recovered(
+            name,
+            key_field,
+            rec,
+            WalRef::Shared(group.clone()),
+            ckpt_io,
+        )?;
+        db.set_durability(Durability::Batched);
+        let snapshot = Arc::new(db.clone_state());
+        Ok(SharedDb {
+            inner: Arc::new(SharedInner {
+                db: Mutex::new(db),
+                cache: Mutex::new((0, snapshot)),
+                group: Some(group),
+            }),
+        })
+    }
+
+    /// Opens a durable shared database backed by `<dir>/<name>.wal`
+    /// and `<dir>/<name>.ckpt` (created if absent).
+    pub fn open_dir(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+        window: Duration,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        let dir = dir.as_ref();
+        let wal = cdb_storage::FileIo::open(dir.join(format!("{name}.wal")))?;
+        let ckpt = cdb_storage::FileIo::open(dir.join(format!("{name}.ckpt")))?;
+        SharedDb::open(name, key_field, Box::new(wal), Box::new(ckpt), window)
+    }
+
+    fn lock_db(&self) -> MutexGuard<'_, CuratedDatabase> {
+        self.inner
+            .db
+            .lock()
+            .expect("a writer panicked while holding the database lock")
+    }
+
+    /// Publishes the current state as the next snapshot epoch. Called
+    /// under the database lock, so epochs are assigned in commit order.
+    fn publish_snapshot(&self, db: &CuratedDatabase) {
+        let fresh = Arc::new(db.clone_state());
+        let mut cache = self
+            .inner
+            .cache
+            .lock()
+            .expect("a writer panicked while publishing a snapshot");
+        #[cfg(feature = "stress")]
+        assert_snapshot_extends(&cache.1, &fresh);
+        cache.0 += 1;
+        let displaced = std::mem::replace(&mut cache.1, fresh);
+        drop(cache);
+        // If this writer held the last reference to the displaced
+        // epoch, its deallocation happens here — after the cache lock
+        // is released — so readers taking snapshots never wait on it.
+        drop(displaced);
+    }
+
+    /// The write path: in-memory commit and snapshot publication under
+    /// the lock, durability wait outside it (see module docs).
+    fn write<R>(
+        &self,
+        op: impl FnOnce(&mut CuratedDatabase) -> Result<R, DbError>,
+    ) -> Result<R, DbError> {
+        let mut db = self.lock_db();
+        let out = op(&mut db);
+        let seq = self.inner.group.as_ref().map(|g| g.appended_seq());
+        self.publish_snapshot(&db);
+        drop(db);
+        if out.is_ok() {
+            if let (Some(group), Some(seq)) = (self.inner.group.as_ref(), seq) {
+                group.commit(seq)?;
+            }
+        }
+        out
+    }
+
+    /// An immutable view of the latest committed state. O(1): one
+    /// lock-protected `Arc` clone, no copying. Reads on the returned
+    /// snapshot take no locks and are never blocked by writers.
+    pub fn snapshot(&self) -> Snapshot {
+        let cache = self
+            .inner
+            .cache
+            .lock()
+            .expect("a writer panicked while publishing a snapshot");
+        Snapshot {
+            epoch: cache.0,
+            state: cache.1.clone(),
+        }
+    }
+
+    /// The current commit epoch (0 = nothing committed through this
+    /// handle yet).
+    pub fn epoch(&self) -> u64 {
+        self.inner
+            .cache
+            .lock()
+            .expect("a writer panicked while publishing a snapshot")
+            .0
+    }
+
+    // ------------------------------------------------- curation ops
+    // Each mirrors the `CuratedDatabase` method of the same name.
+
+    /// Adds a freshly-authored entry. See [`CuratedDatabase::add_entry`].
+    pub fn add_entry(
+        &self,
+        curator: &str,
+        time: u64,
+        key: &str,
+        fields: &[(&str, Atom)],
+    ) -> Result<NodeId, DbError> {
+        self.write(|db| db.add_entry(curator, time, key, fields))
+    }
+
+    /// Imports a copied entry. See [`CuratedDatabase::import_entry`].
+    pub fn import_entry(
+        &self,
+        curator: &str,
+        time: u64,
+        key: &str,
+        clip: &Clipboard,
+    ) -> Result<NodeId, DbError> {
+        self.write(|db| db.import_entry(curator, time, key, clip))
+    }
+
+    /// Edits (or adds) a field. See [`CuratedDatabase::edit_field`].
+    pub fn edit_field(
+        &self,
+        curator: &str,
+        time: u64,
+        key: &str,
+        field: &str,
+        value: Atom,
+    ) -> Result<(), DbError> {
+        self.write(|db| db.edit_field(curator, time, key, field, value))
+    }
+
+    /// Deletes an entry. See [`CuratedDatabase::delete_entry`].
+    pub fn delete_entry(&self, curator: &str, time: u64, key: &str) -> Result<(), DbError> {
+        self.write(|db| db.delete_entry(curator, time, key))
+    }
+
+    /// Fuses two entries. See [`CuratedDatabase::merge_entries`].
+    pub fn merge_entries(
+        &self,
+        curator: &str,
+        time: u64,
+        kept: &str,
+        absorbed: &str,
+    ) -> Result<(), DbError> {
+        self.write(|db| db.merge_entries(curator, time, kept, absorbed))
+    }
+
+    /// Splits an entry. See [`CuratedDatabase::split_entry`].
+    pub fn split_entry(
+        &self,
+        curator: &str,
+        time: u64,
+        original: &str,
+        parts: &[(&str, Vec<(&str, Atom)>)],
+    ) -> Result<(), DbError> {
+        self.write(|db| db.split_entry(curator, time, original, parts))
+    }
+
+    /// Attaches a superimposed annotation. See
+    /// [`CuratedDatabase::annotate`].
+    pub fn annotate(
+        &self,
+        key: &str,
+        field: Option<&str>,
+        author: &str,
+        text: &str,
+        time: u64,
+    ) -> Result<(), DbError> {
+        self.write(|db| db.annotate(key, field, author, text, time))
+    }
+
+    /// Publishes the current state as a new archived version. See
+    /// [`CuratedDatabase::publish`]. Publishes sync the WAL inline
+    /// (regardless of batching), so `Ok` means the publish point is
+    /// durable.
+    pub fn publish(&self, label: impl Into<String>) -> Result<VersionId, DbError> {
+        let label = label.into();
+        self.write(|db| db.publish(label))
+    }
+
+    // ---------------------------------------------------- durability
+
+    /// Forces everything committed so far to durable storage.
+    pub fn sync(&self) -> Result<(), DbError> {
+        let mut db = self.lock_db();
+        db.sync()
+    }
+
+    /// Writes a checkpoint (see [`CuratedDatabase::checkpoint`]). Safe
+    /// to race with concurrent writers: the checkpoint syncs the WAL
+    /// through the same group handle, so it captures some committed
+    /// prefix, and recovery replays whatever the WAL holds past it.
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let mut db = self.lock_db();
+        db.checkpoint()
+    }
+
+    /// Group-commit counters, when durable (`None` for in-memory).
+    pub fn group_stats(&self) -> Option<GroupCommitStats> {
+        self.inner.group.as_ref().map(|g| g.stats())
+    }
+
+    /// The group-commit batch window, when durable.
+    pub fn batch_window(&self) -> Option<Duration> {
+        self.inner.group.as_ref().map(|g| g.window())
+    }
+
+    /// Adjusts the group-commit batch window for future batches.
+    pub fn set_batch_window(&self, window: Duration) {
+        if let Some(g) = &self.inner.group {
+            g.set_window(window);
+        }
+    }
+
+    /// Unwraps the database, restoring single-threaded use. Fails
+    /// (returning `self`) while other handles to the database exist;
+    /// outstanding [`Snapshot`]s don't count — they own copies. A
+    /// durable database comes back with an owned WAL at
+    /// [`Durability::Always`], everything already synced.
+    pub fn into_inner(self) -> Result<CuratedDatabase, SharedDb> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => {
+                drop(inner.cache);
+                let mut db = inner
+                    .db
+                    .into_inner()
+                    .expect("a writer panicked while holding the database lock");
+                // Two group handles remain: `inner.group` and the
+                // database's own WalRef. Drop the former, unwrap the
+                // latter back into the owned log.
+                drop(inner.group);
+                if let Some(WalRef::Shared(group)) = db.wal.take() {
+                    group.sync_all().ok();
+                    let log = group
+                        .try_into_log()
+                        .expect("into_inner holds the only remaining group handle");
+                    db.wal = Some(WalRef::Owned(log));
+                    db.set_durability(Durability::Always);
+                }
+                Ok(db)
+            }
+            Err(inner) => Err(SharedDb { inner }),
+        }
+    }
+}
+
+/// Stress-mode invariant: each published snapshot's transaction log
+/// extends the previous one — commit order and snapshot order agree.
+#[cfg(feature = "stress")]
+fn assert_snapshot_extends(prev: &CuratedDatabase, next: &CuratedDatabase) {
+    let p = &prev.curated.log;
+    let n = &next.curated.log;
+    assert!(
+        p.len() <= n.len(),
+        "snapshot regressed: {} -> {} transactions",
+        p.len(),
+        n.len()
+    );
+    for (a, b) in p.iter().zip(n.iter()) {
+        assert_eq!(
+            a.id, b.id,
+            "snapshot log diverged from its predecessor at txn {:?}",
+            a.id
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let db = SharedDb::new("iuphar", "name");
+        db.add_entry("alice", 1, "GABA-A", &[("tm", Atom::Int(4))])
+            .unwrap();
+        let snap = db.snapshot();
+        assert_eq!(snap.epoch(), 1);
+        db.edit_field("bob", 2, "GABA-A", "tm", Atom::Int(5))
+            .unwrap();
+        db.add_entry("bob", 3, "5-HT3", &[]).unwrap();
+        // The old snapshot still shows the old world.
+        assert_eq!(snap.field("GABA-A", "tm").unwrap(), Atom::Int(4));
+        assert_eq!(snap.entry_keys().unwrap().len(), 1);
+        // A fresh snapshot shows the new one.
+        let now = db.snapshot();
+        assert_eq!(now.epoch(), 3);
+        assert_eq!(now.field("GABA-A", "tm").unwrap(), Atom::Int(5));
+    }
+
+    #[test]
+    fn snapshot_notes_survive_concurrent_annotate() {
+        // Satellite fix: notes_on borrows from the snapshot's own
+        // notes map, so later annotates are invisible to it.
+        let db = SharedDb::new("iuphar", "name");
+        db.add_entry("alice", 1, "GABA-A", &[]).unwrap();
+        db.annotate("GABA-A", None, "carol", "first", 2).unwrap();
+        let snap = db.snapshot();
+        db.annotate("GABA-A", None, "dave", "second", 3).unwrap();
+        assert_eq!(snap.notes_on("GABA-A", None).len(), 1);
+        assert_eq!(db.snapshot().notes_on("GABA-A", None).len(), 2);
+    }
+
+    #[test]
+    fn into_inner_round_trips() {
+        let db = SharedDb::new("d", "name");
+        db.add_entry("a", 1, "K", &[]).unwrap();
+        let clone = db.clone();
+        let db = db.into_inner().unwrap_err(); // clone alive
+        drop(clone);
+        let inner = db.into_inner().unwrap();
+        assert_eq!(inner.entry_keys().unwrap(), vec!["K".to_string()]);
+    }
+}

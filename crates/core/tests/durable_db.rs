@@ -2,26 +2,28 @@
 //! crash/reopen → identical state, across file, memory, and
 //! fault-injected devices.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use cdb_core::storage::{FaultPlan, FaultyIo, Io, MemIo, StorageError};
 use cdb_core::{CuratedDatabase, Durability, Fate};
 use cdb_model::{Atom, Value};
 
 /// A fault-injected device the test keeps a handle on after the
-/// database takes ownership, so it can crash it post-drop.
+/// database takes ownership, so it can crash it post-drop. (`Mutex`
+/// rather than `RefCell` because `Io` is `Send + Sync` — devices can
+/// be shared with concurrent databases.)
 #[derive(Debug, Clone)]
-struct SharedFaulty(Rc<RefCell<Option<FaultyIo>>>);
+struct SharedFaulty(Arc<Mutex<Option<FaultyIo>>>);
 
 impl SharedFaulty {
     fn new(plan: FaultPlan) -> Self {
-        SharedFaulty(Rc::new(RefCell::new(Some(FaultyIo::new(plan)))))
+        SharedFaulty(Arc::new(Mutex::new(Some(FaultyIo::new(plan)))))
     }
 
     fn crash(&self) -> Vec<u8> {
         self.0
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .take()
             .expect("device already crashed")
             .crash()
@@ -30,48 +32,53 @@ impl SharedFaulty {
 
 impl Io for SharedFaulty {
     fn len(&self) -> Result<u64, StorageError> {
-        self.0.borrow().as_ref().unwrap().len()
+        self.0.lock().unwrap().as_ref().unwrap().len()
     }
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
-        self.0.borrow_mut().as_mut().unwrap().read_at(offset, buf)
+        self.0
+            .lock()
+            .unwrap()
+            .as_mut()
+            .unwrap()
+            .read_at(offset, buf)
     }
     fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
-        self.0.borrow_mut().as_mut().unwrap().append(bytes)
+        self.0.lock().unwrap().as_mut().unwrap().append(bytes)
     }
     fn flush(&mut self) -> Result<(), StorageError> {
-        self.0.borrow_mut().as_mut().unwrap().flush()
+        self.0.lock().unwrap().as_mut().unwrap().flush()
     }
     fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
-        self.0.borrow_mut().as_mut().unwrap().truncate(len)
+        self.0.lock().unwrap().as_mut().unwrap().truncate(len)
     }
 }
 
 /// Shared in-memory device for the checkpoint file, surviving the
 /// database that owns the boxed handle.
 #[derive(Debug, Clone)]
-struct SharedMem(Rc<RefCell<MemIo>>);
+struct SharedMem(Arc<Mutex<MemIo>>);
 
 impl SharedMem {
     fn new() -> Self {
-        SharedMem(Rc::new(RefCell::new(MemIo::new())))
+        SharedMem(Arc::new(Mutex::new(MemIo::new())))
     }
 }
 
 impl Io for SharedMem {
     fn len(&self) -> Result<u64, StorageError> {
-        self.0.borrow().len()
+        self.0.lock().unwrap().len()
     }
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
-        self.0.borrow_mut().read_at(offset, buf)
+        self.0.lock().unwrap().read_at(offset, buf)
     }
     fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
-        self.0.borrow_mut().append(bytes)
+        self.0.lock().unwrap().append(bytes)
     }
     fn flush(&mut self) -> Result<(), StorageError> {
-        self.0.borrow_mut().flush()
+        self.0.lock().unwrap().flush()
     }
     fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
-        self.0.borrow_mut().truncate(len)
+        self.0.lock().unwrap().truncate(len)
     }
 }
 
@@ -393,6 +400,118 @@ fn failed_wal_append_is_retried_by_the_next_commit() {
     );
     assert!(db.lifecycle.is_active("B"));
     assert_eq!(db.recovery_stats().unwrap().frames_dropped, 0);
+}
+
+/// An explicit sync with nothing pending — before any commit, and
+/// again after everything is already synced — is a harmless no-op:
+/// no error, no effect on what recovery sees.
+#[test]
+fn empty_batch_sync_is_a_no_op() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(MemIo::new()),
+        )
+        .unwrap();
+        db.set_durability(Durability::Batched);
+        db.sync().unwrap(); // nothing has ever been appended
+        db.add_entry("alice", 1, "A", &[]).unwrap();
+        db.sync().unwrap();
+        db.sync().unwrap(); // batch already empty again
+    }
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(wal.crash())),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    assert_eq!(db.entry_keys().unwrap(), vec!["A".to_string()]);
+}
+
+/// A checkpoint taken while a batch is still pending must sync that
+/// batch first — otherwise the checkpoint could capture state whose
+/// WAL frames a crash then loses, and recovery would see a checkpoint
+/// "from the future" relative to its log.
+#[test]
+fn checkpoint_racing_a_pending_batch_syncs_it_first() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    let ckpt = SharedMem::new();
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            Box::new(ckpt.clone()),
+        )
+        .unwrap();
+        db.set_durability(Durability::Batched);
+        db.add_entry("alice", 1, "A", &[]).unwrap(); // pending, unsynced
+        db.checkpoint().unwrap(); // must flush A before snapshotting
+        db.add_entry("bob", 2, "B", &[]).unwrap(); // unsynced, lost in crash
+    }
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(wal.crash())),
+        Box::new(ckpt),
+    )
+    .unwrap();
+    assert_eq!(db.entry_keys().unwrap(), vec!["A".to_string()]);
+    let stats = db.recovery_stats().unwrap();
+    assert!(stats.used_checkpoint);
+    assert_eq!(
+        stats.frames_dropped, 0,
+        "checkpoint state is all in the WAL"
+    );
+}
+
+/// `fail_append` under group commit: one writer's append fails during
+/// the window another commit's flush covers. The failed op reports the
+/// error, its frames stay queued, and the next commit drains them —
+/// the WAL stays gap-free through the shared group-commit path just as
+/// it does through the owned path.
+#[test]
+fn fail_append_during_group_commit_is_retried_not_skipped() {
+    use cdb_core::SharedDb;
+    use std::time::Duration;
+
+    // Append #1 is the WAL header; #2 is A's frame; #3 (B) fails once.
+    let wal = SharedFaulty::new(FaultPlan {
+        fail_append: Some(3),
+        ..FaultPlan::default()
+    });
+    let db = SharedDb::open(
+        "iuphar",
+        "name",
+        Box::new(wal.clone()),
+        Box::new(MemIo::new()),
+        Duration::ZERO,
+    )
+    .unwrap();
+    db.add_entry("alice", 1, "A", &[]).unwrap();
+    assert!(db.add_entry("bob", 2, "B", &[]).is_err(), "append fails");
+    db.add_entry("carol", 3, "C", &[]).unwrap(); // drains B's frame first
+    let stats = db.group_stats().unwrap();
+    assert_eq!(stats.failed_syncs, 0, "the fault was in append, not sync");
+    drop(db);
+    let recovered = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(wal.crash())),
+        Box::new(MemIo::new()),
+    )
+    .unwrap();
+    let mut keys = recovered.entry_keys().unwrap();
+    keys.sort();
+    assert_eq!(
+        keys,
+        vec!["A".to_string(), "B".to_string(), "C".to_string()],
+        "the commit whose append failed was retried, not skipped"
+    );
 }
 
 #[test]

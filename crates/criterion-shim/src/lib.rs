@@ -21,7 +21,9 @@
 //! **Machine-readable output:** every measurement is also recorded and,
 //! when the [`criterion_main!`]-generated `main` exits, written as
 //! `BENCH_<bench-name>.json` at the workspace root — an array of
-//! `{op, size, ns_per_iter, samples, iters_per_sample}` rows. Set
+//! `{op, size, ns_per_iter, samples, iters_per_sample, threads,
+//! batch_window_us}` rows (`threads`/`batch_window_us` are `null`
+//! unless a harness sets them via [`push_record`]). Set
 //! `CDB_BENCH_JSON=0` to suppress the file, or `CDB_BENCH_JSON_DIR` to
 //! redirect it. Smoke runs never write the report (their timings are
 //! meaningless and would clobber real measurements).
@@ -46,7 +48,7 @@ pub fn smoke_mode() -> bool {
 }
 
 /// One recorded measurement, as written to the JSON report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Record {
     /// Full benchmark label (`group/function/param`).
     pub op: String,
@@ -58,12 +60,27 @@ pub struct Record {
     pub samples: usize,
     /// Iterations per sample (1 in smoke mode).
     pub iters_per_sample: u64,
+    /// Concurrent threads driving the measured operation (`null` for
+    /// single-threaded benches), so perf trajectories stay comparable
+    /// across PRs.
+    pub threads: Option<u64>,
+    /// Group-commit batch window in microseconds, when the measurement
+    /// depends on one (`null` otherwise).
+    pub batch_window_us: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
 fn record(r: Record) {
     RECORDS.lock().expect("bench recorder poisoned").push(r);
+}
+
+/// Records a measurement produced outside the [`Bencher`] machinery —
+/// hand-rolled harnesses (multi-threaded throughput drivers, latency
+/// percentile samplers) use this so their rows land in the same
+/// `BENCH_<name>.json` report.
+pub fn push_record(r: Record) {
+    record(r);
 }
 
 fn json_escape(s: &str) -> String {
@@ -134,16 +151,19 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
         .unwrap_or_else(|_| workspace_root(manifest_dir));
     let path = dir.join(format!("BENCH_{name}.json"));
     let mut out = String::from("[\n");
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |s| s.to_string());
     for (i, r) in records.iter().enumerate() {
-        let size = r.size.map_or_else(|| "null".to_owned(), |s| s.to_string());
         out.push_str(&format!(
             "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
-             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+             \"samples\": {}, \"iters_per_sample\": {}, \
+             \"threads\": {}, \"batch_window_us\": {}}}{}\n",
             json_escape(&r.op),
-            size,
+            opt(r.size),
             r.ns_per_iter,
             r.samples,
             r.iters_per_sample,
+            opt(r.threads),
+            opt(r.batch_window_us),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -345,6 +365,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
             ns_per_iter: b.elapsed.as_nanos(),
             samples: 1,
             iters_per_sample: 1,
+            ..Record::default()
         });
         return;
     }
@@ -381,6 +402,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
         ns_per_iter: median.as_nanos(),
         samples,
         iters_per_sample,
+        ..Record::default()
     });
 }
 
@@ -439,6 +461,16 @@ mod tests {
             ns_per_iter: 1234,
             samples: 3,
             iters_per_sample: 7,
+            ..Record::default()
+        });
+        push_record(Record {
+            op: "commit/group/4".into(),
+            ns_per_iter: 99,
+            samples: 1,
+            iters_per_sample: 1,
+            threads: Some(4),
+            batch_window_us: Some(200),
+            ..Record::default()
         });
         write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
         std::env::remove_var("CDB_BENCH_JSON_DIR");
@@ -446,6 +478,9 @@ mod tests {
         assert!(text.contains("\"op\": \"g/f/64\""));
         assert!(text.contains("\"size\": 64"));
         assert!(text.contains("\"ns_per_iter\": 1234"));
+        assert!(text.contains("\"threads\": null"));
+        assert!(text.contains("\"threads\": 4"));
+        assert!(text.contains("\"batch_window_us\": 200"));
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
     }
 

@@ -19,7 +19,12 @@
 use crate::StorageError;
 
 /// An append-only byte device with positional reads and explicit sync.
-pub trait Io: std::fmt::Debug {
+///
+/// `Send + Sync` is part of the contract: devices are moved into
+/// databases that are shared across threads (`cdb-core::SharedDb`),
+/// and every access goes through `&mut self` behind a lock, so the
+/// bounds cost implementations nothing.
+pub trait Io: std::fmt::Debug + Send + Sync {
     /// Current device length in bytes (as visible to this handle,
     /// including unflushed writes).
     fn len(&self) -> Result<u64, StorageError>;
@@ -300,16 +305,25 @@ impl FaultyIo {
     /// cap and scripted bit flips are applied, and the surviving
     /// durable image is returned (reopen it with [`MemIo::from_bytes`]
     /// or [`FaultyIo::with_contents`]).
-    pub fn crash(mut self) -> Vec<u8> {
+    pub fn crash(self) -> Vec<u8> {
+        self.durable_image()
+    }
+
+    /// The crash image without consuming the device — what a reopen
+    /// would see if the machine died right now. Concurrency tests keep
+    /// the device alive behind a shared handle and sample this after
+    /// the writer threads have been joined.
+    pub fn durable_image(&self) -> Vec<u8> {
+        let mut image = self.durable.clone();
         if let Some(cap) = self.plan.torn_write_at {
-            self.durable.truncate(cap as usize);
+            image.truncate(cap as usize);
         }
         for &(offset, mask) in &self.plan.bit_flips {
-            if let Some(b) = self.durable.get_mut(offset as usize) {
+            if let Some(b) = image.get_mut(offset as usize) {
                 *b ^= mask;
             }
         }
-        self.durable
+        image
     }
 
     /// Bytes currently durable (before crash-time corruption).
@@ -381,6 +395,52 @@ impl Io for FaultyIo {
             self.pending.truncate(len - self.durable.len());
         }
         Ok(())
+    }
+}
+
+// ---------------------------------------------------- simulated disks
+
+/// Wraps a device and charges a fixed latency per [`Io::flush`],
+/// modelling a disk whose sync cost dwarfs its write cost (the regime
+/// where group commit pays off). Benchmarks use it so the measured
+/// batching speedup reflects the protocol, not the host's fsync cost.
+#[derive(Debug)]
+pub struct ThrottledIo<I> {
+    inner: I,
+    sync_latency: std::time::Duration,
+}
+
+impl<I: Io> ThrottledIo<I> {
+    /// Wraps `inner`, sleeping `sync_latency` on every flush.
+    pub fn new(inner: I, sync_latency: std::time::Duration) -> Self {
+        ThrottledIo {
+            inner,
+            sync_latency,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: Io> Io for ThrottledIo<I> {
+    fn len(&self) -> Result<u64, StorageError> {
+        self.inner.len()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.inner.read_at(offset, buf)
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.inner.append(bytes)
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        std::thread::sleep(self.sync_latency);
+        self.inner.flush()
+    }
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.inner.truncate(len)
     }
 }
 

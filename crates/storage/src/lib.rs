@@ -29,6 +29,7 @@
 
 pub mod crc;
 pub mod frame;
+pub mod group;
 pub mod io;
 pub mod recovery;
 pub mod wal;
@@ -38,7 +39,8 @@ pub use cdb_curation::wire;
 pub use crate::frame::{
     Frame, ScanOutcome, FRAME_AUX, FRAME_CKPT, FRAME_COMMIT, FRAME_PUBLISH, FRAME_TXN,
 };
-pub use crate::io::{FaultPlan, FaultyIo, FileIo, Io, MemIo};
+pub use crate::group::{GroupCommitStats, GroupWal};
+pub use crate::io::{FaultPlan, FaultyIo, FileIo, Io, MemIo, ThrottledIo};
 pub use crate::recovery::{
     decode_commit, encode_commit, recover, PublishRecord, Recovered, RecoveryStats,
 };

@@ -27,7 +27,7 @@ use std::io::{self, BufRead, Write};
 
 use curated_db::model::PathQuery;
 use curated_db::relalg::{sql, ExecConfig};
-use curated_db::{Atom, CuratedDatabase};
+use curated_db::{Atom, CuratedDatabase, SharedDb, Snapshot};
 
 fn main() {
     let stdin = io::stdin();
@@ -237,10 +237,131 @@ fn run_command(
                             .join("\n"),
                     )
                 }
+                "parallel" => {
+                    let [writers, readers, ops] = take::<3>(&rest)?;
+                    let writers: usize = writers.parse().map_err(|_| "writers must be a number")?;
+                    let readers: usize = readers.parse().map_err(|_| "readers must be a number")?;
+                    let ops: u64 = ops.parse().map_err(|_| "ops must be a number")?;
+                    let owned = db_slot.take().expect("checked above");
+                    let (report, back) = parallel_session(owned, time, writers, readers, ops)?;
+                    *db_slot = Some(back);
+                    text(report)
+                }
                 other => Err(format!("unknown command {other:?} (try `help`)")),
             }
         }
     }
+}
+
+/// `parallel <writers> <readers> <ops>` — serve the shell's database
+/// through [`SharedDb`]: writer threads add and edit entries through
+/// group commit while reader threads take snapshots and verify epoch
+/// and log-prefix monotonicity; the database then returns to the shell
+/// with everything the writers committed.
+fn parallel_session(
+    owned: CuratedDatabase,
+    time: u64,
+    writers: usize,
+    readers: usize,
+    ops: u64,
+) -> Result<(String, CuratedDatabase), String> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let salt = owned.curated.log.len();
+    let shared = SharedDb::from_db(owned);
+    let done = Arc::new(AtomicBool::new(false));
+    let samples = Arc::new(AtomicU64::new(0));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let db = shared.clone();
+            let done = done.clone();
+            let samples = samples.clone();
+            std::thread::spawn(move || {
+                let mut last: Option<Snapshot> = None;
+                while !done.load(Ordering::Acquire) {
+                    let snap = db.snapshot();
+                    if let Some(prev) = &last {
+                        assert!(snap.epoch() >= prev.epoch(), "epoch went backwards");
+                        let (p, n) = (&prev.curated.log, &snap.curated.log);
+                        assert!(
+                            p.len() <= n.len() && p.iter().zip(n.iter()).all(|(a, b)| a.id == b.id),
+                            "snapshot log is not a prefix of its successor"
+                        );
+                    }
+                    samples.fetch_add(1, Ordering::Relaxed);
+                    last = Some(snap);
+                    std::thread::yield_now();
+                }
+            })
+        })
+        .collect();
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let db = shared.clone();
+            std::thread::spawn(move || {
+                let curator = format!("worker{w}");
+                for i in 0..ops {
+                    let t = time * 1_000 + (w as u64) * ops + i;
+                    let key = format!("p{salt}w{w}n{i}");
+                    db.add_entry(&curator, t, &key, &[("v", Atom::Int(i as i64))])
+                        .map_err(|e| e.to_string())?;
+                    db.edit_field(&curator, t, &key, "v", Atom::Int(-(i as i64)))
+                        .map_err(|e| e.to_string())?;
+                }
+                Ok::<(), String>(())
+            })
+        })
+        .collect();
+
+    let mut failures = Vec::new();
+    for (w, h) in writer_handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => failures.push(format!("writer {w}: {e}")),
+            Err(_) => failures.push(format!("writer {w} panicked")),
+        }
+    }
+    done.store(true, Ordering::Release);
+    for h in reader_handles {
+        if h.join().is_err() {
+            failures.push("a reader observed inconsistent snapshots".into());
+        }
+    }
+
+    let stats = shared.group_stats();
+    let epoch = shared.epoch();
+    let reads = samples.load(Ordering::Relaxed);
+    let mut shared = shared;
+    let back = loop {
+        match shared.into_inner() {
+            Ok(db) => break db,
+            Err(again) => {
+                shared = again;
+                std::thread::yield_now();
+            }
+        }
+    };
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    let stats_line = match stats {
+        Some(s) => format!(
+            "{} commits in {} synced batches (max batch {})",
+            s.frames_synced, s.batches, s.max_batch
+        ),
+        None => "in-memory database: no WAL, group commit idle".into(),
+    };
+    Ok((
+        format!(
+            "parallel session done: {writers} writers × {ops} add+edit ops, \
+             {readers} readers took {reads} consistent snapshots \
+             (final epoch {epoch}); {stats_line}"
+        ),
+        back,
+    ))
 }
 
 const HELP: &str = r#"
@@ -260,6 +381,9 @@ commands:
   sql <SELECT …>                     query the relational view `entries`
   explain <SELECT …>                 run via the hash-join engine and
                                        print the ExecStats operator table
+  parallel <writers> <readers> <ops> serve the db concurrently: writers
+                                       add+edit over group commit while
+                                       readers verify snapshot isolation
   path </a/b | //x>                  path query over the exported value
   prov <provql>                      provenance query language, e.g.
                                        prov VALUE /entry/name AT TXN 0

@@ -21,10 +21,21 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== concurrency suite under a thread matrix (fails on any checker violation) =="
+# The concurrent-serving harness sizes its real-thread history from
+# CDB_TEST_THREADS; sweep writer counts so both the uncontended and the
+# oversubscribed schedules get exercised. For the long-running variant:
+#   cargo test --release --features stress --test concurrent_serving -- --ignored
+for t in 1 4 "$(nproc)"; do
+    echo "-- CDB_TEST_THREADS=$t"
+    CDB_TEST_THREADS="$t" cargo test -q --test concurrent_serving
+done
+
 if [[ "$run_bench" == 1 ]]; then
     echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench recovery
+    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench commit_throughput
 fi
 
 echo "== example smoke (every binary in examples/) =="
@@ -48,6 +59,7 @@ sql SELECT name FROM entries WHERE tm = 4
 path //tm
 merge alice GABA-A 5-HT3
 what 5-HT3
+parallel 4 2 10
 quit
 CDBSH
     else

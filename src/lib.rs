@@ -23,7 +23,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub use cdb_core::{CuratedDatabase, DbError, Durability, EntryEvent, EntryRegistry, Fate, Note};
+pub use cdb_core::{
+    CuratedDatabase, DbError, Durability, EntryEvent, EntryRegistry, Fate, Note, SharedDb,
+    Snapshot, DEFAULT_BATCH_WINDOW,
+};
 
 pub use cdb_annotation as annotation;
 pub use cdb_archive as archive;

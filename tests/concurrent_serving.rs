@@ -1,0 +1,551 @@
+//! Concurrent serving layer: snapshot-isolation and crash checking for
+//! [`SharedDb`] over WAL group commit (DESIGN.md §S23).
+//!
+//! Three layers of testing:
+//!
+//! 1. **Deterministic interleaving driver** — 256 seeded histories of
+//!    4 logical writers × 4 logical readers, scheduled one step at a
+//!    time by a seeded [`StdRng`]. Because the schedule is a pure
+//!    function of the case seed, a failing history replays
+//!    byte-for-byte. Every snapshot a reader takes is fed through the
+//!    checker below.
+//! 2. **Real threads** — the same scripts on OS threads (writer count
+//!    from `CDB_TEST_THREADS`, default 4), readers sampling
+//!    concurrently; plus an `#[ignore]`d stress target sized for
+//!    `--release --features stress -- --ignored` (the `stress` feature
+//!    arms extra epoch-ordering assertions inside `cdb-core`).
+//! 3. **Crash under concurrency** — writers race over group commit on
+//!    a fault-injected device; after the scripted crash, recovery must
+//!    restore a gap-free prefix of the append order, and (for honest
+//!    devices) a superset of everything that was acknowledged.
+//!
+//! The snapshot checker (applied to every observed snapshot):
+//!
+//! - **Committed prefix** — the snapshot's transaction log is exactly a
+//!   prefix of the final log: no torn entries, no holes, no reordering.
+//! - **Replay oracle** — [`replay_and_verify`]: the snapshot's tree
+//!   equals a from-scratch replay of its own log.
+//! - **Lifecycle consistency** — every visible entry key is an active
+//!   identifier; ids retired by merge/split/delete are never visible
+//!   (no time-travel across lifecycle events).
+//! - **Epoch coherence** — one epoch maps to one log length, and later
+//!   epochs never expose shorter logs. Per reader, epochs and log
+//!   lengths are monotone.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use cdb_core::{CuratedDatabase, SharedDb, Snapshot};
+use cdb_curation::ops::Transaction;
+use cdb_curation::replay::replay_and_verify;
+use cdb_model::Atom;
+use cdb_storage::{FaultPlan, FaultyIo, Io, MemIo, StorageError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+// ------------------------------------------------------------ scripts
+
+/// One scripted curation step. Writers run disjoint key namespaces so
+/// any interleaving of their scripts is conflict-free: the checker then
+/// verifies what the *serving layer* interleaved, not what the scripts
+/// happened to collide on.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(String),
+    Edit(String, i64),
+    Annotate(String),
+    Merge(String, String),
+    Split(String, String, String),
+    Delete(String),
+    Publish(String),
+}
+
+/// A writer's script over namespace `ns`: create entries, edit them,
+/// annotate, then exercise every lifecycle transition (merge, split,
+/// delete) and publish a version.
+fn writer_script(ns: &str) -> Vec<Op> {
+    let k = |n: usize| format!("{ns}k{n}");
+    vec![
+        Op::Add(k(0)),
+        Op::Add(k(1)),
+        Op::Add(k(2)),
+        Op::Add(k(3)),
+        Op::Edit(k(0), 7),
+        Op::Annotate(k(1)),
+        Op::Edit(k(0), 8),
+        Op::Merge(k(0), k(1)),
+        Op::Split(k(2), k(4), k(5)),
+        Op::Edit(k(4), 9),
+        Op::Delete(k(3)),
+        Op::Publish(format!("{ns}-v1")),
+    ]
+}
+
+/// Applies one scripted step. `w`/`step` make the logical time unique
+/// across the whole history (the engine never reads wall-clock time).
+fn apply_op(db: &SharedDb, w: u64, step: u64, op: &Op) {
+    let curator = format!("c{w}");
+    let time = (w + 1) * 100_000 + step;
+    match op {
+        Op::Add(key) => {
+            db.add_entry(&curator, time, key, &[("v", Atom::Int(time as i64))])
+                .unwrap();
+        }
+        Op::Edit(key, v) => db
+            .edit_field(&curator, time, key, "v", Atom::Int(*v))
+            .unwrap(),
+        Op::Annotate(key) => db
+            .annotate(key, Some("v"), &curator, "checked", time)
+            .unwrap(),
+        Op::Merge(kept, absorbed) => db.merge_entries(&curator, time, kept, absorbed).unwrap(),
+        Op::Split(orig, a, b) => db
+            .split_entry(
+                &curator,
+                time,
+                orig,
+                &[
+                    (a, vec![("v", Atom::Int(1))]),
+                    (b, vec![("v", Atom::Int(2))]),
+                ],
+            )
+            .unwrap(),
+        Op::Delete(key) => db.delete_entry(&curator, time, key).unwrap(),
+        Op::Publish(label) => {
+            db.publish(label.clone()).unwrap();
+        }
+    }
+}
+
+// ------------------------------------------------------------ checker
+
+/// The identity of a transaction for prefix comparison.
+fn ids(log: &[Transaction]) -> Vec<(u64, String, u64)> {
+    log.iter()
+        .map(|t| (t.id.0, t.curator.clone(), t.time))
+        .collect()
+}
+
+/// Checks one observed snapshot against the final history (see module
+/// docs). Returns an error message rather than panicking so proptest
+/// cases report the failing seed.
+fn check_snapshot(s: &Snapshot, final_ids: &[(u64, String, u64)]) -> Result<(), String> {
+    let sids = ids(&s.curated.log);
+    if sids.len() > final_ids.len() {
+        return Err(format!(
+            "snapshot log ({} txns) is longer than the final log ({})",
+            sids.len(),
+            final_ids.len()
+        ));
+    }
+    if sids[..] != final_ids[..sids.len()] {
+        return Err(format!(
+            "snapshot log is not a prefix of the final log (epoch {})",
+            s.epoch()
+        ));
+    }
+    replay_and_verify(&s.curated).map_err(|e| format!("snapshot != replay of its log: {e}"))?;
+    for key in s.entry_keys().map_err(|e| format!("entry_keys: {e}"))? {
+        if !s.lifecycle.is_active(&key) {
+            return Err(format!("entry {key} visible but its id is not active"));
+        }
+    }
+    Ok(())
+}
+
+/// Cross-snapshot epoch coherence: one epoch ⇒ one log length, and the
+/// epoch order never shrinks the log.
+fn check_epochs<'a>(snaps: impl Iterator<Item = &'a Snapshot>) -> Result<(), String> {
+    let mut by_epoch: BTreeMap<u64, usize> = BTreeMap::new();
+    for s in snaps {
+        let len = s.curated.log.len();
+        let entry = by_epoch.entry(s.epoch()).or_insert(len);
+        if *entry != len {
+            return Err(format!(
+                "epoch {} observed with log lengths {} and {len}",
+                s.epoch(),
+                *entry
+            ));
+        }
+    }
+    let mut prev = 0usize;
+    for (epoch, len) in by_epoch {
+        if len < prev {
+            return Err(format!(
+                "epoch {epoch} exposes a shorter log ({len} < {prev})"
+            ));
+        }
+        prev = len;
+    }
+    Ok(())
+}
+
+// ---------------------------------------- deterministic interleavings
+
+proptest! {
+    /// 256 seeded histories of 4 writers × 4 readers under a
+    /// deterministic scheduler: every snapshot any reader ever took is
+    /// a committed prefix of the final log, replays to itself, and
+    /// respects lifecycle retirement. Failures replay byte-for-byte
+    /// from the case seed.
+    #[test]
+    fn seeded_scheduler_histories_are_snapshot_consistent(seed in 0u64..1_000_000) {
+        const WRITERS: usize = 4;
+        const READERS: usize = 4;
+        let db = SharedDb::new("conc", "id");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scripts: Vec<Vec<Op>> =
+            (0..WRITERS).map(|w| writer_script(&format!("w{w}"))).collect();
+        let mut cursor = [0usize; WRITERS];
+        let mut reader_state = [(0u64, 0usize); READERS];
+        let mut observed: Vec<Snapshot> = Vec::new();
+
+        while cursor.iter().zip(&scripts).any(|(c, s)| *c < s.len()) {
+            let actor = rng.gen_range(0..WRITERS + READERS);
+            if actor < WRITERS {
+                let w = actor;
+                if cursor[w] < scripts[w].len() {
+                    apply_op(&db, w as u64, cursor[w] as u64, &scripts[w][cursor[w]]);
+                    cursor[w] += 1;
+                }
+            } else {
+                let r = actor - WRITERS;
+                let snap = db.snapshot();
+                let (prev_epoch, prev_len) = reader_state[r];
+                prop_assert!(
+                    snap.epoch() >= prev_epoch,
+                    "reader {r} saw epoch go backwards: {} < {prev_epoch}",
+                    snap.epoch()
+                );
+                prop_assert!(
+                    snap.curated.log.len() >= prev_len,
+                    "reader {r} saw the log shrink"
+                );
+                reader_state[r] = (snap.epoch(), snap.curated.log.len());
+                observed.push(snap);
+            }
+        }
+
+        let fin = db.snapshot();
+        let final_ids = ids(&fin.curated.log);
+        for snap in observed.iter().chain(std::iter::once(&fin)) {
+            if let Err(msg) = check_snapshot(snap, &final_ids) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+        if let Err(msg) = check_epochs(observed.iter().chain(std::iter::once(&fin))) {
+            return Err(TestCaseError::fail(msg));
+        }
+    }
+}
+
+// ----------------------------------------------------- real threads
+
+fn env_threads() -> Option<usize> {
+    std::env::var("CDB_TEST_THREADS").ok()?.parse().ok()
+}
+
+/// N writer threads × M reader threads over one `SharedDb`; each
+/// reader checks monotonicity inline (previous snapshot's log must be
+/// a prefix of the next one's) and retains a sample of snapshots for
+/// the full checker after the writers join.
+fn real_thread_history(writers: usize, readers: usize, rounds: usize) {
+    let db = SharedDb::new("conc-mt", "id");
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let db = db.clone();
+            let done = done.clone();
+            thread::spawn(move || {
+                let mut prev: Option<Snapshot> = None;
+                let mut kept: Vec<Snapshot> = Vec::new();
+                let mut samples = 0usize;
+                while !done.load(std::sync::atomic::Ordering::Acquire) {
+                    let snap = db.snapshot();
+                    if let Some(p) = &prev {
+                        assert!(
+                            snap.epoch() >= p.epoch(),
+                            "reader {r}: epoch went backwards"
+                        );
+                        let pids = ids(&p.curated.log);
+                        let nids = ids(&snap.curated.log);
+                        assert!(
+                            pids.len() <= nids.len() && pids[..] == nids[..pids.len()],
+                            "reader {r}: earlier snapshot is not a prefix of a later one"
+                        );
+                    }
+                    samples += 1;
+                    if samples.is_multiple_of(7) {
+                        kept.push(snap.clone());
+                    }
+                    prev = Some(snap);
+                    thread::yield_now();
+                }
+                kept.extend(prev);
+                kept
+            })
+        })
+        .collect();
+
+    let writer_handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for round in 0..rounds {
+                    let script = writer_script(&format!("w{w}r{round}"));
+                    for (step, op) in script.iter().enumerate() {
+                        let time = (round * script.len() + step) as u64;
+                        apply_op(&db, w as u64, time, op);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for h in writer_handles {
+        h.join().unwrap();
+    }
+    done.store(true, std::sync::atomic::Ordering::Release);
+
+    let fin = db.snapshot();
+    let final_ids = ids(&fin.curated.log);
+    // Each script round commits 10 transactions (4 adds, 3 edits,
+    // merge, split, delete — annotate and publish are aux-only).
+    assert_eq!(
+        final_ids.len(),
+        writers * rounds * 10,
+        "missing transactions"
+    );
+    let mut all: Vec<Snapshot> = vec![fin];
+    for h in reader_handles {
+        all.extend(h.join().unwrap());
+    }
+    for snap in &all {
+        if let Err(msg) = check_snapshot(snap, &final_ids) {
+            panic!("real-thread history violated snapshot isolation: {msg}");
+        }
+    }
+    check_epochs(all.iter()).unwrap_or_else(|msg| panic!("epoch coherence: {msg}"));
+}
+
+/// Real OS threads, writer count from `CDB_TEST_THREADS` (default 4) —
+/// `scripts/check.sh` runs this under a 1/4/num_cpus matrix.
+#[test]
+fn real_thread_history_is_snapshot_consistent() {
+    real_thread_history(env_threads().unwrap_or(4), 4, 2);
+}
+
+/// Stress target (not part of the default run):
+///
+/// ```text
+/// cargo test --release --features stress --test concurrent_serving -- --ignored
+/// ```
+///
+/// The `stress` feature arms `cdb-core`'s internal assertion that each
+/// published epoch's log extends the previous epoch's (checked inside
+/// the publish path itself, under the cache lock).
+#[test]
+#[ignore = "stress target: cargo test --release --features stress -- --ignored"]
+fn stress_history_with_many_threads() {
+    real_thread_history(8, 8, 6);
+}
+
+// ------------------------------------------- crash under concurrency
+
+/// A fault-injected device shared between the `SharedDb` under test
+/// and the checker (which photographs the durable image post-crash).
+#[derive(Debug, Clone)]
+struct SharedFaulty(Arc<Mutex<FaultyIo>>);
+
+impl Io for SharedFaulty {
+    fn len(&self) -> Result<u64, StorageError> {
+        self.0.lock().unwrap().len()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.0.lock().unwrap().read_at(offset, buf)
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.0.lock().unwrap().append(bytes)
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.0.lock().unwrap().flush()
+    }
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.0.lock().unwrap().truncate(len)
+    }
+}
+
+proptest! {
+    /// Writers race over group commit on a faulty device; after the
+    /// crash, recovery restores exactly a gap-free prefix of the
+    /// append order — never a subset with holes — and on devices that
+    /// never lie about a flush, every acknowledged commit survives.
+    ///
+    /// Fault classes: `fail_flush` (one sync errors, honestly — the
+    /// next leader retries), `flush_cap` (partial flushes that report
+    /// success — a lying disk), `torn_write_at` (a hard durability
+    /// ceiling). `DurableLog::create` flushes the 8-byte WAL header
+    /// first, so flush #1 is the header sync and the fault offsets
+    /// below start past it.
+    #[test]
+    fn crash_mid_batch_recovers_an_acknowledged_prefix(
+        writers in 1usize..5,
+        per_writer in 1u64..6,
+        window_us in 0u64..300,
+        fault_sel in 0usize..3,
+        fault_n in 0u64..24,
+    ) {
+        let plan = match fault_sel {
+            0 => FaultPlan { fail_flush: Some(fault_n as u32 % 6 + 2), ..Default::default() },
+            1 => FaultPlan { flush_cap: Some(32 + fault_n * 24), ..Default::default() },
+            _ => FaultPlan { torn_write_at: Some(16 + fault_n * 16), ..Default::default() },
+        };
+        let honest = fault_sel == 0;
+        let dev = SharedFaulty(Arc::new(Mutex::new(FaultyIo::new(plan))));
+        let db = SharedDb::open(
+            "crash",
+            "id",
+            Box::new(dev.clone()),
+            Box::new(MemIo::new()),
+            Duration::from_micros(window_us),
+        )
+        .map_err(|e| TestCaseError::fail(format!("open: {e}")))?;
+
+        // Writers race; each records the commits that were ACKED (the
+        // write returned Ok, i.e. a sync covering its frames claimed
+        // success). Failed commits stay in memory and may or may not
+        // reach disk — that's allowed either way.
+        let acked = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let db = db.clone();
+                let acked = acked.clone();
+                thread::spawn(move || {
+                    for i in 0..per_writer {
+                        let time = (w as u64 + 1) * 1_000_000 + i;
+                        let res = db.add_entry(
+                            &format!("c{w}"),
+                            time,
+                            &format!("w{w}k{i}"),
+                            &[("v", Atom::Int(time as i64))],
+                        );
+                        if res.is_ok() {
+                            acked.lock().unwrap().push(time);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Crash: photograph what actually reached durable storage and
+        // recover from it into a fresh database.
+        let fin = db.snapshot();
+        let final_ids = ids(&fin.curated.log);
+        let image = dev.0.lock().unwrap().durable_image();
+        let reopened = CuratedDatabase::open(
+            "crash",
+            "id",
+            Box::new(MemIo::from_bytes(image)),
+            Box::new(MemIo::new()),
+        )
+        .map_err(|e| TestCaseError::fail(format!("recovery failed outright: {e}")))?;
+
+        let rids = ids(&reopened.curated.log);
+        prop_assert!(
+            rids.len() <= final_ids.len(),
+            "recovered more transactions than were ever appended"
+        );
+        prop_assert_eq!(
+            &rids[..],
+            &final_ids[..rids.len()],
+            "recovered log is not a gap-free prefix of the append order"
+        );
+        if honest {
+            let durable: BTreeSet<u64> =
+                reopened.curated.log.iter().map(|t| t.time).collect();
+            for t in acked.lock().unwrap().iter() {
+                prop_assert!(
+                    durable.contains(t),
+                    "commit t={t} was acknowledged but lost by an honest device"
+                );
+            }
+        }
+    }
+}
+
+// --------------------------------------- satellite 1: replay oracle
+
+proptest! {
+    /// Differential test: every snapshot equals replaying the final
+    /// curation log up to the snapshot's last transaction id
+    /// ([`cdb_curation::replay::replay`] as the oracle).
+    #[test]
+    fn snapshot_state_equals_log_replay_to_its_txn_id(seed in 0u64..1_000_000) {
+        let db = SharedDb::new("diff", "id");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut live: Vec<String> = Vec::new();
+        let mut next_key = 0u64;
+        let mut taken: Vec<Snapshot> = Vec::new();
+        let steps = rng.gen_range(5..40);
+        for step in 0..steps {
+            let time = 1_000 + step as u64;
+            match rng.gen_range(0..10) {
+                0..=3 => {
+                    let key = format!("k{next_key}");
+                    next_key += 1;
+                    db.add_entry("c", time, &key, &[("v", Atom::Int(time as i64))]).unwrap();
+                    live.push(key);
+                }
+                4..=6 if !live.is_empty() => {
+                    let key = &live[rng.gen_range(0..live.len())];
+                    db.edit_field("c", time, key, "v", Atom::Int(step as i64)).unwrap();
+                }
+                7 if !live.is_empty() => {
+                    let key = live.remove(rng.gen_range(0..live.len()));
+                    db.delete_entry("c", time, &key).unwrap();
+                }
+                8 if !live.is_empty() => {
+                    let key = &live[rng.gen_range(0..live.len())];
+                    db.annotate(key, None, "c", "note", time).unwrap();
+                }
+                _ => {}
+            }
+            if rng.gen_range(0..3) == 0 {
+                taken.push(db.snapshot());
+            }
+        }
+
+        let fin = db.snapshot();
+        let final_log = &fin.curated.log;
+        for snap in taken.iter().chain(std::iter::once(&fin)) {
+            // `upto: None` means "the whole log" to `replay`, so an
+            // empty snapshot replays an empty slice instead.
+            let oracle = match snap.curated.log.last().map(|t| t.id) {
+                Some(upto) => cdb_curation::replay::replay("diff", final_log, Some(upto)),
+                None => cdb_curation::replay::replay("diff", &[], None),
+            }
+            .map_err(|e| TestCaseError::fail(format!("oracle replay: {e}")))?;
+            // The oracle tree and the snapshot tree must agree on every
+            // live node (ids are stable across replay).
+            for id in snap.curated.tree.live_nodes() {
+                prop_assert!(oracle.is_alive(id), "node {id} in snapshot, not in oracle");
+                prop_assert_eq!(
+                    snap.curated.tree.value(id).unwrap(),
+                    oracle.value(id).unwrap(),
+                    "node {} differs from the replay oracle", id
+                );
+            }
+            prop_assert_eq!(
+                snap.curated.tree.size(),
+                oracle.size(),
+                "snapshot and oracle disagree on live-node count"
+            );
+        }
+    }
+}
