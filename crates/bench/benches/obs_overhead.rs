@@ -1,0 +1,199 @@
+//! E18 — the price of observability (see EXPERIMENTS.md).
+//!
+//! The cdb-obs design claim is that an always-on metrics registry and
+//! always-timing spans cost nearly nothing on the paths that matter:
+//! the budget is **< 3% commit-throughput regression at 4 writers**
+//! with metrics on versus off, and similar on join latency.
+//!
+//! Hand-rolled harness (the criterion-shim `Bencher` is
+//! single-threaded; the commit measurement is about threads). Each
+//! configuration is measured twice in alternation (on, off, on, off)
+//! and averaged, so slow drift on the host cancels instead of landing
+//! entirely on one side.
+//!
+//! Rows in `BENCH_obs_overhead.json`:
+//!
+//! - `e18_commit/w4/metrics_{on,off}` — group-commit throughput over a
+//!   simulated 3 ms-sync device, 4 writers.
+//! - `e18_commit/w4/tracing_on` — same with span ring emission enabled
+//!   too (the `trace on` regime).
+//! - `e18_join/metrics_{on,off}` — hash natural-join latency via
+//!   `eval_with_stats`.
+//! - `e18_overhead/{commit_w4,join}_centipct` — the measured on/off
+//!   regression in hundredths of a percent (`ns_per_iter` field;
+//!   clamped at 0 when "on" measures faster, which happens within
+//!   noise), so the < 3% acceptance reads directly as `< 300`.
+
+use std::hint::black_box;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cdb_core::SharedDb;
+use cdb_model::Atom;
+use cdb_relalg::{eval_with_stats, ExecConfig};
+use cdb_storage::{Io, MemIo, ThrottledIo};
+use cdb_workload::relational::{join_tables, natural_join_query, JoinConfig};
+use criterion::{push_record, smoke_mode, write_json_report, Record};
+
+/// Simulated device sync latency — same regime as E17, so the commit
+/// numbers here are comparable to `BENCH_commit_throughput.json`.
+const SYNC_LATENCY: Duration = Duration::from_millis(3);
+const WRITERS: u64 = 4;
+const WINDOW: Duration = Duration::from_micros(100);
+const SEED_KEYS: u64 = 16;
+
+fn throttled_dev() -> Box<dyn Io> {
+    Box::new(ThrottledIo::new(MemIo::new(), SYNC_LATENCY))
+}
+
+fn seed_key(i: u64) -> String {
+    format!("K{}", i % SEED_KEYS)
+}
+
+/// 4 writers over `SharedDb` group commit; returns commits/s.
+fn group_throughput(per_writer: u64) -> f64 {
+    let db = SharedDb::open(
+        "bench",
+        "id",
+        throttled_dev(),
+        Box::new(MemIo::new()),
+        WINDOW,
+    )
+    .unwrap();
+    for i in 0..SEED_KEYS {
+        db.add_entry("seed", i, &seed_key(i), &[("v", Atom::Int(0))])
+            .unwrap();
+    }
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let db = db.clone();
+            thread::spawn(move || {
+                for i in 0..per_writer {
+                    db.edit_field(
+                        "w",
+                        1_000_000 * (w + 1) + i,
+                        &seed_key(w + i * WRITERS),
+                        "v",
+                        Atom::Int(i as i64),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (WRITERS * per_writer) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Mean ns per hash-join evaluation.
+fn join_ns(db: &cdb_relalg::Database, expr: &cdb_relalg::RaExpr, iters: u64) -> f64 {
+    let cfg = ExecConfig::default();
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(eval_with_stats(db, expr, &cfg).unwrap());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Runs `measure` twice with metrics on and twice off, alternating,
+/// and returns the (on, off) averages.
+fn alternated(mut measure: impl FnMut() -> f64) -> (f64, f64) {
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for _ in 0..2 {
+        cdb_obs::set_metrics_enabled(true);
+        on.push(measure());
+        cdb_obs::set_metrics_enabled(false);
+        off.push(measure());
+    }
+    cdb_obs::set_metrics_enabled(true);
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    (avg(&on), avg(&off))
+}
+
+fn throughput_row(op: &str, ops_per_s: f64, commits: u64) {
+    eprintln!("  {op:<40} {ops_per_s:>10.0} commits/s");
+    push_record(Record {
+        op: op.to_owned(),
+        ns_per_iter: (1e9 / ops_per_s) as u128,
+        samples: commits as usize,
+        iters_per_sample: 1,
+        threads: Some(WRITERS),
+        batch_window_us: Some(WINDOW.as_micros() as u64),
+        ..Record::default()
+    });
+}
+
+fn overhead_row(op: &str, pct: f64) {
+    let verdict = if pct < 3.0 { "within" } else { "OVER" };
+    eprintln!("  {op:<40} {pct:>9.2} %   ({verdict} the 3% budget)");
+    push_record(Record {
+        op: op.to_owned(),
+        ns_per_iter: (pct.max(0.0) * 100.0).round() as u128,
+        samples: 1,
+        iters_per_sample: 1,
+        ..Record::default()
+    });
+}
+
+fn main() {
+    let (per_writer, join_iters) = if smoke_mode() { (3, 5) } else { (150, 300) };
+
+    eprintln!(
+        "\n== e18: commit throughput, metrics on vs off (4 writers, {SYNC_LATENCY:?} sync) =="
+    );
+    let (on, off) = alternated(|| group_throughput(per_writer));
+    let commits = WRITERS * per_writer;
+    throughput_row("e18_commit/w4/metrics_on", on, commits);
+    throughput_row("e18_commit/w4/metrics_off", off, commits);
+    // Throughput regression: how much slower "on" is than "off".
+    let commit_pct = (off - on) / off * 100.0;
+    overhead_row("e18_overhead/commit_w4_centipct", commit_pct);
+
+    cdb_obs::set_tracing(true);
+    let traced = group_throughput(per_writer);
+    cdb_obs::set_tracing(false);
+    throughput_row("e18_commit/w4/tracing_on", traced, commits);
+
+    eprintln!("\n== e18: hash-join latency, metrics on vs off ==");
+    let n: usize = if smoke_mode() { 300 } else { 5_000 };
+    let jcfg = JoinConfig {
+        left_rows: n,
+        right_rows: n,
+        key_cardinality: n,
+        payload_values: 1_000,
+    };
+    let jdb = join_tables(0xC0DB, &jcfg);
+    let nat = natural_join_query();
+    let (on_ns, off_ns) = alternated(|| join_ns(&jdb, &nat, join_iters));
+    eprintln!(
+        "  e18_join/metrics_on                      {:>10.1?}",
+        Duration::from_nanos(on_ns as u64)
+    );
+    eprintln!(
+        "  e18_join/metrics_off                     {:>10.1?}",
+        Duration::from_nanos(off_ns as u64)
+    );
+    push_record(Record {
+        op: "e18_join/metrics_on".to_owned(),
+        ns_per_iter: on_ns as u128,
+        samples: join_iters as usize,
+        iters_per_sample: 1,
+        ..Record::default()
+    });
+    push_record(Record {
+        op: "e18_join/metrics_off".to_owned(),
+        ns_per_iter: off_ns as u128,
+        samples: join_iters as usize,
+        iters_per_sample: 1,
+        ..Record::default()
+    });
+    // Latency regression: how much slower "on" is than "off".
+    let join_pct = (on_ns - off_ns) / off_ns * 100.0;
+    overhead_row("e18_overhead/join_centipct", join_pct);
+
+    write_json_report("obs_overhead", env!("CARGO_MANIFEST_DIR"));
+}

@@ -131,6 +131,10 @@ pub struct CuratedDatabase {
     /// What the last recovery saw, when this instance was opened from
     /// a WAL.
     pub(crate) recovery: Option<cdb_storage::RecoveryStats>,
+    /// The per-database metric registry (`Arc`-backed; snapshots made
+    /// by [`CuratedDatabase::clone_state`] share it, so counters keep
+    /// aggregating in one place while reads are served from copies).
+    pub(crate) metrics: cdb_obs::Metrics,
 }
 
 impl CuratedDatabase {
@@ -155,7 +159,24 @@ impl CuratedDatabase {
             persisted_events: 0,
             pending_frames: Vec::new(),
             recovery: None,
+            metrics: cdb_obs::Metrics::new(),
         }
+    }
+
+    /// The per-database metric registry. Storage handles created for
+    /// this database (the group-commit WAL, recovery) record here.
+    pub fn metrics(&self) -> &cdb_obs::Metrics {
+        &self.metrics
+    }
+
+    /// A point-in-time view of every metric this database can see: its
+    /// own registry merged with the process-global one (relational
+    /// engine timings, storage error counters). Counters add, gauges
+    /// take the maximum, histograms fold bucket-wise.
+    pub fn metrics_snapshot(&self) -> cdb_obs::MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.merge(&cdb_obs::global().snapshot());
+        snap
     }
 
     /// The database name.
@@ -548,6 +569,7 @@ impl CuratedDatabase {
             persisted_events: 0,
             pending_frames: Vec::new(),
             recovery: None,
+            metrics: self.metrics.clone(),
         }
     }
 }

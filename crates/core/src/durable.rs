@@ -254,7 +254,29 @@ impl CuratedDatabase {
         wal: WalRef,
         ckpt_io: Box<dyn Io>,
     ) -> Result<Self, DbError> {
+        Self::from_recovered_with_metrics(
+            name,
+            key_field,
+            rec,
+            wal,
+            ckpt_io,
+            cdb_obs::Metrics::new(),
+        )
+    }
+
+    /// [`CuratedDatabase::from_recovered`] with an externally-created
+    /// metric registry — [`crate::shared::SharedDb::open`] builds the
+    /// registry first so the group-commit WAL can record into it.
+    pub(crate) fn from_recovered_with_metrics(
+        name: String,
+        key_field: impl Into<String>,
+        rec: Recovered,
+        wal: WalRef,
+        ckpt_io: Box<dyn Io>,
+        metrics: cdb_obs::Metrics,
+    ) -> Result<Self, DbError> {
         let mut db = CuratedDatabase::new(name, key_field);
+        db.metrics = metrics;
         db.curated = rec.db;
         for aux in &rec.aux {
             match decode_aux(aux).map_err(StorageError::Wire)? {
@@ -274,6 +296,7 @@ impl CuratedDatabase {
         db.persisted_events = db.lifecycle.events().len();
         db.wal = Some(wal);
         db.ckpt_io = Some(ckpt_io);
+        rec.stats.record_to(&db.metrics);
         db.recovery = Some(rec.stats);
         Ok(db)
     }
@@ -353,6 +376,8 @@ impl CuratedDatabase {
                 "checkpoint on an in-memory database".into(),
             ));
         }
+        let _span = cdb_obs::SpanGuard::enter("core.checkpoint");
+        self.metrics.counter("core.checkpoints").inc();
         self.drain_pending()?;
         self.wal.as_mut().expect("checked durable above").sync()?;
         let ck = Checkpoint {
@@ -382,6 +407,7 @@ impl CuratedDatabase {
         if self.wal.is_none() {
             return Ok(());
         }
+        let _span = cdb_obs::SpanGuard::enter("core.persist_commit");
         let mut fresh: Vec<Vec<u8>> = self.lifecycle.events()
             [self.persisted_events.min(self.lifecycle.events().len())..]
             .iter()
@@ -409,6 +435,9 @@ impl CuratedDatabase {
                     .push((FRAME_COMMIT, cdb_storage::encode_commit(txn, &aux)));
             }
         }
+        self.metrics
+            .counter("core.commits")
+            .add((self.curated.log.len() - start) as u64);
         self.persisted_txns = self.curated.log.len();
         self.persisted_events = self.lifecycle.events().len();
         self.drain_pending()?;
@@ -425,6 +454,8 @@ impl CuratedDatabase {
         if self.wal.is_none() {
             return Ok(());
         }
+        let _span = cdb_obs::SpanGuard::enter("core.persist_publish");
+        self.metrics.counter("core.publishes").inc();
         let (txn, time, label) = self
             .publish_points
             .last()
@@ -444,6 +475,7 @@ impl CuratedDatabase {
         if self.wal.is_none() {
             return Ok(());
         }
+        self.metrics.counter("core.notes").inc();
         let note = self
             .notes
             .get(&(key.to_owned(), field.map(str::to_owned)))

@@ -58,6 +58,7 @@
 //! read-mostly workload amortizes (and the writer is paying a device
 //! sync anyway).
 
+use std::fmt;
 use std::ops::Deref;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -77,6 +78,39 @@ use crate::durable::{Durability, WalRef};
 /// invisible next to the sync itself.
 pub const DEFAULT_BATCH_WINDOW: Duration = Duration::from_micros(200);
 
+/// Pre-resolved serving-layer instruments (one registry lookup at
+/// construction; the write path touches only atomics).
+#[derive(Debug, Clone)]
+struct ServeInstruments {
+    writes: cdb_obs::Counter,
+    write_ns: cdb_obs::HistogramHandle,
+    snapshots: cdb_obs::Counter,
+}
+
+impl ServeInstruments {
+    fn resolve(m: &cdb_obs::Metrics) -> Self {
+        ServeInstruments {
+            writes: m.counter("core.shared.writes"),
+            write_ns: m.histogram("core.shared.write_ns"),
+            snapshots: m.counter("core.shared.snapshots"),
+        }
+    }
+}
+
+/// A periodic metrics export hook: invoked with a fresh snapshot every
+/// `every` acknowledged writes. Count-based rather than timer-based so
+/// it needs no background thread and stays deterministic under test.
+struct FlushHook {
+    every: u64,
+    hook: Box<dyn Fn(&cdb_obs::MetricsSnapshot) + Send + Sync>,
+}
+
+impl fmt::Debug for FlushHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FlushHook {{ every: {} }}", self.every)
+    }
+}
+
 #[derive(Debug)]
 struct SharedInner {
     db: Mutex<CuratedDatabase>,
@@ -85,6 +119,12 @@ struct SharedInner {
     cache: Mutex<(u64, Arc<CuratedDatabase>)>,
     /// The group-commit handle, when the database is durable.
     group: Option<GroupWal>,
+    /// The database's metric registry (shared with the inner
+    /// [`CuratedDatabase`]), kept here so [`SharedDb::metrics_snapshot`]
+    /// never has to take the database lock.
+    metrics: cdb_obs::Metrics,
+    instr: ServeInstruments,
+    flush: Mutex<Option<FlushHook>>,
 }
 
 /// A cloneable, thread-safe handle to a curated database. All clones
@@ -135,7 +175,7 @@ impl SharedDb {
     pub fn from_db(mut db: CuratedDatabase) -> Self {
         let group = match db.wal.take() {
             Some(WalRef::Owned(log)) => {
-                let group = GroupWal::new(log, DEFAULT_BATCH_WINDOW);
+                let group = GroupWal::with_metrics(log, DEFAULT_BATCH_WINDOW, db.metrics());
                 db.wal = Some(WalRef::Shared(group.clone()));
                 Some(group)
             }
@@ -149,12 +189,17 @@ impl SharedDb {
         if group.is_some() {
             db.set_durability(Durability::Batched);
         }
+        let metrics = db.metrics().clone();
+        let instr = ServeInstruments::resolve(&metrics);
         let snapshot = Arc::new(db.clone_state());
         SharedDb {
             inner: Arc::new(SharedInner {
                 db: Mutex::new(db),
                 cache: Mutex::new((0, snapshot)),
                 group,
+                metrics,
+                instr,
+                flush: Mutex::new(None),
             }),
         }
     }
@@ -172,21 +217,27 @@ impl SharedDb {
         let name = name.into();
         let ck = read_checkpoint(ckpt_io.as_mut())?;
         let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
-        let group = GroupWal::new(log, window);
-        let mut db = CuratedDatabase::from_recovered(
+        let metrics = cdb_obs::Metrics::new();
+        let group = GroupWal::with_metrics(log, window, &metrics);
+        let mut db = CuratedDatabase::from_recovered_with_metrics(
             name,
             key_field,
             rec,
             WalRef::Shared(group.clone()),
             ckpt_io,
+            metrics.clone(),
         )?;
         db.set_durability(Durability::Batched);
+        let instr = ServeInstruments::resolve(&metrics);
         let snapshot = Arc::new(db.clone_state());
         Ok(SharedDb {
             inner: Arc::new(SharedInner {
                 db: Mutex::new(db),
                 cache: Mutex::new((0, snapshot)),
                 group: Some(group),
+                metrics,
+                instr,
+                flush: Mutex::new(None),
             }),
         })
     }
@@ -239,6 +290,12 @@ impl SharedDb {
         &self,
         op: impl FnOnce(&mut CuratedDatabase) -> Result<R, DbError>,
     ) -> Result<R, DbError> {
+        // Every write is a trace root: the spans the op opens below —
+        // persist, group commit, device sync — inherit this id, so
+        // `cdbsh profile` can cut one transaction's path out of the
+        // ring buffers.
+        let _trace = cdb_obs::trace_root();
+        let span = cdb_obs::SpanGuard::enter("core.shared.write");
         let mut db = self.lock_db();
         let out = op(&mut db);
         let seq = self.inner.group.as_ref().map(|g| g.appended_seq());
@@ -248,14 +305,35 @@ impl SharedDb {
             if let (Some(group), Some(seq)) = (self.inner.group.as_ref(), seq) {
                 group.commit(seq)?;
             }
+            self.inner.instr.writes.inc();
+            self.inner.instr.write_ns.observe(span.elapsed());
+            self.maybe_flush();
         }
         out
+    }
+
+    /// Runs the periodic flush hook if one is due (see
+    /// [`SharedDb::set_metrics_flush`]).
+    fn maybe_flush(&self) {
+        let guard = self
+            .inner
+            .flush
+            .lock()
+            .expect("a writer panicked inside a metrics flush hook");
+        if let Some(fh) = guard.as_ref() {
+            let writes = self.inner.instr.writes.get();
+            if fh.every > 0 && writes.is_multiple_of(fh.every) {
+                (fh.hook)(&self.metrics_snapshot());
+            }
+        }
     }
 
     /// An immutable view of the latest committed state. O(1): one
     /// lock-protected `Arc` clone, no copying. Reads on the returned
     /// snapshot take no locks and are never blocked by writers.
     pub fn snapshot(&self) -> Snapshot {
+        let _span = cdb_obs::SpanGuard::enter("core.shared.snapshot");
+        self.inner.instr.snapshots.inc();
         let cache = self
             .inner
             .cache
@@ -383,6 +461,39 @@ impl SharedDb {
     /// Group-commit counters, when durable (`None` for in-memory).
     pub fn group_stats(&self) -> Option<GroupCommitStats> {
         self.inner.group.as_ref().map(|g| g.stats())
+    }
+
+    // -------------------------------------------------- observability
+
+    /// A point-in-time view of every metric this database can see (its
+    /// registry merged with the process-global one), without taking
+    /// the database lock.
+    pub fn metrics_snapshot(&self) -> cdb_obs::MetricsSnapshot {
+        let mut snap = self.inner.metrics.snapshot();
+        snap.merge(&cdb_obs::global().snapshot());
+        snap
+    }
+
+    /// Installs (or, with `every == 0`, removes) the periodic metrics
+    /// flush hook: after every `every`-th acknowledged write, `hook` is
+    /// called with a fresh [`cdb_obs::MetricsSnapshot`] — the intended
+    /// place to ship line-JSON (`cdb_obs::export::line_json`) to a
+    /// collector. Runs on the committing writer's thread, outside the
+    /// database lock.
+    pub fn set_metrics_flush(
+        &self,
+        every: u64,
+        hook: impl Fn(&cdb_obs::MetricsSnapshot) + Send + Sync + 'static,
+    ) {
+        let mut guard = self
+            .inner
+            .flush
+            .lock()
+            .expect("a writer panicked inside a metrics flush hook");
+        *guard = (every > 0).then(|| FlushHook {
+            every,
+            hook: Box::new(hook),
+        });
     }
 
     /// The group-commit batch window, when durable.

@@ -1,0 +1,242 @@
+//! Exporters: a human text table and a line-JSON dump for metric
+//! snapshots, plus the span-tree renderer behind `cdbsh profile`.
+
+use crate::{HistogramSnapshot, MetricsSnapshot, SpanEvent};
+use std::fmt::Write as _;
+
+/// Renders a duration in nanoseconds with a human unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn hist_row(name: &str, h: &HistogramSnapshot) -> String {
+    format!(
+        "  {:<40} n={:<8} mean={:<9} p50={:<9} p95={:<9} p99={:<9} max={}",
+        name,
+        h.count,
+        fmt_ns(h.mean()),
+        fmt_ns(h.p50()),
+        fmt_ns(h.p95()),
+        fmt_ns(h.p99()),
+        fmt_ns(h.max),
+    )
+}
+
+/// The human-readable `cdbsh stats` table: counters, gauges, then
+/// histograms with quantile estimates. Instruments with no recorded
+/// activity are omitted.
+pub fn text_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let counters: Vec<_> = snap.counters.iter().filter(|(_, &v)| v > 0).collect();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for (k, v) in counters {
+            let _ = writeln!(out, "  {k:<40} {v}");
+        }
+    }
+    let gauges: Vec<_> = snap.gauges.iter().filter(|(_, &v)| v > 0).collect();
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (k, v) in gauges {
+            let _ = writeln!(out, "  {k:<40} {v}");
+        }
+    }
+    let hists: Vec<_> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !hists.is_empty() {
+        out.push_str("histograms (ns):\n");
+        for (k, h) in hists {
+            out.push_str(&hist_row(k, h));
+            out.push('\n');
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A machine-readable dump: one JSON object per line, stable key order,
+/// no trailing commas — greppable and `jq`-friendly without pulling in
+/// a serializer.
+pub fn line_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (k, v) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(k)
+        );
+    }
+    for (k, v) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}",
+            json_escape(k)
+        );
+    }
+    for (k, h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json_escape(k),
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+        );
+    }
+    out
+}
+
+/// Renders span events as an indented tree for `cdbsh profile` /
+/// `trace show`. Events are grouped by thread and ordered by start
+/// time; indentation follows recorded nesting depth; the offset column
+/// is relative to the earliest event shown.
+pub fn span_tree(events: &[SpanEvent]) -> String {
+    if events.is_empty() {
+        return "(no spans captured)\n".to_owned();
+    }
+    let mut evs: Vec<&SpanEvent> = events.iter().collect();
+    evs.sort_by_key(|e| (e.thread, e.start_ns, e.depth));
+    let base = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    let mut out = String::new();
+    let mut cur_thread = u64::MAX;
+    for e in evs {
+        if e.thread != cur_thread {
+            cur_thread = e.thread;
+            let _ = writeln!(out, "thread {cur_thread}:");
+        }
+        let indent = "  ".repeat(e.depth as usize + 1);
+        let _ = write!(
+            out,
+            "{indent}{:<w$} {:>9}  +{}",
+            e.name,
+            fmt_ns(e.dur_ns),
+            fmt_ns(e.start_ns - base),
+            w = 36usize.saturating_sub(indent.len()),
+        );
+        if e.attr != 0 {
+            let _ = write!(out, "  [{}]", e.attr);
+        }
+        if e.trace != 0 {
+            let _ = write!(out, "  (t{})", e.trace);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn text_table_shows_active_instruments() {
+        let _g = crate::test_flag_lock();
+        let m = Metrics::new();
+        m.counter("core.commits").add(3);
+        m.gauge("storage.group.max_batch").record_max(4);
+        m.histogram("storage.wal.sync_ns").record(1_000_000);
+        let t = text_table(&m.snapshot());
+        assert!(t.contains("core.commits"));
+        assert!(t.contains("storage.group.max_batch"));
+        assert!(t.contains("storage.wal.sync_ns"));
+        assert!(t.contains("p99="));
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        assert!(text_table(&MetricsSnapshot::default()).contains("no metrics"));
+    }
+
+    #[test]
+    fn line_json_one_object_per_line() {
+        let _g = crate::test_flag_lock();
+        let m = Metrics::new();
+        m.counter("a").add(1);
+        m.histogram("h").record(7);
+        let j = line_json(&m.snapshot());
+        for line in j.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(j.contains("\"type\":\"counter\",\"name\":\"a\",\"value\":1"));
+        assert!(j.contains("\"type\":\"histogram\",\"name\":\"h\""));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn span_tree_indents_by_depth() {
+        let evs = vec![
+            SpanEvent {
+                name: "core.write",
+                trace: 7,
+                start_ns: 100,
+                dur_ns: 5_000,
+                attr: 0,
+                thread: 0,
+                depth: 0,
+            },
+            SpanEvent {
+                name: "storage.wal.sync",
+                trace: 7,
+                start_ns: 200,
+                dur_ns: 3_000,
+                attr: 2,
+                thread: 0,
+                depth: 1,
+            },
+        ];
+        let t = span_tree(&evs);
+        assert!(t.contains("thread 0:"));
+        assert!(t.contains("core.write"));
+        assert!(t.contains("    storage.wal.sync"));
+        assert!(t.contains("[2]"));
+        assert!(t.contains("(t7)"));
+        assert!(span_tree(&[]).contains("no spans"));
+    }
+}

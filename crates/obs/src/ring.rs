@@ -1,0 +1,243 @@
+//! Bounded per-thread ring buffers of recent span events.
+//!
+//! Each thread that emits spans owns one ring of [`RING_CAPACITY`]
+//! slots; the owning thread is the *only* writer, so emission is
+//! wait-free. Readers (the `cdbsh trace show` / `profile` commands) may
+//! run on any thread concurrently: every slot is a seqlock — a
+//! sequence word that goes odd while the writer is mid-update and even
+//! when stable, bracketing fields that are themselves plain atomics
+//! (this crate forbids `unsafe`, so there is no UB to guard against;
+//! the seqlock only keeps readers from stitching two different events
+//! together). A reader that observes an unstable or changed sequence
+//! skips that slot rather than blocking the writer.
+//!
+//! Span names are `&'static str` literals interned to small ids so a
+//! slot is seven plain `u64`s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Events retained per thread. Oldest are overwritten.
+pub const RING_CAPACITY: usize = 256;
+
+/// One completed span, as read back from a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (`layer.component.metric`).
+    pub name: &'static str,
+    /// Trace id, `0` when the span ran outside any trace root.
+    pub trace: u64,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Site-specific attribute (row count, txn id, batch size…).
+    pub attr: u64,
+    /// Id of the emitting thread (dense, assigned at first emission).
+    pub thread: u64,
+    /// Nesting depth below the trace root on the emitting thread.
+    pub depth: u32,
+}
+
+// ------------------------------------------------------ name interning
+
+/// Interning table: id → name (dense) plus name → id (lookup).
+type NameTable = (
+    Vec<&'static str>,
+    std::collections::BTreeMap<&'static str, u64>,
+);
+
+fn names() -> &'static RwLock<NameTable> {
+    static NAMES: OnceLock<RwLock<NameTable>> = OnceLock::new();
+    NAMES.get_or_init(|| RwLock::new((Vec::new(), std::collections::BTreeMap::new())))
+}
+
+fn intern(name: &'static str) -> u64 {
+    if let Some(&id) = names().read().expect("name table poisoned").1.get(name) {
+        return id;
+    }
+    let mut w = names().write().expect("name table poisoned");
+    if let Some(&id) = w.1.get(name) {
+        return id;
+    }
+    let id = w.0.len() as u64;
+    w.0.push(name);
+    w.1.insert(name, id);
+    id
+}
+
+fn name_of(id: u64) -> Option<&'static str> {
+    names()
+        .read()
+        .expect("name table poisoned")
+        .0
+        .get(id as usize)
+        .copied()
+}
+
+// ------------------------------------------------------------- slots
+
+#[derive(Default)]
+struct Slot {
+    /// Seqlock word: odd while the writer is mid-update.
+    seq: AtomicU64,
+    name: AtomicU64,
+    trace: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+    attr: AtomicU64,
+    depth: AtomicU64,
+}
+
+struct ThreadRing {
+    thread: u64,
+    /// Total events ever pushed; `head % RING_CAPACITY` is the next slot.
+    head: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl ThreadRing {
+    fn new(thread: u64) -> ThreadRing {
+        ThreadRing {
+            thread,
+            head: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Writer side — called only by the owning thread.
+    fn push(&self, ev: &SpanEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h as usize) % RING_CAPACITY];
+        let seq = slot.seq.load(Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Release); // odd: in progress
+        slot.name.store(intern(ev.name), Ordering::Release);
+        slot.trace.store(ev.trace, Ordering::Release);
+        slot.start_ns.store(ev.start_ns, Ordering::Release);
+        slot.dur_ns.store(ev.dur_ns, Ordering::Release);
+        slot.attr.store(ev.attr, Ordering::Release);
+        slot.depth.store(ev.depth as u64, Ordering::Release);
+        slot.seq.store(seq + 2, Ordering::Release); // even: stable
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Reader side — any thread. Unstable slots are skipped, never
+    /// blocked on.
+    fn read_all(&self) -> Vec<SpanEvent> {
+        let h = self.head.load(Ordering::Acquire);
+        let count = (h as usize).min(RING_CAPACITY);
+        let mut out = Vec::with_capacity(count);
+        for logical in (h - count as u64)..h {
+            let slot = &self.slots[(logical as usize) % RING_CAPACITY];
+            for _ in 0..4 {
+                let s1 = slot.seq.load(Ordering::Acquire);
+                if s1 % 2 == 1 {
+                    continue; // writer mid-update; retry
+                }
+                let ev = SpanEvent {
+                    name: match name_of(slot.name.load(Ordering::Acquire)) {
+                        Some(n) => n,
+                        None => break,
+                    },
+                    trace: slot.trace.load(Ordering::Acquire),
+                    start_ns: slot.start_ns.load(Ordering::Acquire),
+                    dur_ns: slot.dur_ns.load(Ordering::Acquire),
+                    attr: slot.attr.load(Ordering::Acquire),
+                    thread: self.thread,
+                    depth: slot.depth.load(Ordering::Acquire) as u32,
+                };
+                if slot.seq.load(Ordering::Acquire) == s1 {
+                    out.push(ev);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------- registry
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadRing>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadRing>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: std::cell::OnceCell<Arc<ThreadRing>> = const { std::cell::OnceCell::new() };
+}
+
+/// Appends a completed span to the calling thread's ring (creating and
+/// registering the ring on first use). `ev.thread` is overwritten with
+/// the ring's thread id.
+pub(crate) fn push(ev: SpanEvent) {
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let mut reg = registry().lock().expect("ring registry poisoned");
+            let ring = Arc::new(ThreadRing::new(reg.len() as u64));
+            reg.push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(&ev);
+    });
+}
+
+/// Every stable event currently retained, across all threads that ever
+/// emitted, ordered by start time. Rings of exited threads are kept —
+/// their last [`RING_CAPACITY`] events stay readable.
+pub fn recent_events() -> Vec<SpanEvent> {
+    let rings: Vec<Arc<ThreadRing>> = registry()
+        .lock()
+        .expect("ring registry poisoned")
+        .iter()
+        .cloned()
+        .collect();
+    let mut out: Vec<SpanEvent> = rings.iter().flat_map(|r| r.read_all()).collect();
+    out.sort_by_key(|e| (e.start_ns, e.thread, e.depth));
+    out
+}
+
+/// Retained events belonging to one trace, ordered by start time.
+pub fn events_for_trace(trace: crate::TraceId) -> Vec<SpanEvent> {
+    let mut out = recent_events();
+    out.retain(|e| e.trace == trace.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_capacity_events() {
+        let ring = ThreadRing::new(42);
+        let total = RING_CAPACITY as u64 + 10;
+        for i in 0..total {
+            ring.push(&SpanEvent {
+                name: "test.ring.ev",
+                trace: 1,
+                start_ns: i,
+                dur_ns: 1,
+                attr: i,
+                thread: 0,
+                depth: 0,
+            });
+        }
+        let evs = ring.read_all();
+        assert_eq!(evs.len(), RING_CAPACITY);
+        let attrs: Vec<u64> = evs.iter().map(|e| e.attr).collect();
+        let want: Vec<u64> = (10..total).collect();
+        assert_eq!(attrs, want);
+        assert!(evs.iter().all(|e| e.thread == 42));
+    }
+
+    #[test]
+    fn interning_round_trips() {
+        let a = intern("test.intern.a");
+        let b = intern("test.intern.b");
+        assert_ne!(a, b);
+        assert_eq!(intern("test.intern.a"), a);
+        assert_eq!(name_of(a), Some("test.intern.a"));
+        assert_eq!(name_of(u64::MAX), None);
+    }
+}

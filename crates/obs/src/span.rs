@@ -1,0 +1,212 @@
+//! Structured spans: RAII-timed scopes that carry a trace id from the
+//! serving entry point down to the device sync.
+//!
+//! A [`TraceGuard`] (from [`trace_root`]) installs a fresh trace id in
+//! thread-local state; every [`SpanGuard`] opened underneath inherits
+//! it, times its scope, and — when tracing is enabled — emits a
+//! [`crate::SpanEvent`] into the per-thread ring buffer on drop. Spans
+//! *always* time (operator statistics need elapsed regardless of trace
+//! state); only the ring emission is gated, so `trace off` costs one
+//! relaxed atomic load per span beyond the `Instant` read the caller
+//! needed anyway.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Identifies one request's path through the stack. `0` is reserved
+/// for "no trace" and never allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    static CURRENT_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The trace id installed on this thread, if any.
+pub fn current_trace() -> Option<TraceId> {
+    let id = CURRENT_TRACE.with(|c| c.get());
+    (id != 0).then_some(TraceId(id))
+}
+
+/// The process-relative monotonic epoch span start times are measured
+/// against, so events from different threads order correctly.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Installs a trace id on this thread for the guard's lifetime. If the
+/// thread already carries a trace (e.g. a `profile` session wrapping a
+/// write), the guard **joins** it rather than starting a new one, so
+/// every span along the request path shares one id; otherwise a fresh
+/// id is allocated and removed again on drop. Entry points —
+/// `SharedDb::write`, `SharedDb::snapshot`, `recover` — call this;
+/// inner layers only open [`SpanGuard`]s.
+pub fn trace_root() -> TraceGuard {
+    let prev = CURRENT_TRACE.with(|c| c.get());
+    if prev != 0 {
+        return TraceGuard {
+            id: TraceId(prev),
+            prev,
+        };
+    }
+    let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+    CURRENT_TRACE.with(|c| c.set(id));
+    TraceGuard {
+        id: TraceId(id),
+        prev,
+    }
+}
+
+/// RAII holder for a thread's current trace id (see [`trace_root`]).
+#[derive(Debug)]
+pub struct TraceGuard {
+    id: TraceId,
+    prev: u64,
+}
+
+impl TraceGuard {
+    /// The trace id this guard installed.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// An RAII-timed scope. Construct with [`SpanGuard::enter`] or the
+/// [`span!`](crate::span!) macro; the scope's duration is available
+/// live via [`elapsed`](SpanGuard::elapsed) and is emitted to the ring
+/// buffer on drop when tracing is on.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+    attr: u64,
+    trace: u64,
+    depth: u32,
+}
+
+impl SpanGuard {
+    /// Opens a span with no attribute. `name` follows the
+    /// `layer.component.metric` convention and must be a literal so
+    /// ring slots can store an interned id.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        SpanGuard::with_attr(name, 0)
+    }
+
+    /// Opens a span carrying one numeric attribute (row count, txn id,
+    /// batch size — whatever the site finds most useful).
+    pub fn with_attr(name: &'static str, attr: u64) -> SpanGuard {
+        let depth = CURRENT_DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        let start = Instant::now();
+        SpanGuard {
+            name,
+            start,
+            start_ns: start.saturating_duration_since(epoch()).as_nanos() as u64,
+            attr,
+            trace: CURRENT_TRACE.with(|c| c.get()),
+            depth,
+        }
+    }
+
+    /// Time since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Replaces the span's attribute (e.g. a row count known only at
+    /// the end of the scope).
+    pub fn set_attr(&mut self, attr: u64) {
+        self.attr = attr;
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        CURRENT_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if crate::tracing_enabled() {
+            crate::ring::push(crate::SpanEvent {
+                name: self.name,
+                trace: self.trace,
+                start_ns: self.start_ns,
+                dur_ns: self.start.elapsed().as_nanos() as u64,
+                attr: self.attr,
+                thread: 0, // filled in by the ring
+                depth: self.depth,
+            });
+        }
+    }
+}
+
+/// Opens a [`SpanGuard`] — `span!("storage.wal.sync")` or
+/// `span!("relalg.op.join", rows)`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $attr:expr) => {
+        $crate::SpanGuard::with_attr($name, $attr as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roots_join_an_ambient_trace() {
+        assert_eq!(current_trace(), None);
+        let outer = trace_root();
+        assert_eq!(current_trace(), Some(outer.id()));
+        {
+            // A nested entry point joins the ambient trace instead of
+            // fragmenting the request across two ids.
+            let inner = trace_root();
+            assert_eq!(inner.id(), outer.id());
+            assert_eq!(current_trace(), Some(outer.id()));
+        }
+        assert_eq!(current_trace(), Some(outer.id()));
+        drop(outer);
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn spans_time_without_tracing() {
+        let mut s = span!("test.span.timed", 7);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(s.elapsed() >= Duration::from_millis(1));
+        s.set_attr(9);
+        assert_eq!(s.name(), "test.span.timed");
+    }
+
+    #[test]
+    fn depth_tracks_nesting() {
+        let a = SpanGuard::enter("test.depth.a");
+        let b = SpanGuard::enter("test.depth.b");
+        assert_eq!(a.depth + 1, b.depth);
+        drop(b);
+        let c = SpanGuard::enter("test.depth.c");
+        assert_eq!(a.depth + 1, c.depth);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property and concurrency tests for the observability layer.
+//!
+//! 1. Histogram quantiles are *conservative*: the fixed power-of-two
+//!    bucket layout means a reported quantile is always an upper bound
+//!    on the true (sorted-order) quantile, and never more than 2× it —
+//!    the price of 66 fixed buckets instead of a reservoir.
+//! 2. Concurrent span emission into the per-thread seqlock rings never
+//!    panics and never loses the most recent `RING_CAPACITY` events of
+//!    any thread.
+
+use proptest::prelude::*;
+
+use cdb_obs::{Metrics, RING_CAPACITY};
+
+/// True quantile per the histogram's rank rule: the smallest sample
+/// such that `ceil(q * n)` samples are ≤ it.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// For arbitrary sample sets and quantiles, the recorded histogram
+    /// brackets the true quantile: `true ≤ reported ≤ max(2·true, 1)`.
+    #[test]
+    fn histogram_quantiles_bound_true_quantiles(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..200),
+        q_pct in 1u64..101,
+    ) {
+        let reg = Metrics::new();
+        let h = reg.histogram("test.prop.quantile");
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let q = q_pct as f64 / 100.0;
+        let t = true_quantile(&sorted, q);
+        let r = snap.quantile(q);
+        prop_assert!(r >= t, "reported {r} < true {t} at q={q}");
+        prop_assert!(r <= 2u64.saturating_mul(t).max(1), "reported {r} > 2×true {t} at q={q}");
+    }
+}
+
+#[test]
+fn concurrent_span_emission_keeps_each_threads_recent_events() {
+    let threads: usize = std::env::var("CDB_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    const SPANS_PER_THREAD: usize = 400; // > RING_CAPACITY: forces wraparound
+
+    cdb_obs::set_tracing(true);
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    let _s =
+                        cdb_obs::SpanGuard::with_attr("test.ring.mt", (t * 1_000_000 + i) as u64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("a span-emitting thread panicked");
+    }
+    cdb_obs::set_tracing(false);
+
+    let events = cdb_obs::recent_events();
+    let keep = SPANS_PER_THREAD.min(RING_CAPACITY);
+    for t in 0..threads {
+        for i in SPANS_PER_THREAD - keep..SPANS_PER_THREAD {
+            let attr = (t * 1_000_000 + i) as u64;
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.name == "test.ring.mt" && e.attr == attr),
+                "thread {t} lost recent span {i} (attr {attr})"
+            );
+        }
+    }
+}

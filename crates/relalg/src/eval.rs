@@ -12,7 +12,17 @@ pub fn eval(db: &Database, expr: &RaExpr) -> Result<Relation, RelalgError> {
     Ok(rel)
 }
 
+/// Recursive entry point: wraps every node in a `relalg.op.*` span (the
+/// same taxonomy the hash-join engine uses), carrying the output row
+/// count as the span attribute.
 fn eval_raw(db: &Database, expr: &RaExpr) -> Result<Relation, RelalgError> {
+    let mut span = cdb_obs::SpanGuard::enter(crate::exec::span_name(expr));
+    let rel = eval_node(db, expr)?;
+    span.set_attr(rel.len() as u64);
+    Ok(rel)
+}
+
+fn eval_node(db: &Database, expr: &RaExpr) -> Result<Relation, RelalgError> {
     match expr {
         RaExpr::Scan(name) => Ok(db.get(name)?.clone()),
         RaExpr::ScanAs(name, alias) => {

@@ -31,7 +31,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use cdb_obs::SpanGuard;
 
 use cdb_model::Atom;
 
@@ -260,35 +262,36 @@ pub struct OpStats {
 }
 
 impl OpStats {
-    fn leaf(op: impl Into<String>, rows_out: usize, started: Instant) -> Self {
+    fn leaf(op: impl Into<String>, rows_out: usize, span: &mut SpanGuard) -> Self {
+        span.set_attr(rows_out as u64);
         OpStats {
             op: op.into(),
             rows_out,
             build_rows: None,
             probe_rows: None,
             partitions: None,
-            elapsed: started.elapsed(),
+            elapsed: span.elapsed(),
             children: Vec::new(),
         }
     }
 
-    fn unary(op: impl Into<String>, rows_out: usize, started: Instant, child: OpStats) -> Self {
+    fn unary(op: impl Into<String>, rows_out: usize, span: &mut SpanGuard, child: OpStats) -> Self {
         OpStats {
             children: vec![child],
-            ..OpStats::leaf(op, rows_out, started)
+            ..OpStats::leaf(op, rows_out, span)
         }
     }
 
     fn binary(
         op: impl Into<String>,
         rows_out: usize,
-        started: Instant,
+        span: &mut SpanGuard,
         l: OpStats,
         r: OpStats,
     ) -> Self {
         OpStats {
             children: vec![l, r],
-            ..OpStats::leaf(op, rows_out, started)
+            ..OpStats::leaf(op, rows_out, span)
         }
     }
 
@@ -369,8 +372,13 @@ pub fn eval_with_stats(
     expr: &RaExpr,
     cfg: &ExecConfig,
 ) -> Result<(Relation, ExecStats), RelalgError> {
+    let mut span = SpanGuard::enter("relalg.eval");
     let (mut rel, root) = eval_node(db, expr, cfg)?;
     rel.dedup();
+    span.set_attr(rel.len() as u64);
+    let m = cdb_obs::global();
+    m.counter("relalg.eval.count").inc();
+    m.histogram("relalg.eval.ns").observe(span.elapsed());
     Ok((rel, ExecStats { root }))
 }
 
@@ -381,23 +389,41 @@ pub fn eval_hash(db: &Database, expr: &RaExpr, cfg: &ExecConfig) -> Result<Relat
     eval_with_stats(db, expr, cfg).map(|(rel, _)| rel)
 }
 
+/// The span name for a node — span names are interned `&'static str`
+/// literals, so the dynamic operator label lives only in [`OpStats`].
+/// Shared with the set-semantics interpreter in `eval.rs` so both
+/// engines profile under the same taxonomy.
+pub(crate) fn span_name(expr: &RaExpr) -> &'static str {
+    match expr {
+        RaExpr::Scan(_) => "relalg.op.scan",
+        RaExpr::ScanAs(..) => "relalg.op.scan_as",
+        RaExpr::Select(..) => "relalg.op.select",
+        RaExpr::Project(..) => "relalg.op.project",
+        RaExpr::Product(..) => "relalg.op.product",
+        RaExpr::NaturalJoin(..) => "relalg.op.join",
+        RaExpr::Union(..) => "relalg.op.union",
+        RaExpr::Diff(..) => "relalg.op.diff",
+        RaExpr::Rename(..) => "relalg.op.rename",
+    }
+}
+
 fn eval_node(
     db: &Database,
     expr: &RaExpr,
     cfg: &ExecConfig,
 ) -> Result<(Relation, OpStats), RelalgError> {
-    let started = Instant::now();
+    let mut span = SpanGuard::enter(span_name(expr));
     match expr {
         RaExpr::Scan(name) => {
             let rel = db.get(name)?.clone();
-            let stats = OpStats::leaf(format!("Scan {name}"), rel.len(), started);
+            let stats = OpStats::leaf(format!("Scan {name}"), rel.len(), &mut span);
             Ok((rel, stats))
         }
         RaExpr::ScanAs(name, alias) => {
             let base = db.get(name)?;
             let schema = base.schema().qualified(alias);
             let rel = Relation::from_rows(schema, base.tuples().iter().cloned())?;
-            let stats = OpStats::leaf(format!("Scan {name} AS {alias}"), rel.len(), started);
+            let stats = OpStats::leaf(format!("Scan {name} AS {alias}"), rel.len(), &mut span);
             Ok((rel, stats))
         }
         RaExpr::Select(e, pred) => {
@@ -416,17 +442,17 @@ fn eval_node(
                     )?;
                     if let Some(ej) = recognize_equi_join(&combined, left.schema().arity(), pred) {
                         return hash_equi_join(
-                            &left, &right, combined, pred, &ej, cfg, started, lstats, rstats,
+                            &left, &right, combined, pred, &ej, cfg, &mut span, lstats, rstats,
                         );
                     }
                     // No cross-side equality: plain product, then filter.
                     let (prod, pstats) =
-                        product_of(&left, &right, combined, started, lstats, rstats)?;
-                    return filter_of(prod, pred, started, pstats);
+                        product_of(&left, &right, combined, &mut span, lstats, rstats)?;
+                    return filter_of(prod, pred, &mut span, pstats);
                 }
             }
             let (input, istats) = eval_node(db, e, cfg)?;
-            filter_of(input, pred, started, istats)
+            filter_of(input, pred, &mut span, istats)
         }
         RaExpr::Project(e, items) => {
             let (input, istats) = eval_node(db, e, cfg)?;
@@ -442,7 +468,7 @@ fn eval_node(
                 }
                 out.insert(row)?;
             }
-            let stats = OpStats::unary("Project π", out.len(), started, istats);
+            let stats = OpStats::unary("Project π", out.len(), &mut span, istats);
             Ok((out, stats))
         }
         RaExpr::Product(a, b) => {
@@ -455,16 +481,16 @@ fn eval_node(
                     .chain(right.schema().attrs())
                     .cloned(),
             )?;
-            product_of(&left, &right, combined, started, lstats, rstats)
+            product_of(&left, &right, combined, &mut span, lstats, rstats)
         }
         RaExpr::NaturalJoin(a, b) => {
             let (left, lstats) = eval_node(db, a, cfg)?;
             let (right, rstats) = eval_node(db, b, cfg)?;
             let shared = crate::eval::shared_attrs(left.schema(), right.schema());
             if cfg.hash_join && !shared.is_empty() {
-                hash_natural_join(&left, &right, &shared, cfg, started, lstats, rstats)
+                hash_natural_join(&left, &right, &shared, cfg, &mut span, lstats, rstats)
             } else {
-                loop_natural_join(&left, &right, &shared, started, lstats, rstats)
+                loop_natural_join(&left, &right, &shared, &mut span, lstats, rstats)
             }
         }
         RaExpr::Union(a, b) => {
@@ -480,7 +506,7 @@ fn eval_node(
             for t in right.tuples() {
                 out.insert(t.clone())?;
             }
-            let stats = OpStats::binary("Union ∪", out.len(), started, lstats, rstats);
+            let stats = OpStats::binary("Union ∪", out.len(), &mut span, lstats, rstats);
             Ok((out, stats))
         }
         RaExpr::Diff(a, b) => {
@@ -499,7 +525,7 @@ fn eval_node(
                     out.insert(t.clone())?;
                 }
             }
-            let stats = OpStats::binary("Diff −", out.len(), started, lstats, rstats);
+            let stats = OpStats::binary("Diff −", out.len(), &mut span, lstats, rstats);
             Ok((out, stats))
         }
         RaExpr::Rename(e, pairs) => {
@@ -510,7 +536,7 @@ fn eval_node(
                 attrs[i] = new.clone();
             }
             let rel = Relation::from_rows(Schema::new(attrs)?, input.tuples().iter().cloned())?;
-            let stats = OpStats::unary("Rename ρ", rel.len(), started, istats);
+            let stats = OpStats::unary("Rename ρ", rel.len(), &mut span, istats);
             Ok((rel, stats))
         }
     }
@@ -519,7 +545,7 @@ fn eval_node(
 fn filter_of(
     input: Relation,
     pred: &Pred,
-    started: Instant,
+    span: &mut SpanGuard,
     istats: OpStats,
 ) -> Result<(Relation, OpStats), RelalgError> {
     let mut out = Relation::empty(input.schema().clone());
@@ -528,7 +554,7 @@ fn filter_of(
             out.insert(t.clone())?;
         }
     }
-    let stats = OpStats::unary(format!("Select σ[{pred}]"), out.len(), started, istats);
+    let stats = OpStats::unary(format!("Select σ[{pred}]"), out.len(), span, istats);
     Ok((out, stats))
 }
 
@@ -536,7 +562,7 @@ fn product_of(
     left: &Relation,
     right: &Relation,
     combined: Schema,
-    started: Instant,
+    span: &mut SpanGuard,
     lstats: OpStats,
     rstats: OpStats,
 ) -> Result<(Relation, OpStats), RelalgError> {
@@ -548,7 +574,7 @@ fn product_of(
             out.insert(row)?;
         }
     }
-    let stats = OpStats::binary("Product ×", out.len(), started, lstats, rstats);
+    let stats = OpStats::binary("Product ×", out.len(), span, lstats, rstats);
     Ok((out, stats))
 }
 
@@ -560,7 +586,7 @@ fn hash_equi_join(
     pred: &Pred,
     ej: &EquiJoin,
     cfg: &ExecConfig,
-    started: Instant,
+    span: &mut SpanGuard,
     lstats: OpStats,
     rstats: OpStats,
 ) -> Result<(Relation, OpStats), RelalgError> {
@@ -598,7 +624,7 @@ fn hash_equi_join(
         build_rows: Some(right.len()),
         probe_rows: Some(left.len()),
         partitions: Some(matches.partitions),
-        ..OpStats::binary(label, out.len(), started, lstats, rstats)
+        ..OpStats::binary(label, out.len(), span, lstats, rstats)
     };
     Ok((out, stats))
 }
@@ -630,7 +656,7 @@ fn hash_natural_join(
     right: &Relation,
     shared: &[(usize, usize)],
     cfg: &ExecConfig,
-    started: Instant,
+    span: &mut SpanGuard,
     lstats: OpStats,
     rstats: OpStats,
 ) -> Result<(Relation, OpStats), RelalgError> {
@@ -658,7 +684,7 @@ fn hash_natural_join(
         ..OpStats::binary(
             format!("HashNaturalJoin[{}]", keys.join(",")),
             out.len(),
-            started,
+            span,
             lstats,
             rstats,
         )
@@ -670,7 +696,7 @@ fn loop_natural_join(
     left: &Relation,
     right: &Relation,
     shared: &[(usize, usize)],
-    started: Instant,
+    span: &mut SpanGuard,
     lstats: OpStats,
     rstats: OpStats,
 ) -> Result<(Relation, OpStats), RelalgError> {
@@ -685,7 +711,7 @@ fn loop_natural_join(
             }
         }
     }
-    let stats = OpStats::binary("NaturalJoin ⋈ (loop)", out.len(), started, lstats, rstats);
+    let stats = OpStats::binary("NaturalJoin ⋈ (loop)", out.len(), span, lstats, rstats);
     Ok((out, stats))
 }
 

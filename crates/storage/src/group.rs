@@ -31,11 +31,16 @@
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use cdb_obs::{Counter, Gauge, HistogramHandle, Metrics, SpanGuard};
+
 use crate::wal::DurableLog;
 use crate::{Io, StorageError};
 
-/// Counters the serving layer and benchmarks read to see how well
-/// batching is working.
+/// A point-in-time view of the group-commit counters. Since PR 4 this
+/// is a *read-out* of `cdb-obs` instruments, not independent state —
+/// [`GroupWal::stats`] materialises it so the serving layer, the
+/// benchmarks, and the pre-existing tests keep their API (see DESIGN.md
+/// S24 on the deprecation path).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct GroupCommitStats {
     /// Syncs issued by batch leaders.
@@ -49,6 +54,31 @@ pub struct GroupCommitStats {
     pub failed_syncs: u64,
 }
 
+/// Pre-resolved instrument handles — looked up once at construction so
+/// the commit hot path never touches the registry lock.
+#[derive(Debug, Clone)]
+struct GroupInstruments {
+    batches: Counter,
+    frames_synced: Counter,
+    max_batch: Gauge,
+    failed_syncs: Counter,
+    sync_ns: HistogramHandle,
+    commit_ns: HistogramHandle,
+}
+
+impl GroupInstruments {
+    fn resolve(metrics: &Metrics) -> Self {
+        GroupInstruments {
+            batches: metrics.counter("storage.group.batches"),
+            frames_synced: metrics.counter("storage.group.frames_synced"),
+            max_batch: metrics.gauge("storage.group.max_batch"),
+            failed_syncs: metrics.counter("storage.group.failed_syncs"),
+            sync_ns: metrics.histogram("storage.wal.sync_ns"),
+            commit_ns: metrics.histogram("storage.group.commit_ns"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct GroupState {
     log: DurableLog<Box<dyn Io>>,
@@ -59,13 +89,13 @@ struct GroupState {
     /// Whether some thread is currently leading a batch.
     leader_active: bool,
     window: Duration,
-    stats: GroupCommitStats,
 }
 
 #[derive(Debug)]
 struct GroupInner {
     state: Mutex<GroupState>,
     cv: Condvar,
+    instr: GroupInstruments,
 }
 
 /// A shared, thread-safe group-commit handle over a WAL. Clones refer
@@ -80,6 +110,16 @@ impl GroupWal {
     /// zero window syncs as soon as a leader takes over (no wait);
     /// larger windows trade commit latency for fewer syncs.
     pub fn new(log: DurableLog<Box<dyn Io>>, window: Duration) -> Self {
+        // A private registry: a standalone GroupWal's counters are its
+        // own (tests assert exact values). The serving layer passes the
+        // database registry via [`GroupWal::with_metrics`] instead.
+        GroupWal::with_metrics(log, window, &Metrics::new())
+    }
+
+    /// Like [`GroupWal::new`], but records batching counters and sync
+    /// latency into `metrics` (`storage.group.*`, `storage.wal.sync_ns`)
+    /// so they surface in `CuratedDatabase::metrics_snapshot`.
+    pub fn with_metrics(log: DurableLog<Box<dyn Io>>, window: Duration, metrics: &Metrics) -> Self {
         GroupWal {
             inner: Arc::new(GroupInner {
                 state: Mutex::new(GroupState {
@@ -88,9 +128,9 @@ impl GroupWal {
                     synced: 0,
                     leader_active: false,
                     window,
-                    stats: GroupCommitStats::default(),
                 }),
                 cv: Condvar::new(),
+                instr: GroupInstruments::resolve(metrics),
             }),
         }
     }
@@ -123,6 +163,15 @@ impl GroupWal {
     /// persistently fails). See the module docs for the leader
     /// election and failure rules.
     pub fn commit(&self, seq: u64) -> Result<(), StorageError> {
+        let span = SpanGuard::with_attr("storage.wal.group_commit", seq);
+        let res = self.commit_inner(seq);
+        if res.is_ok() {
+            self.inner.instr.commit_ns.observe(span.elapsed());
+        }
+        res
+    }
+
+    fn commit_inner(&self, seq: u64) -> Result<(), StorageError> {
         let mut st = self.lock();
         loop {
             if st.synced >= seq {
@@ -156,21 +205,27 @@ impl GroupWal {
             }
             let target = st.appended;
             let batch = target - st.synced;
+            let sync_span = SpanGuard::with_attr("storage.wal.sync", batch);
             let res = st.log.sync();
+            self.inner.instr.sync_ns.observe(sync_span.elapsed());
+            drop(sync_span);
             st.leader_active = false;
+            let instr = &self.inner.instr;
             match res {
                 Ok(()) => {
                     st.synced = target;
-                    st.stats.batches += 1;
-                    st.stats.frames_synced += batch;
-                    st.stats.max_batch = st.stats.max_batch.max(batch);
+                    instr.batches.inc();
+                    instr.frames_synced.add(batch);
+                    instr.max_batch.record_max(batch);
                     self.inner.cv.notify_all();
                     if target >= seq {
                         return Ok(());
                     }
                 }
                 Err(e) => {
-                    st.stats.failed_syncs += 1;
+                    // (DurableLog::sync already bumped the global
+                    // storage.error.sync_failed counter.)
+                    instr.failed_syncs.inc();
                     // Wake the waiters so one of them retries as leader.
                     self.inner.cv.notify_all();
                     return Err(e);
@@ -193,9 +248,15 @@ impl GroupWal {
         self.commit(seq)
     }
 
-    /// Batching counters so far.
+    /// Batching counters so far, read out of the `cdb-obs` instruments.
     pub fn stats(&self) -> GroupCommitStats {
-        self.lock().stats
+        let i = &self.inner.instr;
+        GroupCommitStats {
+            batches: i.batches.get(),
+            frames_synced: i.frames_synced.get(),
+            max_batch: i.max_batch.get(),
+            failed_syncs: i.failed_syncs.get(),
+        }
     }
 
     /// The current batch window.

@@ -126,6 +126,28 @@ pub struct RecoveryStats {
     pub replay_micros: u128,
 }
 
+impl RecoveryStats {
+    /// Publishes these counters into a metric sink under the
+    /// `storage.recovery.*` names — `cdb-core` calls this with the
+    /// database registry after a durable open, so recovery history
+    /// shows up in `metrics_snapshot` alongside the live counters.
+    pub fn record_to(&self, sink: &dyn cdb_obs::MetricSink) {
+        sink.add("storage.recovery.count", 1);
+        sink.add("storage.recovery.frames_scanned", self.frames_scanned);
+        sink.add("storage.recovery.frames_dropped", self.frames_dropped);
+        sink.add("storage.recovery.bytes_dropped", self.bytes_dropped);
+        sink.add("storage.recovery.txns_adopted", self.txns_adopted);
+        sink.add("storage.recovery.txns_replayed", self.txns_replayed);
+        if self.used_checkpoint {
+            sink.add("storage.recovery.checkpoint_used", 1);
+        }
+        sink.observe_ns(
+            "storage.recovery.replay_ns",
+            (self.replay_micros as u64).saturating_mul(1_000),
+        );
+    }
+}
+
 /// Everything recovery reconstructs from one WAL device.
 #[derive(Debug)]
 pub struct Recovered {
@@ -152,7 +174,7 @@ pub fn recover<I: Io>(
     io: I,
     checkpoint: Option<Checkpoint>,
 ) -> Result<(DurableLog<I>, Recovered), StorageError> {
-    let start = std::time::Instant::now();
+    let span = cdb_obs::SpanGuard::enter("storage.recovery.replay");
     let (log, outcome) = DurableLog::open(io)?;
     let ScanOutcome {
         frames,
@@ -245,7 +267,14 @@ pub fn recover<I: Io>(
     };
 
     replay_and_verify(&db).map_err(|e| StorageError::Corrupt(format!("verification: {e}")))?;
-    stats.replay_micros = start.elapsed().as_micros();
+    stats.replay_micros = span.elapsed().as_micros();
+    if stats.frames_dropped > 0 {
+        // Failure observability: a torn tail is a (survived) fault and
+        // counts as one, distinct from sync/append failures.
+        cdb_obs::global()
+            .counter("storage.error.torn_tail")
+            .add(stats.frames_dropped);
+    }
 
     Ok((
         log,

@@ -67,7 +67,12 @@ impl<I: Io> DurableLog<I> {
 
     /// Appends one frame. Not durable until [`DurableLog::sync`].
     pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StorageError> {
-        self.io.append(&encode_frame(kind, payload))?;
+        if let Err(e) = self.io.append(&encode_frame(kind, payload)) {
+            cdb_obs::global()
+                .counter("storage.error.append_failed")
+                .inc();
+            return Err(e);
+        }
         self.appended_since_sync += 1;
         Ok(())
     }
@@ -75,7 +80,10 @@ impl<I: Io> DurableLog<I> {
     /// Forces all appended frames to durable storage. This is the
     /// commit point.
     pub fn sync(&mut self) -> Result<(), StorageError> {
-        self.io.flush()?;
+        if let Err(e) = self.io.flush() {
+            cdb_obs::global().counter("storage.error.sync_failed").inc();
+            return Err(e);
+        }
         self.appended_since_sync = 0;
         Ok(())
     }

@@ -256,3 +256,69 @@ fn failed_flush_means_the_transaction_never_committed() {
     .unwrap();
     assert_eq!(rec.db, reference(&db, committed));
 }
+
+#[test]
+fn fault_classes_surface_as_distinct_error_counters() {
+    // Each injected fault class must land in its own counter in the
+    // process-global registry. Deltas are asserted with `>=`: tests in
+    // this binary run in parallel and other threads may bump the same
+    // process-global counters concurrently.
+    let g = cdb_obs::global();
+    let sync_failed = g.counter("storage.error.sync_failed");
+    let append_failed = g.counter("storage.error.append_failed");
+    let torn_tail = g.counter("storage.error.torn_tail");
+
+    // Failed sync: flush #1 is the header flush in create(), so #2 is
+    // the first commit attempt.
+    let before = sync_failed.get();
+    let mut log = DurableLog::create(FaultyIo::new(FaultPlan {
+        fail_flush: Some(2),
+        ..FaultPlan::default()
+    }))
+    .unwrap();
+    log.append(FRAME_TXN, b"doomed").unwrap();
+    assert!(log.sync().is_err());
+    assert!(
+        sync_failed.get() > before,
+        "a failed sync must bump storage.error.sync_failed"
+    );
+
+    // Failed append: device append #1 is the header in create(), so #2
+    // is the first frame.
+    let before = append_failed.get();
+    let mut log = DurableLog::create(FaultyIo::new(FaultPlan {
+        fail_append: Some(2),
+        ..FaultPlan::default()
+    }))
+    .unwrap();
+    assert!(log.append(FRAME_TXN, b"doomed").is_err());
+    assert!(
+        append_failed.get() > before,
+        "a failed append must bump storage.error.append_failed"
+    );
+
+    // Torn tail: bit rot drops exactly one frame during recovery.
+    let db = session();
+    let (image, _) = wal_image(&db);
+    let before = torn_tail.get();
+    let rotten = FaultyIo::with_contents(
+        image,
+        FaultPlan {
+            bit_flips: vec![(20, 0x10)],
+            ..FaultPlan::default()
+        },
+    )
+    .crash();
+    let (_, rec) = recover(
+        "curated",
+        StoreMode::Hereditary,
+        MemIo::from_bytes(rotten),
+        None,
+    )
+    .unwrap();
+    assert_eq!(rec.stats.frames_dropped, 1);
+    assert!(
+        torn_tail.get() > before,
+        "dropped frames must bump storage.error.torn_tail"
+    );
+}

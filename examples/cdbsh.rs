@@ -2,8 +2,9 @@
 //!
 //! A line-oriented front end exercising the whole public API: curation,
 //! annotation, publishing, citation, temporal queries, lifecycle, path
-//! queries, and SQL over relational views. Works interactively or with
-//! piped scripts:
+//! queries, SQL over relational views, and the observability layer
+//! (`stats`, `trace`, `profile`). Works interactively or with piped
+//! scripts:
 //!
 //! ```console
 //! $ cargo run --example cdbsh <<'EOF'
@@ -16,22 +17,32 @@
 //! series GABA-A tm
 //! cite 0 GABA-A
 //! sql SELECT name FROM entries WHERE tm = 4
+//! profile sql SELECT name FROM entries WHERE tm = 4
+//! stats
 //! path //tm
 //! merge alice GABA-A 5-HT3
 //! what 5-HT3
 //! quit
 //! EOF
 //! ```
+//!
+//! A database opened with `open <name> <key> <dir>` is served durably
+//! through [`SharedDb`] (WAL + group commit); `profile add …` then
+//! shows the full write path, including the `storage.wal.sync` span.
 
 use std::io::{self, BufRead, Write};
 
 use curated_db::model::PathQuery;
+use curated_db::obs;
 use curated_db::relalg::{sql, ExecConfig};
-use curated_db::{Atom, CuratedDatabase, SharedDb, Snapshot};
+use curated_db::{Atom, CuratedDatabase, SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};
 
 fn main() {
     let stdin = io::stdin();
-    let mut db: Option<CuratedDatabase> = None;
+    let mut shell = Shell {
+        mem: None,
+        shared: None,
+    };
     let mut clock: u64 = 0;
     let interactive = false; // piped-friendly: no prompt echo logic needed
 
@@ -43,7 +54,7 @@ fn main() {
             continue;
         }
         clock += 1;
-        match run_command(&mut db, clock, line) {
+        match run_command(&mut shell, clock, line) {
             Ok(Output::Quit) => break,
             Ok(Output::Text(s)) => println!("{s}"),
             Err(e) => println!("error: {e}"),
@@ -59,11 +70,57 @@ enum Output {
     Quit,
 }
 
-fn run_command(
-    db_slot: &mut Option<CuratedDatabase>,
-    time: u64,
-    line: &str,
-) -> Result<Output, String> {
+const NO_DB: &str = "no database: use `new <name> <key>` or `open <name> <key> <dir>`";
+
+/// Shell state: at most one database, either in-memory (`new`) or
+/// served durably through [`SharedDb`] (`open`).
+struct Shell {
+    mem: Option<CuratedDatabase>,
+    shared: Option<SharedDb>,
+}
+
+/// A read-only view of the current database. For a durable session
+/// this is a consistent [`Snapshot`]; reads never block writers.
+enum ReadView<'a> {
+    Mem(&'a CuratedDatabase),
+    Snap(Snapshot),
+}
+
+impl ReadView<'_> {
+    fn db(&self) -> &CuratedDatabase {
+        match self {
+            ReadView::Mem(db) => db,
+            ReadView::Snap(s) => s,
+        }
+    }
+}
+
+impl Shell {
+    fn read_view(&self) -> Result<ReadView<'_>, String> {
+        if let Some(s) = &self.shared {
+            return Ok(ReadView::Snap(s.snapshot()));
+        }
+        self.mem
+            .as_ref()
+            .map(ReadView::Mem)
+            .ok_or_else(|| NO_DB.to_owned())
+    }
+
+    /// Every metric the current database can see: its own registry
+    /// merged with the process-global one (global only when no
+    /// database is open).
+    fn metrics(&self) -> obs::MetricsSnapshot {
+        if let Some(s) = &self.shared {
+            s.metrics_snapshot()
+        } else if let Some(m) = &self.mem {
+            m.metrics_snapshot()
+        } else {
+            obs::global().snapshot()
+        }
+    }
+}
+
+fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, String> {
     let mut parts = line.split_whitespace();
     let cmd = parts.next().unwrap_or_default();
     let rest: Vec<&str> = parts.collect();
@@ -74,43 +131,165 @@ fn run_command(
         "quit" | "exit" => Ok(Output::Quit),
         "new" => {
             let [name, key] = take::<2>(&rest)?;
-            *db_slot = Some(CuratedDatabase::new(*name, *key));
+            shell.mem = Some(CuratedDatabase::new(*name, *key));
+            shell.shared = None;
             text(format!("created database {name:?} keyed by {key:?}"))
         }
+        "open" => {
+            let [name, key, dir] = take::<3>(&rest)?;
+            let shared =
+                SharedDb::open_dir(*name, *key, dir, DEFAULT_BATCH_WINDOW).map_err(fmt_err)?;
+            let recovered = shared.snapshot().curated.log.len();
+            shell.shared = Some(shared);
+            shell.mem = None;
+            text(format!(
+                "opened durable database {name:?} in {dir} ({recovered} transactions recovered)"
+            ))
+        }
+        "stats" => {
+            let snap = shell.metrics();
+            match rest.first() {
+                None => text(obs::export::text_table(&snap)),
+                Some(&"json") => text(obs::export::line_json(&snap)),
+                Some(other) => Err(format!("stats takes no argument or `json`, got {other:?}")),
+            }
+        }
+        "trace" => {
+            let [arg] = take::<1>(&rest)?;
+            match *arg {
+                "on" => {
+                    obs::set_tracing(true);
+                    text("tracing on: spans are recorded to the ring buffer".into())
+                }
+                "off" => {
+                    obs::set_tracing(false);
+                    text("tracing off".into())
+                }
+                "show" => text(obs::export::span_tree(&obs::recent_events())),
+                other => Err(format!("trace takes on|off|show, got {other:?}")),
+            }
+        }
+        "profile" => {
+            if rest.is_empty() {
+                return Err("profile <command …>".into());
+            }
+            let nested = line["profile".len()..].trim();
+            let was = obs::tracing_enabled();
+            obs::set_tracing(true);
+            let root = obs::trace_root();
+            let res = run_command(shell, time, nested);
+            let events = obs::events_for_trace(root.id());
+            drop(root);
+            obs::set_tracing(was);
+            match res {
+                Ok(Output::Text(s)) => text(format!(
+                    "{s}\n\nprofile — {} spans:\n{}",
+                    events.len(),
+                    obs::export::span_tree(&events)
+                )),
+                Ok(Output::Quit) => Ok(Output::Quit),
+                Err(e) => Err(e),
+            }
+        }
+        "add" => {
+            if rest.len() < 2 {
+                return Err("add <curator> <key> [field=value …]".into());
+            }
+            let (curator, key) = (rest[0], rest[1]);
+            let fields: Vec<(&str, Atom)> = rest[2..]
+                .iter()
+                .map(|kv| parse_field(kv))
+                .collect::<Result<_, _>>()?;
+            match (&mut shell.mem, &shell.shared) {
+                (Some(db), _) => db.add_entry(curator, time, key, &fields).map(|_| ()),
+                (None, Some(s)) => s.add_entry(curator, time, key, &fields).map(|_| ()),
+                (None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text(format!("added entry {key:?}"))
+        }
+        "edit" => {
+            let [curator, key, field, value] = take::<4>(&rest)?;
+            let value = parse_atom(value);
+            match (&mut shell.mem, &shell.shared) {
+                (Some(db), _) => db.edit_field(curator, time, key, field, value),
+                (None, Some(s)) => s.edit_field(curator, time, key, field, value),
+                (None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text(format!("edited {key}.{field}"))
+        }
+        "note" => {
+            if rest.len() < 4 {
+                return Err("note <author> <key> <field|-> <text…>".into());
+            }
+            let (author, key, field) = (rest[0], rest[1], rest[2]);
+            let body = rest[3..].join(" ");
+            let field = if field == "-" { None } else { Some(field) };
+            match (&mut shell.mem, &shell.shared) {
+                (Some(db), _) => db.annotate(key, field, author, &body, time),
+                (None, Some(s)) => s.annotate(key, field, author, &body, time),
+                (None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text("noted".into())
+        }
+        "publish" => {
+            let [label] = take::<1>(&rest)?;
+            let v = match (&mut shell.mem, &shell.shared) {
+                (Some(db), _) => db.publish(*label),
+                (None, Some(s)) => s.publish(*label),
+                (None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text(format!("published version {v} ({label})"))
+        }
+        "merge" => {
+            let [curator, kept, absorbed] = take::<3>(&rest)?;
+            match (&mut shell.mem, &shell.shared) {
+                (Some(db), _) => db.merge_entries(curator, time, kept, absorbed),
+                (None, Some(s)) => s.merge_entries(curator, time, kept, absorbed),
+                (None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text(format!("{absorbed} merged into {kept}"))
+        }
+        "checkpoint" => {
+            match (&mut shell.mem, &shell.shared) {
+                (Some(db), _) => db.checkpoint(),
+                (None, Some(s)) => s.checkpoint(),
+                (None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text("checkpoint written".into())
+        }
+        "parallel" => {
+            let [writers, readers, ops] = take::<3>(&rest)?;
+            let writers: usize = writers.parse().map_err(|_| "writers must be a number")?;
+            let readers: usize = readers.parse().map_err(|_| "readers must be a number")?;
+            let ops: u64 = ops.parse().map_err(|_| "ops must be a number")?;
+            if let Some(shared) = &shell.shared {
+                return text(parallel_session(shared, time, writers, readers, ops)?);
+            }
+            let owned = shell.mem.take().ok_or(NO_DB)?;
+            let mut shared = SharedDb::from_db(owned);
+            let report = parallel_session(&shared, time, writers, readers, ops);
+            let back = loop {
+                match shared.into_inner() {
+                    Ok(db) => break db,
+                    Err(again) => {
+                        shared = again;
+                        std::thread::yield_now();
+                    }
+                }
+            };
+            shell.mem = Some(back);
+            text(report?)
+        }
         _ => {
-            let db = db_slot
-                .as_mut()
-                .ok_or("no database: use `new <name> <key>`")?;
+            let view = shell.read_view()?;
+            let db = view.db();
             match cmd {
-                "add" => {
-                    if rest.len() < 2 {
-                        return Err("add <curator> <key> [field=value …]".into());
-                    }
-                    let (curator, key) = (rest[0], rest[1]);
-                    let fields: Vec<(&str, Atom)> = rest[2..]
-                        .iter()
-                        .map(|kv| parse_field(kv))
-                        .collect::<Result<_, _>>()?;
-                    db.add_entry(curator, time, key, &fields).map_err(fmt_err)?;
-                    text(format!("added entry {key:?}"))
-                }
-                "edit" => {
-                    let [curator, key, field, value] = take::<4>(&rest)?;
-                    db.edit_field(curator, time, key, field, parse_atom(value))
-                        .map_err(fmt_err)?;
-                    text(format!("edited {key}.{field}"))
-                }
-                "note" => {
-                    if rest.len() < 4 {
-                        return Err("note <author> <key> <field|-> <text…>".into());
-                    }
-                    let (author, key, field) = (rest[0], rest[1], rest[2]);
-                    let body = rest[3..].join(" ");
-                    let field = if field == "-" { None } else { Some(field) };
-                    db.annotate(key, field, author, &body, time)
-                        .map_err(fmt_err)?;
-                    text("noted".into())
-                }
                 "notes" => {
                     let [key, field] = take::<2>(&rest)?;
                     let field = if *field == "-" { None } else { Some(*field) };
@@ -122,11 +301,6 @@ fn run_command(
                             .collect::<Vec<_>>()
                             .join("\n"),
                     )
-                }
-                "publish" => {
-                    let [label] = take::<1>(&rest)?;
-                    let v = db.publish(*label).map_err(fmt_err)?;
-                    text(format!("published version {v} ({label})"))
                 }
                 "versions" => text(
                     db.archive()
@@ -163,12 +337,6 @@ fn run_command(
                         .map_err(|e| e.to_string())?;
                     text(v.to_string())
                 }
-                "merge" => {
-                    let [curator, kept, absorbed] = take::<3>(&rest)?;
-                    db.merge_entries(curator, time, kept, absorbed)
-                        .map_err(fmt_err)?;
-                    text(format!("{absorbed} merged into {kept}"))
-                }
                 "what" => {
                     let [id] = take::<1>(&rest)?;
                     let current = db.resolve_id(id).map_err(fmt_err)?;
@@ -194,8 +362,11 @@ fn run_command(
                     text(out.to_string())
                 }
                 "explain" => {
-                    // Like `sql`, but runs the query through the physical
-                    // engine and prints its ExecStats operator table.
+                    // Like `sql`, but runs the query through the
+                    // physical engine and prints the per-operator table
+                    // (rows in/out and span-measured elapsed time),
+                    // followed by the cumulative eval metrics from the
+                    // observability registry.
                     let query = line[7..].trim();
                     let rdb = entries_view(db)?;
                     let stmt = sql::parse(query).map_err(|e| e.to_string())?;
@@ -205,7 +376,7 @@ fn run_command(
                     let (out, stats) =
                         curated_db::relalg::eval_with_stats(&rdb, &expr, &ExecConfig::default())
                             .map_err(|e| e.to_string())?;
-                    text(format!("{stats}\n{out}"))
+                    text(format!("{stats}{}\n{out}", eval_registry_summary()))
                 }
                 "diff" => {
                     let [a, b] = take::<2>(&rest)?;
@@ -237,39 +408,44 @@ fn run_command(
                             .join("\n"),
                     )
                 }
-                "parallel" => {
-                    let [writers, readers, ops] = take::<3>(&rest)?;
-                    let writers: usize = writers.parse().map_err(|_| "writers must be a number")?;
-                    let readers: usize = readers.parse().map_err(|_| "readers must be a number")?;
-                    let ops: u64 = ops.parse().map_err(|_| "ops must be a number")?;
-                    let owned = db_slot.take().expect("checked above");
-                    let (report, back) = parallel_session(owned, time, writers, readers, ops)?;
-                    *db_slot = Some(back);
-                    text(report)
-                }
                 other => Err(format!("unknown command {other:?} (try `help`)")),
             }
         }
     }
 }
 
-/// `parallel <writers> <readers> <ops>` — serve the shell's database
-/// through [`SharedDb`]: writer threads add and edit entries through
-/// group commit while reader threads take snapshots and verify epoch
-/// and log-prefix monotonicity; the database then returns to the shell
-/// with everything the writers committed.
+/// Cumulative `relalg.eval.*` readings from the process-global
+/// registry, appended to `explain` output so repeated queries show
+/// their latency distribution.
+fn eval_registry_summary() -> String {
+    let snap = obs::global().snapshot();
+    let count = snap.counters.get("relalg.eval.count").copied().unwrap_or(0);
+    match snap.histograms.get("relalg.eval.ns") {
+        Some(h) if h.count > 0 => format!(
+            "\nregistry: {count} queries so far — eval latency p50 {} / p95 {} / p99 {}",
+            obs::export::fmt_ns(h.p50()),
+            obs::export::fmt_ns(h.p95()),
+            obs::export::fmt_ns(h.p99()),
+        ),
+        _ => String::new(),
+    }
+}
+
+/// `parallel <writers> <readers> <ops>` — serve the database through
+/// [`SharedDb`]: writer threads add and edit entries through group
+/// commit while reader threads take snapshots and verify epoch and
+/// log-prefix monotonicity.
 fn parallel_session(
-    owned: CuratedDatabase,
+    shared: &SharedDb,
     time: u64,
     writers: usize,
     readers: usize,
     ops: u64,
-) -> Result<(String, CuratedDatabase), String> {
+) -> Result<String, String> {
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::Arc;
 
-    let salt = owned.curated.log.len();
-    let shared = SharedDb::from_db(owned);
+    let salt = shared.snapshot().curated.log.len();
     let done = Arc::new(AtomicBool::new(false));
     let samples = Arc::new(AtomicU64::new(0));
 
@@ -330,23 +506,13 @@ fn parallel_session(
             failures.push("a reader observed inconsistent snapshots".into());
         }
     }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
 
     let stats = shared.group_stats();
     let epoch = shared.epoch();
     let reads = samples.load(Ordering::Relaxed);
-    let mut shared = shared;
-    let back = loop {
-        match shared.into_inner() {
-            Ok(db) => break db,
-            Err(again) => {
-                shared = again;
-                std::thread::yield_now();
-            }
-        }
-    };
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
     let stats_line = match stats {
         Some(s) => format!(
             "{} commits in {} synced batches (max batch {})",
@@ -354,19 +520,18 @@ fn parallel_session(
         ),
         None => "in-memory database: no WAL, group commit idle".into(),
     };
-    Ok((
-        format!(
-            "parallel session done: {writers} writers × {ops} add+edit ops, \
-             {readers} readers took {reads} consistent snapshots \
-             (final epoch {epoch}); {stats_line}"
-        ),
-        back,
+    Ok(format!(
+        "parallel session done: {writers} writers × {ops} add+edit ops, \
+         {readers} readers took {reads} consistent snapshots \
+         (final epoch {epoch}); {stats_line}"
     ))
 }
 
 const HELP: &str = r#"
 commands:
-  new <name> <keyfield>              create a database
+  new <name> <keyfield>              create an in-memory database
+  open <name> <keyfield> <dir>       open a durable database (WAL +
+                                       group commit) in <dir>
   add <curator> <key> [f=v …]        add an entry
   edit <curator> <key> <field> <v>   edit a field
   note <author> <key> <field|-> <t…> annotate (- = whole entry)
@@ -378,9 +543,17 @@ commands:
   entries | show <key> | history <key>
   merge <curator> <kept> <absorbed>  fuse entries (retires the absorbed id)
   what <id>                          what happened to an identifier
+  checkpoint                         write a durable checkpoint
   sql <SELECT …>                     query the relational view `entries`
-  explain <SELECT …>                 run via the hash-join engine and
-                                       print the ExecStats operator table
+  explain <SELECT …>                 run via the hash-join engine; print
+                                       per-operator rows + elapsed and
+                                       the registry's eval latency
+  stats [json]                       metrics registry: text table, or
+                                       one JSON object per line
+  trace on|off|show                  toggle span recording / show the
+                                       recent-span ring buffer
+  profile <command …>                run any command with tracing forced
+                                       on and print its span tree
   parallel <writers> <readers> <ops> serve the db concurrently: writers
                                        add+edit over group commit while
                                        readers verify snapshot isolation

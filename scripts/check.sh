@@ -36,6 +36,22 @@ if [[ "$run_bench" == 1 ]]; then
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench recovery
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench commit_throughput
+    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench obs_overhead
+fi
+
+echo "== obs timing gate: raw Instant::now() only inside the span API =="
+# Every library timing path must go through cdb-obs spans/histograms so
+# profiles and metrics see it. Allowed: cdb-obs itself, the bench-shim
+# stopwatch, and the group-commit window-deadline loop (paced waiting,
+# not a measurement).
+violations="$(grep -rn "Instant::now" crates/*/src src examples 2>/dev/null \
+    | grep -v "^crates/obs/src/" \
+    | grep -v "^crates/criterion-shim/src/" \
+    | grep -v "^crates/storage/src/group.rs:" || true)"
+if [[ -n "$violations" ]]; then
+    echo "raw Instant::now() timing outside the cdb-obs span API:"
+    echo "$violations"
+    exit 1
 fi
 
 echo "== example smoke (every binary in examples/) =="
@@ -56,12 +72,37 @@ publish 2008-12
 series GABA-A tm
 cite 0 GABA-A
 sql SELECT name FROM entries WHERE tm = 4
+explain SELECT name FROM entries WHERE tm = 4
+profile sql SELECT name FROM entries WHERE tm = 4
+stats
+stats json
 path //tm
 merge alice GABA-A 5-HT3
 what 5-HT3
 parallel 4 2 10
 quit
 CDBSH
+        # Durable session: profile a write end-to-end — the span tree
+        # must show the WAL sync — and smoke the trace commands.
+        obs_dir="$(mktemp -d)"
+        obs_out="$(cargo run -q --example cdbsh <<CDBSH2
+open iuphar name $obs_dir
+profile add alice GABA-A kind=receptor tm=4
+trace on
+edit alice GABA-A tm 5
+trace show
+trace off
+checkpoint
+stats
+quit
+CDBSH2
+)"
+        rm -rf "$obs_dir"
+        if ! grep -q "storage.wal.sync" <<<"$obs_out"; then
+            echo "cdbsh profile output is missing the storage.wal.sync span:"
+            echo "$obs_out"
+            exit 1
+        fi
     else
         cargo run -q --example "$name" > /dev/null
     fi

@@ -33,6 +33,7 @@ pub use cdb_archive as archive;
 pub use cdb_core as core;
 pub use cdb_curation as curation;
 pub use cdb_model as model;
+pub use cdb_obs as obs;
 pub use cdb_relalg as relalg;
 pub use cdb_schema as schema;
 pub use cdb_semiring as semiring;
