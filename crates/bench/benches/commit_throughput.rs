@@ -51,7 +51,8 @@ fn seed_key(i: u64) -> String {
 
 /// Single writer, sync at every commit — the PR-2 baseline.
 fn always_throughput(dev: Box<dyn Io>, commits: u64) -> f64 {
-    let mut db = CuratedDatabase::open("bench", "id", dev, Box::new(MemIo::new())).unwrap();
+    let mut db =
+        CuratedDatabase::open("bench", "id", dev, cdb_storage::CheckpointStore::mem()).unwrap();
     for i in 0..SEED_KEYS {
         db.add_entry("seed", i, &seed_key(i), &[("v", Atom::Int(0))])
             .unwrap();
@@ -66,7 +67,14 @@ fn always_throughput(dev: Box<dyn Io>, commits: u64) -> f64 {
 
 /// N writers over `SharedDb` group commit at the given batch window.
 fn group_throughput(dev: Box<dyn Io>, writers: u64, window: Duration, per_writer: u64) -> f64 {
-    let db = SharedDb::open("bench", "id", dev, Box::new(MemIo::new()), window).unwrap();
+    let db = SharedDb::open(
+        "bench",
+        "id",
+        dev,
+        cdb_storage::CheckpointStore::mem(),
+        window,
+    )
+    .unwrap();
     for i in 0..SEED_KEYS {
         db.add_entry("seed", i, &seed_key(i), &[("v", Atom::Int(0))])
             .unwrap();
@@ -208,7 +216,7 @@ fn bench_read_latency(samples: usize) {
         "bench",
         "id",
         throttled_dev(),
-        Box::new(MemIo::new()),
+        cdb_storage::CheckpointStore::mem(),
         Duration::from_micros(100),
     )
     .unwrap();

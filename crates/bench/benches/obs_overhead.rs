@@ -56,7 +56,7 @@ fn group_throughput(per_writer: u64) -> f64 {
         "bench",
         "id",
         throttled_dev(),
-        Box::new(MemIo::new()),
+        cdb_storage::CheckpointStore::mem(),
         WINDOW,
     )
     .unwrap();

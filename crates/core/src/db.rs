@@ -8,7 +8,7 @@
 //! fat-node archive so that any version can be retrieved, cited, and
 //! queried longitudinally (§5).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use cdb_archive::{Archive, ArchiveError, Citation, VersionId};
@@ -112,8 +112,16 @@ pub struct CuratedDatabase {
     /// owned outright or a shared group-commit handle (see
     /// [`crate::shared::SharedDb`]).
     pub(crate) wal: Option<crate::durable::WalRef>,
-    /// The checkpoint device, when durable.
-    pub(crate) ckpt_io: Option<Box<dyn cdb_storage::Io>>,
+    /// The crash-atomic checkpoint store, when durable.
+    pub(crate) ckpt: Option<cdb_storage::CheckpointStore>,
+    /// What happens to fully-checkpointed WAL segments (see
+    /// [`cdb_storage::Retention`]): archived (default, paper semantics)
+    /// or deleted to reclaim disk.
+    pub(crate) retention: cdb_storage::Retention,
+    /// Logical clock floor carried over from a checkpoint whose covered
+    /// log was truncated: [`CuratedDatabase::publish`] falls back to it
+    /// when the in-memory log is empty, keeping publish times monotone.
+    pub(crate) last_time: u64,
     /// When to force appended frames to disk.
     pub(crate) durability: crate::durable::Durability,
     /// Curation transactions already encoded into WAL frames (a prefix
@@ -126,8 +134,10 @@ pub struct CuratedDatabase {
     pub(crate) persisted_events: usize,
     /// Frames encoded but not yet appended to the WAL (a previous
     /// append failed); drained, in order, before anything new is
-    /// appended.
-    pub(crate) pending_frames: Vec<(u8, Vec<u8>)>,
+    /// appended. A deque: draining pops the front, so a long backlog
+    /// (a device down for thousands of commits) drains in one pass
+    /// instead of the O(n²) `remove(0)` shuffle a `Vec` would cost.
+    pub(crate) pending_frames: VecDeque<(u8, Vec<u8>)>,
     /// What the last recovery saw, when this instance was opened from
     /// a WAL.
     pub(crate) recovery: Option<cdb_storage::RecoveryStats>,
@@ -153,14 +163,32 @@ impl CuratedDatabase {
             notes: BTreeMap::new(),
             publish_points: Vec::new(),
             wal: None,
-            ckpt_io: None,
+            ckpt: None,
+            retention: cdb_storage::Retention::default(),
+            last_time: 0,
             durability: crate::durable::Durability::Always,
             persisted_txns: 0,
             persisted_events: 0,
-            pending_frames: Vec::new(),
+            pending_frames: VecDeque::new(),
             recovery: None,
             metrics: cdb_obs::Metrics::new(),
         }
+    }
+
+    /// The segment-retention policy applied when a checkpoint retires
+    /// fully-covered WAL history.
+    pub fn retention(&self) -> cdb_storage::Retention {
+        self.retention
+    }
+
+    /// Sets the segment-retention policy for future checkpoints.
+    /// [`cdb_storage::Retention::KeepAll`] (the default) archives
+    /// retired segments, preserving the paper's full-history semantics;
+    /// [`cdb_storage::Retention::Reclaim`] deletes them, trading
+    /// history reconstruction from the raw log for bounded disk (the
+    /// checkpoint then carries the archive snapshots instead).
+    pub fn set_retention(&mut self, retention: cdb_storage::Retention) {
+        self.retention = retention;
     }
 
     /// The per-database metric registry. Storage handles created for
@@ -487,7 +515,16 @@ impl CuratedDatabase {
         let snapshot = self.export()?;
         let v = self.archive.add_version(&snapshot, label.clone())?;
         let txn = self.curated.last_txn_id();
-        let time = self.curated.log.last().map(|t| t.time).unwrap_or(0);
+        // `last_time` floors the clock when the log was truncated by a
+        // reclaiming checkpoint: the covered transactions are gone, but
+        // publish times must stay monotone across the cut.
+        let time = self
+            .curated
+            .log
+            .last()
+            .map(|t| t.time)
+            .unwrap_or(0)
+            .max(self.last_time);
         self.publish_points.push((txn, time, label));
         self.persist_publish()?;
         Ok(v)
@@ -563,11 +600,13 @@ impl CuratedDatabase {
             notes: self.notes.clone(),
             publish_points: self.publish_points.clone(),
             wal: None,
-            ckpt_io: None,
+            ckpt: None,
+            retention: self.retention,
+            last_time: self.last_time,
             durability: crate::durable::Durability::Always,
             persisted_txns: 0,
             persisted_events: 0,
-            pending_frames: Vec::new(),
+            pending_frames: VecDeque::new(),
             recovery: None,
             metrics: self.metrics.clone(),
         }
@@ -576,7 +615,7 @@ impl CuratedDatabase {
 
 /// Exports a (possibly replayed) tree as a keyed set of entry records,
 /// injecting the secondary identifiers known as of `time`.
-fn export_tree(
+pub(crate) fn export_tree(
     tree: &cdb_curation::tree::TreeDb,
     key_field: &str,
     lifecycle: &EntryRegistry,

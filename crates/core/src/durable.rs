@@ -26,8 +26,8 @@
 use cdb_curation::provstore::StoreMode;
 use cdb_curation::wire::{put_str, put_u64, Checkpoint, Reader, WireError};
 use cdb_storage::{
-    read_checkpoint, recover, write_checkpoint, DurableLog, GroupWal, Io, PublishRecord, Recovered,
-    RecoveryStats, StorageError, FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH,
+    recover, CheckpointStore, DurableLog, GroupWal, Io, PublishRecord, ReclaimStats, Recovered,
+    RecoveryStats, Retention, StorageError, FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH,
 };
 
 use crate::db::{CuratedDatabase, DbError, Note};
@@ -64,6 +64,56 @@ impl WalRef {
             WalRef::Shared(group) => group.sync_all(),
         }
     }
+
+    /// The log's logical length in bytes. With everything synced this
+    /// is the coverage watermark a checkpoint claims.
+    pub(crate) fn len(&self) -> Result<u64, StorageError> {
+        match self {
+            WalRef::Owned(log) => log.len(),
+            WalRef::Shared(group) => group.log_len(),
+        }
+    }
+
+    /// Frames appended but not yet covered by a successful sync.
+    pub(crate) fn unsynced(&self) -> u64 {
+        match self {
+            WalRef::Owned(log) => log.unsynced_frames(),
+            WalRef::Shared(group) => group.unsynced(),
+        }
+    }
+
+    /// Retires log history covered by a durably installed checkpoint.
+    pub(crate) fn reclaim(&mut self, covered: u64) -> Result<Option<ReclaimStats>, StorageError> {
+        match self {
+            WalRef::Owned(log) => log.reclaim(covered),
+            WalRef::Shared(group) => group.reclaim(covered),
+        }
+    }
+
+    /// Live segments backing the log (1 for unsegmented devices).
+    pub(crate) fn live_segments(&self) -> u64 {
+        match self {
+            WalRef::Owned(log) => log.live_segments(),
+            WalRef::Shared(group) => group.live_segments(),
+        }
+    }
+}
+
+/// What one [`CuratedDatabase::checkpoint`] covered and reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Log bytes the installed checkpoint durably covers — the next
+    /// recovery skips every frame at or below this watermark.
+    pub covered_bytes: u64,
+    /// Fully-covered segments retired by this checkpoint (archived
+    /// under [`Retention::KeepAll`], deleted under
+    /// [`Retention::Reclaim`]); 0 on unsegmented devices.
+    pub retired_segments: u64,
+    /// Bytes those retired segments held.
+    pub reclaimed_bytes: u64,
+    /// Live segments remaining after retirement (1 on unsegmented
+    /// devices).
+    pub live_segments: u64,
 }
 
 /// When WAL appends are forced to durable storage.
@@ -236,12 +286,12 @@ impl CuratedDatabase {
         name: impl Into<String>,
         key_field: impl Into<String>,
         wal_io: Box<dyn Io>,
-        mut ckpt_io: Box<dyn Io>,
+        mut ckpt: CheckpointStore,
     ) -> Result<Self, DbError> {
         let name = name.into();
-        let ck = read_checkpoint(ckpt_io.as_mut())?;
+        let ck = ckpt.load()?;
         let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
-        Self::from_recovered(name, key_field, rec, WalRef::Owned(log), ckpt_io)
+        Self::from_recovered(name, key_field, rec, WalRef::Owned(log), ckpt)
     }
 
     /// Assembles a database from a finished recovery. Shared by
@@ -252,16 +302,9 @@ impl CuratedDatabase {
         key_field: impl Into<String>,
         rec: Recovered,
         wal: WalRef,
-        ckpt_io: Box<dyn Io>,
+        ckpt: CheckpointStore,
     ) -> Result<Self, DbError> {
-        Self::from_recovered_with_metrics(
-            name,
-            key_field,
-            rec,
-            wal,
-            ckpt_io,
-            cdb_obs::Metrics::new(),
-        )
+        Self::from_recovered_with_metrics(name, key_field, rec, wal, ckpt, cdb_obs::Metrics::new())
     }
 
     /// [`CuratedDatabase::from_recovered`] with an externally-created
@@ -272,12 +315,13 @@ impl CuratedDatabase {
         key_field: impl Into<String>,
         rec: Recovered,
         wal: WalRef,
-        ckpt_io: Box<dyn Io>,
+        ckpt: CheckpointStore,
         metrics: cdb_obs::Metrics,
     ) -> Result<Self, DbError> {
         let mut db = CuratedDatabase::new(name, key_field);
         db.metrics = metrics;
         db.curated = rec.db;
+        db.last_time = rec.base_time;
         for aux in &rec.aux {
             match decode_aux(aux).map_err(StorageError::Wire)? {
                 AuxRecord::Event(e) => db.lifecycle.replay_event(&e),
@@ -291,28 +335,99 @@ impl CuratedDatabase {
             .iter()
             .map(|p| (p.txn, p.time, p.label.clone()))
             .collect();
-        db.archive = db.archive_from_log()?;
+        db.archive = if rec.truncated {
+            // The covered log is gone: versions published before the
+            // checkpoint cut cannot be replayed from the log. The
+            // checkpoint carried their exported snapshots instead;
+            // versions published after the cut replay onto the
+            // checkpoint's base tree.
+            db.rebuild_archive_truncated(
+                rec.base_tree
+                    .as_ref()
+                    .expect("a truncated recovery always carries its base tree"),
+                &rec.carried_snapshots,
+            )?
+        } else {
+            db.archive_from_log()?
+        };
         db.persisted_txns = db.curated.log.len();
         db.persisted_events = db.lifecycle.events().len();
         db.wal = Some(wal);
-        db.ckpt_io = Some(ckpt_io);
+        db.ckpt = Some(ckpt);
         rec.stats.record_to(&db.metrics);
+        db.metrics
+            .gauge("storage.segment.count")
+            .set(rec.stats.live_segments);
         db.recovery = Some(rec.stats);
         Ok(db)
     }
 
-    /// Opens a durable database backed by `<dir>/<name>.wal` and
-    /// `<dir>/<name>.ckpt` (created if absent).
+    /// Rebuilds the archive after a truncated recovery: the first
+    /// `snapshots.len()` publish points take their exported values from
+    /// the checkpoint's carried snapshots (their log prefix is gone);
+    /// the rest — publishes in the replayed tail — are reconstructed by
+    /// replaying the tail onto the checkpoint's base tree.
+    fn rebuild_archive_truncated(
+        &self,
+        base_tree: &cdb_curation::tree::TreeDb,
+        snapshots: &[Vec<u8>],
+    ) -> Result<cdb_archive::Archive, DbError> {
+        let spec =
+            cdb_model::KeySpec::new().rule(Vec::<String>::new(), [self.key_field().to_owned()]);
+        let mut rebuilt = cdb_archive::Archive::new(self.name(), spec);
+        for (i, (txn, time, label)) in self.publish_points.iter().enumerate() {
+            let snapshot = if let Some(bytes) = snapshots.get(i) {
+                cdb_archive::codec::decode_value(bytes)
+                    .map_err(|e| DbError::Storage(format!("carried snapshot {i}: {e}")))?
+            } else {
+                let tree = match txn {
+                    Some(t) => cdb_curation::replay::replay_onto(
+                        base_tree.clone(),
+                        &self.curated.log,
+                        Some(*t),
+                    )
+                    .map_err(|e| DbError::Storage(format!("tail replay for publish: {e}")))?,
+                    None => base_tree.clone(),
+                };
+                crate::db::export_tree(&tree, self.key_field(), &self.lifecycle, *time)?
+            };
+            rebuilt.add_version(&snapshot, label.clone())?;
+        }
+        Ok(rebuilt)
+    }
+
+    /// Opens a durable database backed by segmented WAL files
+    /// `<dir>/<name>.wal.<seq>` and the checkpoint `<dir>/<name>.ckpt`
+    /// (all created if absent). Checkpoints install atomically via
+    /// temp-file + rename; a legacy single-file `<dir>/<name>.wal` from
+    /// an older layout is **not** migrated — open it with
+    /// [`CuratedDatabase::open`] over a [`cdb_storage::FileIo`] instead.
     pub fn open_dir(
         name: impl Into<String>,
         key_field: impl Into<String>,
         dir: impl AsRef<std::path::Path>,
     ) -> Result<Self, DbError> {
+        Self::open_dir_with(name, key_field, dir, cdb_storage::SegmentConfig::default())
+    }
+
+    /// [`CuratedDatabase::open_dir`] with an explicit segment
+    /// rotation/retention policy. The database's own retention knob is
+    /// aligned with `cfg.retention`, so checkpoints carry (or drop) the
+    /// covered transaction log consistently with what happens to the
+    /// segment files.
+    pub fn open_dir_with(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+        cfg: cdb_storage::SegmentConfig,
+    ) -> Result<Self, DbError> {
         let name = name.into();
         let dir = dir.as_ref();
-        let wal = cdb_storage::FileIo::open(dir.join(format!("{name}.wal")))?;
-        let ckpt = cdb_storage::FileIo::open(dir.join(format!("{name}.ckpt")))?;
-        CuratedDatabase::open(name, key_field, Box::new(wal), Box::new(ckpt))
+        let wal = cdb_storage::SegmentedIo::open_dir(dir, &name, cfg)?;
+        let ckpt = CheckpointStore::dir(dir, &name);
+        let mut db = CuratedDatabase::open(name, key_field, Box::new(wal), ckpt)?;
+        db.set_retention(cfg.retention);
+        Ok(db)
     }
 
     /// Whether this instance persists commits.
@@ -353,24 +468,31 @@ impl CuratedDatabase {
     /// On failure the unwritten frames stay queued, so a transient
     /// append error delays persistence instead of losing frames (or
     /// reordering them: nothing new is appended past a queued frame).
+    /// Pops from the front of a deque, so a backlog of any size drains
+    /// in one linear pass.
     fn drain_pending(&mut self) -> Result<(), DbError> {
-        while !self.pending_frames.is_empty() {
-            let (kind, payload) = &self.pending_frames[0];
+        while let Some((kind, payload)) = self.pending_frames.front() {
             self.wal
                 .as_mut()
                 .expect("drain_pending is only called on durable databases")
                 .append(*kind, payload)?;
-            self.pending_frames.remove(0);
+            self.pending_frames.pop_front();
         }
         Ok(())
     }
 
-    /// Writes a checkpoint: the WAL is synced, then the current tree
-    /// and provenance store are snapshotted so the next recovery can
-    /// skip replaying the log prefix up to here. The WAL itself is
-    /// kept whole — it remains the source of truth (and
-    /// [`CuratedDatabase::archive_from_log`] needs the full log).
-    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+    /// Writes a checkpoint: the WAL is synced, the current state is
+    /// snapshotted with a coverage watermark (the synced log length),
+    /// and the snapshot is installed **crash-atomically** through the
+    /// [`CheckpointStore`] — a crash mid-install leaves the previous
+    /// checkpoint loadable, never neither. Once installed, WAL segments
+    /// fully below the watermark are retired per the device's
+    /// [`Retention`] policy (archived or deleted); the checkpoint
+    /// itself carries whatever the next recovery can no longer read
+    /// from the live log — under [`Retention::KeepAll`] the full
+    /// transaction log rides along, under [`Retention::Reclaim`] the
+    /// exported snapshots of the published versions do.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, DbError> {
         if self.wal.is_none() {
             return Err(DbError::Storage(
                 "checkpoint on an in-memory database".into(),
@@ -379,18 +501,103 @@ impl CuratedDatabase {
         let _span = cdb_obs::SpanGuard::enter("core.checkpoint");
         self.metrics.counter("core.checkpoints").inc();
         self.drain_pending()?;
-        self.wal.as_mut().expect("checked durable above").sync()?;
-        let ck = Checkpoint {
-            last_txn: self.curated.last_txn_id(),
-            tree: self.curated.tree.clone(),
-            prov: self.curated.prov.clone(),
+        let wal = self.wal.as_mut().expect("checked durable above");
+        wal.sync()?;
+        // Everything up to here is durable; nothing can be appended
+        // between the sync and this read (`&mut self` serializes the
+        // owned path, the database lock serializes the shared one), so
+        // the watermark is exactly the durable log length.
+        let covered = wal.len()?;
+
+        let mut ck = Checkpoint::basic(
+            self.curated.last_txn_id(),
+            self.curated.tree.clone(),
+            self.curated.prov.clone(),
+        );
+        ck.covered_len = Some(covered);
+        ck.last_time = self
+            .curated
+            .log
+            .last()
+            .map(|t| t.time)
+            .unwrap_or(0)
+            .max(self.last_time);
+        // The in-memory log is already partial when this instance was
+        // itself recovered from a reclaiming checkpoint — carrying it
+        // as "the full history" would corrupt the next recovery, so a
+        // cut instance always checkpoints in truncated form.
+        let truncated_form =
+            self.retention == Retention::Reclaim || self.curated.base_txn_id().is_some();
+        ck.log = if truncated_form {
+            Vec::new()
+        } else {
+            self.curated.log.clone()
         };
-        let io = self
-            .ckpt_io
+        if truncated_form {
+            ck.snapshots = (0..self.archive.version_count())
+                .map(|v| {
+                    self.archive
+                        .retrieve(v)
+                        .map(|val| cdb_archive::codec::encode_value(&val))
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        // Publishes and aux records below the watermark disappear with
+        // their frames, so the checkpoint re-encodes the complete
+        // current sets (events first, then notes — recovery only
+        // depends on relative order within each kind).
+        ck.publishes = self
+            .publish_points
+            .iter()
+            .map(|(txn, time, label)| {
+                cdb_storage::recovery::encode_publish(&PublishRecord {
+                    txn: *txn,
+                    time: *time,
+                    label: label.clone(),
+                })
+            })
+            .collect();
+        let mut aux: Vec<Vec<u8>> = self.lifecycle.events().iter().map(encode_event).collect();
+        for ((key, field), notes) in &self.notes {
+            for note in notes {
+                aux.push(encode_note(key, field.as_deref(), note));
+            }
+        }
+        ck.aux = aux;
+
+        self.ckpt
             .as_mut()
-            .expect("durable database always has a checkpoint device");
-        write_checkpoint(io.as_mut(), &ck)?;
-        Ok(())
+            .expect("durable database always has a checkpoint store")
+            .install(&ck)?;
+
+        // The checkpoint is durably installed: history it covers can be
+        // retired. Best-effort — a failed retire is retried by the next
+        // checkpoint, never blocks this one.
+        let wal = self.wal.as_mut().expect("checked durable above");
+        let reclaimed = wal.reclaim(covered)?;
+        let mut stats = CheckpointStats {
+            covered_bytes: covered,
+            live_segments: wal.live_segments(),
+            ..CheckpointStats::default()
+        };
+        if let Some(r) = reclaimed {
+            stats.retired_segments = r.retired;
+            stats.reclaimed_bytes = r.reclaimed_bytes;
+            stats.live_segments = r.live;
+            self.metrics
+                .counter("storage.segment.retired")
+                .add(r.retired);
+            self.metrics
+                .counter("storage.segment.reclaimed_bytes")
+                .add(r.reclaimed_bytes);
+            if r.failed {
+                self.metrics.counter("storage.error.retire_failed").inc();
+            }
+        }
+        self.metrics
+            .gauge("storage.segment.count")
+            .set(stats.live_segments);
+        Ok(stats)
     }
 
     /// Encodes every not-yet-persisted committed transaction *and* the
@@ -417,7 +624,7 @@ impl CuratedDatabase {
         let txns = &self.curated.log[start..];
         if txns.is_empty() {
             for payload in fresh.drain(..) {
-                self.pending_frames.push((FRAME_AUX, payload));
+                self.pending_frames.push_back((FRAME_AUX, payload));
             }
         } else {
             // Normally exactly one transaction is unpersisted and the
@@ -432,7 +639,7 @@ impl CuratedDatabase {
                     Vec::new()
                 };
                 self.pending_frames
-                    .push((FRAME_COMMIT, cdb_storage::encode_commit(txn, &aux)));
+                    .push_back((FRAME_COMMIT, cdb_storage::encode_commit(txn, &aux)));
             }
         }
         self.metrics
@@ -461,7 +668,7 @@ impl CuratedDatabase {
             .last()
             .expect("persist_publish follows a publish")
             .clone();
-        self.pending_frames.push((
+        self.pending_frames.push_back((
             FRAME_PUBLISH,
             cdb_storage::recovery::encode_publish(&PublishRecord { txn, time, label }),
         ));
@@ -483,12 +690,46 @@ impl CuratedDatabase {
             .expect("persist_note follows an annotate")
             .clone();
         self.pending_frames
-            .push((FRAME_AUX, encode_note(key, field, &note)));
+            .push_back((FRAME_AUX, encode_note(key, field, &note)));
         self.drain_pending()?;
         if self.durability == Durability::Always {
             self.wal.as_mut().expect("checked durable above").sync()?;
         }
         Ok(())
+    }
+}
+
+impl Drop for CuratedDatabase {
+    /// Best-effort flush on drop: under [`Durability::Batched`] a
+    /// database can die holding committed-but-unsynced frames; dropping
+    /// it cleanly (scope exit, shutdown) is not a crash, so those
+    /// frames get one last drain + sync. Failure is swallowed — drop
+    /// cannot return an error — but counted: the global
+    /// `storage.error.dropped_unsynced` counter records every drop that
+    /// lost a tail, so silent loss is at least observable. Panics skip
+    /// the flush entirely (the unwound state is suspect, and crash
+    /// recovery handles a truncated tail by design).
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        let dirty = match self.wal.as_ref() {
+            None => return,
+            Some(wal) => !self.pending_frames.is_empty() || wal.unsynced() > 0,
+        };
+        if !dirty {
+            return;
+        }
+        let mut flush = || -> Result<(), DbError> {
+            self.drain_pending()?;
+            self.wal.as_mut().expect("checked durable above").sync()?;
+            Ok(())
+        };
+        if flush().is_err() {
+            cdb_obs::global()
+                .counter("storage.error.dropped_unsynced")
+                .inc();
+        }
     }
 }
 

@@ -30,7 +30,7 @@ pub mod shared;
 pub mod views;
 
 pub use db::{CuratedDatabase, DbError, Note};
-pub use durable::Durability;
+pub use durable::{CheckpointStats, Durability};
 pub use lifecycle::{EntryEvent, EntryRegistry, Fate};
 pub use shared::{SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};
 

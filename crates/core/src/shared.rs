@@ -68,10 +68,10 @@ use cdb_curation::ops::Clipboard;
 use cdb_curation::provstore::StoreMode;
 use cdb_curation::NodeId;
 use cdb_model::Atom;
-use cdb_storage::{read_checkpoint, recover, GroupCommitStats, GroupWal, Io};
+use cdb_storage::{recover, CheckpointStore, GroupCommitStats, GroupWal, Io};
 
 use crate::db::{CuratedDatabase, DbError};
-use crate::durable::{Durability, WalRef};
+use crate::durable::{CheckpointStats, Durability, WalRef};
 
 /// Default group-commit batch window for shared databases: long enough
 /// for concurrent writers to pile into one sync, short enough to be
@@ -211,11 +211,11 @@ impl SharedDb {
         name: impl Into<String>,
         key_field: impl Into<String>,
         wal_io: Box<dyn Io>,
-        mut ckpt_io: Box<dyn Io>,
+        mut ckpt: CheckpointStore,
         window: Duration,
     ) -> Result<Self, DbError> {
         let name = name.into();
-        let ck = read_checkpoint(ckpt_io.as_mut())?;
+        let ck = ckpt.load()?;
         let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
         let metrics = cdb_obs::Metrics::new();
         let group = GroupWal::with_metrics(log, window, &metrics);
@@ -224,7 +224,7 @@ impl SharedDb {
             key_field,
             rec,
             WalRef::Shared(group.clone()),
-            ckpt_io,
+            ckpt,
             metrics.clone(),
         )?;
         db.set_durability(Durability::Batched);
@@ -242,8 +242,9 @@ impl SharedDb {
         })
     }
 
-    /// Opens a durable shared database backed by `<dir>/<name>.wal`
-    /// and `<dir>/<name>.ckpt` (created if absent).
+    /// Opens a durable shared database backed by segmented WAL files
+    /// `<dir>/<name>.wal.<seq>` and the atomically-installed checkpoint
+    /// `<dir>/<name>.ckpt` (created if absent).
     pub fn open_dir(
         name: impl Into<String>,
         key_field: impl Into<String>,
@@ -252,9 +253,10 @@ impl SharedDb {
     ) -> Result<Self, DbError> {
         let name = name.into();
         let dir = dir.as_ref();
-        let wal = cdb_storage::FileIo::open(dir.join(format!("{name}.wal")))?;
-        let ckpt = cdb_storage::FileIo::open(dir.join(format!("{name}.ckpt")))?;
-        SharedDb::open(name, key_field, Box::new(wal), Box::new(ckpt), window)
+        let wal =
+            cdb_storage::SegmentedIo::open_dir(dir, &name, cdb_storage::SegmentConfig::default())?;
+        let ckpt = CheckpointStore::dir(dir, &name);
+        SharedDb::open(name, key_field, Box::new(wal), ckpt, window)
     }
 
     fn lock_db(&self) -> MutexGuard<'_, CuratedDatabase> {
@@ -450,12 +452,19 @@ impl SharedDb {
     }
 
     /// Writes a checkpoint (see [`CuratedDatabase::checkpoint`]). Safe
-    /// to race with concurrent writers: the checkpoint syncs the WAL
-    /// through the same group handle, so it captures some committed
-    /// prefix, and recovery replays whatever the WAL holds past it.
-    pub fn checkpoint(&self) -> Result<(), DbError> {
+    /// to race with concurrent writers: the checkpoint holds the
+    /// database lock, so the coverage watermark it records is exactly
+    /// the synced log, and recovery replays whatever the WAL holds
+    /// past it.
+    pub fn checkpoint(&self) -> Result<CheckpointStats, DbError> {
         let mut db = self.lock_db();
         db.checkpoint()
+    }
+
+    /// Sets the segment-retention policy for future checkpoints (see
+    /// [`CuratedDatabase::set_retention`]).
+    pub fn set_retention(&self, retention: cdb_storage::Retention) {
+        self.lock_db().set_retention(retention);
     }
 
     /// Group-commit counters, when durable (`None` for in-memory).

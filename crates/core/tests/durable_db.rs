@@ -4,7 +4,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use cdb_core::storage::{FaultPlan, FaultyIo, Io, MemIo, StorageError};
+use cdb_core::storage::{CheckpointStore, FaultPlan, FaultyIo, Io, MemIo, StorageError};
 use cdb_core::{CuratedDatabase, Durability, Fate};
 use cdb_model::{Atom, Value};
 
@@ -30,26 +30,44 @@ impl SharedFaulty {
     }
 }
 
+/// After [`SharedFaulty::crash`] the device is gone: every operation
+/// errors (it does not panic — the database's best-effort drop flush
+/// may still run against it).
+fn crashed() -> StorageError {
+    StorageError::Io("device crashed".into())
+}
+
 impl Io for SharedFaulty {
     fn len(&self) -> Result<u64, StorageError> {
-        self.0.lock().unwrap().as_ref().unwrap().len()
-    }
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
         self.0
             .lock()
             .unwrap()
-            .as_mut()
-            .unwrap()
-            .read_at(offset, buf)
+            .as_ref()
+            .map_or_else(|| Err(crashed()), Io::len)
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        match self.0.lock().unwrap().as_mut() {
+            Some(io) => io.read_at(offset, buf),
+            None => Err(crashed()),
+        }
     }
     fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
-        self.0.lock().unwrap().as_mut().unwrap().append(bytes)
+        match self.0.lock().unwrap().as_mut() {
+            Some(io) => io.append(bytes),
+            None => Err(crashed()),
+        }
     }
     fn flush(&mut self) -> Result<(), StorageError> {
-        self.0.lock().unwrap().as_mut().unwrap().flush()
+        match self.0.lock().unwrap().as_mut() {
+            Some(io) => io.flush(),
+            None => Err(crashed()),
+        }
     }
     fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
-        self.0.lock().unwrap().as_mut().unwrap().truncate(len)
+        match self.0.lock().unwrap().as_mut() {
+            Some(io) => io.truncate(len),
+            None => Err(crashed()),
+        }
     }
 }
 
@@ -61,6 +79,23 @@ struct SharedMem(Arc<Mutex<MemIo>>);
 impl SharedMem {
     fn new() -> Self {
         SharedMem(Arc::new(Mutex::new(MemIo::new())))
+    }
+}
+
+/// A two-slot checkpoint store over shared in-memory slots, surviving
+/// the database that owns the store handle — so the checkpoint
+/// installed before a crash is loadable at reopen.
+#[derive(Debug, Clone)]
+struct SharedCkpt(SharedMem, SharedMem);
+
+impl SharedCkpt {
+    fn new() -> Self {
+        SharedCkpt(SharedMem::new(), SharedMem::new())
+    }
+
+    /// A fresh store over the same underlying slots.
+    fn store(&self) -> CheckpointStore {
+        CheckpointStore::slots(Box::new(self.0.clone()), Box::new(self.1.clone()))
     }
 }
 
@@ -171,15 +206,10 @@ fn durable_database_survives_clean_reopen_on_files() {
 #[test]
 fn crash_with_always_durability_loses_nothing() {
     let wal = SharedFaulty::new(FaultPlan::default());
-    let ckpt = SharedMem::new();
+    let ckpt = SharedCkpt::new();
     {
-        let mut db = CuratedDatabase::open(
-            "iuphar",
-            "name",
-            Box::new(wal.clone()),
-            Box::new(ckpt.clone()),
-        )
-        .unwrap();
+        let mut db =
+            CuratedDatabase::open("iuphar", "name", Box::new(wal.clone()), ckpt.store()).unwrap();
         assert_eq!(db.durability(), Durability::Always);
         curate(&mut db);
         // db dropped without any orderly shutdown.
@@ -189,7 +219,7 @@ fn crash_with_always_durability_loses_nothing() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(ckpt),
+        ckpt.store(),
     )
     .unwrap();
     assert_same(&db, &reference());
@@ -198,12 +228,13 @@ fn crash_with_always_durability_loses_nothing() {
 #[test]
 fn crash_with_batched_durability_loses_only_the_unsynced_tail() {
     let wal = SharedFaulty::new(FaultPlan::default());
+    let image;
     {
         let mut db = CuratedDatabase::open(
             "iuphar",
             "name",
             Box::new(wal.clone()),
-            Box::new(MemIo::new()),
+            CheckpointStore::mem(),
         )
         .unwrap();
         db.set_durability(Durability::Batched);
@@ -212,13 +243,16 @@ fn crash_with_batched_durability_loses_only_the_unsynced_tail() {
         db.add_entry("bob", 2, "B", &[]).unwrap();
         db.sync().unwrap();
         db.add_entry("carol", 3, "C", &[]).unwrap(); // never synced
+                                                     // The device dies while the handle is still alive — a real
+                                                     // crash, so the best-effort flush on drop has nowhere to write
+                                                     // and C's frames are genuinely lost.
+        image = wal.crash();
     }
-    let image = wal.crash();
     let db = CuratedDatabase::open(
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     let mut keys = db.entry_keys().unwrap();
@@ -235,15 +269,10 @@ fn crash_with_batched_durability_loses_only_the_unsynced_tail() {
 #[test]
 fn checkpoint_is_used_by_recovery_and_changes_nothing() {
     let wal = SharedFaulty::new(FaultPlan::default());
-    let ckpt = SharedMem::new();
+    let ckpt = SharedCkpt::new();
     {
-        let mut db = CuratedDatabase::open(
-            "iuphar",
-            "name",
-            Box::new(wal.clone()),
-            Box::new(ckpt.clone()),
-        )
-        .unwrap();
+        let mut db =
+            CuratedDatabase::open("iuphar", "name", Box::new(wal.clone()), ckpt.store()).unwrap();
         db.add_entry(
             "alice",
             1,
@@ -277,7 +306,7 @@ fn checkpoint_is_used_by_recovery_and_changes_nothing() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(ckpt),
+        ckpt.store(),
     )
     .unwrap();
     assert_same(&db, &reference());
@@ -295,7 +324,7 @@ fn torn_wal_tail_is_truncated_and_state_rolls_back_cleanly() {
             "iuphar",
             "name",
             Box::new(wal.clone()),
-            Box::new(MemIo::new()),
+            CheckpointStore::mem(),
         )
         .unwrap();
         db.add_entry("alice", 1, "A", &[("tm", Atom::Int(1))])
@@ -309,7 +338,7 @@ fn torn_wal_tail_is_truncated_and_state_rolls_back_cleanly() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     let stats = db.recovery_stats().unwrap();
@@ -336,7 +365,7 @@ fn rejected_retired_id_reuse_leaves_the_wal_recoverable() {
             "iuphar",
             "name",
             Box::new(wal.clone()),
-            Box::new(MemIo::new()),
+            CheckpointStore::mem(),
         )
         .unwrap();
         db.add_entry("alice", 1, "A", &[]).unwrap();
@@ -351,7 +380,7 @@ fn rejected_retired_id_reuse_leaves_the_wal_recoverable() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     assert_eq!(db.entry_keys().unwrap(), vec!["B".to_string()]);
@@ -375,7 +404,7 @@ fn failed_wal_append_is_retried_by_the_next_commit() {
             "iuphar",
             "name",
             Box::new(wal.clone()),
-            Box::new(MemIo::new()),
+            CheckpointStore::mem(),
         )
         .unwrap();
         db.add_entry("alice", 1, "A", &[]).unwrap();
@@ -388,7 +417,7 @@ fn failed_wal_append_is_retried_by_the_next_commit() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     let mut keys = db.entry_keys().unwrap();
@@ -413,7 +442,7 @@ fn empty_batch_sync_is_a_no_op() {
             "iuphar",
             "name",
             Box::new(wal.clone()),
-            Box::new(MemIo::new()),
+            CheckpointStore::mem(),
         )
         .unwrap();
         db.set_durability(Durability::Batched);
@@ -426,7 +455,7 @@ fn empty_batch_sync_is_a_no_op() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(wal.crash())),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     assert_eq!(db.entry_keys().unwrap(), vec!["A".to_string()]);
@@ -439,25 +468,22 @@ fn empty_batch_sync_is_a_no_op() {
 #[test]
 fn checkpoint_racing_a_pending_batch_syncs_it_first() {
     let wal = SharedFaulty::new(FaultPlan::default());
-    let ckpt = SharedMem::new();
+    let ckpt = SharedCkpt::new();
+    let image;
     {
-        let mut db = CuratedDatabase::open(
-            "iuphar",
-            "name",
-            Box::new(wal.clone()),
-            Box::new(ckpt.clone()),
-        )
-        .unwrap();
+        let mut db =
+            CuratedDatabase::open("iuphar", "name", Box::new(wal.clone()), ckpt.store()).unwrap();
         db.set_durability(Durability::Batched);
         db.add_entry("alice", 1, "A", &[]).unwrap(); // pending, unsynced
         db.checkpoint().unwrap(); // must flush A before snapshotting
         db.add_entry("bob", 2, "B", &[]).unwrap(); // unsynced, lost in crash
+        image = wal.crash(); // crash, not a clean drop — B is gone
     }
     let db = CuratedDatabase::open(
         "iuphar",
         "name",
-        Box::new(MemIo::from_bytes(wal.crash())),
-        Box::new(ckpt),
+        Box::new(MemIo::from_bytes(image)),
+        ckpt.store(),
     )
     .unwrap();
     assert_eq!(db.entry_keys().unwrap(), vec!["A".to_string()]);
@@ -488,7 +514,7 @@ fn fail_append_during_group_commit_is_retried_not_skipped() {
         "iuphar",
         "name",
         Box::new(wal.clone()),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
         Duration::ZERO,
     )
     .unwrap();
@@ -502,7 +528,7 @@ fn fail_append_during_group_commit_is_retried_not_skipped() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(wal.crash())),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     let mut keys = recovered.entry_keys().unwrap();
@@ -514,6 +540,137 @@ fn fail_append_during_group_commit_is_retried_not_skipped() {
     );
 }
 
+/// Dropping a batched database without a final explicit sync flushes
+/// the tail best-effort: a clean shutdown loses nothing.
+#[test]
+fn clean_drop_with_batched_durability_flushes_the_tail() {
+    let wal = SharedFaulty::new(FaultPlan::default());
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            CheckpointStore::mem(),
+        )
+        .unwrap();
+        db.set_durability(Durability::Batched);
+        db.add_entry("alice", 1, "A", &[]).unwrap();
+        db.add_entry("bob", 2, "B", &[]).unwrap();
+        // No sync: the drop must flush what recovery will need.
+    }
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(wal.crash())),
+        CheckpointStore::mem(),
+    )
+    .unwrap();
+    let mut keys = db.entry_keys().unwrap();
+    keys.sort();
+    assert_eq!(keys, vec!["A".to_string(), "B".to_string()]);
+}
+
+/// When the drop-time flush cannot reach the device, the failure is
+/// counted (`storage.error.dropped_unsynced`) instead of panicking in
+/// a destructor.
+#[test]
+fn failed_drop_flush_is_counted_not_fatal() {
+    let counter = cdb_obs::global().counter("storage.error.dropped_unsynced");
+    let before = counter.get();
+    let wal = SharedFaulty::new(FaultPlan::default());
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(wal.clone()),
+            CheckpointStore::mem(),
+        )
+        .unwrap();
+        db.set_durability(Durability::Batched);
+        db.add_entry("alice", 1, "A", &[]).unwrap();
+        let _ = wal.crash(); // device gone before the handle drops
+    }
+    assert!(
+        counter.get() > before,
+        "a failed drop flush must bump storage.error.dropped_unsynced"
+    );
+}
+
+/// A device whose appends can be gated shut, to build an arbitrarily
+/// large queued-frame backlog without one-shot fault plans.
+#[derive(Debug, Clone)]
+struct GatedIo(Arc<Mutex<(MemIo, bool)>>);
+
+impl GatedIo {
+    fn new() -> Self {
+        GatedIo(Arc::new(Mutex::new((MemIo::new(), true))))
+    }
+
+    fn set_open(&self, open: bool) {
+        self.0.lock().unwrap().1 = open;
+    }
+
+    fn bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().0.bytes().to_vec()
+    }
+}
+
+impl Io for GatedIo {
+    fn len(&self) -> Result<u64, StorageError> {
+        self.0.lock().unwrap().0.len()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.0.lock().unwrap().0.read_at(offset, buf)
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.0.lock().unwrap();
+        if !inner.1 {
+            return Err(StorageError::Io("append gate closed".into()));
+        }
+        inner.0.append(bytes)
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.0.lock().unwrap().0.flush()
+    }
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.0.lock().unwrap().0.truncate(len)
+    }
+}
+
+/// Ten thousand commits' worth of frames queue up behind a dead device
+/// and then drain in one linear pass once it heals — the deque-backed
+/// queue makes the drain O(n), and recovery sees every transaction.
+#[test]
+fn ten_thousand_frame_backlog_drains_in_one_pass() {
+    let dev = GatedIo::new();
+    {
+        let mut db = CuratedDatabase::open(
+            "iuphar",
+            "name",
+            Box::new(dev.clone()),
+            CheckpointStore::mem(),
+        )
+        .unwrap();
+        dev.set_open(false);
+        for i in 0..10_000u64 {
+            // Each add commits in memory and queues its frame; the
+            // append error is reported but nothing is lost.
+            assert!(db.add_entry("alice", i, &format!("E{i:05}"), &[]).is_err());
+        }
+        dev.set_open(true);
+        db.sync().unwrap();
+    }
+    let db = CuratedDatabase::open(
+        "iuphar",
+        "name",
+        Box::new(MemIo::from_bytes(dev.bytes())),
+        CheckpointStore::mem(),
+    )
+    .unwrap();
+    assert_eq!(db.entry_keys().unwrap().len(), 10_000);
+    assert_eq!(db.recovery_stats().unwrap().frames_dropped, 0);
+}
+
 #[test]
 fn recovered_export_matches_value_level_snapshot() {
     let wal = SharedFaulty::new(FaultPlan::default());
@@ -523,7 +680,7 @@ fn recovered_export_matches_value_level_snapshot() {
             "iuphar",
             "name",
             Box::new(wal.clone()),
-            Box::new(MemIo::new()),
+            CheckpointStore::mem(),
         )
         .unwrap();
         curate(&mut db);
@@ -534,7 +691,7 @@ fn recovered_export_matches_value_level_snapshot() {
         "iuphar",
         "name",
         Box::new(MemIo::from_bytes(image)),
-        Box::new(MemIo::new()),
+        CheckpointStore::mem(),
     )
     .unwrap();
     assert_eq!(db.export().unwrap(), snapshot);

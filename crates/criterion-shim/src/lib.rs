@@ -22,11 +22,13 @@
 //! when the [`criterion_main!`]-generated `main` exits, written as
 //! `BENCH_<bench-name>.json` at the workspace root — an array of
 //! `{op, size, ns_per_iter, samples, iters_per_sample, threads,
-//! batch_window_us}` rows (`threads`/`batch_window_us` are `null`
-//! unless a harness sets them via [`push_record`]). Set
-//! `CDB_BENCH_JSON=0` to suppress the file, or `CDB_BENCH_JSON_DIR` to
-//! redirect it. Smoke runs never write the report (their timings are
-//! meaningless and would clobber real measurements).
+//! batch_window_us, segments}` rows (`threads`/`batch_window_us`/
+//! `segments` are `null` unless a harness sets them via
+//! [`push_record`]). Set `CDB_BENCH_JSON=0` to suppress the file, or
+//! `CDB_BENCH_JSON_DIR` to redirect it. Smoke runs skip the report
+//! (their timings are meaningless and would clobber real
+//! measurements) unless `CDB_BENCH_JSON=1` forces it, which CI uses to
+//! validate the report shape against a scratch directory.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -67,6 +69,9 @@ pub struct Record {
     /// Group-commit batch window in microseconds, when the measurement
     /// depends on one (`null` otherwise).
     pub batch_window_us: Option<u64>,
+    /// Live WAL segments scanned by the measured operation, for
+    /// recovery benches over a segmented log (`null` otherwise).
+    pub segments: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -131,15 +136,16 @@ fn manifest_declares_workspace(path: &Path) -> bool {
 /// [`criterion_main!`]-generated `main`; callable directly from a
 /// hand-rolled harness too.
 pub fn write_json_report(name: &str, manifest_dir: &str) {
-    if std::env::var("CDB_BENCH_JSON")
-        .map(|v| v == "0")
-        .unwrap_or(false)
-    {
+    let json_env = std::env::var("CDB_BENCH_JSON").ok();
+    if json_env.as_deref() == Some("0") {
         return;
     }
     // Smoke runs exist to catch bit-rot; their one-iteration timings
-    // are noise and must not clobber a real report.
-    if smoke_mode() {
+    // are noise and must not clobber a real report — unless the caller
+    // explicitly asks for the file with `CDB_BENCH_JSON=1` (CI uses
+    // this, with `CDB_BENCH_JSON_DIR` pointed at a scratch dir, to
+    // check the report shape without paying measurement time).
+    if smoke_mode() && json_env.as_deref() != Some("1") {
         return;
     }
     let records = RECORDS.lock().expect("bench recorder poisoned");
@@ -156,7 +162,7 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
         out.push_str(&format!(
             "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
              \"samples\": {}, \"iters_per_sample\": {}, \
-             \"threads\": {}, \"batch_window_us\": {}}}{}\n",
+             \"threads\": {}, \"batch_window_us\": {}, \"segments\": {}}}{}\n",
             json_escape(&r.op),
             opt(r.size),
             r.ns_per_iter,
@@ -164,6 +170,7 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
             r.iters_per_sample,
             opt(r.threads),
             opt(r.batch_window_us),
+            opt(r.segments),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -470,6 +477,7 @@ mod tests {
             iters_per_sample: 1,
             threads: Some(4),
             batch_window_us: Some(200),
+            segments: Some(3),
             ..Record::default()
         });
         write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
@@ -481,7 +489,36 @@ mod tests {
         assert!(text.contains("\"threads\": null"));
         assert!(text.contains("\"threads\": 4"));
         assert!(text.contains("\"batch_window_us\": 200"));
+        assert!(text.contains("\"segments\": null"));
+        assert!(text.contains("\"segments\": 3"));
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn smoke_mode_writes_the_report_only_when_forced() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("cdb_criterion_shim_smoke_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CDB_BENCH_SMOKE", "1");
+        std::env::set_var("CDB_BENCH_JSON_DIR", dir.display().to_string());
+        record(Record {
+            op: "smoke/op".into(),
+            ns_per_iter: 1,
+            samples: 1,
+            iters_per_sample: 1,
+            ..Record::default()
+        });
+        write_json_report("smoketest", env!("CARGO_MANIFEST_DIR"));
+        assert!(!dir.join("BENCH_smoketest.json").exists());
+        std::env::set_var("CDB_BENCH_JSON", "1");
+        write_json_report("smoketest", env!("CARGO_MANIFEST_DIR"));
+        std::env::remove_var("CDB_BENCH_JSON");
+        std::env::remove_var("CDB_BENCH_JSON_DIR");
+        std::env::remove_var("CDB_BENCH_SMOKE");
+        let text = std::fs::read_to_string(dir.join("BENCH_smoketest.json")).unwrap();
+        assert!(text.contains("\"op\": \"smoke/op\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

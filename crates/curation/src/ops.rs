@@ -140,11 +140,17 @@ impl ClipNode {
 pub struct CuratedTree {
     /// The underlying tree.
     pub tree: TreeDb,
-    /// The committed transaction log.
+    /// The committed transaction log. May be a *tail* of the full
+    /// history when the database was recovered from a checkpoint whose
+    /// covered log was truncated (`Retention::Reclaim`); `base_txn`
+    /// then records where the tail begins.
     pub log: Vec<Transaction>,
     /// The provenance store.
     pub prov: ProvStore,
     next_txn: u64,
+    /// Last transaction id folded into the state before `log` begins
+    /// (`None` when `log` is the full history).
+    base_txn: Option<TxnId>,
 }
 
 impl CuratedTree {
@@ -156,6 +162,7 @@ impl CuratedTree {
             log: Vec::new(),
             prov: ProvStore::new(mode),
             next_txn: 0,
+            base_txn: None,
         }
     }
 
@@ -210,6 +217,33 @@ impl CuratedTree {
             log,
             prov,
             next_txn,
+            base_txn: None,
+        }
+    }
+
+    /// Reassembles a curated database whose `log` is only the *tail*
+    /// of its history: everything through `base_txn` is already folded
+    /// into `tree` and `prov`, and the covered transaction records are
+    /// gone (checkpoint-anchored truncation under `Retention::Reclaim`).
+    /// Transaction ids continue after the tail, or after `base_txn`
+    /// when the tail is empty.
+    pub fn from_parts_at(
+        tree: TreeDb,
+        log: Vec<Transaction>,
+        prov: ProvStore,
+        base_txn: Option<TxnId>,
+    ) -> Self {
+        let next_txn = log
+            .last()
+            .map(|t| t.id.0 + 1)
+            .or(base_txn.map(|t| t.0 + 1))
+            .unwrap_or(0);
+        CuratedTree {
+            tree,
+            log,
+            prov,
+            next_txn,
+            base_txn,
         }
     }
 
@@ -226,9 +260,18 @@ impl CuratedTree {
         &self.log
     }
 
-    /// The id of the most recently committed transaction, if any.
+    /// The id of the most recently committed transaction, if any —
+    /// falling back to the truncated-history base when the tail log is
+    /// empty.
     pub fn last_txn_id(&self) -> Option<TxnId> {
-        self.log.last().map(|t| t.id)
+        self.log.last().map(|t| t.id).or(self.base_txn)
+    }
+
+    /// Where the in-memory log begins: the last transaction id already
+    /// folded into the state before `log`, or `None` when `log` is the
+    /// full history.
+    pub fn base_txn_id(&self) -> Option<TxnId> {
+        self.base_txn
     }
 }
 

@@ -61,11 +61,33 @@ pub fn replay(name: &str, log: &[Transaction], upto: Option<TxnId>) -> Result<Tr
     Ok(tree)
 }
 
-/// Replays the log of a curated tree and verifies the reconstruction
-/// matches the live tree (ids, labels, values, structure). Returns the
-/// replayed tree.
-pub fn replay_and_verify(db: &CuratedTree) -> Result<TreeDb, ReplayError> {
-    let replayed = replay(db.tree.name(), &db.log, None)?;
+/// Replays a transaction tail onto an existing base tree (a checkpoint
+/// snapshot), up to and **including** `upto` (or the whole tail when
+/// `None`). This is the truncated-history counterpart of [`replay`]:
+/// when the covered log is gone, reconstruction starts from the
+/// checkpoint tree instead of empty.
+pub fn replay_onto(
+    base: TreeDb,
+    log: &[Transaction],
+    upto: Option<TxnId>,
+) -> Result<TreeDb, ReplayError> {
+    let mut tree = base;
+    for txn in log {
+        if let Some(limit) = upto {
+            if txn.id > limit {
+                break;
+            }
+        }
+        for op in &txn.ops {
+            apply(&mut tree, op)?;
+        }
+    }
+    Ok(tree)
+}
+
+/// Verifies a reconstructed tree against the live tree of `db` (ids,
+/// labels, values, structure).
+pub fn verify_replay(db: &CuratedTree, replayed: &TreeDb) -> Result<(), ReplayError> {
     for id in db.tree.live_nodes() {
         if !replayed.is_alive(id) {
             return Err(ReplayError::Inconsistent(format!(
@@ -88,6 +110,15 @@ pub fn replay_and_verify(db: &CuratedTree) -> Result<TreeDb, ReplayError> {
             db.tree.size()
         )));
     }
+    Ok(())
+}
+
+/// Replays the log of a curated tree and verifies the reconstruction
+/// matches the live tree (ids, labels, values, structure). Returns the
+/// replayed tree.
+pub fn replay_and_verify(db: &CuratedTree) -> Result<TreeDb, ReplayError> {
+    let replayed = replay(db.tree.name(), &db.log, None)?;
+    verify_replay(db, &replayed)?;
     Ok(replayed)
 }
 

@@ -53,6 +53,14 @@ impl std::error::Error for WireError {}
 
 /// A checkpoint snapshot: the materialized state as of `last_txn`, so
 /// recovery can skip re-applying the log prefix it covers.
+///
+/// The v2 fields make a checkpoint *load-bearing* for segmented logs:
+/// `covered_len` anchors the snapshot to a logical WAL offset so
+/// recovery can skip (and retention can retire) every frame before it,
+/// and the carried log / publish / aux / snapshot payloads preserve
+/// what those skipped frames would have contributed. A v1 payload
+/// decodes with all of these at their defaults, which reproduces the
+/// old semantics exactly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     /// The last transaction whose effects the snapshot includes
@@ -62,7 +70,53 @@ pub struct Checkpoint {
     pub tree: TreeDb,
     /// The provenance store.
     pub prov: ProvStore,
+    /// Logical WAL byte offset this snapshot durably covers: recovery
+    /// skips frames ending at or before it, and retention may retire
+    /// segments wholly below it. `None` = a legacy snapshot with no
+    /// coverage claim (recovery matches `last_txn` against the log).
+    pub covered_len: Option<u64>,
+    /// Wall-clock time of the last covered transaction, so time-based
+    /// features (publish timestamps) survive history truncation.
+    pub last_time: u64,
+    /// The covered transaction log. Full under `Retention::KeepAll`
+    /// (paper semantics: the curation log is forever); empty under
+    /// `Retention::Reclaim`, where the tree + provenance snapshot is
+    /// the only record of covered history.
+    pub log: Vec<Transaction>,
+    /// Encoded publish records (`cdb-storage` `PublishRecord` wire
+    /// form) for every publish point in the covered prefix.
+    pub publishes: Vec<Vec<u8>>,
+    /// Raw aux payloads (lifecycle events, notes) from the covered
+    /// prefix, in replay order.
+    pub aux: Vec<Vec<u8>>,
+    /// One encoded snapshot `Value` per covered publish point
+    /// (`cdb-archive` value codec), populated under
+    /// `Retention::Reclaim` so the published-version archive can be
+    /// rebuilt without the covered log. Opaque bytes at this layer.
+    pub snapshots: Vec<Vec<u8>>,
 }
+
+impl Checkpoint {
+    /// A checkpoint with only the core state (no coverage claim, no
+    /// carried history) — the v1 shape.
+    pub fn basic(last_txn: Option<TxnId>, tree: TreeDb, prov: ProvStore) -> Self {
+        Checkpoint {
+            last_txn,
+            tree,
+            prov,
+            covered_len: None,
+            last_time: 0,
+            log: Vec::new(),
+            publishes: Vec::new(),
+            aux: Vec::new(),
+            snapshots: Vec::new(),
+        }
+    }
+}
+
+/// Version tag opening a v2 checkpoint payload. A v1 payload starts
+/// with an option presence byte (0 or 1), so 2 is unambiguous.
+const CKPT_VERSION_V2: u8 = 2;
 
 // ------------------------------------------------------------ writer
 
@@ -251,12 +305,35 @@ fn put_prov(out: &mut Vec<u8>, prov: &ProvStore) {
     }
 }
 
-/// Encodes a checkpoint snapshot as a checkpoint-file frame payload.
+fn put_chunk(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn put_chunks(out: &mut Vec<u8>, chunks: &[Vec<u8>]) {
+    put_u32(out, chunks.len() as u32);
+    for c in chunks {
+        put_chunk(out, c);
+    }
+}
+
+/// Encodes a checkpoint snapshot as a checkpoint-file frame payload
+/// (always the v2 form; v1 payloads remain decodable).
 pub fn encode_checkpoint(ck: &Checkpoint) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
+    out.push(CKPT_VERSION_V2);
     put_opt_u64(&mut out, ck.last_txn.map(|t| t.0));
     put_tree(&mut out, &ck.tree);
     put_prov(&mut out, &ck.prov);
+    put_opt_u64(&mut out, ck.covered_len);
+    put_u64(&mut out, ck.last_time);
+    put_u32(&mut out, ck.log.len() as u32);
+    for txn in &ck.log {
+        put_chunk(&mut out, &encode_transaction(txn));
+    }
+    put_chunks(&mut out, &ck.publishes);
+    put_chunks(&mut out, &ck.aux);
+    put_chunks(&mut out, &ck.snapshots);
     out
 }
 
@@ -498,18 +575,43 @@ pub fn decode_transaction(bytes: &[u8]) -> Result<Transaction, WireError> {
     })
 }
 
-/// Decodes a checkpoint frame payload.
+fn read_chunks(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, WireError> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        let len = r.u32()? as usize;
+        out.push(r.bytes(len)?.to_vec());
+    }
+    Ok(out)
+}
+
+/// Decodes a checkpoint frame payload, either version. A v1 payload
+/// (first byte is an option presence tag, 0 or 1) yields a checkpoint
+/// with every v2 field at its default.
 pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
     let mut r = Reader::new(bytes);
+    let versioned = bytes.first() == Some(&CKPT_VERSION_V2);
+    if versioned {
+        r.u8()?;
+    }
     let last_txn = r.opt_u64()?.map(TxnId);
     let tree = r.tree()?;
     let prov = r.prov()?;
+    let mut ck = Checkpoint::basic(last_txn, tree, prov);
+    if versioned {
+        ck.covered_len = r.opt_u64()?;
+        ck.last_time = r.u64()?;
+        let n = r.u32()? as usize;
+        for _ in 0..n {
+            let len = r.u32()? as usize;
+            ck.log.push(decode_transaction(r.bytes(len)?)?);
+        }
+        ck.publishes = read_chunks(&mut r)?;
+        ck.aux = read_chunks(&mut r)?;
+        ck.snapshots = read_chunks(&mut r)?;
+    }
     r.finish()?;
-    Ok(Checkpoint {
-        last_txn,
-        tree,
-        prov,
-    })
+    Ok(ck)
 }
 
 #[cfg(test)]
@@ -559,11 +661,7 @@ mod tests {
     #[test]
     fn checkpoints_round_trip_tombstones_and_prov() {
         let db = busy_tree();
-        let ck = Checkpoint {
-            last_txn: db.last_txn_id(),
-            tree: db.tree.clone(),
-            prov: db.prov.clone(),
-        };
+        let ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
         let bytes = encode_checkpoint(&ck);
         let back = decode_checkpoint(&bytes).unwrap();
         assert_eq!(back, ck);
@@ -590,14 +688,36 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(decode_transaction(&bytes[..cut]).is_err(), "cut at {cut}");
         }
-        let ck = encode_checkpoint(&Checkpoint {
-            last_txn: None,
-            tree: db.tree.clone(),
-            prov: db.prov.clone(),
-        });
+        let ck = encode_checkpoint(&Checkpoint::basic(None, db.tree.clone(), db.prov.clone()));
         for cut in (0..ck.len()).step_by(7) {
             assert!(decode_checkpoint(&ck[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn v2_checkpoints_round_trip_carried_history() {
+        let db = busy_tree();
+        let mut ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
+        ck.covered_len = Some(4096);
+        ck.last_time = 3;
+        ck.log = db.log.clone();
+        ck.publishes = vec![vec![1, 2, 3], Vec::new()];
+        ck.aux = vec![b"event".to_vec()];
+        ck.snapshots = vec![b"value-bytes".to_vec()];
+        let bytes = encode_checkpoint(&ck);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ck);
+    }
+
+    #[test]
+    fn v1_checkpoint_payloads_still_decode() {
+        let db = busy_tree();
+        let ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
+        // A v1 payload is the unversioned core-field encoding.
+        let mut v1 = Vec::new();
+        put_opt_u64(&mut v1, ck.last_txn.map(|t| t.0));
+        put_tree(&mut v1, &ck.tree);
+        put_prov(&mut v1, &ck.prov);
+        assert_eq!(decode_checkpoint(&v1).unwrap(), ck);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! prefix is exactly the committed prefix.
 
 use crate::crc::Hasher;
-use crate::io::{read_all, Io};
+use crate::io::{read_exact_at, Io};
 use crate::StorageError;
 
 /// Magic header for write-ahead-log files.
@@ -80,10 +80,19 @@ pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
 pub struct ScanOutcome {
     /// Frames in the valid prefix, in log order.
     pub frames: Vec<Frame>,
+    /// Absolute logical end offset of each frame in `frames` (the
+    /// offset of the byte after the frame), parallel to `frames`.
+    /// Watermark recovery uses these to skip checkpoint-covered frames
+    /// without decoding them.
+    pub ends: Vec<u64>,
     /// Whether the magic header was intact. `false` means the file was
     /// empty or torn before the header finished — the caller should
-    /// re-initialize it.
+    /// re-initialize it. A device whose header segment was retired
+    /// (`base > 0`) reports `true`: the header was validated before it
+    /// was allowed to be retired.
     pub header_ok: bool,
+    /// Logical offset where readable data begins ([`Io::base`]).
+    pub base: u64,
     /// Byte offset where the valid prefix ends (truncate here to drop
     /// the torn tail).
     pub valid_len: u64,
@@ -94,28 +103,42 @@ pub struct ScanOutcome {
     pub bytes_dropped: u64,
 }
 
-/// Scans a device from the start, validating `magic` and then every
-/// frame checksum, stopping at the first torn or corrupt frame.
+/// Scans a device from its base, validating `magic` (when the header
+/// is still live) and then every frame checksum, stopping at the first
+/// torn or corrupt frame.
 pub fn scan(io: &mut dyn Io, magic: &[u8; 8]) -> Result<ScanOutcome, StorageError> {
-    let buf = read_all(io)?;
-    if buf.len() < magic.len() || &buf[..magic.len()] != magic {
+    let base = io.base();
+    let total = io.len()?;
+    // `origin` is the logical offset of buf[0]. With a retired prefix
+    // the magic header is gone with its segment; it was validated when
+    // the log was created, and retirement only covers synced frames.
+    let origin = base;
+    let mut buf = vec![0u8; total.saturating_sub(origin) as usize];
+    if !buf.is_empty() {
+        read_exact_at(io, origin, &mut buf)?;
+    }
+    if base == 0 && (buf.len() < magic.len() || &buf[..magic.len()] != magic) {
         return Ok(ScanOutcome {
             frames: Vec::new(),
+            ends: Vec::new(),
             header_ok: false,
+            base,
             valid_len: 0,
             frames_dropped: u64::from(!buf.is_empty()),
             bytes_dropped: buf.len() as u64,
         });
     }
     let mut frames = Vec::new();
-    let mut pos = magic.len() as u64;
-    let total = buf.len() as u64;
+    let mut ends = Vec::new();
+    let mut pos = if base == 0 { magic.len() as u64 } else { base };
     loop {
         if pos == total {
             // Clean end: every byte is inside a valid frame.
             return Ok(ScanOutcome {
                 frames,
+                ends,
                 header_ok: true,
+                base,
                 valid_len: pos,
                 frames_dropped: 0,
                 bytes_dropped: 0,
@@ -125,7 +148,7 @@ pub fn scan(io: &mut dyn Io, magic: &[u8; 8]) -> Result<ScanOutcome, StorageErro
             if total - pos < FRAME_HEADER {
                 return None;
             }
-            let at = pos as usize;
+            let at = (pos - origin) as usize;
             let kind = buf[at];
             let len = u32::from_le_bytes(buf[at + 1..at + 5].try_into().unwrap());
             let crc = u32::from_le_bytes(buf[at + 5..at + 9].try_into().unwrap());
@@ -133,7 +156,7 @@ pub fn scan(io: &mut dyn Io, magic: &[u8; 8]) -> Result<ScanOutcome, StorageErro
             if end > total {
                 return None;
             }
-            let payload = &buf[at + FRAME_HEADER as usize..end as usize];
+            let payload = &buf[at + FRAME_HEADER as usize..(end - origin) as usize];
             let mut h = Hasher::new();
             h.update(&[kind]);
             h.update(&len.to_le_bytes());
@@ -150,11 +173,14 @@ pub fn scan(io: &mut dyn Io, magic: &[u8; 8]) -> Result<ScanOutcome, StorageErro
             Some(frame) => {
                 pos += FRAME_HEADER + frame.payload.len() as u64;
                 frames.push(frame);
+                ends.push(pos);
             }
             None => {
                 return Ok(ScanOutcome {
                     frames,
+                    ends,
                     header_ok: true,
+                    base,
                     valid_len: pos,
                     frames_dropped: 1,
                     bytes_dropped: total - pos,

@@ -275,6 +275,25 @@ impl GroupWal {
         st.appended - st.synced
     }
 
+    /// The log's current device length in bytes. With everything
+    /// synced this is the coverage watermark a checkpoint can claim
+    /// ([`cdb_curation::wire::Checkpoint::covered_len`]).
+    pub fn log_len(&self) -> Result<u64, StorageError> {
+        self.lock().log.len()
+    }
+
+    /// Retires log history covered by a durably installed checkpoint
+    /// (see [`DurableLog::reclaim`]). Takes the group lock: retirement
+    /// never races an append or a sync.
+    pub fn reclaim(&self, covered: u64) -> Result<Option<crate::io::ReclaimStats>, StorageError> {
+        self.lock().log.reclaim(covered)
+    }
+
+    /// Live segments backing the log (1 for unsegmented devices).
+    pub fn live_segments(&self) -> u64 {
+        self.lock().log.live_segments()
+    }
+
     /// Recovers the underlying log, if this is the last handle.
     pub fn try_into_log(self) -> Result<DurableLog<Box<dyn Io>>, GroupWal> {
         match Arc::try_unwrap(self.inner) {

@@ -47,6 +47,42 @@ pub trait Io: std::fmt::Debug + Send + Sync {
 
     /// Truncates the device to `len` bytes.
     fn truncate(&mut self, len: u64) -> Result<(), StorageError>;
+
+    /// Logical offset where readable data begins. Plain devices keep
+    /// every byte, so the base is 0; a segmented device whose oldest
+    /// segments have been retired reports the start of the oldest live
+    /// segment. Reads below the base are an error.
+    fn base(&self) -> u64 {
+        0
+    }
+
+    /// Retires storage wholly covered by a durable checkpoint at
+    /// logical offset `covered`. Plain devices cannot reclaim and
+    /// return `Ok(None)`; segmented devices retire fully-covered
+    /// sealed segments and report what happened.
+    fn reclaim(&mut self, _covered: u64) -> Result<Option<ReclaimStats>, StorageError> {
+        Ok(None)
+    }
+
+    /// How many live segments back this device (1 for plain devices).
+    fn live_segments(&self) -> u64 {
+        1
+    }
+}
+
+/// What one [`Io::reclaim`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Segments retired (archived or deleted) by this pass.
+    pub retired: u64,
+    /// Physical bytes (headers included) released from the live set.
+    pub reclaimed_bytes: u64,
+    /// Live segments remaining after the pass.
+    pub live: u64,
+    /// Whether the pass stopped early on a backing failure (the
+    /// remaining covered segments stay live and are retried at the
+    /// next checkpoint).
+    pub failed: bool,
 }
 
 impl Io for Box<dyn Io> {
@@ -64,6 +100,15 @@ impl Io for Box<dyn Io> {
     }
     fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
         (**self).truncate(len)
+    }
+    fn base(&self) -> u64 {
+        (**self).base()
+    }
+    fn reclaim(&mut self, covered: u64) -> Result<Option<ReclaimStats>, StorageError> {
+        (**self).reclaim(covered)
+    }
+    fn live_segments(&self) -> u64 {
+        (**self).live_segments()
     }
 }
 
@@ -138,7 +183,7 @@ impl FileIo {
 /// Fsyncs the directory holding `path` (unix only; elsewhere a
 /// directory handle cannot be fsynced, so this is a no-op).
 #[cfg(unix)]
-fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
+pub(crate) fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
     let parent = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p,
         _ => std::path::Path::new("."),
@@ -147,7 +192,7 @@ fn sync_parent_dir(path: &std::path::Path) -> std::io::Result<()> {
 }
 
 #[cfg(not(unix))]
-fn sync_parent_dir(_path: &std::path::Path) -> std::io::Result<()> {
+pub(crate) fn sync_parent_dir(_path: &std::path::Path) -> std::io::Result<()> {
     Ok(())
 }
 

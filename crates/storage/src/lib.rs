@@ -16,6 +16,18 @@
 //! machinery `cdb-curation::replay` already provides, and is verified
 //! against a from-scratch replay before the database is handed back.
 //!
+//! Long-lived databases get bounded recovery *and* bounded disk from
+//! two cooperating pieces: [`segment::SegmentedIo`] splits the log into
+//! fixed-size rotating segments behind the same `Io` trait, and
+//! [`ckpt::CheckpointStore`] installs checkpoints crash-atomically
+//! (temp-file + rename on filesystems, a two-slot generation scheme on
+//! raw devices). Once a checkpoint durably covers a watermark of the
+//! log, fully-covered segments are retired — archived under
+//! [`segment::Retention::KeepAll`] (paper semantics: the full curation
+//! history remains reconstructible) or deleted under
+//! [`segment::Retention::Reclaim`] — and recovery scans only the
+//! checkpoint plus the live tail segments.
+//!
 //! Crash consistency is tested, not assumed: [`io::FaultyIo`] injects
 //! torn writes, partial flushes, short reads, and bit rot at scripted
 //! offsets, deterministically — see `tests/fault_classes.rs` and the
@@ -27,22 +39,29 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ckpt;
 pub mod crc;
 pub mod frame;
 pub mod group;
 pub mod io;
 pub mod recovery;
+pub mod segment;
 pub mod wal;
 
 pub use cdb_curation::wire;
 
+pub use crate::ckpt::CheckpointStore;
 pub use crate::frame::{
     Frame, ScanOutcome, FRAME_AUX, FRAME_CKPT, FRAME_COMMIT, FRAME_PUBLISH, FRAME_TXN,
 };
 pub use crate::group::{GroupCommitStats, GroupWal};
-pub use crate::io::{FaultPlan, FaultyIo, FileIo, Io, MemIo, ThrottledIo};
+pub use crate::io::{FaultPlan, FaultyIo, FileIo, Io, MemIo, ReclaimStats, ThrottledIo};
 pub use crate::recovery::{
     decode_commit, encode_commit, recover, PublishRecord, Recovered, RecoveryStats,
+};
+pub use crate::segment::{
+    DirBacking, MemBacking, Retention, SegFaultPlan, SegmentBacking, SegmentConfig, SegmentedIo,
+    DEFAULT_SEGMENT_BYTES, SEG_HEADER, SEG_MAGIC,
 };
 pub use crate::wal::{read_checkpoint, write_checkpoint, DurableLog};
 

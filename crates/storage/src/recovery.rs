@@ -25,12 +25,13 @@
 
 use cdb_curation::ops::{CuratedTree, Transaction, TxnId};
 use cdb_curation::provstore::StoreMode;
-use cdb_curation::replay::{apply_committed, replay_and_verify};
+use cdb_curation::replay::{apply_committed, replay_and_verify, replay_onto, verify_replay};
+use cdb_curation::tree::TreeDb;
 use cdb_curation::wire::{
     decode_transaction, put_opt_u64, put_str, put_u64, Checkpoint, Reader, WireError,
 };
 
-use crate::frame::{ScanOutcome, FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH, FRAME_TXN};
+use crate::frame::{Frame, ScanOutcome, FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH, FRAME_TXN};
 use crate::io::Io;
 use crate::wal::DurableLog;
 use crate::StorageError;
@@ -122,6 +123,15 @@ pub struct RecoveryStats {
     pub txns_adopted: u64,
     /// Transactions re-applied from the log tail.
     pub txns_replayed: u64,
+    /// Valid frames skipped without decoding because the checkpoint's
+    /// coverage watermark proves the snapshot already contains them.
+    pub frames_skipped: u64,
+    /// Log payload bytes the recovery scan actually read. With a
+    /// segmented log and checkpoint-anchored truncation this is bounded
+    /// by the live (unretired) segments, not total history.
+    pub bytes_scanned: u64,
+    /// Live log segments at recovery time (1 for unsegmented devices).
+    pub live_segments: u64,
     /// Wall-clock microseconds spent decoding + replaying + verifying.
     pub replay_micros: u128,
 }
@@ -138,6 +148,9 @@ impl RecoveryStats {
         sink.add("storage.recovery.bytes_dropped", self.bytes_dropped);
         sink.add("storage.recovery.txns_adopted", self.txns_adopted);
         sink.add("storage.recovery.txns_replayed", self.txns_replayed);
+        sink.add("storage.recovery.frames_skipped", self.frames_skipped);
+        sink.add("storage.recovery.bytes_scanned", self.bytes_scanned);
+        sink.add("storage.recovery.live_segments", self.live_segments);
         if self.used_checkpoint {
             sink.add("storage.recovery.checkpoint_used", 1);
         }
@@ -159,55 +172,63 @@ pub struct Recovered {
     /// Auxiliary frame payloads, in log order (opaque here; `cdb-core`
     /// decodes lifecycle events and notes out of them).
     pub aux: Vec<Vec<u8>>,
+    /// True when the covered log prefix is physically gone (the log was
+    /// truncated under `Retention::Reclaim`): `db.log` then holds only
+    /// the tail, with [`CuratedTree::base_txn_id`] marking the cut.
+    pub truncated: bool,
+    /// The checkpoint's tree snapshot, when one anchored this recovery.
+    /// This is the replay base for truncated histories.
+    pub base_tree: Option<TreeDb>,
+    /// Encoded archive snapshots carried by the checkpoint (one per
+    /// published version whose log prefix was reclaimed). Opaque here;
+    /// `cdb-core` decodes them to rebuild the archive.
+    pub carried_snapshots: Vec<Vec<u8>>,
+    /// The checkpoint's publication clock: the largest publish
+    /// timestamp at install time (0 when none). Keeps publish times
+    /// monotone even when the covered publish frames are gone.
+    pub base_time: u64,
     /// What recovery saw and did.
     pub stats: RecoveryStats,
 }
 
-/// Recovers a curated database from a WAL device, using `checkpoint`
-/// when it is consistent with the log. `name` and `mode` seed the
-/// empty database for full replay (a used checkpoint supersedes both).
-/// The returned log handle is positioned after the last valid frame,
-/// torn tail already truncated.
-pub fn recover<I: Io>(
-    name: &str,
-    mode: StoreMode,
-    io: I,
-    checkpoint: Option<Checkpoint>,
-) -> Result<(DurableLog<I>, Recovered), StorageError> {
-    let span = cdb_obs::SpanGuard::enter("storage.recovery.replay");
-    let (log, outcome) = DurableLog::open(io)?;
-    let ScanOutcome {
-        frames,
-        frames_dropped,
-        bytes_dropped,
-        ..
-    } = outcome;
-
-    let mut txns: Vec<Transaction> = Vec::new();
-    let mut publishes = Vec::new();
-    let mut aux = Vec::new();
-    let frames_scanned = frames.len() as u64;
-    let push_txn = |txns: &mut Vec<Transaction>, txn: Transaction| {
-        if let Some(prev) = txns.last() {
-            if txn.id <= prev.id {
-                return Err(StorageError::Corrupt(format!(
-                    "transaction ids out of order: {:?} after {:?}",
-                    txn.id, prev.id
-                )));
-            }
+/// Appends `txn` to `txns`, enforcing strictly increasing ids. `floor`
+/// seeds the check when the preceding history is not in `txns` itself
+/// (a checkpoint's `last_txn` under the anchored path).
+fn push_txn(
+    txns: &mut Vec<Transaction>,
+    floor: Option<TxnId>,
+    txn: Transaction,
+) -> Result<(), StorageError> {
+    if let Some(prev) = txns.last().map(|t| t.id).or(floor) {
+        if txn.id <= prev {
+            return Err(StorageError::Corrupt(format!(
+                "transaction ids out of order: {:?} after {:?}",
+                txn.id, prev
+            )));
         }
-        txns.push(txn);
-        Ok(())
-    };
+    }
+    txns.push(txn);
+    Ok(())
+}
+
+/// Decodes a run of valid frames into transactions, publish records,
+/// and aux payloads, in log order.
+fn decode_frames(
+    frames: impl Iterator<Item = Frame>,
+    floor: Option<TxnId>,
+    txns: &mut Vec<Transaction>,
+    publishes: &mut Vec<PublishRecord>,
+    aux: &mut Vec<Vec<u8>>,
+) -> Result<(), StorageError> {
     for frame in frames {
         match frame.kind {
             FRAME_TXN => {
                 let txn = decode_transaction(&frame.payload).map_err(StorageError::Wire)?;
-                push_txn(&mut txns, txn)?;
+                push_txn(txns, floor, txn)?;
             }
             FRAME_COMMIT => {
                 let (txn, mut extra) = decode_commit(&frame.payload).map_err(StorageError::Wire)?;
-                push_txn(&mut txns, txn)?;
+                push_txn(txns, floor, txn)?;
                 aux.append(&mut extra);
             }
             FRAME_PUBLISH => {
@@ -221,52 +242,232 @@ pub fn recover<I: Io>(
             }
         }
     }
+    Ok(())
+}
 
-    // A checkpoint is usable only when the log contains the exact
-    // prefix it claims to snapshot. A checkpoint ahead of a torn log
-    // would smuggle back transactions the log lost — the log is the
-    // source of truth, so such a snapshot is discarded.
-    let usable = checkpoint.filter(|ck| match ck.last_txn {
-        None => true,
-        Some(last) => txns.iter().any(|t| t.id == last),
-    });
-
-    let mut stats = RecoveryStats {
-        frames_scanned,
+/// Recovers a curated database from a WAL device, using `checkpoint`
+/// when it is consistent with the log. `name` and `mode` seed the
+/// empty database for full replay (a used checkpoint supersedes both).
+/// The returned log handle is positioned after the last valid frame,
+/// torn tail already truncated.
+///
+/// Two recovery modes exist, selected by the checkpoint's coverage
+/// watermark ([`Checkpoint::covered_len`]) and the device's logical
+/// base offset ([`Io::base`]):
+///
+/// - **Legacy / whole-log** — no checkpoint, or a checkpoint without a
+///   watermark, over a device whose full history is present
+///   (`base == 0`). Every frame is decoded; the checkpoint is used
+///   only if the decoded log contains its `last_txn` (a checkpoint
+///   ahead of a torn log is discarded — the log is authoritative).
+/// - **Anchored** — a watermarked checkpoint proving coverage of the
+///   log prefix up to `covered_len`. Frames ending at or below the
+///   watermark are skipped without decoding; the snapshot supplies
+///   that history (fully, under `Retention::KeepAll`, or as a
+///   `base_txn` cut under `Retention::Reclaim`). This is the only
+///   legal mode once segments are retired (`base > 0`): a retired
+///   prefix with no covering checkpoint is corruption, not data loss
+///   to be papered over.
+pub fn recover<I: Io>(
+    name: &str,
+    mode: StoreMode,
+    io: I,
+    checkpoint: Option<Checkpoint>,
+) -> Result<(DurableLog<I>, Recovered), StorageError> {
+    let span = cdb_obs::SpanGuard::enter("storage.recovery.replay");
+    let (log, outcome) = DurableLog::open(io)?;
+    let ScanOutcome {
+        frames,
+        ends,
+        base,
+        valid_len,
         frames_dropped,
         bytes_dropped,
+        ..
+    } = outcome;
+
+    let scan_start = if base == 0 {
+        crate::frame::WAL_MAGIC.len() as u64
+    } else {
+        base
+    };
+    let mut stats = RecoveryStats {
+        frames_scanned: frames.len() as u64,
+        frames_dropped,
+        bytes_dropped,
+        bytes_scanned: valid_len.saturating_sub(scan_start),
+        live_segments: log.live_segments(),
         ..RecoveryStats::default()
     };
 
-    let db = match usable {
-        Some(ck) => {
-            stats.used_checkpoint = true;
-            let covered = match ck.last_txn {
-                None => 0,
-                Some(last) => txns.iter().take_while(|t| t.id <= last).count(),
-            };
-            let (head, tail) = txns.split_at(covered);
-            stats.txns_adopted = head.len() as u64;
-            stats.txns_replayed = tail.len() as u64;
-            let mut db = CuratedTree::from_parts(ck.tree, head.to_vec(), ck.prov);
-            for txn in tail {
-                apply_committed(&mut db, txn)
-                    .map_err(|e| StorageError::Corrupt(format!("tail replay: {e}")))?;
+    // Mode selection. `legacy_ck` feeds the whole-log path's usability
+    // filter; `anchored` carries a (checkpoint, watermark) pair whose
+    // coverage was validated against the device.
+    let watermark = checkpoint.as_ref().and_then(|ck| ck.covered_len);
+    let (legacy_ck, anchored) = match (checkpoint, watermark) {
+        (None, _) => {
+            if base > 0 {
+                return Err(StorageError::Corrupt(
+                    "log prefix retired but no checkpoint to anchor recovery".into(),
+                ));
             }
-            db
+            (None, None)
         }
-        None => {
-            stats.txns_replayed = txns.len() as u64;
-            let mut db = CuratedTree::new(name, mode);
-            for txn in &txns {
-                apply_committed(&mut db, txn)
-                    .map_err(|e| StorageError::Corrupt(format!("log replay: {e}")))?;
+        (Some(ck), None) => {
+            if base > 0 {
+                return Err(StorageError::Corrupt(
+                    "log prefix retired but checkpoint carries no coverage watermark".into(),
+                ));
             }
-            db
+            (Some(ck), None)
+        }
+        (Some(ck), Some(w)) => {
+            if w < base {
+                return Err(StorageError::Corrupt(format!(
+                    "checkpoint covers the log to byte {w}, but bytes below {base} are retired"
+                )));
+            }
+            if w > valid_len {
+                if base > 0 {
+                    return Err(StorageError::Corrupt(format!(
+                        "checkpoint covers {w} bytes but only {valid_len} survived, \
+                         and the covered prefix is partly retired"
+                    )));
+                }
+                // Full history present but shorter than the watermark:
+                // the log is torn below coverage. The log stays
+                // authoritative — fall back to the legacy filter, which
+                // discards the snapshot unless its last_txn survived.
+                (Some(ck), None)
+            } else {
+                (None, Some((ck, w)))
+            }
         }
     };
 
-    replay_and_verify(&db).map_err(|e| StorageError::Corrupt(format!("verification: {e}")))?;
+    let (db, publishes, aux, truncated, base_tree, carried_snapshots, base_time) = match anchored {
+        Some((ck, w)) => {
+            let Checkpoint {
+                last_txn,
+                tree,
+                prov,
+                covered_len: _,
+                last_time,
+                log: ck_log,
+                publishes: ck_pubs,
+                aux: ck_aux,
+                snapshots,
+            } = ck;
+            stats.used_checkpoint = true;
+            let skip = ends.iter().filter(|&&e| e <= w).count();
+            stats.frames_skipped = skip as u64;
+
+            let mut tail: Vec<Transaction> = Vec::new();
+            let mut publishes: Vec<PublishRecord> = ck_pubs
+                .iter()
+                .map(|b| decode_publish(b).map_err(StorageError::Wire))
+                .collect::<Result<_, _>>()?;
+            let mut aux = ck_aux;
+            decode_frames(
+                frames.into_iter().skip(skip),
+                last_txn,
+                &mut tail,
+                &mut publishes,
+                &mut aux,
+            )?;
+
+            let truncated = ck_log.is_empty() && last_txn.is_some();
+            let base_tree = tree.clone();
+            let mut db = if truncated {
+                CuratedTree::from_parts_at(tree, Vec::new(), prov, last_txn)
+            } else {
+                CuratedTree::from_parts(tree, ck_log, prov)
+            };
+            stats.txns_adopted = db.log.len() as u64;
+            stats.txns_replayed = tail.len() as u64;
+            for txn in &tail {
+                apply_committed(&mut db, txn)
+                    .map_err(|e| StorageError::Corrupt(format!("tail replay: {e}")))?;
+            }
+
+            if truncated {
+                // The covered log is gone, so a from-empty replay is
+                // impossible: verify the tail against the checkpoint
+                // tree instead.
+                let replayed = replay_onto(base_tree.clone(), &tail, None)
+                    .map_err(|e| StorageError::Corrupt(format!("verification: {e}")))?;
+                verify_replay(&db, &replayed)
+                    .map_err(|e| StorageError::Corrupt(format!("verification: {e}")))?;
+            } else {
+                replay_and_verify(&db)
+                    .map_err(|e| StorageError::Corrupt(format!("verification: {e}")))?;
+            }
+            (
+                db,
+                publishes,
+                aux,
+                truncated,
+                Some(base_tree),
+                snapshots,
+                last_time,
+            )
+        }
+        None => {
+            let mut txns: Vec<Transaction> = Vec::new();
+            let mut publishes = Vec::new();
+            let mut aux = Vec::new();
+            decode_frames(
+                frames.into_iter(),
+                None,
+                &mut txns,
+                &mut publishes,
+                &mut aux,
+            )?;
+
+            // A checkpoint is usable only when the log contains the
+            // exact prefix it claims to snapshot. A checkpoint ahead of
+            // a torn log would smuggle back transactions the log lost —
+            // the log is the source of truth, so such a snapshot is
+            // discarded.
+            let usable = legacy_ck.filter(|ck| match ck.last_txn {
+                None => true,
+                Some(last) => txns.iter().any(|t| t.id == last),
+            });
+
+            let db = match usable {
+                Some(ck) => {
+                    stats.used_checkpoint = true;
+                    let covered = match ck.last_txn {
+                        None => 0,
+                        Some(last) => txns.iter().take_while(|t| t.id <= last).count(),
+                    };
+                    let (head, tail) = txns.split_at(covered);
+                    stats.txns_adopted = head.len() as u64;
+                    stats.txns_replayed = tail.len() as u64;
+                    let mut db = CuratedTree::from_parts(ck.tree, head.to_vec(), ck.prov);
+                    for txn in tail {
+                        apply_committed(&mut db, txn)
+                            .map_err(|e| StorageError::Corrupt(format!("tail replay: {e}")))?;
+                    }
+                    db
+                }
+                None => {
+                    stats.txns_replayed = txns.len() as u64;
+                    let mut db = CuratedTree::new(name, mode);
+                    for txn in &txns {
+                        apply_committed(&mut db, txn)
+                            .map_err(|e| StorageError::Corrupt(format!("log replay: {e}")))?;
+                    }
+                    db
+                }
+            };
+
+            replay_and_verify(&db)
+                .map_err(|e| StorageError::Corrupt(format!("verification: {e}")))?;
+            (db, publishes, aux, false, None, Vec::new(), 0)
+        }
+    };
+
     stats.replay_micros = span.elapsed().as_micros();
     if stats.frames_dropped > 0 {
         // Failure observability: a torn tail is a (survived) fault and
@@ -282,6 +483,10 @@ pub fn recover<I: Io>(
             db,
             publishes,
             aux,
+            truncated,
+            base_tree,
+            carried_snapshots,
+            base_time,
             stats,
         },
     ))
@@ -346,11 +551,7 @@ mod tests {
                 p.prov
             },
         );
-        let ck = Checkpoint {
-            last_txn: Some(db.log[1].id),
-            tree: prefix.tree.clone(),
-            prov: prefix.prov.clone(),
-        };
+        let ck = Checkpoint::basic(Some(db.log[1].id), prefix.tree.clone(), prefix.prov.clone());
         let mut ckio = MemIo::new();
         write_checkpoint(&mut ckio, &ck).unwrap();
         let ck = read_checkpoint(&mut ckio).unwrap();
@@ -366,11 +567,7 @@ mod tests {
     fn checkpoint_ahead_of_torn_log_is_discarded() {
         let (db, image) = seeded();
         // Checkpoint covers all 3 txns, but the log is torn after 1.
-        let ck = Checkpoint {
-            last_txn: db.last_txn_id(),
-            tree: db.tree.clone(),
-            prov: db.prov.clone(),
-        };
+        let ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
         let first_txn_end = {
             let mut log = DurableLog::create(MemIo::new()).unwrap();
             log.append(FRAME_TXN, &encode_transaction(&db.log[0]))

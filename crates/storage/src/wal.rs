@@ -104,6 +104,23 @@ impl<I: Io> DurableLog<I> {
         Ok(self.len()? <= WAL_MAGIC.len() as u64)
     }
 
+    /// Retires log history that a durably installed checkpoint covers:
+    /// forwards to the device's [`Io::reclaim`]. Segmented devices
+    /// archive or delete fully-covered segments and advance their
+    /// logical base; plain devices return `Ok(None)` (nothing to
+    /// retire).
+    pub fn reclaim(
+        &mut self,
+        covered: u64,
+    ) -> Result<Option<crate::io::ReclaimStats>, StorageError> {
+        self.io.reclaim(covered)
+    }
+
+    /// Live segments backing this log (1 for unsegmented devices).
+    pub fn live_segments(&self) -> u64 {
+        self.io.live_segments()
+    }
+
     /// Consumes the log, returning the device (for crash simulation).
     pub fn into_io(self) -> I {
         self.io
@@ -112,6 +129,13 @@ impl<I: Io> DurableLog<I> {
 
 /// Writes a checkpoint snapshot to `io` (replacing any previous one)
 /// and syncs it.
+///
+/// **Not crash-atomic**: this is `truncate(0)` + append on the live
+/// device, so a crash inside the window destroys the previous snapshot
+/// too. It remains as the raw single-device primitive (and as the slot
+/// writer's building block); durable installs go through
+/// [`crate::ckpt::CheckpointStore`], which guarantees one valid
+/// checkpoint always survives.
 pub fn write_checkpoint(io: &mut dyn Io, ck: &Checkpoint) -> Result<(), StorageError> {
     io.truncate(0)?;
     io.append(CKPT_MAGIC)?;
@@ -193,11 +217,7 @@ mod tests {
         let mut t = db.begin("c", 1);
         t.insert(root, "entry", None).unwrap();
         t.commit();
-        let ck = Checkpoint {
-            last_txn: db.last_txn_id(),
-            tree: db.tree.clone(),
-            prov: db.prov.clone(),
-        };
+        let ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
         let mut io = MemIo::new();
         write_checkpoint(&mut io, &ck).unwrap();
         assert_eq!(read_checkpoint(&mut io).unwrap(), Some(ck.clone()));

@@ -207,11 +207,7 @@ fn checkpoint_shortens_replay_without_changing_the_result() {
     let (image, _) = wal_image(&db);
     for ckpt_at in 0..=db.log.len() {
         let snap = reference(&db, ckpt_at);
-        let ck = Checkpoint {
-            last_txn: snap.last_txn_id(),
-            tree: snap.tree.clone(),
-            prov: snap.prov.clone(),
-        };
+        let ck = Checkpoint::basic(snap.last_txn_id(), snap.tree.clone(), snap.prov.clone());
         let mut ckio = MemIo::new();
         write_checkpoint(&mut ckio, &ck).unwrap();
         let ck = cdb_storage::read_checkpoint(&mut ckio).unwrap();

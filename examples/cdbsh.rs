@@ -255,13 +255,20 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             text(format!("{absorbed} merged into {kept}"))
         }
         "checkpoint" => {
-            match (&mut shell.mem, &shell.shared) {
+            let stats = match (&mut shell.mem, &shell.shared) {
                 (Some(db), _) => db.checkpoint(),
                 (None, Some(s)) => s.checkpoint(),
                 (None, None) => return Err(NO_DB.into()),
             }
             .map_err(fmt_err)?;
-            text("checkpoint written".into())
+            text(format!(
+                "checkpoint installed: {} bytes covered, {} segments live, \
+                 {} retired ({} bytes reclaimed)",
+                stats.covered_bytes,
+                stats.live_segments,
+                stats.retired_segments,
+                stats.reclaimed_bytes,
+            ))
         }
         "parallel" => {
             let [writers, readers, ops] = take::<3>(&rest)?;
@@ -543,7 +550,8 @@ commands:
   entries | show <key> | history <key>
   merge <curator> <kept> <absorbed>  fuse entries (retires the absorbed id)
   what <id>                          what happened to an identifier
-  checkpoint                         write a durable checkpoint
+  checkpoint                         install a checkpoint atomically and
+                                       retire covered WAL segments
   sql <SELECT …>                     query the relational view `entries`
   explain <SELECT …>                 run via the hash-join engine; print
                                        per-operator rows + elapsed and

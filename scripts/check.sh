@@ -31,12 +31,34 @@ for t in 1 4 "$(nproc)"; do
     CDB_TEST_THREADS="$t" cargo test -q --test concurrent_serving
 done
 
+echo "== long-log smoke: bounded recovery over a segmented WAL =="
+# Many segments of history, periodic checkpoints with truncation, then
+# a reopen whose recovery must scan fewer bytes than two segments.
+cargo test -q --test storage_recovery long_history_recovery_scans_a_bounded_tail
+
 if [[ "$run_bench" == 1 ]]; then
     echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
-    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench recovery
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench commit_throughput
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench obs_overhead
+
+    # The recovery bench also validates the JSON report shape: force the
+    # report in smoke mode into a scratch dir and check the E19 rows
+    # carry the live-segment count.
+    bench_json_dir="$(mktemp -d)"
+    CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
+        cargo bench -p cdb-bench --bench recovery
+    if ! grep -q '"op": "e19_recovery_growth/ckpt_reclaim/' "$bench_json_dir/BENCH_recovery.json"; then
+        echo "BENCH_recovery.json is missing the E19 rows:"
+        cat "$bench_json_dir/BENCH_recovery.json"
+        exit 1
+    fi
+    if ! grep -qE '"segments": [0-9]+' "$bench_json_dir/BENCH_recovery.json"; then
+        echo "BENCH_recovery.json E19 rows are missing the segments field:"
+        cat "$bench_json_dir/BENCH_recovery.json"
+        exit 1
+    fi
+    rm -rf "$bench_json_dir"
 fi
 
 echo "== obs timing gate: raw Instant::now() only inside the span API =="
@@ -100,6 +122,11 @@ CDBSH2
         rm -rf "$obs_dir"
         if ! grep -q "storage.wal.sync" <<<"$obs_out"; then
             echo "cdbsh profile output is missing the storage.wal.sync span:"
+            echo "$obs_out"
+            exit 1
+        fi
+        if ! grep -q "checkpoint installed" <<<"$obs_out"; then
+            echo "cdbsh checkpoint output is missing the reclaim stats:"
             echo "$obs_out"
             exit 1
         fi

@@ -409,7 +409,7 @@ proptest! {
             "crash",
             "id",
             Box::new(dev.clone()),
-            Box::new(MemIo::new()),
+            cdb_storage::CheckpointStore::mem(),
             Duration::from_micros(window_us),
         )
         .map_err(|e| TestCaseError::fail(format!("open: {e}")))?;
@@ -452,7 +452,7 @@ proptest! {
             "crash",
             "id",
             Box::new(MemIo::from_bytes(image)),
-            Box::new(MemIo::new()),
+            cdb_storage::CheckpointStore::mem(),
         )
         .map_err(|e| TestCaseError::fail(format!("recovery failed outright: {e}")))?;
 

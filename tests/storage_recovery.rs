@@ -13,7 +13,8 @@ use cdb_curation::provstore::StoreMode;
 use cdb_curation::replay::apply_committed;
 use cdb_curation::wire::{encode_transaction, Checkpoint};
 use cdb_storage::{
-    read_checkpoint, recover, write_checkpoint, DurableLog, FaultPlan, FaultyIo, MemIo, FRAME_TXN,
+    read_checkpoint, recover, write_checkpoint, DurableLog, FaultPlan, FaultyIo, MemIo, Retention,
+    SegmentConfig, SegmentedIo, FRAME_TXN,
 };
 use cdb_workload::sessions::{CurationSim, SessionConfig};
 use proptest::prelude::*;
@@ -62,11 +63,7 @@ fn reference(db: &CuratedTree, mode: StoreMode, n: usize) -> CuratedTree {
 /// through its on-disk encoding.
 fn checkpoint_after(db: &CuratedTree, mode: StoreMode, k: usize) -> Option<Checkpoint> {
     let snap = reference(db, mode, k);
-    let ck = Checkpoint {
-        last_txn: snap.last_txn_id(),
-        tree: snap.tree.clone(),
-        prov: snap.prov.clone(),
-    };
+    let ck = Checkpoint::basic(snap.last_txn_id(), snap.tree.clone(), snap.prov.clone());
     let mut io = MemIo::new();
     write_checkpoint(&mut io, &ck).unwrap();
     read_checkpoint(&mut io).unwrap()
@@ -228,4 +225,128 @@ proptest! {
         prop_assert_eq!(&rec.db.prov, &expect.prov, "fault class {}", fault);
         prop_assert_eq!(&rec.db, &expect, "fault class {}", fault);
     }
+
+    /// Segmented logs crossing rotations: a checkpoint with a coverage
+    /// watermark retires the covered segments (archived under KeepAll,
+    /// deleted under Reclaim) and recovery over the surviving device
+    /// still equals the full-replay oracle, tree and provenance alike.
+    #[test]
+    fn segment_retirement_preserves_the_replay_oracle(
+        seed in 0u64..1_000_000,
+        naive in any::<bool>(),
+        txns in 4usize..10,
+        pastes in 0usize..3,
+        reclaim in any::<bool>(),
+        ckpt_sel in 0usize..100,
+    ) {
+        let mode = mode_of(naive);
+        let db = session(seed, mode, txns, pastes, 2);
+        let cfg = SegmentConfig {
+            // Tiny segments so every session crosses several rotations.
+            segment_bytes: 512,
+            retention: if reclaim { Retention::Reclaim } else { Retention::KeepAll },
+        };
+        let (io, backing) = SegmentedIo::mem(cfg).unwrap();
+        let mut log = DurableLog::create(io).unwrap();
+        let ckpt_at = 1 + ckpt_sel % db.log.len();
+        let mut ck = None;
+        for (i, txn) in db.transactions().iter().enumerate() {
+            log.append(FRAME_TXN, &encode_transaction(txn)).unwrap();
+            log.sync().unwrap();
+            if i + 1 == ckpt_at {
+                let covered = log.len().unwrap();
+                let snap = reference(&db, mode, ckpt_at);
+                let mut c =
+                    Checkpoint::basic(snap.last_txn_id(), snap.tree.clone(), snap.prov.clone());
+                c.covered_len = Some(covered);
+                if !reclaim {
+                    // KeepAll archives the files, so the checkpoint may
+                    // carry the full log and recovery reconstructs
+                    // complete history.
+                    c.log = db.log[..ckpt_at].to_vec();
+                }
+                log.reclaim(covered).unwrap();
+                ck = Some(c);
+            }
+        }
+        let final_len = log.len().unwrap();
+        drop(log);
+        if final_len > 2 * cfg.segment_bytes {
+            let rotated = backing.live_seqs().last().copied().unwrap_or(0) > 0
+                || !backing.archived_seqs().is_empty();
+            prop_assert!(rotated, "a {final_len}-byte log must have rotated");
+        }
+        if !reclaim {
+            prop_assert!(backing.live_bytes() >= final_len.saturating_sub(cfg.segment_bytes)
+                || !backing.archived_seqs().is_empty());
+        }
+
+        let io = SegmentedIo::open(Box::new(backing.crash()), cfg).unwrap();
+        let (_, rec) = recover("curated", mode, io, ck).unwrap();
+        let expect = reference(&db, mode, db.log.len());
+        prop_assert_eq!(&rec.db.tree, &expect.tree, "retention {:?}", cfg.retention);
+        prop_assert_eq!(&rec.db.prov, &expect.prov, "retention {:?}", cfg.retention);
+        if !reclaim {
+            // Full carried log: the recovered curated tree is
+            // indistinguishable from never having truncated.
+            prop_assert_eq!(&rec.db, &expect);
+        } else {
+            // Truncated form: history before the checkpoint is gone by
+            // design, but the tail is intact and anchored.
+            prop_assert_eq!(rec.db.log.len(), db.log.len() - ckpt_at);
+            prop_assert_eq!(rec.db.last_txn_id(), expect.last_txn_id());
+        }
+    }
+}
+
+/// A long history over many segments, checkpointed and truncated along
+/// the way: recovery must scan only the live tail — strictly fewer
+/// bytes than two segments — and still land on the oracle state. This
+/// is the bounded-recovery guarantee `scripts/check.sh` smokes.
+#[test]
+fn long_history_recovery_scans_a_bounded_tail() {
+    let mode = StoreMode::Hereditary;
+    let db = session(42, mode, 48, 2, 2);
+    let cfg = SegmentConfig {
+        segment_bytes: 1024,
+        retention: Retention::Reclaim,
+    };
+    let (io, backing) = SegmentedIo::mem(cfg).unwrap();
+    let mut log = DurableLog::create(io).unwrap();
+    let mut ck = None;
+    for (i, txn) in db.transactions().iter().enumerate() {
+        log.append(FRAME_TXN, &encode_transaction(txn)).unwrap();
+        log.sync().unwrap();
+        if (i + 1) % 8 == 0 {
+            let covered = log.len().unwrap();
+            let snap = reference(&db, mode, i + 1);
+            let mut c = Checkpoint::basic(snap.last_txn_id(), snap.tree.clone(), snap.prov.clone());
+            c.covered_len = Some(covered);
+            log.reclaim(covered).unwrap();
+            ck = Some(c);
+        }
+    }
+    let total = log.len().unwrap();
+    assert!(
+        total > 4 * cfg.segment_bytes,
+        "history must span many segments (got {total} logical bytes)"
+    );
+    drop(log);
+
+    let io = SegmentedIo::open(Box::new(backing.crash()), cfg).unwrap();
+    let (_, rec) = recover("curated", mode, io, ck).unwrap();
+    let expect = reference(&db, mode, db.log.len());
+    assert_eq!(rec.db.tree, expect.tree);
+    assert_eq!(rec.db.prov, expect.prov);
+    assert!(
+        rec.stats.bytes_scanned < 2 * cfg.segment_bytes,
+        "recovery scanned {} bytes, expected < {} (2 segments)",
+        rec.stats.bytes_scanned,
+        2 * cfg.segment_bytes
+    );
+    assert!(
+        rec.stats.live_segments < 4,
+        "retirement must bound live segments (got {})",
+        rec.stats.live_segments
+    );
 }
