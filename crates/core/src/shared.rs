@@ -472,7 +472,22 @@ impl SharedDb {
         self.inner.group.as_ref().map(|g| g.stats())
     }
 
+    /// The number of frames in the write-ahead log, when durable
+    /// (`None` for in-memory). Used by the serving layer's admission
+    /// tests to prove that load-shed requests never reached the log.
+    pub fn wal_len(&self) -> Option<u64> {
+        self.inner.group.as_ref().and_then(|g| g.log_len().ok())
+    }
+
     // -------------------------------------------------- observability
+
+    /// The metric registry shared with the inner database. The network
+    /// serving layer registers its per-endpoint instruments here so
+    /// `metrics_snapshot` (and every exporter downstream of it) sees
+    /// storage, curation, and server counters in one place.
+    pub fn metrics(&self) -> &cdb_obs::Metrics {
+        &self.inner.metrics
+    }
 
     /// A point-in-time view of every metric this database can see (its
     /// registry merged with the process-global one), without taking

@@ -22,8 +22,8 @@
 //! when the [`criterion_main!`]-generated `main` exits, written as
 //! `BENCH_<bench-name>.json` at the workspace root — an array of
 //! `{op, size, ns_per_iter, samples, iters_per_sample, threads,
-//! batch_window_us, segments}` rows (`threads`/`batch_window_us`/
-//! `segments` are `null` unless a harness sets them via
+//! batch_window_us, segments, shed}` rows (`threads`/`batch_window_us`/
+//! `segments`/`shed` are `null` unless a harness sets them via
 //! [`push_record`]). Set `CDB_BENCH_JSON=0` to suppress the file, or
 //! `CDB_BENCH_JSON_DIR` to redirect it. Smoke runs skip the report
 //! (their timings are meaningless and would clobber real
@@ -72,6 +72,9 @@ pub struct Record {
     /// Live WAL segments scanned by the measured operation, for
     /// recovery benches over a segmented log (`null` otherwise).
     pub segments: Option<u64>,
+    /// Requests shed by admission control during the measurement, for
+    /// server overload benches (`null` otherwise).
+    pub shed: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -162,7 +165,8 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
         out.push_str(&format!(
             "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
              \"samples\": {}, \"iters_per_sample\": {}, \
-             \"threads\": {}, \"batch_window_us\": {}, \"segments\": {}}}{}\n",
+             \"threads\": {}, \"batch_window_us\": {}, \"segments\": {}, \
+             \"shed\": {}}}{}\n",
             json_escape(&r.op),
             opt(r.size),
             r.ns_per_iter,
@@ -171,6 +175,7 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
             opt(r.threads),
             opt(r.batch_window_us),
             opt(r.segments),
+            opt(r.shed),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -478,6 +483,7 @@ mod tests {
             threads: Some(4),
             batch_window_us: Some(200),
             segments: Some(3),
+            shed: Some(12),
             ..Record::default()
         });
         write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
@@ -491,6 +497,8 @@ mod tests {
         assert!(text.contains("\"batch_window_us\": 200"));
         assert!(text.contains("\"segments\": null"));
         assert!(text.contains("\"segments\": 3"));
+        assert!(text.contains("\"shed\": null"));
+        assert!(text.contains("\"shed\": 12"));
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
     }
 

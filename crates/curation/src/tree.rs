@@ -14,6 +14,15 @@ use cdb_model::{Atom, Value};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) usize);
 
+impl NodeId {
+    /// The raw index behind this id — stable for the database's
+    /// lifetime. The network protocol ships ids to clients as
+    /// integers; everything in-process should keep using `NodeId`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)

@@ -36,6 +36,22 @@ pub enum WireError {
     BadUtf8,
     /// The payload had bytes left over after the value.
     TrailingBytes(usize),
+    /// A count field claims more elements than the remaining bytes
+    /// could possibly encode — corruption caught *before* any
+    /// allocation or element loop runs.
+    BadLength {
+        /// Elements the count field claims.
+        claimed: u64,
+        /// Bytes actually left in the payload.
+        remaining: usize,
+    },
+    /// A `u64` identifier field does not fit the platform's `usize`
+    /// (only reachable on 32-bit targets; a silent `as` truncation
+    /// here would alias two distinct node ids).
+    Overflow(&'static str),
+    /// A recursive value (clip tree, origin chain) nests deeper than
+    /// [`MAX_NESTING`] — decoding it would risk stack exhaustion.
+    TooDeep(&'static str),
 }
 
 impl std::fmt::Display for WireError {
@@ -45,9 +61,26 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(what, t) => write!(f, "bad {what} tag {t:#04x}"),
             WireError::BadUtf8 => write!(f, "invalid UTF-8 in payload"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::BadLength { claimed, remaining } => {
+                write!(
+                    f,
+                    "count field claims {claimed} elements but only {remaining} bytes remain"
+                )
+            }
+            WireError::Overflow(what) => write!(f, "{what} does not fit this platform's usize"),
+            WireError::TooDeep(what) => {
+                write!(f, "{what} nests deeper than {MAX_NESTING} levels")
+            }
         }
     }
 }
+
+/// Maximum nesting depth accepted for recursive wire values (clip
+/// subtrees, origin chains). Decoding is recursive, so an adversarial
+/// payload claiming a million-deep chain must be rejected by a typed
+/// error, not by blowing the stack. Real curated trees are a handful
+/// of levels deep; 256 is far past anything the engine produces.
+pub const MAX_NESTING: usize = 256;
 
 impl std::error::Error for WireError {}
 
@@ -152,7 +185,10 @@ pub fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
-fn put_atom(out: &mut Vec<u8>, a: &Atom) {
+/// Appends an [`Atom`] (tag byte + payload) to `out`. Public because
+/// the server wire protocol (`cdb-server::proto`) reuses this codec
+/// for request/response values.
+pub fn put_atom(out: &mut Vec<u8>, a: &Atom) {
     match a {
         Atom::Unit => out.push(0),
         Atom::Bool(b) => {
@@ -175,7 +211,8 @@ fn put_atom(out: &mut Vec<u8>, a: &Atom) {
     }
 }
 
-fn put_opt_atom(out: &mut Vec<u8>, a: Option<&Atom>) {
+/// Appends an optional [`Atom`] (presence byte + value) to `out`.
+pub fn put_opt_atom(out: &mut Vec<u8>, a: Option<&Atom>) {
     match a {
         None => out.push(0),
         Some(a) => {
@@ -407,11 +444,37 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn node_id(&mut self) -> Result<NodeId, WireError> {
-        Ok(NodeId(self.u64()? as usize))
+    /// Reads a `u32` element count and validates it against the bytes
+    /// remaining: a sequence of `n` elements each at least
+    /// `min_elem_bytes` long cannot outrun the payload, so an inflated
+    /// count field (bit rot, a foreign file) fails here with a typed
+    /// [`WireError::BadLength`] *before* any allocation or element
+    /// loop runs.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(WireError::BadLength {
+                claimed: n as u64,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
     }
 
-    fn atom(&mut self) -> Result<Atom, WireError> {
+    /// Reads a `u64` that must fit the platform's `usize` (arena
+    /// indices); a silent `as` truncation would alias node ids.
+    fn index(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Overflow(what))
+    }
+
+    fn node_id(&mut self) -> Result<NodeId, WireError> {
+        Ok(NodeId(self.index("node id")?))
+    }
+
+    /// Reads an [`Atom`] (tag byte + payload). Public counterpart of
+    /// [`put_atom`] for the server wire protocol.
+    pub fn atom(&mut self) -> Result<Atom, WireError> {
         match self.u8()? {
             0 => Ok(Atom::Unit),
             1 => Ok(Atom::Bool(self.u8()? != 0)),
@@ -426,7 +489,9 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn opt_atom(&mut self) -> Result<Option<Atom>, WireError> {
+    /// Reads an optional [`Atom`] (presence byte + value). Public
+    /// counterpart of [`put_opt_atom`].
+    pub fn opt_atom(&mut self) -> Result<Option<Atom>, WireError> {
         match self.u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.atom()?)),
@@ -435,15 +500,23 @@ impl<'a> Reader<'a> {
     }
 
     fn origin(&mut self) -> Result<Origin, WireError> {
+        self.origin_at(0)
+    }
+
+    fn origin_at(&mut self, depth: usize) -> Result<Origin, WireError> {
+        if depth >= MAX_NESTING {
+            return Err(WireError::TooDeep("origin chain"));
+        }
         match self.u8()? {
             0 => Ok(Origin::Local),
             1 => {
                 let db = self.str()?;
                 let path = self.str()?;
-                let n = self.u32()? as usize;
-                let mut chain = Vec::with_capacity(n.min(1024));
+                // A chained origin is at least 1 byte (a Local tag).
+                let n = self.seq_len(1)?;
+                let mut chain = Vec::with_capacity(n);
                 for _ in 0..n {
-                    chain.push(self.origin()?);
+                    chain.push(self.origin_at(depth + 1)?);
                 }
                 Ok(Origin::CopiedFrom { db, path, chain })
             }
@@ -455,12 +528,21 @@ impl<'a> Reader<'a> {
     }
 
     fn clip(&mut self) -> Result<ClipNode, WireError> {
+        self.clip_at(0)
+    }
+
+    fn clip_at(&mut self, depth: usize) -> Result<ClipNode, WireError> {
+        if depth >= MAX_NESTING {
+            return Err(WireError::TooDeep("clip subtree"));
+        }
         let label = self.str()?;
         let value = self.opt_atom()?;
-        let n = self.u32()? as usize;
-        let mut children = Vec::with_capacity(n.min(1024));
+        // A child clip is at least 9 bytes: empty label (4), absent
+        // value (1), zero child count (4).
+        let n = self.seq_len(9)?;
+        let mut children = Vec::with_capacity(n);
         for _ in 0..n {
-            children.push(self.clip()?);
+            children.push(self.clip_at(depth + 1)?);
         }
         Ok(ClipNode {
             label,
@@ -498,14 +580,21 @@ impl<'a> Reader<'a> {
     fn tree(&mut self) -> Result<TreeDb, WireError> {
         let name = self.str()?;
         let root = self.node_id()?;
-        let n = self.u32()? as usize;
-        let mut raw = Vec::with_capacity(n.min(65_536));
+        // A raw node is at least 11 bytes: empty label (4), absent
+        // value (1), absent parent (1), zero children (4), alive (1).
+        let n = self.seq_len(11)?;
+        let mut raw = Vec::with_capacity(n);
         for _ in 0..n {
             let label = self.str()?;
             let value = self.opt_atom()?;
-            let parent = self.opt_u64()?.map(|p| NodeId(p as usize));
-            let nc = self.u32()? as usize;
-            let mut children = Vec::with_capacity(nc.min(65_536));
+            let parent = match self.opt_u64()? {
+                None => None,
+                Some(p) => Some(NodeId(
+                    usize::try_from(p).map_err(|_| WireError::Overflow("parent id"))?,
+                )),
+            };
+            let nc = self.seq_len(8)?;
+            let mut children = Vec::with_capacity(nc);
             for _ in 0..nc {
                 children.push(self.node_id()?);
             }
@@ -527,12 +616,15 @@ impl<'a> Reader<'a> {
             1 => StoreMode::Hereditary,
             t => return Err(WireError::BadTag("store mode", t)),
         };
-        let n = self.u32()? as usize;
+        // A record-list entry is at least 12 bytes: node id (8) +
+        // record count (4).
+        let n = self.seq_len(12)?;
         let mut records = BTreeMap::new();
         for _ in 0..n {
             let node = self.node_id()?;
-            let nr = self.u32()? as usize;
-            let mut recs = Vec::with_capacity(nr.min(65_536));
+            // A record is at least 9 bytes: txn id (8) + event tag (1).
+            let nr = self.seq_len(9)?;
+            let mut recs = Vec::with_capacity(nr);
             for _ in 0..nr {
                 let txn = TxnId(self.u64()?);
                 let event = match self.u8()? {
@@ -547,7 +639,11 @@ impl<'a> Reader<'a> {
         Ok(ProvStore::from_raw(mode, records))
     }
 
-    fn finish(self) -> Result<(), WireError> {
+    /// Asserts the payload was fully consumed — a value followed by
+    /// trailing bytes is corruption, not a success. Public because
+    /// every frame decoder (WAL and network protocol alike) ends with
+    /// this check.
+    pub fn finish(self) -> Result<(), WireError> {
         if self.remaining() != 0 {
             return Err(WireError::TrailingBytes(self.remaining()));
         }
@@ -561,8 +657,9 @@ pub fn decode_transaction(bytes: &[u8]) -> Result<Transaction, WireError> {
     let id = TxnId(r.u64()?);
     let curator = r.str()?;
     let time = r.u64()?;
-    let n = r.u32()? as usize;
-    let mut ops = Vec::with_capacity(n.min(65_536));
+    // The smallest op is a Delete: tag (1) + node id (8).
+    let n = r.seq_len(9)?;
+    let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
         ops.push(r.op()?);
     }
@@ -576,8 +673,9 @@ pub fn decode_transaction(bytes: &[u8]) -> Result<Transaction, WireError> {
 }
 
 fn read_chunks(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, WireError> {
-    let n = r.u32()? as usize;
-    let mut out = Vec::new();
+    // A chunk is at least its 4-byte length prefix.
+    let n = r.seq_len(4)?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let len = r.u32()? as usize;
         out.push(r.bytes(len)?.to_vec());
@@ -601,7 +699,8 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
     if versioned {
         ck.covered_len = r.opt_u64()?;
         ck.last_time = r.u64()?;
-        let n = r.u32()? as usize;
+        // A carried transaction is at least its 4-byte length prefix.
+        let n = r.seq_len(4)?;
         for _ in 0..n {
             let len = r.u32()? as usize;
             ck.log.push(decode_transaction(r.bytes(len)?)?);
@@ -729,6 +828,117 @@ mod tests {
     }
 
     #[test]
+    fn inflated_op_count_is_a_typed_error_not_a_loop() {
+        // A corrupt count field claiming u32::MAX ops with 3 bytes of
+        // payload left must fail with BadLength before the op loop
+        // (the old decoder looped until it starved, and its
+        // `with_capacity(n.min(65_536))` was the only allocation cap).
+        let mut b = Vec::new();
+        put_u64(&mut b, 0);
+        put_str(&mut b, "c");
+        put_u64(&mut b, 1);
+        put_u32(&mut b, u32::MAX);
+        b.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            decode_transaction(&b),
+            Err(WireError::BadLength {
+                claimed,
+                remaining: 3
+            }) if claimed == u64::from(u32::MAX)
+        ));
+    }
+
+    #[test]
+    fn inflated_chunk_count_in_checkpoint_is_a_typed_error() {
+        let db = busy_tree();
+        let ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
+        let mut bytes = encode_checkpoint(&ck);
+        // The final chunk list (snapshots) ends the payload: rewrite
+        // its count (last 4 bytes — the list is empty) to a huge value.
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn over_deep_clip_nesting_is_rejected_without_recursing() {
+        // Craft a paste whose clip nests far past MAX_NESTING, built
+        // iteratively (a real ClipNode that deep would itself recurse
+        // on drop). Each level: empty label, no value, one child; the
+        // innermost has zero children.
+        let mut b = Vec::new();
+        put_u64(&mut b, 0); // txn id
+        put_str(&mut b, "c");
+        put_u64(&mut b, 1); // time
+        put_u32(&mut b, 1); // one op
+        b.push(3); // Paste
+        put_u64(&mut b, 1); // node
+        put_u64(&mut b, 0); // parent
+        b.push(0); // Origin::Local
+        let depth = MAX_NESTING + 64;
+        for _ in 0..depth {
+            put_str(&mut b, "");
+            b.push(0); // no value
+            put_u32(&mut b, 1); // one child
+        }
+        put_str(&mut b, "");
+        b.push(0);
+        put_u32(&mut b, 0); // leaf
+        assert_eq!(
+            decode_transaction(&b),
+            Err(WireError::TooDeep("clip subtree"))
+        );
+    }
+
+    #[test]
+    fn over_deep_origin_chain_is_rejected() {
+        let mut b = Vec::new();
+        for _ in 0..MAX_NESTING + 8 {
+            b.push(1); // CopiedFrom
+            put_str(&mut b, "db");
+            put_str(&mut b, "/p");
+            put_u32(&mut b, 1); // one chained origin
+        }
+        b.push(0); // Local
+        let mut r = Reader::new(&b);
+        assert_eq!(r.origin(), Err(WireError::TooDeep("origin chain")));
+    }
+
+    #[test]
+    fn inflated_string_length_errors_cleanly() {
+        let mut b = Vec::new();
+        put_u64(&mut b, 0);
+        // Curator string claims 1 GiB with 2 bytes behind it.
+        put_u32(&mut b, 1 << 30);
+        b.extend_from_slice(b"ab");
+        assert_eq!(decode_transaction(&b), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn seq_len_validates_against_remaining() {
+        let mut b = Vec::new();
+        put_u32(&mut b, 5);
+        b.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let mut r = Reader::new(&b);
+        // 5 elements × 2 bytes = 10 ≤ 10 remaining: fine.
+        assert_eq!(r.seq_len(2), Ok(5));
+        let mut b = Vec::new();
+        put_u32(&mut b, 5);
+        b.extend_from_slice(&[1, 2, 3]);
+        let mut r = Reader::new(&b);
+        assert_eq!(
+            r.seq_len(2),
+            Err(WireError::BadLength {
+                claimed: 5,
+                remaining: 3
+            })
+        );
+    }
+
+    #[test]
     fn bad_tags_are_named() {
         assert!(matches!(
             decode_transaction(&{
@@ -738,6 +948,7 @@ mod tests {
                 put_u64(&mut b, 1);
                 put_u32(&mut b, 1);
                 b.push(9); // no such op tag
+                b.extend_from_slice(&[0u8; 8]); // pad past the length precheck
                 b
             }),
             Err(WireError::BadTag("curation op", 9))

@@ -93,6 +93,26 @@ impl Gauge {
         }
     }
 
+    /// Adds one — for occupancy-style gauges (queue depth, sessions
+    /// in flight) that pair every `inc` with a later [`Gauge::dec`].
+    pub fn inc(&self) {
+        if crate::metrics_enabled() {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts one, saturating at zero (a disabled-metrics window
+    /// can make releases outnumber acquires; never wrap to u64::MAX).
+    pub fn dec(&self) {
+        if crate::metrics_enabled() {
+            let _ = self
+                .0
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                    Some(v.saturating_sub(1))
+                });
+        }
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

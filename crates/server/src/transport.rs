@@ -1,0 +1,363 @@
+//! Connection transport, factored behind a trait so the entire server
+//! stack — framing, sessions, admission control — runs identically
+//! over a real TCP socket and over a deterministic in-memory pipe.
+//!
+//! The in-memory pipe carries a [`MemFaultPlan`] that reproduces the
+//! network's awkward cases on demand and byte-exactly: a peer that
+//! disconnects after delivering `n` bytes (torn frame, mid-request
+//! disconnect), and a slow reader whose `read` calls return one byte
+//! at a time (exercising every resumption point in the frame reader).
+//! Tests drive these without sockets, timeouts, or flakiness.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A transport-level failure. Distinct from protocol errors: the
+/// connection itself broke, not the bytes on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer (or a [`Closer`]) closed the connection; no more bytes
+    /// can be written.
+    Closed,
+    /// An I/O error from the underlying socket.
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Io(m) => write!(f, "transport i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Force-closes a transport from another thread, unblocking any read
+/// parked on it. The server's drain path holds one closer per live
+/// session so shutdown never waits on an idle client.
+pub trait Closer: Send + Sync {
+    /// Closes the connection in both directions. Idempotent.
+    fn close(&self);
+}
+
+/// A bidirectional, blocking byte stream. `read` returning `Ok(0)`
+/// means end-of-stream (the peer closed cleanly or the plan cut it).
+pub trait Transport: Send {
+    /// Reads up to `buf.len()` bytes, blocking until at least one byte
+    /// is available or the stream ends (`Ok(0)`).
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, TransportError>;
+    /// Writes the whole buffer or fails.
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), TransportError>;
+    /// A handle that can force-close this connection from elsewhere.
+    fn closer(&self) -> Box<dyn Closer>;
+}
+
+// ------------------------------------------------------------ TCP
+
+/// The real-network transport: a connected [`TcpStream`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    /// A second handle to the same socket, cloned up front so
+    /// [`Transport::closer`] never has to fail.
+    shutdown: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps a connected stream. Clones the handle once for the
+    /// closer; a socket that cannot be cloned cannot be served.
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        let shutdown = stream.try_clone()?;
+        Ok(TcpTransport { stream, shutdown })
+    }
+
+    /// Connects to `addr` (e.g. `"127.0.0.1:7070"`).
+    pub fn dial(addr: &str) -> std::io::Result<Self> {
+        TcpTransport::new(TcpStream::connect(addr)?)
+    }
+}
+
+fn io_err(e: std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted
+        | std::io::ErrorKind::BrokenPipe
+        | std::io::ErrorKind::NotConnected => TransportError::Closed,
+        _ => TransportError::Io(e.to_string()),
+    }
+}
+
+impl Transport for TcpTransport {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        self.stream.read(buf).map_err(io_err)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), TransportError> {
+        self.stream.write_all(buf).map_err(io_err)
+    }
+
+    fn closer(&self) -> Box<dyn Closer> {
+        let clone = self
+            .shutdown
+            .try_clone()
+            .expect("cloning an already-cloned TcpStream handle");
+        Box::new(TcpCloser(clone))
+    }
+}
+
+struct TcpCloser(TcpStream);
+
+impl Closer for TcpCloser {
+    fn close(&self) {
+        // Errors mean the socket is already gone — exactly what a
+        // closer wants.
+        let _ = self.0.shutdown(Shutdown::Both);
+    }
+}
+
+// ------------------------------------------------- in-memory pipes
+
+/// Faults injected into one direction of an in-memory connection.
+/// All fields default to "behave normally".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemFaultPlan {
+    /// Deliver only this many bytes, then close the stream: the
+    /// receiver sees exactly `cut_after` bytes followed by EOF. Cutting
+    /// inside a frame produces a torn frame; cutting between the
+    /// header and body of a request models a mid-request disconnect.
+    pub cut_after: Option<usize>,
+    /// Deliver at most this many bytes per `read` call (a slow or
+    /// adversarial peer). A frame reader that assumes one `read`
+    /// returns one frame breaks immediately under `Some(1)`.
+    pub read_chunk: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+    /// Total bytes accepted into the pipe since creation (the
+    /// `cut_after` budget counts deliveries, not reads).
+    delivered: usize,
+    plan: MemFaultPlan,
+}
+
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+}
+
+impl Pipe {
+    fn with_plan(plan: MemFaultPlan) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                plan,
+                ..PipeState::default()
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn write_all(&self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut st = self.state.lock().expect("pipe lock poisoned");
+        if st.closed {
+            return Err(TransportError::Closed);
+        }
+        let budget = match st.plan.cut_after {
+            Some(cap) => cap.saturating_sub(st.delivered),
+            None => usize::MAX,
+        };
+        let take = bytes.len().min(budget);
+        st.buf.extend(&bytes[..take]);
+        st.delivered += take;
+        if take < bytes.len() {
+            // The cut point: everything past it is lost and the
+            // stream ends, exactly like a peer whose connection died
+            // mid-write.
+            st.closed = true;
+        }
+        self.cv.notify_all();
+        if take < bytes.len() {
+            return Err(TransportError::Closed);
+        }
+        Ok(())
+    }
+
+    fn read(&self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        let mut st = self.state.lock().expect("pipe lock poisoned");
+        while st.buf.is_empty() && !st.closed {
+            st = self.cv.wait(st).expect("pipe lock poisoned");
+        }
+        if st.buf.is_empty() {
+            return Ok(0); // closed and drained: EOF
+        }
+        let cap = match st.plan.read_chunk {
+            Some(k) => buf.len().min(k.max(1)),
+            None => buf.len(),
+        };
+        let mut n = 0;
+        while n < cap {
+            match st.buf.pop_front() {
+                Some(b) => {
+                    buf[n] = b;
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("pipe lock poisoned");
+        st.closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// One end of a deterministic in-memory connection. Create pairs with
+/// [`mem_pair`] or [`mem_pair_with`].
+pub struct MemTransport {
+    incoming: Arc<Pipe>,
+    outgoing: Arc<Pipe>,
+}
+
+impl fmt::Debug for MemTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MemTransport")
+    }
+}
+
+impl MemTransport {
+    /// Closes the outgoing direction only — the peer reads the bytes
+    /// already delivered, then EOF — like TCP `shutdown(Write)`. The
+    /// incoming direction stays open, so responses still flow back.
+    pub fn shutdown_write(&self) {
+        self.outgoing.close();
+    }
+}
+
+impl Drop for MemTransport {
+    /// Dropping an end hangs up the whole connection, like a socket:
+    /// the peer's blocked reads return EOF instead of waiting forever.
+    fn drop(&mut self) {
+        self.incoming.close();
+        self.outgoing.close();
+    }
+}
+
+/// A fault-free in-memory connection pair `(client, server)`.
+pub fn mem_pair() -> (MemTransport, MemTransport) {
+    mem_pair_with(MemFaultPlan::default())
+}
+
+/// An in-memory connection pair with `plan` installed on the
+/// client→server direction (the direction tests corrupt). The
+/// server→client direction is fault-free.
+pub fn mem_pair_with(plan: MemFaultPlan) -> (MemTransport, MemTransport) {
+    let c2s = Pipe::with_plan(plan);
+    let s2c = Pipe::with_plan(MemFaultPlan::default());
+    let client = MemTransport {
+        incoming: s2c.clone(),
+        outgoing: c2s.clone(),
+    };
+    let server = MemTransport {
+        incoming: c2s,
+        outgoing: s2c,
+    };
+    (client, server)
+}
+
+impl Transport for MemTransport {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize, TransportError> {
+        self.incoming.read(buf)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), TransportError> {
+        self.outgoing.write_all(buf)
+    }
+
+    fn closer(&self) -> Box<dyn Closer> {
+        Box::new(MemCloser {
+            incoming: self.incoming.clone(),
+            outgoing: self.outgoing.clone(),
+        })
+    }
+}
+
+struct MemCloser {
+    incoming: Arc<Pipe>,
+    outgoing: Arc<Pipe>,
+}
+
+impl Closer for MemCloser {
+    fn close(&self) {
+        self.incoming.close();
+        self.outgoing.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_pair_round_trips() {
+        let (mut c, mut s) = mem_pair();
+        c.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+        s.write_all(b"ok").unwrap();
+        assert_eq!(c.read(&mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn cut_after_truncates_and_closes() {
+        let (mut c, mut s) = mem_pair_with(MemFaultPlan {
+            cut_after: Some(3),
+            ..MemFaultPlan::default()
+        });
+        assert_eq!(c.write_all(b"abcdef"), Err(TransportError::Closed));
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap(), 3);
+        assert_eq!(&buf[..3], b"abc");
+        assert_eq!(s.read(&mut buf).unwrap(), 0); // EOF, not a hang
+    }
+
+    #[test]
+    fn read_chunk_drips_bytes() {
+        let (mut c, mut s) = mem_pair_with(MemFaultPlan {
+            read_chunk: Some(1),
+            ..MemFaultPlan::default()
+        });
+        c.write_all(b"xyz").unwrap();
+        let mut buf = [0u8; 16];
+        for expect in b"xyz" {
+            assert_eq!(s.read(&mut buf).unwrap(), 1);
+            assert_eq!(buf[0], *expect);
+        }
+    }
+
+    #[test]
+    fn closer_unblocks_reader() {
+        let (c, mut s) = mem_pair();
+        let closer = s.closer();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            s.read(&mut buf)
+        });
+        // Give the reader a moment to park, then force-close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        closer.close();
+        assert_eq!(t.join().unwrap().unwrap(), 0);
+        drop(c);
+    }
+}

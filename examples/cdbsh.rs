@@ -35,6 +35,7 @@ use std::io::{self, BufRead, Write};
 use curated_db::model::PathQuery;
 use curated_db::obs;
 use curated_db::relalg::{sql, ExecConfig};
+use curated_db::server::{Client, Server, ServerConfig, TcpTransport};
 use curated_db::{Atom, CuratedDatabase, SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};
 
 fn main() {
@@ -42,6 +43,8 @@ fn main() {
     let mut shell = Shell {
         mem: None,
         shared: None,
+        server: None,
+        remote: None,
     };
     let mut clock: u64 = 0;
     let interactive = false; // piped-friendly: no prompt echo logic needed
@@ -63,6 +66,19 @@ fn main() {
             let _ = io::stdout().flush();
         }
     }
+    // Orderly goodbye whether the script said `quit` or just ended:
+    // close our own connection first so the drain below doesn't have
+    // to force it, then drain the server.
+    if let Some(mut client) = shell.remote.take() {
+        let _ = client.close();
+    }
+    if let Some(server) = shell.server.take() {
+        let report = server.drain(std::time::Duration::from_secs(5));
+        println!(
+            "server drained ({} sessions served, {} forced)",
+            report.sessions_served, report.forced
+        );
+    }
 }
 
 enum Output {
@@ -73,10 +89,14 @@ enum Output {
 const NO_DB: &str = "no database: use `new <name> <key>` or `open <name> <key> <dir>`";
 
 /// Shell state: at most one database, either in-memory (`new`) or
-/// served durably through [`SharedDb`] (`open`).
+/// served durably through [`SharedDb`] (`open`); optionally a running
+/// TCP server over it (`serve`), and optionally a protocol client
+/// (`connect`) that routes curation commands over the wire.
 struct Shell {
     mem: Option<CuratedDatabase>,
     shared: Option<SharedDb>,
+    server: Option<Server>,
+    remote: Option<Client<TcpTransport>>,
 }
 
 /// A read-only view of the current database. For a durable session
@@ -126,9 +146,65 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
     let rest: Vec<&str> = parts.collect();
     let text = |s: String| Ok(Output::Text(s));
 
+    // While connected, curation and query commands travel over the
+    // wire; session-control commands stay local.
+    if !matches!(
+        cmd,
+        "help" | "quit" | "exit" | "serve" | "connect" | "disconnect"
+    ) {
+        if let Some(client) = shell.remote.as_mut() {
+            return remote_command(client, time, cmd, &rest);
+        }
+    }
+
     match cmd {
         "help" => text(HELP.trim().to_owned()),
         "quit" | "exit" => Ok(Output::Quit),
+        "serve" => {
+            let [addr] = take::<1>(&rest)?;
+            if shell.server.is_some() {
+                return Err("already serving (one server per shell)".into());
+            }
+            // A served database must be shared; promote an in-memory
+            // one (it keeps no WAL — `open` first for durability).
+            if shell.shared.is_none() {
+                let owned = shell.mem.take().ok_or(NO_DB)?;
+                shell.shared = Some(SharedDb::from_db(owned));
+            }
+            let db = shell.shared.as_ref().expect("just installed").clone();
+            let config = ServerConfig::default();
+            let note = format!("{} workers, {} slots", config.workers, config.slots);
+            let server = Server::bind(db, addr, config).map_err(|e| e.to_string())?;
+            let bound = server.local_addr();
+            shell.server = Some(server);
+            text(format!("serving on {bound} ({note})"))
+        }
+        "connect" => {
+            if shell.remote.is_some() {
+                return Err("already connected (disconnect first)".into());
+            }
+            let addr = match rest.as_slice() {
+                [] => shell
+                    .server
+                    .as_ref()
+                    .map(|s| s.local_addr().to_string())
+                    .ok_or("connect <addr>, or `serve` first to connect locally")?,
+                [addr] => (*addr).to_string(),
+                _ => return Err("connect [addr]".into()),
+            };
+            let mut client = Client::dial(&addr).map_err(|e| e.to_string())?;
+            let name = client.hello("cdbsh").map_err(|e| e.to_string())?;
+            let epoch = client.epoch().map_err(|e| e.to_string())?;
+            shell.remote = Some(client);
+            text(format!(
+                "connected to {name:?} at {addr} (session pinned at epoch {epoch})"
+            ))
+        }
+        "disconnect" => {
+            let mut client = shell.remote.take().ok_or("not connected")?;
+            let _ = client.close();
+            text("disconnected".into())
+        }
         "new" => {
             let [name, key] = take::<2>(&rest)?;
             shell.mem = Some(CuratedDatabase::new(*name, *key));
@@ -421,6 +497,95 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
     }
 }
 
+/// Command dispatch while `connect`ed: the same verbs, served by the
+/// remote session over the wire. Reads come back stamped with the
+/// session's pinned epoch; `refresh` re-pins it.
+fn remote_command(
+    client: &mut Client<TcpTransport>,
+    time: u64,
+    cmd: &str,
+    rest: &[&str],
+) -> Result<Output, String> {
+    let text = |s: String| Ok(Output::Text(s));
+    let net = |e: curated_db::server::ClientError| e.to_string();
+    match cmd {
+        "ping" => {
+            client.ping().map_err(net)?;
+            text("pong".into())
+        }
+        "add" => {
+            if rest.len() < 2 {
+                return Err("add <curator> <key> [field=value …]".into());
+            }
+            let (curator, key) = (rest[0], rest[1]);
+            let fields: Vec<(String, Atom)> = rest[2..]
+                .iter()
+                .map(|kv| parse_field(kv).map(|(k, v)| (k.to_owned(), v)))
+                .collect::<Result<_, _>>()?;
+            let id = client.add(curator, time, key, fields).map_err(net)?;
+            text(format!("added entry {key:?} (node {id})"))
+        }
+        "edit" => {
+            let [curator, key, field, value] = take::<4>(rest)?;
+            client
+                .edit(curator, time, key, field, parse_atom(value))
+                .map_err(net)?;
+            text(format!("edited {key}.{field}"))
+        }
+        "note" => {
+            if rest.len() < 4 {
+                return Err("note <author> <key> <field|-> <text…>".into());
+            }
+            let (author, key, field) = (rest[0], rest[1], rest[2]);
+            let body = rest[3..].join(" ");
+            let field = if field == "-" { None } else { Some(field) };
+            client
+                .annotate(key, field, author, &body, time)
+                .map_err(net)?;
+            text("noted".into())
+        }
+        "publish" => {
+            let [label] = take::<1>(rest)?;
+            let v = client.publish(label).map_err(net)?;
+            text(format!("published version {v} ({label})"))
+        }
+        "merge" => {
+            let [curator, kept, absorbed] = take::<3>(rest)?;
+            client.merge(curator, time, kept, absorbed).map_err(net)?;
+            text(format!("{absorbed} merged into {kept}"))
+        }
+        "entries" => {
+            let (epoch, keys) = client.entries().map_err(net)?;
+            text(format!("epoch {epoch}: {}", keys.join(", ")))
+        }
+        "get" => {
+            let [key, field] = take::<2>(rest)?;
+            let (epoch, value) = client.get(key, field).map_err(net)?;
+            text(format!("{key}.{field} = {value} (epoch {epoch})"))
+        }
+        "refresh" => {
+            let epoch = client.refresh().map_err(net)?;
+            text(format!("re-pinned at epoch {epoch}"))
+        }
+        "epoch" => {
+            let epoch = client.epoch().map_err(net)?;
+            text(format!("epoch {epoch}"))
+        }
+        "stats" => {
+            // The server answers with its line-JSON metrics dump; the
+            // optional `json` argument is accepted for symmetry with
+            // the local command.
+            match rest {
+                [] | ["json"] => text(client.stats().map_err(net)?.trim_end().to_owned()),
+                other => Err(format!("stats takes no argument or `json`, got {other:?}")),
+            }
+        }
+        other => Err(format!(
+            "{other:?} is not served over a connection (disconnect for the full shell)"
+        )),
+    }
+}
+
 /// Cumulative `relalg.eval.*` readings from the process-global
 /// registry, appended to `explain` output so repeated queries show
 /// their latency distribution.
@@ -565,6 +730,16 @@ commands:
   parallel <writers> <readers> <ops> serve the db concurrently: writers
                                        add+edit over group commit while
                                        readers verify snapshot isolation
+  serve <addr>                       serve the db over TCP (use :0 for
+                                       an ephemeral port; printed back)
+  connect [addr]                     connect a wire client (no addr =
+                                       this shell's own server); then
+                                       add/edit/note/publish/merge/
+                                       entries/get/refresh/epoch/ping/
+                                       stats travel over the wire
+  disconnect                         close the wire session
+  get <key> <field>                  (connected) read one field with
+                                       its serving epoch
   path </a/b | //x>                  path query over the exported value
   prov <provql>                      provenance query language, e.g.
                                        prov VALUE /entry/name AT TXN 0

@@ -58,6 +58,21 @@ if [[ "$run_bench" == 1 ]]; then
         cat "$bench_json_dir/BENCH_recovery.json"
         exit 1
     fi
+
+    # The server bench likewise: force the report in smoke mode and
+    # check the E20 rows exist and carry the shed column.
+    CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
+        cargo bench -p cdb-bench --bench server
+    if ! grep -q '"op": "e20_' "$bench_json_dir/BENCH_server.json"; then
+        echo "BENCH_server.json is missing the E20 rows:"
+        cat "$bench_json_dir/BENCH_server.json"
+        exit 1
+    fi
+    if ! grep -qE '"shed": [0-9]+' "$bench_json_dir/BENCH_server.json"; then
+        echo "BENCH_server.json E20 rows are missing the shed field:"
+        cat "$bench_json_dir/BENCH_server.json"
+        exit 1
+    fi
     rm -rf "$bench_json_dir"
 fi
 
@@ -128,6 +143,43 @@ CDBSH2
         if ! grep -q "checkpoint installed" <<<"$obs_out"; then
             echo "cdbsh checkpoint output is missing the reclaim stats:"
             echo "$obs_out"
+            exit 1
+        fi
+        # Server smoke: serve on an ephemeral port, connect the same
+        # shell's wire client, curate over TCP, and check the server's
+        # request-latency histogram recorded samples before a clean
+        # drain. (`connect` with no address targets the shell's own
+        # server, so no port needs to be scripted.)
+        srv_out="$(cargo run -q --example cdbsh <<'CDBSH3'
+new iuphar name
+serve 127.0.0.1:0
+connect
+ping
+add alice GABA-A kind=receptor tm=4
+edit alice GABA-A tm 5
+get GABA-A tm
+entries
+publish 2008-06
+refresh
+stats json
+disconnect
+quit
+CDBSH3
+)"
+        if ! grep -q "GABA-A.tm = 5" <<<"$srv_out"; then
+            echo "cdbsh wire session did not read back its own write:"
+            echo "$srv_out"
+            exit 1
+        fi
+        lat_line="$(grep '"name":"server.req.latency_ns"' <<<"$srv_out" || true)"
+        if [[ -z "$lat_line" ]] || grep -q '"count":0,' <<<"$lat_line"; then
+            echo "server stats show no server.req.latency_ns samples:"
+            echo "$srv_out"
+            exit 1
+        fi
+        if ! grep -q "server drained" <<<"$srv_out"; then
+            echo "cdbsh quit did not drain the server cleanly:"
+            echo "$srv_out"
             exit 1
         fi
     else

@@ -37,6 +37,7 @@ pub use cdb_obs as obs;
 pub use cdb_relalg as relalg;
 pub use cdb_schema as schema;
 pub use cdb_semiring as semiring;
+pub use cdb_server as server;
 pub use cdb_storage as storage;
 pub use cdb_workload as workload;
 

@@ -549,3 +549,319 @@ proptest! {
         }
     }
 }
+
+// ----------------------------- satellite: over-the-wire histories
+//
+// The same seeded-scheduler discipline, but each actor is now a full
+// network client: requests are encoded to frames, pushed through the
+// deterministic in-memory transport, served by the production
+// `cdb_server::Session` code (snapshot-pinned reads, group-committed
+// writes), and the responses decoded back. The checkers then apply to
+// what the *protocol* exposed: every pinned snapshot any session ever
+// served from must be a committed prefix that replays to itself, the
+// epochs carried inside `Value`/`Keys` responses must match the pins,
+// and after a scripted crash the durable log must cover every commit
+// any client was ever acknowledged — including when one client
+// disconnects halfway through writing a request frame.
+
+use cdb_server::admission::Admission;
+use cdb_server::proto::{read_frame, write_frame, Request, Response, PROTOCOL_VERSION};
+use cdb_server::session::{Session, Turn};
+use cdb_server::transport::{mem_pair, MemTransport, Transport};
+
+/// One scripted protocol request with its expected-success shape.
+#[derive(Debug, Clone)]
+enum WireOp {
+    Write(Request),
+    GetOwn(String, i64),
+    Entries,
+    Refresh,
+    Epoch,
+}
+
+/// A client's script over namespace `ns`: adds, an edit, read-your-
+/// writes probes, lifecycle ops, a refresh, and a publish.
+fn wire_script(c: usize) -> Vec<WireOp> {
+    let ns = format!("c{c}");
+    let k = |n: usize| format!("{ns}k{n}");
+    let curator = ns.clone();
+    let time = |step: usize| (c as u64 + 1) * 100_000 + step as u64;
+    let mut steps = Vec::new();
+    for n in 0..3 {
+        steps.push(WireOp::Write(Request::Add {
+            curator: curator.clone(),
+            time: time(n),
+            key: k(n),
+            fields: vec![("v".to_string(), Atom::Int(n as i64))],
+        }));
+    }
+    steps.push(WireOp::Write(Request::Edit {
+        curator: curator.clone(),
+        time: time(3),
+        key: k(0),
+        field: "v".to_string(),
+        value: Atom::Int(7),
+    }));
+    steps.push(WireOp::GetOwn(k(0), 7));
+    steps.push(WireOp::Entries);
+    steps.push(WireOp::Write(Request::Annotate {
+        key: k(1),
+        field: Some("v".to_string()),
+        author: curator.clone(),
+        text: "checked".to_string(),
+        time: time(4),
+    }));
+    steps.push(WireOp::Write(Request::Merge {
+        curator: curator.clone(),
+        time: time(5),
+        kept: k(0),
+        absorbed: k(1),
+    }));
+    steps.push(WireOp::Write(Request::Delete {
+        curator: curator.clone(),
+        time: time(6),
+        key: k(2),
+    }));
+    steps.push(WireOp::Refresh);
+    steps.push(WireOp::Epoch);
+    steps.push(WireOp::Write(Request::Publish {
+        label: format!("{ns}-v1"),
+    }));
+    steps
+}
+
+/// One client session riding the deterministic transport.
+struct WireClient {
+    transport: MemTransport,
+    session: Session<MemTransport>,
+    script: Vec<WireOp>,
+    cursor: usize,
+    /// `time` of every write this client was ACKED (an Ok/Node/Version
+    /// response arrived).
+    acked: Vec<u64>,
+    /// The last epoch any response exposed to this client.
+    last_epoch: u64,
+    alive: bool,
+}
+
+impl WireClient {
+    fn exchange(&mut self, req: &Request) -> Result<Response, String> {
+        write_frame(&mut self.transport, &req.encode()).map_err(|e| format!("send: {e}"))?;
+        let turn = self.session.serve_one();
+        if turn != Turn::Continue {
+            return Err(format!("session closed on {req:?}"));
+        }
+        let payload = read_frame(&mut self.transport)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("server hung up mid-conversation")?;
+        Response::decode(&payload).map_err(|e| format!("bad response frame: {e}"))
+    }
+
+    /// Runs one scripted step; records acks and response epochs, and
+    /// cross-checks every exposed epoch against the session's actual
+    /// pin (end-to-end epoch coherence).
+    fn step(&mut self) -> Result<(), String> {
+        let op = self.script[self.cursor].clone();
+        self.cursor += 1;
+        match op {
+            WireOp::Write(req) => {
+                // Only ops that append to the curation log are tracked
+                // for the acked ⊆ recovered check (annotations and
+                // publishes are aux structures with no log entry).
+                let time = match &req {
+                    Request::Add { time, .. }
+                    | Request::Edit { time, .. }
+                    | Request::Delete { time, .. }
+                    | Request::Merge { time, .. } => Some(*time),
+                    _ => None,
+                };
+                match self.exchange(&req)? {
+                    Response::Ok | Response::Node { .. } | Response::Version { .. } => {
+                        self.acked.extend(time);
+                        Ok(())
+                    }
+                    other => Err(format!("write {req:?} answered {other:?}")),
+                }
+            }
+            WireOp::GetOwn(key, expect) => match self.exchange(&Request::GetField {
+                key: key.clone(),
+                field: "v".to_string(),
+            })? {
+                Response::Value { epoch, value } => {
+                    if value != Atom::Int(expect) {
+                        return Err(format!(
+                            "read-your-writes violated: {key} = {value:?}, wanted {expect}"
+                        ));
+                    }
+                    self.note_epoch(epoch)
+                }
+                other => Err(format!("get {key} answered {other:?}")),
+            },
+            WireOp::Entries => match self.exchange(&Request::Entries)? {
+                Response::Keys { epoch, .. } => self.note_epoch(epoch),
+                other => Err(format!("entries answered {other:?}")),
+            },
+            WireOp::Refresh => match self.exchange(&Request::Refresh)? {
+                Response::Epoch { epoch } => self.note_epoch(epoch),
+                other => Err(format!("refresh answered {other:?}")),
+            },
+            WireOp::Epoch => match self.exchange(&Request::Epoch)? {
+                Response::Epoch { epoch } => self.note_epoch(epoch),
+                other => Err(format!("epoch answered {other:?}")),
+            },
+        }
+    }
+
+    fn note_epoch(&mut self, epoch: u64) -> Result<(), String> {
+        let pin = self.session.pinned().epoch();
+        if epoch != pin {
+            return Err(format!(
+                "response epoch {epoch} disagrees with the session pin {pin}"
+            ));
+        }
+        if epoch < self.last_epoch {
+            return Err(format!(
+                "client-visible epoch went backwards: {epoch} < {}",
+                self.last_epoch
+            ));
+        }
+        self.last_epoch = epoch;
+        Ok(())
+    }
+}
+
+proptest! {
+    /// 256 seeded multi-client histories through the in-memory
+    /// transport against a durable database (group window zero):
+    /// committed-prefix, replay-oracle, and epoch-coherence hold end
+    /// to end, one client disconnects in the middle of writing a
+    /// frame, and after a crash the recovered log covers every ack
+    /// any client received (acked ⊆ recovered).
+    #[test]
+    fn over_the_wire_histories_are_linearizable(seed in 0u64..1_000_000) {
+        const CLIENTS: usize = 3;
+        let dev = SharedFaulty(Arc::new(Mutex::new(FaultyIo::new(FaultPlan::default()))));
+        let db = SharedDb::open(
+            "wire",
+            "id",
+            Box::new(dev.clone()),
+            cdb_storage::CheckpointStore::mem(),
+            Duration::ZERO,
+        )
+        .map_err(|e| TestCaseError::fail(format!("open: {e}")))?;
+        let admission = Admission::new(CLIENTS + 1, 1, db.metrics());
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut clients: Vec<WireClient> = (0..CLIENTS)
+            .map(|c| {
+                let (transport, server_end) = mem_pair();
+                let mut wc = WireClient {
+                    transport,
+                    session: Session::new(server_end, db.clone(), admission.clone()),
+                    script: wire_script(c),
+                    cursor: 0,
+                    acked: Vec::new(),
+                    last_epoch: 0,
+                    alive: true,
+                };
+                let hello = wc
+                    .exchange(&Request::Hello {
+                        version: PROTOCOL_VERSION,
+                        client: format!("c{c}"),
+                    })
+                    .expect("hello");
+                assert!(matches!(hello, Response::Hello { .. }));
+                wc
+            })
+            .collect();
+
+        // One client is doomed: after a seed-chosen number of steps it
+        // will disconnect midway through writing its next frame.
+        let doomed = rng.gen_range(0..CLIENTS);
+        let doom_at = rng.gen_range(0..clients[doomed].script.len());
+
+        let mut observed: Vec<Snapshot> = Vec::new();
+        loop {
+            let runnable: Vec<usize> = clients
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.alive && c.cursor < c.script.len())
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                break;
+            }
+            let pick = runnable[rng.gen_range(0..runnable.len())];
+            let wc = &mut clients[pick];
+            if pick == doomed && wc.cursor == doom_at {
+                // Write a strict prefix of a valid Add frame, then
+                // hang up: the torn request must not be applied.
+                let payload = Request::Add {
+                    curator: "doomed".to_string(),
+                    time: 999_999,
+                    key: "torn-key".to_string(),
+                    fields: vec![("v".to_string(), Atom::Int(13))],
+                }
+                .encode();
+                let mut frame = Vec::new();
+                frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                frame.extend_from_slice(&payload);
+                let cut = rng.gen_range(1..frame.len());
+                wc.transport
+                    .write_all(&frame[..cut])
+                    .map_err(|e| TestCaseError::fail(format!("partial write: {e}")))?;
+                wc.transport.shutdown_write();
+                let turn = wc.session.serve_one();
+                prop_assert_eq!(turn, Turn::Closed, "torn frame must close the session");
+                wc.alive = false;
+            } else {
+                wc.step().map_err(TestCaseError::fail)?;
+            }
+            observed.push(clients[pick].session.pinned().clone());
+        }
+
+        // The torn request never reached the database.
+        let fin = db.snapshot();
+        prop_assert!(
+            !fin.entry_keys().unwrap().contains(&"torn-key".to_string()),
+            "a torn frame was half-applied"
+        );
+
+        // Snapshot checkers over every pinned view any session served.
+        let final_ids = ids(&fin.curated.log);
+        for snap in observed.iter().chain(std::iter::once(&fin)) {
+            if let Err(msg) = check_snapshot(snap, &final_ids) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+        if let Err(msg) = check_epochs(observed.iter().chain(std::iter::once(&fin))) {
+            return Err(TestCaseError::fail(msg));
+        }
+
+        // Crash: every ack any client (including the doomed one, for
+        // its pre-disconnect writes) ever saw must be recovered.
+        let image = dev.0.lock().unwrap().durable_image();
+        let reopened = CuratedDatabase::open(
+            "wire",
+            "id",
+            Box::new(MemIo::from_bytes(image)),
+            cdb_storage::CheckpointStore::mem(),
+        )
+        .map_err(|e| TestCaseError::fail(format!("recovery: {e}")))?;
+        let rids = ids(&reopened.curated.log);
+        prop_assert_eq!(
+            &rids[..],
+            &final_ids[..rids.len()],
+            "recovered log is not a prefix of the served history"
+        );
+        let durable: BTreeSet<u64> = reopened.curated.log.iter().map(|t| t.time).collect();
+        for wc in &clients {
+            for t in &wc.acked {
+                prop_assert!(
+                    durable.contains(t),
+                    "acked commit t={t} lost across sessions (acked ⊄ recovered)"
+                );
+            }
+        }
+    }
+}
