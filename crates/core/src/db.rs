@@ -145,6 +145,33 @@ pub struct CuratedDatabase {
     /// by [`CuratedDatabase::clone_state`] share it, so counters keep
     /// aggregating in one place while reads are served from copies).
     pub(crate) metrics: cdb_obs::Metrics,
+    /// 2PC decision records this shard knows (gid → commit): populated
+    /// by cross-shard commits and by recovery, re-encoded into every
+    /// checkpoint so decisions outlive WAL truncation.
+    pub(crate) decisions: BTreeMap<u64, bool>,
+    /// When set, [`CuratedDatabase::persist_commit`] queues nothing:
+    /// the sharded 2PC path runs curation ops under this flag and then
+    /// seals the frames from
+    /// [`CuratedDatabase::encode_unpersisted`] inside a PREPARE frame
+    /// instead. Never set outside a held cross-shard commit.
+    pub(crate) defer_persist: bool,
+}
+
+/// A deep copy of every field a curation operation can mutate, taken
+/// before a cross-shard transaction touches a shard so an abort (a
+/// failed PREPARE sync, a validation error on another shard) can
+/// restore the state exactly. The persistence cursors ride along:
+/// rollback after `encode_unpersisted` must also un-advance them.
+#[derive(Debug)]
+pub(crate) struct TxnBackup {
+    curated: CuratedTree,
+    lifecycle: EntryRegistry,
+    notes: BTreeMap<(String, Option<String>), Vec<Note>>,
+    archive: Archive,
+    publish_points: Vec<(Option<cdb_curation::TxnId>, u64, String)>,
+    last_time: u64,
+    persisted_txns: usize,
+    persisted_events: usize,
 }
 
 impl CuratedDatabase {
@@ -172,7 +199,40 @@ impl CuratedDatabase {
             pending_frames: VecDeque::new(),
             recovery: None,
             metrics: cdb_obs::Metrics::new(),
+            decisions: BTreeMap::new(),
+            defer_persist: false,
         }
+    }
+
+    /// Photographs the mutable curation state for 2PC rollback.
+    pub(crate) fn backup_for_txn(&self) -> TxnBackup {
+        TxnBackup {
+            curated: self.curated.clone(),
+            lifecycle: self.lifecycle.clone(),
+            notes: self.notes.clone(),
+            archive: self.archive.clone(),
+            publish_points: self.publish_points.clone(),
+            last_time: self.last_time,
+            persisted_txns: self.persisted_txns,
+            persisted_events: self.persisted_events,
+        }
+    }
+
+    /// Restores the state photographed by
+    /// [`CuratedDatabase::backup_for_txn`] — the abort path of a
+    /// cross-shard transaction. WAL plumbing (pending frames, decision
+    /// records) is deliberately untouched: an aborted 2PC txn never
+    /// queued ordinary frames (they were deferred), and its decision
+    /// record must survive the rollback.
+    pub(crate) fn restore_from_backup(&mut self, backup: TxnBackup) {
+        self.curated = backup.curated;
+        self.lifecycle = backup.lifecycle;
+        self.notes = backup.notes;
+        self.archive = backup.archive;
+        self.publish_points = backup.publish_points;
+        self.last_time = backup.last_time;
+        self.persisted_txns = backup.persisted_txns;
+        self.persisted_events = backup.persisted_events;
     }
 
     /// The segment-retention policy applied when a checkpoint retires
@@ -609,6 +669,8 @@ impl CuratedDatabase {
             pending_frames: VecDeque::new(),
             recovery: None,
             metrics: self.metrics.clone(),
+            decisions: self.decisions.clone(),
+            defer_persist: false,
         }
     }
 }

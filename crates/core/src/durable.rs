@@ -132,6 +132,12 @@ pub enum Durability {
 pub const AUX_EVENT: u8 = 1;
 /// Aux-frame tag: a serialized [`Note`] with its attachment point.
 pub const AUX_NOTE: u8 = 2;
+/// Aux-frame tag: a 2PC decision record (gid, commit). Only ever
+/// written into a checkpoint's aux carriage — the WAL's own record is
+/// the `FRAME_DECIDE` frame — so cross-shard decisions survive
+/// checkpoint-anchored log truncation and can still resolve another
+/// shard's in-doubt PREPARE after the deciding frames are retired.
+pub const AUX_DECIDE: u8 = 3;
 
 /// One decoded auxiliary frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -146,6 +152,13 @@ pub enum AuxRecord {
         field: Option<String>,
         /// The annotation itself.
         note: Note,
+    },
+    /// A 2PC decision record carried by a checkpoint.
+    Decision {
+        /// Global cross-shard transaction id.
+        gid: u64,
+        /// Whether the transaction committed.
+        commit: bool,
     },
 }
 
@@ -224,6 +237,15 @@ pub fn encode_note(key: &str, field: Option<&str>, note: &Note) -> Vec<u8> {
     out
 }
 
+/// Encodes a 2PC decision record as an aux-frame payload (checkpoint
+/// carriage only; see [`AUX_DECIDE`]).
+pub fn encode_decision(gid: u64, commit: bool) -> Vec<u8> {
+    let mut out = vec![AUX_DECIDE];
+    put_u64(&mut out, gid);
+    out.push(u8::from(commit));
+    out
+}
+
 /// Decodes an aux-frame payload.
 pub fn decode_aux(bytes: &[u8]) -> Result<AuxRecord, WireError> {
     let mut r = Reader::new(bytes);
@@ -265,6 +287,14 @@ pub fn decode_aux(bytes: &[u8]) -> Result<AuxRecord, WireError> {
                 author: r.str()?,
                 text: r.str()?,
                 time: r.u64()?,
+            },
+        },
+        AUX_DECIDE => AuxRecord::Decision {
+            gid: r.u64()?,
+            commit: match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(WireError::BadTag("decision flag", t)),
             },
         },
         t => return Err(WireError::BadTag("aux record", t)),
@@ -328,8 +358,15 @@ impl CuratedDatabase {
                 AuxRecord::Note { key, field, note } => {
                     db.notes.entry((key, field)).or_default().push(note);
                 }
+                AuxRecord::Decision { gid, commit } => {
+                    db.decisions.insert(gid, commit);
+                }
             }
         }
+        // The WAL's own DECIDE frames join the checkpoint-carried
+        // records (later frames win — they are never contradictory, but
+        // a self-healed abort may postdate a carried record).
+        db.decisions.extend(rec.decisions.iter());
         db.publish_points = rec
             .publishes
             .iter()
@@ -563,6 +600,11 @@ impl CuratedDatabase {
                 aux.push(encode_note(key, field.as_deref(), note));
             }
         }
+        // 2PC decision records ride every checkpoint so they outlive
+        // the DECIDE frames the watermark is about to retire.
+        for (&gid, &commit) in &self.decisions {
+            aux.push(encode_decision(gid, commit));
+        }
         ck.aux = aux;
 
         self.ckpt
@@ -611,10 +653,30 @@ impl CuratedDatabase {
     /// holds a gap-free prefix of the in-memory log. Called after every
     /// commit; in-memory instances skip straight out.
     pub(crate) fn persist_commit(&mut self) -> Result<(), DbError> {
-        if self.wal.is_none() {
+        if self.wal.is_none() || self.defer_persist {
             return Ok(());
         }
         let _span = cdb_obs::SpanGuard::enter("core.persist_commit");
+        for frame in self.encode_unpersisted() {
+            self.pending_frames.push_back(frame);
+        }
+        self.drain_pending()?;
+        if self.durability == Durability::Always {
+            self.wal.as_mut().expect("checked durable above").sync()?;
+        }
+        Ok(())
+    }
+
+    /// Encodes every not-yet-persisted committed transaction (plus its
+    /// lifecycle events) into WAL frames and advances the persistence
+    /// cursors — without touching the WAL. [`persist_commit`] feeds the
+    /// frames straight into the append queue; the sharded 2PC path
+    /// instead seals them inside a PREPARE frame, so the transaction's
+    /// whole cross-shard effect commits or aborts atomically.
+    ///
+    /// [`persist_commit`]: CuratedDatabase::persist_commit
+    pub(crate) fn encode_unpersisted(&mut self) -> Vec<(u8, Vec<u8>)> {
+        let mut frames = Vec::new();
         let mut fresh: Vec<Vec<u8>> = self.lifecycle.events()
             [self.persisted_events.min(self.lifecycle.events().len())..]
             .iter()
@@ -624,7 +686,7 @@ impl CuratedDatabase {
         let txns = &self.curated.log[start..];
         if txns.is_empty() {
             for payload in fresh.drain(..) {
-                self.pending_frames.push_back((FRAME_AUX, payload));
+                frames.push((FRAME_AUX, payload));
             }
         } else {
             // Normally exactly one transaction is unpersisted and the
@@ -638,8 +700,7 @@ impl CuratedDatabase {
                 } else {
                     Vec::new()
                 };
-                self.pending_frames
-                    .push_back((FRAME_COMMIT, cdb_storage::encode_commit(txn, &aux)));
+                frames.push((FRAME_COMMIT, cdb_storage::encode_commit(txn, &aux)));
             }
         }
         self.metrics
@@ -647,11 +708,7 @@ impl CuratedDatabase {
             .add((self.curated.log.len() - start) as u64);
         self.persisted_txns = self.curated.log.len();
         self.persisted_events = self.lifecycle.events().len();
-        self.drain_pending()?;
-        if self.durability == Durability::Always {
-            self.wal.as_mut().expect("checked durable above").sync()?;
-        }
-        Ok(())
+        frames
     }
 
     /// Appends a publish point to the WAL. Publishes are synced
@@ -679,7 +736,7 @@ impl CuratedDatabase {
 
     /// Appends a note to the WAL.
     pub(crate) fn persist_note(&mut self, key: &str, field: Option<&str>) -> Result<(), DbError> {
-        if self.wal.is_none() {
+        if self.wal.is_none() || self.defer_persist {
             return Ok(());
         }
         self.metrics.counter("core.notes").inc();
@@ -782,11 +839,20 @@ mod tests {
                     time: 0,
                 },
             },
+            AuxRecord::Decision {
+                gid: 42,
+                commit: true,
+            },
+            AuxRecord::Decision {
+                gid: 0,
+                commit: false,
+            },
         ];
         for rec in records {
             let bytes = match &rec {
                 AuxRecord::Event(e) => encode_event(e),
                 AuxRecord::Note { key, field, note } => encode_note(key, field.as_deref(), note),
+                AuxRecord::Decision { gid, commit } => encode_decision(*gid, *commit),
             };
             assert_eq!(decode_aux(&bytes).unwrap(), rec);
         }

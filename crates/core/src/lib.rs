@@ -26,12 +26,14 @@
 pub mod db;
 pub mod durable;
 pub mod lifecycle;
+pub mod sharded;
 pub mod shared;
 pub mod views;
 
 pub use db::{CuratedDatabase, DbError, Note};
 pub use durable::{CheckpointStats, Durability};
 pub use lifecycle::{EntryEvent, EntryRegistry, Fate};
+pub use sharded::{ShardMap, ShardedDb, ShardedSnapshot};
 pub use shared::{SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};
 
 // Re-export the substrate crates under one roof, so downstream users

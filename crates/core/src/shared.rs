@@ -217,6 +217,21 @@ impl SharedDb {
         let name = name.into();
         let ck = ckpt.load()?;
         let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck)?;
+        Self::from_parts(name, key_field, log, rec, ckpt, window)
+    }
+
+    /// Assembles a shared database from an already-recovered log — the
+    /// tail of [`SharedDb::open`], split out so the sharded layer can
+    /// run its own (parallel, decision-context-aware) recovery first
+    /// and still get the standard serving assembly per shard.
+    pub(crate) fn from_parts(
+        name: String,
+        key_field: impl Into<String>,
+        log: cdb_storage::DurableLog<Box<dyn Io>>,
+        rec: cdb_storage::Recovered,
+        ckpt: CheckpointStore,
+        window: Duration,
+    ) -> Result<Self, DbError> {
         let metrics = cdb_obs::Metrics::new();
         let group = GroupWal::with_metrics(log, window, &metrics);
         let mut db = CuratedDatabase::from_recovered_with_metrics(
@@ -259,7 +274,7 @@ impl SharedDb {
         SharedDb::open(name, key_field, Box::new(wal), ckpt, window)
     }
 
-    fn lock_db(&self) -> MutexGuard<'_, CuratedDatabase> {
+    pub(crate) fn lock_db(&self) -> MutexGuard<'_, CuratedDatabase> {
         self.inner
             .db
             .lock()
@@ -268,7 +283,7 @@ impl SharedDb {
 
     /// Publishes the current state as the next snapshot epoch. Called
     /// under the database lock, so epochs are assigned in commit order.
-    fn publish_snapshot(&self, db: &CuratedDatabase) {
+    pub(crate) fn publish_snapshot(&self, db: &CuratedDatabase) {
         let fresh = Arc::new(db.clone_state());
         let mut cache = self
             .inner
@@ -470,6 +485,12 @@ impl SharedDb {
     /// Group-commit counters, when durable (`None` for in-memory).
     pub fn group_stats(&self) -> Option<GroupCommitStats> {
         self.inner.group.as_ref().map(|g| g.stats())
+    }
+
+    /// The group-commit handle, when durable. The sharded layer uses
+    /// this to journal 2PC PREPARE/DECIDE frames directly.
+    pub(crate) fn group(&self) -> Option<&GroupWal> {
+        self.inner.group.as_ref()
     }
 
     /// The number of frames in the write-ahead log, when durable

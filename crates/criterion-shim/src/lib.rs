@@ -22,9 +22,9 @@
 //! when the [`criterion_main!`]-generated `main` exits, written as
 //! `BENCH_<bench-name>.json` at the workspace root — an array of
 //! `{op, size, ns_per_iter, samples, iters_per_sample, threads,
-//! batch_window_us, segments, shed}` rows (`threads`/`batch_window_us`/
-//! `segments`/`shed` are `null` unless a harness sets them via
-//! [`push_record`]). Set `CDB_BENCH_JSON=0` to suppress the file, or
+//! batch_window_us, segments, shed, shards}` rows (`threads`/
+//! `batch_window_us`/`segments`/`shed`/`shards` are `null` unless a
+//! harness sets them via [`push_record`]). Set `CDB_BENCH_JSON=0` to suppress the file, or
 //! `CDB_BENCH_JSON_DIR` to redirect it. Smoke runs skip the report
 //! (their timings are meaningless and would clobber real
 //! measurements) unless `CDB_BENCH_JSON=1` forces it, which CI uses to
@@ -75,6 +75,9 @@ pub struct Record {
     /// Requests shed by admission control during the measurement, for
     /// server overload benches (`null` otherwise).
     pub shed: Option<u64>,
+    /// Shard count behind the measured operation, for sharded-database
+    /// benches (`null` otherwise).
+    pub shards: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -166,7 +169,7 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
             "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
              \"samples\": {}, \"iters_per_sample\": {}, \
              \"threads\": {}, \"batch_window_us\": {}, \"segments\": {}, \
-             \"shed\": {}}}{}\n",
+             \"shed\": {}, \"shards\": {}}}{}\n",
             json_escape(&r.op),
             opt(r.size),
             r.ns_per_iter,
@@ -176,6 +179,7 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
             opt(r.batch_window_us),
             opt(r.segments),
             opt(r.shed),
+            opt(r.shards),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -484,6 +488,7 @@ mod tests {
             batch_window_us: Some(200),
             segments: Some(3),
             shed: Some(12),
+            shards: Some(4),
             ..Record::default()
         });
         write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
@@ -499,6 +504,8 @@ mod tests {
         assert!(text.contains("\"segments\": 3"));
         assert!(text.contains("\"shed\": null"));
         assert!(text.contains("\"shed\": 12"));
+        assert!(text.contains("\"shards\": null"));
+        assert!(text.contains("\"shards\": 4"));
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
     }
 

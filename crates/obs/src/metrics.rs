@@ -455,6 +455,23 @@ mod tests {
     }
 
     #[test]
+    fn gauge_dec_saturates_at_zero() {
+        let _g = crate::test_flag_lock();
+        let g = Gauge::new();
+        // More releases than acquires (a disabled-metrics window can
+        // cause this): the gauge must pin at zero, never wrap to
+        // u64::MAX — a wrapped inflight gauge would permanently jam
+        // admission control's load-shed threshold.
+        g.inc();
+        g.dec();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 0);
+        g.inc();
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
     fn histogram_quantiles_upper_bound_samples() {
         let _g = crate::test_flag_lock();
         let m = Metrics::new();

@@ -1,0 +1,207 @@
+//! The serving handle: one session/server code path over either a
+//! single [`SharedDb`] or a range-sharded [`ShardedDb`].
+//!
+//! The session loop is deliberately ignorant of sharding: it calls the
+//! same op surface either way, and [`ServeHandle`] routes. The pinned
+//! read view is likewise an enum — for a sharded database the pin is a
+//! [`ShardedSnapshot`] (cross-shard coherent, see
+//! [`cdb_core::sharded`]), and its epoch is the *sum* of per-shard
+//! epochs, which is monotone under the same commit-order guarantees the
+//! single-shard epoch has, so the wire protocol's epoch-coherence
+//! contract carries over unchanged.
+
+use cdb_core::archive::VersionId;
+use cdb_core::db::DbError;
+use cdb_core::sharded::{ShardedDb, ShardedSnapshot};
+use cdb_core::shared::{SharedDb, Snapshot};
+use cdb_model::Atom;
+
+/// A database the server can serve: single or sharded.
+#[derive(Debug, Clone)]
+pub enum ServeHandle {
+    /// One `SharedDb` behind one WAL.
+    Single(SharedDb),
+    /// A range-sharded database; writes route by key, cross-shard
+    /// merges run 2PC.
+    Sharded(ShardedDb),
+}
+
+impl From<SharedDb> for ServeHandle {
+    fn from(db: SharedDb) -> Self {
+        ServeHandle::Single(db)
+    }
+}
+
+impl From<ShardedDb> for ServeHandle {
+    fn from(db: ShardedDb) -> Self {
+        ServeHandle::Sharded(db)
+    }
+}
+
+impl ServeHandle {
+    /// The metric registry server instruments live in.
+    pub fn metrics(&self) -> &cdb_obs::Metrics {
+        match self {
+            ServeHandle::Single(db) => db.metrics(),
+            ServeHandle::Sharded(db) => db.metrics(),
+        }
+    }
+
+    /// Every metric the handle can see, merged (for `Stats`).
+    pub fn metrics_snapshot(&self) -> cdb_obs::MetricsSnapshot {
+        match self {
+            ServeHandle::Single(db) => db.metrics_snapshot(),
+            ServeHandle::Sharded(db) => db.metrics_snapshot(),
+        }
+    }
+
+    /// A coherent read view of the latest committed state.
+    pub fn snapshot(&self) -> PinnedView {
+        match self {
+            ServeHandle::Single(db) => PinnedView::Single(db.snapshot()),
+            ServeHandle::Sharded(db) => PinnedView::Sharded(db.snapshot()),
+        }
+    }
+
+    /// Adds an entry (routed by key when sharded).
+    pub fn add_entry(
+        &self,
+        curator: &str,
+        time: u64,
+        key: &str,
+        fields: &[(&str, Atom)],
+    ) -> Result<cdb_curation::NodeId, DbError> {
+        match self {
+            ServeHandle::Single(db) => db.add_entry(curator, time, key, fields),
+            ServeHandle::Sharded(db) => db.add_entry(curator, time, key, fields),
+        }
+    }
+
+    /// Edits (or adds) a field.
+    pub fn edit_field(
+        &self,
+        curator: &str,
+        time: u64,
+        key: &str,
+        field: &str,
+        value: Atom,
+    ) -> Result<(), DbError> {
+        match self {
+            ServeHandle::Single(db) => db.edit_field(curator, time, key, field, value),
+            ServeHandle::Sharded(db) => db.edit_field(curator, time, key, field, value),
+        }
+    }
+
+    /// Deletes an entry.
+    pub fn delete_entry(&self, curator: &str, time: u64, key: &str) -> Result<(), DbError> {
+        match self {
+            ServeHandle::Single(db) => db.delete_entry(curator, time, key),
+            ServeHandle::Sharded(db) => db.delete_entry(curator, time, key),
+        }
+    }
+
+    /// Fuses two entries — a cross-shard 2PC transaction when the keys
+    /// route to different shards.
+    pub fn merge_entries(
+        &self,
+        curator: &str,
+        time: u64,
+        kept: &str,
+        absorbed: &str,
+    ) -> Result<(), DbError> {
+        match self {
+            ServeHandle::Single(db) => db.merge_entries(curator, time, kept, absorbed),
+            ServeHandle::Sharded(db) => db.merge_entries(curator, time, kept, absorbed),
+        }
+    }
+
+    /// Attaches a superimposed annotation.
+    pub fn annotate(
+        &self,
+        key: &str,
+        field: Option<&str>,
+        author: &str,
+        text: &str,
+        time: u64,
+    ) -> Result<(), DbError> {
+        match self {
+            ServeHandle::Single(db) => db.annotate(key, field, author, text, time),
+            ServeHandle::Sharded(db) => db.annotate(key, field, author, text, time),
+        }
+    }
+
+    /// Publishes a new archived version. A sharded database publishes
+    /// per shard (non-atomic fan-out) and reports shard 0's version id
+    /// over the wire.
+    pub fn publish(&self, label: String) -> Result<VersionId, DbError> {
+        match self {
+            ServeHandle::Single(db) => db.publish(label),
+            ServeHandle::Sharded(db) => {
+                let ids = db.publish(label)?;
+                Ok(ids[0])
+            }
+        }
+    }
+}
+
+/// A session's pinned read view: one epoch of one database, single or
+/// sharded.
+#[derive(Debug, Clone)]
+pub enum PinnedView {
+    /// A single-database snapshot.
+    Single(Snapshot),
+    /// A cross-shard-coherent sharded snapshot.
+    Sharded(ShardedSnapshot),
+}
+
+impl PinnedView {
+    /// The pinned commit epoch (sharded: sum of per-shard epochs —
+    /// monotone across pins).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            PinnedView::Single(s) => s.epoch(),
+            PinnedView::Sharded(s) => s.epoch(),
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        match self {
+            PinnedView::Single(s) => s.name(),
+            PinnedView::Sharded(s) => s.shard(0).name(),
+        }
+    }
+
+    /// Reads a field of an entry.
+    pub fn field(&self, key: &str, field: &str) -> Result<Atom, DbError> {
+        match self {
+            PinnedView::Single(s) => s.field(key, field),
+            PinnedView::Sharded(s) => s.field(key, field),
+        }
+    }
+
+    /// The keys of all current entries.
+    pub fn entry_keys(&self) -> Result<Vec<String>, DbError> {
+        match self {
+            PinnedView::Single(s) => s.entry_keys(),
+            PinnedView::Sharded(s) => s.entry_keys(),
+        }
+    }
+
+    /// The single-database snapshot, when this view is one (test
+    /// harnesses that inspect the pin directly).
+    pub fn as_single(&self) -> Option<&Snapshot> {
+        match self {
+            PinnedView::Single(s) => Some(s),
+            PinnedView::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded snapshot, when this view is one.
+    pub fn as_sharded(&self) -> Option<&ShardedSnapshot> {
+        match self {
+            PinnedView::Single(_) => None,
+            PinnedView::Sharded(s) => Some(s),
+        }
+    }
+}

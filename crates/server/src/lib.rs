@@ -33,6 +33,7 @@
 
 pub mod admission;
 pub mod client;
+pub mod handle;
 pub mod proto;
 pub mod server;
 pub mod session;
@@ -40,6 +41,7 @@ pub mod transport;
 
 pub use admission::{Admission, Decision, Permit};
 pub use client::{Client, ClientError};
+pub use handle::{PinnedView, ServeHandle};
 pub use proto::{ErrCode, FrameError, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
 pub use server::{DrainReport, Server, ServerConfig};
 pub use session::{Session, Turn};

@@ -32,9 +32,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cdb_core::shared::SharedDb;
-
 use crate::admission::{Admission, DEFAULT_RETRY_HINT_MS};
+use crate::handle::ServeHandle;
 use crate::proto::{write_frame, Response};
 use crate::session::Session;
 use crate::transport::{Closer, TcpTransport, Transport};
@@ -90,7 +89,12 @@ pub struct Server {
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port — read it back
     /// with [`Server::local_addr`]) and starts accepting.
-    pub fn bind(db: SharedDb, addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+    pub fn bind(
+        db: impl Into<ServeHandle>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let db = db.into();
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -219,7 +223,11 @@ fn shed_connection(stream: TcpStream, after_hint_ms: u32) {
     });
 }
 
-fn spawn_session(stream: TcpStream, db: &SharedDb, admission: &Admission) -> std::io::Result<Live> {
+fn spawn_session(
+    stream: TcpStream,
+    db: &ServeHandle,
+    admission: &Admission,
+) -> std::io::Result<Live> {
     stream.set_nodelay(true).ok();
     let transport = TcpTransport::new(stream)?;
     let closer = transport.closer();

@@ -20,7 +20,8 @@
 //! the byte stream can no longer be trusted.
 
 use cdb_core::db::DbError;
-use cdb_core::shared::{SharedDb, Snapshot};
+
+use crate::handle::{PinnedView, ServeHandle};
 
 use crate::admission::{Admission, Decision};
 use crate::proto::{
@@ -64,9 +65,9 @@ pub enum Turn {
 /// same code.
 pub struct Session<T: Transport> {
     transport: T,
-    db: SharedDb,
+    db: ServeHandle,
     admission: Admission,
-    pinned: Snapshot,
+    pinned: PinnedView,
     instr: Instruments,
     greeted: bool,
 }
@@ -74,7 +75,8 @@ pub struct Session<T: Transport> {
 impl<T: Transport> Session<T> {
     /// Builds a session over a connected transport, pinned to the
     /// latest committed snapshot.
-    pub fn new(transport: T, db: SharedDb, admission: Admission) -> Session<T> {
+    pub fn new(transport: T, db: impl Into<ServeHandle>, admission: Admission) -> Session<T> {
+        let db = db.into();
         let pinned = db.snapshot();
         let instr = Instruments::resolve(db.metrics());
         Session {
@@ -91,7 +93,7 @@ impl<T: Transport> Session<T> {
     /// linearizability harness uses this to run the committed-prefix
     /// and epoch-coherence checkers against exactly what the client
     /// saw.
-    pub fn pinned(&self) -> &Snapshot {
+    pub fn pinned(&self) -> &PinnedView {
         &self.pinned
     }
 

@@ -47,6 +47,15 @@ pub const FRAME_CKPT: u8 = 4;
 /// separate a transaction from its side effects (see
 /// [`crate::recovery::encode_commit`]).
 pub const FRAME_COMMIT: u8 = 5;
+/// Frame kind: a two-phase-commit PREPARE — a cross-shard transaction's
+/// effects on *this* shard, journaled but not yet decided (see
+/// [`crate::twopc::PrepareRecord`]). The inner frames are adopted only
+/// when a matching DECIDE(commit) is found or resolved.
+pub const FRAME_PREPARE: u8 = 6;
+/// Frame kind: a two-phase-commit DECIDE — the outcome (commit or
+/// abort) for a prepared cross-shard transaction (see
+/// [`crate::twopc::DecideRecord`]).
+pub const FRAME_DECIDE: u8 = 7;
 
 /// Per-frame overhead: kind byte, length word, checksum word.
 pub const FRAME_HEADER: u64 = 9;

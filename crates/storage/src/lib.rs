@@ -46,22 +46,29 @@ pub mod group;
 pub mod io;
 pub mod recovery;
 pub mod segment;
+pub mod twopc;
 pub mod wal;
 
 pub use cdb_curation::wire;
 
 pub use crate::ckpt::CheckpointStore;
 pub use crate::frame::{
-    Frame, ScanOutcome, FRAME_AUX, FRAME_CKPT, FRAME_COMMIT, FRAME_PUBLISH, FRAME_TXN,
+    Frame, ScanOutcome, FRAME_AUX, FRAME_CKPT, FRAME_COMMIT, FRAME_DECIDE, FRAME_PREPARE,
+    FRAME_PUBLISH, FRAME_TXN,
 };
 pub use crate::group::{GroupCommitStats, GroupWal};
 pub use crate::io::{FaultPlan, FaultyIo, FileIo, Io, MemIo, ReclaimStats, ThrottledIo};
 pub use crate::recovery::{
-    decode_commit, encode_commit, recover, PublishRecord, Recovered, RecoveryStats,
+    decode_commit, encode_commit, recover, recover_shards, recover_with, PublishRecord, Recovered,
+    RecoveryStats,
 };
 pub use crate::segment::{
     DirBacking, MemBacking, Retention, SegFaultPlan, SegmentBacking, SegmentConfig, SegmentedIo,
     DEFAULT_SEGMENT_BYTES, SEG_HEADER, SEG_MAGIC,
+};
+pub use crate::twopc::{
+    decode_decide, decode_prepare, encode_decide, encode_prepare, scan_decisions, DecideRecord,
+    PrepareRecord,
 };
 pub use crate::wal::{read_checkpoint, write_checkpoint, DurableLog};
 

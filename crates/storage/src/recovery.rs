@@ -23,6 +23,8 @@
 //! in spirit: they make recovery observable (frames scanned/dropped,
 //! txns adopted vs replayed, elapsed time) without changing behavior.
 
+use std::collections::BTreeMap;
+
 use cdb_curation::ops::{CuratedTree, Transaction, TxnId};
 use cdb_curation::provstore::StoreMode;
 use cdb_curation::replay::{apply_committed, replay_and_verify, replay_onto, verify_replay};
@@ -31,8 +33,12 @@ use cdb_curation::wire::{
     decode_transaction, put_opt_u64, put_str, put_u64, Checkpoint, Reader, WireError,
 };
 
-use crate::frame::{Frame, ScanOutcome, FRAME_AUX, FRAME_COMMIT, FRAME_PUBLISH, FRAME_TXN};
+use crate::frame::{
+    Frame, ScanOutcome, FRAME_AUX, FRAME_COMMIT, FRAME_DECIDE, FRAME_PREPARE, FRAME_PUBLISH,
+    FRAME_TXN,
+};
 use crate::io::Io;
+use crate::twopc::{decode_decide, decode_prepare, encode_decide, DecideRecord, PrepareRecord};
 use crate::wal::DurableLog;
 use crate::StorageError;
 
@@ -189,6 +195,19 @@ pub struct Recovered {
     pub base_time: u64,
     /// What recovery saw and did.
     pub stats: RecoveryStats,
+    /// Every 2PC decision this log knows: DECIDE frames found in the
+    /// scanned region plus decisions resolved during this recovery.
+    pub decisions: BTreeMap<u64, bool>,
+    /// In-doubt PREPAREs this recovery resolved (gid, committed) —
+    /// either from a decision found in the caller-supplied context
+    /// (another shard's log or a checkpoint's decision record) or by
+    /// presumed abort. A matching DECIDE frame has already been
+    /// appended and synced so future recoveries self-resolve.
+    pub resolved: Vec<(u64, bool)>,
+    /// Largest 2PC gid seen anywhere in this log (0 when none). The
+    /// sharded layer re-seeds its gid counter past the max across all
+    /// shards so decision records can never alias a new transaction.
+    pub max_gid: u64,
 }
 
 /// Appends `txn` to `txns`, enforcing strictly increasing ids. `floor`
@@ -211,36 +230,173 @@ fn push_txn(
     Ok(())
 }
 
+/// Decodes one plain (non-2PC) frame into the output streams. Returns
+/// an error for 2PC or unknown kinds — callers handle those first.
+fn decode_plain_frame(
+    kind: u8,
+    payload: Vec<u8>,
+    floor: Option<TxnId>,
+    txns: &mut Vec<Transaction>,
+    publishes: &mut Vec<PublishRecord>,
+    aux: &mut Vec<Vec<u8>>,
+) -> Result<(), StorageError> {
+    match kind {
+        FRAME_TXN => {
+            let txn = decode_transaction(&payload).map_err(StorageError::Wire)?;
+            push_txn(txns, floor, txn)?;
+        }
+        FRAME_COMMIT => {
+            let (txn, mut extra) = decode_commit(&payload).map_err(StorageError::Wire)?;
+            push_txn(txns, floor, txn)?;
+            aux.append(&mut extra);
+        }
+        FRAME_PUBLISH => {
+            publishes.push(decode_publish(&payload).map_err(StorageError::Wire)?);
+        }
+        FRAME_AUX => aux.push(payload),
+        other => {
+            return Err(StorageError::Corrupt(format!(
+                "unknown frame kind {other} in WAL"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Mutable 2PC bookkeeping threaded through one log's decode pass.
+struct TwoPcPass<'a> {
+    /// Decisions known from *outside* this log (other shards' DECIDEs,
+    /// checkpoint-carried decision records). Consulted only for a
+    /// PREPARE still pending at log end.
+    ctx: &'a BTreeMap<u64, bool>,
+    /// A PREPARE whose decision window is still open, with the latest
+    /// DECIDE seen for it (if any). At most one can be pending: the
+    /// shard's write lock is held from PREPARE through DECIDE, so
+    /// nothing interleaves. The decision is not acted on until the
+    /// window closes (a frame for something else, or log end): a failed
+    /// commit-point sync leaves DECIDE(commit) in the write cache and
+    /// the abort path appends DECIDE(abort) behind it — both become
+    /// durable together, and the last one is the outcome.
+    pending: Option<(PrepareRecord, Option<bool>)>,
+    decisions: BTreeMap<u64, bool>,
+    resolved: Vec<(u64, bool)>,
+    max_gid: u64,
+}
+
+impl<'a> TwoPcPass<'a> {
+    fn new(ctx: &'a BTreeMap<u64, bool>) -> Self {
+        TwoPcPass {
+            ctx,
+            pending: None,
+            decisions: BTreeMap::new(),
+            resolved: Vec::new(),
+            max_gid: 0,
+        }
+    }
+
+    /// Adopts a committed PREPARE's inner frames through the ordinary
+    /// decode path (ordering checks included).
+    fn adopt(
+        prepare: PrepareRecord,
+        floor: Option<TxnId>,
+        txns: &mut Vec<Transaction>,
+        publishes: &mut Vec<PublishRecord>,
+        aux: &mut Vec<Vec<u8>>,
+    ) -> Result<(), StorageError> {
+        for (kind, payload) in prepare.frames {
+            decode_plain_frame(kind, payload, floor, txns, publishes, aux)?;
+        }
+        Ok(())
+    }
+
+    /// Closes a decided PREPARE's decision window: adopts its frames
+    /// when the last DECIDE said commit, drops them on abort. A still
+    /// undecided PREPARE stays pending (for tail resolution).
+    fn settle_decided(
+        &mut self,
+        floor: Option<TxnId>,
+        txns: &mut Vec<Transaction>,
+        publishes: &mut Vec<PublishRecord>,
+        aux: &mut Vec<Vec<u8>>,
+    ) -> Result<(), StorageError> {
+        if matches!(self.pending, Some((_, Some(_)))) {
+            let (p, decision) = self.pending.take().expect("checked above");
+            if decision == Some(true) {
+                TwoPcPass::adopt(p, floor, txns, publishes, aux)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Decodes a run of valid frames into transactions, publish records,
-/// and aux payloads, in log order.
+/// and aux payloads, in log order. PREPARE frames are held back until
+/// their DECIDE; a PREPARE still pending when the run ends is resolved
+/// by `twopc.ctx` (commit decision found elsewhere) or presumed abort.
 fn decode_frames(
     frames: impl Iterator<Item = Frame>,
     floor: Option<TxnId>,
     txns: &mut Vec<Transaction>,
     publishes: &mut Vec<PublishRecord>,
     aux: &mut Vec<Vec<u8>>,
+    twopc: &mut TwoPcPass<'_>,
 ) -> Result<(), StorageError> {
     for frame in frames {
         match frame.kind {
-            FRAME_TXN => {
-                let txn = decode_transaction(&frame.payload).map_err(StorageError::Wire)?;
-                push_txn(txns, floor, txn)?;
+            FRAME_PREPARE => {
+                twopc.settle_decided(floor, txns, publishes, aux)?;
+                let p = decode_prepare(&frame.payload).map_err(StorageError::Wire)?;
+                if let Some((prev, _)) = &twopc.pending {
+                    return Err(StorageError::Corrupt(format!(
+                        "prepare gid {} while gid {} is still undecided",
+                        p.gid, prev.gid
+                    )));
+                }
+                twopc.max_gid = twopc.max_gid.max(p.gid);
+                twopc.pending = Some((p, None));
             }
-            FRAME_COMMIT => {
-                let (txn, mut extra) = decode_commit(&frame.payload).map_err(StorageError::Wire)?;
-                push_txn(txns, floor, txn)?;
-                aux.append(&mut extra);
+            FRAME_DECIDE => {
+                let d = decode_decide(&frame.payload).map_err(StorageError::Wire)?;
+                twopc.max_gid = twopc.max_gid.max(d.gid);
+                twopc.decisions.insert(d.gid, d.commit);
+                if twopc.pending.as_ref().is_some_and(|(p, _)| p.gid == d.gid) {
+                    // Record but don't act: a later DECIDE for the same
+                    // gid (commit-point sync failure followed by the
+                    // abort path) overrides this one. The window closes
+                    // at the next foreign frame or at log end.
+                    twopc.pending.as_mut().expect("checked above").1 = Some(d.commit);
+                } else {
+                    twopc.settle_decided(floor, txns, publishes, aux)?;
+                }
+                // A DECIDE with no matching pending PREPARE is a
+                // decision record for a txn resolved earlier (or one
+                // this shard never prepared); keep it, apply nothing.
             }
-            FRAME_PUBLISH => {
-                publishes.push(decode_publish(&frame.payload).map_err(StorageError::Wire)?);
-            }
-            FRAME_AUX => aux.push(frame.payload),
-            other => {
-                return Err(StorageError::Corrupt(format!(
-                    "unknown frame kind {other} in WAL"
-                )))
+            _ => {
+                twopc.settle_decided(floor, txns, publishes, aux)?;
+                decode_plain_frame(frame.kind, frame.payload, floor, txns, publishes, aux)?;
             }
         }
+    }
+    twopc.settle_decided(floor, txns, publishes, aux)?;
+    // In-doubt resolution: a PREPARE at the tail with no DECIDE. Commit
+    // iff some decision record anywhere says commit; otherwise presumed
+    // abort — sound because the coordinator's DECIDE(commit) is only
+    // ever written after every participant's PREPARE is durable, and
+    // acks wait for that DECIDE to be durable.
+    if let Some((p, _)) = twopc.pending.take() {
+        let gid = p.gid;
+        let commit = twopc
+            .decisions
+            .get(&gid)
+            .or_else(|| twopc.ctx.get(&gid))
+            .copied()
+            .unwrap_or(false);
+        if commit {
+            TwoPcPass::adopt(p, floor, txns, publishes, aux)?;
+        }
+        twopc.decisions.insert(gid, commit);
+        twopc.resolved.push((gid, commit));
     }
     Ok(())
 }
@@ -274,7 +430,26 @@ pub fn recover<I: Io>(
     io: I,
     checkpoint: Option<Checkpoint>,
 ) -> Result<(DurableLog<I>, Recovered), StorageError> {
+    recover_with(name, mode, io, checkpoint, &BTreeMap::new())
+}
+
+/// [`recover`], with a decision-record context for resolving in-doubt
+/// 2PC transactions: `ctx` maps gid → commit for decisions found
+/// *outside* this log (the other shards' DECIDE frames via
+/// [`crate::twopc::scan_decisions`], plus decision records carried by
+/// checkpoints). A PREPARE left undecided at the tail commits iff a
+/// commit decision exists somewhere; otherwise it is presumed aborted.
+/// Either way a DECIDE frame is appended and synced before returning,
+/// so the log self-resolves on any future recovery.
+pub fn recover_with<I: Io>(
+    name: &str,
+    mode: StoreMode,
+    io: I,
+    checkpoint: Option<Checkpoint>,
+    ctx: &BTreeMap<u64, bool>,
+) -> Result<(DurableLog<I>, Recovered), StorageError> {
     let span = cdb_obs::SpanGuard::enter("storage.recovery.replay");
+    let mut twopc = TwoPcPass::new(ctx);
     let (log, outcome) = DurableLog::open(io)?;
     let ScanOutcome {
         frames,
@@ -374,6 +549,7 @@ pub fn recover<I: Io>(
                 &mut tail,
                 &mut publishes,
                 &mut aux,
+                &mut twopc,
             )?;
 
             let truncated = ck_log.is_empty() && last_txn.is_some();
@@ -422,6 +598,7 @@ pub fn recover<I: Io>(
                 &mut txns,
                 &mut publishes,
                 &mut aux,
+                &mut twopc,
             )?;
 
             // A checkpoint is usable only when the log contains the
@@ -477,6 +654,17 @@ pub fn recover<I: Io>(
             .add(stats.frames_dropped);
     }
 
+    // Self-heal: persist the outcome of every in-doubt resolution so
+    // future recoveries of this log resolve identically without any
+    // context — the decision is now in the log itself.
+    let mut log = log;
+    if !twopc.resolved.is_empty() {
+        for &(gid, commit) in &twopc.resolved {
+            log.append(FRAME_DECIDE, &encode_decide(&DecideRecord { gid, commit }))?;
+        }
+        log.sync()?;
+    }
+
     Ok((
         log,
         Recovered {
@@ -488,8 +676,61 @@ pub fn recover<I: Io>(
             carried_snapshots,
             base_time,
             stats,
+            decisions: twopc.decisions,
+            resolved: twopc.resolved,
+            max_gid: twopc.max_gid,
         },
     ))
+}
+
+/// Recovers N shard logs in parallel (`std::thread::scope`), resolving
+/// cross-shard in-doubt transactions against the union of every
+/// shard's decision record. Two phases:
+///
+/// 1. every shard's live log is scanned for DECIDE frames (in
+///    parallel), and the results are merged with `extra` (decision
+///    records carried by the shards' checkpoints, which survive log
+///    truncation);
+/// 2. every shard runs [`recover_with`] under that shared context, one
+///    OS thread per shard.
+///
+/// The result vector preserves shard order. Per-shard outcomes are
+/// deterministic — the context is fixed before phase 2 starts — so
+/// parallel recovery is byte-identical to recovering the shards
+/// sequentially (proven by the equivalence proptest in
+/// `tests/storage_recovery.rs`).
+pub fn recover_shards<I: Io + Send>(
+    name: &str,
+    mode: StoreMode,
+    shards: Vec<(I, Option<Checkpoint>)>,
+    extra: &BTreeMap<u64, bool>,
+) -> Result<Vec<(DurableLog<I>, Recovered)>, StorageError> {
+    let mut shards = shards;
+    let mut ctx = extra.clone();
+    let scanned = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .map(|(io, _)| s.spawn(|| crate::twopc::scan_decisions(io)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("decision scan panicked"))
+            .collect::<Result<Vec<_>, _>>()
+    })?;
+    for m in scanned {
+        ctx.extend(m);
+    }
+    std::thread::scope(|s| {
+        let ctx = &ctx;
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|(io, ck)| s.spawn(move || recover_with(name, mode, io, ck, ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard recovery panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -36,13 +36,16 @@ use curated_db::model::PathQuery;
 use curated_db::obs;
 use curated_db::relalg::{sql, ExecConfig};
 use curated_db::server::{Client, Server, ServerConfig, TcpTransport};
-use curated_db::{Atom, CuratedDatabase, SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};
+use curated_db::{
+    Atom, CuratedDatabase, ShardMap, ShardedDb, SharedDb, Snapshot, DEFAULT_BATCH_WINDOW,
+};
 
 fn main() {
     let stdin = io::stdin();
     let mut shell = Shell {
         mem: None,
         shared: None,
+        sharded: None,
         server: None,
         remote: None,
     };
@@ -88,13 +91,15 @@ enum Output {
 
 const NO_DB: &str = "no database: use `new <name> <key>` or `open <name> <key> <dir>`";
 
-/// Shell state: at most one database, either in-memory (`new`) or
-/// served durably through [`SharedDb`] (`open`); optionally a running
-/// TCP server over it (`serve`), and optionally a protocol client
-/// (`connect`) that routes curation commands over the wire.
+/// Shell state: at most one database — in-memory (`new`), served
+/// durably through [`SharedDb`] (`open`), or range-sharded through
+/// [`ShardedDb`] (`shard new`) — plus optionally a running TCP server
+/// over it (`serve`) and a protocol client (`connect`) that routes
+/// curation commands over the wire.
 struct Shell {
     mem: Option<CuratedDatabase>,
     shared: Option<SharedDb>,
+    sharded: Option<ShardedDb>,
     server: Option<Server>,
     remote: Option<Client<TcpTransport>>,
 }
@@ -120,6 +125,13 @@ impl Shell {
         if let Some(s) = &self.shared {
             return Ok(ReadView::Snap(s.snapshot()));
         }
+        if self.sharded.is_some() {
+            return Err(
+                "sharded database: reads route per shard — use `entries`, `show <key>`, \
+                 `notes <key> <field|->`, `what <id>`, or `shard` for the layout"
+                    .to_owned(),
+            );
+        }
         self.mem
             .as_ref()
             .map(ReadView::Mem)
@@ -132,6 +144,8 @@ impl Shell {
     fn metrics(&self) -> obs::MetricsSnapshot {
         if let Some(s) = &self.shared {
             s.metrics_snapshot()
+        } else if let Some(sh) = &self.sharded {
+            sh.metrics_snapshot()
         } else if let Some(m) = &self.mem {
             m.metrics_snapshot()
         } else {
@@ -165,16 +179,23 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             if shell.server.is_some() {
                 return Err("already serving (one server per shell)".into());
             }
-            // A served database must be shared; promote an in-memory
-            // one (it keeps no WAL — `open` first for durability).
-            if shell.shared.is_none() {
-                let owned = shell.mem.take().ok_or(NO_DB)?;
-                shell.shared = Some(SharedDb::from_db(owned));
-            }
-            let db = shell.shared.as_ref().expect("just installed").clone();
+            // A served database must be shared or sharded; promote an
+            // in-memory one (it keeps no WAL — `open` first for
+            // durability). A sharded database serves through the same
+            // handle: the server routes each request by its key.
             let config = ServerConfig::default();
             let note = format!("{} workers, {} slots", config.workers, config.slots);
-            let server = Server::bind(db, addr, config).map_err(|e| e.to_string())?;
+            let server = if let Some(sh) = &shell.sharded {
+                Server::bind(sh.clone(), addr, config)
+            } else {
+                if shell.shared.is_none() {
+                    let owned = shell.mem.take().ok_or(NO_DB)?;
+                    shell.shared = Some(SharedDb::from_db(owned));
+                }
+                let db = shell.shared.as_ref().expect("just installed").clone();
+                Server::bind(db, addr, config)
+            }
+            .map_err(|e| e.to_string())?;
             let bound = server.local_addr();
             shell.server = Some(server);
             text(format!("serving on {bound} ({note})"))
@@ -209,6 +230,7 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             let [name, key] = take::<2>(&rest)?;
             shell.mem = Some(CuratedDatabase::new(*name, *key));
             shell.shared = None;
+            shell.sharded = None;
             text(format!("created database {name:?} keyed by {key:?}"))
         }
         "open" => {
@@ -218,10 +240,12 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             let recovered = shared.snapshot().curated.log.len();
             shell.shared = Some(shared);
             shell.mem = None;
+            shell.sharded = None;
             text(format!(
                 "opened durable database {name:?} in {dir} ({recovered} transactions recovered)"
             ))
         }
+        "shard" => shard_command(shell, &rest),
         "stats" => {
             let snap = shell.metrics();
             match rest.first() {
@@ -276,21 +300,29 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
                 .iter()
                 .map(|kv| parse_field(kv))
                 .collect::<Result<_, _>>()?;
-            match (&mut shell.mem, &shell.shared) {
-                (Some(db), _) => db.add_entry(curator, time, key, &fields).map(|_| ()),
-                (None, Some(s)) => s.add_entry(curator, time, key, &fields).map(|_| ()),
-                (None, None) => return Err(NO_DB.into()),
+            match (&mut shell.mem, &shell.shared, &shell.sharded) {
+                (Some(db), _, _) => db.add_entry(curator, time, key, &fields).map(|_| ()),
+                (None, Some(s), _) => s.add_entry(curator, time, key, &fields).map(|_| ()),
+                (None, None, Some(sh)) => sh.add_entry(curator, time, key, &fields).map(|_| ()),
+                (None, None, None) => return Err(NO_DB.into()),
             }
             .map_err(fmt_err)?;
-            text(format!("added entry {key:?}"))
+            match &shell.sharded {
+                Some(sh) => text(format!(
+                    "added entry {key:?} (shard {})",
+                    sh.map().route(key)
+                )),
+                None => text(format!("added entry {key:?}")),
+            }
         }
         "edit" => {
             let [curator, key, field, value] = take::<4>(&rest)?;
             let value = parse_atom(value);
-            match (&mut shell.mem, &shell.shared) {
-                (Some(db), _) => db.edit_field(curator, time, key, field, value),
-                (None, Some(s)) => s.edit_field(curator, time, key, field, value),
-                (None, None) => return Err(NO_DB.into()),
+            match (&mut shell.mem, &shell.shared, &shell.sharded) {
+                (Some(db), _, _) => db.edit_field(curator, time, key, field, value),
+                (None, Some(s), _) => s.edit_field(curator, time, key, field, value),
+                (None, None, Some(sh)) => sh.edit_field(curator, time, key, field, value),
+                (None, None, None) => return Err(NO_DB.into()),
             }
             .map_err(fmt_err)?;
             text(format!("edited {key}.{field}"))
@@ -302,16 +334,25 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             let (author, key, field) = (rest[0], rest[1], rest[2]);
             let body = rest[3..].join(" ");
             let field = if field == "-" { None } else { Some(field) };
-            match (&mut shell.mem, &shell.shared) {
-                (Some(db), _) => db.annotate(key, field, author, &body, time),
-                (None, Some(s)) => s.annotate(key, field, author, &body, time),
-                (None, None) => return Err(NO_DB.into()),
+            match (&mut shell.mem, &shell.shared, &shell.sharded) {
+                (Some(db), _, _) => db.annotate(key, field, author, &body, time),
+                (None, Some(s), _) => s.annotate(key, field, author, &body, time),
+                (None, None, Some(sh)) => sh.annotate(key, field, author, &body, time),
+                (None, None, None) => return Err(NO_DB.into()),
             }
             .map_err(fmt_err)?;
             text("noted".into())
         }
         "publish" => {
             let [label] = take::<1>(&rest)?;
+            if let Some(sh) = &shell.sharded {
+                let ids = sh.publish(*label).map_err(fmt_err)?;
+                let ids: Vec<String> = ids.iter().map(|v| v.to_string()).collect();
+                return text(format!(
+                    "published per-shard versions [{}] ({label})",
+                    ids.join(", ")
+                ));
+            }
             let v = match (&mut shell.mem, &shell.shared) {
                 (Some(db), _) => db.publish(*label),
                 (None, Some(s)) => s.publish(*label),
@@ -322,15 +363,37 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
         }
         "merge" => {
             let [curator, kept, absorbed] = take::<3>(&rest)?;
-            match (&mut shell.mem, &shell.shared) {
-                (Some(db), _) => db.merge_entries(curator, time, kept, absorbed),
-                (None, Some(s)) => s.merge_entries(curator, time, kept, absorbed),
-                (None, None) => return Err(NO_DB.into()),
+            match (&mut shell.mem, &shell.shared, &shell.sharded) {
+                (Some(db), _, _) => db.merge_entries(curator, time, kept, absorbed),
+                (None, Some(s), _) => s.merge_entries(curator, time, kept, absorbed),
+                (None, None, Some(sh)) => sh.merge_entries(curator, time, kept, absorbed),
+                (None, None, None) => return Err(NO_DB.into()),
             }
             .map_err(fmt_err)?;
-            text(format!("{absorbed} merged into {kept}"))
+            match &shell.sharded {
+                Some(sh) if sh.map().route(kept) != sh.map().route(absorbed) => text(format!(
+                    "{absorbed} merged into {kept} (cross-shard: {} ← {})",
+                    sh.map().route(kept),
+                    sh.map().route(absorbed)
+                )),
+                _ => text(format!("{absorbed} merged into {kept}")),
+            }
         }
         "checkpoint" => {
+            if let Some(sh) = &shell.sharded {
+                let all = sh.checkpoint().map_err(fmt_err)?;
+                let lines: Vec<String> = all
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        format!(
+                            "shard {i}: {} bytes covered, {} segments live, {} retired",
+                            s.covered_bytes, s.live_segments, s.retired_segments
+                        )
+                    })
+                    .collect();
+                return text(lines.join("\n"));
+            }
             let stats = match (&mut shell.mem, &shell.shared) {
                 (Some(db), _) => db.checkpoint(),
                 (None, Some(s)) => s.checkpoint(),
@@ -370,6 +433,9 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             text(report?)
         }
         _ => {
+            if let Some(sh) = &shell.sharded {
+                return sharded_read(sh, cmd, &rest);
+            }
             let view = shell.read_view()?;
             let db = view.db();
             match cmd {
@@ -494,6 +560,112 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
                 other => Err(format!("unknown command {other:?} (try `help`)")),
             }
         }
+    }
+}
+
+/// `shard …` — create and inspect a range-sharded database.
+///
+/// `shard new` partitions the key space into `n` contiguous ranges,
+/// each served by its own shard; every write thereafter routes by key,
+/// and a merge whose two keys land on different shards runs as a
+/// cross-shard 2PC transaction. `shard` alone prints the layout;
+/// `shard route <key>` answers where a key would go.
+fn shard_command(shell: &mut Shell, rest: &[&str]) -> Result<Output, String> {
+    let text = |s: String| Ok(Output::Text(s));
+    match rest {
+        ["new", name, key, n] => {
+            let n: usize = n.parse().map_err(|_| "shard count must be a number")?;
+            if n == 0 {
+                return Err("shard count must be at least 1".into());
+            }
+            let map = ShardMap::uniform(n);
+            shell.sharded = Some(ShardedDb::new(*name, *key, map));
+            shell.mem = None;
+            shell.shared = None;
+            text(format!(
+                "created sharded database {name:?} keyed by {key:?} over {n} shard(s); \
+                 writes route by key, cross-shard merges run 2PC"
+            ))
+        }
+        ["route", key] => {
+            let sh = shell.sharded.as_ref().ok_or(NO_SHARDED)?;
+            text(format!("{key:?} → shard {}", sh.map().route(key)))
+        }
+        [] => {
+            let sh = shell.sharded.as_ref().ok_or(NO_SHARDED)?;
+            let snap = sh.snapshot();
+            let bounds = sh.map().bounds();
+            let mut lines = vec![format!(
+                "{} shard(s), combined epoch {}",
+                sh.shard_count(),
+                snap.epoch()
+            )];
+            for (i, s) in snap.shards().iter().enumerate() {
+                let lo = if i == 0 { "-inf" } else { &bounds[i - 1] };
+                let hi = bounds.get(i).map_or("+inf", String::as_str);
+                let keys = s.entry_keys().map_err(fmt_err)?;
+                lines.push(format!(
+                    "shard {i} [{lo:?}, {hi:?}): epoch {}, {} entries: {}",
+                    s.epoch(),
+                    keys.len(),
+                    keys.join(", ")
+                ));
+            }
+            let m = sh.metrics_snapshot();
+            let get = |k: &str| m.counters.get(k).copied().unwrap_or(0);
+            lines.push(format!(
+                "cross-shard txns: {} committed, {} aborted",
+                get("core.sharded.cross.commits"),
+                get("core.sharded.cross.aborts")
+            ));
+            text(lines.join("\n"))
+        }
+        _ => Err("shard [new <name> <keyfield> <n> | route <key>]".into()),
+    }
+}
+
+const NO_SHARDED: &str = "no sharded database: use `shard new <name> <keyfield> <n>`";
+
+/// Key-routed reads over a sharded database: each command pins one
+/// coherent [`ShardedSnapshot`] and serves single-key reads from the
+/// shard the key routes to; `what` resolves lineage across all shards.
+fn sharded_read(sh: &ShardedDb, cmd: &str, rest: &[&str]) -> Result<Output, String> {
+    let text = |s: String| Ok(Output::Text(s));
+    let snap = sh.snapshot();
+    match cmd {
+        "entries" => text(snap.entry_keys().map_err(fmt_err)?.join(", ")),
+        "what" => {
+            let [id] = take::<1>(rest)?;
+            let current = snap.resolve_id(id).map_err(fmt_err)?;
+            text(format!("{id} → {current:?}"))
+        }
+        "show" => {
+            let [key] = take::<1>(rest)?;
+            let db = snap.for_key(key);
+            let node = db.entry_node(key).map_err(fmt_err)?;
+            let v = db
+                .curated
+                .tree
+                .subtree_value(node)
+                .map_err(|e| e.to_string())?;
+            text(format!("{v} (shard {})", sh.map().route(key)))
+        }
+        "notes" => {
+            let [key, field] = take::<2>(rest)?;
+            let field = if *field == "-" { None } else { Some(*field) };
+            let notes = snap.for_key(key).notes_on(key, field);
+            text(
+                notes
+                    .iter()
+                    .map(|n| format!("[{}] {}: {}", n.time, n.author, n.text))
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            )
+        }
+        other => Err(format!(
+            "{other:?} is not routed on a sharded database \
+             (entries/show/notes/what work per shard; or `serve` + `connect`)"
+        )),
     }
 }
 
@@ -730,8 +902,17 @@ commands:
   parallel <writers> <readers> <ops> serve the db concurrently: writers
                                        add+edit over group commit while
                                        readers verify snapshot isolation
+  shard new <name> <keyfield> <n>    create an in-memory database range-
+                                       sharded over <n> shards; writes
+                                       route by key, cross-shard merges
+                                       run 2PC
+  shard | shard route <key>          print the shard layout (ranges,
+                                       entries, cross-shard txn counts)
+                                       / where a key routes
   serve <addr>                       serve the db over TCP (use :0 for
-                                       an ephemeral port; printed back)
+                                       an ephemeral port; printed back);
+                                       a sharded db serves through the
+                                       same protocol, routed by key
   connect [addr]                     connect a wire client (no addr =
                                        this shell's own server); then
                                        add/edit/note/publish/merge/

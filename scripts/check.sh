@@ -31,6 +31,15 @@ for t in 1 4 "$(nproc)"; do
     CDB_TEST_THREADS="$t" cargo test -q --test concurrent_serving
 done
 
+echo "== sharded suite under a shard-count matrix (2PC + crash recovery) =="
+# The sharded-serving harness sizes its shard map from CDB_TEST_SHARDS;
+# sweep the degenerate single-shard map, a 2-shard map (the smallest
+# that exercises cross-shard 2PC), and one shard per core.
+for s in 1 2 "$(nproc)"; do
+    echo "-- CDB_TEST_SHARDS=$s"
+    CDB_TEST_SHARDS="$s" cargo test -q --test sharded_serving
+done
+
 echo "== long-log smoke: bounded recovery over a segmented WAL =="
 # Many segments of history, periodic checkpoints with truncation, then
 # a reopen whose recovery must scan fewer bytes than two segments.
@@ -71,6 +80,21 @@ if [[ "$run_bench" == 1 ]]; then
     if ! grep -qE '"shed": [0-9]+' "$bench_json_dir/BENCH_server.json"; then
         echo "BENCH_server.json E20 rows are missing the shed field:"
         cat "$bench_json_dir/BENCH_server.json"
+        exit 1
+    fi
+
+    # The shard-scaling bench: E22 rows must exist and carry the shard
+    # count per row.
+    CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
+        cargo bench -p cdb-bench --bench shard_scaling
+    if ! grep -q '"op": "e22_' "$bench_json_dir/BENCH_shard_scaling.json"; then
+        echo "BENCH_shard_scaling.json is missing the E22 rows:"
+        cat "$bench_json_dir/BENCH_shard_scaling.json"
+        exit 1
+    fi
+    if ! grep -qE '"shards": [0-9]+' "$bench_json_dir/BENCH_shard_scaling.json"; then
+        echo "BENCH_shard_scaling.json E22 rows are missing the shards field:"
+        cat "$bench_json_dir/BENCH_shard_scaling.json"
         exit 1
     fi
     rm -rf "$bench_json_dir"

@@ -24,8 +24,8 @@
 #![forbid(unsafe_code)]
 
 pub use cdb_core::{
-    CuratedDatabase, DbError, Durability, EntryEvent, EntryRegistry, Fate, Note, SharedDb,
-    Snapshot, DEFAULT_BATCH_WINDOW,
+    CuratedDatabase, DbError, Durability, EntryEvent, EntryRegistry, Fate, Note, ShardMap,
+    ShardedDb, ShardedSnapshot, SharedDb, Snapshot, DEFAULT_BATCH_WINDOW,
 };
 
 pub use cdb_annotation as annotation;

@@ -817,7 +817,14 @@ proptest! {
             } else {
                 wc.step().map_err(TestCaseError::fail)?;
             }
-            observed.push(clients[pick].session.pinned().clone());
+            observed.push(
+                clients[pick]
+                    .session
+                    .pinned()
+                    .as_single()
+                    .expect("single-db harness")
+                    .clone(),
+            );
         }
 
         // The torn request never reached the database.

@@ -8,13 +8,17 @@
 //! proptest shim derives each case's inputs from a deterministic seed,
 //! so any failure reproduces exactly, fault offsets included.
 
+use std::collections::BTreeMap;
+
 use cdb_curation::ops::CuratedTree;
 use cdb_curation::provstore::StoreMode;
 use cdb_curation::replay::apply_committed;
 use cdb_curation::wire::{encode_transaction, Checkpoint};
 use cdb_storage::{
-    read_checkpoint, recover, write_checkpoint, DurableLog, FaultPlan, FaultyIo, MemIo, Retention,
-    SegmentConfig, SegmentedIo, FRAME_TXN,
+    encode_decide, encode_prepare, read_checkpoint, recover, recover_shards, recover_with,
+    scan_decisions, write_checkpoint, DecideRecord, DurableLog, FaultPlan, FaultyIo, MemIo,
+    PrepareRecord, Retention, SegmentConfig, SegmentedIo, FRAME_AUX, FRAME_DECIDE, FRAME_PREPARE,
+    FRAME_TXN,
 };
 use cdb_workload::sessions::{CurationSim, SessionConfig};
 use proptest::prelude::*;
@@ -297,6 +301,139 @@ proptest! {
             prop_assert_eq!(rec.db.last_txn_id(), expect.last_txn_id());
         }
     }
+    /// Parallel N-shard recovery ([`recover_shards`]) is byte-identical
+    /// to recovering the shards sequentially under the same merged
+    /// decision context, under random torn tails per shard — healed log
+    /// bytes, recovered databases, decision records, in-doubt
+    /// resolutions, and gid watermarks all equal. This is the
+    /// equivalence promise `recover_shards`'s docs cite.
+    #[test]
+    fn parallel_shard_recovery_equals_sequential(
+        seed in 0u64..1_000_000,
+        naive in any::<bool>(),
+        nshards in 2usize..5,
+        txns in 1usize..4,
+        cut_seed in 0u64..1_000_000_000,
+    ) {
+        let mode = mode_of(naive);
+        let images: Vec<Vec<u8>> = (0..nshards)
+            .map(|i| {
+                let db = session(seed.wrapping_add(i as u64 * 7919), mode, txns, 1, 2);
+                twopc_image(&db, i, nshards)
+            })
+            .collect();
+
+        // Full images resolve the 2PC fixture as built: gid 1 committed
+        // everywhere, gid 2 aborted everywhere (decision on the
+        // coordinator only — the others resolve through the merged
+        // context).
+        let full = recover_shards(
+            "curated",
+            mode,
+            images.iter().map(|im| (MemIo::from_bytes(im.clone()), None)).collect(),
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        for (i, (_, rec)) in full.iter().enumerate() {
+            let committed = format!("cross-1-{i}").into_bytes();
+            let aborted = format!("cross-2-{i}").into_bytes();
+            prop_assert!(rec.aux.contains(&committed), "shard {} lost gid 1", i);
+            prop_assert!(!rec.aux.contains(&aborted), "shard {} applied aborted gid 2", i);
+        }
+
+        // Random torn tail per shard, all derived from one seed.
+        let mut r = cut_seed | 1;
+        let cut_images: Vec<Vec<u8>> = images
+            .iter()
+            .map(|img| {
+                r = r.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let cut = 8 + (r >> 33) as usize % (img.len() - 7);
+                img[..cut].to_vec()
+            })
+            .collect();
+
+        for imgs in [images, cut_images] {
+            // The sequential oracle: the same two phases, no threads.
+            let mut ctx = BTreeMap::new();
+            for img in &imgs {
+                let mut io = MemIo::from_bytes(img.clone());
+                ctx.extend(scan_decisions(&mut io).unwrap());
+            }
+            let seq: Vec<_> = imgs
+                .iter()
+                .map(|img| {
+                    let (log, rec) =
+                        recover_with("curated", mode, MemIo::from_bytes(img.clone()), None, &ctx)
+                            .unwrap();
+                    (log.into_io().bytes().to_vec(), rec)
+                })
+                .collect();
+
+            let par = recover_shards(
+                "curated",
+                mode,
+                imgs.iter().map(|im| (MemIo::from_bytes(im.clone()), None)).collect(),
+                &BTreeMap::new(),
+            )
+            .unwrap();
+
+            for (i, ((sbytes, srec), (plog, prec))) in seq.iter().zip(par.into_iter()).enumerate() {
+                let pbytes = plog.into_io().bytes().to_vec();
+                prop_assert_eq!(&pbytes, sbytes, "shard {} healed log bytes differ", i);
+                prop_assert_eq!(&prec.db, &srec.db, "shard {} databases differ", i);
+                prop_assert_eq!(&prec.decisions, &srec.decisions, "shard {} decisions differ", i);
+                prop_assert_eq!(&prec.resolved, &srec.resolved, "shard {} resolutions differ", i);
+                prop_assert_eq!(prec.max_gid, srec.max_gid, "shard {} gid watermarks differ", i);
+            }
+        }
+    }
+}
+
+/// One shard's WAL for the parallel-recovery equivalence test: its
+/// session history, then two cross-shard transactions journaled the way
+/// `ShardedDb` would — gid 1 prepared everywhere and decided commit,
+/// gid 2 prepared everywhere but decided (abort) only on the
+/// coordinator, leaving the rest in doubt.
+fn twopc_image(db: &CuratedTree, shard: usize, nshards: usize) -> Vec<u8> {
+    let mut log = DurableLog::create(MemIo::new()).unwrap();
+    for txn in db.transactions() {
+        log.append(FRAME_TXN, &encode_transaction(txn)).unwrap();
+        log.sync().unwrap();
+    }
+    let parts: Vec<u32> = (0..nshards as u32).collect();
+    let prep = |gid: u64| PrepareRecord {
+        gid,
+        coordinator: 0,
+        participants: parts.clone(),
+        frames: vec![(FRAME_AUX, format!("cross-{gid}-{shard}").into_bytes())],
+    };
+    log.append(FRAME_PREPARE, &encode_prepare(&prep(1)))
+        .unwrap();
+    log.sync().unwrap();
+    log.append(
+        FRAME_DECIDE,
+        &encode_decide(&DecideRecord {
+            gid: 1,
+            commit: true,
+        }),
+    )
+    .unwrap();
+    log.sync().unwrap();
+    log.append(FRAME_PREPARE, &encode_prepare(&prep(2)))
+        .unwrap();
+    log.sync().unwrap();
+    if shard == 0 {
+        log.append(
+            FRAME_DECIDE,
+            &encode_decide(&DecideRecord {
+                gid: 2,
+                commit: false,
+            }),
+        )
+        .unwrap();
+        log.sync().unwrap();
+    }
+    log.into_io().bytes().to_vec()
 }
 
 /// A long history over many segments, checkpointed and truncated along
