@@ -155,6 +155,12 @@ pub struct CuratedDatabase {
     /// [`CuratedDatabase::encode_unpersisted`] inside a PREPARE frame
     /// instead. Never set outside a held cross-shard commit.
     pub(crate) defer_persist: bool,
+    /// The paged backing store, when this instance checkpoints
+    /// page-granularly (see [`CuratedDatabase::open_paged`]): the page
+    /// heap behind a buffer pool, plus dirty-object tracking so a
+    /// checkpoint captures only what changed since the last anchor.
+    /// `None` = classic full-state checkpoints.
+    pub(crate) paged: Option<crate::paged::PagedBacking>,
 }
 
 /// A deep copy of every field a curation operation can mutate, taken
@@ -201,6 +207,7 @@ impl CuratedDatabase {
             metrics: cdb_obs::Metrics::new(),
             decisions: BTreeMap::new(),
             defer_persist: false,
+            paged: None,
         }
     }
 
@@ -671,6 +678,7 @@ impl CuratedDatabase {
             metrics: self.metrics.clone(),
             decisions: self.decisions.clone(),
             defer_persist: false,
+            paged: None,
         }
     }
 }

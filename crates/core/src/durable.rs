@@ -546,11 +546,33 @@ impl CuratedDatabase {
         // the watermark is exactly the durable log length.
         let covered = wal.len()?;
 
-        let mut ck = Checkpoint::basic(
-            self.curated.last_txn_id(),
-            self.curated.tree.clone(),
-            self.curated.prov.clone(),
-        );
+        // Paged databases capture dirty objects into the page heap and
+        // flush it *before* the anchor below installs: a durable anchor
+        // must always reference a durable heap prefix.
+        let paged_ref = if self.paged.is_some() {
+            Some(self.capture_paged()?)
+        } else {
+            None
+        };
+
+        let mut ck = if paged_ref.is_some() {
+            // A paged anchor carries metadata only — tree, provenance,
+            // and snapshot bodies live as pages behind the PagedRef
+            // watermark. The placeholder tree exists solely to carry
+            // the database name and store mode across the wire.
+            Checkpoint::basic(
+                self.curated.last_txn_id(),
+                cdb_curation::TreeDb::new(self.curated.tree.name()),
+                cdb_curation::ProvStore::new(self.curated.prov.mode()),
+            )
+        } else {
+            Checkpoint::basic(
+                self.curated.last_txn_id(),
+                self.curated.tree.clone(),
+                self.curated.prov.clone(),
+            )
+        };
+        ck.paged = paged_ref;
         ck.covered_len = Some(covered);
         ck.last_time = self
             .curated
@@ -570,7 +592,7 @@ impl CuratedDatabase {
         } else {
             self.curated.log.clone()
         };
-        if truncated_form {
+        if truncated_form && ck.paged.is_none() {
             ck.snapshots = (0..self.archive.version_count())
                 .map(|v| {
                     self.archive

@@ -26,6 +26,7 @@
 pub mod db;
 pub mod durable;
 pub mod lifecycle;
+pub mod paged;
 pub mod sharded;
 pub mod shared;
 pub mod views;

@@ -851,6 +851,95 @@ mod tests {
         ShardMap::with_bounds(vec!["M".into()])
     }
 
+    /// A key exactly equal to a boundary belongs to the *higher* shard:
+    /// shard `i` owns `[bounds[i-1], bounds[i])`, half-open on the
+    /// right, so every key routes to exactly one shard and adjacent
+    /// ranges never overlap.
+    #[test]
+    fn shard_map_boundary_keys_route_to_the_higher_shard() {
+        let m = ShardMap::with_bounds(vec!["b".into(), "m".into(), "t".into()]);
+        assert_eq!(m.shards(), 4);
+        // Exactly on each bound.
+        assert_eq!(m.route("b"), 1);
+        assert_eq!(m.route("m"), 2);
+        assert_eq!(m.route("t"), 3);
+        // One step either side of a bound.
+        assert_eq!(m.route("a\u{10FFFF}"), 0, "just below the first bound");
+        assert_eq!(m.route("b\u{0}"), 1, "just above the first bound");
+        assert_eq!(m.route("lzzz"), 1);
+        assert_eq!(m.route("m\u{0}"), 2);
+        // Open ends.
+        assert_eq!(m.route(""), 0);
+        assert_eq!(m.route("\u{10FFFF}"), 3);
+    }
+
+    /// A split that leaves a range empty (adjacent bounds with no key
+    /// between them in practice) still routes every key to a valid
+    /// shard, and only the boundary key itself lands in the pinched
+    /// range.
+    #[test]
+    fn shard_map_empty_ranges_after_split_still_route_validly() {
+        // Shard 1 owns exactly ["m", "m\u{0}") — the single key "m".
+        let m = ShardMap::with_bounds(vec!["m".into(), "m\u{0}".into()]);
+        assert_eq!(m.shards(), 3);
+        assert_eq!(m.route("m"), 1);
+        assert_eq!(m.route("l"), 0);
+        assert_eq!(m.route("m\u{0}"), 2);
+        assert_eq!(m.route("ma"), 2);
+        for k in ["", "a", "m", "m\u{0}", "ma", "z"] {
+            assert!(m.route(k) < m.shards(), "key {k:?} routed out of range");
+        }
+    }
+
+    /// Hierarchical path keys: a parent path sorts before its
+    /// descendants, so a bound on the parent key puts the parent at
+    /// the start of the higher shard and every deeper path follows it
+    /// — the contiguous-subtree property the range partitioning is
+    /// chosen for.
+    #[test]
+    fn shard_map_routes_deepest_paths_with_their_subtree() {
+        let m = ShardMap::with_bounds(vec!["proteins".into(), "species".into()]);
+        assert_eq!(m.route("proteins"), 1, "bound key starts its shard");
+        assert_eq!(m.route("proteins/Q04917"), 1);
+        assert_eq!(m.route("proteins/Q04917/de"), 1);
+        assert_eq!(m.route("proteins\u{10FFFF}"), 1);
+        assert_eq!(m.route("protein"), 0, "strict prefix sorts lower");
+        assert_eq!(m.route("species/human"), 2);
+        // Every descendant of a routed key routes to the same shard
+        // unless a bound falls inside the subtree.
+        for leaf in ["a", "a/b", "a/b/c/d/e"] {
+            assert_eq!(m.route(leaf), 0);
+        }
+    }
+
+    /// `uniform(n)` produces strictly increasing printable bounds and a
+    /// monotone routing function covering all n shards.
+    #[test]
+    fn shard_map_uniform_bounds_are_monotone_and_total() {
+        assert_eq!(ShardMap::single().shards(), 1);
+        assert_eq!(ShardMap::single().route("anything"), 0);
+        for n in 1..12 {
+            let m = ShardMap::uniform(n);
+            assert_eq!(m.shards(), n);
+            assert!(m.bounds().windows(2).all(|w| w[0] < w[1]));
+            // Monotone over a sorted key sweep, hitting every shard.
+            let mut last = 0;
+            let mut seen = std::collections::BTreeSet::new();
+            for c in 0x20u8..0x7f {
+                let s = m.route(&(c as char).to_string());
+                assert!(s >= last, "routing must be monotone in the key");
+                assert!(s < n);
+                seen.insert(s);
+                last = s;
+            }
+            assert_eq!(seen.len(), n, "uniform({n}) left a shard unreachable");
+            // Each bound is the first key of its shard.
+            for (i, b) in m.bounds().iter().enumerate() {
+                assert_eq!(m.route(b), i + 1);
+            }
+        }
+    }
+
     #[test]
     fn shard_map_routes_ranges() {
         let m = ShardMap::uniform(4);

@@ -232,7 +232,29 @@ impl SharedDb {
         ckpt: CheckpointStore,
         window: Duration,
     ) -> Result<Self, DbError> {
-        let metrics = cdb_obs::Metrics::new();
+        Self::from_parts_with_metrics(
+            name,
+            key_field,
+            log,
+            rec,
+            ckpt,
+            window,
+            cdb_obs::Metrics::new(),
+        )
+    }
+
+    /// [`SharedDb::from_parts`] with an explicit metrics registry, so
+    /// a paged open can resolve its buffer-pool counters against the
+    /// same registry the serving layer reports from.
+    pub(crate) fn from_parts_with_metrics(
+        name: String,
+        key_field: impl Into<String>,
+        log: cdb_storage::DurableLog<Box<dyn Io>>,
+        rec: cdb_storage::Recovered,
+        ckpt: CheckpointStore,
+        window: Duration,
+        metrics: cdb_obs::Metrics,
+    ) -> Result<Self, DbError> {
         let group = GroupWal::with_metrics(log, window, &metrics);
         let mut db = CuratedDatabase::from_recovered_with_metrics(
             name,
@@ -255,6 +277,31 @@ impl SharedDb {
                 flush: Mutex::new(None),
             }),
         })
+    }
+
+    /// Opens a durable shared database whose checkpoints are
+    /// page-granular — [`SharedDb::open`] plus the page heap of
+    /// [`CuratedDatabase::open_paged`]: `page_io` holds the heap,
+    /// served through a pool of `pool_pages` frames.
+    pub fn open_paged(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        wal_io: Box<dyn Io>,
+        mut ckpt: CheckpointStore,
+        page_io: Box<dyn Io>,
+        pool_pages: usize,
+        window: Duration,
+    ) -> Result<Self, DbError> {
+        let name = name.into();
+        let metrics = cdb_obs::Metrics::new();
+        let anchor = ckpt.load()?;
+        let (state, ck_eff, seed) =
+            crate::paged::prepare_paged_open(anchor, page_io, pool_pages, &metrics)?;
+        let (log, rec) = recover(&name, StoreMode::Hereditary, wal_io, ck_eff)?;
+        let shared =
+            Self::from_parts_with_metrics(name, key_field, log, rec, ckpt, window, metrics)?;
+        shared.lock_db().attach_paged(state, seed);
+        Ok(shared)
     }
 
     /// Opens a durable shared database backed by segmented WAL files

@@ -78,6 +78,12 @@ pub struct Record {
     /// Shard count behind the measured operation, for sharded-database
     /// benches (`null` otherwise).
     pub shards: Option<u64>,
+    /// Buffer-pool capacity in frames, for paged-storage benches over
+    /// a bounded pool (`null` otherwise).
+    pub pool_pages: Option<u64>,
+    /// Buffer-pool hit fraction in `[0, 1]` observed during the
+    /// measurement, for paged-storage benches (`null` otherwise).
+    pub hit_rate: Option<f64>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -164,12 +170,16 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
     let path = dir.join(format!("BENCH_{name}.json"));
     let mut out = String::from("[\n");
     let opt = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |s| s.to_string());
+    // Floats need their own formatting (fixed precision, no
+    // scientific notation) so downstream `jq`-free parsers stay happy.
+    let optf = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |s| format!("{s:.4}"));
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
              \"samples\": {}, \"iters_per_sample\": {}, \
              \"threads\": {}, \"batch_window_us\": {}, \"segments\": {}, \
-             \"shed\": {}, \"shards\": {}}}{}\n",
+             \"shed\": {}, \"shards\": {}, \"pool_pages\": {}, \
+             \"hit_rate\": {}}}{}\n",
             json_escape(&r.op),
             opt(r.size),
             r.ns_per_iter,
@@ -180,6 +190,8 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
             opt(r.segments),
             opt(r.shed),
             opt(r.shards),
+            opt(r.pool_pages),
+            optf(r.hit_rate),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -489,6 +501,8 @@ mod tests {
             segments: Some(3),
             shed: Some(12),
             shards: Some(4),
+            pool_pages: Some(8),
+            hit_rate: Some(0.875),
             ..Record::default()
         });
         write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
@@ -506,6 +520,10 @@ mod tests {
         assert!(text.contains("\"shed\": 12"));
         assert!(text.contains("\"shards\": null"));
         assert!(text.contains("\"shards\": 4"));
+        assert!(text.contains("\"pool_pages\": null"));
+        assert!(text.contains("\"pool_pages\": 8"));
+        assert!(text.contains("\"hit_rate\": null"));
+        assert!(text.contains("\"hit_rate\": 0.8750"));
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
     }
 

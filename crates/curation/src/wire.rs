@@ -127,6 +127,30 @@ pub struct Checkpoint {
     /// `Retention::Reclaim` so the published-version archive can be
     /// rebuilt without the covered log. Opaque bytes at this layer.
     pub snapshots: Vec<Vec<u8>>,
+    /// Present when the snapshot's tree / provenance / archive bodies
+    /// live in a paged heap instead of this payload (the v3 *anchor*
+    /// form): the checkpoint then carries only the small metadata
+    /// above, plus this reference telling recovery how to materialize
+    /// the state from page records. Page-granular checkpointing writes
+    /// only dirty pages to the heap and installs this small anchor,
+    /// instead of serializing the whole state on every checkpoint.
+    pub paged: Option<PagedRef>,
+}
+
+/// Reference from a checkpoint anchor to the paged heap holding its
+/// state (see `cdb-storage`'s `page`/`paged` modules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedRef {
+    /// Logical heap byte length the anchor covers: only page records
+    /// wholly below this watermark belong to the snapshot. The heap is
+    /// append-only and flushed *before* the anchor installs, so a
+    /// durable anchor always references a durable heap prefix.
+    pub heap_len: u64,
+    /// Arena length of the snapshotted tree: node pages `0..arena_len`
+    /// must all be materializable or the anchor is unusable.
+    pub arena_len: u64,
+    /// The tree's root node id.
+    pub root: u64,
 }
 
 impl Checkpoint {
@@ -143,6 +167,7 @@ impl Checkpoint {
             publishes: Vec::new(),
             aux: Vec::new(),
             snapshots: Vec::new(),
+            paged: None,
         }
     }
 }
@@ -150,6 +175,11 @@ impl Checkpoint {
 /// Version tag opening a v2 checkpoint payload. A v1 payload starts
 /// with an option presence byte (0 or 1), so 2 is unambiguous.
 const CKPT_VERSION_V2: u8 = 2;
+
+/// Version tag opening a v3 checkpoint payload: the v2 fields followed
+/// by a [`PagedRef`]. Only emitted when `paged` is `Some`, so v2
+/// readers keep decoding every checkpoint a non-paged database writes.
+const CKPT_VERSION_V3: u8 = 3;
 
 // ------------------------------------------------------------ writer
 
@@ -302,20 +332,38 @@ pub fn encode_transaction(txn: &Transaction) -> Vec<u8> {
     out
 }
 
+fn put_raw_node(out: &mut Vec<u8>, n: &RawNode) {
+    put_str(out, &n.label);
+    put_opt_atom(out, n.value.as_ref());
+    put_opt_u64(out, n.parent.map(|p| p.0 as u64));
+    put_u32(out, n.children.len() as u32);
+    for c in &n.children {
+        put_u64(out, c.0 as u64);
+    }
+    out.push(u8::from(n.alive));
+}
+
 fn put_tree(out: &mut Vec<u8>, tree: &TreeDb) {
     put_str(out, tree.name());
     put_u64(out, tree.root().0 as u64);
     let raw = tree.raw_nodes();
     put_u32(out, raw.len() as u32);
     for n in &raw {
-        put_str(out, &n.label);
-        put_opt_atom(out, n.value.as_ref());
-        put_opt_u64(out, n.parent.map(|p| p.0 as u64));
-        put_u32(out, n.children.len() as u32);
-        for c in &n.children {
-            put_u64(out, c.0 as u64);
+        put_raw_node(out, n);
+    }
+}
+
+fn put_prov_records(out: &mut Vec<u8>, recs: &[ProvRecord]) {
+    put_u32(out, recs.len() as u32);
+    for r in recs {
+        put_u64(out, r.txn.0);
+        match &r.event {
+            ProvEvent::Created(o) => {
+                out.push(0);
+                put_origin(out, o);
+            }
+            ProvEvent::Modified => out.push(1),
         }
-        out.push(u8::from(n.alive));
     }
 }
 
@@ -328,17 +376,7 @@ fn put_prov(out: &mut Vec<u8>, prov: &ProvStore) {
     put_u32(out, records.len() as u32);
     for (node, recs) in records {
         put_u64(out, node.0 as u64);
-        put_u32(out, recs.len() as u32);
-        for r in recs {
-            put_u64(out, r.txn.0);
-            match &r.event {
-                ProvEvent::Created(o) => {
-                    out.push(0);
-                    put_origin(out, o);
-                }
-                ProvEvent::Modified => out.push(1),
-            }
-        }
+        put_prov_records(out, recs);
     }
 }
 
@@ -355,10 +393,15 @@ fn put_chunks(out: &mut Vec<u8>, chunks: &[Vec<u8>]) {
 }
 
 /// Encodes a checkpoint snapshot as a checkpoint-file frame payload
-/// (always the v2 form; v1 payloads remain decodable).
+/// (the v2 form, or v3 when a [`PagedRef`] anchor is present; v1
+/// payloads remain decodable).
 pub fn encode_checkpoint(ck: &Checkpoint) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
-    out.push(CKPT_VERSION_V2);
+    out.push(if ck.paged.is_some() {
+        CKPT_VERSION_V3
+    } else {
+        CKPT_VERSION_V2
+    });
     put_opt_u64(&mut out, ck.last_txn.map(|t| t.0));
     put_tree(&mut out, &ck.tree);
     put_prov(&mut out, &ck.prov);
@@ -371,7 +414,145 @@ pub fn encode_checkpoint(ck: &Checkpoint) -> Vec<u8> {
     put_chunks(&mut out, &ck.publishes);
     put_chunks(&mut out, &ck.aux);
     put_chunks(&mut out, &ck.snapshots);
+    if let Some(p) = &ck.paged {
+        put_u64(&mut out, p.heap_len);
+        put_u64(&mut out, p.arena_len);
+        put_u64(&mut out, p.root);
+    }
     out
+}
+
+// ------------------------------------------------- paged node codec
+
+/// One tree arena slot in its paged encoding — the exact per-node
+/// field set [`put_tree`] writes, as a standalone page payload.
+/// Tombstones are first-class: a checkpoint must round-trip dead
+/// nodes and arena order exactly for tail replay to re-allocate the
+/// original ids (same argument as the whole-tree codec above).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagedNode {
+    /// The node label.
+    pub label: String,
+    /// The node payload, if a leaf.
+    pub value: Option<Atom>,
+    /// Parent arena index (`None` only for the root slot).
+    pub parent: Option<u64>,
+    /// Child arena indices, in sibling order.
+    pub children: Vec<u64>,
+    /// Whether the node is live (tombstones persist in the arena).
+    pub alive: bool,
+}
+
+/// The number of arena slots in a tree, tombstones included — the
+/// range of valid node-page object ids.
+pub fn arena_len(tree: &TreeDb) -> usize {
+    tree.raw_nodes().len()
+}
+
+/// The raw structural links of an arena slot, tombstones included:
+/// `(parent, children, alive)`. `None` when `index` is out of range.
+/// This is the dirty-tracking accessor: a subtree deletion tombstones
+/// nodes the public (live-only) API can no longer reach, yet their
+/// pages must be recaptured.
+pub fn node_links(tree: &TreeDb, index: usize) -> Option<(Option<usize>, Vec<usize>, bool)> {
+    let raw = tree.raw_nodes();
+    let n = raw.get(index)?;
+    Some((
+        n.parent.map(|p| p.0),
+        n.children.iter().map(|c| c.0).collect(),
+        n.alive,
+    ))
+}
+
+/// Encodes one arena slot as a node-page payload. `None` when `index`
+/// is out of range.
+pub fn encode_tree_node(tree: &TreeDb, index: usize) -> Option<Vec<u8>> {
+    let raw = tree.raw_nodes();
+    let n = raw.get(index)?;
+    let mut out = Vec::with_capacity(32);
+    put_raw_node(&mut out, n);
+    Some(out)
+}
+
+/// Decodes a node-page payload written by [`encode_tree_node`].
+pub fn decode_tree_node(bytes: &[u8]) -> Result<PagedNode, WireError> {
+    let mut r = Reader::new(bytes);
+    let node = r.paged_node()?;
+    r.finish()?;
+    Ok(node)
+}
+
+/// Assembles a tree from per-slot paged nodes in arena order — the
+/// paged-recovery counterpart of the whole-tree decoder, so a heap
+/// materialization round-trips tombstones and ids exactly.
+pub fn tree_from_paged_nodes(
+    name: impl Into<String>,
+    root: u64,
+    nodes: Vec<PagedNode>,
+) -> Result<TreeDb, WireError> {
+    let root = NodeId(usize::try_from(root).map_err(|_| WireError::Overflow("root id"))?);
+    let mut raw = Vec::with_capacity(nodes.len());
+    for n in nodes {
+        let parent = match n.parent {
+            None => None,
+            Some(p) => Some(NodeId(
+                usize::try_from(p).map_err(|_| WireError::Overflow("parent id"))?,
+            )),
+        };
+        let mut children = Vec::with_capacity(n.children.len());
+        for c in n.children {
+            children.push(NodeId(
+                usize::try_from(c).map_err(|_| WireError::Overflow("child id"))?,
+            ));
+        }
+        raw.push(RawNode {
+            label: n.label,
+            value: n.value,
+            parent,
+            children,
+            alive: n.alive,
+        });
+    }
+    Ok(TreeDb::from_raw(name.into(), root, raw))
+}
+
+/// One node's directly-stored provenance records by arena index —
+/// the capture-side accessor for the paged store (node ids are arena
+/// indices, but `NodeId` has no public constructor).
+pub fn direct_prov_records(prov: &ProvStore, index: usize) -> &[ProvRecord] {
+    prov.direct(NodeId(index))
+}
+
+/// Encodes one node's direct provenance records as a prov-page
+/// payload.
+pub fn encode_prov_records(recs: &[ProvRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + 16 * recs.len());
+    put_prov_records(&mut out, recs);
+    out
+}
+
+/// Decodes a prov-page payload written by [`encode_prov_records`].
+pub fn decode_prov_records(bytes: &[u8]) -> Result<Vec<ProvRecord>, WireError> {
+    let mut r = Reader::new(bytes);
+    let recs = r.prov_records()?;
+    r.finish()?;
+    Ok(recs)
+}
+
+/// Assembles a provenance store from per-node paged record lists —
+/// the paged-recovery counterpart of the whole-store decoder.
+pub fn prov_from_paged(
+    mode: StoreMode,
+    entries: Vec<(u64, Vec<ProvRecord>)>,
+) -> Result<ProvStore, WireError> {
+    let mut records = BTreeMap::new();
+    for (node, recs) in entries {
+        let node = NodeId(usize::try_from(node).map_err(|_| WireError::Overflow("node id"))?);
+        if !recs.is_empty() {
+            records.insert(node, recs);
+        }
+    }
+    Ok(ProvStore::from_raw(mode, records))
 }
 
 // ------------------------------------------------------------ reader
@@ -577,37 +758,52 @@ impl<'a> Reader<'a> {
         }
     }
 
+    fn paged_node(&mut self) -> Result<PagedNode, WireError> {
+        let label = self.str()?;
+        let value = self.opt_atom()?;
+        let parent = self.opt_u64()?;
+        let nc = self.seq_len(8)?;
+        let mut children = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            children.push(self.u64()?);
+        }
+        let alive = self.u8()? != 0;
+        Ok(PagedNode {
+            label,
+            value,
+            parent,
+            children,
+            alive,
+        })
+    }
+
     fn tree(&mut self) -> Result<TreeDb, WireError> {
         let name = self.str()?;
-        let root = self.node_id()?;
+        let root = self.u64()?;
         // A raw node is at least 11 bytes: empty label (4), absent
         // value (1), absent parent (1), zero children (4), alive (1).
         let n = self.seq_len(11)?;
-        let mut raw = Vec::with_capacity(n);
+        let mut nodes = Vec::with_capacity(n);
         for _ in 0..n {
-            let label = self.str()?;
-            let value = self.opt_atom()?;
-            let parent = match self.opt_u64()? {
-                None => None,
-                Some(p) => Some(NodeId(
-                    usize::try_from(p).map_err(|_| WireError::Overflow("parent id"))?,
-                )),
-            };
-            let nc = self.seq_len(8)?;
-            let mut children = Vec::with_capacity(nc);
-            for _ in 0..nc {
-                children.push(self.node_id()?);
-            }
-            let alive = self.u8()? != 0;
-            raw.push(RawNode {
-                label,
-                value,
-                parent,
-                children,
-                alive,
-            });
+            nodes.push(self.paged_node()?);
         }
-        Ok(TreeDb::from_raw(name, root, raw))
+        tree_from_paged_nodes(name, root, nodes)
+    }
+
+    fn prov_records(&mut self) -> Result<Vec<ProvRecord>, WireError> {
+        // A record is at least 9 bytes: txn id (8) + event tag (1).
+        let nr = self.seq_len(9)?;
+        let mut recs = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let txn = TxnId(self.u64()?);
+            let event = match self.u8()? {
+                0 => ProvEvent::Created(self.origin()?),
+                1 => ProvEvent::Modified,
+                t => return Err(WireError::BadTag("prov event", t)),
+            };
+            recs.push(ProvRecord { txn, event });
+        }
+        Ok(recs)
     }
 
     fn prov(&mut self) -> Result<ProvStore, WireError> {
@@ -622,19 +818,7 @@ impl<'a> Reader<'a> {
         let mut records = BTreeMap::new();
         for _ in 0..n {
             let node = self.node_id()?;
-            // A record is at least 9 bytes: txn id (8) + event tag (1).
-            let nr = self.seq_len(9)?;
-            let mut recs = Vec::with_capacity(nr);
-            for _ in 0..nr {
-                let txn = TxnId(self.u64()?);
-                let event = match self.u8()? {
-                    0 => ProvEvent::Created(self.origin()?),
-                    1 => ProvEvent::Modified,
-                    t => return Err(WireError::BadTag("prov event", t)),
-                };
-                recs.push(ProvRecord { txn, event });
-            }
-            records.insert(node, recs);
+            records.insert(node, self.prov_records()?);
         }
         Ok(ProvStore::from_raw(mode, records))
     }
@@ -683,20 +867,25 @@ fn read_chunks(r: &mut Reader<'_>) -> Result<Vec<Vec<u8>>, WireError> {
     Ok(out)
 }
 
-/// Decodes a checkpoint frame payload, either version. A v1 payload
+/// Decodes a checkpoint frame payload, any version. A v1 payload
 /// (first byte is an option presence tag, 0 or 1) yields a checkpoint
-/// with every v2 field at its default.
+/// with every v2 field at its default; a v3 payload additionally
+/// carries a [`PagedRef`] anchor.
 pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
     let mut r = Reader::new(bytes);
-    let versioned = bytes.first() == Some(&CKPT_VERSION_V2);
-    if versioned {
+    let version = match bytes.first() {
+        Some(&CKPT_VERSION_V2) => CKPT_VERSION_V2,
+        Some(&CKPT_VERSION_V3) => CKPT_VERSION_V3,
+        _ => 1,
+    };
+    if version >= CKPT_VERSION_V2 {
         r.u8()?;
     }
     let last_txn = r.opt_u64()?.map(TxnId);
     let tree = r.tree()?;
     let prov = r.prov()?;
     let mut ck = Checkpoint::basic(last_txn, tree, prov);
-    if versioned {
+    if version >= CKPT_VERSION_V2 {
         ck.covered_len = r.opt_u64()?;
         ck.last_time = r.u64()?;
         // A carried transaction is at least its 4-byte length prefix.
@@ -708,6 +897,13 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
         ck.publishes = read_chunks(&mut r)?;
         ck.aux = read_chunks(&mut r)?;
         ck.snapshots = read_chunks(&mut r)?;
+    }
+    if version >= CKPT_VERSION_V3 {
+        ck.paged = Some(PagedRef {
+            heap_len: r.u64()?,
+            arena_len: r.u64()?,
+            root: r.u64()?,
+        });
     }
     r.finish()?;
     Ok(ck)
@@ -805,6 +1001,74 @@ mod tests {
         ck.snapshots = vec![b"value-bytes".to_vec()];
         let bytes = encode_checkpoint(&ck);
         assert_eq!(decode_checkpoint(&bytes).unwrap(), ck);
+    }
+
+    #[test]
+    fn v3_checkpoints_round_trip_the_paged_anchor() {
+        let db = busy_tree();
+        let mut ck = Checkpoint::basic(db.last_txn_id(), db.tree.clone(), db.prov.clone());
+        ck.covered_len = Some(512);
+        ck.paged = Some(PagedRef {
+            heap_len: 8192,
+            arena_len: 9,
+            root: 0,
+        });
+        let bytes = encode_checkpoint(&ck);
+        assert_eq!(bytes[0], 3);
+        assert_eq!(decode_checkpoint(&bytes).unwrap(), ck);
+        // Truncation discipline holds for the extended form too.
+        for cut in (0..bytes.len()).step_by(5) {
+            assert!(decode_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn paged_node_codec_round_trips_the_arena_exactly() {
+        let db = busy_tree();
+        let n = arena_len(&db.tree);
+        assert!(n > 1);
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let bytes = encode_tree_node(&db.tree, i).unwrap();
+            nodes.push(decode_tree_node(&bytes).unwrap());
+        }
+        assert!(encode_tree_node(&db.tree, n).is_none());
+        // Tombstones survive: the busy tree deleted a node.
+        assert!(nodes.iter().any(|p| !p.alive));
+        let back =
+            tree_from_paged_nodes(db.tree.name(), db.tree.root().index() as u64, nodes).unwrap();
+        assert_eq!(back, db.tree);
+    }
+
+    #[test]
+    fn paged_prov_codec_round_trips_per_node_records() {
+        let db = busy_tree();
+        let mut entries = Vec::new();
+        for i in 0..arena_len(&db.tree) {
+            let recs = db.prov.direct(NodeId(i));
+            if recs.is_empty() {
+                continue;
+            }
+            let bytes = encode_prov_records(recs);
+            entries.push((i as u64, decode_prov_records(&bytes).unwrap()));
+        }
+        let back = prov_from_paged(db.prov.mode(), entries).unwrap();
+        assert_eq!(back, db.prov);
+    }
+
+    #[test]
+    fn node_links_reach_tombstoned_slots() {
+        let db = busy_tree();
+        let n = arena_len(&db.tree);
+        let dead: Vec<usize> = (0..n)
+            .filter(|&i| matches!(node_links(&db.tree, i), Some((_, _, false))))
+            .collect();
+        assert!(!dead.is_empty());
+        // A dead node still reports its recorded parent link even
+        // though the live-only API refuses to look at it.
+        let (parent, _, _) = node_links(&db.tree, dead[0]).unwrap();
+        assert!(parent.is_some());
+        assert!(node_links(&db.tree, n).is_none());
     }
 
     #[test]

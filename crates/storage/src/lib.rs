@@ -39,11 +39,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod buffer;
 pub mod ckpt;
 pub mod crc;
 pub mod frame;
 pub mod group;
 pub mod io;
+pub mod page;
+pub mod paged;
 pub mod recovery;
 pub mod segment;
 pub mod twopc;
@@ -51,6 +54,9 @@ pub mod wal;
 
 pub use cdb_curation::wire;
 
+pub use crate::buffer::{
+    pool_pages_from_env, BufferPool, BufferStats, DEFAULT_POOL_PAGES, POOL_PAGES_ENV,
+};
 pub use crate::ckpt::CheckpointStore;
 pub use crate::frame::{
     Frame, ScanOutcome, FRAME_AUX, FRAME_CKPT, FRAME_COMMIT, FRAME_DECIDE, FRAME_PREPARE,
@@ -58,6 +64,8 @@ pub use crate::frame::{
 };
 pub use crate::group::{GroupCommitStats, GroupWal};
 pub use crate::io::{FaultPlan, FaultyIo, FileIo, Io, MemIo, ReclaimStats, ThrottledIo};
+pub use crate::page::{PageStore, PAGE_MAGIC, PAGE_RECORD_HEADER, PAGE_SIZE};
+pub use crate::paged::{page_key, split_key, PagedState, KIND_NODE, KIND_PROV, KIND_SNAP};
 pub use crate::recovery::{
     decode_commit, encode_commit, recover, recover_shards, recover_with, PublishRecord, Recovered,
     RecoveryStats,

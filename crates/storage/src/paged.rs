@@ -1,0 +1,323 @@
+//! Paged encoding of the curated database state: tree nodes,
+//! per-node provenance records, and archive snapshot fat-nodes as
+//! *objects* chunked across fixed-capacity pages, served through a
+//! [`BufferPool`].
+//!
+//! Page ids pack an object address into 64 bits:
+//!
+//! ```text
+//! kind: 8 bits | object id: 40 bits | chunk: 16 bits
+//! ```
+//!
+//! * `KIND_NODE` objects are tree arena slots (object id = arena
+//!   index), encoded by `cdb_curation::wire::encode_tree_node` —
+//!   tombstones included, because checkpoint materialization must
+//!   round-trip arena order and dead nodes exactly for tail replay to
+//!   re-allocate the original ids;
+//! * `KIND_PROV` objects are one node's direct provenance records;
+//! * `KIND_SNAP` objects are the archive's published-version
+//!   snapshots (opaque `cdb-archive` value bytes) — the fat-node
+//!   payloads, usually the largest objects in the heap.
+//!
+//! Objects larger than a page are chunked: chunk 0 opens with the
+//! object's total length, so a shrinking rewrite simply strands its
+//! stale tail chunks (the length prefix governs how many chunks a
+//! reader follows — no tombstone pages needed).
+
+use cdb_curation::wire::{self, PagedNode};
+use cdb_model::Atom;
+use cdb_obs::Metrics;
+
+use crate::buffer::{BufferPool, BufferStats};
+use crate::io::Io;
+use crate::page::{PageStore, PAGE_SIZE};
+use crate::StorageError;
+
+/// Page kind: a curated-tree arena slot.
+pub const KIND_NODE: u8 = 1;
+/// Page kind: one node's direct provenance records.
+pub const KIND_PROV: u8 = 2;
+/// Page kind: one published-version archive snapshot (fat-node).
+pub const KIND_SNAP: u8 = 3;
+
+/// Payload bytes available in chunk 0 after its length prefix.
+const CHUNK0_DATA: usize = PAGE_SIZE - 4;
+
+/// Packs an object address into a page id. Object ids above 2^40 and
+/// chunk indices above 2^16 are out of range (a curated tree would
+/// need a trillion arena slots to get there).
+pub fn page_key(kind: u8, obj: u64, chunk: u16) -> u64 {
+    debug_assert!(obj < (1 << 40), "object id {obj} exceeds 40 bits");
+    (u64::from(kind) << 56) | ((obj & 0xFF_FFFF_FFFF) << 16) | u64::from(chunk)
+}
+
+/// Splits a page id back into `(kind, object, chunk)`.
+pub fn split_key(key: u64) -> (u8, u64, u16) {
+    ((key >> 56) as u8, (key >> 16) & 0xFF_FFFF_FFFF, key as u16)
+}
+
+/// The paged curated-state store: a [`BufferPool`] plus the object
+/// layer.
+#[derive(Debug)]
+pub struct PagedState<I: Io> {
+    pool: BufferPool<I>,
+}
+
+impl<I: Io> PagedState<I> {
+    /// Opens (creating if empty) a paged state over `io` with a pool
+    /// of `pool_pages` frames. `limit` is the checkpoint-anchor heap
+    /// watermark — see [`PageStore::open`].
+    pub fn open(
+        io: I,
+        pool_pages: usize,
+        limit: Option<u64>,
+        metrics: &Metrics,
+    ) -> Result<Self, StorageError> {
+        let store = PageStore::open(io, limit)?;
+        Ok(PagedState {
+            pool: BufferPool::new(store, pool_pages, metrics),
+        })
+    }
+
+    /// Writes `bytes` as object `(kind, obj)`, chunking across pages.
+    pub fn put_object(&mut self, kind: u8, obj: u64, bytes: &[u8]) -> Result<(), StorageError> {
+        let mut chunk0 = Vec::with_capacity(4 + bytes.len().min(CHUNK0_DATA));
+        chunk0.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        let head = bytes.len().min(CHUNK0_DATA);
+        chunk0.extend_from_slice(&bytes[..head]);
+        self.pool.put(page_key(kind, obj, 0), &chunk0)?;
+        let mut at = head;
+        let mut chunk: u16 = 1;
+        while at < bytes.len() {
+            let take = (bytes.len() - at).min(PAGE_SIZE);
+            self.pool
+                .put(page_key(kind, obj, chunk), &bytes[at..at + take])?;
+            at += take;
+            chunk = chunk.checked_add(1).ok_or_else(|| {
+                StorageError::Io(format!("object {kind}/{obj} exceeds chunk range"))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Reads object `(kind, obj)` back, following its chunk chain.
+    /// `None` when the heap has no chunk 0 for it.
+    pub fn get_object(&mut self, kind: u8, obj: u64) -> Result<Option<Vec<u8>>, StorageError> {
+        let Some(first) = self.pool.get(page_key(kind, obj, 0))? else {
+            return Ok(None);
+        };
+        if first.len() < 4 {
+            return Err(StorageError::Corrupt(format!(
+                "object {kind}/{obj} chunk 0 shorter than its length prefix"
+            )));
+        }
+        let total = u32::from_le_bytes(first[..4].try_into().unwrap()) as usize;
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&first[4..]);
+        if out.len() > total {
+            out.truncate(total);
+        }
+        let mut chunk: u16 = 1;
+        while out.len() < total {
+            let key = page_key(kind, obj, chunk);
+            let Some(piece) = self.pool.get(key)? else {
+                return Err(StorageError::Corrupt(format!(
+                    "object {kind}/{obj} truncated at chunk {chunk}"
+                )));
+            };
+            let need = total - out.len();
+            out.extend_from_slice(&piece[..piece.len().min(need)]);
+            chunk = chunk
+                .checked_add(1)
+                .ok_or_else(|| StorageError::Corrupt("chunk chain overflow".into()))?;
+        }
+        Ok(Some(out))
+    }
+
+    // ------------------------------------------- curated-state layer
+
+    /// Captures arena slot `index` of `tree` as its node object.
+    pub fn capture_node(
+        &mut self,
+        tree: &cdb_curation::TreeDb,
+        index: usize,
+    ) -> Result<(), StorageError> {
+        let bytes = wire::encode_tree_node(tree, index).ok_or_else(|| {
+            StorageError::Io(format!("capture of out-of-range arena slot {index}"))
+        })?;
+        self.put_object(KIND_NODE, index as u64, &bytes)
+    }
+
+    /// Captures node `index`'s direct provenance records (a no-op
+    /// when the node has none and the heap holds none for it).
+    pub fn capture_prov(
+        &mut self,
+        prov: &cdb_curation::ProvStore,
+        index: usize,
+    ) -> Result<(), StorageError> {
+        let recs = wire::direct_prov_records(prov, index);
+        if recs.is_empty() && self.get_object(KIND_PROV, index as u64)?.is_none() {
+            return Ok(());
+        }
+        self.put_object(KIND_PROV, index as u64, &wire::encode_prov_records(recs))
+    }
+
+    /// Captures published-version snapshot `version` (opaque archive
+    /// value bytes — the fat-node payload).
+    pub fn capture_snapshot(&mut self, version: usize, bytes: &[u8]) -> Result<(), StorageError> {
+        self.put_object(KIND_SNAP, version as u64, bytes)
+    }
+
+    /// Reads one tree node without materializing the whole tree — the
+    /// larger-than-memory read path (`None` for an absent slot).
+    pub fn node(&mut self, index: u64) -> Result<Option<PagedNode>, StorageError> {
+        match self.get_object(KIND_NODE, index)? {
+            None => Ok(None),
+            Some(bytes) => Ok(Some(wire::decode_tree_node(&bytes)?)),
+        }
+    }
+
+    /// Reads one node's direct provenance records (empty when none
+    /// were captured).
+    pub fn node_prov(&mut self, index: u64) -> Result<Vec<cdb_curation::ProvRecord>, StorageError> {
+        match self.get_object(KIND_PROV, index)? {
+            None => Ok(Vec::new()),
+            Some(bytes) => Ok(wire::decode_prov_records(&bytes)?),
+        }
+    }
+
+    /// Walks `path` (`/label/label/...`) from `root` through the pool,
+    /// one node page at a time — the paged counterpart of
+    /// `TreeDb::resolve_path`, used by the differential harness.
+    pub fn resolve_path(&mut self, root: u64, path: &str) -> Result<Option<u64>, StorageError> {
+        let mut at = root;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            let Some(node) = self.node(at)? else {
+                return Ok(None);
+            };
+            let mut next = None;
+            for child in node.children {
+                if let Some(c) = self.node(child)? {
+                    if c.alive && c.label == seg {
+                        next = Some(child);
+                        break;
+                    }
+                }
+            }
+            match next {
+                Some(n) => at = n,
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(at))
+    }
+
+    /// Recursively folds the live subtree under `index` into a value
+    /// count + leaf atoms, for differential comparison against the
+    /// resident tree (a cheap structural digest).
+    pub fn subtree_atoms(
+        &mut self,
+        index: u64,
+    ) -> Result<Vec<(String, Option<Atom>)>, StorageError> {
+        let mut out = Vec::new();
+        let mut stack = vec![index];
+        while let Some(i) = stack.pop() {
+            let Some(node) = self.node(i)? else {
+                return Err(StorageError::Corrupt(format!("missing node page {i}")));
+            };
+            if !node.alive {
+                continue;
+            }
+            out.push((node.label.clone(), node.value.clone()));
+            for c in node.children.iter().rev() {
+                stack.push(*c);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materializes the whole tree from node pages `0..arena_len` —
+    /// the checkpoint-recovery path. Every slot must be present.
+    pub fn materialize_tree(
+        &mut self,
+        name: &str,
+        root: u64,
+        arena_len: u64,
+    ) -> Result<cdb_curation::TreeDb, StorageError> {
+        let mut nodes = Vec::with_capacity(arena_len as usize);
+        for i in 0..arena_len {
+            let Some(node) = self.node(i)? else {
+                return Err(StorageError::Corrupt(format!(
+                    "paged checkpoint missing node page {i} of {arena_len}"
+                )));
+            };
+            nodes.push(node);
+        }
+        Ok(wire::tree_from_paged_nodes(name, root, nodes)?)
+    }
+
+    /// Materializes the provenance store from every prov page below
+    /// `arena_len`.
+    pub fn materialize_prov(
+        &mut self,
+        mode: cdb_curation::StoreMode,
+        arena_len: u64,
+    ) -> Result<cdb_curation::ProvStore, StorageError> {
+        let objs: Vec<u64> = self
+            .pool
+            .store()
+            .page_ids()
+            .filter_map(|k| {
+                let (kind, obj, chunk) = split_key(k);
+                (kind == KIND_PROV && chunk == 0 && obj < arena_len).then_some(obj)
+            })
+            .collect();
+        let mut entries = Vec::with_capacity(objs.len());
+        for obj in objs {
+            entries.push((obj, self.node_prov(obj)?));
+        }
+        Ok(wire::prov_from_paged(mode, entries)?)
+    }
+
+    /// Materializes the first `count` published-version snapshots.
+    pub fn materialize_snapshots(&mut self, count: usize) -> Result<Vec<Vec<u8>>, StorageError> {
+        let mut out = Vec::with_capacity(count);
+        for v in 0..count {
+            let Some(bytes) = self.get_object(KIND_SNAP, v as u64)? else {
+                return Err(StorageError::Corrupt(format!(
+                    "paged checkpoint missing snapshot {v} of {count}"
+                )));
+            };
+            out.push(bytes);
+        }
+        Ok(out)
+    }
+
+    /// Flushes every dirty frame and the device — the barrier a
+    /// checkpoint takes before installing its anchor.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        self.pool.flush_all()
+    }
+
+    /// Logical heap length (the anchor watermark; call after
+    /// [`flush`](Self::flush)).
+    pub fn heap_len(&self) -> u64 {
+        self.pool.heap_len()
+    }
+
+    /// Pool statistics (hit/miss/evict/write-back).
+    pub fn stats(&self) -> BufferStats {
+        self.pool.stats()
+    }
+
+    /// Direct access to the pool (pin/unpin, capacity checks).
+    pub fn pool_mut(&mut self) -> &mut BufferPool<I> {
+        &mut self.pool
+    }
+
+    /// Consumes the state, returning the underlying page store (crash
+    /// harnesses drop unflushed frames exactly this way).
+    pub fn into_store(self) -> PageStore<I> {
+        self.pool.into_store()
+    }
+}

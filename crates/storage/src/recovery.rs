@@ -532,6 +532,7 @@ pub fn recover_with<I: Io>(
                 publishes: ck_pubs,
                 aux: ck_aux,
                 snapshots,
+                paged: _,
             } = ck;
             stats.used_checkpoint = true;
             let skip = ends.iter().filter(|&&e| e <= w).count();

@@ -45,6 +45,15 @@ echo "== long-log smoke: bounded recovery over a segmented WAL =="
 # a reopen whose recovery must scan fewer bytes than two segments.
 cargo test -q --test storage_recovery long_history_recovery_scans_a_bounded_tail
 
+echo "== paged storage under a tiny buffer pool (heavy eviction churn) =="
+# The differential and recovery suites size their pools from
+# CDB_TEST_POOL_PAGES; a 4-frame pool forces eviction on nearly every
+# touch, so replacement, write-back, and dirty-page checkpointing all
+# run under maximum pressure.
+CDB_TEST_POOL_PAGES=4 cargo test -q --test paged_storage
+CDB_TEST_POOL_PAGES=4 cargo test -q --test storage_recovery \
+    reclaim_with_paged_checkpoints_recovers_from_retired_segments
+
 if [[ "$run_bench" == 1 ]]; then
     echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
@@ -95,6 +104,26 @@ if [[ "$run_bench" == 1 ]]; then
     if ! grep -qE '"shards": [0-9]+' "$bench_json_dir/BENCH_shard_scaling.json"; then
         echo "BENCH_shard_scaling.json E22 rows are missing the shards field:"
         cat "$bench_json_dir/BENCH_shard_scaling.json"
+        exit 1
+    fi
+
+    # The paging bench: E21 rows must exist and carry the pool size and
+    # the observed hit rate per row.
+    CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
+        cargo bench -p cdb-bench --bench paging
+    if ! grep -q '"op": "e21_paging/' "$bench_json_dir/BENCH_paging.json"; then
+        echo "BENCH_paging.json is missing the E21 rows:"
+        cat "$bench_json_dir/BENCH_paging.json"
+        exit 1
+    fi
+    if ! grep -qE '"pool_pages": [0-9]+' "$bench_json_dir/BENCH_paging.json"; then
+        echo "BENCH_paging.json E21 rows are missing the pool_pages field:"
+        cat "$bench_json_dir/BENCH_paging.json"
+        exit 1
+    fi
+    if ! grep -qE '"hit_rate": [0-9.]+' "$bench_json_dir/BENCH_paging.json"; then
+        echo "BENCH_paging.json E21 rows are missing the hit_rate field:"
+        cat "$bench_json_dir/BENCH_paging.json"
         exit 1
     fi
     rm -rf "$bench_json_dir"

@@ -1,0 +1,408 @@
+//! Differential harness for the paged storage layer: the page heap +
+//! buffer pool must be *byte-equivalent* to the resident state across
+//! random curation workloads, eviction schedules (tiny pools churn the
+//! clock constantly), crash offsets, and recovery — the headline test
+//! of the larger-than-memory milestone.
+//!
+//! Two proptest properties × 256 cases each (PROPTEST_CASES
+//! overrides), plus directed smokes:
+//!
+//! * `paged_store_is_byte_equivalent_to_resident` — storage-level:
+//!   random sessions recaptured transaction-by-transaction into a
+//!   `PagedState` (so the heap accumulates superseded page versions
+//!   and stranded chunk tails), then every object read, path
+//!   resolution, subtree fold, and full materialization must equal the
+//!   resident `TreeDb`/`ProvStore` exactly — hot cache and cold
+//!   reopen alike, at pool sizes {2, 8, 64}.
+//! * `paged_database_matches_classic_and_recovery` — database-level:
+//!   the same scripted session driven through a classic
+//!   `CuratedDatabase` and a paged one (page-granular checkpoints)
+//!   must produce identical WAL bytes, identical live state and query
+//!   results, and — after a crash cut at an arbitrary WAL byte offset
+//!   — identical recovery outcomes, whether or not the surviving log
+//!   still covers the paged anchor.
+//!
+//! The pool size respects `CDB_TEST_POOL_PAGES` so the check.sh
+//! small-pool matrix leg squeezes every test through a 4-frame pool.
+
+use std::sync::{Arc, Mutex};
+
+use cdb_core::CuratedDatabase;
+use cdb_curation::ops::CuratedTree;
+use cdb_curation::provstore::StoreMode;
+use cdb_curation::replay::apply_committed;
+use cdb_curation::wire;
+use cdb_model::Atom;
+use cdb_obs::Metrics;
+use cdb_storage::{
+    pool_pages_from_env, CheckpointStore, FaultPlan, FaultyIo, Io, MemIo, PagedState, StorageError,
+    KIND_NODE,
+};
+use cdb_workload::sessions::{CurationSim, SessionConfig};
+use proptest::prelude::*;
+
+fn session(seed: u64, mode: StoreMode, txns: usize, pastes: usize, edits: usize) -> CuratedTree {
+    let mut sim = CurationSim::new(
+        seed,
+        mode,
+        SessionConfig {
+            source_entries: 3,
+            fields_per_entry: 2,
+            transactions: txns,
+            pastes_per_txn: pastes,
+            edits_per_txn: edits,
+            inserts_per_txn: 1,
+        },
+    );
+    sim.run();
+    sim.target
+}
+
+fn mode_of(naive: bool) -> StoreMode {
+    if naive {
+        StoreMode::Naive
+    } else {
+        StoreMode::Hereditary
+    }
+}
+
+/// Live preorder of the resident tree, computed through the wire codec
+/// (decode of encode) — the same node representation the paged store
+/// serves, so the comparison isolates the heap/pool/chunking layer.
+fn resident_preorder(tree: &cdb_curation::TreeDb) -> Vec<(String, Option<Atom>)> {
+    let nodes: Vec<wire::PagedNode> = (0..wire::arena_len(tree))
+        .map(|i| wire::decode_tree_node(&wire::encode_tree_node(tree, i).unwrap()).unwrap())
+        .collect();
+    let mut out = Vec::new();
+    let mut stack = vec![tree.root().index()];
+    while let Some(i) = stack.pop() {
+        let node = &nodes[i];
+        if !node.alive {
+            continue;
+        }
+        out.push((node.label.clone(), node.value.clone()));
+        for c in node.children.iter().rev() {
+            stack.push(*c as usize);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Storage-level byte equivalence under eviction churn: every
+    /// object read from the paged store — through a pool far smaller
+    /// than the working set — equals the resident encoding, and full
+    /// materialization reproduces the resident `TreeDb` and
+    /// `ProvStore` exactly, before and after a cold reopen.
+    #[test]
+    fn paged_store_is_byte_equivalent_to_resident(
+        seed in 0u64..1_000_000,
+        naive in any::<bool>(),
+        txns in 1usize..6,
+        pastes in 0usize..3,
+        edits in 0usize..3,
+        pool_sel in 0usize..3,
+    ) {
+        let mode = mode_of(naive);
+        let db = session(seed, mode, txns, pastes, edits);
+        let pool = pool_pages_from_env([2usize, 8, 64][pool_sel]);
+        let metrics = Metrics::new();
+        let mut state = PagedState::open(MemIo::new(), pool, None, &metrics).unwrap();
+
+        // Recapture every node after every transaction: the heap
+        // accumulates superseded page versions and stranded tails,
+        // newest-wins must still hold for each object.
+        let mut r = CuratedTree::new(db.tree.name(), mode);
+        for txn in &db.log {
+            apply_committed(&mut r, txn).unwrap();
+            for i in 0..wire::arena_len(&r.tree) {
+                state.capture_node(&r.tree, i).unwrap();
+                state.capture_prov(&r.prov, i).unwrap();
+            }
+        }
+        state.flush().unwrap();
+
+        let arena = wire::arena_len(&db.tree);
+        let root = db.tree.root().index() as u64;
+        for i in 0..arena {
+            // Byte-for-byte object equivalence, tombstones included.
+            prop_assert_eq!(
+                state.get_object(KIND_NODE, i as u64).unwrap(),
+                wire::encode_tree_node(&db.tree, i),
+                "node object {} diverged", i
+            );
+            let prov = state.node_prov(i as u64).unwrap();
+            prop_assert_eq!(
+                prov.as_slice(),
+                wire::direct_prov_records(&db.prov, i),
+                "prov records of node {} diverged", i
+            );
+        }
+        let mt = state.materialize_tree(db.tree.name(), root, arena as u64).unwrap();
+        prop_assert_eq!(&mt, &db.tree);
+        let mp = state.materialize_prov(mode, arena as u64).unwrap();
+        prop_assert_eq!(&mp, &db.prov);
+
+        // Pool invariants: never more resident frames than capacity,
+        // and a working set past the pool must actually evict.
+        prop_assert!(state.pool_mut().resident() <= pool);
+        let stats = state.stats();
+        prop_assert!(stats.hits + stats.misses > 0);
+        if arena > pool {
+            prop_assert!(stats.evictions > 0, "no evictions with {} objects in {} frames", arena, pool);
+        }
+
+        // Cold reopen from the durable device at the flushed
+        // watermark: same answers with an empty cache.
+        let heap_len = state.heap_len();
+        let io = state.into_store().into_io();
+        let mut re = PagedState::open(io, pool, Some(heap_len), &metrics).unwrap();
+        let mt = re.materialize_tree(db.tree.name(), root, arena as u64).unwrap();
+        prop_assert_eq!(&mt, &db.tree);
+        prop_assert_eq!(re.subtree_atoms(root).unwrap(), resident_preorder(&db.tree));
+
+        // Path resolution through node pages agrees with the resident
+        // child order (first live match per label, depth 2).
+        let root_node = re.node(root).unwrap().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &root_node.children {
+            let child = re.node(*c).unwrap().unwrap();
+            if !child.alive || !seen.insert(child.label.clone()) {
+                continue;
+            }
+            prop_assert_eq!(
+                re.resolve_path(root, &child.label).unwrap(),
+                Some(*c),
+                "path /{} resolved to the wrong node", child.label
+            );
+        }
+    }
+}
+
+// ------------------------------------------ database-level differential
+
+/// A shared fault-injectable device: the database owns one handle, the
+/// checker keeps another to photograph the durable image post-crash.
+#[derive(Debug, Clone)]
+struct SharedDev(Arc<Mutex<FaultyIo>>);
+
+impl SharedDev {
+    fn new() -> Self {
+        SharedDev(Arc::new(Mutex::new(FaultyIo::new(FaultPlan::default()))))
+    }
+    fn durable(&self) -> Vec<u8> {
+        self.0.lock().unwrap().durable_image()
+    }
+}
+
+impl Io for SharedDev {
+    fn len(&self) -> Result<u64, StorageError> {
+        self.0.lock().unwrap().len()
+    }
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+        self.0.lock().unwrap().read_at(offset, buf)
+    }
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+        self.0.lock().unwrap().append(bytes)
+    }
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.0.lock().unwrap().flush()
+    }
+    fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+        self.0.lock().unwrap().truncate(len)
+    }
+}
+
+fn lcg(r: &mut u64) -> u64 {
+    *r = r
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *r >> 33
+}
+
+/// Drives a deterministic scripted session: adds, edits, deletes, and
+/// publishes, with a checkpoint every `ckpt_every` steps. Identical
+/// seeds produce byte-identical WALs on any database.
+fn drive(db: &mut CuratedDatabase, seed: u64, ops: usize, ckpt_every: usize) {
+    let mut r = seed | 1;
+    let mut keys: Vec<String> = Vec::new();
+    for i in 0..ops {
+        let t = (i + 1) as u64;
+        let sel = if i == 0 { 0 } else { lcg(&mut r) % 10 };
+        match sel {
+            0..=3 => {
+                let key = format!("k{i}");
+                let f = Atom::Int((lcg(&mut r) % 100) as i64);
+                let g = Atom::Str(format!("v{}", lcg(&mut r) % 50));
+                db.add_entry("curator", t, &key, &[("f", f), ("g", g)])
+                    .unwrap();
+                keys.push(key);
+            }
+            4..=6 if !keys.is_empty() => {
+                let k = keys[lcg(&mut r) as usize % keys.len()].clone();
+                let v = Atom::Int((lcg(&mut r) % 100) as i64);
+                db.edit_field("curator", t, &k, "f", v).unwrap();
+            }
+            7 if !keys.is_empty() => {
+                let k = keys.remove(lcg(&mut r) as usize % keys.len());
+                db.delete_entry("curator", t, &k).unwrap();
+            }
+            8 => {
+                db.publish(format!("v{i}")).unwrap();
+            }
+            _ => {}
+        }
+        if (i + 1) % ckpt_every == 0 {
+            db.checkpoint().unwrap();
+        }
+    }
+}
+
+proptest! {
+    /// Database-level differential: the same scripted session through
+    /// a classic database and a paged one yields identical WAL bytes,
+    /// identical live state and queries, and identical recovery
+    /// outcomes after a crash cut at an arbitrary WAL byte offset.
+    #[test]
+    fn paged_database_matches_classic_and_recovery(
+        seed in 0u64..1_000_000,
+        ops in 4usize..16,
+        ckpt_every in 1usize..5,
+        pool in 2usize..9,
+        cut_sel in 0usize..100_000,
+    ) {
+        let pool = pool_pages_from_env(pool);
+        let wal_a = SharedDev::new();
+        let mut classic = CuratedDatabase::open(
+            "diff",
+            "id",
+            Box::new(wal_a.clone()),
+            CheckpointStore::mem(),
+        )
+        .unwrap();
+
+        let wal_b = SharedDev::new();
+        let heap = SharedDev::new();
+        let (s1, s2) = (SharedDev::new(), SharedDev::new());
+        let mut paged = CuratedDatabase::open_paged(
+            "diff",
+            "id",
+            Box::new(wal_b.clone()),
+            CheckpointStore::slots(Box::new(s1.clone()), Box::new(s2.clone())),
+            Box::new(heap.clone()),
+            pool,
+        )
+        .unwrap();
+        prop_assert!(paged.is_paged());
+        prop_assert!(!classic.is_paged());
+
+        drive(&mut classic, seed, ops, ckpt_every);
+        drive(&mut paged, seed, ops, ckpt_every);
+
+        // Identical live state, queries, and provenance annotations.
+        prop_assert_eq!(&classic.curated, &paged.curated);
+        prop_assert_eq!(classic.export().unwrap(), paged.export().unwrap());
+        prop_assert_eq!(classic.entry_keys().unwrap(), paged.entry_keys().unwrap());
+        prop_assert_eq!(
+            classic.archive().version_count(),
+            paged.archive().version_count()
+        );
+
+        // The paged pool actually served the checkpoint captures, and
+        // its counters surfaced through the metrics registry.
+        let stats = paged.paged_stats().unwrap();
+        prop_assert!(stats.hits + stats.misses > 0);
+        let snap = paged.metrics_snapshot();
+        prop_assert!(snap.counters.contains_key("storage.buffer.miss"));
+
+        // The WAL protocol is untouched by paging: byte-identical logs.
+        drop(classic);
+        drop(paged);
+        let img_a = wal_a.durable();
+        let img_b = wal_b.durable();
+        prop_assert_eq!(&img_a, &img_b, "paged database diverged on the WAL");
+
+        // Crash at an arbitrary byte offset: both recoveries land on
+        // the same state, whether the surviving log still covers the
+        // paged anchor (page-granular load + tail replay) or not
+        // (anchor discarded, full replay).
+        let cut = 8 + cut_sel % (img_b.len() - 7);
+        let re_classic = CuratedDatabase::open(
+            "diff",
+            "id",
+            Box::new(MemIo::from_bytes(img_a[..cut].to_vec())),
+            CheckpointStore::mem(),
+        )
+        .unwrap();
+        let re_paged = CuratedDatabase::open_paged(
+            "diff",
+            "id",
+            Box::new(MemIo::from_bytes(img_b[..cut].to_vec())),
+            CheckpointStore::slots(
+                Box::new(MemIo::from_bytes(s1.durable())),
+                Box::new(MemIo::from_bytes(s2.durable())),
+            ),
+            Box::new(MemIo::from_bytes(heap.durable())),
+            pool,
+        )
+        .unwrap();
+        prop_assert_eq!(&re_classic.curated, &re_paged.curated, "recovery outcomes diverged at cut {}", cut);
+        prop_assert_eq!(re_classic.export().unwrap(), re_paged.export().unwrap());
+        prop_assert_eq!(
+            re_classic.entry_keys().unwrap(),
+            re_paged.entry_keys().unwrap()
+        );
+    }
+}
+
+/// The shared serving layer rides the same machinery: a paged
+/// `SharedDb` checkpoints page-granularly and reopens to the same
+/// state.
+#[test]
+fn shared_db_opens_and_recovers_paged() {
+    use cdb_core::SharedDb;
+    use std::time::Duration;
+
+    let wal = SharedDev::new();
+    let heap = SharedDev::new();
+    let (s1, s2) = (SharedDev::new(), SharedDev::new());
+    let db = SharedDb::open_paged(
+        "shared-paged",
+        "id",
+        Box::new(wal.clone()),
+        CheckpointStore::slots(Box::new(s1.clone()), Box::new(s2.clone())),
+        Box::new(heap.clone()),
+        pool_pages_from_env(4),
+        Duration::from_millis(0),
+    )
+    .unwrap();
+    for i in 0..6 {
+        db.add_entry(
+            "curator",
+            i + 1,
+            &format!("k{i}"),
+            &[("f", Atom::Int(i as i64))],
+        )
+        .unwrap();
+    }
+    db.checkpoint().unwrap();
+    db.add_entry("curator", 7, "tail", &[("f", Atom::Int(7))])
+        .unwrap();
+    let before = db.snapshot().export().unwrap();
+    drop(db);
+
+    let re = SharedDb::open_paged(
+        "shared-paged",
+        "id",
+        Box::new(MemIo::from_bytes(wal.durable())),
+        CheckpointStore::slots(
+            Box::new(MemIo::from_bytes(s1.durable())),
+            Box::new(MemIo::from_bytes(s2.durable())),
+        ),
+        Box::new(MemIo::from_bytes(heap.durable())),
+        pool_pages_from_env(4),
+        Duration::from_millis(0),
+    )
+    .unwrap();
+    assert_eq!(re.snapshot().export().unwrap(), before);
+}

@@ -436,6 +436,124 @@ fn twopc_image(db: &CuratedTree, shard: usize, nshards: usize) -> Vec<u8> {
     log.into_io().bytes().to_vec()
 }
 
+/// Regression for `Retention::Reclaim` + page-granular checkpoints:
+/// once a paged checkpoint's watermark retires (deletes) the covered
+/// WAL segments, the heap + anchor are the *only* record of the
+/// covered history — recovery must materialize the anchor from pages,
+/// replay the live tail, and reproduce the pre-crash state exactly,
+/// published snapshots included.
+#[test]
+fn reclaim_with_paged_checkpoints_recovers_from_retired_segments() {
+    use std::sync::{Arc, Mutex};
+
+    use cdb_core::CuratedDatabase;
+    use cdb_model::Atom;
+    use cdb_storage::{CheckpointStore, FaultyIo, Io, StorageError};
+
+    /// A shared device: the database owns one handle, the checker
+    /// photographs the durable image after the "crash".
+    #[derive(Debug, Clone)]
+    struct SharedDev(Arc<Mutex<FaultyIo>>);
+    impl SharedDev {
+        fn new() -> Self {
+            SharedDev(Arc::new(Mutex::new(FaultyIo::new(FaultPlan::default()))))
+        }
+        fn durable(&self) -> Vec<u8> {
+            self.0.lock().unwrap().durable_image()
+        }
+    }
+    impl Io for SharedDev {
+        fn len(&self) -> Result<u64, StorageError> {
+            self.0.lock().unwrap().len()
+        }
+        fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<usize, StorageError> {
+            self.0.lock().unwrap().read_at(offset, buf)
+        }
+        fn append(&mut self, bytes: &[u8]) -> Result<(), StorageError> {
+            self.0.lock().unwrap().append(bytes)
+        }
+        fn flush(&mut self) -> Result<(), StorageError> {
+            self.0.lock().unwrap().flush()
+        }
+        fn truncate(&mut self, len: u64) -> Result<(), StorageError> {
+            self.0.lock().unwrap().truncate(len)
+        }
+    }
+
+    let cfg = SegmentConfig {
+        segment_bytes: 512,
+        retention: Retention::Reclaim,
+    };
+    let (io, backing) = SegmentedIo::mem(cfg).unwrap();
+    let heap = SharedDev::new();
+    let (s1, s2) = (SharedDev::new(), SharedDev::new());
+    let mut db = CuratedDatabase::open_paged(
+        "paged-reclaim",
+        "id",
+        Box::new(io),
+        CheckpointStore::slots(Box::new(s1.clone()), Box::new(s2.clone())),
+        Box::new(heap.clone()),
+        4,
+    )
+    .unwrap();
+    db.set_retention(Retention::Reclaim);
+
+    for i in 0..24u64 {
+        db.add_entry(
+            "curator",
+            i + 1,
+            &format!("k{i}"),
+            &[("f", Atom::Int(i as i64))],
+        )
+        .unwrap();
+    }
+    db.publish("v0").unwrap();
+    let stats = db.checkpoint().unwrap();
+    assert!(
+        stats.retired_segments >= 1,
+        "the paged checkpoint must retire covered segments (got {stats:?})"
+    );
+    // Live history after the reclaim: only the tail below survives in
+    // the WAL; everything above exists solely as pages + anchor.
+    for i in 24..30u64 {
+        db.add_entry(
+            "curator",
+            i + 1,
+            &format!("k{i}"),
+            &[("f", Atom::Int(i as i64))],
+        )
+        .unwrap();
+    }
+    let before_export = db.export().unwrap();
+    let before_last = db.curated.last_txn_id();
+    let before_keys = db.entry_keys().unwrap();
+    let before_v0 = db.version(0).unwrap();
+    drop(db);
+
+    let io = SegmentedIo::open(Box::new(backing.crash()), cfg).unwrap();
+    let re = CuratedDatabase::open_paged(
+        "paged-reclaim",
+        "id",
+        Box::new(io),
+        CheckpointStore::slots(
+            Box::new(MemIo::from_bytes(s1.durable())),
+            Box::new(MemIo::from_bytes(s2.durable())),
+        ),
+        Box::new(MemIo::from_bytes(heap.durable())),
+        4,
+    )
+    .unwrap();
+    assert_eq!(re.export().unwrap(), before_export);
+    assert_eq!(re.curated.last_txn_id(), before_last);
+    assert_eq!(re.entry_keys().unwrap(), before_keys);
+    assert!(
+        re.curated.base_txn_id().is_some(),
+        "a reclaiming paged checkpoint recovers in truncated form"
+    );
+    assert_eq!(re.archive().version_count(), 1, "published snapshot lost");
+    assert_eq!(re.version(0).unwrap(), before_v0);
+}
+
 /// A long history over many segments, checkpointed and truncated along
 /// the way: recovery must scan only the live tail — strictly fewer
 /// bytes than two segments — and still land on the oracle state. This
