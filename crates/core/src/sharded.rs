@@ -69,6 +69,10 @@ use crate::durable::{decode_aux, AuxRecord};
 use crate::lifecycle::{EntryEvent, EntryRegistry, Fate, LifecycleError};
 use crate::shared::{SharedDb, Snapshot};
 
+/// One shard's durable devices for a paged open: `(WAL device,
+/// checkpoint store, page heap)` — see [`ShardedDb::open_paged`].
+pub type PagedShardDevices = (Box<dyn Io>, CheckpointStore, Box<dyn Io>);
+
 /// A range partition of the entry key space: `bounds` holds the N−1
 /// sorted boundary keys of an N-shard map, and key `k` routes to the
 /// number of bounds ≤ `k` (so shard `i` owns `[bounds[i-1], bounds[i])`,
@@ -142,6 +146,12 @@ struct ShardedInstruments {
     /// Cross-shard transactions currently between lock acquisition and
     /// publication.
     cross_inflight: cdb_obs::Gauge,
+    /// Per-participant PREPARE latency (append + sync on one shard's
+    /// WAL) — `core.twopc.prepare_ns`.
+    twopc_prepare: cdb_obs::HistogramHandle,
+    /// Coordinator DECIDE latency (the commit-point sync) —
+    /// `core.twopc.decide_ns`.
+    twopc_decide: cdb_obs::HistogramHandle,
 }
 
 impl ShardedInstruments {
@@ -153,6 +163,8 @@ impl ShardedInstruments {
             cross_commits: m.counter("core.sharded.cross.commits"),
             cross_aborts: m.counter("core.sharded.cross.aborts"),
             cross_inflight: m.gauge("core.sharded.cross.inflight"),
+            twopc_prepare: m.histogram("core.twopc.prepare_ns"),
+            twopc_decide: m.histogram("core.twopc.decide_ns"),
         }
     }
 }
@@ -364,6 +376,81 @@ impl ShardedDb {
             devices.push((Box::new(wal), CheckpointStore::dir(dir, &part)));
         }
         ShardedDb::open(name, key_field, map, devices, window)
+    }
+
+    /// Opens a durable sharded database whose checkpoints are
+    /// page-granular — [`ShardedDb::open`] plus a page heap per shard
+    /// (see [`SharedDb::open_paged`]): each shard gets a `(WAL device,
+    /// checkpoint store, page heap)` triple and a buffer pool of
+    /// `pool_pages` frames, so the working set of every shard is
+    /// bounded independently. Recovery keeps the 2PC decision-context
+    /// protocol of [`ShardedDb::open`]: decisions are harvested from
+    /// every checkpoint first, paged anchors are materialized into
+    /// full checkpoints (or discarded, forcing WAL replay) per shard,
+    /// then all shards recover in parallel under the shared context.
+    pub fn open_paged(
+        name: impl Into<String>,
+        key_field: impl Into<String>,
+        map: ShardMap,
+        devices: Vec<PagedShardDevices>,
+        pool_pages: usize,
+        window: Duration,
+    ) -> Result<Self, DbError> {
+        assert_eq!(
+            devices.len(),
+            map.shards(),
+            "one (WAL, checkpoint, page heap) triple per shard"
+        );
+        let name = name.into();
+        let key_field = key_field.into();
+        // Phase 0: load checkpoints, harvest their decision records,
+        // and open each shard's page heap — materializing the paged
+        // anchor into the effective checkpoint recovery will replay
+        // from (`None` when the heap can't back it).
+        let mut extra = BTreeMap::new();
+        let mut stores = Vec::with_capacity(devices.len());
+        let mut paged = Vec::with_capacity(devices.len());
+        let mut to_recover = Vec::with_capacity(devices.len());
+        for (io, mut store, page_io) in devices {
+            let ck = store.load()?;
+            if let Some(ck) = &ck {
+                for bytes in &ck.aux {
+                    if let AuxRecord::Decision { gid, commit } =
+                        decode_aux(bytes).map_err(StorageError::Wire)?
+                    {
+                        extra.insert(gid, commit);
+                    }
+                }
+            }
+            let metrics = cdb_obs::Metrics::new();
+            let (state, ck_eff, seed) =
+                crate::paged::prepare_paged_open(ck, page_io, pool_pages, &metrics)?;
+            stores.push(store);
+            paged.push((metrics, state, seed));
+            to_recover.push((io, ck_eff));
+        }
+        // Phases 1–2: parallel decision scan, then parallel recovery
+        // under the fixed decision context.
+        let recovered = recover_shards(&name, StoreMode::Hereditary, to_recover, &extra)?;
+        let mut max_gid = extra.keys().next_back().copied().unwrap_or(0);
+        let mut shards = Vec::with_capacity(recovered.len());
+        for (((log, rec), store), (metrics, state, seed)) in
+            recovered.into_iter().zip(stores).zip(paged)
+        {
+            max_gid = max_gid.max(rec.max_gid);
+            let shared = SharedDb::from_parts_with_metrics(
+                name.clone(),
+                key_field.clone(),
+                log,
+                rec,
+                store,
+                window,
+                metrics,
+            )?;
+            shared.lock_db().attach_paged(state, seed);
+            shards.push(shared);
+        }
+        Ok(Self::assemble(map, shards, max_gid + 1))
     }
 
     fn assemble(map: ShardMap, shards: Vec<SharedDb>, next_gid: u64) -> Self {
@@ -731,7 +818,10 @@ impl ShardedDb {
         if let Err(e) = decided {
             // PREPAREs may be durable on some shards; roll the memory
             // back and journal abort decisions best-effort — recovery
-            // presumes abort for undecided PREPAREs anyway.
+            // presumes abort for undecided PREPAREs anyway. A failed
+            // decision sync is one of the black-box triggers: snapshot
+            // the flight recorder (no-op unless installed).
+            let _ = cdb_obs::flight::snap("core.twopc.decision_failed");
             for (g, b) in guards.iter_mut().zip(backups) {
                 g.restore_from_backup(b);
             }
@@ -777,14 +867,19 @@ impl ShardedDb {
                 participants: parts_u32.clone(),
                 frames: frames[pos].clone(),
             };
+            let span = cdb_obs::SpanGuard::with_attr("core.twopc.prepare", s as u64);
             let group = self.inner.shards[s].group().expect("uniformly durable");
             let seq = group.append(FRAME_PREPARE, &encode_prepare(&rec))?;
             group.commit(seq)?;
+            self.inner.instr.twopc_prepare.observe(span.elapsed());
         }
         let decide = encode_decide(&DecideRecord { gid, commit: true });
+        let span = cdb_obs::SpanGuard::with_attr("core.twopc.decide", coordinator as u64);
         let coord = self.inner.shards[coordinator].group().expect("durable");
         let seq = coord.append(FRAME_DECIDE, &decide)?;
         coord.commit(seq)?; // the commit point: ack gates on this sync
+        self.inner.instr.twopc_decide.observe(span.elapsed());
+        drop(span);
         for &s in participants {
             if s != coordinator {
                 let group = self.inner.shards[s].group().expect("durable");
@@ -819,11 +914,14 @@ impl ShardedDb {
     }
 
     /// Every metric the sharded database can see: its own registry,
-    /// every shard's registry, and the process-global one, merged.
+    /// every shard's registry (each prefixed `shard.<i>.` so two
+    /// shards' identically-named instruments stay distinguishable —
+    /// per-shard WAL sync counts, buffer-pool hit rates), and the
+    /// process-global one, merged.
     pub fn metrics_snapshot(&self) -> cdb_obs::MetricsSnapshot {
         let mut snap = self.inner.metrics.snapshot();
-        for s in &self.inner.shards {
-            snap.merge(&s.metrics().snapshot());
+        for (i, s) in self.inner.shards.iter().enumerate() {
+            snap.merge_prefixed(&format!("shard.{i}."), &s.metrics().snapshot());
         }
         snap.merge(&cdb_obs::global().snapshot());
         snap
@@ -849,6 +947,68 @@ mod tests {
     fn ab_map() -> ShardMap {
         // Keys < "M" on shard 0, the rest on shard 1.
         ShardMap::with_bounds(vec!["M".into()])
+    }
+
+    fn paged_mem_devices(n: usize) -> Vec<PagedShardDevices> {
+        (0..n)
+            .map(|_| {
+                (
+                    Box::new(MemIo::new()) as Box<dyn Io>,
+                    CheckpointStore::mem(),
+                    Box::new(MemIo::new()) as Box<dyn Io>,
+                )
+            })
+            .collect()
+    }
+
+    /// Differential smoke: the same curation script against a paged
+    /// open (tiny pool, heavy eviction) and a resident open must agree
+    /// on every observable — keys, fields, lineage — including across
+    /// a mid-script checkpoint (page-granular on one side, full-state
+    /// on the other).
+    #[test]
+    fn paged_open_matches_resident_shards_differentially() {
+        let window = Duration::from_micros(50);
+        let resident = ShardedDb::open("iuphar", "name", ab_map(), mem_devices(2), window).unwrap();
+        let paged =
+            ShardedDb::open_paged("iuphar", "name", ab_map(), paged_mem_devices(2), 2, window)
+                .unwrap();
+        for db in [&resident, &paged] {
+            db.add_entry("alice", 1, "GABA-A", &[("tm", Atom::Int(4))])
+                .unwrap();
+            db.add_entry("bob", 2, "P2X", &[("ligand", Atom::Str("ATP".into()))])
+                .unwrap();
+            db.merge_entries("carol", 3, "GABA-A", "P2X").unwrap();
+            db.copy_paste("dave", 4, "GABA-A", "Z-copy").unwrap();
+            db.checkpoint().unwrap();
+            db.edit_field("erin", 5, "Z-copy", "tm", Atom::Int(7))
+                .unwrap();
+            db.sync().unwrap();
+        }
+        let (r, p) = (resident.snapshot(), paged.snapshot());
+        assert_eq!(r.entry_keys().unwrap(), p.entry_keys().unwrap());
+        for key in r.entry_keys().unwrap() {
+            for field in ["tm", "ligand"] {
+                assert_eq!(
+                    r.field(&key, field).ok(),
+                    p.field(&key, field).ok(),
+                    "{key}.{field} diverged between paged and resident"
+                );
+            }
+        }
+        assert_eq!(
+            r.resolve_id("P2X").unwrap(),
+            p.resolve_id("P2X").unwrap(),
+            "lineage diverged"
+        );
+        // The paged side's pool counters surface, shard-prefixed, in
+        // the merged snapshot.
+        let m = paged.metrics_snapshot();
+        assert!(
+            m.counters.keys().any(|k| k.starts_with("shard.0.storage.")),
+            "expected shard-prefixed storage metrics, got: {:?}",
+            m.counters.keys().take(8).collect::<Vec<_>>()
+        );
     }
 
     /// A key exactly equal to a boundary belongs to the *higher* shard:

@@ -1,7 +1,14 @@
 //! Exporters: a human text table and a line-JSON dump for metric
 //! snapshots, plus the span-tree renderer behind `cdbsh profile`.
+//!
+//! Also the distributed half of tracing: span events serialize to the
+//! same line-JSON dialect ([`span_line_json`]), parse back on any other
+//! process ([`parse_span_lines`]), and ring dumps from several
+//! processes reassemble into one trace's tree ([`merge_span_dumps`]) —
+//! this is how a client-side `trace merged` joins its own ring with a
+//! server's `TraceDump` answer.
 
-use crate::{HistogramSnapshot, MetricsSnapshot, SpanEvent};
+use crate::{HistogramSnapshot, MetricsSnapshot, SpanEvent, TraceId};
 use std::fmt::Write as _;
 
 /// Renders a duration in nanoseconds with a human unit.
@@ -67,7 +74,7 @@ pub fn text_table(snap: &MetricsSnapshot) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -125,10 +132,277 @@ pub fn line_json(snap: &MetricsSnapshot) -> String {
 /// time; indentation follows recorded nesting depth; the offset column
 /// is relative to the earliest event shown.
 pub fn span_tree(events: &[SpanEvent]) -> String {
+    wire_span_tree(&events.iter().map(WireSpan::from).collect::<Vec<_>>())
+}
+
+// ------------------------------------------------- wire-portable spans
+
+/// A span event in owned form: what [`SpanEvent`] becomes once it
+/// leaves the process that interned its name. Field-for-field the same
+/// record; the name is a `String` because the receiving process has no
+/// interning table for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Span name (`layer.component.metric`).
+    pub name: String,
+    /// Trace id, `0` when the span ran outside any trace root.
+    pub trace: u64,
+    /// Start time in nanoseconds since the emitting process's trace
+    /// epoch — comparable within one dump, not across processes.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Site-specific attribute.
+    pub attr: u64,
+    /// Emitting thread id (dense within the emitting process).
+    pub thread: u64,
+    /// Nesting depth below the trace root on the emitting thread.
+    pub depth: u32,
+}
+
+impl From<&SpanEvent> for WireSpan {
+    fn from(e: &SpanEvent) -> WireSpan {
+        WireSpan {
+            name: e.name.to_owned(),
+            trace: e.trace,
+            start_ns: e.start_ns,
+            dur_ns: e.dur_ns,
+            attr: e.attr,
+            thread: e.thread,
+            depth: e.depth,
+        }
+    }
+}
+
+/// Serializes ring events to line-JSON, one `{"type":"span",...}`
+/// object per line — the over-the-wire form of a ring dump
+/// (`Request::TraceDump`) and the span section of a flight-recorder
+/// dump. Round-trips through [`parse_span_lines`] losslessly.
+pub fn span_line_json(events: &[SpanEvent]) -> String {
+    wire_span_line_json(&events.iter().map(WireSpan::from).collect::<Vec<_>>())
+}
+
+/// [`span_line_json`] over already-owned spans.
+pub fn wire_span_line_json(events: &[WireSpan]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"name\":\"{}\",\"trace\":{},\"thread\":{},\"depth\":{},\"start_ns\":{},\"dur_ns\":{},\"attr\":{}}}",
+            json_escape(&e.name),
+            e.trace,
+            e.thread,
+            e.depth,
+            e.start_ns,
+            e.dur_ns,
+            e.attr,
+        );
+    }
+    out
+}
+
+/// One value in a parsed line-JSON object.
+enum JsonVal {
+    Str(String),
+    Num(u64),
+}
+
+/// A minimal scanner for the line-JSON dialect this module writes:
+/// one flat object of string and unsigned-integer fields per line.
+struct LineParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(line: &'a str) -> LineParser<'a> {
+        LineParser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, want: u8) -> Result<(), String> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of span line",
+                want as char, self.pos
+            ))
+        }
+    }
+
+    /// Parses a quoted string with the same escapes `json_escape`
+    /// writes (`\"`, `\\`, `\n`, `\t`, `\u00xx`).
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| "invalid utf-8 in span line".to_owned())?;
+            let Some(c) = rest.chars().next() else {
+                return Err("unterminated string in span line".to_owned());
+            };
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "dangling escape in span line".to_owned())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            let v = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(v)
+                                    .ok_or_else(|| format!("bad \\u codepoint {v:#x}"))?,
+                            );
+                        }
+                        e => return Err(format!("unknown escape '\\{}'", e as char)),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digits at byte {start} of span line"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii")
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer in span line: {e}"))
+    }
+
+    fn object(mut self) -> Result<Vec<(String, JsonVal)>, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = match self.peek() {
+                Some(b'"') => JsonVal::Str(self.string()?),
+                _ => JsonVal::Num(self.number()?),
+            };
+            fields.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        if self.pos != self.bytes.len() {
+            return Err("trailing bytes after span object".to_owned());
+        }
+        Ok(fields)
+    }
+}
+
+/// Parses a line-JSON dump back into owned spans. Lines of other types
+/// (counters, gauges, histograms, flight headers) are skipped, so a
+/// combined metrics+spans dump parses with the same call; a line that
+/// *claims* `"type":"span"` but is malformed or missing a field is an
+/// error, not silent loss.
+pub fn parse_span_lines(text: &str) -> Result<Vec<WireSpan>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = LineParser::new(line).object()?;
+        let is_span = fields
+            .iter()
+            .any(|(k, v)| k == "type" && matches!(v, JsonVal::Str(s) if s == "span"));
+        if !is_span {
+            continue;
+        }
+        let mut name = None;
+        let (mut trace, mut thread, mut depth) = (None, None, None);
+        let (mut start_ns, mut dur_ns, mut attr) = (None, None, None);
+        for (k, v) in fields {
+            match (k.as_str(), v) {
+                ("name", JsonVal::Str(s)) => name = Some(s),
+                ("trace", JsonVal::Num(n)) => trace = Some(n),
+                ("thread", JsonVal::Num(n)) => thread = Some(n),
+                ("depth", JsonVal::Num(n)) => depth = Some(n),
+                ("start_ns", JsonVal::Num(n)) => start_ns = Some(n),
+                ("dur_ns", JsonVal::Num(n)) => dur_ns = Some(n),
+                ("attr", JsonVal::Num(n)) => attr = Some(n),
+                ("type", _) => {}
+                (k, _) => return Err(format!("unexpected span field '{k}'")),
+            }
+        }
+        out.push(WireSpan {
+            name: name.ok_or("span line missing name")?,
+            trace: trace.ok_or("span line missing trace")?,
+            thread: thread.ok_or("span line missing thread")?,
+            depth: u32::try_from(depth.ok_or("span line missing depth")?)
+                .map_err(|_| "span depth exceeds u32".to_owned())?,
+            start_ns: start_ns.ok_or("span line missing start_ns")?,
+            dur_ns: dur_ns.ok_or("span line missing dur_ns")?,
+            attr: attr.ok_or("span line missing attr")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Joins ring dumps from several processes into one trace's events:
+/// filters each dump to `trace`, concatenates, sorts into render order,
+/// and collapses exact duplicates (dumps may overlap — an in-process
+/// client's ring contains the server's spans too). Thread ids stay
+/// per-process: a collision between two processes' thread numbering
+/// only co-groups their lines in the rendered tree, it never merges or
+/// drops events.
+pub fn merge_span_dumps(dumps: &[Vec<WireSpan>], trace: TraceId) -> Vec<WireSpan> {
+    let mut out: Vec<WireSpan> = dumps
+        .iter()
+        .flatten()
+        .filter(|e| e.trace == trace.0)
+        .cloned()
+        .collect();
+    out.sort_by(|a, b| {
+        (a.thread, a.start_ns, a.depth, &a.name, a.dur_ns, a.attr)
+            .cmp(&(b.thread, b.start_ns, b.depth, &b.name, b.dur_ns, b.attr))
+    });
+    out.dedup();
+    out
+}
+
+/// [`span_tree`] over owned spans — the renderer both share, and the
+/// one `trace merged` / `blackbox` use for spans that crossed a
+/// process boundary.
+pub fn wire_span_tree(events: &[WireSpan]) -> String {
     if events.is_empty() {
         return "(no spans captured)\n".to_owned();
     }
-    let mut evs: Vec<&SpanEvent> = events.iter().collect();
+    let mut evs: Vec<&WireSpan> = events.iter().collect();
     evs.sort_by_key(|e| (e.thread, e.start_ns, e.depth));
     let base = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
     let mut out = String::new();
@@ -207,6 +481,77 @@ mod tests {
     #[test]
     fn json_escapes_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn span_lines_round_trip() {
+        let evs = vec![
+            SpanEvent {
+                name: "core.write",
+                trace: u64::MAX,
+                start_ns: 100,
+                dur_ns: 5_000,
+                attr: 0,
+                thread: 3,
+                depth: 0,
+            },
+            SpanEvent {
+                name: "we\"ird\\name\n\u{1}",
+                trace: 7,
+                start_ns: 0,
+                dur_ns: u64::MAX,
+                attr: 42,
+                thread: 0,
+                depth: 9,
+            },
+        ];
+        let text = span_line_json(&evs);
+        let parsed = parse_span_lines(&text).unwrap();
+        let want: Vec<WireSpan> = evs.iter().map(WireSpan::from).collect();
+        assert_eq!(parsed, want);
+    }
+
+    #[test]
+    fn parse_skips_metric_lines_and_rejects_torn_spans() {
+        let _g = crate::test_flag_lock();
+        let m = Metrics::new();
+        m.counter("a").add(1);
+        m.histogram("h").record(7);
+        let mut text = line_json(&m.snapshot());
+        text.push_str("{\"type\":\"span\",\"name\":\"x\",\"trace\":1,\"thread\":0,\"depth\":0,\"start_ns\":5,\"dur_ns\":6,\"attr\":0}\n");
+        let parsed = parse_span_lines(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "x");
+        // A span line cut mid-object must error, not vanish.
+        assert!(parse_span_lines("{\"type\":\"span\",\"name\":\"x\",\"tr").is_err());
+        // A span line missing a field must error too.
+        assert!(parse_span_lines("{\"type\":\"span\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn merge_filters_sorts_and_dedups() {
+        let ev = |name: &str, trace, thread, start| WireSpan {
+            name: name.to_owned(),
+            trace,
+            thread,
+            start_ns: start,
+            dur_ns: 1,
+            attr: 0,
+            depth: 0,
+        };
+        let client = vec![ev("client.req", 9, 0, 50), ev("other", 4, 0, 60)];
+        // The server dump overlaps the client's view of the same event
+        // (in-process serving) and adds its own.
+        let server = vec![ev("client.req", 9, 0, 50), ev("server.req", 9, 1, 55)];
+        let merged = merge_span_dumps(&[client, server], TraceId(9));
+        assert_eq!(
+            merged.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["client.req", "server.req"],
+        );
+        let tree = wire_span_tree(&merged);
+        assert!(tree.contains("thread 0:"));
+        assert!(tree.contains("thread 1:"));
+        assert!(tree.contains("(t9)"));
     }
 
     #[test]

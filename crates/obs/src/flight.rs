@@ -1,0 +1,345 @@
+//! The flight recorder: an always-on black box for the moments the
+//! system would most like to forget.
+//!
+//! The ring buffers and metric registries already retain the recent
+//! past in memory — but the events worth explaining after the fact
+//! (a `Corrupt` recovery, a failed 2PC decision sync, a server panic)
+//! are exactly the ones where the process may not live long enough to
+//! be asked. [`snap`] freezes the recent ring events plus a metrics
+//! snapshot into one bounded dump and persists it with the same
+//! temp+fsync+rename discipline the checkpoint store uses, so a crash
+//! at any byte offset leaves either the previous complete dump or
+//! nothing — never a torn one. `cdbsh blackbox <dir>` reads it back.
+//!
+//! # Dump format and crash consistency
+//!
+//! ```text
+//! cdbflight1 len=<payload bytes> crc=<16 hex, FNV-1a 64 of payload>\n
+//! {"type":"flight","reason":"...","seq":N}\n
+//! <line_json of the metrics snapshot>
+//! <span_line_json of recent ring events>
+//! ```
+//!
+//! Two independent defenses: the *rename* is atomic, so `flight.dump`
+//! only ever names a file that was completely written and fsynced; and
+//! the header's length+checksum make [`decode`] reject every strict
+//! prefix (and any corruption) of a dump, so even a filesystem that
+//! breaks the rename contract degrades to "no dump", not a lie. The
+//! fault suite cuts the encoded bytes at every offset and asserts
+//! exactly this.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::export::{line_json, parse_span_lines, span_line_json, WireSpan};
+use crate::MetricsSnapshot;
+
+/// Magic token opening every dump; bumps with the format.
+pub const FLIGHT_MAGIC: &str = "cdbflight1";
+
+/// File name of the (single, latest) dump inside the installed dir.
+pub const DUMP_FILE: &str = "flight.dump";
+
+/// Scratch name the dump is written to before the atomic rename.
+pub const TMP_FILE: &str = "flight.tmp";
+
+/// One decoded black-box dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Why the snapshot was taken (`storage.recovery.corrupt`,
+    /// `core.twopc.decision_failed`, `server.panic`, ...).
+    pub reason: String,
+    /// Monotone per-process dump number (later dumps overwrite
+    /// earlier ones; the sequence says how many were taken).
+    pub seq: u64,
+    /// The payload body: the flight header line, then metrics
+    /// line-JSON, then span line-JSON.
+    pub body: String,
+}
+
+impl FlightDump {
+    /// Builds a dump from a metrics snapshot plus the current ring
+    /// contents.
+    pub fn capture(reason: &str, seq: u64, metrics: &MetricsSnapshot) -> FlightDump {
+        let mut body = format!(
+            "{{\"type\":\"flight\",\"reason\":\"{}\",\"seq\":{seq}}}\n",
+            crate::export::json_escape(reason),
+        );
+        body.push_str(&line_json(metrics));
+        body.push_str(&span_line_json(&crate::recent_events()));
+        FlightDump {
+            reason: reason.to_owned(),
+            seq,
+            body,
+        }
+    }
+
+    /// The span events recorded in the dump.
+    pub fn spans(&self) -> Result<Vec<WireSpan>, String> {
+        parse_span_lines(&self.body)
+    }
+}
+
+/// FNV-1a 64 over `bytes` — cheap, std-only, and plenty to tell a torn
+/// or bit-flipped dump from a whole one.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes a dump to its on-disk bytes (header line + payload).
+pub fn encode(dump: &FlightDump) -> Vec<u8> {
+    let payload = dump.body.as_bytes();
+    let mut out = format!(
+        "{FLIGHT_MAGIC} len={} crc={:016x}\n",
+        payload.len(),
+        fnv1a(payload)
+    )
+    .into_bytes();
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes on-disk bytes, rejecting anything torn: wrong magic, a
+/// payload shorter *or longer* than the header claims, a checksum
+/// mismatch, or a malformed flight header line.
+pub fn decode(bytes: &[u8]) -> Result<FlightDump, String> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("flight dump has no header line")?;
+    let header =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| "flight header is not utf-8".to_owned())?;
+    let mut parts = header.split(' ');
+    if parts.next() != Some(FLIGHT_MAGIC) {
+        return Err(format!("not a flight dump (wanted '{FLIGHT_MAGIC}')"));
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|p| p.strip_prefix("len="))
+        .and_then(|v| v.parse().ok())
+        .ok_or("flight header missing len=")?;
+    let crc: u64 = parts
+        .next()
+        .and_then(|p| p.strip_prefix("crc="))
+        .and_then(|v| u64::from_str_radix(v, 16).ok())
+        .ok_or("flight header missing crc=")?;
+    if parts.next().is_some() {
+        return Err("trailing fields in flight header".to_owned());
+    }
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(format!(
+            "flight payload is {} bytes, header says {len} (torn dump)",
+            payload.len()
+        ));
+    }
+    if fnv1a(payload) != crc {
+        return Err("flight payload checksum mismatch (torn dump)".to_owned());
+    }
+    let body = std::str::from_utf8(payload)
+        .map_err(|_| "flight payload is not utf-8".to_owned())?
+        .to_owned();
+    let first = body.lines().next().unwrap_or("");
+    let (reason, seq) = parse_flight_header(first)?;
+    Ok(FlightDump { reason, seq, body })
+}
+
+/// Pulls `reason` and `seq` out of the `{"type":"flight",...}` line.
+fn parse_flight_header(line: &str) -> Result<(String, u64), String> {
+    let spans_err = "flight body does not open with a flight header line";
+    let rest = line
+        .strip_prefix("{\"type\":\"flight\",\"reason\":\"")
+        .ok_or(spans_err)?;
+    // The reason is json-escaped, so an unescaped '"' ends it.
+    let mut reason = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next().ok_or(spans_err)? {
+            '"' => break,
+            '\\' => match chars.next().ok_or(spans_err)? {
+                '"' => reason.push('"'),
+                '\\' => reason.push('\\'),
+                'n' => reason.push('\n'),
+                't' => reason.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let v = u32::from_str_radix(&hex, 16).map_err(|_| spans_err.to_owned())?;
+                    reason.push(char::from_u32(v).ok_or(spans_err)?);
+                }
+                _ => return Err(spans_err.to_owned()),
+            },
+            c => reason.push(c),
+        }
+    }
+    let seq = chars
+        .as_str()
+        .strip_prefix(",\"seq\":")
+        .and_then(|s| s.strip_suffix('}'))
+        .and_then(|s| s.parse().ok())
+        .ok_or(spans_err)?;
+    Ok((reason, seq))
+}
+
+/// Persists `dump` into `dir` as `flight.dump` via temp+fsync+rename:
+/// the dump file either keeps its previous complete contents or names
+/// the new complete bytes — no observable intermediate state.
+pub fn persist(dir: &Path, dump: &FlightDump) -> std::io::Result<PathBuf> {
+    let tmp = dir.join(TMP_FILE);
+    let dst = dir.join(DUMP_FILE);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&encode(dump))?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, &dst)?;
+    // Make the rename itself durable (best-effort on non-Unix).
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(dst)
+}
+
+/// Loads the dump from `dir`, if one exists. `Ok(None)` when absent
+/// (including a leftover `flight.tmp` with no completed dump — a cut
+/// mid-persist); `Err` only when `flight.dump` exists but fails
+/// validation, which the persist discipline makes unreachable short of
+/// filesystem misbehavior.
+pub fn load(dir: &Path) -> Result<Option<FlightDump>, String> {
+    let path = dir.join(DUMP_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    decode(&bytes).map(Some)
+}
+
+// -------------------------------------------------- process-global hook
+
+fn recorder_dir() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+/// Arms the flight recorder: future [`snap`] calls persist into `dir`.
+/// Durable opens (`cdbsh open`/`shard open`, the server) install their
+/// data directory here; until something installs one, [`snap`] is a
+/// no-op — the recorder never invents a place to write.
+pub fn install(dir: impl AsRef<Path>) {
+    *recorder_dir().lock().unwrap_or_else(|e| e.into_inner()) = Some(dir.as_ref().to_path_buf());
+}
+
+/// Disarms the recorder (tests; a shell closing its database).
+pub fn uninstall() {
+    *recorder_dir().lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// The directory [`snap`] would write into, if armed.
+pub fn installed() -> Option<PathBuf> {
+    recorder_dir()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// The black-box trigger: captures recent ring events plus the global
+/// metrics registry and persists them. Returns the dump path, or
+/// `None` when the recorder is unarmed or persistence itself failed —
+/// a flight recorder must never turn a bad day into a panic.
+pub fn snap(reason: &str) -> Option<PathBuf> {
+    snap_with(reason, &crate::global().snapshot())
+}
+
+/// [`snap`] with a caller-supplied metrics snapshot (a server hands in
+/// its fully merged view so per-shard instruments land in the dump).
+pub fn snap_with(reason: &str, metrics: &MetricsSnapshot) -> Option<PathBuf> {
+    let dir = installed()?;
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dump = FlightDump::capture(reason, seq, metrics);
+    match persist(&dir, &dump) {
+        Ok(path) => {
+            crate::global().counter("obs.flight.dumps").inc();
+            Some(path)
+        }
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlightDump {
+        let m = crate::Metrics::new();
+        m.counter("test.flight.c").add(3);
+        FlightDump::capture("test \"re\\ason\"", 7, &m.snapshot())
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let _g = crate::test_flag_lock();
+        let d = sample();
+        let back = decode(&encode(&d)).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.reason, "test \"re\\ason\"");
+        assert_eq!(back.seq, 7);
+        assert!(back.body.contains("test.flight.c"));
+        back.spans().unwrap();
+    }
+
+    #[test]
+    fn every_strict_prefix_is_rejected() {
+        let _g = crate::test_flag_lock();
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+        // ... and so is any single bit flip in the payload.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert!(decode(&flipped).is_err());
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        let _g = crate::test_flag_lock();
+        let dir = std::env::temp_dir().join(format!("cdb_flight_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(load(&dir).unwrap(), None);
+        let d = sample();
+        persist(&dir, &d).unwrap();
+        assert_eq!(load(&dir).unwrap(), Some(d.clone()));
+        // A torn tmp file never shadows the completed dump.
+        std::fs::write(dir.join(TMP_FILE), &encode(&d)[..10]).unwrap();
+        assert_eq!(load(&dir).unwrap(), Some(d));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snap_is_a_noop_until_installed() {
+        let _g = crate::test_flag_lock();
+        uninstall();
+        assert_eq!(snap("test.unarmed"), None);
+        let dir = std::env::temp_dir().join(format!("cdb_flight_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        install(&dir);
+        let path = snap("test.armed").unwrap();
+        let loaded = load(&dir).unwrap().unwrap();
+        assert_eq!(loaded.reason, "test.armed");
+        assert!(path.ends_with(DUMP_FILE));
+        uninstall();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,7 +25,14 @@
 //!   span events ([`ring`]) written with a seqlock so emission never
 //!   blocks on a reader.
 //! * **[`export`]** — a human text table and a line-JSON dump for
-//!   metric snapshots, and a span-tree renderer for `cdbsh profile`.
+//!   metric snapshots, a span-tree renderer for `cdbsh profile`, and
+//!   the wire-portable span form ([`WireSpan`]): ring dumps serialize
+//!   to line-JSON, parse back anywhere, and merge across processes by
+//!   trace id (`export::merge_span_dumps`).
+//! * **[`flight`]** — an always-on black box: on a `Corrupt` recovery,
+//!   a failed 2PC decision sync, or a server panic, the recent ring
+//!   events plus a metrics snapshot are persisted crash-atomically
+//!   (temp+fsync+rename, length+checksum header) for `cdbsh blackbox`.
 //!
 //! Metric names follow `layer.component.metric` (see DESIGN.md S24):
 //! `core.commits`, `storage.group.batches`, `relalg.eval.ns`,
@@ -47,16 +54,22 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod ring;
 pub mod span;
 
+pub use export::WireSpan;
+pub use flight::FlightDump;
 pub use metrics::{
     Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricSink, Metrics, MetricsSnapshot,
     NullSink,
 };
 pub use ring::{events_for_trace, recent_events, SpanEvent, RING_CAPACITY};
-pub use span::{current_trace, trace_root, SpanGuard, TraceGuard, TraceId};
+pub use span::{
+    adopt_trace, current_trace, set_slow_threshold, slow_threshold_ns, trace_root, SpanGuard,
+    TraceGuard, TraceId,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

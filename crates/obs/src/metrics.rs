@@ -368,6 +368,29 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Like [`merge`](Self::merge), but every incoming name gains
+    /// `prefix` first — how a sharded database labels each shard's
+    /// registry (`shard.<i>.core.commits`) so per-shard values stay
+    /// distinguishable in one merged snapshot instead of summing into
+    /// an unattributable total.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(format!("{prefix}{k}")).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(format!("{prefix}{k}")).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            match self.histograms.get_mut(&format!("{prefix}{k}")) {
+                Some(h) => h.merge(v),
+                None => {
+                    self.histograms.insert(format!("{prefix}{k}"), v.clone());
+                }
+            }
+        }
+    }
+
     /// Whether nothing was ever recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()

@@ -108,6 +108,13 @@ impl ThreadRing {
     /// Writer side — called only by the owning thread.
     fn push(&self, ev: &SpanEvent) {
         let h = self.head.load(Ordering::Relaxed);
+        if h >= RING_CAPACITY as u64 {
+            // The slot being claimed still holds the oldest retained
+            // event — overwriting it is data loss, and trace dumps
+            // need to report their own completeness, so count it
+            // instead of losing it silently.
+            dropped_counter().inc();
+        }
         let slot = &self.slots[(h as usize) % RING_CAPACITY];
         let seq = slot.seq.load(Ordering::Relaxed);
         slot.seq.store(seq + 1, Ordering::Release); // odd: in progress
@@ -154,6 +161,15 @@ impl ThreadRing {
         }
         out
     }
+}
+
+/// Ring events lost to overwrite, surfaced as `obs.ring.dropped` on the
+/// [global](crate::global) registry (which every `metrics_snapshot()`
+/// merges), so a span-tree reassembled from ring dumps can say whether
+/// it is complete.
+fn dropped_counter() -> &'static crate::Counter {
+    static DROPPED: OnceLock<crate::Counter> = OnceLock::new();
+    DROPPED.get_or_init(|| crate::global().counter("obs.ring.dropped"))
 }
 
 // ----------------------------------------------------------- registry
@@ -229,6 +245,27 @@ mod tests {
         let want: Vec<u64> = (10..total).collect();
         assert_eq!(attrs, want);
         assert!(evs.iter().all(|e| e.thread == 42));
+    }
+
+    #[test]
+    fn overwrites_are_counted_as_drops() {
+        let _g = crate::test_flag_lock();
+        let before = dropped_counter().get();
+        let ring = ThreadRing::new(77);
+        let extra = 5u64;
+        for i in 0..RING_CAPACITY as u64 + extra {
+            ring.push(&SpanEvent {
+                name: "test.ring.drop",
+                trace: 0,
+                start_ns: i,
+                dur_ns: 1,
+                attr: 0,
+                thread: 0,
+                depth: 0,
+            });
+        }
+        assert_eq!(ring.read_all().len(), RING_CAPACITY);
+        assert!(dropped_counter().get() >= before + extra);
     }
 
     #[test]

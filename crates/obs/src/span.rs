@@ -17,10 +17,72 @@ use std::time::{Duration, Instant};
 
 /// Identifies one request's path through the stack. `0` is reserved
 /// for "no trace" and never allocated.
+///
+/// Ids are drawn from a per-process pseudo-random sequence seeded from
+/// the process id and wall clock, so traces minted by *different*
+/// processes (a cdbsh client and the server it dialed) collide only
+/// with birthday-bound probability — a requirement for joining span
+/// trees from multiple ring dumps by trace id alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TraceId(pub u64);
 
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// Slow-op log threshold in nanoseconds; `0` disables the log.
+static SLOW_THRESHOLD_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Finalizer step of SplitMix64 — a cheap bijective scrambler, enough
+/// to spread sequential counter values across the id space.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn trace_id_base() -> u64 {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    *BASE.get_or_init(|| {
+        let pid = u64::from(std::process::id());
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        splitmix64(pid) ^ now
+    })
+}
+
+/// A fresh nonzero trace id, unique within this process and
+/// collision-resistant across processes.
+fn fresh_trace_id() -> u64 {
+    loop {
+        let n = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(trace_id_base().wrapping_add(n));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Sets the slow-op log threshold: a span whose duration reaches the
+/// threshold is pushed to the ring **even with tracing off** (and
+/// counted on `obs.slowlog.events`), so a production server with
+/// tracing disabled still retains its slowest recent operations for
+/// the flight recorder and `trace show`. `None` disables the log.
+pub fn set_slow_threshold(threshold: Option<Duration>) {
+    let ns = threshold.map_or(0, |d| (d.as_nanos() as u64).max(1));
+    SLOW_THRESHOLD_NS.store(ns, Ordering::Relaxed);
+}
+
+/// The current slow-op threshold in nanoseconds (`0` = disabled).
+pub fn slow_threshold_ns() -> u64 {
+    SLOW_THRESHOLD_NS.load(Ordering::Relaxed)
+}
+
+fn slow_counter() -> &'static crate::Counter {
+    static SLOW: OnceLock<crate::Counter> = OnceLock::new();
+    SLOW.get_or_init(|| crate::global().counter("obs.slowlog.events"))
+}
 
 thread_local! {
     static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
@@ -55,12 +117,28 @@ pub fn trace_root() -> TraceGuard {
             prev,
         };
     }
-    let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+    let id = fresh_trace_id();
     CURRENT_TRACE.with(|c| c.set(id));
     TraceGuard {
         id: TraceId(id),
         prev,
     }
+}
+
+/// Installs a *specific* trace id on this thread — the server half of
+/// wire-propagated trace context: a session adopts the id the client
+/// stamped on the frame, so spans recorded on both sides of the wire
+/// join one tree. Unlike [`trace_root`], a nonzero ambient trace is
+/// **replaced** (and restored on drop): the wire id is authoritative
+/// for the request's duration. A zero id falls back to [`trace_root`]
+/// semantics (join the ambient trace or mint a fresh id).
+pub fn adopt_trace(id: TraceId) -> TraceGuard {
+    if id.0 == 0 {
+        return trace_root();
+    }
+    let prev = CURRENT_TRACE.with(|c| c.get());
+    CURRENT_TRACE.with(|c| c.set(id.0));
+    TraceGuard { id, prev }
 }
 
 /// RAII holder for a thread's current trace id (see [`trace_root`]).
@@ -144,12 +222,22 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         CURRENT_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        if crate::tracing_enabled() {
+        let traced = crate::tracing_enabled();
+        let threshold = SLOW_THRESHOLD_NS.load(Ordering::Relaxed);
+        if !traced && threshold == 0 {
+            return;
+        }
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        let slow = threshold != 0 && dur_ns >= threshold;
+        if slow {
+            slow_counter().inc();
+        }
+        if traced || slow {
             crate::ring::push(crate::SpanEvent {
                 name: self.name,
                 trace: self.trace,
                 start_ns: self.start_ns,
-                dur_ns: self.start.elapsed().as_nanos() as u64,
+                dur_ns,
                 attr: self.attr,
                 thread: 0, // filled in by the ring
                 depth: self.depth,
@@ -198,6 +286,51 @@ mod tests {
         assert!(s.elapsed() >= Duration::from_millis(1));
         s.set_attr(9);
         assert_eq!(s.name(), "test.span.timed");
+    }
+
+    #[test]
+    fn adopt_installs_and_restores() {
+        assert_eq!(current_trace(), None);
+        let wire = TraceId(0xDEAD_BEEF);
+        {
+            let g = adopt_trace(wire);
+            assert_eq!(g.id(), wire);
+            assert_eq!(current_trace(), Some(wire));
+            {
+                // A nested root joins the adopted trace.
+                let inner = trace_root();
+                assert_eq!(inner.id(), wire);
+            }
+            // A nested adopt of a different id replaces, then restores.
+            {
+                let other = adopt_trace(TraceId(42));
+                assert_eq!(current_trace(), Some(other.id()));
+            }
+            assert_eq!(current_trace(), Some(wire));
+        }
+        assert_eq!(current_trace(), None);
+        // Zero falls back to fresh allocation.
+        let g = adopt_trace(TraceId(0));
+        assert_ne!(g.id().0, 0);
+    }
+
+    #[test]
+    fn fresh_ids_are_nonzero_and_distinct() {
+        let a = trace_root().id();
+        let b = trace_root().id();
+        assert_ne!(a.0, 0);
+        assert_ne!(b.0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slow_threshold_round_trips() {
+        let _g = crate::test_flag_lock();
+        assert_eq!(slow_threshold_ns(), 0);
+        set_slow_threshold(Some(Duration::from_millis(5)));
+        assert_eq!(slow_threshold_ns(), 5_000_000);
+        set_slow_threshold(None);
+        assert_eq!(slow_threshold_ns(), 0);
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! 2. Concurrent span emission into the per-thread seqlock rings never
 //!    panics and never loses the most recent `RING_CAPACITY` events of
 //!    any thread.
+//! 3. The wire form of a ring dump is lossless: line-JSON export →
+//!    parse → merge reproduces arbitrary multi-thread ring contents
+//!    exactly (events the ring itself overwrote are the only losses,
+//!    and those are counted on `obs.ring.dropped`).
 
 use proptest::prelude::*;
 
-use cdb_obs::{Metrics, RING_CAPACITY};
+use cdb_obs::export::{merge_span_dumps, parse_span_lines, wire_span_line_json};
+use cdb_obs::{Metrics, TraceId, WireSpan, RING_CAPACITY};
 
 /// True quantile per the histogram's rank rule: the smallest sample
 /// such that `ceil(q * n)` samples are ≤ it.
@@ -40,6 +45,76 @@ proptest! {
         let r = snap.quantile(q);
         prop_assert!(r >= t, "reported {r} < true {t} at q={q}");
         prop_assert!(r <= 2u64.saturating_mul(t).max(1), "reported {r} > 2×true {t} at q={q}");
+    }
+}
+
+/// Strategy for one wire span: names mix ASCII, JSON-hostile escapes,
+/// and multi-byte UTF-8; trace/thread ids are drawn from small sets so
+/// merges actually filter and dumps actually overlap.
+fn arb_span() -> impl Strategy<Value = WireSpan> {
+    (
+        prop_oneof![
+            Just("core.commit"),
+            Just("storage.wal.sync"),
+            Just("we\"ird\\name\n\t\u{1}"),
+            Just("δ.批.span"),
+        ],
+        0u64..4,
+        any::<u64>(),
+        any::<u64>(),
+        (any::<u64>(), 0u64..3, 0u32..4),
+    )
+        .prop_map(
+            |(name, trace, start_ns, dur_ns, (attr, thread, depth))| WireSpan {
+                name: name.to_string(),
+                trace,
+                start_ns,
+                dur_ns,
+                attr,
+                thread,
+                depth,
+            },
+        )
+}
+
+proptest! {
+    /// Export → parse is the identity on arbitrary span dumps, and
+    /// merging parsed dumps equals filter+sort+dedup computed
+    /// independently — the wire pipeline loses nothing and invents
+    /// nothing, for any trace id including "untraced" (0).
+    #[test]
+    fn span_dumps_round_trip_and_merge_losslessly(
+        dumps in proptest::collection::vec(
+            proptest::collection::vec(arb_span(), 0..40),
+            1..4,
+        ),
+        trace in 0u64..4,
+    ) {
+        let parsed: Vec<Vec<WireSpan>> = dumps
+            .iter()
+            .map(|d| parse_span_lines(&wire_span_line_json(d)).expect("round trip"))
+            .collect();
+        prop_assert_eq!(&parsed, &dumps, "line-JSON round trip must be identity");
+
+        let merged = merge_span_dumps(&parsed, TraceId(trace));
+        let mut expect: Vec<WireSpan> = dumps
+            .iter()
+            .flatten()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect();
+        expect.sort_by(|a, b| {
+            (a.thread, a.start_ns, a.depth, &a.name, a.dur_ns, a.attr).cmp(&(
+                b.thread,
+                b.start_ns,
+                b.depth,
+                &b.name,
+                b.dur_ns,
+                b.attr,
+            ))
+        });
+        expect.dedup();
+        prop_assert_eq!(merged, expect, "merge must equal filter+sort+dedup");
     }
 }
 

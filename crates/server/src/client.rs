@@ -71,6 +71,7 @@ impl From<FrameError> for ClientError {
 /// before anything else.
 pub struct Client<T: Transport> {
     transport: T,
+    last_trace: cdb_obs::TraceId,
 }
 
 impl Client<TcpTransport> {
@@ -83,7 +84,10 @@ impl Client<TcpTransport> {
 impl<T: Transport> Client<T> {
     /// Wraps an already-connected transport.
     pub fn over(transport: T) -> Client<T> {
-        Client { transport }
+        Client {
+            transport,
+            last_trace: cdb_obs::TraceId(0),
+        }
     }
 
     /// Unwraps the transport — the fault harness uses this to write
@@ -93,11 +97,42 @@ impl<T: Transport> Client<T> {
     }
 
     /// One request/response exchange, untyped.
+    ///
+    /// When tracing is on, the exchange runs under a trace: the
+    /// ambient trace id if the caller rooted one, else a fresh root —
+    /// and that id is stamped onto the wire frame
+    /// ([`Request::encode_traced`]) so the server's spans join it.
+    /// The id is remembered ([`Client::last_trace`]) for post-hoc
+    /// span-tree merging. Introspection requests (`Stats`,
+    /// `TraceDump`) are never traced: they must not perturb the trace
+    /// they are reading back.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.transport, &req.encode())?;
+        let introspection = matches!(req, Request::Stats | Request::TraceDump);
+        let traced = cdb_obs::tracing_enabled() && !introspection;
+        let mut _root = None;
+        let payload = if traced {
+            let mut trace = cdb_obs::current_trace().unwrap_or(cdb_obs::TraceId(0));
+            if trace.0 == 0 {
+                _root = Some(cdb_obs::trace_root());
+                trace = cdb_obs::current_trace().unwrap_or(cdb_obs::TraceId(0));
+            }
+            self.last_trace = trace;
+            req.encode_traced(trace)
+        } else {
+            req.encode()
+        };
+        let _span = cdb_obs::SpanGuard::enter("client.req");
+        write_frame(&mut self.transport, &payload)?;
         let payload = read_frame(&mut self.transport)?
             .ok_or(ClientError::Transport(TransportError::Closed))?;
         Response::decode(&payload).map_err(|e| ClientError::Wire(e.to_string()))
+    }
+
+    /// The trace id of the most recent traced exchange (zero when
+    /// tracing was never on). `cdbsh trace merged` filters the merged
+    /// client+server span dump down to this id.
+    pub fn last_trace(&self) -> cdb_obs::TraceId {
+        self.last_trace
     }
 
     /// Like [`Client::request`], but honours `Retry` responses by
@@ -283,6 +318,16 @@ impl<T: Transport> Client<T> {
         match self.checked(&Request::Stats)? {
             Response::Stats { json } => Ok(json),
             _ => Err(ClientError::Unexpected("stats")),
+        }
+    }
+
+    /// A line-JSON dump of the server's recent span events (for
+    /// merging with the local rings via
+    /// `cdb_obs::export::parse_span_lines` + `merge_span_dumps`).
+    pub fn trace_dump(&mut self) -> Result<String, ClientError> {
+        match self.checked(&Request::TraceDump)? {
+            Response::Stats { json } => Ok(json),
+            _ => Err(ClientError::Unexpected("trace dump")),
         }
     }
 

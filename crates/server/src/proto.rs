@@ -17,6 +17,17 @@
 //! must decode to exactly one value: trailing bytes are a protocol
 //! error, same as the WAL codec.
 //!
+//! # Trace context
+//!
+//! A request frame may carry one trailing u64 — a [`cdb_obs::TraceId`]
+//! — after the request body ([`Request::encode_traced`] /
+//! [`Request::decode_traced`]): the client's ambient trace id rides
+//! the wire and the server adopts it for every span the request
+//! produces, so one trace spans both processes and their ring dumps
+//! merge by id (`cdb_obs::export::merge_span_dumps`). Absent trailing
+//! bytes mean an untraced request; the encoding is therefore fully
+//! backward compatible in both directions.
+//!
 //! # Versioning
 //!
 //! The first request on a connection must be [`Request::Hello`]
@@ -233,6 +244,9 @@ pub enum Request {
     Stats,
     /// Orderly goodbye; the server acknowledges and closes.
     Close,
+    /// A line-JSON dump of the server's recent span events (the
+    /// per-thread trace rings), for client-side span-tree merging.
+    TraceDump,
 }
 
 impl Request {
@@ -253,6 +267,7 @@ impl Request {
             Request::Epoch => "epoch",
             Request::Stats => "stats",
             Request::Close => "close",
+            Request::TraceDump => "trace_dump",
         }
     }
 
@@ -362,6 +377,21 @@ impl Request {
             Request::Epoch => b.push(11),
             Request::Stats => b.push(12),
             Request::Close => b.push(13),
+            Request::TraceDump => b.push(14),
+        }
+        b
+    }
+
+    /// [`Request::encode`] plus a trailing trace-context word: when
+    /// `trace` is nonzero its 8 bytes (u64 LE) follow the request
+    /// body, and the server adopts that id for every span the request
+    /// produces — one trace across both processes. A zero trace
+    /// encodes identically to the untraced form, so untraced clients
+    /// and traced servers (and vice versa) interoperate unchanged.
+    pub fn encode_traced(&self, trace: cdb_obs::TraceId) -> Vec<u8> {
+        let mut b = self.encode();
+        if trace.0 != 0 {
+            put_u64(&mut b, trace.0);
         }
         b
     }
@@ -369,6 +399,29 @@ impl Request {
     /// Decodes a frame payload. The whole payload must be consumed.
     pub fn decode(bytes: &[u8]) -> Result<Request, WireError> {
         let mut r = Reader::new(bytes);
+        let req = Self::decode_body(&mut r)?;
+        r.finish()?;
+        Ok(req)
+    }
+
+    /// Decodes a frame payload that may carry a trailing trace-context
+    /// word (see [`Request::encode_traced`]): exactly 8 bytes left
+    /// after the request body are the trace id; zero bytes left means
+    /// an untraced request (`TraceId(0)`); anything else is a protocol
+    /// error, as in [`Request::decode`].
+    pub fn decode_traced(bytes: &[u8]) -> Result<(Request, cdb_obs::TraceId), WireError> {
+        let mut r = Reader::new(bytes);
+        let req = Self::decode_body(&mut r)?;
+        let trace = if r.remaining() == 8 {
+            cdb_obs::TraceId(r.u64()?)
+        } else {
+            cdb_obs::TraceId(0)
+        };
+        r.finish()?;
+        Ok((req, trace))
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<Request, WireError> {
         let req = match r.u8()? {
             0 => Request::Hello {
                 version: r.u32()?,
@@ -434,9 +487,9 @@ impl Request {
             11 => Request::Epoch,
             12 => Request::Stats,
             13 => Request::Close,
+            14 => Request::TraceDump,
             t => return Err(WireError::BadTag("request", t)),
         };
-        r.finish()?;
         Ok(req)
     }
 }

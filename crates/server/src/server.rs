@@ -236,8 +236,17 @@ fn spawn_session(
     let db = db.clone();
     let admission = admission.clone();
     let handle = std::thread::spawn(move || {
-        let mut session = Session::new(transport, db, admission);
-        session.run();
+        // A panicking session is a black-box trigger: snapshot the
+        // flight recorder (no-op unless installed) before the thread
+        // dies, then keep the panic's effect — the session ends, the
+        // server keeps serving everyone else.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut session = Session::new(transport, db, admission);
+            session.run();
+        }));
+        if outcome.is_err() {
+            let _ = cdb_obs::flight::snap("server.session_panic");
+        }
         flag.store(true, Ordering::Release);
     });
     Ok(Live {

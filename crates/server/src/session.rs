@@ -37,6 +37,9 @@ struct Instruments {
     errors: cdb_obs::Counter,
     latency: cdb_obs::HistogramHandle,
     torn: cdb_obs::Counter,
+    /// Time from arrival at the admission gate to a permit (or a shed
+    /// answer) — `server.admission.wait_ns`.
+    admission_wait: cdb_obs::HistogramHandle,
 }
 
 impl Instruments {
@@ -46,6 +49,7 @@ impl Instruments {
             errors: m.counter("server.req.errors"),
             latency: m.histogram("server.req.latency_ns"),
             torn: m.counter("server.conn.torn"),
+            admission_wait: m.histogram("server.admission.wait_ns"),
         }
     }
 }
@@ -120,13 +124,19 @@ impl<T: Transport> Session<T> {
             }
             Err(FrameError::Transport(_)) => return Turn::Closed,
         };
-        let req = match Request::decode(&payload) {
-            Ok(req) => req,
+        let (req, trace) = match Request::decode_traced(&payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 self.refuse(ErrCode::Protocol, &e.to_string());
                 return Turn::Closed;
             }
         };
+        // Adopt the client's trace context (or root a fresh local
+        // trace) for everything this request does: the "server.req"
+        // span and every span below it down to the device sync carry
+        // the wire id, so client- and server-side ring dumps merge
+        // into one tree.
+        let _trace = cdb_obs::adopt_trace(trace);
         let span = cdb_obs::SpanGuard::enter("server.req");
         self.instr.total.inc();
         let (resp, turn) = self.dispatch(req);
@@ -189,6 +199,12 @@ impl<T: Transport> Session<T> {
                 },
                 Turn::Continue,
             ),
+            Request::TraceDump => (
+                Response::Stats {
+                    json: trace_dump_json(),
+                },
+                Turn::Continue,
+            ),
             req => self.admitted(req),
         }
     }
@@ -207,7 +223,11 @@ impl<T: Transport> Session<T> {
                 Turn::Continue,
             );
         }
-        let _permit = match self.admission.try_begin() {
+        let wait = cdb_obs::SpanGuard::enter("server.admission");
+        let decision = self.admission.try_begin();
+        self.instr.admission_wait.observe(wait.elapsed());
+        drop(wait);
+        let _permit = match decision {
             Decision::Go(p) => p,
             Decision::Shed { after_hint_ms } => {
                 return (Response::Retry { after_hint_ms }, Turn::Continue);
@@ -326,7 +346,8 @@ impl<T: Transport> Session<T> {
             | Request::Ping
             | Request::Close
             | Request::Epoch
-            | Request::Stats => unreachable!("routed before admission"),
+            | Request::Stats
+            | Request::TraceDump => unreachable!("routed before admission"),
         }
     }
 
@@ -346,6 +367,26 @@ impl<T: Transport> Session<T> {
             msg: msg.to_string(),
         };
         let _ = write_frame(&mut self.transport, &resp.encode());
+    }
+}
+
+/// The server's recent span events as line-JSON, sized to fit one
+/// response frame: when the full ring dump would overflow [`MAX_FRAME`]
+/// (many threads × deep rings), the *oldest* events are dropped first
+/// — the client is reconstructing a trace it just ran, so recency
+/// wins. Drops are visible in the `obs.ring.dropped` counter and in
+/// the dump simply missing spans the merge reports as absent.
+fn trace_dump_json() -> String {
+    // Head-room for the response tag and the string length prefix.
+    const BUDGET: usize = crate::proto::MAX_FRAME - 64;
+    let mut events = cdb_obs::recent_events();
+    loop {
+        let json = cdb_obs::export::span_line_json(&events);
+        if json.len() <= BUDGET || events.is_empty() {
+            return json;
+        }
+        let drop = (events.len() / 4).max(1);
+        events.drain(..drop);
     }
 }
 

@@ -54,7 +54,7 @@ fn arb_fields(rng: &mut StdRng) -> Vec<(String, Atom)> {
 }
 
 fn arb_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0u32..14) {
+    match rng.gen_range(0u32..15) {
         0 => Request::Hello {
             version: rng.gen_range(0i64..4) as u32,
             client: arb_string(rng),
@@ -102,6 +102,7 @@ fn arb_request(rng: &mut StdRng) -> Request {
         10 => Request::Refresh,
         11 => Request::Epoch,
         12 => Request::Stats,
+        13 => Request::TraceDump,
         _ => Request::Close,
     }
 }
@@ -163,6 +164,23 @@ proptest! {
         let bytes = req.encode();
         let back = Request::decode(&bytes);
         prop_assert_eq!(back.as_ref(), Ok(&req));
+    }
+
+    /// The trace-context word survives the wire exactly, and its
+    /// absence decodes as "no trace" — the backward-compatibility
+    /// contract of `encode_traced`/`decode_traced`.
+    #[test]
+    fn traced_requests_round_trip(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = arb_request(&mut rng);
+        let trace = cdb_obs::TraceId(rng.gen());
+        let bytes = req.encode_traced(trace);
+        let (back, tback) = Request::decode_traced(&bytes).unwrap();
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(tback, trace);
+        let (untraced, t0) = Request::decode_traced(&req.encode()).unwrap();
+        prop_assert_eq!(untraced, req);
+        prop_assert_eq!(t0.0, 0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Wire-propagated trace context, end to end: a traced client request
+//! against a served **sharded** database must yield — after merging
+//! the client-side rings with the server's `TraceDump` answer — one
+//! span tree under a single trace id containing the client request,
+//! the admission gate, both participants' 2PC PREPAREs, and the
+//! coordinator's DECIDE. This is the PR's acceptance criterion for
+//! distributed tracing.
+
+use std::time::Duration;
+
+use cdb_core::sharded::{ShardMap, ShardedDb};
+use cdb_model::Atom;
+use cdb_obs::export::{merge_span_dumps, parse_span_lines, span_line_json, wire_span_tree};
+use cdb_server::admission::Admission;
+use cdb_server::client::Client;
+use cdb_server::session::Session;
+use cdb_server::transport::mem_pair;
+use cdb_storage::{CheckpointStore, Io, MemIo};
+
+/// The tracing flag is process-global; these tests toggle and assert
+/// it, so they must not interleave.
+static TRACING_FLAG: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// A durable two-shard database over in-memory devices: keys < "M" on
+/// shard 0, the rest on shard 1. Window zero = inline group commit,
+/// so 2PC spans land on the session thread deterministically.
+fn two_shards() -> ShardedDb {
+    let devices: Vec<(Box<dyn Io>, CheckpointStore)> = (0..2)
+        .map(|_| {
+            (
+                Box::new(MemIo::new()) as Box<dyn Io>,
+                CheckpointStore::mem(),
+            )
+        })
+        .collect();
+    ShardedDb::open(
+        "traced",
+        "name",
+        ShardMap::with_bounds(vec!["M".into()]),
+        devices,
+        Duration::ZERO,
+    )
+    .unwrap()
+}
+
+#[test]
+fn cross_shard_write_merges_into_one_span_tree_under_one_trace() {
+    let _flag = TRACING_FLAG.lock().unwrap();
+    let db = two_shards();
+    let admission = Admission::new(4, 5, db.metrics());
+    let (client_end, server_end) = mem_pair();
+    let server_thread = std::thread::spawn({
+        let db = db.clone();
+        let admission = admission.clone();
+        move || {
+            let mut session = Session::new(server_end, db, admission);
+            session.run();
+        }
+    });
+
+    let mut client = Client::over(client_end);
+    client.hello("trace-test").unwrap();
+    client.add("alice", 1, "GABA-A", vec![]).unwrap();
+    client
+        .add(
+            "bob",
+            2,
+            "P2X",
+            vec![("ligand".to_string(), Atom::Str("ATP".into()))],
+        )
+        .unwrap();
+
+    // The traced exchange: one cross-shard fusion. Everything before
+    // this ran untraced, so the merge below filters it out by id.
+    cdb_obs::set_tracing(true);
+    client.merge("carol", 3, "GABA-A", "P2X").unwrap();
+    let trace = client.last_trace();
+    assert_ne!(trace.0, 0, "a traced request must record its trace id");
+
+    // Reassemble the distributed trace: the server's rings over the
+    // wire, the client's rings locally, merged by trace id. (In this
+    // in-process harness the two dumps overlap; merge_span_dumps
+    // dedups exact duplicates, mirroring the two-process case where
+    // they are disjoint.) Tracing must stay on until both dumps are
+    // collected: spans record to the ring when they *close*, and the
+    // server's outermost request span closes after the client already
+    // has the response — flipping the flag here would race it. The
+    // TraceDump request itself serializes behind the merge on the
+    // session thread, so by the time it answers, every merge span has
+    // been recorded.
+    let server_spans = parse_span_lines(&client.trace_dump().unwrap()).unwrap();
+    let client_spans = parse_span_lines(&span_line_json(&cdb_obs::recent_events())).unwrap();
+    cdb_obs::set_tracing(false);
+    let merged = merge_span_dumps(&[client_spans, server_spans], trace);
+
+    assert!(
+        merged.iter().all(|s| s.trace == trace.0),
+        "merge must filter to the one trace"
+    );
+    let count = |name: &str| merged.iter().filter(|s| s.name == name).count();
+    assert_eq!(count("client.req"), 1, "client half missing");
+    assert_eq!(count("server.req"), 1, "server half missing");
+    assert_eq!(count("server.admission"), 1, "admission gate missing");
+    assert_eq!(count("core.sharded.cross_commit"), 1, "2PC engine missing");
+    assert_eq!(
+        count("core.twopc.prepare"),
+        2,
+        "one PREPARE per participant"
+    );
+    assert_eq!(count("core.twopc.decide"), 1, "one coordinator DECIDE");
+
+    // The rendered tree is one coherent artifact: every layer present,
+    // tagged with the shared trace id.
+    let tree = wire_span_tree(&merged);
+    for needle in ["client.req", "server.req", "core.twopc.decide"] {
+        assert!(tree.contains(needle), "span tree lost {needle}:\n{tree}");
+    }
+    assert!(
+        tree.contains(&format!("(t{})", trace.0)),
+        "tree must carry the trace id"
+    );
+
+    client.close().unwrap();
+    drop(client);
+    server_thread.join().unwrap();
+}
+
+/// An untraced client against a traced-capable server (and vice
+/// versa) interoperates: the frame without a trailing trace word is
+/// the exact pre-existing encoding.
+#[test]
+fn untraced_requests_carry_no_trace_and_still_serve() {
+    let _flag = TRACING_FLAG.lock().unwrap();
+    let db = two_shards();
+    let admission = Admission::new(4, 5, db.metrics());
+    let (client_end, server_end) = mem_pair();
+    let server_thread = std::thread::spawn({
+        let db = db.clone();
+        let admission = admission.clone();
+        move || {
+            let mut session = Session::new(server_end, db, admission);
+            session.run();
+        }
+    });
+    let mut client = Client::over(client_end);
+    client.hello("untraced").unwrap();
+    client.add("alice", 1, "GABA-A", vec![]).unwrap();
+    assert_eq!(client.last_trace().0, 0, "tracing off leaves no trace id");
+    client.close().unwrap();
+    drop(client);
+    server_thread.join().unwrap();
+}

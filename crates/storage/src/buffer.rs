@@ -20,11 +20,13 @@
 //!   recovery falls back to the previous durable version.
 //!
 //! Every fetch updates `storage.buffer.{hit,miss,evict,pin}` counters
-//! on the [`Metrics`] registry handed to [`BufferPool::new`].
+//! on the [`Metrics`] registry handed to [`BufferPool::new`], and the
+//! time spent blocked on the heap device (miss reads, eviction
+//! write-backs) lands in the `storage.buffer.stall_ns` histogram.
 
 use std::collections::BTreeMap;
 
-use cdb_obs::{Counter, Metrics};
+use cdb_obs::{Counter, HistogramHandle, Metrics, SpanGuard};
 
 use crate::io::Io;
 use crate::page::PageStore;
@@ -67,6 +69,12 @@ struct BufferCounters {
     miss: Counter,
     evict: Counter,
     pin: Counter,
+    /// Foreground stall time: nanoseconds a caller spent blocked on
+    /// the heap device inside a fetch/put (miss reads and eviction
+    /// write-backs — the latency the pool exists to hide). The
+    /// checkpoint barrier's `flush_all` is deliberately excluded: that
+    /// is scheduled background work, not a request stalling.
+    stall: HistogramHandle,
 }
 
 impl BufferCounters {
@@ -76,6 +84,7 @@ impl BufferCounters {
             miss: metrics.counter("storage.buffer.miss"),
             evict: metrics.counter("storage.buffer.evict"),
             pin: metrics.counter("storage.buffer.pin"),
+            stall: metrics.histogram("storage.buffer.stall_ns"),
         }
     }
 }
@@ -186,7 +195,12 @@ impl<I: Io> BufferPool<I> {
         }
         self.stats.misses += 1;
         self.counters.miss.inc();
-        let data = self.store.read_page(page)?;
+        let data = {
+            let stall = SpanGuard::enter("storage.buffer.stall");
+            let data = self.store.read_page(page)?;
+            self.counters.stall.observe(stall.elapsed());
+            data
+        };
         let i = if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 page,
@@ -200,7 +214,9 @@ impl<I: Io> BufferPool<I> {
             let i = self.victim()?;
             let evicted = &self.frames[i];
             if evicted.dirty {
+                let stall = SpanGuard::enter("storage.buffer.stall");
                 self.store.write_page(evicted.page, &evicted.data)?;
+                self.counters.stall.observe(stall.elapsed());
                 self.stats.writebacks += 1;
             }
             self.map.remove(&self.frames[i].page);
@@ -256,7 +272,9 @@ impl<I: Io> BufferPool<I> {
                 let i = self.victim()?;
                 let evicted = &self.frames[i];
                 if evicted.dirty {
+                    let stall = SpanGuard::enter("storage.buffer.stall");
                     self.store.write_page(evicted.page, &evicted.data)?;
+                    self.counters.stall.observe(stall.elapsed());
                     self.stats.writebacks += 1;
                 }
                 self.map.remove(&self.frames[i].page);

@@ -448,6 +448,23 @@ pub fn recover_with<I: Io>(
     checkpoint: Option<Checkpoint>,
     ctx: &BTreeMap<u64, bool>,
 ) -> Result<(DurableLog<I>, Recovered), StorageError> {
+    let res = recover_with_inner(name, mode, io, checkpoint, ctx);
+    if let Err(StorageError::Corrupt(_)) = &res {
+        // The black-box moment: a store we cannot recover. Freeze the
+        // recent spans and metrics before the caller gives up — the
+        // evidence of *how* the store got here lives in this process.
+        let _ = cdb_obs::flight::snap("storage.recovery.corrupt");
+    }
+    res
+}
+
+fn recover_with_inner<I: Io>(
+    name: &str,
+    mode: StoreMode,
+    io: I,
+    checkpoint: Option<Checkpoint>,
+    ctx: &BTreeMap<u64, bool>,
+) -> Result<(DurableLog<I>, Recovered), StorageError> {
     let span = cdb_obs::SpanGuard::enter("storage.recovery.replay");
     let mut twopc = TwoPcPass::new(ctx);
     let (log, outcome) = DurableLog::open(io)?;

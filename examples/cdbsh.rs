@@ -161,10 +161,12 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
     let text = |s: String| Ok(Output::Text(s));
 
     // While connected, curation and query commands travel over the
-    // wire; session-control commands stay local.
+    // wire; session-control and observability commands stay local
+    // (`trace` needs both halves — the local rings and the wire —
+    // and `blackbox` reads local disk).
     if !matches!(
         cmd,
-        "help" | "quit" | "exit" | "serve" | "connect" | "disconnect"
+        "help" | "quit" | "exit" | "serve" | "connect" | "disconnect" | "trace" | "blackbox"
     ) {
         if let Some(client) = shell.remote.as_mut() {
             return remote_command(client, time, cmd, &rest);
@@ -241,8 +243,13 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             shell.shared = Some(shared);
             shell.mem = None;
             shell.sharded = None;
+            // Arm the black box: from here on, a Corrupt recovery, a
+            // failed 2PC decision sync, or a session panic snapshots
+            // the rings + metrics into <dir>/flight.dump.
+            obs::flight::install(dir);
             text(format!(
-                "opened durable database {name:?} in {dir} ({recovered} transactions recovered)"
+                "opened durable database {name:?} in {dir} \
+                 ({recovered} transactions recovered; flight recorder armed)"
             ))
         }
         "shard" => shard_command(shell, &rest),
@@ -259,14 +266,83 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
             match *arg {
                 "on" => {
                     obs::set_tracing(true);
-                    text("tracing on: spans are recorded to the ring buffer".into())
+                    text(
+                        "tracing on: spans are recorded to the ring buffer \
+                         (and stamped onto wire requests while connected)"
+                            .into(),
+                    )
                 }
                 "off" => {
                     obs::set_tracing(false);
                     text("tracing off".into())
                 }
                 "show" => text(obs::export::span_tree(&obs::recent_events())),
-                other => Err(format!("trace takes on|off|show, got {other:?}")),
+                "last" => {
+                    let client = shell.remote.as_ref().ok_or("trace last needs `connect`")?;
+                    match client.last_trace().0 {
+                        0 => Err("no traced exchange yet (`trace on`, then run a command)".into()),
+                        id => text(format!("last wire trace id: {id}")),
+                    }
+                }
+                "server" => {
+                    let client = shell
+                        .remote
+                        .as_mut()
+                        .ok_or("trace server needs `connect`")?;
+                    let dump = client.trace_dump().map_err(|e| e.to_string())?;
+                    let spans = obs::export::parse_span_lines(&dump)?;
+                    text(format!(
+                        "server rings — {} spans:\n{}",
+                        spans.len(),
+                        obs::export::wire_span_tree(&spans)
+                    ))
+                }
+                "merged" => {
+                    // The distributed view: this shell's rings plus the
+                    // server's, filtered to the last traced exchange and
+                    // merged into one tree — both halves of the wire.
+                    let client = shell
+                        .remote
+                        .as_mut()
+                        .ok_or("trace merged needs `connect`")?;
+                    let trace = client.last_trace();
+                    if trace.0 == 0 {
+                        return Err(
+                            "no traced exchange yet (`trace on`, then run a command)".into()
+                        );
+                    }
+                    let server = obs::export::parse_span_lines(
+                        &client.trace_dump().map_err(|e| e.to_string())?,
+                    )?;
+                    let local = obs::export::parse_span_lines(&obs::export::span_line_json(
+                        &obs::recent_events(),
+                    ))?;
+                    let merged = obs::export::merge_span_dumps(&[local, server], trace);
+                    text(format!(
+                        "trace {} — {} spans across client and server:\n{}",
+                        trace.0,
+                        merged.len(),
+                        obs::export::wire_span_tree(&merged)
+                    ))
+                }
+                other => Err(format!(
+                    "trace takes on|off|show|last|server|merged, got {other:?}"
+                )),
+            }
+        }
+        "blackbox" => {
+            let [dir] = take::<1>(&rest)?;
+            match obs::flight::load(std::path::Path::new(dir))? {
+                None => text(format!("no flight dump in {dir}")),
+                Some(dump) => {
+                    let spans = dump.spans()?;
+                    text(format!(
+                        "flight dump #{} — reason {:?}:\n{}",
+                        dump.seq,
+                        dump.reason,
+                        obs::export::wire_span_tree(&spans)
+                    ))
+                }
             }
         }
         "profile" => {
@@ -896,7 +972,14 @@ commands:
   stats [json]                       metrics registry: text table, or
                                        one JSON object per line
   trace on|off|show                  toggle span recording / show the
-                                       recent-span ring buffer
+                                       recent-span ring buffer; while
+                                       connected, `on` also stamps the
+                                       trace id onto wire requests
+  trace last|server|merged           (connected) last wire trace id /
+                                       the server's span rings / both
+                                       halves merged into one tree
+  blackbox <dir>                     read the flight-recorder dump a
+                                       durable database left in <dir>
   profile <command …>                run any command with tracing forced
                                        on and print its span tree
   parallel <writers> <readers> <ops> serve the db concurrently: writers

@@ -58,12 +58,28 @@ if [[ "$run_bench" == 1 ]]; then
     echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench commit_throughput
-    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench obs_overhead
 
-    # The recovery bench also validates the JSON report shape: force the
-    # report in smoke mode into a scratch dir and check the E19 rows
-    # carry the live-segment count.
+    # The remaining benches also validate the JSON report shape: force
+    # each report in smoke mode into a scratch dir and grep the rows.
     bench_json_dir="$(mktemp -d)"
+
+    # The observability bench: E18 rows plus the E24 served-write rows
+    # (full metrics+tracing regime over the wire) must land in the
+    # report, including the e24 overhead verdict row.
+    CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
+        cargo bench -p cdb-bench --bench obs_overhead
+    if ! grep -q '"op": "e18_' "$bench_json_dir/BENCH_obs_overhead.json"; then
+        echo "BENCH_obs_overhead.json is missing the E18 rows:"
+        cat "$bench_json_dir/BENCH_obs_overhead.json"
+        exit 1
+    fi
+    if ! grep -q '"op": "e24_served/edit/obs_on"' "$bench_json_dir/BENCH_obs_overhead.json" \
+        || ! grep -q '"op": "e24_overhead/served_edit_centipct"' \
+            "$bench_json_dir/BENCH_obs_overhead.json"; then
+        echo "BENCH_obs_overhead.json is missing the E24 served-write rows:"
+        cat "$bench_json_dir/BENCH_obs_overhead.json"
+        exit 1
+    fi
     CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
         cargo bench -p cdb-bench --bench recovery
     if ! grep -q '"op": "e19_recovery_growth/ckpt_reclaim/' "$bench_json_dir/BENCH_recovery.json"; then
@@ -184,10 +200,18 @@ trace show
 trace off
 checkpoint
 stats
+blackbox $obs_dir
 quit
 CDBSH2
 )"
         rm -rf "$obs_dir"
+        # A healthy session leaves no black-box dump — but the command
+        # must find the armed directory and say so.
+        if ! grep -q "no flight dump" <<<"$obs_out"; then
+            echo "cdbsh blackbox did not read the armed flight-recorder dir:"
+            echo "$obs_out"
+            exit 1
+        fi
         if ! grep -q "storage.wal.sync" <<<"$obs_out"; then
             echo "cdbsh profile output is missing the storage.wal.sync span:"
             echo "$obs_out"
@@ -235,6 +259,39 @@ CDBSH3
             echo "$srv_out"
             exit 1
         fi
+        # Distributed-trace smoke: serve a sharded db, run a traced
+        # cross-shard merge over the wire, and reassemble the span tree
+        # from both halves. The merged tree must show the client and
+        # server sides of the same trace plus the 2PC engine, and every
+        # line must carry the shared trace id.
+        trc_out="$(cargo run -q --example cdbsh <<'CDBSH4'
+shard new iuphar name 2
+add alice GABA-A tm=4
+add bob zeta tm=3
+serve 127.0.0.1:0
+connect
+trace on
+merge carol GABA-A zeta
+trace last
+trace merged
+trace off
+disconnect
+quit
+CDBSH4
+)"
+        trace_id="$(sed -n 's/^last wire trace id: //p' <<<"$trc_out")"
+        if [[ -z "$trace_id" ]]; then
+            echo "cdbsh traced merge recorded no wire trace id:"
+            echo "$trc_out"
+            exit 1
+        fi
+        for needle in "client.req" "server.req" "core.sharded.cross_commit" "(t$trace_id)"; do
+            if ! grep -q -- "$needle" <<<"$trc_out"; then
+                echo "cdbsh merged span tree is missing $needle:"
+                echo "$trc_out"
+                exit 1
+            fi
+        done
     else
         cargo run -q --example "$name" > /dev/null
     fi
