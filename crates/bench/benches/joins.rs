@@ -1,20 +1,155 @@
-//! E15 — the physical join engine (`cdb-relalg::exec`).
+//! E15 + E25 — the physical join engine and the cost-based planner
+//! (`cdb-relalg::exec` / `cdb-relalg::plan`).
 //!
-//! Hash join vs the naive nested loop on workload-generated equi-join
-//! tables, sequential vs parallel partitioned probing, and the σ(R × S)
-//! equi-join recognizer. Prints the ExecStats operator table and a
-//! one-shot speedup line before the timed samples.
+//! E15: hash join vs the naive nested loop on workload-generated
+//! equi-join tables, sequential vs parallel partitioned probing, and
+//! the σ(R × S) equi-join recognizer. E25: the planner vs the PR-1
+//! single-shape engine on a three-way chain join and an indexed point
+//! lookup — the shapes the recognizer cannot hash end to end. Prints
+//! operator tables and one-shot speedup lines before the timed
+//! samples; the chosen plans land in `BENCH_joins.json` as `plan` /
+//! `index` fields.
 
 use std::hint::black_box;
 use std::sync::Once;
 use std::time::Instant;
 
 use cdb_relalg::eval::eval;
-use cdb_relalg::{eval_hash, eval_with_stats, ExecConfig};
-use cdb_workload::relational::{join_tables, natural_join_query, select_product_query, JoinConfig};
+use cdb_relalg::{
+    eval_hash, eval_planned, eval_with_stats, plan, DbStats, ExecConfig, IndexSet, PhysPlan,
+};
+use cdb_workload::relational::{
+    chain_query, chain_tables, join_tables, natural_join_query, point_lookup_query,
+    select_product_query, JoinConfig,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 static REPORT: Once = Once::new();
+static E25_REPORT: Once = Once::new();
+
+/// The plan as one line for the JSON report: preorder operator labels.
+fn plan_line(p: &PhysPlan) -> String {
+    fn go(p: &PhysPlan, out: &mut Vec<String>) {
+        out.push(p.label());
+        for c in &p.children {
+            go(c, out);
+        }
+    }
+    let mut labels = Vec::new();
+    go(p, &mut labels);
+    labels.join(" <- ")
+}
+
+/// E25 — the cost-based planner vs the PR-1 single-shape engine on the
+/// two shapes that engine cannot hash end to end: a three-way chain
+/// join and an indexed point lookup.
+fn bench_planner(c: &mut Criterion) {
+    let n: usize = if criterion::smoke_mode() { 300 } else { 3_000 };
+    let cfg = JoinConfig {
+        left_rows: n,
+        right_rows: n,
+        key_cardinality: n,
+        payload_values: 1_000,
+    };
+    let db = chain_tables(0xC0DB + 2, &cfg);
+    let stats = DbStats::analyze(&db);
+    let indexes = IndexSet::build(&db, [("R", "K")]).expect("R.K exists");
+    let chain = chain_query();
+    let point = point_lookup_query((n / 2) as i64);
+    let chain_plan = plan(&db, &stats, &indexes, &chain);
+    let point_plan = plan(&db, &stats, &indexes, &point);
+    let exec = ExecConfig::default();
+
+    cdb_bench::print_once(&E25_REPORT, || {
+        // Engines must agree (canonical order) before we time them.
+        let planned = eval_planned(&db, &stats, &indexes, &chain, &exec).unwrap();
+        let pr1 = eval_hash(&db, &chain, &exec).unwrap().canonical();
+        assert_eq!(planned, pr1, "planner and PR-1 engine must agree");
+        let time = |f: &mut dyn FnMut()| {
+            let started = Instant::now();
+            f();
+            started.elapsed()
+        };
+        let planner_t = time(&mut || {
+            black_box(eval_planned(&db, &stats, &indexes, &chain, &exec).unwrap());
+        });
+        let pr1_t = time(&mut || {
+            black_box(eval_hash(&db, &chain, &exec).unwrap());
+        });
+        eprintln!("\n-- E25: chain σ[r.K=s.K ∧ s.K=t.K]((R×S)×T) at {n} rows --");
+        eprintln!("{}", chain_plan.render(None));
+        eprintln!(
+            "planner {planner_t:.3?}  pr1 hash {pr1_t:.3?}  speedup {:.1}x",
+            pr1_t.as_secs_f64() / planner_t.as_secs_f64().max(1e-9),
+        );
+        let planned = eval_planned(&db, &stats, &indexes, &point, &exec).unwrap();
+        let pr1 = eval_hash(&db, &point, &exec).unwrap().canonical();
+        assert_eq!(planned, pr1, "point lookup must agree");
+        let idx_t = time(&mut || {
+            black_box(eval_planned(&db, &stats, &indexes, &point, &exec).unwrap());
+        });
+        let scan_t = time(&mut || {
+            black_box(eval_hash(&db, &point, &exec).unwrap());
+        });
+        eprintln!("\n-- E25: point lookup σ[K = {}](R) at {n} rows --", n / 2);
+        eprintln!("{}", point_plan.render(None));
+        eprintln!(
+            "index scan {idx_t:.3?}  full scan {scan_t:.3?}  speedup {:.1}x\n",
+            scan_t.as_secs_f64() / idx_t.as_secs_f64().max(1e-9),
+        );
+    });
+
+    let mut g = c.benchmark_group("e25_planner_chain");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("planner", n), &n, |b, _| {
+        b.iter(|| black_box(eval_planned(&db, &stats, &indexes, &chain, &exec).unwrap()))
+    });
+    // No nested-loop row here: the naive engine materializes the full
+    // (R × S) × T product — n²·(n/8) rows — which is minutes even at
+    // modest sizes. The PR-1 hash engine is the meaningful baseline.
+    g.bench_with_input(BenchmarkId::new("pr1_hash", n), &n, |b, _| {
+        b.iter(|| black_box(eval_hash(&db, &chain, &exec).unwrap()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e25_point_lookup");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("planner_indexed", n), &n, |b, _| {
+        b.iter(|| black_box(eval_planned(&db, &stats, &indexes, &point, &exec).unwrap()))
+    });
+    let no_index = IndexSet::new();
+    g.bench_with_input(BenchmarkId::new("planner_scan", n), &n, |b, _| {
+        b.iter(|| black_box(eval_planned(&db, &stats, &no_index, &point, &exec).unwrap()))
+    });
+    g.bench_with_input(BenchmarkId::new("pr1_scan_filter", n), &n, |b, _| {
+        b.iter(|| black_box(eval_hash(&db, &point, &exec).unwrap()))
+    });
+    g.finish();
+
+    // The chosen plans and index fan-out go to the JSON report so CI
+    // can assert the planner actually planned (scripts/check.sh greps
+    // for these fields).
+    let rk_distinct = indexes.get("R", "K").map(|i| i.distinct());
+    criterion::push_record(criterion::Record {
+        op: "e25_planner_chain/plan".into(),
+        size: Some(n as u64),
+        ns_per_iter: 0,
+        samples: 0,
+        iters_per_sample: 0,
+        plan: Some(plan_line(&chain_plan)),
+        ..criterion::Record::default()
+    });
+    criterion::push_record(criterion::Record {
+        op: "e25_point_lookup/plan".into(),
+        size: Some(n as u64),
+        ns_per_iter: 0,
+        samples: 0,
+        iters_per_sample: 0,
+        plan: Some(plan_line(&point_plan)),
+        index: rk_distinct,
+        ..criterion::Record::default()
+    });
+}
 
 fn bench_joins(c: &mut Criterion) {
     // Smoke mode shrinks the tables: one nested-loop iteration at full
@@ -88,5 +223,5 @@ fn bench_joins(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_joins);
+criterion_group!(benches, bench_joins, bench_planner);
 criterion_main!(benches);

@@ -161,6 +161,11 @@ pub struct CuratedDatabase {
     /// checkpoint captures only what changed since the last anchor.
     /// `None` = classic full-state checkpoints.
     pub(crate) paged: Option<crate::paged::PagedBacking>,
+    /// Registered secondary indexes over entry fields. Registrations
+    /// are WAL-durable (tag [`crate::durable::AUX_INDEX`]) and carried
+    /// by checkpoints; postings are derived state, reconciled on every
+    /// commit and rebuilt from the tree on recovery.
+    pub(crate) indexes: crate::indexes::FieldIndexes,
 }
 
 /// A deep copy of every field a curation operation can mutate, taken
@@ -178,6 +183,7 @@ pub(crate) struct TxnBackup {
     last_time: u64,
     persisted_txns: usize,
     persisted_events: usize,
+    indexes: crate::indexes::FieldIndexes,
 }
 
 impl CuratedDatabase {
@@ -208,6 +214,7 @@ impl CuratedDatabase {
             decisions: BTreeMap::new(),
             defer_persist: false,
             paged: None,
+            indexes: crate::indexes::FieldIndexes::default(),
         }
     }
 
@@ -222,6 +229,7 @@ impl CuratedDatabase {
             last_time: self.last_time,
             persisted_txns: self.persisted_txns,
             persisted_events: self.persisted_events,
+            indexes: self.indexes.clone(),
         }
     }
 
@@ -240,6 +248,7 @@ impl CuratedDatabase {
         self.last_time = backup.last_time;
         self.persisted_txns = backup.persisted_txns;
         self.persisted_events = backup.persisted_events;
+        self.indexes = backup.indexes;
     }
 
     /// The segment-retention policy applied when a checkpoint retires
@@ -346,6 +355,7 @@ impl CuratedDatabase {
         }
         t.commit();
         self.lifecycle.create(key, time)?;
+        self.reindex_touched(&[key]);
         self.persist_commit()?;
         Ok(entry)
     }
@@ -384,6 +394,7 @@ impl CuratedDatabase {
         }
         t.commit();
         self.lifecycle.create(key, time)?;
+        self.reindex_touched(&[key]);
         self.persist_commit()?;
         Ok(entry)
     }
@@ -415,6 +426,7 @@ impl CuratedDatabase {
             }
         }
         t.commit();
+        self.reindex_touched(&[key]);
         self.persist_commit()?;
         Ok(())
     }
@@ -438,6 +450,7 @@ impl CuratedDatabase {
         t.delete(entry)?;
         t.commit();
         self.lifecycle.delete(key, time)?;
+        self.reindex_touched(&[key]);
         self.persist_commit()?;
         Ok(())
     }
@@ -477,6 +490,7 @@ impl CuratedDatabase {
         t.delete(absorbed_node)?;
         t.commit();
         self.lifecycle.merge(kept, absorbed, time)?;
+        self.reindex_touched(&[kept, absorbed]);
         self.persist_commit()?;
         Ok(())
     }
@@ -509,6 +523,9 @@ impl CuratedDatabase {
         t.delete(original_node)?;
         t.commit();
         self.lifecycle.split(original, &part_keys, time)?;
+        let mut touched: Vec<&str> = vec![original];
+        touched.extend(parts.iter().map(|(k, _)| *k));
+        self.reindex_touched(&touched);
         self.persist_commit()?;
         Ok(())
     }
@@ -518,6 +535,177 @@ impl CuratedDatabase {
     pub fn resolve_id(&self, id: &str) -> Result<Vec<String>, DbError> {
         let (current, _) = self.lifecycle.what_happened_to(id)?;
         Ok(current)
+    }
+
+    // ------------------------------------------------------- indexes
+
+    /// Registers a durable secondary index over an entry field and
+    /// builds its postings from the current entries. The registration
+    /// is WAL-logged and checkpoint-carried; recovery re-registers it
+    /// and rebuilds the postings from the recovered tree. Returns
+    /// `false` (and does nothing) when the field is already indexed.
+    ///
+    /// Entries missing the field index as [`Atom::Unit`] — the same
+    /// convention [`crate::views::entry_relation`] uses — so the index
+    /// answers exactly the questions the relational view would.
+    pub fn create_index(&mut self, field: &str) -> Result<bool, DbError> {
+        if !self.indexes.register(field) {
+            return Ok(false);
+        }
+        self.rebuild_index(field)?;
+        self.persist_index(field, true)?;
+        Ok(true)
+    }
+
+    /// Drops a secondary index. Returns `false` when none existed. The
+    /// drop is WAL-logged like the creation, so recovery converges on
+    /// the surviving registrations.
+    pub fn drop_index(&mut self, field: &str) -> Result<bool, DbError> {
+        if !self.indexes.unregister(field) {
+            return Ok(false);
+        }
+        self.persist_index(field, false)?;
+        Ok(true)
+    }
+
+    /// The fields currently indexed, in order.
+    pub fn index_fields(&self) -> Vec<String> {
+        self.indexes.fields()
+    }
+
+    /// The index over `field`, if one is registered.
+    pub fn field_index(&self, field: &str) -> Option<&crate::indexes::FieldIndex> {
+        self.indexes.get(field)
+    }
+
+    /// Keys of the entries whose `field` equals `value`, through the
+    /// index; `None` when the field is not indexed (callers fall back
+    /// to a scan).
+    pub fn index_lookup(&self, field: &str, value: &Atom) -> Option<Vec<String>> {
+        self.indexes.get(field).map(|i| i.lookup(value))
+    }
+
+    /// The value an entry indexes under for `field`: the key itself for
+    /// the key field, `Unit` when the field is absent.
+    fn index_value(&self, key: &str, field: &str) -> Atom {
+        if field == self.key_field {
+            Atom::Str(key.to_owned())
+        } else {
+            self.field(key, field).unwrap_or(Atom::Unit)
+        }
+    }
+
+    /// Rebuilds one registered index's postings from the tree.
+    pub(crate) fn rebuild_index(&mut self, field: &str) -> Result<(), DbError> {
+        let rows: Vec<(String, Atom)> = self
+            .entry_keys()?
+            .into_iter()
+            .map(|k| {
+                let v = self.index_value(&k, field);
+                (k, v)
+            })
+            .collect();
+        if let Some(idx) = self.indexes.get_mut(field) {
+            for (key, value) in rows {
+                idx.set(&key, value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconciles every registered index for the entries a committed
+    /// curation operation touched: existing entries re-point at their
+    /// current field values, vanished entries (deleted, absorbed,
+    /// split away) are unlinked. Runs inside the commit path, before
+    /// persistence — 2PC rollback restores postings via
+    /// [`CuratedDatabase::backup_for_txn`] along with the tree.
+    pub(crate) fn reindex_touched(&mut self, keys: &[&str]) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let fields = self.indexes.fields();
+        for &key in keys {
+            if self.entry_node(key).is_ok() {
+                for field in &fields {
+                    let value = self.index_value(key, field);
+                    if let Some(idx) = self.indexes.get_mut(field) {
+                        idx.set(key, value);
+                    }
+                }
+            } else {
+                self.indexes.remove_key(key);
+            }
+        }
+    }
+
+    /// Planner statistics for the entries relation over the given
+    /// fields, derived without scanning: row count from the lifecycle
+    /// view, per-field distinct counts from the registered indexes
+    /// (unindexed fields keep the planner's default heuristics). The
+    /// relation is named `entries`, matching
+    /// [`crate::views::query_entries_planned`].
+    pub fn planner_stats(&self, fields: &[&str]) -> cdb_relalg::DbStats {
+        let rows = self.entry_keys().map(|k| k.len() as u64).unwrap_or(0);
+        let mut cols = std::collections::BTreeMap::new();
+        cols.insert(
+            self.key_field.clone(),
+            cdb_relalg::ColStats::distinct_only(rows),
+        );
+        for f in fields {
+            if let Some(idx) = self.indexes.get(f) {
+                cols.insert(
+                    (*f).to_owned(),
+                    cdb_relalg::ColStats::distinct_only(idx.distinct()),
+                );
+            }
+        }
+        let mut stats = cdb_relalg::DbStats::none();
+        stats
+            .rels
+            .insert("entries".to_owned(), cdb_relalg::RelStats { rows, cols });
+        stats
+    }
+
+    /// The registered indexes as a relational [`cdb_relalg::IndexSet`]
+    /// over the entries relation of `[key_field, fields…]` — postings
+    /// converted from entry keys to row offsets (entries appear in
+    /// [`CuratedDatabase::entry_keys`] order, the order
+    /// [`crate::views::entry_relation`] emits rows in). Indexed fields
+    /// not in the view are skipped.
+    pub fn relalg_index_set(&self, fields: &[&str]) -> Result<cdb_relalg::IndexSet, DbError> {
+        let mut set = cdb_relalg::IndexSet::new();
+        if self.indexes.is_empty() {
+            return Ok(set);
+        }
+        let offsets: std::collections::BTreeMap<String, usize> = self
+            .entry_keys()?
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .collect();
+        let schema: Vec<&str> = std::iter::once(self.key_field.as_str())
+            .chain(fields.iter().copied())
+            .collect();
+        for idx in self.indexes.iter() {
+            let Some(col_idx) = schema.iter().position(|c| *c == idx.field()) else {
+                continue;
+            };
+            let postings = idx.postings().map(|(value, keys)| {
+                let mut rows: Vec<usize> = keys
+                    .iter()
+                    .filter_map(|k| offsets.get(k).copied())
+                    .collect();
+                rows.sort_unstable();
+                (value.clone(), rows)
+            });
+            set.add(cdb_relalg::ColumnIndex::from_postings(
+                "entries",
+                idx.field(),
+                col_idx,
+                postings,
+            ));
+        }
+        Ok(set)
     }
 
     // ---------------------------------------------------- annotations
@@ -679,6 +867,7 @@ impl CuratedDatabase {
             decisions: self.decisions.clone(),
             defer_persist: false,
             paged: None,
+            indexes: self.indexes.clone(),
         }
     }
 }

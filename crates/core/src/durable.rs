@@ -138,6 +138,12 @@ pub const AUX_NOTE: u8 = 2;
 /// checkpoint-anchored log truncation and can still resolve another
 /// shard's in-doubt PREPARE after the deciding frames are retired.
 pub const AUX_DECIDE: u8 = 3;
+/// Aux-frame tag: a secondary-index registration or drop. Only the
+/// registration is durable — postings are derived state, rebuilt from
+/// the recovered tree — so the payload is just the field name and a
+/// create/drop flag. Checkpoints re-encode the surviving registrations
+/// (creates only), exactly as they re-encode notes.
+pub const AUX_INDEX: u8 = 4;
 
 /// One decoded auxiliary frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,6 +165,13 @@ pub enum AuxRecord {
         gid: u64,
         /// Whether the transaction committed.
         commit: bool,
+    },
+    /// A secondary-index registration (`create`) or drop (`!create`).
+    Index {
+        /// The indexed entry field.
+        field: String,
+        /// `true` = register, `false` = drop.
+        create: bool,
     },
 }
 
@@ -246,6 +259,14 @@ pub fn encode_decision(gid: u64, commit: bool) -> Vec<u8> {
     out
 }
 
+/// Encodes a secondary-index registration/drop as an aux-frame payload.
+pub fn encode_index(field: &str, create: bool) -> Vec<u8> {
+    let mut out = vec![AUX_INDEX];
+    put_str(&mut out, field);
+    out.push(u8::from(create));
+    out
+}
+
 /// Decodes an aux-frame payload.
 pub fn decode_aux(bytes: &[u8]) -> Result<AuxRecord, WireError> {
     let mut r = Reader::new(bytes);
@@ -295,6 +316,14 @@ pub fn decode_aux(bytes: &[u8]) -> Result<AuxRecord, WireError> {
                 0 => false,
                 1 => true,
                 t => return Err(WireError::BadTag("decision flag", t)),
+            },
+        },
+        AUX_INDEX => AuxRecord::Index {
+            field: r.str()?,
+            create: match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(WireError::BadTag("index flag", t)),
             },
         },
         t => return Err(WireError::BadTag("aux record", t)),
@@ -361,7 +390,20 @@ impl CuratedDatabase {
                 AuxRecord::Decision { gid, commit } => {
                     db.decisions.insert(gid, commit);
                 }
+                // Registrations replay in log order, so a drop cancels
+                // an earlier create; postings rebuild below, after the
+                // recovered tree is in place.
+                AuxRecord::Index { field, create } => {
+                    if create {
+                        db.indexes.register(&field);
+                    } else {
+                        db.indexes.unregister(&field);
+                    }
+                }
             }
+        }
+        for field in db.index_fields() {
+            db.rebuild_index(&field)?;
         }
         // The WAL's own DECIDE frames join the checkpoint-carried
         // records (later frames win — they are never contradictory, but
@@ -627,6 +669,12 @@ impl CuratedDatabase {
         for (&gid, &commit) in &self.decisions {
             aux.push(encode_decision(gid, commit));
         }
+        // Index registrations likewise: only the surviving creates —
+        // a drop below the watermark has already erased its create
+        // from this set, so no drop records are needed.
+        for field in self.indexes.fields() {
+            aux.push(encode_index(&field, true));
+        }
         ck.aux = aux;
 
         self.ckpt
@@ -776,6 +824,21 @@ impl CuratedDatabase {
         }
         Ok(())
     }
+
+    /// Appends a secondary-index registration or drop to the WAL.
+    /// Synced immediately like a publish: index DDL is rare and losing
+    /// one silently changes which plans recovery can produce.
+    pub(crate) fn persist_index(&mut self, field: &str, create: bool) -> Result<(), DbError> {
+        if self.wal.is_none() || self.defer_persist {
+            return Ok(());
+        }
+        self.metrics.counter("core.index_ddl").inc();
+        self.pending_frames
+            .push_back((FRAME_AUX, encode_index(field, create)));
+        self.drain_pending()?;
+        self.wal.as_mut().expect("checked durable above").sync()?;
+        Ok(())
+    }
 }
 
 impl Drop for CuratedDatabase {
@@ -869,12 +932,21 @@ mod tests {
                 gid: 0,
                 commit: false,
             },
+            AuxRecord::Index {
+                field: "tm".into(),
+                create: true,
+            },
+            AuxRecord::Index {
+                field: String::new(),
+                create: false,
+            },
         ];
         for rec in records {
             let bytes = match &rec {
                 AuxRecord::Event(e) => encode_event(e),
                 AuxRecord::Note { key, field, note } => encode_note(key, field.as_deref(), note),
                 AuxRecord::Decision { gid, commit } => encode_decision(*gid, *commit),
+                AuxRecord::Index { field, create } => encode_index(field, *create),
             };
             assert_eq!(decode_aux(&bytes).unwrap(), rec);
         }

@@ -1,0 +1,194 @@
+//! Durable secondary indexes over entry fields.
+//!
+//! A [`FieldIndex`] maps each value of one entry field to the set of
+//! entry keys holding it — the curated-database analogue of
+//! `cdb_relalg`'s column index, keyed by entry instead of row offset
+//! because entries move (merge, split, delete) while a curated database
+//! evolves. [`CuratedDatabase::create_index`] registers one; the
+//! registration is written to the WAL as an `AUX` frame (tag
+//! [`crate::durable::AUX_INDEX`]), carried by every checkpoint, and
+//! replayed on recovery, where the postings are rebuilt from the
+//! recovered tree — postings themselves are derived state and are never
+//! serialized. Every committing curation operation reconciles the
+//! touched keys, so postings are transactionally consistent with the
+//! tree (2PC rollback restores them via the transaction backup).
+//!
+//! The planner-facing view: [`CuratedDatabase::relalg_index_set`]
+//! converts postings to row offsets of the entries relation, and
+//! [`CuratedDatabase::planner_stats`] derives row counts and per-field
+//! distinct counts without scanning — the durable engine's answer to
+//! `DbStats::analyze`.
+//!
+//! [`CuratedDatabase::create_index`]: crate::db::CuratedDatabase::create_index
+//! [`CuratedDatabase::relalg_index_set`]: crate::db::CuratedDatabase::relalg_index_set
+//! [`CuratedDatabase::planner_stats`]: crate::db::CuratedDatabase::planner_stats
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdb_model::Atom;
+
+/// A secondary index over one entry field.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FieldIndex {
+    field: String,
+    /// Value → keys of the entries holding it.
+    by_value: BTreeMap<Atom, BTreeSet<String>>,
+    /// Key → the value currently indexed for it (the reverse map that
+    /// makes reconciliation O(log n) instead of a full-index sweep).
+    by_key: BTreeMap<String, Atom>,
+}
+
+impl FieldIndex {
+    pub(crate) fn new(field: impl Into<String>) -> FieldIndex {
+        FieldIndex {
+            field: field.into(),
+            ..FieldIndex::default()
+        }
+    }
+
+    /// The indexed field name.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Keys of the entries whose field equals `value`, in key order.
+    pub fn lookup(&self, value: &Atom) -> Vec<String> {
+        self.by_value
+            .get(value)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct(&self) -> u64 {
+        self.by_value.len() as u64
+    }
+
+    /// Number of entries indexed.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Iterates `(value, keys)` postings in value order.
+    pub fn postings(&self) -> impl Iterator<Item = (&Atom, &BTreeSet<String>)> {
+        self.by_value.iter()
+    }
+
+    /// Points `key` at `value`, unlinking any previous value.
+    pub(crate) fn set(&mut self, key: &str, value: Atom) {
+        self.remove(key);
+        self.by_value
+            .entry(value.clone())
+            .or_default()
+            .insert(key.to_owned());
+        self.by_key.insert(key.to_owned(), value);
+    }
+
+    /// Unlinks `key` entirely (entry deleted or absorbed).
+    pub(crate) fn remove(&mut self, key: &str) {
+        if let Some(old) = self.by_key.remove(key) {
+            if let Some(set) = self.by_value.get_mut(&old) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_value.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// The registered secondary indexes of a curated database.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FieldIndexes {
+    map: BTreeMap<String, FieldIndex>,
+}
+
+impl FieldIndexes {
+    /// The index on `field`, if registered.
+    pub fn get(&self, field: &str) -> Option<&FieldIndex> {
+        self.map.get(field)
+    }
+
+    /// The registered field names, in order.
+    pub fn fields(&self) -> Vec<String> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Iterates the registered indexes in field order.
+    pub fn iter(&self) -> impl Iterator<Item = &FieldIndex> {
+        self.map.values()
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no indexes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Registers an empty index; `false` if one already existed.
+    pub(crate) fn register(&mut self, field: &str) -> bool {
+        if self.map.contains_key(field) {
+            return false;
+        }
+        self.map.insert(field.to_owned(), FieldIndex::new(field));
+        true
+    }
+
+    /// Drops an index; `false` if none was registered.
+    pub(crate) fn unregister(&mut self, field: &str) -> bool {
+        self.map.remove(field).is_some()
+    }
+
+    /// Mutable access for reconciliation.
+    pub(crate) fn get_mut(&mut self, field: &str) -> Option<&mut FieldIndex> {
+        self.map.get_mut(field)
+    }
+
+    /// Unlinks a key from every index.
+    pub(crate) fn remove_key(&mut self, key: &str) {
+        for idx in self.map.values_mut() {
+            idx.remove(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_moves_postings_between_values() {
+        let mut idx = FieldIndex::new("tm");
+        idx.set("P1", Atom::Int(7));
+        idx.set("P2", Atom::Int(7));
+        assert_eq!(idx.lookup(&Atom::Int(7)), ["P1", "P2"]);
+        idx.set("P1", Atom::Int(9));
+        assert_eq!(idx.lookup(&Atom::Int(7)), ["P2"]);
+        assert_eq!(idx.lookup(&Atom::Int(9)), ["P1"]);
+        assert_eq!(idx.distinct(), 2);
+        idx.remove("P2");
+        assert!(idx.lookup(&Atom::Int(7)).is_empty());
+        assert_eq!(idx.distinct(), 1, "empty postings are pruned");
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn registry_registers_once() {
+        let mut set = FieldIndexes::default();
+        assert!(set.register("tm"));
+        assert!(!set.register("tm"));
+        assert_eq!(set.fields(), ["tm"]);
+        assert!(set.unregister("tm"));
+        assert!(!set.unregister("tm"));
+        assert!(set.is_empty());
+    }
+}

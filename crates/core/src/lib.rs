@@ -25,6 +25,7 @@
 
 pub mod db;
 pub mod durable;
+pub mod indexes;
 pub mod lifecycle;
 pub mod paged;
 pub mod sharded;
@@ -33,6 +34,7 @@ pub mod views;
 
 pub use db::{CuratedDatabase, DbError, Note};
 pub use durable::{CheckpointStats, Durability};
+pub use indexes::{FieldIndex, FieldIndexes};
 pub use lifecycle::{EntryEvent, EntryRegistry, Fate};
 pub use sharded::{ShardMap, ShardedDb, ShardedSnapshot};
 pub use shared::{SharedDb, Snapshot, DEFAULT_BATCH_WINDOW};

@@ -615,6 +615,28 @@ impl ShardedDb {
             .collect()
     }
 
+    /// Registers a durable secondary index over `field` on **every**
+    /// shard (each shard indexes its own entries; lookups fan out via
+    /// the per-shard snapshots). Fan-out, not atomic across shards.
+    /// Returns `true` if any shard newly created the index.
+    pub fn create_index(&self, field: &str) -> Result<bool, DbError> {
+        let mut created = false;
+        for s in &self.inner.shards {
+            created |= s.create_index(field)?;
+        }
+        Ok(created)
+    }
+
+    /// Drops the secondary index over `field` on every shard. Returns
+    /// `true` if any shard had it.
+    pub fn drop_index(&self, field: &str) -> Result<bool, DbError> {
+        let mut dropped = false;
+        for s in &self.inner.shards {
+            dropped |= s.drop_index(field)?;
+        }
+        Ok(dropped)
+    }
+
     // ------------------------------------------- cross-shard commits
 
     /// Fusion (§6.2), sharded: same-shard pairs delegate to the shard;

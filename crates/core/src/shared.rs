@@ -505,6 +505,19 @@ impl SharedDb {
         self.write(|db| db.publish(label))
     }
 
+    /// Registers a durable secondary index over `field`. See
+    /// [`CuratedDatabase::create_index`]. The index is visible to every
+    /// snapshot taken after this returns.
+    pub fn create_index(&self, field: &str) -> Result<bool, DbError> {
+        self.write(|db| db.create_index(field))
+    }
+
+    /// Drops the secondary index over `field`. See
+    /// [`CuratedDatabase::drop_index`].
+    pub fn drop_index(&self, field: &str) -> Result<bool, DbError> {
+        self.write(|db| db.drop_index(field))
+    }
+
     // ---------------------------------------------------- durability
 
     /// Forces everything committed so far to durable storage.

@@ -32,6 +32,35 @@ pub fn entry_relation(db: &CuratedDatabase, fields: &[&str]) -> Result<Relation,
     Ok(rel)
 }
 
+/// Plans and runs a query over the entries relation with the cost-based
+/// planner: statistics come from [`CuratedDatabase::planner_stats`]
+/// (entry counts, per-indexed-field distincts — no scan), access paths
+/// from the registered durable indexes via
+/// [`CuratedDatabase::relalg_index_set`]. Returns the canonical result
+/// plus the physical plan and its per-operator actuals, so callers
+/// (cdbsh `explain`) can show estimates against reality.
+///
+/// The query sees one relation named `entries` with schema
+/// `[key_field, fields…]`, exactly as [`entry_relation`] builds it.
+///
+/// [`CuratedDatabase::planner_stats`]: crate::db::CuratedDatabase::planner_stats
+/// [`CuratedDatabase::relalg_index_set`]: crate::db::CuratedDatabase::relalg_index_set
+pub fn query_entries_planned(
+    db: &CuratedDatabase,
+    fields: &[&str],
+    q: &RaExpr,
+) -> Result<(Relation, cdb_relalg::PhysPlan, Vec<cdb_relalg::PlanRun>), DbError> {
+    let rel = entry_relation(db, fields)?;
+    let rdb = Database::new().with("entries", rel);
+    let stats = db.planner_stats(fields);
+    let indexes = db.relalg_index_set(fields)?;
+    let plan = cdb_relalg::plan::plan(&rdb, &stats, &indexes, q);
+    let (out, runs) =
+        cdb_relalg::plan::eval_plan(&rdb, &plan, &indexes, &cdb_relalg::ExecConfig::default())
+            .map_err(relalg_to_db)?;
+    Ok((out, plan, runs))
+}
+
 /// The same relation with every cell distinctly colored `key/field`, so
 /// view outputs carry readable where-provenance.
 pub fn colored_entry_relation(

@@ -22,9 +22,9 @@
 //! when the [`criterion_main!`]-generated `main` exits, written as
 //! `BENCH_<bench-name>.json` at the workspace root — an array of
 //! `{op, size, ns_per_iter, samples, iters_per_sample, threads,
-//! batch_window_us, segments, shed, shards}` rows (`threads`/
-//! `batch_window_us`/`segments`/`shed`/`shards` are `null` unless a
-//! harness sets them via [`push_record`]). Set `CDB_BENCH_JSON=0` to suppress the file, or
+//! batch_window_us, segments, shed, shards, pool_pages, hit_rate,
+//! plan, index}` rows (everything past `iters_per_sample` is `null`
+//! unless a harness sets it via [`push_record`]). Set `CDB_BENCH_JSON=0` to suppress the file, or
 //! `CDB_BENCH_JSON_DIR` to redirect it. Smoke runs skip the report
 //! (their timings are meaningless and would clobber real
 //! measurements) unless `CDB_BENCH_JSON=1` forces it, which CI uses to
@@ -84,6 +84,12 @@ pub struct Record {
     /// Buffer-pool hit fraction in `[0, 1]` observed during the
     /// measurement, for paged-storage benches (`null` otherwise).
     pub hit_rate: Option<f64>,
+    /// One-line rendering of the physical plan behind the measured
+    /// query, for planner benches (`null` otherwise).
+    pub plan: Option<String>,
+    /// Distinct values in the secondary index the measured plan
+    /// probes, for indexed-access benches (`null` otherwise).
+    pub index: Option<u64>,
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -173,13 +179,17 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
     // Floats need their own formatting (fixed precision, no
     // scientific notation) so downstream `jq`-free parsers stay happy.
     let optf = |v: Option<f64>| v.map_or_else(|| "null".to_owned(), |s| format!("{s:.4}"));
+    let opts = |v: &Option<String>| {
+        v.as_ref()
+            .map_or_else(|| "null".to_owned(), |s| format!("\"{}\"", json_escape(s)))
+    };
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"op\": \"{}\", \"size\": {}, \"ns_per_iter\": {}, \
              \"samples\": {}, \"iters_per_sample\": {}, \
              \"threads\": {}, \"batch_window_us\": {}, \"segments\": {}, \
              \"shed\": {}, \"shards\": {}, \"pool_pages\": {}, \
-             \"hit_rate\": {}}}{}\n",
+             \"hit_rate\": {}, \"plan\": {}, \"index\": {}}}{}\n",
             json_escape(&r.op),
             opt(r.size),
             r.ns_per_iter,
@@ -192,6 +202,8 @@ pub fn write_json_report(name: &str, manifest_dir: &str) {
             opt(r.shards),
             opt(r.pool_pages),
             optf(r.hit_rate),
+            opts(&r.plan),
+            opt(r.index),
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -503,6 +515,8 @@ mod tests {
             shards: Some(4),
             pool_pages: Some(8),
             hit_rate: Some(0.875),
+            plan: Some("IndexScan R [K = 7]".into()),
+            index: Some(300),
             ..Record::default()
         });
         write_json_report("shimtest", env!("CARGO_MANIFEST_DIR"));
@@ -524,6 +538,10 @@ mod tests {
         assert!(text.contains("\"pool_pages\": 8"));
         assert!(text.contains("\"hit_rate\": null"));
         assert!(text.contains("\"hit_rate\": 0.8750"));
+        assert!(text.contains("\"plan\": null"));
+        assert!(text.contains("\"plan\": \"IndexScan R [K = 7]\""));
+        assert!(text.contains("\"index\": null"));
+        assert!(text.contains("\"index\": 300"));
         assert!(text.trim_start().starts_with('[') && text.trim_end().ends_with(']'));
     }
 

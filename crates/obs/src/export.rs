@@ -405,9 +405,26 @@ pub fn wire_span_tree(events: &[WireSpan]) -> String {
     let mut evs: Vec<&WireSpan> = events.iter().collect();
     evs.sort_by_key(|e| (e.thread, e.start_ns, e.depth));
     let base = events.iter().map(|e| e.start_ns).min().unwrap_or(0);
+    // Self time = duration minus the direct children's durations (same
+    // thread, one level deeper, nested inside this span's window), so
+    // nested spans aren't double-counted once per ancestor when a
+    // reader sums a column.
+    let self_ns = |e: &WireSpan| -> u64 {
+        let nested: u64 = evs
+            .iter()
+            .filter(|c| {
+                c.thread == e.thread
+                    && c.depth == e.depth + 1
+                    && c.start_ns >= e.start_ns
+                    && c.start_ns.saturating_add(c.dur_ns) <= e.start_ns.saturating_add(e.dur_ns)
+            })
+            .map(|c| c.dur_ns)
+            .sum();
+        e.dur_ns.saturating_sub(nested)
+    };
     let mut out = String::new();
     let mut cur_thread = u64::MAX;
-    for e in evs {
+    for e in &evs {
         if e.thread != cur_thread {
             cur_thread = e.thread;
             let _ = writeln!(out, "thread {cur_thread}:");
@@ -415,9 +432,10 @@ pub fn wire_span_tree(events: &[WireSpan]) -> String {
         let indent = "  ".repeat(e.depth as usize + 1);
         let _ = write!(
             out,
-            "{indent}{:<w$} {:>9}  +{}",
+            "{indent}{:<w$} {:>9} {:>9}  +{}",
             e.name,
             fmt_ns(e.dur_ns),
+            fmt_ns(self_ns(e)),
             fmt_ns(e.start_ns - base),
             w = 36usize.saturating_sub(indent.len()),
         );

@@ -196,37 +196,69 @@ pub struct EquiJoin {
     pub residual_conjuncts: usize,
 }
 
+/// Whether every column reference inside a predicate resolves against
+/// the given schema (descending through And/Or/Not). Resolution errors
+/// are row-independent, so this exactly predicts whether evaluating the
+/// predicate on *any* row would surface one.
+pub(crate) fn pred_resolves(schema: &Schema, p: &Pred) -> bool {
+    match p {
+        Pred::True => true,
+        Pred::Cmp { left, right, .. } => [left, right].iter().all(|o| match o {
+            Operand::Col(c) => schema.resolve(c).is_ok(),
+            Operand::Const(_) => true,
+        }),
+        Pred::And(a, b) | Pred::Or(a, b) => pred_resolves(schema, a) && pred_resolves(schema, b),
+        Pred::Not(a) => pred_resolves(schema, a),
+    }
+}
+
 /// Recognizes `σ_pred(A × B)` as an equi-join: scans the predicate's
 /// top-level conjuncts for `col = col` comparisons whose operands
 /// resolve to opposite sides of the product. Returns `None` when no
-/// conjunct qualifies (the caller falls back to product-then-filter) or
-/// when a column fails to resolve — the naive engine only surfaces
-/// resolution errors while iterating rows, and the recognizer must not
-/// introduce errors the naive engine would not.
+/// conjunct qualifies (the caller falls back to product-then-filter).
+///
+/// Two correctness rules shape what becomes a hash key:
+///
+/// * **Duplicate equalities are collapsed.** `r.a = s.a AND r.a = s.a`
+///   (or the flipped `s.a = r.a`) contributes one key pair, not two —
+///   the duplicate would widen every extracted key and double the
+///   comparison work without changing the match set.
+/// * **An unresolvable conjunct poisons everything after it.** The
+///   naive engine evaluates conjuncts left to right with short-circuit,
+///   so a resolution error in conjunct *i* surfaces exactly when some
+///   row passes conjuncts `1..i`. A key extracted from a conjunct
+///   *after* i could filter out precisely that row and hide the error.
+///   Keys gathered *before* i stay valid — a row they reject would have
+///   short-circuited at that earlier conjunct anyway — and the full
+///   predicate re-check on matched rows surfaces the error in the same
+///   left-to-right order the naive engine uses.
 pub fn recognize_equi_join(combined: &Schema, left_arity: usize, pred: &Pred) -> Option<EquiJoin> {
-    let mut keys = Vec::new();
+    let mut keys: Vec<(usize, usize)> = Vec::new();
     let mut residual_conjuncts = 0;
-    for conjunct in pred.conjuncts() {
+    let conjuncts = pred.conjuncts();
+    for (ci, conjunct) in conjuncts.iter().enumerate() {
+        if !pred_resolves(combined, conjunct) {
+            residual_conjuncts += conjuncts.len() - ci;
+            break;
+        }
         if let Pred::Cmp {
             left: Operand::Col(l),
             op: CmpOp::Eq,
             right: Operand::Col(r),
         } = conjunct
         {
-            let (li, ri) = match (combined.resolve(l), combined.resolve(r)) {
-                (Ok(li), Ok(ri)) => (li, ri),
-                _ => return None,
+            let li = combined.resolve(l).expect("checked by pred_resolves");
+            let ri = combined.resolve(r).expect("checked by pred_resolves");
+            let pair = match (li < left_arity, ri < left_arity) {
+                (true, false) => Some((li, ri - left_arity)),
+                (false, true) => Some((ri, li - left_arity)),
+                _ => None, // same-side equality: plain filter
             };
-            match (li < left_arity, ri < left_arity) {
-                (true, false) => {
-                    keys.push((li, ri - left_arity));
-                    continue;
+            if let Some(pair) = pair {
+                if !keys.contains(&pair) {
+                    keys.push(pair);
                 }
-                (false, true) => {
-                    keys.push((ri, li - left_arity));
-                    continue;
-                }
-                _ => {} // same-side equality: plain filter
+                continue;
             }
         }
         residual_conjuncts += 1;
@@ -257,6 +289,11 @@ pub struct OpStats {
     pub partitions: Option<usize>,
     /// Wall time spent in this operator, including its children.
     pub elapsed: Duration,
+    /// Wall time spent in this operator *excluding* its children —
+    /// summing `self_elapsed` over a tree gives the root's `elapsed`
+    /// (up to clock granularity) instead of double-counting every
+    /// subtree once per ancestor.
+    pub self_elapsed: Duration,
     /// Child operators.
     pub children: Vec<OpStats>,
 }
@@ -264,22 +301,28 @@ pub struct OpStats {
 impl OpStats {
     fn leaf(op: impl Into<String>, rows_out: usize, span: &mut SpanGuard) -> Self {
         span.set_attr(rows_out as u64);
+        let elapsed = span.elapsed();
         OpStats {
             op: op.into(),
             rows_out,
             build_rows: None,
             probe_rows: None,
             partitions: None,
-            elapsed: span.elapsed(),
+            elapsed,
+            self_elapsed: elapsed,
             children: Vec::new(),
         }
     }
 
+    fn with_children(mut self, children: Vec<OpStats>) -> Self {
+        let nested: Duration = children.iter().map(|c| c.elapsed).sum();
+        self.self_elapsed = self.elapsed.saturating_sub(nested);
+        self.children = children;
+        self
+    }
+
     fn unary(op: impl Into<String>, rows_out: usize, span: &mut SpanGuard, child: OpStats) -> Self {
-        OpStats {
-            children: vec![child],
-            ..OpStats::leaf(op, rows_out, span)
-        }
+        OpStats::leaf(op, rows_out, span).with_children(vec![child])
     }
 
     fn binary(
@@ -289,10 +332,7 @@ impl OpStats {
         l: OpStats,
         r: OpStats,
     ) -> Self {
-        OpStats {
-            children: vec![l, r],
-            ..OpStats::leaf(op, rows_out, span)
-        }
+        OpStats::leaf(op, rows_out, span).with_children(vec![l, r])
     }
 
     /// Total number of operators in this subtree.
@@ -342,13 +382,14 @@ impl fmt::Display for ExecStats {
             let fill = opw.saturating_sub(label.chars().count());
             writeln!(
                 f,
-                "{label}{}  {:>9}  {:>9}  {:>9}  {:>4}  {:>9.3}",
+                "{label}{}  {:>9}  {:>9}  {:>9}  {:>4}  {:>9.3}  {:>9.3}",
                 " ".repeat(fill),
                 n.rows_out,
                 opt(n.build_rows),
                 opt(n.probe_rows),
                 opt(n.partitions),
                 n.elapsed.as_secs_f64() * 1e3,
+                n.self_elapsed.as_secs_f64() * 1e3,
             )?;
             for c in &n.children {
                 row(f, c, depth + 1, opw)?;
@@ -358,8 +399,8 @@ impl fmt::Display for ExecStats {
         let opw = width(&self.root, 0).max("operator".len());
         writeln!(
             f,
-            "{:<opw$}  {:>9}  {:>9}  {:>9}  {:>4}  {:>9}",
-            "operator", "rows", "build", "probe", "part", "ms"
+            "{:<opw$}  {:>9}  {:>9}  {:>9}  {:>4}  {:>9}  {:>9}",
+            "operator", "rows", "build", "probe", "part", "ms", "self ms"
         )?;
         row(f, &self.root, 0, opw)
     }
@@ -858,6 +899,131 @@ mod tests {
         assert!(table.contains("HashNaturalJoin[B]"), "{table}");
         assert!(table.contains("  Scan R"), "children indented: {table}");
         assert_eq!(stats.root.operator_count(), 3);
+    }
+
+    #[test]
+    fn repeated_equality_conjuncts_dedup_to_one_key() {
+        let db = join_db(30);
+        let schema = Schema::new(["r.A", "r.B", "s.B", "s.C"].map(String::from)).unwrap();
+        // r.B = s.B stated three times, once flipped: still one key pair.
+        let pred = Pred::col_eq_col("r.B", "s.B")
+            .and(Pred::col_eq_col("r.B", "s.B"))
+            .and(Pred::col_eq_col("s.B", "r.B"));
+        let ej = recognize_equi_join(&schema, 2, &pred).expect("equi-join");
+        assert_eq!(ej.keys, vec![(1, 0)], "duplicates collapsed");
+        assert_eq!(ej.residual_conjuncts, 0);
+        // End to end the duplicated predicate still matches the naive
+        // engine byte for byte.
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(pred);
+        let naive = eval(&db, &q).unwrap();
+        let (hashed, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed);
+        assert!(
+            stats.find("HashJoin[r.B=s.B]").is_some(),
+            "single-key join label"
+        );
+    }
+
+    #[test]
+    fn unresolvable_residual_keeps_valid_keys() {
+        let db = join_db(30);
+        // A valid equi-join key followed by a conjunct over a missing
+        // column: the join must still hash on r.B = s.B, and the error
+        // must surface exactly as the naive engine surfaces it.
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::col_eq_col("r.B", "s.B").and(Pred::col_eq_const("r.nope", 1)));
+        let naive = eval(&db, &q);
+        let hashed = eval_hash(&db, &q, &ExecConfig::default());
+        assert!(naive.is_err());
+        assert_eq!(naive.unwrap_err(), hashed.unwrap_err());
+        // The recognizer itself keeps the resolvable key.
+        let schema = Schema::new(["r.A", "r.B", "s.B", "s.C"].map(String::from)).unwrap();
+        let pred = Pred::col_eq_col("r.B", "s.B").and(Pred::col_eq_const("r.nope", 1));
+        let ej = recognize_equi_join(&schema, 2, &pred).expect("valid key survives");
+        assert_eq!(ej.keys, vec![(1, 0)]);
+        assert_eq!(ej.residual_conjuncts, 1);
+    }
+
+    #[test]
+    fn unresolvable_conjunct_poisons_later_keys() {
+        // The error conjunct comes FIRST: a key taken from the later
+        // r.B = s.B equality could filter away the row on which the
+        // naive engine errors, so no keys may be extracted at all.
+        let schema = Schema::new(["r.A", "r.B", "s.B", "s.C"].map(String::from)).unwrap();
+        let pred = Pred::col_eq_const("r.nope", 1).and(Pred::col_eq_col("r.B", "s.B"));
+        assert!(recognize_equi_join(&schema, 2, &pred).is_none());
+        // End to end: both engines surface the same resolution error.
+        let db = join_db(10);
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(pred);
+        let naive = eval(&db, &q);
+        let hashed = eval_hash(&db, &q, &ExecConfig::default());
+        assert!(naive.is_err());
+        assert_eq!(naive.unwrap_err(), hashed.unwrap_err());
+    }
+
+    #[test]
+    fn empty_side_suppresses_residual_errors_in_both_engines() {
+        // With an empty S, no row ever reaches the bad conjunct: both
+        // engines return an empty relation rather than an error.
+        let r = Relation::table(["A", "B"], (0..5).map(|i| vec![int(i), int(i)])).unwrap();
+        let s = Relation::empty(Schema::new(["B", "C"].map(String::from)).unwrap());
+        let db = Database::new().with("R", r).with("S", s);
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::col_eq_col("r.B", "s.B").and(Pred::col_eq_const("r.nope", 1)));
+        let naive = eval(&db, &q).unwrap();
+        let hashed = eval_hash(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(naive, hashed);
+        assert!(naive.is_empty());
+    }
+
+    #[test]
+    fn self_elapsed_excludes_children() {
+        let db = join_db(200);
+        let q = RaExpr::scan("R")
+            .natural_join(RaExpr::scan("S"))
+            .select(Pred::col_eq_const("C", 103));
+        let (_, stats) = eval_with_stats(&db, &q, &ExecConfig::default()).unwrap();
+        fn check(n: &OpStats) -> Duration {
+            let nested: Duration = n.children.iter().map(|c| c.elapsed).sum();
+            assert!(
+                n.self_elapsed <= n.elapsed,
+                "{}: self {:?} > total {:?}",
+                n.op,
+                n.self_elapsed,
+                n.elapsed
+            );
+            assert_eq!(
+                n.self_elapsed,
+                n.elapsed.saturating_sub(nested),
+                "{}: self time is total minus children",
+                n.op
+            );
+            for c in &n.children {
+                check(c);
+            }
+            nested
+        }
+        check(&stats.root);
+        // The rendered table exposes both columns.
+        let table = stats.to_string();
+        assert!(table.contains("self ms"), "{table}");
+        // Summing self times over the tree reproduces the root total
+        // (children run strictly inside their parent's span).
+        fn sum_self(n: &OpStats) -> Duration {
+            n.self_elapsed + n.children.iter().map(sum_self).sum::<Duration>()
+        }
+        let total = sum_self(&stats.root);
+        assert!(
+            total <= stats.root.elapsed + Duration::from_micros(10),
+            "self times sum to at most the root total: {total:?} vs {:?}",
+            stats.root.elapsed
+        );
     }
 
     #[test]

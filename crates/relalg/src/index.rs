@@ -1,0 +1,165 @@
+//! In-memory secondary indexes over relation columns.
+//!
+//! A [`ColumnIndex`] maps each value of one column to the row offsets
+//! holding it, in row order — so an index scan yields exactly the rows a
+//! full scan plus filter would, in the same order, and the planner's
+//! byte-identical guarantee is preserved. [`IndexSet`] is the catalog the
+//! planner consults; `cdb-core` maintains the durable analogue (postings
+//! keyed by entry, registered through the WAL) and rebuilds a fresh
+//! `IndexSet` for the entries view, while ad-hoc callers can
+//! [`IndexSet::build`] one straight from a [`Database`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use cdb_model::Atom;
+
+use crate::database::Database;
+use crate::error::RelalgError;
+use crate::relation::Relation;
+use crate::stats::base_name;
+
+/// A hash index over one column of one relation.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    /// Relation the index covers.
+    pub rel: String,
+    /// Unqualified column name.
+    pub col: String,
+    /// Column position in the relation's schema.
+    pub col_idx: usize,
+    /// Value → offsets of the rows holding it, ascending.
+    postings: HashMap<Atom, Vec<usize>>,
+}
+
+impl ColumnIndex {
+    /// Builds an index over `col` of `rel`. Fails if the column does not
+    /// resolve in the relation's schema.
+    pub fn build(rel_name: &str, rel: &Relation, col: &str) -> Result<ColumnIndex, RelalgError> {
+        let col_idx = rel.schema().resolve(col)?;
+        let mut postings: HashMap<Atom, Vec<usize>> = HashMap::new();
+        for (row, t) in rel.tuples().iter().enumerate() {
+            postings.entry(t[col_idx].clone()).or_default().push(row);
+        }
+        Ok(ColumnIndex {
+            rel: rel_name.to_owned(),
+            col: base_name(col).to_owned(),
+            col_idx,
+            postings,
+        })
+    }
+
+    /// Assembles an index from precomputed postings — the durable
+    /// engine's path: `cdb-core` maintains postings keyed by entry and
+    /// converts them to row offsets per snapshot. Offsets must be
+    /// ascending per value for the row-order guarantee to hold.
+    pub fn from_postings(
+        rel: impl Into<String>,
+        col: impl Into<String>,
+        col_idx: usize,
+        postings: impl IntoIterator<Item = (Atom, Vec<usize>)>,
+    ) -> ColumnIndex {
+        let col = col.into();
+        ColumnIndex {
+            rel: rel.into(),
+            col: base_name(&col).to_owned(),
+            col_idx,
+            postings: postings.into_iter().collect(),
+        }
+    }
+
+    /// Row offsets holding `key`, in row order.
+    pub fn lookup(&self, key: &Atom) -> &[usize] {
+        self.postings.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct values indexed.
+    pub fn distinct(&self) -> u64 {
+        self.postings.len() as u64
+    }
+}
+
+/// The catalog of column indexes the planner may use.
+#[derive(Debug, Clone, Default)]
+pub struct IndexSet {
+    map: BTreeMap<(String, String), ColumnIndex>,
+}
+
+impl IndexSet {
+    /// An empty catalog: every access path is a full scan.
+    pub fn new() -> IndexSet {
+        IndexSet::default()
+    }
+
+    /// Builds indexes for the given `(relation, column)` specs from a
+    /// database. Unknown relations or columns are errors.
+    pub fn build<'a>(
+        db: &Database,
+        specs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<IndexSet, RelalgError> {
+        let mut set = IndexSet::new();
+        for (rel, col) in specs {
+            set.add(ColumnIndex::build(rel, db.get(rel)?, col)?);
+        }
+        Ok(set)
+    }
+
+    /// Registers an index, replacing any previous one on the same
+    /// relation and column.
+    pub fn add(&mut self, idx: ColumnIndex) {
+        self.map.insert((idx.rel.clone(), idx.col.clone()), idx);
+    }
+
+    /// Index on `(rel, col)` if one exists; `col` may be qualified.
+    pub fn get(&self, rel: &str, col: &str) -> Option<&ColumnIndex> {
+        self.map.get(&(rel.to_owned(), base_name(col).to_owned()))
+    }
+
+    /// Iterates registered indexes in `(relation, column)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &ColumnIndex> {
+        self.map.values()
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::table(
+            ["K", "A"],
+            (0..10).map(|i| vec![Atom::Int(i % 3), Atom::Int(i)]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_returns_rows_in_row_order() {
+        let idx = ColumnIndex::build("R", &rel(), "K").unwrap();
+        assert_eq!(idx.lookup(&Atom::Int(0)), &[0, 3, 6, 9]);
+        assert_eq!(idx.lookup(&Atom::Int(2)), &[2, 5, 8]);
+        assert!(idx.lookup(&Atom::Int(7)).is_empty());
+        assert_eq!(idx.distinct(), 3);
+    }
+
+    #[test]
+    fn build_rejects_unknown_column_and_relation() {
+        assert!(ColumnIndex::build("R", &rel(), "Z").is_err());
+        let db = Database::new().with("R", rel());
+        assert!(IndexSet::build(&db, [("Q", "K")]).is_err());
+        let set = IndexSet::build(&db, [("R", "K")]).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!(set.get("R", "K").is_some());
+        assert!(set.get("R", "r.K").is_some(), "qualified lookup works");
+        assert!(set.get("R", "A").is_none());
+    }
+}

@@ -28,6 +28,13 @@
 //! partitioned probing, and per-operator statistics ([`ExecStats`]).
 //! It is differentially tested to produce exactly the interpreter's
 //! results, so either engine can serve either role.
+//!
+//! On top of the physical engine sits a cost-based planner ([`plan`]):
+//! predicate pushdown, per-relation statistics ([`stats`]), greedy join
+//! ordering and secondary-index access paths ([`index`]). Plans are
+//! provenance-preserving — differentially tested byte-identical to the
+//! interpreter across semirings — and anything the planner cannot prove
+//! safe falls back to the reference engines wholesale.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,13 +45,19 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod expr;
+pub mod index;
+pub mod plan;
 pub mod pred;
 pub mod relation;
 pub mod sql;
+pub mod stats;
 
 pub use database::Database;
 pub use error::RelalgError;
 pub use exec::{eval_hash, eval_with_stats, ExecConfig, ExecStats, OpStats};
 pub use expr::{ProjItem, RaExpr};
+pub use index::{ColumnIndex, IndexSet};
+pub use plan::{eval_plan, eval_planned, plan, plan_span_name, PhysPlan, PlanOp, PlanRun};
 pub use pred::{CmpOp, Operand, Pred};
 pub use relation::{Relation, Schema, Tuple};
+pub use stats::{ColStats, DbStats, Histogram, RelStats};

@@ -217,6 +217,18 @@ impl Relation {
     pub fn set_eq(&self, other: &Relation) -> bool {
         self.schema.union_compatible(&other.schema) && self.tuple_set() == other.tuple_set()
     }
+
+    /// The canonical form: tuples deduplicated and sorted. The planned
+    /// evaluator ([`crate::plan::eval_plan`]) reorders joins, which
+    /// permutes tuple *discovery* order, so its outputs are normalized to
+    /// this form — two canonical relations are `==` iff they are
+    /// set-equal with identical schemas.
+    pub fn canonical(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self.tuple_set().into_iter().collect(),
+        }
+    }
 }
 
 impl fmt::Display for Relation {

@@ -43,12 +43,18 @@ fn check_positive(expr: &RaExpr) -> Result<(), RelalgError> {
     if expr.is_positive() {
         Ok(())
     } else {
-        Err(RelalgError::UpdateError(
-            "K-relation semantics is defined for positive relational algebra only \
-             (difference has no semiring interpretation)"
-                .to_owned(),
-        ))
+        Err(positivity_error())
     }
+}
+
+/// The error every K-evaluator raises on difference (shared with
+/// [`crate::planned`] so planned and naive engines fail identically).
+pub(crate) fn positivity_error() -> RelalgError {
+    RelalgError::UpdateError(
+        "K-relation semantics is defined for positive relational algebra only \
+         (difference has no semiring interpretation)"
+            .to_owned(),
+    )
 }
 
 fn eval_inner<K: Semiring>(

@@ -38,6 +38,7 @@ pub mod eval;
 pub mod hom;
 pub mod instances;
 pub mod krel;
+pub mod planned;
 pub mod semiring;
 
 pub use instances::lineage::Lineage;

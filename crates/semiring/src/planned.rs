@@ -1,0 +1,314 @@
+//! Executing cost-based physical plans over K-relations.
+//!
+//! [`eval_k_planned`] runs a [`PhysPlan`] from `cdb_relalg::plan` against
+//! a [`KDatabase`], propagating annotations exactly as the naive
+//! evaluator of [`crate::eval`] does. This is what makes the planner
+//! *provenance-preserving* rather than merely set-preserving: the
+//! differential suites check byte-identical results — tuples **and**
+//! annotations — against [`crate::eval::eval_k`] for ℕ, 𝔹 and the
+//! provenance polynomials.
+//!
+//! Why the same plan is valid for every semiring:
+//!
+//! * Join reordering re-associates and commutes the `·` products that
+//!   annotate joined tuples — both laws hold in every semiring, and the
+//!   [`KRelation`] `BTreeMap` makes tuple order canonical, so even the
+//!   iteration-order change that reordering causes is invisible.
+//! * Pushed filters multiply annotations by 0/1 before instead of after
+//!   a join; since dropped tuples would only have contributed `0 · k`
+//!   terms, the annotation sums are unchanged (σ commutes with ⋈ over
+//!   any semiring — Green et al., Lemma 3.4's spirit).
+//! * An index lookup here degrades to a support filter: K-relations have
+//!   no stable row offsets, and the lookup's semantics is exactly
+//!   `σ[col = key]`.
+//!
+//! Difference stays rejected with the same error as the naive engine;
+//! [`PlanOp::Naive`] fallback nodes run through [`eval_k_with`], so
+//! planned evaluation fails exactly when and how naive evaluation fails.
+
+use cdb_relalg::exec::{extract_keys, join_matches, ExecConfig};
+use cdb_relalg::expr::ProjSource;
+use cdb_relalg::plan::{PhysPlan, PlanOp};
+use cdb_relalg::{Database, RelalgError, Relation, Tuple};
+
+use crate::eval::{eval_k_with, positivity_error};
+use crate::krel::{KDatabase, KRelation};
+use crate::semiring::Semiring;
+
+/// The set-semantics shadow of a K-database: every relation's support,
+/// in canonical order. Plan against this (it carries the schemas and
+/// row counts the planner needs), execute with [`eval_k_planned`].
+pub fn shadow_database<K: Semiring>(db: &KDatabase<K>) -> Database {
+    let mut out = Database::new();
+    for (name, rel) in db.iter() {
+        out.insert(name, rel.to_relation());
+    }
+    out
+}
+
+/// Executes a physical plan over a K-database, returning the annotated
+/// result. Annotation-identical to [`crate::eval::eval_k`] on the
+/// expression the plan was built from; plans containing difference are
+/// rejected with the naive engine's positivity error.
+pub fn eval_k_planned<K: Semiring>(
+    db: &KDatabase<K>,
+    plan: &PhysPlan,
+    cfg: &ExecConfig,
+) -> Result<KRelation<K>, RelalgError> {
+    match &plan.op {
+        PlanOp::Scan { rel } => Ok(db.get(rel)?.clone()),
+        PlanOp::ScanAs { rel, .. } => Ok(db.get(rel)?.clone().with_schema(plan.schema.clone())),
+        PlanOp::IndexLookup {
+            rel, col_idx, key, ..
+        } => {
+            // K-relations have no row offsets; the lookup is exactly
+            // σ[col = key] over the support.
+            let base = db.get(rel)?.clone().with_schema(plan.schema.clone());
+            let mut out = KRelation::empty(plan.schema.clone());
+            for (t, k) in base.iter() {
+                if t[*col_idx] == *key {
+                    out.insert(t.clone(), k.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        PlanOp::Filter { pred } => {
+            let input = eval_k_planned(db, &plan.children[0], cfg)?;
+            let mut out = KRelation::empty(input.schema().clone());
+            for (t, k) in input.iter() {
+                if pred.eval(input.schema(), t)? {
+                    out.insert(t.clone(), k.clone())?;
+                }
+            }
+            Ok(out)
+        }
+        PlanOp::HashJoin { keys } => {
+            let left = eval_k_planned(db, &plan.children[0], cfg)?;
+            let right = eval_k_planned(db, &plan.children[1], cfg)?;
+            let lrows: Vec<(&Tuple, &K)> = left.iter().collect();
+            let rrows: Vec<(&Tuple, &K)> = right.iter().collect();
+            let lcols: Vec<usize> = keys.iter().map(|&(l, _)| l).collect();
+            let rcols: Vec<usize> = keys.iter().map(|&(_, r)| r).collect();
+            let build = extract_keys(rrows.iter().map(|&(t, _)| t), &rcols);
+            let probe = extract_keys(lrows.iter().map(|&(t, _)| t), &lcols);
+            let m = join_matches(&build, &probe, cfg);
+            let mut out = KRelation::empty(plan.schema.clone());
+            for &(li, ri) in &m.pairs {
+                let (lt, lk) = lrows[li];
+                let (rt, rk) = rrows[ri];
+                let mut row = lt.clone();
+                row.extend(rt.iter().cloned());
+                out.insert(row, lk.mul(rk))?;
+            }
+            Ok(out)
+        }
+        PlanOp::HashNaturalJoin { shared, right_kept } => {
+            let left = eval_k_planned(db, &plan.children[0], cfg)?;
+            let right = eval_k_planned(db, &plan.children[1], cfg)?;
+            let lrows: Vec<(&Tuple, &K)> = left.iter().collect();
+            let rrows: Vec<(&Tuple, &K)> = right.iter().collect();
+            let lcols: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+            let rcols: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+            let build = extract_keys(rrows.iter().map(|&(t, _)| t), &rcols);
+            let probe = extract_keys(lrows.iter().map(|&(t, _)| t), &lcols);
+            let m = join_matches(&build, &probe, cfg);
+            let mut out = KRelation::empty(plan.schema.clone());
+            for &(li, ri) in &m.pairs {
+                let (lt, lk) = lrows[li];
+                let (rt, rk) = rrows[ri];
+                let mut row = lt.clone();
+                row.extend(right_kept.iter().map(|&j| rt[j].clone()));
+                out.insert(row, lk.mul(rk))?;
+            }
+            Ok(out)
+        }
+        PlanOp::Product => {
+            let left = eval_k_planned(db, &plan.children[0], cfg)?;
+            let right = eval_k_planned(db, &plan.children[1], cfg)?;
+            let mut out = KRelation::empty(plan.schema.clone());
+            for (lt, lk) in left.iter() {
+                for (rt, rk) in right.iter() {
+                    let mut row = lt.clone();
+                    row.extend(rt.iter().cloned());
+                    out.insert(row, lk.mul(rk))?;
+                }
+            }
+            Ok(out)
+        }
+        PlanOp::Arrange { perm } => {
+            // A bijective column permutation: annotations ride along
+            // unchanged (no two tuples can merge).
+            let input = eval_k_planned(db, &plan.children[0], cfg)?;
+            let mut out = KRelation::empty(plan.schema.clone());
+            for (t, k) in input.iter() {
+                let row: Tuple = perm.iter().map(|&p| t[p].clone()).collect();
+                out.insert(row, k.clone())?;
+            }
+            Ok(out)
+        }
+        PlanOp::Project { items } => {
+            let input = eval_k_planned(db, &plan.children[0], cfg)?;
+            let mut out = KRelation::empty(plan.schema.clone());
+            for (t, k) in input.iter() {
+                let mut row: Tuple = Vec::with_capacity(items.len());
+                for item in items {
+                    match &item.source {
+                        ProjSource::Col(c) => row.push(t[input.schema().resolve(c)?].clone()),
+                        ProjSource::Const(a) => row.push(a.clone()),
+                    }
+                }
+                out.insert(row, k.clone())?; // merged tuples sum
+            }
+            Ok(out)
+        }
+        PlanOp::Union => {
+            let mut out = eval_k_planned(db, &plan.children[0], cfg)?;
+            let right = eval_k_planned(db, &plan.children[1], cfg)?;
+            for (t, k) in right.iter() {
+                out.insert(t.clone(), k.clone())?;
+            }
+            Ok(out)
+        }
+        PlanOp::Diff => Err(positivity_error()),
+        PlanOp::Rename => {
+            let input = eval_k_planned(db, &plan.children[0], cfg)?;
+            Ok(input.with_schema(plan.schema.clone()))
+        }
+        PlanOp::Naive { expr } => eval_k_with(db, expr, cfg),
+    }
+}
+
+/// Plans `expr` against the database's set-semantics shadow and executes
+/// the plan with annotations — the one-call version of
+/// `plan` + [`eval_k_planned`].
+pub fn eval_k_via_planner<K: Semiring>(
+    db: &KDatabase<K>,
+    expr: &cdb_relalg::RaExpr,
+    indexes: &cdb_relalg::IndexSet,
+    cfg: &ExecConfig,
+) -> Result<KRelation<K>, RelalgError> {
+    let shadow = shadow_database(db);
+    let stats = cdb_relalg::DbStats::analyze(&shadow);
+    let plan = cdb_relalg::plan::plan(&shadow, &stats, indexes, expr);
+    eval_k_planned(db, &plan, cfg)
+}
+
+/// The support of a K-relation as a canonical set-semantics relation —
+/// convenience for comparing planned K-results to set-engine results.
+pub fn support<K: Semiring>(rel: &KRelation<K>) -> Relation {
+    rel.to_relation()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_k, figure4_database, figure4_query};
+    use crate::instances::nat::Nat;
+    use crate::instances::polynomial::Polynomial;
+    use crate::instances::Bool;
+    use cdb_model::Atom;
+    use cdb_relalg::{IndexSet, Pred, RaExpr};
+
+    fn int(i: i64) -> Atom {
+        Atom::Int(i)
+    }
+
+    fn chain_db<K: Semiring>(var: impl Fn(&str) -> K) -> KDatabase<K> {
+        let mk = |name: &str, n: i64, m: i64| {
+            KRelation::from_pairs(
+                cdb_relalg::Schema::new(["K", name]).unwrap(),
+                (0..n).map(|i| (vec![int(i % m), int(i)], var(&format!("{name}{i}")))),
+            )
+            .unwrap()
+        };
+        KDatabase::new()
+            .with("R", mk("A", 20, 7))
+            .with("S", mk("B", 12, 7))
+            .with("T", mk("C", 5, 7))
+    }
+
+    fn chain_query() -> RaExpr {
+        RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .product(RaExpr::ScanAs("T".into(), "t".into()))
+            .select(Pred::col_eq_col("r.K", "s.K").and(Pred::col_eq_col("s.K", "t.K")))
+    }
+
+    #[test]
+    fn reordered_chain_is_annotation_identical() {
+        let db = chain_db(|v: &str| Polynomial::var(v));
+        let q = chain_query();
+        let naive = eval_k(&db, &q).unwrap();
+        let planned =
+            eval_k_via_planner(&db, &q, &IndexSet::new(), &ExecConfig::default()).unwrap();
+        assert_eq!(planned, naive, "polynomials survive join reordering");
+        // And under bag/set instantiations.
+        let dbn = chain_db(|_| Nat(2));
+        assert_eq!(
+            eval_k_via_planner(&dbn, &q, &IndexSet::new(), &ExecConfig::default()).unwrap(),
+            eval_k(&dbn, &q).unwrap()
+        );
+        let dbb = chain_db(|_| Bool(true));
+        assert_eq!(
+            eval_k_via_planner(&dbb, &q, &IndexSet::new(), &ExecConfig::default()).unwrap(),
+            eval_k(&dbb, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn figure4_through_the_planner() {
+        let db = figure4_database(|v| Polynomial::var(v));
+        let q = figure4_query();
+        let naive = eval_k(&db, &q).unwrap();
+        let planned =
+            eval_k_via_planner(&db, &q, &IndexSet::new(), &ExecConfig::default()).unwrap();
+        assert_eq!(planned, naive, "Figure 4 polynomials are preserved");
+    }
+
+    #[test]
+    fn index_plans_degrade_to_support_filters() {
+        let db = chain_db(|v: &str| Polynomial::var(v));
+        let shadow = shadow_database(&db);
+        let idx = IndexSet::build(&shadow, [("R", "A")]).unwrap();
+        let q = RaExpr::ScanAs("R".into(), "r".into())
+            .product(RaExpr::ScanAs("S".into(), "s".into()))
+            .select(Pred::col_eq_col("r.K", "s.K").and(Pred::col_eq_const("r.A", 7)));
+        let stats = cdb_relalg::DbStats::analyze(&shadow);
+        let plan = cdb_relalg::plan::plan(&shadow, &stats, &idx, &q);
+        assert!(
+            plan.ops()
+                .iter()
+                .any(|o| matches!(o, cdb_relalg::PlanOp::IndexLookup { .. })),
+            "plan actually exercises the index path:\n{plan}"
+        );
+        let planned = eval_k_planned(&db, &plan, &ExecConfig::default()).unwrap();
+        assert_eq!(planned, eval_k(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn difference_plans_are_rejected_like_naive() {
+        let db = chain_db(|_| Bool(true));
+        let q = RaExpr::scan("R").diff(RaExpr::scan("R"));
+        let shadow = shadow_database(&db);
+        let stats = cdb_relalg::DbStats::analyze(&shadow);
+        let plan = cdb_relalg::plan::plan(&shadow, &stats, &IndexSet::new(), &q);
+        let planned = eval_k_planned(&db, &plan, &ExecConfig::default());
+        let naive = eval_k(&db, &q);
+        assert_eq!(planned.unwrap_err(), naive.unwrap_err());
+    }
+
+    #[test]
+    fn fallback_plans_run_the_naive_k_engine() {
+        let db = chain_db(|v: &str| Polynomial::var(v));
+        // Unresolvable predicate: the planner wraps the whole query.
+        let q = RaExpr::scan("R").select(Pred::col_eq_const("nope", 0));
+        let shadow = shadow_database(&db);
+        let stats = cdb_relalg::DbStats::analyze(&shadow);
+        let plan = cdb_relalg::plan::plan(&shadow, &stats, &IndexSet::new(), &q);
+        assert!(matches!(plan.op, cdb_relalg::PlanOp::Naive { .. }));
+        assert_eq!(
+            eval_k_planned(&db, &plan, &ExecConfig::default()).unwrap_err(),
+            eval_k(&db, &q).unwrap_err()
+        );
+    }
+}

@@ -74,6 +74,50 @@ pub fn select_product_query() -> RaExpr {
         .select(Pred::col_eq_col("r.K", "s.K"))
 }
 
+/// Generates the triple `R(K, A)`, `S(K, B)`, `T(K, C)` for the
+/// planner benchmarks: `R` and `S` are sized per the config and `T` is
+/// an eighth of `S` (at least one row), so a cost-based join order has
+/// a genuinely smaller build side to prefer.
+pub fn chain_tables(seed: u64, cfg: &JoinConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let card = cfg.key_cardinality.max(1) as i64;
+    let payload = cfg.payload_values.max(1) as i64;
+    let mut table = |rows: usize, payload_name: &str| {
+        Relation::table(
+            ["K", payload_name],
+            (0..rows).map(|_| {
+                vec![
+                    Atom::Int(rng.gen_range(0..card)),
+                    Atom::Int(rng.gen_range(0..payload)),
+                ]
+            }),
+        )
+        .expect("generated rows match the schema")
+    };
+    let r = table(cfg.left_rows, "A");
+    let s = table(cfg.right_rows, "B");
+    let t = table((cfg.right_rows / 8).max(1), "C");
+    Database::new().with("R", r).with("S", s).with("T", t)
+}
+
+/// The three-way chain as SQL compiles it:
+/// `σ[r.K = s.K ∧ s.K = t.K]((R × S) × T)`. The single-shape PR-1
+/// recognizer can only hash one of the two equalities (the other
+/// conjunct spans one side of the top product), so it materializes the
+/// inner `R × S`; the planner runs two hash joins.
+pub fn chain_query() -> RaExpr {
+    RaExpr::ScanAs("R".into(), "r".into())
+        .product(RaExpr::ScanAs("S".into(), "s".into()))
+        .product(RaExpr::ScanAs("T".into(), "t".into()))
+        .select(Pred::col_eq_col("r.K", "s.K").and(Pred::col_eq_col("s.K", "t.K")))
+}
+
+/// A point lookup on the join key: `σ[K = key](R)` — a full scan plus
+/// filter without an index, one hash probe with one.
+pub fn point_lookup_query(key: i64) -> RaExpr {
+    RaExpr::scan("R").select(Pred::col_eq_const("K", key))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,7 +34,7 @@ use std::io::{self, BufRead, Write};
 
 use curated_db::model::PathQuery;
 use curated_db::obs;
-use curated_db::relalg::{sql, ExecConfig};
+use curated_db::relalg::sql;
 use curated_db::server::{Client, Server, ServerConfig, TcpTransport};
 use curated_db::{
     Atom, CuratedDatabase, ShardMap, ShardedDb, SharedDb, Snapshot, DEFAULT_BATCH_WINDOW,
@@ -455,6 +455,36 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
                 _ => text(format!("{absorbed} merged into {kept}")),
             }
         }
+        "index" => {
+            let [field] = take::<1>(&rest)?;
+            let created = match (&mut shell.mem, &shell.shared, &shell.sharded) {
+                (Some(db), _, _) => db.create_index(field),
+                (None, Some(s), _) => s.create_index(field),
+                (None, None, Some(sh)) => sh.create_index(field),
+                (None, None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text(if created {
+                format!("index on {field:?} created (durable; maintained per commit)")
+            } else {
+                format!("index on {field:?} already exists")
+            })
+        }
+        "drop-index" => {
+            let [field] = take::<1>(&rest)?;
+            let dropped = match (&mut shell.mem, &shell.shared, &shell.sharded) {
+                (Some(db), _, _) => db.drop_index(field),
+                (None, Some(s), _) => s.drop_index(field),
+                (None, None, Some(sh)) => sh.drop_index(field),
+                (None, None, None) => return Err(NO_DB.into()),
+            }
+            .map_err(fmt_err)?;
+            text(if dropped {
+                format!("index on {field:?} dropped")
+            } else {
+                format!("no index on {field:?}")
+            })
+        }
         "checkpoint" => {
             if let Some(sh) = &shell.sharded {
                 let all = sh.checkpoint().map_err(fmt_err)?;
@@ -588,20 +618,48 @@ fn run_command(shell: &mut Shell, time: u64, line: &str) -> Result<Output, Strin
                 }
                 "explain" => {
                     // Like `sql`, but runs the query through the
-                    // physical engine and prints the per-operator table
-                    // (rows in/out and span-measured elapsed time),
-                    // followed by the cumulative eval metrics from the
-                    // observability registry.
+                    // cost-based planner: statistics and any registered
+                    // durable indexes pick the access paths and join
+                    // order, and the printed plan tree shows the
+                    // planner's row estimates next to the measured
+                    // actuals, followed by the cumulative eval metrics
+                    // from the observability registry.
                     let query = line[7..].trim();
-                    let rdb = entries_view(db)?;
                     let stmt = sql::parse(query).map_err(|e| e.to_string())?;
                     let sql::Statement::Query(expr) = stmt else {
                         return Err("explain takes a SELECT query".into());
                     };
-                    let (out, stats) =
-                        curated_db::relalg::eval_with_stats(&rdb, &expr, &ExecConfig::default())
-                            .map_err(|e| e.to_string())?;
-                    text(format!("{stats}{}\n{out}", eval_registry_summary()))
+                    let fields = all_fields(db)?;
+                    let field_refs: Vec<&str> = fields.iter().map(String::as_str).collect();
+                    let (out, plan, runs) =
+                        curated_db::core::views::query_entries_planned(db, &field_refs, &expr)
+                            .map_err(fmt_err)?;
+                    text(format!(
+                        "{}{}\n{out}",
+                        plan.render(Some(&runs)),
+                        eval_registry_summary()
+                    ))
+                }
+                "indexes" => {
+                    let fields = db.index_fields();
+                    if fields.is_empty() {
+                        text("no indexes (create one with `index <field>`)".into())
+                    } else {
+                        text(
+                            fields
+                                .iter()
+                                .map(|f| {
+                                    let i = db.field_index(f).expect("listed field is indexed");
+                                    format!(
+                                        "{f}: {} distinct value(s) over {} entrie(s)",
+                                        i.distinct(),
+                                        i.len()
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join("\n"),
+                        )
+                    }
                 }
                 "diff" => {
                     let [a, b] = take::<2>(&rest)?;
@@ -966,9 +1024,15 @@ commands:
   checkpoint                         install a checkpoint atomically and
                                        retire covered WAL segments
   sql <SELECT …>                     query the relational view `entries`
-  explain <SELECT …>                 run via the hash-join engine; print
-                                       per-operator rows + elapsed and
+  explain <SELECT …>                 run via the cost-based planner;
+                                       print the plan tree (estimated vs
+                                       actual rows, per-operator ms) and
                                        the registry's eval latency
+  index <field> | drop-index <field> create/drop a durable secondary
+                                       index (WAL-registered, rebuilt on
+                                       recovery, used by explain/sql
+                                       plans as hash index scans)
+  indexes                            list registered indexes
   stats [json]                       metrics registry: text table, or
                                        one JSON object per line
   trace on|off|show                  toggle span recording / show the

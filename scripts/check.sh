@@ -56,12 +56,35 @@ CDB_TEST_POOL_PAGES=4 cargo test -q --test storage_recovery \
 
 if [[ "$run_bench" == 1 ]]; then
     echo "== bench smoke (CDB_BENCH_SMOKE=1, one tiny iteration each) =="
-    CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench joins
     CDB_BENCH_SMOKE=1 cargo bench -p cdb-bench --bench commit_throughput
 
     # The remaining benches also validate the JSON report shape: force
     # each report in smoke mode into a scratch dir and grep the rows.
     bench_json_dir="$(mktemp -d)"
+
+    # The join bench: E15 rows plus the E25 planner rows — the chain
+    # and point-lookup plans must land in the report with the `plan`
+    # and `index` fields set (proof the cost-based planner actually
+    # chose the hash-join chain and the index scan).
+    CDB_BENCH_SMOKE=1 CDB_BENCH_JSON=1 CDB_BENCH_JSON_DIR="$bench_json_dir" \
+        cargo bench -p cdb-bench --bench joins
+    if ! grep -q '"op": "e25_planner_chain/' "$bench_json_dir/BENCH_joins.json" \
+        || ! grep -q '"op": "e25_point_lookup/' "$bench_json_dir/BENCH_joins.json"; then
+        echo "BENCH_joins.json is missing the E25 planner rows:"
+        cat "$bench_json_dir/BENCH_joins.json"
+        exit 1
+    fi
+    if ! grep -qE '"plan": "[^"]*HashJoin[^"]*"' "$bench_json_dir/BENCH_joins.json"; then
+        echo "BENCH_joins.json E25 rows are missing a hash-join plan field:"
+        cat "$bench_json_dir/BENCH_joins.json"
+        exit 1
+    fi
+    if ! grep -qE '"plan": "[^"]*IndexScan[^"]*"' "$bench_json_dir/BENCH_joins.json" \
+        || ! grep -qE '"index": [0-9]+' "$bench_json_dir/BENCH_joins.json"; then
+        echo "BENCH_joins.json E25 rows are missing the index-scan plan/index fields:"
+        cat "$bench_json_dir/BENCH_joins.json"
+        exit 1
+    fi
 
     # The observability bench: E18 rows plus the E24 served-write rows
     # (full metrics+tracing regime over the wire) must land in the
@@ -145,6 +168,32 @@ if [[ "$run_bench" == 1 ]]; then
     rm -rf "$bench_json_dir"
 fi
 
+echo "== planner span taxonomy: every PlanOp variant maps to a relalg.op.* span =="
+# Physical operators must be visible to profiles: plan_span_name gives
+# each PlanOp variant a relalg.op.* span name, and this gate fails the
+# build when someone adds a variant without wiring it into the
+# taxonomy. (The unit test every_plan_op_has_a_span_name checks the
+# exec side; this greps the source so even unreachable arms count.)
+plan_src="crates/relalg/src/plan.rs"
+variants="$(sed -n '/^pub enum PlanOp/,/^}/p' "$plan_src" \
+    | grep -oE '^    [A-Z][A-Za-z]*' | tr -d ' ')"
+span_fn="$(sed -n '/^pub fn plan_span_name/,/^}/p' "$plan_src")"
+if [[ -z "$variants" || -z "$span_fn" ]]; then
+    echo "could not locate PlanOp or plan_span_name in $plan_src"
+    exit 1
+fi
+for v in $variants; do
+    if ! grep -q "PlanOp::$v" <<<"$span_fn"; then
+        echo "PlanOp::$v is not mapped in plan_span_name — add it to the relalg.op.* taxonomy"
+        exit 1
+    fi
+done
+if grep -oE '"[a-z_.]+"' <<<"$span_fn" | grep -qv '"relalg\.op\.'; then
+    echo "plan_span_name returns a span name outside the relalg.op.* taxonomy:"
+    grep -oE '"[a-z_.]+"' <<<"$span_fn" | grep -v '"relalg\.op\.'
+    exit 1
+fi
+
 echo "== obs timing gate: raw Instant::now() only inside the span API =="
 # Every library timing path must go through cdb-obs spans/histograms so
 # profiles and metrics see it. Allowed: cdb-obs itself, the bench-shim
@@ -178,7 +227,11 @@ publish 2008-12
 series GABA-A tm
 cite 0 GABA-A
 sql SELECT name FROM entries WHERE tm = 4
+index kind
+indexes
 explain SELECT name FROM entries WHERE tm = 4
+explain SELECT name FROM entries WHERE kind = 'receptor'
+drop-index kind
 profile sql SELECT name FROM entries WHERE tm = 4
 stats
 stats json
